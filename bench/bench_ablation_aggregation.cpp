@@ -1,0 +1,78 @@
+// bench_ablation_aggregation — Ablation D: how should matching rules'
+// outputs be combined? The paper (§3.4) averages; this bench trains one
+// system on Mackey-Glass τ = 50 and replays the same test set under five
+// aggregation strategies, then runs rule-set compaction and verifies the
+// error is unchanged while the rule count (and query cost) drops.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/compaction.hpp"
+#include "core/rule_system.hpp"
+#include "series/mackey_glass.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  const ef::util::Cli cli(argc, argv);
+  const bool full = cli.get_bool("full");
+  const auto window = static_cast<std::size_t>(cli.get_int("window", 4));
+  const auto stride = static_cast<std::size_t>(cli.get_int("stride", 6));
+  const auto horizon = static_cast<std::size_t>(cli.get_int("horizon", 50));
+  const auto generations =
+      static_cast<std::size_t>(cli.get_int("generations", full ? 40000 : 15000));
+
+  std::printf("Ablation D — vote aggregation & rule-set compaction "
+              "(Mackey-Glass, tau=%zu)\n",
+              horizon);
+  ef::bench::print_rule('=');
+
+  const auto experiment = ef::series::make_paper_mackey_glass();
+  const ef::core::WindowDataset train(experiment.train, window, horizon, stride);
+  const ef::core::WindowDataset test(experiment.test, window, horizon, stride);
+  const auto actual = ef::bench::targets_of(test);
+
+  ef::core::RuleSystemConfig cfg;
+  cfg.evolution.population_size = 100;
+  cfg.evolution.generations = generations;
+  cfg.evolution.emax = 0.14;
+  cfg.evolution.seed = 9;
+  cfg.coverage_target_percent = 78.0;
+  cfg.max_executions = 4;
+
+  const auto trained = ef::core::train_rule_system(train, cfg);
+  std::printf("trained: %zu rules, train coverage %.1f%%\n\n", trained.system.size(),
+              trained.train_coverage_percent);
+
+  std::printf("%-18s | %8s %9s %9s\n", "aggregation", "cov%", "nmse", "rmse");
+  ef::bench::print_rule();
+  for (const auto how :
+       {ef::core::Aggregation::kMean, ef::core::Aggregation::kFitnessWeighted,
+        ef::core::Aggregation::kMedian, ef::core::Aggregation::kBestRule,
+        ef::core::Aggregation::kInverseError}) {
+    const auto forecast = trained.system.forecast_dataset(test, how);
+    const auto report = ef::series::evaluate_partial(actual, forecast);
+    std::printf("%-18s | %7.1f%% %9.4f %9.4f\n", ef::core::to_string(how),
+                report.coverage_percent, report.nmse, report.rmse);
+  }
+
+  // --- compaction ------------------------------------------------------------
+  ef::core::CompactionReport report;
+  ef::core::CompactionOptions options;
+  options.prediction_tolerance = cli.get_double("tolerance", 0.02);
+  const auto slim = ef::core::compact(trained.system, report, options, &train);
+
+  const auto before = ef::series::evaluate_partial(
+      actual, trained.system.forecast_dataset(test));
+  const auto after = ef::series::evaluate_partial(actual, slim.forecast_dataset(test));
+
+  ef::bench::print_rule();
+  std::printf("compaction: %zu -> %zu rules (%zu duplicates, %zu subsumed, %zu unfired "
+              "removed)\n",
+              report.input_rules, report.output_rules(), report.duplicates_removed,
+              report.subsumed_removed, report.unfired_removed);
+  std::printf("mean-aggregated NMSE before %.4f / after %.4f, coverage %.1f%% -> %.1f%%\n",
+              before.nmse, after.nmse, before.coverage_percent, after.coverage_percent);
+  std::printf("\nExpected shape: all aggregations agree within a few percent (votes are\n"
+              "locally consistent); best-rule is noisiest. Compaction sheds a large\n"
+              "fraction of the multi-execution union at (near-)unchanged accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// bench_ablation_emax — Ablation C (DESIGN.md): the paper's conclusion says
+// the algorithm "can be tuned in order to attain a higher prediction
+// percentage at the cost of worse prediction results". EMAX is that dial: it
+// caps the max residual a rule may carry and weights the coverage term of
+// the fitness. This bench sweeps EMAX on Venice τ = 4 and prints the
+// coverage/error trade-off curve.
+//
+// Expected shape: coverage grows monotonically-ish with EMAX while the
+// covered-subset RMSE degrades — the trade-off frontier the paper describes.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/rule_system.hpp"
+#include "series/venice.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  const ef::util::Cli cli(argc, argv);
+  const bool full = cli.get_bool("full");
+  const auto train_hours =
+      static_cast<std::size_t>(cli.get_int("train-hours", full ? 45000 : 6000));
+  const auto validation_hours =
+      static_cast<std::size_t>(cli.get_int("validation-hours", full ? 10000 : 1500));
+  const auto window = static_cast<std::size_t>(cli.get_int("window", 24));
+  const auto horizon = static_cast<std::size_t>(cli.get_int("horizon", 4));
+  const auto generations =
+      static_cast<std::size_t>(cli.get_int("generations", full ? 40000 : 5000));
+
+  std::printf("Ablation C — EMAX sweep (Venice, tau=%zu): coverage vs accuracy\n", horizon);
+  ef::bench::print_rule('=');
+
+  const auto experiment = ef::series::make_paper_venice(train_hours, validation_hours);
+  const ef::core::WindowDataset train(experiment.train, window, horizon);
+  const ef::core::WindowDataset validation(experiment.validation, window, horizon);
+
+  std::printf("%8s | %8s %9s %9s %7s %6s\n", "EMAX(cm)", "cov%", "rmse", "mae", "rules",
+              "execs");
+  ef::bench::print_rule();
+
+  for (const double emax : {6.0, 10.0, 14.0, 18.0, 25.0, 35.0, 50.0}) {
+    ef::core::RuleSystemConfig cfg;
+    cfg.evolution.population_size = 100;
+    cfg.evolution.generations = generations;
+    cfg.evolution.emax = emax;
+    cfg.evolution.seed = 300;
+    cfg.coverage_target_percent = 97.0;
+    cfg.max_executions = 3;
+
+    const auto rs = ef::bench::run_rule_system(train, validation, cfg);
+    std::printf("%8.1f | %7.1f%% %9.2f %9.2f %7zu %6zu\n", emax,
+                rs.report.coverage_percent, rs.report.rmse, rs.report.mae, rs.rules,
+                rs.executions);
+    std::fflush(stdout);
+  }
+
+  ef::bench::print_rule();
+  std::printf(
+      "Expected shape: coverage grows monotonically with EMAX — the dial the paper's\n"
+      "conclusions describe. Note the failure mode below the noise floor: a too-small\n"
+      "EMAX forces rules so specific (few matched windows each) that they overfit and\n"
+      "the covered-subset error is WORSE despite the stricter training budget. The\n"
+      "usable trade-off region starts where EMAX clears the irreducible noise.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// bench_ablation_embedding — Ablation E: how much does the input embedding
+// matter at long horizons? The paper encodes D *consecutive* values (stride
+// 1); the Mackey-Glass comparators it quotes use a sparse delay embedding
+// (4 values spaced 6 apart). This bench sweeps (D, stride) on MG τ = 50 at a
+// fixed evolution budget — motivating the stride generalisation this library
+// adds to the paper's encoding (DESIGN.md §5).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/rule_system.hpp"
+#include "series/mackey_glass.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  const ef::util::Cli cli(argc, argv);
+  const bool full = cli.get_bool("full");
+  const auto horizon = static_cast<std::size_t>(cli.get_int("horizon", 50));
+  const auto generations =
+      static_cast<std::size_t>(cli.get_int("generations", full ? 40000 : 12000));
+
+  std::printf("Ablation E — window/stride embedding (Mackey-Glass, tau=%zu)\n", horizon);
+  ef::bench::print_rule('=');
+
+  const auto experiment = ef::series::make_paper_mackey_glass();
+
+  struct Variant {
+    std::size_t window;
+    std::size_t stride;
+  };
+  // span = (D−1)·stride: how much history the condition sees.
+  const Variant variants[] = {
+      {4, 1},   // paper-style consecutive, short span (3)
+      {4, 6},   // the comparators' classic embedding (span 18)
+      {4, 12},  // sparser, longer span (36)
+      {8, 3},   // denser mid-span (21)
+      {18, 1},  // consecutive with the same span as {4,6}
+      {24, 1},  // the paper's Venice/sunspot D, consecutive (span 23)
+  };
+
+  std::printf("%3s %7s %6s | %8s %9s %9s %7s\n", "D", "stride", "span", "cov%", "nmse",
+              "rmse", "rules");
+  ef::bench::print_rule();
+
+  for (const Variant& v : variants) {
+    const ef::core::WindowDataset train(experiment.train, v.window, horizon, v.stride);
+    const ef::core::WindowDataset test(experiment.test, v.window, horizon, v.stride);
+
+    ef::core::RuleSystemConfig cfg;
+    cfg.evolution.population_size = 100;
+    cfg.evolution.generations = generations;
+    cfg.evolution.emax = 0.14;
+    cfg.evolution.seed = 17;
+    cfg.coverage_target_percent = 78.0;
+    cfg.max_executions = 3;
+
+    const auto rs = ef::bench::run_rule_system(train, test, cfg);
+    std::printf("%3zu %7zu %6zu | %7.1f%% %9.4f %9.4f %7zu\n", v.window, v.stride,
+                (v.window - 1) * v.stride, rs.report.coverage_percent, rs.report.nmse,
+                rs.report.rmse, rs.rules);
+    std::fflush(stdout);
+  }
+
+  ef::bench::print_rule();
+  std::printf(
+      "Expected shape: consecutive short windows (D=4, stride 1) carry too little\n"
+      "history for tau=50 and lose badly; the sparse classic embedding (4x6) matches\n"
+      "or beats dense consecutive windows of the same span at a fraction of the\n"
+      "dimensionality (fewer genes -> easier evolution).\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// bench_ablation_engines — Ablations G & H: the paper's two central EA
+// design choices, measured head-to-head at an equal rule-evaluation budget
+// on Mackey-Glass τ = 50:
+//   G. steady-state + crowding (paper §3.3) vs a generational GA with
+//      elitism (same operators, no crowding analogue);
+//   H. Michigan encoding (population = solution, paper §2) vs a Pittsburgh
+//      engine (individual = whole rule set, best individual = solution).
+// The solution of each variant is turned into a RuleSystem and scored on
+// the test set with coverage-aware NMSE.
+#include <cstdio>
+#include <limits>
+
+#include "bench_common.hpp"
+#include "core/evolution.hpp"
+#include "core/generational.hpp"
+#include "core/pittsburgh.hpp"
+#include "core/rule_system.hpp"
+#include "series/mackey_glass.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  const ef::util::Cli cli(argc, argv);
+  const bool full = cli.get_bool("full");
+  const auto window = static_cast<std::size_t>(cli.get_int("window", 4));
+  const auto stride = static_cast<std::size_t>(cli.get_int("stride", 6));
+  const auto horizon = static_cast<std::size_t>(cli.get_int("horizon", 50));
+  // Budget in offspring/rule evaluations; the steady-state engine consumes
+  // exactly one per generation.
+  const auto budget =
+      static_cast<std::size_t>(cli.get_int("budget", full ? 40000 : 12000));
+  const double emax = cli.get_double("emax", 0.14);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 33));
+
+  std::printf("Ablations G & H — engine comparison at %zu rule evaluations "
+              "(Mackey-Glass, tau=%zu)\n",
+              budget, horizon);
+  ef::bench::print_rule('=');
+
+  const auto experiment = ef::series::make_paper_mackey_glass();
+  const ef::core::WindowDataset train(experiment.train, window, horizon, stride);
+  const ef::core::WindowDataset test(experiment.test, window, horizon, stride);
+  const auto actual = ef::bench::targets_of(test);
+
+  const auto score = [&](const ef::core::RuleSystem& system, const char* name,
+                         std::size_t rules) {
+    const auto forecast = system.forecast_dataset(test);
+    const auto report = ef::series::evaluate_partial(actual, forecast);
+    std::printf("%-26s | %7.1f%% %9.4f %9.4f %7zu\n", name, report.coverage_percent,
+                report.nmse, report.rmse, rules);
+    std::fflush(stdout);
+  };
+
+  std::printf("%-26s | %8s %9s %9s %7s\n", "engine", "cov%", "nmse", "rmse", "rules");
+  ef::bench::print_rule();
+
+  // --- steady-state + crowding (the paper) -----------------------------------
+  {
+    ef::core::EvolutionConfig cfg;
+    cfg.population_size = 100;
+    cfg.generations = budget;  // 1 evaluation per generation
+    cfg.emax = emax;
+    cfg.seed = seed;
+    ef::core::SteadyStateEngine engine(train, cfg);
+    engine.run();
+    ef::core::RuleSystem system;
+    system.add_rules(std::vector<ef::core::Rule>(engine.population()), true, cfg.f_min);
+    score(system, "steady-state+crowding", system.size());
+  }
+
+  // --- generational + elitism -------------------------------------------------
+  {
+    ef::core::GenerationalConfig cfg;
+    cfg.base.population_size = 100;
+    cfg.base.emax = emax;
+    cfg.base.seed = seed;
+    cfg.elite_count = 2;
+    ef::core::GenerationalEngine engine(train, cfg);
+    engine.run_evaluations(budget);
+    ef::core::RuleSystem system;
+    system.add_rules(std::vector<ef::core::Rule>(engine.population()), true, cfg.base.f_min);
+    score(system, "generational+elitism", system.size());
+  }
+
+  // --- Pittsburgh --------------------------------------------------------------
+  {
+    ef::core::PittsburghConfig cfg;
+    cfg.population_size = 20;
+    cfg.rules_per_individual = 20;
+    cfg.max_rules = 50;
+    cfg.generations = std::numeric_limits<std::size_t>::max();  // budget-bound
+    cfg.emax = emax;
+    cfg.seed = seed;
+    ef::core::PittsburghEngine engine(train, cfg);
+    engine.run_evaluations(budget);
+    const auto system = engine.best_system();
+    score(system, "pittsburgh(best set)", system.size());
+  }
+
+  ef::bench::print_rule();
+  std::printf(
+      "Expected shape (the paper's §2-§3 arguments, quantified): the generational\n"
+      "GA collapses without crowding — diversity dies and with it coverage (order-\n"
+      "of-magnitude NMSE hit). Pittsburgh's set-level fitness buys coverage but its\n"
+      "credit assignment to individual rules is coarse, so per-window error stays a\n"
+      "multiple of the Michigan system's. Steady-state + crowding is the only\n"
+      "variant that is simultaneously accurate and broadly covering.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// bench_ablation_multistep — Ablation F: direct vs iterated multi-step
+// forecasting. The paper trains one rule system per horizon (direct); the
+// classical alternative trains a single one-step system and feeds its
+// predictions back τ times. On a chaotic series error compounds through the
+// chain, so direct should win at long horizons — this bench quantifies the
+// crossover on Mackey-Glass.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/multistep.hpp"
+#include "core/rule_system.hpp"
+#include "series/mackey_glass.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  const ef::util::Cli cli(argc, argv);
+  const bool full = cli.get_bool("full");
+  const auto window = static_cast<std::size_t>(cli.get_int("window", 8));
+  const auto generations =
+      static_cast<std::size_t>(cli.get_int("generations", full ? 40000 : 10000));
+
+  std::printf("Ablation F — direct vs iterated multi-step forecasting (Mackey-Glass)\n");
+  ef::bench::print_rule('=');
+
+  const auto experiment = ef::series::make_paper_mackey_glass();
+
+  // One-step system, trained once (consecutive windows: iteration needs
+  // stride 1).
+  ef::core::RuleSystemConfig one_cfg;
+  one_cfg.evolution.population_size = 100;
+  one_cfg.evolution.generations = generations;
+  one_cfg.evolution.emax = 0.08;
+  one_cfg.evolution.seed = 21;
+  one_cfg.coverage_target_percent = 95.0;
+  one_cfg.max_executions = 4;
+
+  const ef::core::WindowDataset one_train(experiment.train, window, 1);
+  const auto one_step = ef::core::train_rule_system(one_train, one_cfg);
+  std::printf("one-step system: %zu rules, train coverage %.1f%%\n\n",
+              one_step.system.size(), one_step.train_coverage_percent);
+
+  std::printf("%4s | %8s %9s | %8s %9s | %9s\n", "tau", "dir-cov%", "dir-nmse",
+              "itr-cov%", "itr-nmse", "itr-nmse*");
+  std::printf("%56s\n", "(* = persistence-bridged abstentions)");
+  ef::bench::print_rule();
+
+  for (const std::size_t tau : {2u, 5u, 10u, 20u, 50u}) {
+    const ef::core::WindowDataset train(experiment.train, window, tau);
+    const ef::core::WindowDataset test(experiment.test, window, tau);
+    const auto actual = ef::bench::targets_of(test);
+
+    // Direct: a dedicated system per horizon (the paper's approach).
+    ef::core::RuleSystemConfig direct_cfg = one_cfg;
+    direct_cfg.evolution.emax = 0.08 + 0.0015 * static_cast<double>(tau);
+    direct_cfg.evolution.seed = 21 + tau;
+    const auto direct = ef::bench::run_rule_system(train, test, direct_cfg);
+
+    // Iterated: the one-step system chained tau times.
+    const auto strict = ef::core::iterate_forecast_dataset(
+        one_step.system, test, ef::core::ChainAbstention::kAbstain);
+    const auto strict_report = ef::series::evaluate_partial(actual, strict);
+    const auto bridged = ef::core::iterate_forecast_dataset(
+        one_step.system, test, ef::core::ChainAbstention::kPersistence);
+    const auto bridged_report = ef::series::evaluate_partial(actual, bridged);
+
+    std::printf("%4zu | %7.1f%% %9.4f | %7.1f%% %9.4f | %9.4f\n", tau,
+                direct.report.coverage_percent, direct.report.nmse,
+                strict_report.coverage_percent, strict_report.nmse, bridged_report.nmse);
+    std::fflush(stdout);
+  }
+
+  ef::bench::print_rule();
+  std::printf(
+      "Expected shape: iterated forecasting is competitive at small tau but its\n"
+      "error compounds on the chaotic series; direct per-horizon systems degrade\n"
+      "far more slowly — supporting the paper's direct-forecast design. Strict\n"
+      "abstention chaining also collapses coverage as tau grows (any abstaining\n"
+      "link breaks the chain).\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// bench_table1_venice — reproduces Table 1 of the paper: Venice Lagoon
+// water-level forecasting across horizons τ ∈ {1,4,12,24,28,48,72,96} with
+// D = 24 hourly inputs. Columns: coverage %, rule-system RMSE over the
+// covered subset, and our re-trained comparators (MLP = the paper's "Error
+// NN", plus the global AR and ARMA linear references the introduction
+// cites). The paper's printed numbers are quoted alongside for shape
+// comparison.
+//
+// The experiment logic lives in src/experiments (shared with the
+// shape-regression tests); this binary is the CLI + table printer.
+// Default scale: 8 000 train / 2 000 validation hours, 6 000 generations —
+// minutes on a laptop. --full switches to the paper's 45 000/10 000 and
+// 75 000 generations.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "experiments/experiments.hpp"
+#include "util/cli.hpp"
+#include "util/running_stats.hpp"
+
+namespace {
+
+struct PaperRow {
+  std::size_t horizon;
+  double coverage_percent;  // paper "Percentage of prediction"
+  double error_rs;          // paper "Error RS"
+  double error_nn;          // paper "Error NN" (−1 = not reported)
+};
+
+constexpr PaperRow kPaperTable1[] = {
+    {1, 91.3, 3.37, 3.30},   {4, 99.1, 8.26, 9.55},    {12, 98.0, 8.46, 11.38},
+    {24, 99.3, 8.70, 11.64}, {28, 98.8, 11.62, 15.74}, {48, 97.8, 11.28, -1},
+    {72, 99.7, 14.45, -1},   {96, 99.5, 16.04, -1},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ef::util::Cli cli(argc, argv);
+  const bool full = cli.get_bool("full");
+
+  ef::experiments::VeniceRowConfig base;
+  base.train_hours =
+      static_cast<std::size_t>(cli.get_int("train-hours", full ? 45000 : 8000));
+  base.validation_hours =
+      static_cast<std::size_t>(cli.get_int("validation-hours", full ? 10000 : 2000));
+  base.window = static_cast<std::size_t>(cli.get_int("window", 24));
+  base.generations =
+      static_cast<std::size_t>(cli.get_int("generations", full ? 75000 : 6000));
+  base.population = static_cast<std::size_t>(cli.get_int("population", 100));
+  base.max_executions = static_cast<std::size_t>(cli.get_int("executions", 8));
+  base.mlp_epochs = full ? 60 : 30;
+  // EMAX in centimetres: <= 0 uses the calibrated horizon schedule
+  // (venice_emax_schedule; rationale in EXPERIMENTS.md).
+  base.emax = cli.get_double("emax", -1.0);
+  const auto seed_base = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const auto n_seeds = static_cast<std::size_t>(cli.get_int("seeds", 1));
+  // --horizons 1,24 restricts the sweep (useful for --full single rows).
+  const auto horizon_filter = ef::bench::parse_size_list(cli.get_string("horizons", ""));
+
+  std::printf("Table 1 reproduction — Venice Lagoon water level (synthetic substitute)\n");
+  std::printf("train=%zu h, validation=%zu h, D=%zu, pop=%zu, generations=%zu, seed=%llu\n",
+              base.train_hours, base.validation_hours, base.window, base.population,
+              base.generations, static_cast<unsigned long long>(seed_base));
+  ef::bench::print_rule('=');
+
+  std::printf("%4s | %7s %8s %8s %7s | %8s %8s %8s | %7s %8s %8s %8s\n", "tau",
+              "cov%", "rmseRS", "maeRS", "rules", "rmseMLP", "rmseAR", "rmseARMA",
+              "papCov%", "papRS", "papNN", "p(wilc)");
+  ef::bench::print_rule();
+
+  for (const PaperRow& row : kPaperTable1) {
+    if (!ef::bench::selected(horizon_filter, row.horizon)) continue;
+    ef::util::RunningStats coverage_stats;
+    ef::util::RunningStats rmse_stats;
+    ef::util::RunningStats mae_stats;
+    ef::experiments::VeniceRowResult last{};
+    for (std::size_t s = 0; s < n_seeds; ++s) {
+      ef::experiments::VeniceRowConfig cfg = base;
+      cfg.horizon = row.horizon;
+      cfg.seed = seed_base + 1000 * s;
+      last = ef::experiments::run_venice_row(cfg);
+      coverage_stats.add(last.rs.coverage_percent);
+      rmse_stats.add(last.rs.rmse);
+      mae_stats.add(last.rs.mae);
+    }
+
+    std::printf("%4zu | %6.1f%% %8.2f %8.2f %7zu | %8.2f %8.2f %8.2f | %6.1f%% %8.2f ",
+                row.horizon, coverage_stats.mean(), rmse_stats.mean(), mae_stats.mean(),
+                last.rs.rules, last.rmse_mlp, last.rmse_ar, last.rmse_arma,
+                row.coverage_percent, row.error_rs);
+    if (row.error_nn >= 0.0) {
+      std::printf("%8.2f", row.error_nn);
+    } else {
+      std::printf("%8s", "-");
+    }
+    // Paired Wilcoxon p (RS vs MLP on covered windows, last seed's run).
+    std::printf("  p=%.0e\n", last.p_rs_vs_mlp);
+    if (n_seeds > 1) {
+      std::printf("     | ±%5.1f%% ±%7.2f   (sd over %zu seeds)\n",
+                  coverage_stats.stddev(), rmse_stats.stddev(), n_seeds);
+    }
+    std::fflush(stdout);
+  }
+
+  ef::bench::print_rule();
+  std::printf(
+      "Shape checks vs the paper: (1) coverage stays near-constant (>90%%) as tau grows;\n"
+      "(2) rule-system RMSE < MLP RMSE for tau > 1 and roughly ties at tau = 1;\n"
+      "(3) absolute errors grow with tau for every model.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// bench_table2_mackey_glass — reproduces Table 2: Mackey-Glass forecasting
+// at horizons 50 and 85 (NMSE over the covered subset), against our
+// re-implementations of the paper's quoted comparators: MRAN (τ = 50 row)
+// and RAN (τ = 85 row). Data split follows the paper exactly: 5 000 samples,
+// train [3500, 4499], test [4500, 5000), normalised to [0, 1].
+//
+// The experiment logic lives in src/experiments (shared with the
+// shape-regression tests); this binary is the CLI + table printer.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "experiments/experiments.hpp"
+#include "util/cli.hpp"
+#include "util/running_stats.hpp"
+
+namespace {
+
+struct PaperRow {
+  std::size_t horizon;
+  double coverage_percent;  // paper "Perc. pred."
+  double error_rs;          // paper rule-system NMSE
+  double error_mran;        // −1 = not reported for this horizon
+  double error_ran;
+};
+
+constexpr PaperRow kPaperTable2[] = {
+    {50, 78.9, 0.025, 0.040, -1.0},
+    {85, 78.2, 0.046, -1.0, 0.050},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ef::util::Cli cli(argc, argv);
+  const bool full = cli.get_bool("full");
+
+  ef::experiments::MackeyGlassRowConfig base;
+  base.window = static_cast<std::size_t>(cli.get_int("window", 4));
+  base.stride = static_cast<std::size_t>(cli.get_int("stride", 6));
+  base.generations =
+      static_cast<std::size_t>(cli.get_int("generations", full ? 75000 : 15000));
+  base.population = static_cast<std::size_t>(cli.get_int("population", 100));
+  base.emax = cli.get_double("emax", 0.14);
+  // Paper reports ≈78-79 % coverage: the method deliberately abstains on the
+  // hardest ~20 % — target that operating point, not 97 %.
+  base.coverage_target_percent = cli.get_double("coverage-target", 78.0);
+  base.max_executions = full ? 6 : 4;
+  base.rbf_passes = full ? 4 : 2;
+  const auto seed_base = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  // --seeds N averages the rule system over N independent seeds (mean shown,
+  // sd printed underneath) — the paper's numbers are single runs.
+  const auto n_seeds = static_cast<std::size_t>(cli.get_int("seeds", 1));
+  // --horizons 1,24 restricts the sweep (useful for --full single rows).
+  const auto horizon_filter = ef::bench::parse_size_list(cli.get_string("horizons", ""));
+
+  std::printf("Table 2 reproduction — Mackey-Glass (a=0.2, b=0.1, lambda=17)\n");
+  std::printf(
+      "train=[3500,4499], test=[4500,5000), D=%zu (stride %zu), pop=%zu, generations=%zu\n",
+      base.window, base.stride, base.population, base.generations);
+  ef::bench::print_rule('=');
+
+  std::printf("%4s | %7s %9s %7s | %9s %9s | %7s %9s %9s %9s\n", "tau", "cov%",
+              "nmseRS", "rules", "nmseMRAN", "nmseRAN", "papCov%", "papRS", "papMRAN",
+              "papRAN");
+  ef::bench::print_rule();
+
+  for (const PaperRow& row : kPaperTable2) {
+    if (!ef::bench::selected(horizon_filter, row.horizon)) continue;
+    ef::util::RunningStats coverage_stats;
+    ef::util::RunningStats nmse_stats;
+    ef::experiments::MackeyGlassRowResult last{};
+    for (std::size_t s = 0; s < n_seeds; ++s) {
+      ef::experiments::MackeyGlassRowConfig cfg = base;
+      cfg.horizon = row.horizon;
+      cfg.seed = seed_base + 1000 * s;
+      last = ef::experiments::run_mackey_glass_row(cfg);
+      coverage_stats.add(last.rs.coverage_percent);
+      nmse_stats.add(last.rs.nmse);
+    }
+
+    std::printf("%4zu | %6.1f%% %9.4f %7zu | %9.4f %9.4f | %6.1f%% %9.3f ", row.horizon,
+                coverage_stats.mean(), nmse_stats.mean(), last.rs.rules, last.nmse_mran,
+                last.nmse_ran, row.coverage_percent, row.error_rs);
+    if (row.error_mran >= 0.0) {
+      std::printf("%9.3f ", row.error_mran);
+    } else {
+      std::printf("%9s ", "-");
+    }
+    if (row.error_ran >= 0.0) {
+      std::printf("%9.3f\n", row.error_ran);
+    } else {
+      std::printf("%9s\n", "-");
+    }
+    if (n_seeds > 1) {
+      std::printf("     | ±%5.1f%% ±%8.4f   (sd over %zu seeds)\n",
+                  coverage_stats.stddev(), nmse_stats.stddev(), n_seeds);
+    }
+    std::fflush(stdout);
+  }
+
+  ef::bench::print_rule();
+  std::printf(
+      "Shape checks vs the paper: (1) coverage settles near the ~78%% the paper\n"
+      "reports (abstention on the hardest windows); (2) the rule system's covered-\n"
+      "subset NMSE undercuts the RBF networks at both horizons; (3) tau=85 is harder\n"
+      "than tau=50 for every model. Comparator caveat: RAN/MRAN are budget-sensitive —\n"
+      "see EXPERIMENTS.md.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// bench_table3_sunspot — reproduces Table 3: monthly sunspot forecasting at
+// horizons τ ∈ {1,4,8,12,18} with D = 24 inputs, Galván-Isasi error
+// e = 1/(2(N+τ)) Σ(x−x̃)², against our re-trained feed-forward (MLP) and
+// recurrent (Elman) comparators. Split follows the paper: train 1749-1919,
+// skip 1920-1928, validate 1929-1977/03, normalised to [0,1].
+//
+// The experiment logic lives in src/experiments (shared with the
+// shape-regression tests); this binary is the CLI + table printer.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "experiments/experiments.hpp"
+#include "series/sunspot.hpp"
+#include "util/cli.hpp"
+#include "util/running_stats.hpp"
+
+namespace {
+
+struct PaperRow {
+  std::size_t horizon;
+  double coverage_percent;
+  double error_rs;
+  double error_feedforward;
+  double error_recurrent;
+};
+
+constexpr PaperRow kPaperTable3[] = {
+    {1, 100.0, 0.00228, 0.00511, 0.00511}, {4, 97.6, 0.00351, 0.00965, 0.00838},
+    {8, 95.2, 0.00377, 0.01177, 0.00781},  {12, 100.0, 0.00642, 0.01587, 0.01080},
+    {18, 99.8, 0.01021, 0.02570, 0.01464},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ef::util::Cli cli(argc, argv);
+  const bool full = cli.get_bool("full");
+
+  ef::experiments::SunspotRowConfig base;
+  base.window = static_cast<std::size_t>(cli.get_int("window", 24));
+  base.generations =
+      static_cast<std::size_t>(cli.get_int("generations", full ? 75000 : 15000));
+  base.population = static_cast<std::size_t>(cli.get_int("population", 100));
+  base.max_executions = static_cast<std::size_t>(cli.get_int("executions", 8));
+  base.mlp_epochs = full ? 80 : 40;
+  base.elman_epochs = full ? 50 : 25;
+  // Normalised units; <= 0 uses the calibrated schedule 0.18 + 0.007·τ
+  // (sunspot noise grows with activity — calibration in EXPERIMENTS.md).
+  base.emax = cli.get_double("emax", -1.0);
+  const auto seed_base = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const auto n_seeds = static_cast<std::size_t>(cli.get_int("seeds", 1));
+  // --horizons 1,24 restricts the sweep (useful for --full single rows).
+  const auto horizon_filter = ef::bench::parse_size_list(cli.get_string("horizons", ""));
+
+  std::printf("Table 3 reproduction — monthly sunspots (synthetic substitute)\n");
+  std::printf("train 1749-1919 (%zu mo), validation 1929-1977/03 (%zu mo), D=%zu\n",
+              ef::series::kSunspotTrainMonths, ef::series::kSunspotValidationMonths,
+              base.window);
+  ef::bench::print_rule('=');
+
+  std::printf("%4s | %7s %9s %7s | %9s %9s | %7s %9s %9s %9s\n", "tau", "cov%", "eRS",
+              "rules", "eMLP", "eElman", "papCov%", "papRS", "papFF", "papRec");
+  ef::bench::print_rule();
+
+  for (const PaperRow& row : kPaperTable3) {
+    if (!ef::bench::selected(horizon_filter, row.horizon)) continue;
+    ef::util::RunningStats coverage_stats;
+    ef::util::RunningStats error_stats;
+    ef::experiments::SunspotRowResult last{};
+    for (std::size_t s = 0; s < n_seeds; ++s) {
+      ef::experiments::SunspotRowConfig cfg = base;
+      cfg.horizon = row.horizon;
+      cfg.seed = seed_base + 1000 * s;
+      last = ef::experiments::run_sunspot_row(cfg);
+      coverage_stats.add(last.rs.coverage_percent);
+      error_stats.add(last.galvan_rs);
+    }
+
+    std::printf("%4zu | %6.1f%% %9.5f %7zu | %9.5f %9.5f | %6.1f%% %9.5f %9.5f %9.5f\n",
+                row.horizon, coverage_stats.mean(), error_stats.mean(), last.rs.rules,
+                last.galvan_mlp, last.galvan_elman, row.coverage_percent, row.error_rs,
+                row.error_feedforward, row.error_recurrent);
+    if (n_seeds > 1) {
+      std::printf("     | ±%5.1f%% ±%8.5f   (sd over %zu seeds)\n",
+                  coverage_stats.stddev(), error_stats.stddev(), n_seeds);
+    }
+    std::fflush(stdout);
+  }
+
+  ef::bench::print_rule();
+  std::printf(
+      "Shape checks vs the paper: (1) coverage stays >= 95%% at every horizon;\n"
+      "(2) the rule system beats or matches the neural baselines at most horizons\n"
+      "    (our re-trained comparators are stronger than the 2001-era cited results,\n"
+      "    so margins are thinner than the paper's — see EXPERIMENTS.md);\n"
+      "(3) error grows with tau for every model.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// venice_high_tide_alert — the paper's motivating scenario as an
+// application: an "acqua alta" early-warning system for the Venice Lagoon.
+//
+// Global models predict average tides well but miss the rare extremes that
+// actually matter (the paper's central argument). This example trains the
+// local-rule system at a 4-hour horizon and runs it as an alert generator:
+// whenever the forecast exceeds the alert threshold, an alarm is raised 4
+// hours ahead of time. We score alarms like an operational service — hits,
+// misses, false alarms — and compare against the global AR model.
+//
+// Build & run:  ./build/examples/venice_high_tide_alert [--threshold 100]
+#include <cstdio>
+#include <vector>
+
+#include "baselines/ar.hpp"
+#include "core/rule_system.hpp"
+#include "series/venice.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+struct AlertScore {
+  int hits = 0;          // alarm raised and high water occurred
+  int misses = 0;        // high water with no alarm
+  int false_alarms = 0;  // alarm but no high water
+  int abstentions = 0;   // event hours where the model declined to predict
+
+  [[nodiscard]] double hit_rate() const {
+    const int events = hits + misses;
+    return events ? 100.0 * hits / events : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ef::util::Cli cli(argc, argv);
+  const double threshold = cli.get_double("threshold", 100.0);  // cm
+  const std::size_t horizon = static_cast<std::size_t>(cli.get_int("horizon", 4));
+  const std::size_t window = 24;
+
+  std::printf("High-tide alert demo: predict %zu h ahead, alarm at %.0f cm\n", horizon,
+              threshold);
+
+  // More storms than the default so the demo has events to detect.
+  ef::series::VeniceParams params;
+  params.seed = 1966;  // the famous flood year
+  params.storm_rate_per_hour = 1.0 / 250.0;
+  const auto experiment = ef::series::make_paper_venice(8000, 2000, params);
+  const ef::core::WindowDataset train(experiment.train, window, horizon);
+  const ef::core::WindowDataset validation(experiment.validation, window, horizon);
+
+  ef::core::RuleSystemConfig config;
+  config.evolution.population_size = 100;
+  config.evolution.generations = static_cast<std::size_t>(cli.get_int("generations", 6000));
+  config.evolution.emax = 25.0;
+  config.evolution.seed = 7;
+  config.coverage_target_percent = 97.0;
+  config.max_executions = 6;
+
+  std::printf("training rule system on %zu windows...\n", train.count());
+  const auto result = ef::core::train_rule_system(train, config);
+  std::printf("%zu rules, train coverage %.1f%%\n\n", result.system.size(),
+              result.train_coverage_percent);
+
+  ef::baselines::ArModel ar;
+  ar.fit(train);
+
+  // Score both models hour by hour over the validation range.
+  const auto forecast = result.system.forecast_dataset(validation);
+  AlertScore rules_score;
+  AlertScore ar_score;
+  int event_hours = 0;
+  for (std::size_t i = 0; i < validation.count(); ++i) {
+    const bool event = validation.target(i) >= threshold;
+    event_hours += event ? 1 : 0;
+
+    const double ar_prediction = ar.predict(validation.pattern(i));
+    const bool ar_alarm = ar_prediction >= threshold;
+    if (event && ar_alarm) ++ar_score.hits;
+    if (event && !ar_alarm) ++ar_score.misses;
+    if (!event && ar_alarm) ++ar_score.false_alarms;
+
+    if (!forecast[i].has_value()) {
+      if (event) ++rules_score.abstentions;
+      continue;  // no alarm decision without a prediction
+    }
+    const bool rule_alarm = *forecast[i] >= threshold;
+    if (event && rule_alarm) ++rules_score.hits;
+    if (event && !rule_alarm) ++rules_score.misses;
+    if (!event && rule_alarm) ++rules_score.false_alarms;
+  }
+
+  std::printf("validation: %zu hours, %d high-water hours (>= %.0f cm)\n",
+              validation.count(), event_hours, threshold);
+  std::printf("%-12s %6s %7s %12s %12s\n", "model", "hits", "misses", "false-alarms",
+              "hit-rate");
+  std::printf("%-12s %6d %7d %12d %11.1f%%  (+%d events abstained)\n", "rule-system",
+              rules_score.hits, rules_score.misses, rules_score.false_alarms,
+              rules_score.hit_rate(), rules_score.abstentions);
+  std::printf("%-12s %6d %7d %12d %11.1f%%\n", "global-AR", ar_score.hits,
+              ar_score.misses, ar_score.false_alarms, ar_score.hit_rate());
+
+  std::printf("\nThe local-rule system's value proposition (paper §1): comparable or\n"
+              "better detection of the rare events, because dedicated rules form for\n"
+              "the atypical regimes a single global fit has to average away.\n");
+  return 0;
+}

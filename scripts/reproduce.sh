@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Reproduce every table/figure/ablation of the paper and record the outputs.
+#
+#   scripts/reproduce.sh           # scaled-down defaults (~10 min laptop)
+#   scripts/reproduce.sh --full    # paper-scale (hours)
+#
+# Results land in reproduction/<timestamp>/, one log per experiment, plus
+# the CSV traces the figure benches emit.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+FULL_FLAG="${1:-}"
+
+OUT="reproduction/$(date +%Y%m%d-%H%M%S)"
+mkdir -p "$OUT"
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests ==" | tee "$OUT/tests.log"
+ctest --test-dir build -j"$(nproc)" 2>&1 | tee -a "$OUT/tests.log"
+
+for bench in build/bench/*; do
+  name="$(basename "$bench")"
+  echo "== $name $FULL_FLAG =="
+  # bench_micro_core takes google-benchmark flags, not --full.
+  if [[ "$name" == "bench_micro_core" ]]; then
+    "$bench" 2>&1 | tee "$OUT/$name.log"
+  else
+    "$bench" $FULL_FLAG 2>&1 | tee "$OUT/$name.log"
+  fi
+done
+
+# Collect CSV traces emitted into the working directory by figure benches.
+mv -f fig2_trace.csv convergence_trace.csv "$OUT"/ 2>/dev/null || true
+
+echo
+echo "done — outputs in $OUT/"

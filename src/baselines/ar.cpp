@@ -1,0 +1,25 @@
+#include "baselines/ar.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace ef::baselines {
+
+void ArModel::fit(const core::WindowDataset& train) {
+  std::vector<std::size_t> all(train.count());
+  std::iota(all.begin(), all.end(), 0);
+  fit_ = core::fit_hyperplane(train, all, config_.regression);
+  fitted_ = true;
+}
+
+double ArModel::predict(std::span<const double> window) const {
+  if (!fitted_) throw std::logic_error("ArModel::predict before fit");
+  return fit_.predict(window);
+}
+
+const core::LinearFit& ArModel::fit_result() const {
+  if (!fitted_) throw std::logic_error("ArModel::fit_result before fit");
+  return fit_;
+}
+
+}  // namespace ef::baselines

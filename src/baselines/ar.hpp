@@ -1,0 +1,37 @@
+// ar.hpp — global linear (direct multi-step AR) baseline.
+//
+// The "linear stochastic models" the paper's introduction cites (Moretti &
+// Tomasin's tide models): one least-squares hyperplane from the D lags to
+// the τ-ahead value, fitted on ALL training windows. Structurally this is
+// exactly a single all-wildcard rule of the evolutionary system — which
+// makes it the cleanest possible ablation of "local rules vs one global
+// rule".
+#pragma once
+
+#include "baselines/forecaster.hpp"
+#include "core/regression.hpp"
+
+namespace ef::baselines {
+
+struct ArConfig {
+  core::RegressionOptions regression{};  ///< ridge etc.
+};
+
+class ArModel final : public Forecaster {
+ public:
+  explicit ArModel(ArConfig config = {}) : config_(config) {}
+
+  void fit(const core::WindowDataset& train) override;
+  [[nodiscard]] double predict(std::span<const double> window) const override;
+  [[nodiscard]] std::string name() const override { return "ar"; }
+
+  /// The fitted hyperplane (exposed for tests).
+  [[nodiscard]] const core::LinearFit& fit_result() const;
+
+ private:
+  ArConfig config_;
+  core::LinearFit fit_{};
+  bool fitted_ = false;
+};
+
+}  // namespace ef::baselines

@@ -1,0 +1,134 @@
+#include "baselines/arma.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/regression.hpp"
+
+namespace ef::baselines {
+
+void ArmaConfig::validate() const {
+  if (p == 0 && q == 0) throw std::invalid_argument("ArmaConfig: p + q must be > 0");
+  if (ridge < 0.0) throw std::invalid_argument("ArmaConfig: ridge must be >= 0");
+}
+
+Arma::Arma(ArmaConfig config) : config_(config) { config_.validate(); }
+
+namespace {
+
+/// Least squares with intercept via the shared regression kernel.
+core::LinearFit fit_rows(const std::vector<std::vector<double>>& x,
+                         const std::vector<double>& y, double ridge) {
+  core::RegressionOptions options;
+  options.ridge = ridge;
+  options.constant_fallback_when_underdetermined = true;
+  return core::fit_hyperplane(x, y, options);
+}
+
+}  // namespace
+
+void Arma::fit(const core::WindowDataset& train) {
+  horizon_ = train.horizon();
+  const auto values = train.values();
+  const std::size_t n = values.size();
+  const std::size_t p = config_.p;
+  const std::size_t q = config_.q;
+
+  std::size_t long_ar = config_.long_ar;
+  if (long_ar == 0) long_ar = std::max<std::size_t>(20, p + q + 5);
+  long_ar = std::min(long_ar, n > 4 ? n / 4 : 1);
+  if (n < long_ar + p + q + 4) {
+    throw std::invalid_argument("Arma::fit: series too short for the requested orders");
+  }
+
+  // --- stage 1: long AR, residuals -------------------------------------------
+  std::vector<std::vector<double>> x1;
+  std::vector<double> y1;
+  for (std::size_t t = long_ar; t < n; ++t) {
+    std::vector<double> row(long_ar);
+    for (std::size_t k = 0; k < long_ar; ++k) row[k] = values[t - 1 - k];
+    x1.push_back(std::move(row));
+    y1.push_back(values[t]);
+  }
+  const core::LinearFit long_fit = fit_rows(x1, y1, config_.ridge);
+
+  std::vector<double> residuals(n, 0.0);
+  for (std::size_t t = long_ar; t < n; ++t) {
+    residuals[t] = values[t] - long_fit.predict(x1[t - long_ar]);
+  }
+
+  // --- stage 2: regress on p lags of x and q lags of ε̂ ------------------------
+  const std::size_t start = std::max(long_ar, std::max(p, q));
+  std::vector<std::vector<double>> x2;
+  std::vector<double> y2;
+  for (std::size_t t = start; t < n; ++t) {
+    std::vector<double> row;
+    row.reserve(p + q);
+    for (std::size_t k = 1; k <= p; ++k) row.push_back(values[t - k]);
+    for (std::size_t j = 1; j <= q; ++j) row.push_back(residuals[t - j]);
+    x2.push_back(std::move(row));
+    y2.push_back(values[t]);
+  }
+  const core::LinearFit fit = fit_rows(x2, y2, config_.ridge);
+
+  phi_.assign(fit.coeffs.begin(), fit.coeffs.begin() + static_cast<long>(p));
+  theta_.assign(fit.coeffs.begin() + static_cast<long>(p),
+                fit.coeffs.begin() + static_cast<long>(p + q));
+  intercept_ = fit.coeffs.back();
+  fitted_ = true;
+}
+
+std::vector<double> Arma::filter_residuals(std::span<const double> values) const {
+  const std::size_t p = config_.p;
+  const std::size_t q = config_.q;
+  std::vector<double> residuals(values.size(), 0.0);
+  for (std::size_t t = 0; t < values.size(); ++t) {
+    double pred = intercept_;
+    for (std::size_t k = 1; k <= p; ++k) {
+      // History before the window is approximated by the window's first
+      // value (better than zero for level series).
+      const double lag = t >= k ? values[t - k] : values.front();
+      pred += phi_[k - 1] * lag;
+    }
+    for (std::size_t j = 1; j <= q; ++j) {
+      const double eps = t >= j ? residuals[t - j] : 0.0;
+      pred += theta_[j - 1] * eps;
+    }
+    residuals[t] = values[t] - pred;
+  }
+  return residuals;
+}
+
+double Arma::predict(std::span<const double> window) const {
+  if (!fitted_) throw std::logic_error("Arma::predict before fit");
+  if (window.empty()) throw std::invalid_argument("Arma::predict: empty window");
+
+  const std::size_t p = config_.p;
+  const std::size_t q = config_.q;
+
+  // Reconstruct the innovations over the window, then iterate the recursion
+  // horizon_ steps with future innovations zeroed.
+  const std::vector<double> residuals = filter_residuals(window);
+  std::vector<double> history(window.begin(), window.end());
+  std::vector<double> eps = residuals;
+
+  double forecast = history.back();
+  for (std::size_t step = 0; step < horizon_; ++step) {
+    double next = intercept_;
+    for (std::size_t k = 1; k <= p; ++k) {
+      const double lag =
+          history.size() >= k ? history[history.size() - k] : history.front();
+      next += phi_[k - 1] * lag;
+    }
+    for (std::size_t j = 1; j <= q; ++j) {
+      const double e = eps.size() >= j ? eps[eps.size() - j] : 0.0;
+      next += theta_[j - 1] * e;
+    }
+    history.push_back(next);
+    eps.push_back(0.0);  // E[future innovation] = 0
+    forecast = next;
+  }
+  return forecast;
+}
+
+}  // namespace ef::baselines

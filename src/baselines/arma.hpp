@@ -1,0 +1,57 @@
+// arma.hpp — ARMA(p, q) baseline via Hannan-Rissanen estimation.
+//
+// The paper's introduction names ARMA models as the classical approach to
+// the Venice series (Moretti & Tomasin). ArModel covers the pure-AR direct
+// regression; this adds the moving-average part:
+//   x_t = c + Σᵖ φ_k x_{t−k} + Σ𝑞 θ_j ε_{t−j} + ε_t
+// estimated with the standard two-stage Hannan-Rissanen procedure:
+//   1. fit a long AR by least squares, take its residuals as ε̂,
+//   2. regress x_t on p lags of x and q lags of ε̂.
+// Forecasting iterates the recursion with future innovations set to zero;
+// the window supplies the recent history, whose innovations are
+// reconstructed by filtering the window with the fitted model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/forecaster.hpp"
+
+namespace ef::baselines {
+
+struct ArmaConfig {
+  std::size_t p = 2;  ///< AR order
+  std::size_t q = 1;  ///< MA order
+  /// Long-AR order for stage 1 (0 = max(20, p+q+5), capped by data).
+  std::size_t long_ar = 0;
+  double ridge = 1e-8;  ///< regularisation of both regressions
+
+  void validate() const;
+};
+
+class Arma final : public Forecaster {
+ public:
+  explicit Arma(ArmaConfig config = {});
+
+  void fit(const core::WindowDataset& train) override;
+  [[nodiscard]] double predict(std::span<const double> window) const override;
+  [[nodiscard]] std::string name() const override { return "arma"; }
+
+  [[nodiscard]] const std::vector<double>& ar_coeffs() const noexcept { return phi_; }
+  [[nodiscard]] const std::vector<double>& ma_coeffs() const noexcept { return theta_; }
+  [[nodiscard]] double intercept() const noexcept { return intercept_; }
+
+ private:
+  /// One-step in-sample residuals of the fitted model over `values`
+  /// (innovations before index max(p,q) are taken as zero).
+  [[nodiscard]] std::vector<double> filter_residuals(std::span<const double> values) const;
+
+  ArmaConfig config_;
+  std::vector<double> phi_;    // φ₁…φ_p
+  std::vector<double> theta_;  // θ₁…θ_q
+  double intercept_ = 0.0;
+  std::size_t horizon_ = 1;
+  bool fitted_ = false;
+};
+
+}  // namespace ef::baselines

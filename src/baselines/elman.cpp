@@ -1,0 +1,170 @@
+#include "baselines/elman.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ef::baselines {
+
+void ElmanConfig::validate() const {
+  if (hidden == 0) throw std::invalid_argument("ElmanConfig: hidden must be >= 1");
+  if (learning_rate <= 0.0) throw std::invalid_argument("ElmanConfig: learning_rate > 0");
+  if (lr_decay <= 0.0 || lr_decay > 1.0) {
+    throw std::invalid_argument("ElmanConfig: lr_decay out of (0,1]");
+  }
+  if (epochs == 0) throw std::invalid_argument("ElmanConfig: epochs must be >= 1");
+  if (grad_clip < 0.0) throw std::invalid_argument("ElmanConfig: grad_clip must be >= 0");
+}
+
+Elman::Elman(ElmanConfig config) : config_(config) { config_.validate(); }
+
+double Elman::forward(std::span<const double> window,
+                      std::vector<std::vector<double>>& states) const {
+  const std::size_t h = config_.hidden;
+  states.assign(window.size() + 1, std::vector<double>(h, 0.0));  // states[0] = h_0 = 0
+  std::vector<double> pre(h, 0.0);
+  for (std::size_t t = 0; t < window.size(); ++t) {
+    gemv(w_rec_, states[t], pre);
+    for (std::size_t i = 0; i < h; ++i) {
+      states[t + 1][i] = std::tanh(pre[i] + w_in_[i] * window[t] + b_[i]);
+    }
+  }
+  return dot(w_out_, states.back()) + b_out_;
+}
+
+void Elman::fit(const core::WindowDataset& train) {
+  const std::size_t h = config_.hidden;
+  util::Rng rng(config_.seed);
+
+  // Scalar standardisation over the whole input stream and over targets.
+  input_mean_ = 0.0;
+  input_sd_ = 1.0;
+  target_mean_ = 0.0;
+  target_sd_ = 1.0;
+  if (config_.standardize) {
+    const auto n = static_cast<double>(train.count());
+    const auto d = static_cast<double>(train.window());
+    for (std::size_t i = 0; i < train.count(); ++i) {
+      for (const double v : train.pattern(i)) input_mean_ += v;
+      target_mean_ += train.target(i);
+    }
+    input_mean_ /= n * d;
+    target_mean_ /= n;
+    double ivar = 0.0;
+    double tvar = 0.0;
+    for (std::size_t i = 0; i < train.count(); ++i) {
+      for (const double v : train.pattern(i)) ivar += (v - input_mean_) * (v - input_mean_);
+      tvar += (train.target(i) - target_mean_) * (train.target(i) - target_mean_);
+    }
+    input_sd_ = ivar > 0.0 ? std::sqrt(ivar / (n * d)) : 1.0;
+    target_sd_ = tvar > 0.0 ? std::sqrt(tvar / n) : 1.0;
+  }
+
+  const double in_scale = std::sqrt(1.0 / 1.0);
+  const double rec_scale = std::sqrt(1.0 / static_cast<double>(h));
+  w_in_.assign(h, 0.0);
+  for (double& v : w_in_) v = rng.uniform(-in_scale, in_scale);
+  w_rec_ = Matrix(h, h);
+  for (double& v : w_rec_.data()) v = rng.uniform(-rec_scale, rec_scale);
+  b_.assign(h, 0.0);
+  w_out_.assign(h, 0.0);
+  for (double& v : w_out_) v = rng.uniform(-rec_scale, rec_scale);
+  b_out_ = 0.0;
+
+  std::vector<std::size_t> order(train.count());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<std::vector<double>> states;
+  std::vector<double> dh(h, 0.0);
+  std::vector<double> dpre(h, 0.0);
+  std::vector<double> dh_next(h, 0.0);
+
+  Matrix g_rec(h, h);
+  std::vector<double> g_in(h, 0.0);
+  std::vector<double> g_b(h, 0.0);
+  std::vector<double> g_out(h, 0.0);
+
+  double lr = config_.learning_rate;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (config_.shuffle) {
+      for (std::size_t i = order.size(); i-- > 1;) {
+        std::swap(order[i], order[rng.index(i + 1)]);
+      }
+    }
+
+    double sq_err_sum = 0.0;
+    std::vector<double> window_std;
+    for (const std::size_t s : order) {
+      const auto raw = train.pattern(s);
+      window_std.assign(raw.begin(), raw.end());
+      for (double& v : window_std) v = (v - input_mean_) / input_sd_;
+      const std::span<const double> window = window_std;
+      const double y = forward(window, states);
+      const double err = y - (train.target(s) - target_mean_) / target_sd_;
+      sq_err_sum += err * err;
+
+      // BPTT. Gradients accumulate over the unrolled steps.
+      g_rec.fill(0.0);
+      std::fill(g_in.begin(), g_in.end(), 0.0);
+      std::fill(g_b.begin(), g_b.end(), 0.0);
+      double g_b_out = err;
+      for (std::size_t i = 0; i < h; ++i) g_out[i] = err * states.back()[i];
+
+      for (std::size_t i = 0; i < h; ++i) dh[i] = err * w_out_[i];
+      for (std::size_t t = window.size(); t-- > 0;) {
+        // dpre = dh ⊙ tanh'(h_{t+1})
+        for (std::size_t i = 0; i < h; ++i) {
+          const double a = states[t + 1][i];
+          dpre[i] = dh[i] * (1.0 - a * a);
+        }
+        for (std::size_t i = 0; i < h; ++i) {
+          g_in[i] += dpre[i] * window[t];
+          g_b[i] += dpre[i];
+        }
+        rank1_update(g_rec, 1.0, dpre, states[t]);
+        if (t > 0) {
+          gemv_t(w_rec_, dpre, dh_next);
+          dh = dh_next;
+        }
+      }
+
+      // Optional global-norm clip over all gradients of this sample.
+      if (config_.grad_clip > 0.0) {
+        double norm_sq = dot(g_in, g_in) + dot(g_b, g_b) + dot(g_out, g_out) +
+                         g_b_out * g_b_out + dot(g_rec.data(), g_rec.data());
+        const double norm = std::sqrt(norm_sq);
+        if (norm > config_.grad_clip) {
+          const double scale = config_.grad_clip / norm;
+          for (double& v : g_in) v *= scale;
+          for (double& v : g_b) v *= scale;
+          for (double& v : g_out) v *= scale;
+          for (double& v : g_rec.data()) v *= scale;
+          g_b_out *= scale;
+        }
+      }
+
+      axpy(-lr, g_in, w_in_);
+      axpy(-lr, g_b, b_);
+      axpy(-lr, g_out, w_out_);
+      axpy(-lr, g_rec.data(), w_rec_.data());
+      b_out_ -= lr * g_b_out;
+    }
+    // Report the training MSE in raw target units.
+    final_train_mse_ =
+        sq_err_sum / static_cast<double>(train.count()) * target_sd_ * target_sd_;
+    lr *= config_.lr_decay;
+  }
+  fitted_ = true;
+}
+
+double Elman::predict(std::span<const double> window) const {
+  if (!fitted_) throw std::logic_error("Elman::predict before fit");
+  std::vector<double> window_std(window.begin(), window.end());
+  for (double& v : window_std) v = (v - input_mean_) / input_sd_;
+  std::vector<std::vector<double>> states;
+  return forward(window_std, states) * target_sd_ + target_mean_;
+}
+
+}  // namespace ef::baselines

@@ -1,0 +1,67 @@
+// elman.hpp — Elman recurrent network baseline ("Recurr. NN", Table 3).
+//
+// Re-implementation of the recurrent comparator quoted from Galván-Isasi:
+// a single tanh hidden layer with a self-recurrent context,
+//   h_t = tanh(W_x·x_t + W_h·h_{t−1} + b),   y = w·h_D + c,
+// driven by the D window values one scalar per step, trained with full
+// back-propagation through time over the window (D is small, so a full
+// unroll is exact and cheap — no truncation heuristics needed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/forecaster.hpp"
+#include "baselines/linalg.hpp"
+
+namespace ef::baselines {
+
+struct ElmanConfig {
+  std::size_t hidden = 12;
+  double learning_rate = 0.005;
+  double lr_decay = 0.97;  ///< per-epoch multiplier
+  std::size_t epochs = 40;
+  bool shuffle = true;
+  std::uint64_t seed = 11;
+  /// Gradient-norm clip per sample (BPTT over chaotic series explodes
+  /// without it); 0 disables clipping.
+  double grad_clip = 5.0;
+  /// Standardise the scalar input stream and the target internally (fitted
+  /// on train, inverted at prediction); see MlpConfig::standardize.
+  bool standardize = true;
+
+  void validate() const;
+};
+
+class Elman final : public Forecaster {
+ public:
+  explicit Elman(ElmanConfig config = {});
+
+  void fit(const core::WindowDataset& train) override;
+  [[nodiscard]] double predict(std::span<const double> window) const override;
+  [[nodiscard]] std::string name() const override { return "elman"; }
+
+  [[nodiscard]] const ElmanConfig& config() const noexcept { return config_; }
+  [[nodiscard]] double final_train_mse() const noexcept { return final_train_mse_; }
+
+ private:
+  /// Run the recurrence over a window; returns all hidden states
+  /// h_0 (zeros) … h_D and the output.
+  [[nodiscard]] double forward(std::span<const double> window,
+                               std::vector<std::vector<double>>& states) const;
+
+  ElmanConfig config_;
+  double input_mean_ = 0.0;
+  double input_sd_ = 1.0;
+  double target_mean_ = 0.0;
+  double target_sd_ = 1.0;
+  std::vector<double> w_in_;   // hidden × 1 input weights
+  Matrix w_rec_;               // hidden × hidden recurrent weights
+  std::vector<double> b_;      // hidden biases
+  std::vector<double> w_out_;  // 1 × hidden readout
+  double b_out_ = 0.0;
+  bool fitted_ = false;
+  double final_train_mse_ = 0.0;
+};
+
+}  // namespace ef::baselines

@@ -1,0 +1,12 @@
+#include "baselines/forecaster.hpp"
+
+namespace ef::baselines {
+
+std::vector<double> Forecaster::predict_all(const core::WindowDataset& data) const {
+  std::vector<double> out;
+  out.reserve(data.count());
+  for (std::size_t i = 0; i < data.count(); ++i) out.push_back(predict(data.pattern(i)));
+  return out;
+}
+
+}  // namespace ef::baselines

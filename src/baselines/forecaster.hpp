@@ -1,0 +1,38 @@
+// forecaster.hpp — the common interface of all comparator models.
+//
+// Every baseline the paper compares against (MLP, Elman, RAN, MRAN, plus the
+// linear AR and lazy k-NN references from the introduction) trains on a
+// WindowDataset and maps a D-window to a point forecast. Unlike the rule
+// system, baselines always answer (no abstention) — that asymmetry is the
+// paper's central trade-off and is preserved deliberately.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+
+namespace ef::baselines {
+
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// Train on every (pattern, target) pair of the dataset. May be called
+  /// again to retrain from scratch on new data.
+  virtual void fit(const core::WindowDataset& train) = 0;
+
+  /// Point forecast for one window of the same length the model was fitted
+  /// with. Throws std::logic_error when called before fit().
+  [[nodiscard]] virtual double predict(std::span<const double> window) const = 0;
+
+  /// Human-readable model name for bench tables.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Forecast every pattern of a dataset (row i → prediction for pattern i).
+  [[nodiscard]] std::vector<double> predict_all(const core::WindowDataset& data) const;
+};
+
+}  // namespace ef::baselines

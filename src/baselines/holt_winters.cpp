@@ -1,0 +1,110 @@
+#include "baselines/holt_winters.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace ef::baselines {
+
+void HoltWintersConfig::validate() const {
+  if (period == 0) throw std::invalid_argument("HoltWintersConfig: period must be > 0");
+  if (grid_points == 0) {
+    throw std::invalid_argument("HoltWintersConfig: grid_points must be > 0");
+  }
+  for (const double p : {alpha, beta, gamma}) {
+    if (p >= 0.0 && p > 1.0) {
+      throw std::invalid_argument("HoltWintersConfig: pinned parameter out of [0,1]");
+    }
+  }
+}
+
+HoltWinters::HoltWinters(HoltWintersConfig config) : config_(config) { config_.validate(); }
+
+double HoltWinters::smooth_and_forecast(std::span<const double> values, std::size_t horizon,
+                                        double alpha, double beta, double gamma,
+                                        double* sse) const {
+  const std::size_t m = config_.period;
+  // Degenerate input: fall back to persistence-style behaviour.
+  if (values.size() < 2) return values.empty() ? 0.0 : values.back();
+
+  // Initial trend from the season-to-season (or sample-to-sample) drift;
+  // the seasonal profile is estimated on *detrended* first-season values —
+  // without detrending, a linear ramp would be misread as seasonality.
+  double trend = values.size() > m ? (values[m] - values[0]) / static_cast<double>(m)
+                                   : (values[1] - values[0]);
+  const std::size_t init_span = values.size() < m ? values.size() : m;
+  double init_mean = 0.0;
+  for (std::size_t i = 0; i < init_span; ++i) init_mean += values[i];
+  init_mean /= static_cast<double>(init_span);
+  // Level at t = 0 such that level + trend·i passes through the init span.
+  const double level0 = init_mean - trend * 0.5 * static_cast<double>(init_span - 1);
+
+  std::vector<double> seasonal(m, 0.0);
+  for (std::size_t i = 0; i < init_span; ++i) {
+    seasonal[i % m] = values[i] - (level0 + trend * static_cast<double>(i));
+  }
+  double level = level0 - trend;  // state "before" t = 0 so step 0 predicts level0
+
+  for (std::size_t t = 0; t < values.size(); ++t) {
+    const double season = seasonal[t % m];
+    if (sse) {
+      const double pred = level + trend + season;
+      const double err = values[t] - pred;
+      *sse += err * err;
+    }
+    const double prev_level = level;
+    level = alpha * (values[t] - season) + (1.0 - alpha) * (level + trend);
+    trend = beta * (level - prev_level) + (1.0 - beta) * trend;
+    seasonal[t % m] = gamma * (values[t] - level) + (1.0 - gamma) * season;
+  }
+
+  // Forecast: seasonal index of the target instant.
+  const std::size_t target_phase = (values.size() - 1 + horizon) % m;
+  return level + static_cast<double>(horizon) * trend + seasonal[target_phase];
+}
+
+void HoltWinters::fit(const core::WindowDataset& train) {
+  horizon_ = train.horizon();
+  const auto values = train.values();
+
+  const auto pinned = [](double p, double fallback) { return p >= 0.0 ? p : fallback; };
+  double best_sse = std::numeric_limits<double>::infinity();
+  double best_a = pinned(config_.alpha, 0.5);
+  double best_b = pinned(config_.beta, 0.1);
+  double best_g = pinned(config_.gamma, 0.3);
+
+  const std::size_t n = config_.grid_points;
+  const auto grid_value = [&](std::size_t i) {
+    return 0.05 + 0.9 * static_cast<double>(i) / static_cast<double>(n - 1 ? n - 1 : 1);
+  };
+
+  for (std::size_t ia = 0; ia < (config_.alpha >= 0.0 ? 1 : n); ++ia) {
+    const double a = config_.alpha >= 0.0 ? config_.alpha : grid_value(ia);
+    for (std::size_t ib = 0; ib < (config_.beta >= 0.0 ? 1 : n); ++ib) {
+      const double b = config_.beta >= 0.0 ? config_.beta : grid_value(ib);
+      for (std::size_t ig = 0; ig < (config_.gamma >= 0.0 ? 1 : n); ++ig) {
+        const double g = config_.gamma >= 0.0 ? config_.gamma : grid_value(ig);
+        double sse = 0.0;
+        (void)smooth_and_forecast(values, 1, a, b, g, &sse);
+        if (sse < best_sse) {
+          best_sse = sse;
+          best_a = a;
+          best_b = b;
+          best_g = g;
+        }
+      }
+    }
+  }
+  alpha_ = best_a;
+  beta_ = best_b;
+  gamma_ = best_g;
+  fitted_ = true;
+}
+
+double HoltWinters::predict(std::span<const double> window) const {
+  if (!fitted_) throw std::logic_error("HoltWinters::predict before fit");
+  return smooth_and_forecast(window, horizon_, alpha_, beta_, gamma_, nullptr);
+}
+
+}  // namespace ef::baselines

@@ -1,0 +1,64 @@
+// holt_winters.hpp — additive Holt-Winters exponential smoothing.
+//
+// The classical-statistics comparator family the paper's introduction
+// gestures at ("linear stochastic models ... simple models [whose]
+// computational burden is low"). Additive triple smoothing maintains level,
+// trend and a seasonal profile:
+//   ℓ_t = α(y_t − s_{t−m}) + (1−α)(ℓ_{t−1} + b_{t−1})
+//   b_t = β(ℓ_t − ℓ_{t−1}) + (1−β) b_{t−1}
+//   s_t = γ(y_t − ℓ_t) + (1−γ) s_{t−m}
+//   ŷ_{t+τ} = ℓ_t + τ·b_t + s_{t+τ−m·⌈τ/m⌉}
+//
+// The Forecaster interface is window-based, so prediction replays the
+// smoother over the supplied window starting from the fitted global state's
+// priors; smoothing parameters are fitted on the training series by a coarse
+// grid search over (α, β, γ) minimising one-step-ahead SSE.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/forecaster.hpp"
+
+namespace ef::baselines {
+
+struct HoltWintersConfig {
+  std::size_t period = 12;  ///< season length m in samples
+  /// Grid for the parameter search; each axis sweeps {0.05 … 0.95}.
+  std::size_t grid_points = 5;
+  /// Fix parameters instead of searching (set to >= 0 to pin).
+  double alpha = -1.0;
+  double beta = -1.0;
+  double gamma = -1.0;
+
+  void validate() const;
+};
+
+class HoltWinters final : public Forecaster {
+ public:
+  explicit HoltWinters(HoltWintersConfig config = {});
+
+  void fit(const core::WindowDataset& train) override;
+  [[nodiscard]] double predict(std::span<const double> window) const override;
+  [[nodiscard]] std::string name() const override { return "holt_winters"; }
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] double beta() const noexcept { return beta_; }
+  [[nodiscard]] double gamma() const noexcept { return gamma_; }
+
+ private:
+  /// Run the smoother over `values`, return the τ-ahead forecast from its
+  /// final state. `sse` (optional) accumulates one-step-ahead errors.
+  [[nodiscard]] double smooth_and_forecast(std::span<const double> values,
+                                           std::size_t horizon, double alpha, double beta,
+                                           double gamma, double* sse) const;
+
+  HoltWintersConfig config_;
+  double alpha_ = 0.5;
+  double beta_ = 0.1;
+  double gamma_ = 0.3;
+  std::size_t horizon_ = 1;
+  bool fitted_ = false;
+};
+
+}  // namespace ef::baselines

@@ -1,0 +1,60 @@
+#include "baselines/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "baselines/linalg.hpp"
+
+namespace ef::baselines {
+
+void KnnConfig::validate() const {
+  if (k == 0) throw std::invalid_argument("KnnConfig: k must be >= 1");
+}
+
+Knn::Knn(KnnConfig config) : config_(config) { config_.validate(); }
+
+void Knn::fit(const core::WindowDataset& train) {
+  patterns_.clear();
+  targets_.clear();
+  patterns_.reserve(train.count());
+  targets_.reserve(train.count());
+  for (std::size_t i = 0; i < train.count(); ++i) {
+    const auto p = train.pattern(i);
+    patterns_.emplace_back(p.begin(), p.end());
+    targets_.push_back(train.target(i));
+  }
+  fitted_ = true;
+}
+
+double Knn::predict(std::span<const double> window) const {
+  if (!fitted_) throw std::logic_error("Knn::predict before fit");
+  const std::size_t k = std::min(config_.k, patterns_.size());
+
+  // Partial-select the k smallest squared distances.
+  std::vector<std::pair<double, std::size_t>> dist;
+  dist.reserve(patterns_.size());
+  for (std::size_t i = 0; i < patterns_.size(); ++i) {
+    dist.emplace_back(squared_distance(patterns_[i], window), i);
+  }
+  std::nth_element(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   dist.end());
+
+  if (!config_.inverse_distance_weighting) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < k; ++j) sum += targets_[dist[j].second];
+    return sum / static_cast<double>(k);
+  }
+  // 1/d weighting; an exact match (d = 0) short-circuits to its target.
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const double d = std::sqrt(dist[j].first);
+    if (d == 0.0) return targets_[dist[j].second];
+    weighted += targets_[dist[j].second] / d;
+    total += 1.0 / d;
+  }
+  return weighted / total;
+}
+
+}  // namespace ef::baselines

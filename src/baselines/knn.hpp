@@ -1,0 +1,43 @@
+// knn.hpp — lazy k-nearest-neighbour regressor.
+//
+// Stands in for the lazy-learning RBF approach of Valls et al. (cited in the
+// introduction as the state of the art on Venice/Mackey-Glass): no training
+// beyond memorising the windows; a query averages the targets of its k
+// nearest training windows (Euclidean metric, uniform weights or inverse-
+// distance weighting).
+#pragma once
+
+#include <vector>
+
+#include "baselines/forecaster.hpp"
+
+namespace ef::baselines {
+
+struct KnnConfig {
+  std::size_t k = 5;  ///< neighbours averaged per query
+  /// Weight neighbours by 1/distance instead of uniformly; an exact match
+  /// short-circuits to its own target.
+  bool inverse_distance_weighting = false;
+
+  /// Throws std::invalid_argument when k == 0.
+  void validate() const;
+};
+
+class Knn final : public Forecaster {
+ public:
+  explicit Knn(KnnConfig config = {});
+
+  /// Memorise every (pattern, target) pair — lazy learning has no training.
+  void fit(const core::WindowDataset& train) override;
+  /// Mean (or distance-weighted mean) target of the k nearest train windows.
+  [[nodiscard]] double predict(std::span<const double> window) const override;
+  [[nodiscard]] std::string name() const override { return "knn"; }
+
+ private:
+  KnnConfig config_;
+  std::vector<std::vector<double>> patterns_;
+  std::vector<double> targets_;
+  bool fitted_ = false;
+};
+
+}  // namespace ef::baselines

@@ -1,0 +1,155 @@
+#include "baselines/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace ef::baselines {
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(std::string("linalg: ") + what);
+}
+
+}  // namespace
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  require(data_.size() == rows * cols, "Matrix: data size != rows*cols");
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+void gemv(const Matrix& a, std::span<const double> x, std::span<double> y) {
+  require(x.size() == a.cols() && y.size() == a.rows(), "gemv: shape mismatch");
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double acc = 0.0;
+    const auto row = a.row(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void gemv_t(const Matrix& a, std::span<const double> x, std::span<double> y) {
+  require(x.size() == a.rows() && y.size() == a.cols(), "gemv_t: shape mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double xr = x[r];
+    const auto row = a.row(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) y[c] += row[c] * xr;
+  }
+}
+
+Matrix gemm(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.rows(), "gemm: inner dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  require(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void rank1_update(Matrix& a, double alpha, std::span<const double> x,
+                  std::span<const double> y) {
+  require(x.size() == a.rows() && y.size() == a.cols(), "rank1_update: shape mismatch");
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double ax = alpha * x[r];
+    auto row = a.row(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) row[c] += ax * y[c];
+  }
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  require(x.size() == y.size(), "dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double squared_distance(std::span<const double> x, std::span<const double> y) {
+  require(x.size() == y.size(), "squared_distance: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+std::vector<double> solve_least_squares_qr(const Matrix& a, std::span<const double> b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  require(b.size() == m, "solve_least_squares_qr: rhs size mismatch");
+  require(m >= n && n > 0, "solve_least_squares_qr: need m >= n > 0");
+
+  // Householder QR applied to a working copy of [A | b].
+  Matrix r = a;
+  std::vector<double> rhs(b.begin(), b.end());
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k, rows k..m-1.
+    double sigma = 0.0;
+    for (std::size_t i = k; i < m; ++i) sigma += r(i, k) * r(i, k);
+    const double col_norm = std::sqrt(sigma);
+    if (col_norm < 1e-300) throw std::runtime_error("solve_least_squares_qr: rank deficient");
+
+    const double alpha = r(k, k) >= 0.0 ? -col_norm : col_norm;
+    std::vector<double> v(m - k, 0.0);
+    v[0] = r(k, k) - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) v[i - k] = r(i, k);
+    const double v_norm_sq = dot(v, v);
+    if (v_norm_sq < 1e-300) {
+      // Column already reduced; still check the pivot magnitude.
+      if (std::abs(alpha) < 1e-12) {
+        throw std::runtime_error("solve_least_squares_qr: rank deficient");
+      }
+      r(k, k) = alpha;
+      continue;
+    }
+
+    // Reflect the remaining columns and the rhs: x ← x − 2 v (vᵀx)/(vᵀv).
+    for (std::size_t j = k; j < n; ++j) {
+      double proj = 0.0;
+      for (std::size_t i = k; i < m; ++i) proj += v[i - k] * r(i, j);
+      const double scale = 2.0 * proj / v_norm_sq;
+      for (std::size_t i = k; i < m; ++i) r(i, j) -= scale * v[i - k];
+    }
+    double proj = 0.0;
+    for (std::size_t i = k; i < m; ++i) proj += v[i - k] * rhs[i];
+    const double scale = 2.0 * proj / v_norm_sq;
+    for (std::size_t i = k; i < m; ++i) rhs[i] -= scale * v[i - k];
+  }
+
+  // Back-substitution on the upper-triangular n×n block.
+  std::vector<double> w(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = rhs[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= r(ii, j) * w[j];
+    const double pivot = r(ii, ii);
+    if (std::abs(pivot) < 1e-12) {
+      throw std::runtime_error("solve_least_squares_qr: rank deficient");
+    }
+    w[ii] = acc / pivot;
+  }
+  return w;
+}
+
+}  // namespace ef::baselines

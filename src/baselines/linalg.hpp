@@ -1,0 +1,85 @@
+// linalg.hpp — compact dense linear algebra shared by the neural baselines.
+//
+// Deliberately small: row-major Matrix, the BLAS-1/2/3 kernels the models
+// need (gemv, gemm, axpy, outer-product update), and Cholesky/QR solvers for
+// least-squares heads. Not a general-purpose library — sizes here are tens
+// to hundreds, so clarity beats blocking/vectorisation tricks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ef::baselines {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// rows×cols zero matrix.
+  Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols) {}
+  /// From explicit data (size must be rows*cols; throws otherwise).
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<double> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
+
+  void fill(double v) noexcept { std::fill(data_.begin(), data_.end(), v); }
+
+  [[nodiscard]] Matrix transposed() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// y = A·x (sizes checked; throws std::invalid_argument on mismatch).
+void gemv(const Matrix& a, std::span<const double> x, std::span<double> y);
+
+/// y = Aᵀ·x.
+void gemv_t(const Matrix& a, std::span<const double> x, std::span<double> y);
+
+/// C = A·B.
+[[nodiscard]] Matrix gemm(const Matrix& a, const Matrix& b);
+
+/// y += alpha·x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// A += alpha·x·yᵀ (rank-1 update; x.size()==rows, y.size()==cols).
+void rank1_update(Matrix& a, double alpha, std::span<const double> x,
+                  std::span<const double> y);
+
+/// Dot product.
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+
+/// Euclidean norm.
+[[nodiscard]] double norm2(std::span<const double> x);
+
+/// Squared Euclidean distance between two equal-length vectors.
+[[nodiscard]] double squared_distance(std::span<const double> x, std::span<const double> y);
+
+/// Solve the least-squares problem min‖A·w − b‖₂ via Householder QR.
+/// A is m×n with m ≥ n; returns w of length n. Throws std::invalid_argument
+/// on shape errors and std::runtime_error on numerical rank deficiency.
+[[nodiscard]] std::vector<double> solve_least_squares_qr(const Matrix& a,
+                                                         std::span<const double> b);
+
+}  // namespace ef::baselines

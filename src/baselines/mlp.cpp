@@ -1,0 +1,176 @@
+#include "baselines/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ef::baselines {
+
+void MlpConfig::validate() const {
+  if (learning_rate <= 0.0) throw std::invalid_argument("MlpConfig: learning_rate must be > 0");
+  if (momentum < 0.0 || momentum >= 1.0) {
+    throw std::invalid_argument("MlpConfig: momentum out of [0,1)");
+  }
+  if (lr_decay <= 0.0 || lr_decay > 1.0) {
+    throw std::invalid_argument("MlpConfig: lr_decay out of (0,1]");
+  }
+  if (epochs == 0) throw std::invalid_argument("MlpConfig: epochs must be >= 1");
+  for (const std::size_t h : hidden) {
+    if (h == 0) throw std::invalid_argument("MlpConfig: hidden width must be >= 1");
+  }
+}
+
+Mlp::Mlp(MlpConfig config) : config_(std::move(config)) { config_.validate(); }
+
+void Mlp::forward(std::span<const double> input,
+                  std::vector<std::vector<double>>& act) const {
+  act.resize(weights_.size() + 1);
+  act[0].assign(input.begin(), input.end());
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    act[l + 1].assign(weights_[l].rows(), 0.0);
+    gemv(weights_[l], act[l], act[l + 1]);
+    for (std::size_t i = 0; i < act[l + 1].size(); ++i) act[l + 1][i] += biases_[l][i];
+    if (l + 1 < weights_.size()) {  // hidden layers are tanh; output is linear
+      for (double& v : act[l + 1]) v = std::tanh(v);
+    }
+  }
+}
+
+void Mlp::standardize_input(std::span<const double> window, std::vector<double>& out) const {
+  out.assign(window.begin(), window.end());
+  if (input_mean_.empty()) return;
+  for (std::size_t j = 0; j < out.size() && j < input_mean_.size(); ++j) {
+    out[j] = (out[j] - input_mean_[j]) / input_sd_[j];
+  }
+}
+
+void Mlp::fit(const core::WindowDataset& train) {
+  const std::size_t d = train.window();
+  util::Rng rng(config_.seed);
+
+  // Fit per-dimension input statistics and target statistics on train.
+  input_mean_.assign(d, 0.0);
+  input_sd_.assign(d, 1.0);
+  target_mean_ = 0.0;
+  target_sd_ = 1.0;
+  if (config_.standardize) {
+    const auto n = static_cast<double>(train.count());
+    for (std::size_t i = 0; i < train.count(); ++i) {
+      const auto p = train.pattern(i);
+      for (std::size_t j = 0; j < d; ++j) input_mean_[j] += p[j];
+      target_mean_ += train.target(i);
+    }
+    for (double& m : input_mean_) m /= n;
+    target_mean_ /= n;
+    std::vector<double> var(d, 0.0);
+    double tvar = 0.0;
+    for (std::size_t i = 0; i < train.count(); ++i) {
+      const auto p = train.pattern(i);
+      for (std::size_t j = 0; j < d; ++j) {
+        var[j] += (p[j] - input_mean_[j]) * (p[j] - input_mean_[j]);
+      }
+      tvar += (train.target(i) - target_mean_) * (train.target(i) - target_mean_);
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      input_sd_[j] = var[j] > 0.0 ? std::sqrt(var[j] / n) : 1.0;
+    }
+    target_sd_ = tvar > 0.0 ? std::sqrt(tvar / n) : 1.0;
+  } else {
+    input_mean_.clear();  // sentinel: standardize_input becomes a copy
+  }
+
+  // Layer sizes: d → hidden… → 1.
+  std::vector<std::size_t> sizes{d};
+  sizes.insert(sizes.end(), config_.hidden.begin(), config_.hidden.end());
+  sizes.push_back(1);
+
+  weights_.clear();
+  biases_.clear();
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+    Matrix w(sizes[l + 1], sizes[l]);
+    // Xavier-style init keeps tanh pre-activations in the linear region.
+    const double scale = std::sqrt(6.0 / static_cast<double>(sizes[l] + sizes[l + 1]));
+    for (double& v : w.data()) v = rng.uniform(-scale, scale);
+    weights_.push_back(std::move(w));
+    biases_.emplace_back(sizes[l + 1], 0.0);
+  }
+
+  std::vector<Matrix> w_velocity;
+  std::vector<std::vector<double>> b_velocity;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    w_velocity.emplace_back(weights_[l].rows(), weights_[l].cols());
+    b_velocity.emplace_back(biases_[l].size(), 0.0);
+  }
+
+  std::vector<std::size_t> order(train.count());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<std::vector<double>> act;
+  std::vector<std::vector<double>> delta(weights_.size());
+  std::vector<double> x_std;
+  double lr = config_.learning_rate;
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (config_.shuffle) {
+      // Fisher-Yates with the library RNG (std::shuffle's draws are
+      // implementation-defined; this keeps runs bit-reproducible).
+      for (std::size_t i = order.size(); i-- > 1;) {
+        std::swap(order[i], order[rng.index(i + 1)]);
+      }
+    }
+
+    double sq_err_sum = 0.0;
+    for (const std::size_t s : order) {
+      standardize_input(train.pattern(s), x_std);
+      forward(x_std, act);
+      const double y = act.back()[0];
+      const double err = y - (train.target(s) - target_mean_) / target_sd_;
+      sq_err_sum += err * err;
+
+      // Backward pass. delta[l] = dLoss/d(pre-activation of layer l+1).
+      delta.back().assign(1, err);  // linear output, squared loss (½e²)
+      for (std::size_t l = weights_.size() - 1; l-- > 0;) {
+        delta[l].assign(weights_[l].rows(), 0.0);
+        gemv_t(weights_[l + 1], delta[l + 1], delta[l]);
+        for (std::size_t i = 0; i < delta[l].size(); ++i) {
+          const double a = act[l + 1][i];  // tanh' = 1 − tanh²
+          delta[l][i] *= 1.0 - a * a;
+        }
+      }
+
+      // SGD with momentum: v ← μ·v − lr·grad; w ← w + v.
+      for (std::size_t l = 0; l < weights_.size(); ++l) {
+        for (std::size_t r = 0; r < weights_[l].rows(); ++r) {
+          const double dl = delta[l][r];
+          auto w_row = weights_[l].row(r);
+          auto v_row = w_velocity[l].row(r);
+          for (std::size_t c = 0; c < weights_[l].cols(); ++c) {
+            v_row[c] = config_.momentum * v_row[c] - lr * dl * act[l][c];
+            w_row[c] += v_row[c];
+          }
+          b_velocity[l][r] = config_.momentum * b_velocity[l][r] - lr * dl;
+          biases_[l][r] += b_velocity[l][r];
+        }
+      }
+    }
+    // Report the training MSE in raw target units.
+    final_train_mse_ =
+        sq_err_sum / static_cast<double>(train.count()) * target_sd_ * target_sd_;
+    lr *= config_.lr_decay;
+  }
+  fitted_ = true;
+}
+
+double Mlp::predict(std::span<const double> window) const {
+  if (!fitted_) throw std::logic_error("Mlp::predict before fit");
+  std::vector<double> x_std;
+  standardize_input(window, x_std);
+  std::vector<std::vector<double>> act;
+  forward(x_std, act);
+  return act.back()[0] * target_sd_ + target_mean_;
+}
+
+}  // namespace ef::baselines

@@ -1,0 +1,69 @@
+// mlp.hpp — multilayer perceptron baseline ("Error NN" / "Feedfw NN").
+//
+// Re-implementation of the feed-forward comparator the paper quotes from
+// Zaldívar et al. (Venice, Table 1) and Galván-Isasi (sunspots, Table 3):
+// tanh hidden layers, linear scalar output, per-sample SGD with momentum and
+// optional learning-rate decay. Inputs are the same D-windows the rule
+// system sees, so comparisons are apples-to-apples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/forecaster.hpp"
+#include "baselines/linalg.hpp"
+
+namespace ef::baselines {
+
+struct MlpConfig {
+  std::vector<std::size_t> hidden{16};  ///< hidden layer widths
+  double learning_rate = 0.01;
+  double momentum = 0.9;
+  double lr_decay = 0.97;  ///< per-epoch multiplier
+  std::size_t epochs = 60;
+  bool shuffle = true;  ///< reshuffle sample order every epoch
+  std::uint64_t seed = 7;
+  /// Standardise inputs and target to zero-mean/unit-variance internally
+  /// (fitted on the training set, inverted at prediction). Essential when
+  /// the series is in physical units (Venice centimetres): raw O(100)
+  /// inputs saturate the tanh layer immediately.
+  bool standardize = true;
+
+  /// Throws std::invalid_argument on nonsensical values.
+  void validate() const;
+};
+
+class Mlp final : public Forecaster {
+ public:
+  explicit Mlp(MlpConfig config = {});
+
+  void fit(const core::WindowDataset& train) override;
+  [[nodiscard]] double predict(std::span<const double> window) const override;
+  [[nodiscard]] std::string name() const override { return "mlp"; }
+
+  [[nodiscard]] const MlpConfig& config() const noexcept { return config_; }
+  /// Mean squared training error of the final epoch (convergence telemetry).
+  [[nodiscard]] double final_train_mse() const noexcept { return final_train_mse_; }
+
+ private:
+  /// Forward pass on a *standardised* input; fills per-layer activations
+  /// (act[0] is the input copy).
+  void forward(std::span<const double> input, std::vector<std::vector<double>>& act) const;
+
+  /// Standardise one raw window into `out` using the fitted statistics.
+  void standardize_input(std::span<const double> window, std::vector<double>& out) const;
+
+  MlpConfig config_;
+  std::vector<double> input_mean_;
+  std::vector<double> input_sd_;
+  double target_mean_ = 0.0;
+  double target_sd_ = 1.0;
+  // weights_[l] maps activations of layer l to pre-activations of layer l+1;
+  // biases_[l] are that layer's offsets. Output layer is linear width 1.
+  std::vector<Matrix> weights_;
+  std::vector<std::vector<double>> biases_;
+  bool fitted_ = false;
+  double final_train_mse_ = 0.0;
+};
+
+}  // namespace ef::baselines

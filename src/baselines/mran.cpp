@@ -1,0 +1,110 @@
+#include "baselines/mran.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ef::baselines {
+
+void MranConfig::validate() const {
+  if (epsilon <= 0.0 || epsilon_rms <= 0.0) {
+    throw std::invalid_argument("MranConfig: error thresholds must be > 0");
+  }
+  if (rms_window == 0) throw std::invalid_argument("MranConfig: rms_window must be >= 1");
+  if (delta_max < delta_min || delta_min <= 0.0) {
+    throw std::invalid_argument("MranConfig: need delta_max >= delta_min > 0");
+  }
+  if (decay_tau <= 0.0) throw std::invalid_argument("MranConfig: decay_tau must be > 0");
+  if (kappa <= 0.0) throw std::invalid_argument("MranConfig: kappa must be > 0");
+  if (learning_rate <= 0.0) throw std::invalid_argument("MranConfig: learning_rate > 0");
+  if (prune_threshold <= 0.0) throw std::invalid_argument("MranConfig: prune_threshold > 0");
+  if (prune_window == 0) throw std::invalid_argument("MranConfig: prune_window must be >= 1");
+  if (passes == 0) throw std::invalid_argument("MranConfig: passes must be >= 1");
+  if (max_units == 0) throw std::invalid_argument("MranConfig: max_units must be >= 1");
+}
+
+Mran::Mran(MranConfig config) : config_(config) { config_.validate(); }
+
+void Mran::fit(const core::WindowDataset& train) {
+  units_ = RbfUnits{};
+  pruned_ = 0;
+
+  std::vector<double> responses;
+  std::deque<double> recent_sq_errors;
+  // below_count[k]: consecutive samples unit k's normalised contribution has
+  // been below the prune threshold. Indices track units_ (swap-and-pop).
+  std::vector<std::size_t> below_count;
+
+  std::size_t sample_index = 0;
+  for (std::size_t pass = 0; pass < config_.passes; ++pass) {
+    for (std::size_t s = 0; s < train.count(); ++s, ++sample_index) {
+      const auto x = train.pattern(s);
+      const double target = train.target(s);
+      const double y = units_.evaluate(x, &responses);
+      const double error = y - target;
+
+      recent_sq_errors.push_back(error * error);
+      if (recent_sq_errors.size() > config_.rms_window) recent_sq_errors.pop_front();
+      double rms = 0.0;
+      for (const double e2 : recent_sq_errors) rms += e2;
+      rms = std::sqrt(rms / static_cast<double>(recent_sq_errors.size()));
+
+      const double delta =
+          std::max(config_.delta_min,
+                   config_.delta_max *
+                       std::exp(-static_cast<double>(sample_index) / config_.decay_tau));
+      const double dist = units_.nearest_center_distance(x);
+
+      const bool grow = std::abs(error) > config_.epsilon && rms > config_.epsilon_rms &&
+                        dist > delta && units_.size() < config_.max_units;
+      if (grow) {
+        const double width =
+            config_.kappa * (std::isfinite(dist) ? dist : config_.delta_max);
+        units_.allocate(x, width, -error);
+        below_count.push_back(0);
+      } else {
+        units_.lms_update(x, error, responses, config_.learning_rate);
+      }
+
+      // --- pruning ---------------------------------------------------------
+      if (units_.size() > 1) {
+        // Normalised contribution: |w_k·r_k| / max_j |w_j·r_j| at this input.
+        // (responses may be stale by one allocation; re-evaluate cheaply.)
+        std::vector<double> contribution(units_.size(), 0.0);
+        double largest = 0.0;
+        for (std::size_t k = 0; k < units_.size(); ++k) {
+          const double r = gaussian_response(units_.centers[k], units_.widths[k], x);
+          contribution[k] = std::abs(units_.weights[k] * r);
+          largest = std::max(largest, contribution[k]);
+        }
+        if (largest > 0.0) {
+          for (std::size_t k = 0; k < units_.size(); ++k) {
+            if (contribution[k] / largest < config_.prune_threshold) {
+              ++below_count[k];
+            } else {
+              below_count[k] = 0;
+            }
+          }
+          // Remove (swap-and-pop) any unit below threshold long enough.
+          for (std::size_t k = 0; k < units_.size();) {
+            if (below_count[k] >= config_.prune_window) {
+              units_.remove(k);
+              below_count[k] = below_count.back();
+              below_count.pop_back();
+              ++pruned_;
+            } else {
+              ++k;
+            }
+          }
+        }
+      }
+    }
+  }
+  fitted_ = true;
+}
+
+double Mran::predict(std::span<const double> window) const {
+  if (!fitted_) throw std::logic_error("Mran::predict before fit");
+  return units_.evaluate(window);
+}
+
+}  // namespace ef::baselines

@@ -1,0 +1,44 @@
+#include "baselines/persistence.hpp"
+
+#include <stdexcept>
+
+namespace ef::baselines {
+
+void Persistence::fit(const core::WindowDataset& train) {
+  (void)train;
+  fitted_ = true;
+}
+
+double Persistence::predict(std::span<const double> window) const {
+  if (!fitted_) throw std::logic_error("Persistence::predict before fit");
+  if (window.empty()) throw std::invalid_argument("Persistence::predict: empty window");
+  return window.back();
+}
+
+SeasonalPersistence::SeasonalPersistence(std::size_t period) : period_(period) {
+  if (period == 0) throw std::invalid_argument("SeasonalPersistence: period must be > 0");
+}
+
+void SeasonalPersistence::fit(const core::WindowDataset& train) {
+  horizon_ = train.horizon();
+  stride_ = train.stride();
+  fitted_ = true;
+}
+
+double SeasonalPersistence::predict(std::span<const double> window) const {
+  if (!fitted_) throw std::logic_error("SeasonalPersistence::predict before fit");
+  if (window.empty()) {
+    throw std::invalid_argument("SeasonalPersistence::predict: empty window");
+  }
+  // Target instant is `horizon_` samples after the window's last element.
+  // Element `back_raw` raw samples before the window end is exactly one
+  // season before the target when back_raw + horizon ≡ 0 (mod period).
+  const std::size_t back_raw = (period_ - horizon_ % period_) % period_;
+  if (back_raw % stride_ == 0) {
+    const std::size_t back = back_raw / stride_;  // window positions before the end
+    if (back < window.size()) return window[window.size() - 1 - back];
+  }
+  return window.back();  // season unreachable from this window: persistence
+}
+
+}  // namespace ef::baselines

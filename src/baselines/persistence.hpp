@@ -1,0 +1,47 @@
+// persistence.hpp — the no-skill reference forecasters.
+//
+// Every forecasting comparison needs the trivial floor: persistence
+// ("tomorrow = today") and seasonal persistence ("tomorrow = same time
+// yesterday/last cycle"). A model that cannot beat these has learned
+// nothing; bench tables include them to anchor the scale.
+#pragma once
+
+#include <cstddef>
+
+#include "baselines/forecaster.hpp"
+
+namespace ef::baselines {
+
+/// ŷ(t+τ) = y(t): the last value of the window. fit() is a no-op (kept for
+/// interface symmetry; it records the window length for validation).
+class Persistence final : public Forecaster {
+ public:
+  void fit(const core::WindowDataset& train) override;
+  [[nodiscard]] double predict(std::span<const double> window) const override;
+  [[nodiscard]] std::string name() const override { return "persistence"; }
+
+ private:
+  bool fitted_ = false;
+};
+
+/// ŷ(t+τ) = y(t − (period − τ mod period)): the value one whole season
+/// before the target instant, read from inside the window. Falls back to
+/// plain persistence when the window is too short to reach back one period.
+class SeasonalPersistence final : public Forecaster {
+ public:
+  /// `period` in samples (e.g. 12 for the ~12.4 h tide at hourly sampling,
+  /// 132 for the ~11 y sunspot cycle at monthly sampling).
+  explicit SeasonalPersistence(std::size_t period);
+
+  void fit(const core::WindowDataset& train) override;
+  [[nodiscard]] double predict(std::span<const double> window) const override;
+  [[nodiscard]] std::string name() const override { return "seasonal_persistence"; }
+
+ private:
+  std::size_t period_;
+  std::size_t horizon_ = 0;
+  std::size_t stride_ = 1;
+  bool fitted_ = false;
+};
+
+}  // namespace ef::baselines

@@ -1,0 +1,60 @@
+#include "baselines/ran.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ef::baselines {
+
+void RanConfig::validate() const {
+  if (epsilon <= 0.0) throw std::invalid_argument("RanConfig: epsilon must be > 0");
+  if (delta_max < delta_min || delta_min <= 0.0) {
+    throw std::invalid_argument("RanConfig: need delta_max >= delta_min > 0");
+  }
+  if (decay_tau <= 0.0) throw std::invalid_argument("RanConfig: decay_tau must be > 0");
+  if (kappa <= 0.0) throw std::invalid_argument("RanConfig: kappa must be > 0");
+  if (learning_rate <= 0.0) throw std::invalid_argument("RanConfig: learning_rate must be > 0");
+  if (passes == 0) throw std::invalid_argument("RanConfig: passes must be >= 1");
+  if (max_units == 0) throw std::invalid_argument("RanConfig: max_units must be >= 1");
+}
+
+Ran::Ran(RanConfig config) : config_(config) { config_.validate(); }
+
+void Ran::fit(const core::WindowDataset& train) {
+  units_ = RbfUnits{};  // retrain from scratch
+
+  std::vector<double> responses;
+  std::size_t sample_index = 0;
+  for (std::size_t pass = 0; pass < config_.passes; ++pass) {
+    for (std::size_t s = 0; s < train.count(); ++s, ++sample_index) {
+      const auto x = train.pattern(s);
+      const double target = train.target(s);
+      const double y = units_.evaluate(x, &responses);
+      const double error = y - target;
+
+      // Novelty radius decays with the number of samples seen.
+      const double delta =
+          std::max(config_.delta_min,
+                   config_.delta_max *
+                       std::exp(-static_cast<double>(sample_index) / config_.decay_tau));
+
+      const double dist = units_.nearest_center_distance(x);
+      const bool novel = dist > delta;
+      if (std::abs(error) > config_.epsilon && novel && units_.size() < config_.max_units) {
+        // Width from the nearest centre; the very first unit uses δ itself.
+        const double width =
+            config_.kappa * (std::isfinite(dist) ? dist : config_.delta_max);
+        units_.allocate(x, width, -error);  // -error: unit corrects the miss
+      } else {
+        units_.lms_update(x, error, responses, config_.learning_rate);
+      }
+    }
+  }
+  fitted_ = true;
+}
+
+double Ran::predict(std::span<const double> window) const {
+  if (!fitted_) throw std::logic_error("Ran::predict before fit");
+  return units_.evaluate(window);
+}
+
+}  // namespace ef::baselines

@@ -1,0 +1,48 @@
+// ran.hpp — Platt's Resource-Allocating Network ("Error RAN", Table 2).
+//
+// Platt (1991): an RBF network grown online. For each training sample
+// (x, y): if the prediction error exceeds ε AND x is farther than δ from
+// every existing centre, allocate a new unit (centre x, width κ·distance,
+// weight = error); otherwise adapt the existing parameters by LMS. The
+// novelty radius δ decays exponentially from δ_max to δ_min, so early units
+// are coarse and later ones refine.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/forecaster.hpp"
+#include "baselines/rbf_units.hpp"
+
+namespace ef::baselines {
+
+struct RanConfig {
+  double epsilon = 0.02;     ///< error threshold for allocation
+  double delta_max = 0.7;    ///< initial novelty radius
+  double delta_min = 0.07;   ///< final novelty radius
+  double decay_tau = 1000;   ///< samples for the e-folding of δ
+  double kappa = 0.87;       ///< width = κ · distance-to-nearest (Platt's value)
+  double learning_rate = 0.05;
+  std::size_t passes = 1;    ///< sweeps over the training data (Platt: online, 1)
+  std::size_t max_units = 400;  ///< hard cap (keeps worst-case cost bounded)
+
+  void validate() const;
+};
+
+class Ran final : public Forecaster {
+ public:
+  explicit Ran(RanConfig config = {});
+
+  void fit(const core::WindowDataset& train) override;
+  [[nodiscard]] double predict(std::span<const double> window) const override;
+  [[nodiscard]] std::string name() const override { return "ran"; }
+
+  [[nodiscard]] const RanConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t units() const noexcept { return units_.size(); }
+
+ private:
+  RanConfig config_;
+  RbfUnits units_;
+  bool fitted_ = false;
+};
+
+}  // namespace ef::baselines

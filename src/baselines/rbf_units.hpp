@@ -1,0 +1,94 @@
+// rbf_units.hpp — Gaussian unit bank shared by the RAN and MRAN baselines.
+//
+// f(x) = bias + Σ_k w_k · exp(−‖x − c_k‖² / σ_k²)
+//
+// Both networks grow this structure online; they differ only in the growth
+// criterion and (for MRAN) pruning, so the unit storage, evaluation and the
+// gradient (LMS) update live here.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "baselines/linalg.hpp"
+
+namespace ef::baselines {
+
+/// One Gaussian unit's response to input x.
+[[nodiscard]] inline double gaussian_response(std::span<const double> center, double width,
+                                              std::span<const double> x) {
+  return std::exp(-squared_distance(center, x) / (width * width));
+}
+
+/// The growing unit bank.
+struct RbfUnits {
+  std::vector<std::vector<double>> centers;
+  std::vector<double> widths;
+  std::vector<double> weights;
+  double bias = 0.0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return centers.size(); }
+
+  /// Network output and (optionally) the per-unit responses for reuse by the
+  /// caller's update step.
+  [[nodiscard]] double evaluate(std::span<const double> x,
+                                std::vector<double>* responses = nullptr) const {
+    double y = bias;
+    if (responses) responses->assign(size(), 0.0);
+    for (std::size_t k = 0; k < size(); ++k) {
+      const double r = gaussian_response(centers[k], widths[k], x);
+      if (responses) (*responses)[k] = r;
+      y += weights[k] * r;
+    }
+    return y;
+  }
+
+  /// Distance from x to the nearest unit centre; +inf when empty.
+  [[nodiscard]] double nearest_center_distance(std::span<const double> x) const {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& c : centers) {
+      best = std::min(best, std::sqrt(squared_distance(c, x)));
+    }
+    return best;
+  }
+
+  /// Platt's LMS update of weights, bias and centres for one sample with
+  /// error e = y − target and the responses from evaluate().
+  void lms_update(std::span<const double> x, double error,
+                  std::span<const double> responses, double learning_rate) {
+    bias -= learning_rate * error;
+    for (std::size_t k = 0; k < size(); ++k) {
+      const double r = responses[k];
+      weights[k] -= learning_rate * error * r;
+      // Centre pull: ∂f/∂c = w·r·2(x−c)/σ²; descend on ½e².
+      const double scale =
+          2.0 * learning_rate * error * weights[k] * r / (widths[k] * widths[k]);
+      for (std::size_t j = 0; j < x.size(); ++j) {
+        centers[k][j] -= scale * (x[j] - centers[k][j]);
+      }
+    }
+  }
+
+  /// Allocate a new unit at x with the given width and output weight.
+  void allocate(std::span<const double> x, double width, double weight) {
+    centers.emplace_back(x.begin(), x.end());
+    widths.push_back(width);
+    weights.push_back(weight);
+  }
+
+  /// Remove unit k (order not preserved — swap-and-pop).
+  void remove(std::size_t k) {
+    centers[k] = std::move(centers.back());
+    centers.pop_back();
+    widths[k] = widths.back();
+    widths.pop_back();
+    weights[k] = weights.back();
+    weights.pop_back();
+  }
+};
+
+}  // namespace ef::baselines

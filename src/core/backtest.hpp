@@ -1,0 +1,54 @@
+// backtest.hpp — walk-forward evaluation for abstaining forecasters.
+//
+// A single chronological train/validation split (what the paper reports) is
+// one draw; a production user wants the error *distribution* over time.
+// Walk-forward backtesting slides an origin through the series: train on
+// everything before the origin (expanding, or a fixed-width rolling window)
+// and evaluate on the next `fold_size` samples, repeat. Coverage-aware
+// metrics per fold plus aggregates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/rule_system.hpp"
+#include "series/metrics.hpp"
+#include "series/timeseries.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ef::core {
+
+struct BacktestOptions {
+  std::size_t window = 24;       ///< D
+  std::size_t horizon = 1;       ///< τ
+  std::size_t stride = 1;        ///< embedding stride
+  std::size_t initial_train = 0; ///< samples before the first origin (0 = half the series)
+  std::size_t fold_size = 0;     ///< evaluation span per fold (0 = remaining/4 folds)
+  bool rolling = false;          ///< true: fixed-width train window; false: expanding
+  std::size_t max_folds = 16;    ///< safety cap
+};
+
+struct BacktestFold {
+  std::size_t origin = 0;  ///< first evaluated sample index in the full series
+  series::CoverageReport report;
+  std::size_t rules = 0;
+};
+
+struct BacktestResult {
+  std::vector<BacktestFold> folds;
+  /// Pooled over all folds (weighted by covered counts).
+  double mean_coverage_percent = 0.0;
+  double pooled_rmse = 0.0;
+  double pooled_mae = 0.0;
+};
+
+/// Run the walk-forward backtest of the rule system over `series`.
+/// Throws std::invalid_argument when the series cannot produce at least one
+/// fold with one training window.
+[[nodiscard]] BacktestResult backtest_rule_system(const series::TimeSeries& series,
+                                                  const RuleSystemConfig& config,
+                                                  const BacktestOptions& options = {},
+                                                  util::ThreadPool* pool = nullptr);
+
+}  // namespace ef::core

@@ -1,0 +1,58 @@
+// compaction.hpp — post-training rule-set reduction.
+//
+// The multi-execution union (§3.4) accumulates hundreds of rules, many of
+// them redundant: exact duplicates across executions, and *subsumed* rules —
+// a rule whose condition box lies inside another's while both predict the
+// same thing. Classic classifier-system compaction removes them without
+// changing (or barely changing) the system's input→output behaviour, which
+// matters for both query speed and interpretability.
+//
+// Operations, in the order compact() applies them:
+//   1. drop exact duplicates (same genes),
+//   2. drop subsumed rules: condition ⊆ condition' and the two rules'
+//      forecasts agree within `prediction_tolerance` on the subsumed rule's
+//      own matched region (approximated by comparing hyperplanes at the box
+//      corners' midpoint and the subsumer's mean prediction),
+//   3. optionally drop rules that never fire on a reference dataset.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/rule.hpp"
+#include "core/rule_system.hpp"
+
+namespace ef::core {
+
+struct CompactionOptions {
+  /// Max |p_A − p_B| (mean-prediction difference) for a subsumed rule to be
+  /// considered redundant. Units of the target variable.
+  double prediction_tolerance = 0.05;
+  /// Also drop rules with zero matches on the reference dataset (requires
+  /// passing one to compact()).
+  bool drop_unfired = true;
+};
+
+struct CompactionReport {
+  std::size_t input_rules = 0;
+  std::size_t duplicates_removed = 0;
+  std::size_t subsumed_removed = 0;
+  std::size_t unfired_removed = 0;
+  [[nodiscard]] std::size_t output_rules() const {
+    return input_rules - duplicates_removed - subsumed_removed - unfired_removed;
+  }
+};
+
+/// True when every gene of `inner` accepts a subset of `outer`'s values.
+[[nodiscard]] bool condition_subsumed(const Rule& inner, const Rule& outer);
+
+/// Compact a rule system. When `reference` is non-null, the unfired-rule
+/// pass runs against it; coverage on `reference` is never reduced (a rule is
+/// only dropped if every window it fires on is also fired on by a surviving
+/// rule — guaranteed by the subsumption test plus the unfired test).
+[[nodiscard]] RuleSystem compact(const RuleSystem& system, CompactionReport& report,
+                                 const CompactionOptions& options = {},
+                                 const WindowDataset* reference = nullptr);
+
+}  // namespace ef::core

@@ -1,0 +1,32 @@
+// crossover.hpp — uniform crossover over interval genes (paper §3.1).
+//
+// The offspring inherits, per gene position, either parent's interval with
+// equal probability. The predicting part is explicitly NOT inherited — it is
+// recomputed from the data after (possible) mutation, as the paper
+// prescribes ("This offspring will not inherit the values for 'prediction'
+// and 'error'").
+#pragma once
+
+#include <stdexcept>
+
+#include "core/rule.hpp"
+#include "util/rng.hpp"
+
+namespace ef::core {
+
+/// Offspring with each gene drawn from parent a or b with equal probability.
+/// Throws std::invalid_argument when the parents' window lengths differ. The
+/// offspring carries no predicting part (it must be (re-)evaluated).
+[[nodiscard]] inline Rule uniform_crossover(const Rule& a, const Rule& b, util::Rng& rng) {
+  if (a.window() != b.window()) {
+    throw std::invalid_argument("uniform_crossover: parents have different window lengths");
+  }
+  std::vector<Interval> genes;
+  genes.reserve(a.window());
+  for (std::size_t j = 0; j < a.window(); ++j) {
+    genes.push_back(rng.bernoulli(0.5) ? a.genes()[j] : b.genes()[j]);
+  }
+  return Rule(std::move(genes));
+}
+
+}  // namespace ef::core

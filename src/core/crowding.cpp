@@ -1,0 +1,130 @@
+#include "core/crowding.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ef::core {
+
+double jaccard_distance(std::span<const std::size_t> a,
+                        std::span<const std::size_t> b) noexcept {
+  if (a.empty() && b.empty()) return 0.0;
+  // Linear merge over ascending sets.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t intersection = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const std::size_t uni = a.size() + b.size() - intersection;
+  return 1.0 - static_cast<double>(intersection) / static_cast<double>(uni);
+}
+
+namespace {
+
+[[nodiscard]] double prediction_distance(const Rule& a, const Rule& b) {
+  if (!a.predicting() || !b.predicting()) {
+    throw std::logic_error("phenotypic_distance(kPrediction): rules must be evaluated");
+  }
+  return std::abs(a.predicting()->prediction() - b.predicting()->prediction());
+}
+
+[[nodiscard]] double condition_overlap_distance(const Rule& a, const Rule& b,
+                                                const WindowDataset& data) {
+  if (a.window() != b.window()) {
+    throw std::invalid_argument("phenotypic_distance: window mismatch");
+  }
+  const double lo = data.value_min();
+  const double hi = data.value_max();
+  const double span = hi - lo;
+  if (span <= 0.0) return 0.0;  // constant series: all boxes coincide
+
+  double overlap_sum = 0.0;
+  for (std::size_t j = 0; j < a.window(); ++j) {
+    const auto& ga = a.genes()[j];
+    const auto& gb = b.genes()[j];
+    const double ow = ga.overlap_width(gb, lo, hi);
+    // Normalise by the union width so per-gene overlap is in [0,1].
+    const double wa = ga.is_wildcard() ? span : ga.width();
+    const double wb = gb.is_wildcard() ? span : gb.width();
+    const double union_w = wa + wb - ow;
+    overlap_sum += union_w > 0.0 ? ow / union_w : 1.0;  // two point-intervals at same spot
+  }
+  return 1.0 - overlap_sum / static_cast<double>(a.window());
+}
+
+}  // namespace
+
+double phenotypic_distance(const Rule& a, const Rule& b, DistanceMetric metric,
+                           const WindowDataset& data, std::span<const std::size_t> matched_a,
+                           std::span<const std::size_t> matched_b) {
+  switch (metric) {
+    case DistanceMetric::kPrediction:
+      return prediction_distance(a, b);
+    case DistanceMetric::kConditionOverlap:
+      return condition_overlap_distance(a, b, data);
+    case DistanceMetric::kMatchedJaccard:
+      return jaccard_distance(matched_a, matched_b);
+  }
+  throw std::logic_error("phenotypic_distance: unknown metric");
+}
+
+std::size_t nearest_individual(std::span<const Rule> population, const Rule& offspring,
+                               DistanceMetric metric, const WindowDataset& data,
+                               std::span<const std::vector<std::size_t>> matched_population,
+                               std::span<const std::size_t> matched_offspring) {
+  if (population.empty()) throw std::invalid_argument("nearest_individual: empty population");
+  if (metric == DistanceMetric::kMatchedJaccard &&
+      matched_population.size() != population.size()) {
+    throw std::invalid_argument(
+        "nearest_individual: Jaccard metric needs matched sets for every individual");
+  }
+
+  std::size_t best = 0;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    const std::span<const std::size_t> mi =
+        metric == DistanceMetric::kMatchedJaccard ? std::span<const std::size_t>(matched_population[i])
+                                                  : std::span<const std::size_t>{};
+    const double dist =
+        phenotypic_distance(population[i], offspring, metric, data, mi, matched_offspring);
+    if (dist < best_distance) {
+      best_distance = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t choose_victim(std::span<const Rule> population, const Rule& offspring,
+                          const EvolutionConfig& config, const WindowDataset& data,
+                          util::Rng& rng,
+                          std::span<const std::vector<std::size_t>> matched_population,
+                          std::span<const std::size_t> matched_offspring) {
+  if (population.empty()) throw std::invalid_argument("choose_victim: empty population");
+  switch (config.replacement) {
+    case ReplacementStrategy::kCrowding:
+      return nearest_individual(population, offspring, config.distance, data,
+                                matched_population, matched_offspring);
+    case ReplacementStrategy::kReplaceWorst: {
+      std::size_t worst = 0;
+      for (std::size_t i = 1; i < population.size(); ++i) {
+        if (population[i].fitness() < population[worst].fitness()) worst = i;
+      }
+      return worst;
+    }
+    case ReplacementStrategy::kRandom:
+      return rng.index(population.size());
+  }
+  throw std::logic_error("choose_victim: unknown strategy");
+}
+
+}  // namespace ef::core

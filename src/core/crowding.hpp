@@ -1,0 +1,57 @@
+// crowding.hpp — phenotypic-distance replacement (paper §3.3).
+//
+// The offspring "replaces the nearest individual … in phenotypic distance,
+// i.e. the individual … that makes predictions on similar zones in the
+// prediction space", and only if fitter — De Jong-style crowding, used here
+// to keep the population spread over the whole prediction space. The paper
+// does not pin down the distance; three readings are implemented and
+// compared in Ablation B (see DESIGN.md §5.2).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/dataset.hpp"
+#include "core/rule.hpp"
+#include "util/rng.hpp"
+
+namespace ef::core {
+
+/// Distance between two rules under `metric`.
+///  * kPrediction: |p_A − p_B| over the scalar prediction value; requires
+///    both rules evaluated (throws std::logic_error otherwise).
+///  * kConditionOverlap: 1 − mean per-gene overlap fraction of the condition
+///    boxes (wildcards span the dataset's value range).
+///  * kMatchedJaccard: 1 − |A∩B|/|A∪B| over matched training-window index
+///    sets, which must be supplied sorted ascending.
+[[nodiscard]] double phenotypic_distance(const Rule& a, const Rule& b, DistanceMetric metric,
+                                         const WindowDataset& data,
+                                         std::span<const std::size_t> matched_a = {},
+                                         std::span<const std::size_t> matched_b = {});
+
+/// Jaccard distance 1 − |a∩b|/|a∪b| of two ascending index sets (both empty
+/// → distance 0: two rules matching nothing predict the same — nothing).
+[[nodiscard]] double jaccard_distance(std::span<const std::size_t> a,
+                                      std::span<const std::size_t> b) noexcept;
+
+/// Index of the population member nearest to `offspring` under `metric`.
+/// `matched_population[i]` / `matched_offspring` are consulted only for the
+/// Jaccard metric (pass empty otherwise). Ties resolve to the lowest index.
+/// Throws std::invalid_argument on an empty population.
+[[nodiscard]] std::size_t nearest_individual(
+    std::span<const Rule> population, const Rule& offspring, DistanceMetric metric,
+    const WindowDataset& data,
+    std::span<const std::vector<std::size_t>> matched_population = {},
+    std::span<const std::size_t> matched_offspring = {});
+
+/// Victim slot for the configured replacement strategy (Ablation B):
+/// crowding → nearest; replace-worst → lowest fitness; random → uniform.
+[[nodiscard]] std::size_t choose_victim(std::span<const Rule> population,
+                                        const Rule& offspring, const EvolutionConfig& config,
+                                        const WindowDataset& data, util::Rng& rng,
+                                        std::span<const std::vector<std::size_t>> matched_population = {},
+                                        std::span<const std::size_t> matched_offspring = {});
+
+}  // namespace ef::core

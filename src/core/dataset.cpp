@@ -1,0 +1,41 @@
+#include "core/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace ef::core {
+
+WindowDataset::WindowDataset(const series::TimeSeries& s, std::size_t window,
+                             std::size_t horizon, std::size_t stride)
+    : values_(s.values().begin(), s.values().end()),
+      window_(window),
+      horizon_(horizon),
+      stride_(stride) {
+  if (window == 0) throw std::invalid_argument("WindowDataset: window must be > 0");
+  if (stride == 0) throw std::invalid_argument("WindowDataset: stride must be > 0");
+  const std::size_t reach = (window - 1) * stride + horizon;  // last index offset
+  if (s.size() < reach + 1) {
+    throw std::invalid_argument("WindowDataset: series of size " + std::to_string(s.size()) +
+                                " too short for window " + std::to_string(window) +
+                                ", stride " + std::to_string(stride) + " and horizon " +
+                                std::to_string(horizon));
+  }
+  count_ = s.size() - reach;
+
+  patterns_.resize(count_ * window_);
+  targets_.resize(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    for (std::size_t j = 0; j < window_; ++j) {
+      patterns_[i * window_ + j] = values_[i + j * stride_];
+    }
+    targets_[i] = values_[i + reach];
+  }
+
+  value_min_ = *std::min_element(values_.begin(), values_.end());
+  value_max_ = *std::max_element(values_.begin(), values_.end());
+  target_min_ = *std::min_element(targets_.begin(), targets_.end());
+  target_max_ = *std::max_element(targets_.begin(), targets_.end());
+}
+
+}  // namespace ef::core

@@ -1,0 +1,34 @@
+#include "core/fitness.hpp"
+
+namespace ef::core {
+
+Evaluator::Evaluator(const MatchEngine& engine, const EvolutionConfig& config,
+                     RegressionOptions regression)
+    : engine_(engine), config_(config), regression_(regression) {}
+
+void Evaluator::evaluate(Rule& rule, std::vector<std::size_t>* keep_matches) const {
+  const std::vector<std::size_t> matched = engine_.match_indices(rule);
+
+  PredictingPart part;
+  part.matches = matched.size();
+  if (matched.empty()) {
+    // No matched window: no regression is definable. e_R is set to EMAX so
+    // traces show the rule as "at the error bound"; fitness is f_min.
+    part.fit.coeffs.assign(engine_.data().window() + 1, 0.0);
+    part.fit.max_abs_residual = config_.emax;
+    part.fit.degenerate = true;
+    part.fitness = config_.f_min;
+  } else {
+    part.fit = fit_hyperplane(engine_.data(), matched, regression_);
+    part.fitness =
+        fitness_value(part.matches, part.fit.max_abs_residual, config_.emax, config_.f_min);
+  }
+  rule.set_predicting(std::move(part));
+  if (keep_matches) *keep_matches = std::move(matched);
+}
+
+void Evaluator::evaluate_all(std::span<Rule> population) const {
+  for (Rule& rule : population) evaluate(rule);
+}
+
+}  // namespace ef::core

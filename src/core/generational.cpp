@@ -1,0 +1,104 @@
+#include "core/generational.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/crossover.hpp"
+#include "core/init.hpp"
+#include "core/mutation.hpp"
+#include "core/selection.hpp"
+
+namespace ef::core {
+
+void GenerationalConfig::validate() const {
+  base.validate();
+  if (elite_count >= base.population_size) {
+    throw std::invalid_argument("GenerationalConfig: elite_count must be < population_size");
+  }
+}
+
+GenerationalEngine::GenerationalEngine(const WindowDataset& data, GenerationalConfig config,
+                                       util::ThreadPool* pool, TelemetrySink telemetry)
+    : data_(data),
+      config_(config),
+      engine_(data, pool),
+      evaluator_(engine_, config_.base),
+      rng_(config.base.seed),
+      telemetry_(std::move(telemetry)) {
+  config_.validate();
+  population_ = initialize_population(data_, config_.base, rng_);
+  evaluator_.evaluate_all(population_);
+  if (telemetry_) telemetry_(snapshot());
+}
+
+std::size_t GenerationalEngine::step() {
+  ++generation_;
+
+  // Elites: indices of the top-k by fitness, copied unchanged.
+  std::vector<std::size_t> order(population_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(config_.elite_count),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      return population_[a].fitness() > population_[b].fitness();
+                    });
+
+  std::vector<Rule> next;
+  next.reserve(population_.size());
+  for (std::size_t e = 0; e < config_.elite_count; ++e) {
+    next.push_back(population_[order[e]]);
+  }
+
+  std::size_t improved = 0;
+  while (next.size() < population_.size()) {
+    const ParentPair parents =
+        select_parents(population_, config_.base.tournament_rounds, rng_);
+    Rule offspring =
+        uniform_crossover(population_[parents.first], population_[parents.second], rng_);
+    mutate_rule(offspring, data_, config_.base, rng_);
+    evaluator_.evaluate(offspring);
+    ++evaluations_;
+    if (offspring.fitness() > population_[next.size()].fitness()) ++improved;
+    next.push_back(std::move(offspring));
+  }
+  population_ = std::move(next);
+
+  if (config_.base.telemetry_stride != 0 &&
+      generation_ % config_.base.telemetry_stride == 0 && telemetry_) {
+    telemetry_(snapshot());
+  }
+  return improved;
+}
+
+void GenerationalEngine::run_evaluations(std::size_t budget) {
+  while (evaluations_ < budget) step();
+}
+
+TelemetryRecord GenerationalEngine::snapshot() const {
+  TelemetryRecord rec;
+  rec.generation = generation_;
+  if (population_.empty()) return rec;
+  double best = population_.front().fitness();
+  double sum = 0.0;
+  double err = 0.0;
+  double matches = 0.0;
+  double spec = 0.0;
+  for (const Rule& r : population_) {
+    best = std::max(best, r.fitness());
+    sum += r.fitness();
+    if (r.predicting()) {
+      err += r.predicting()->error();
+      matches += static_cast<double>(r.predicting()->matches);
+    }
+    spec += static_cast<double>(r.specificity());
+  }
+  const auto n = static_cast<double>(population_.size());
+  rec.best_fitness = best;
+  rec.mean_fitness = sum / n;
+  rec.mean_error = err / n;
+  rec.mean_matches = matches / n;
+  rec.mean_specificity = spec / n;
+  return rec;
+}
+
+}  // namespace ef::core

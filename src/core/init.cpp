@@ -1,0 +1,104 @@
+#include "core/init.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ef::core {
+
+std::vector<Rule> init_output_stratified(const WindowDataset& data,
+                                         std::size_t population_size) {
+  if (population_size == 0) {
+    throw std::invalid_argument("init_output_stratified: population_size must be > 0");
+  }
+  const std::size_t d = data.window();
+  const double out_lo = data.target_min();
+  const double out_hi = data.target_max();
+  const double step = (out_hi - out_lo) / static_cast<double>(population_size);
+
+  // Fallback gene box: the full input range (used for empty sub-intervals
+  // and for a degenerate target range).
+  const Interval full_range(data.value_min(), data.value_max());
+
+  std::vector<Rule> population;
+  population.reserve(population_size);
+
+  for (std::size_t p = 0; p < population_size; ++p) {
+    const double interval_lo = out_lo + static_cast<double>(p) * step;
+    // Last stratum closes at out_hi inclusive so the max target is covered.
+    const double interval_hi =
+        (p + 1 == population_size) ? out_hi : out_lo + static_cast<double>(p + 1) * step;
+
+    // Bounding box over the patterns whose target falls in the stratum.
+    std::vector<double> mins(d, 0.0);
+    std::vector<double> maxs(d, 0.0);
+    bool any = false;
+    for (std::size_t i = 0; i < data.count(); ++i) {
+      const double v = data.target(i);
+      const bool inside = (p + 1 == population_size) ? (interval_lo <= v && v <= interval_hi)
+                                                     : (interval_lo <= v && v < interval_hi);
+      if (!inside) continue;
+      const auto window = data.pattern(i);
+      if (!any) {
+        for (std::size_t j = 0; j < d; ++j) mins[j] = maxs[j] = window[j];
+        any = true;
+      } else {
+        for (std::size_t j = 0; j < d; ++j) {
+          mins[j] = std::min(mins[j], window[j]);
+          maxs[j] = std::max(maxs[j], window[j]);
+        }
+      }
+    }
+
+    std::vector<Interval> genes;
+    genes.reserve(d);
+    if (any) {
+      for (std::size_t j = 0; j < d; ++j) genes.emplace_back(mins[j], maxs[j]);
+    } else {
+      genes.assign(d, full_range);
+    }
+    population.emplace_back(std::move(genes));
+  }
+  return population;
+}
+
+std::vector<Rule> init_uniform_random(const WindowDataset& data, std::size_t population_size,
+                                      util::Rng& rng, double wildcard_prob) {
+  if (population_size == 0) {
+    throw std::invalid_argument("init_uniform_random: population_size must be > 0");
+  }
+  const std::size_t d = data.window();
+  const double lo = data.value_min();
+  const double hi = data.value_max();
+
+  std::vector<Rule> population;
+  population.reserve(population_size);
+  for (std::size_t p = 0; p < population_size; ++p) {
+    std::vector<Interval> genes;
+    genes.reserve(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      if (rng.bernoulli(wildcard_prob)) {
+        genes.push_back(Interval::wildcard());
+        continue;
+      }
+      double a = rng.uniform(lo, hi);
+      double b = rng.uniform(lo, hi);
+      if (a > b) std::swap(a, b);
+      genes.emplace_back(a, b);
+    }
+    population.emplace_back(std::move(genes));
+  }
+  return population;
+}
+
+std::vector<Rule> initialize_population(const WindowDataset& data,
+                                        const EvolutionConfig& config, util::Rng& rng) {
+  switch (config.init) {
+    case InitStrategy::kOutputStratified:
+      return init_output_stratified(data, config.population_size);
+    case InitStrategy::kUniformRandom:
+      return init_uniform_random(data, config.population_size, rng);
+  }
+  throw std::logic_error("initialize_population: unknown strategy");
+}
+
+}  // namespace ef::core

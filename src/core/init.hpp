@@ -1,0 +1,38 @@
+// init.hpp — population initialisation (paper §3.2 + ablation baseline).
+//
+// The paper's procedure stratifies the *output* range: with a population of
+// P rules, the target range [min, max] is cut into P equal sub-intervals;
+// for each sub-interval I the rule's gene j becomes [min_j, max_j] over all
+// training patterns whose target lies in I, and the rule's initial
+// prediction is the mean of those targets. These deliberately general rules
+// cover the whole prediction space; evolution then specialises them.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/dataset.hpp"
+#include "core/rule.hpp"
+#include "util/rng.hpp"
+
+namespace ef::core {
+
+/// Paper §3.2 output-stratified initialisation. Sub-intervals that contain
+/// no training target produce a maximally-general (all-range) rule so the
+/// population size is always exactly `population_size`.
+[[nodiscard]] std::vector<Rule> init_output_stratified(const WindowDataset& data,
+                                                       std::size_t population_size);
+
+/// Ablation baseline: each gene is an independent random sub-interval of the
+/// input range (or a wildcard with probability `wildcard_prob`).
+[[nodiscard]] std::vector<Rule> init_uniform_random(const WindowDataset& data,
+                                                    std::size_t population_size,
+                                                    util::Rng& rng,
+                                                    double wildcard_prob = 0.1);
+
+/// Dispatch on the configured strategy.
+[[nodiscard]] std::vector<Rule> initialize_population(const WindowDataset& data,
+                                                      const EvolutionConfig& config,
+                                                      util::Rng& rng);
+
+}  // namespace ef::core

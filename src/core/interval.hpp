@@ -1,0 +1,94 @@
+// interval.hpp — the interval gene of a prediction rule (paper §3.1).
+//
+// A rule's conditional part is one interval per input lag; a gene is either a
+// closed interval [lo, hi] or the wildcard '*' ("don't care"), which matches
+// every value. Encoded in the paper as the pair (LL_i, UL_i) or (*, *).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ef::core {
+
+/// One gene of a rule's conditional part: a closed interval or a wildcard.
+class Interval {
+ public:
+  /// Wildcard gene (matches everything).
+  constexpr Interval() noexcept = default;
+
+  /// Bounded gene [lo, hi]. Throws std::invalid_argument when lo > hi or a
+  /// bound is non-finite.
+  constexpr Interval(double lo, double hi) : lo_(lo), hi_(hi), wildcard_(false) {
+    if (!(lo <= hi)) {  // negated to also catch NaN
+      throw std::invalid_argument("Interval: requires lo <= hi and finite bounds");
+    }
+    if (std::isinf(lo) || std::isinf(hi)) {
+      throw std::invalid_argument("Interval: bounds must be finite");
+    }
+  }
+
+  [[nodiscard]] static constexpr Interval wildcard() noexcept { return Interval{}; }
+
+  [[nodiscard]] constexpr bool is_wildcard() const noexcept { return wildcard_; }
+
+  /// Lower/upper bound. Calling on a wildcard throws std::logic_error —
+  /// wildcard genes have no bounds, and silently returning ±inf has caused
+  /// subtle mutation bugs in classifier-system codebases.
+  [[nodiscard]] constexpr double lo() const {
+    if (wildcard_) throw std::logic_error("Interval::lo on wildcard");
+    return lo_;
+  }
+  [[nodiscard]] constexpr double hi() const {
+    if (wildcard_) throw std::logic_error("Interval::hi on wildcard");
+    return hi_;
+  }
+
+  /// Membership test; a wildcard contains every finite value.
+  [[nodiscard]] constexpr bool contains(double x) const noexcept {
+    return wildcard_ || (lo_ <= x && x <= hi_);
+  }
+
+  /// Interval width; wildcard reports +infinity.
+  [[nodiscard]] constexpr double width() const noexcept {
+    return wildcard_ ? std::numeric_limits<double>::infinity() : hi_ - lo_;
+  }
+
+  /// Midpoint. Throws std::logic_error on a wildcard.
+  [[nodiscard]] constexpr double midpoint() const {
+    if (wildcard_) throw std::logic_error("Interval::midpoint on wildcard");
+    return 0.5 * (lo_ + hi_);
+  }
+
+  /// Width of the overlap between two genes; `span` is the variable's full
+  /// range, used as the extent of wildcards so the result is always finite.
+  [[nodiscard]] constexpr double overlap_width(const Interval& other, double span_lo,
+                                               double span_hi) const noexcept {
+    const double a_lo = wildcard_ ? span_lo : lo_;
+    const double a_hi = wildcard_ ? span_hi : hi_;
+    const double b_lo = other.wildcard_ ? span_lo : other.lo_;
+    const double b_hi = other.wildcard_ ? span_hi : other.hi_;
+    return std::max(0.0, std::min(a_hi, b_hi) - std::max(a_lo, b_lo));
+  }
+
+  /// True when this gene's acceptance set is a subset of `other`'s.
+  [[nodiscard]] constexpr bool subset_of(const Interval& other) const noexcept {
+    if (other.wildcard_) return true;
+    if (wildcard_) return false;
+    return other.lo_ <= lo_ && hi_ <= other.hi_;
+  }
+
+  friend constexpr bool operator==(const Interval& a, const Interval& b) noexcept {
+    if (a.wildcard_ != b.wildcard_) return false;
+    if (a.wildcard_) return true;
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  bool wildcard_ = true;
+};
+
+}  // namespace ef::core

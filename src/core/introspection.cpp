@@ -1,0 +1,62 @@
+#include "core/introspection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ef::core {
+
+ForecastExplanation explain(const RuleSystem& system, std::span<const double> window,
+                            Aggregation how) {
+  ForecastExplanation explanation;
+  const auto& rules = system.rules();
+  std::vector<Vote> votes;
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    const Rule& rule = rules[r];
+    if (!rule.predicting() || !rule.matches(window)) continue;
+    RuleExplanation voter;
+    voter.rule_index = r;
+    voter.output = rule.forecast(window);
+    voter.fitness = rule.fitness();
+    voter.error = rule.predicting()->error();
+    voter.matches = rule.predicting()->matches;
+    voter.specificity = rule.specificity();
+    explanation.voters.push_back(voter);
+    votes.push_back(Vote{voter.output, voter.fitness, voter.error});
+  }
+  explanation.forecast = aggregate_votes(std::move(votes), how);
+  return explanation;
+}
+
+std::vector<double> gene_importance(const RuleSystem& system, double value_lo,
+                                    double value_hi) {
+  if (!(value_hi > value_lo)) {
+    throw std::invalid_argument("gene_importance: value_hi must exceed value_lo");
+  }
+  const auto& rules = system.rules();
+  if (rules.empty()) return {};
+  const std::size_t dims = rules.front().window();
+  const double range = value_hi - value_lo;
+
+  std::vector<double> weighted(dims, 0.0);
+  double total_weight = 0.0;
+  constexpr double kWeightFloor = 1e-6;  // keeps all-f_min populations defined
+  for (const Rule& rule : rules) {
+    if (rule.window() != dims) continue;  // mixed-window unions: skip misfits
+    const double weight = std::max(rule.fitness(), 0.0) + kWeightFloor;
+    total_weight += weight;
+    for (std::size_t j = 0; j < dims; ++j) {
+      const auto& gene = rule.genes()[j];
+      const double selectivity =
+          gene.is_wildcard()
+              ? 0.0
+              : std::clamp(1.0 - gene.width() / range, 0.0, 1.0);
+      weighted[j] += weight * selectivity;
+    }
+  }
+  if (total_weight > 0.0) {
+    for (double& v : weighted) v /= total_weight;
+  }
+  return weighted;
+}
+
+}  // namespace ef::core

@@ -1,0 +1,53 @@
+// introspection.hpp — explanation utilities for rule-system forecasts.
+//
+// A Michigan population is intrinsically interpretable; these helpers turn
+// that into API:
+//   * explain(window): which rules voted, with what output, fitness, error
+//     and specificity — the full provenance of one forecast;
+//   * gene_importance(): which input lags the evolved rule set actually
+//     constrains, as a fitness-weighted selectivity profile — the data-driven
+//     answer to "which of my D inputs matter?" (complements Ablation E's
+//     embedding sweep).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/aggregation.hpp"
+#include "core/rule_system.hpp"
+
+namespace ef::core {
+
+/// One voter's contribution to a forecast.
+struct RuleExplanation {
+  std::size_t rule_index = 0;  ///< index into system.rules()
+  double output = 0.0;         ///< this rule's hyperplane output at the window
+  double fitness = 0.0;
+  double error = 0.0;        ///< rule e_R
+  std::size_t matches = 0;   ///< N_R on its training data
+  std::size_t specificity = 0;  ///< non-wildcard genes
+};
+
+/// Full provenance of one forecast (empty voters = abstention).
+struct ForecastExplanation {
+  std::optional<double> forecast;
+  std::vector<RuleExplanation> voters;
+};
+
+[[nodiscard]] ForecastExplanation explain(const RuleSystem& system,
+                                          std::span<const double> window,
+                                          Aggregation how = Aggregation::kMean);
+
+/// Per-lag importance profile in [0, 1]: the fitness-weighted mean
+/// *selectivity* of each gene position across the rule set, where a
+/// wildcard scores 0 and a bounded interval scores 1 − width/range (clamped
+/// to [0,1]; `value_lo/hi` define the range). Rules with non-positive
+/// fitness get a small floor weight so a population of only-f_min rules
+/// still yields a profile. Throws std::invalid_argument when hi <= lo, and
+/// returns an empty vector for an empty system.
+[[nodiscard]] std::vector<double> gene_importance(const RuleSystem& system, double value_lo,
+                                                  double value_hi);
+
+}  // namespace ef::core

@@ -1,0 +1,81 @@
+#include "core/match_engine.hpp"
+
+#include <atomic>
+
+namespace ef::core {
+namespace {
+
+/// Scan [begin, end) serially, appending matches to `out`.
+void scan_range(const WindowDataset& data, const Rule& rule, std::size_t begin,
+                std::size_t end, std::vector<std::size_t>& out) {
+  const auto& genes = rule.genes();
+  const std::size_t d = genes.size();
+  if (d != data.window()) return;  // dimension mismatch: matches nothing
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::span<const double> window = data.pattern(i);
+    bool ok = true;
+    for (std::size_t j = 0; j < d; ++j) {
+      if (!genes[j].contains(window[j])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(i);
+  }
+}
+
+constexpr std::size_t kParallelGrain = 4096;
+
+}  // namespace
+
+MatchEngine::MatchEngine(const WindowDataset& data, util::ThreadPool* pool)
+    : data_(data), pool_(pool ? pool : &util::ThreadPool::shared()) {}
+
+std::vector<std::size_t> MatchEngine::match_indices_serial(const Rule& rule) const {
+  std::vector<std::size_t> out;
+  scan_range(data_, rule, 0, data_.count(), out);
+  return out;
+}
+
+std::vector<std::size_t> MatchEngine::match_indices(const Rule& rule) const {
+  const std::size_t m = data_.count();
+  if (m <= kParallelGrain || pool_->size() <= 1) return match_indices_serial(rule);
+
+  // One result buffer per chunk, keyed by the chunk's begin index so the
+  // concatenation order is deterministic regardless of completion order.
+  const std::size_t chunks = pool_->size();
+  const std::size_t width = (m + chunks - 1) / chunks;
+  std::vector<std::vector<std::size_t>> partial(chunks);
+
+  pool_->parallel_for(
+      0, m,
+      [&](std::size_t begin, std::size_t end) {
+        scan_range(data_, rule, begin, end, partial[begin / width]);
+      },
+      width);
+
+  std::size_t total = 0;
+  for (const auto& p : partial) total += p.size();
+  std::vector<std::size_t> out;
+  out.reserve(total);
+  for (const auto& p : partial) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+std::size_t MatchEngine::match_count(const Rule& rule) const {
+  const std::size_t m = data_.count();
+  if (m <= kParallelGrain || pool_->size() <= 1) return match_indices_serial(rule).size();
+
+  std::atomic<std::size_t> total{0};
+  pool_->parallel_for(
+      0, m,
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<std::size_t> local;
+        scan_range(data_, rule, begin, end, local);
+        total.fetch_add(local.size(), std::memory_order_relaxed);
+      },
+      kParallelGrain);
+  return total.load();
+}
+
+}  // namespace ef::core

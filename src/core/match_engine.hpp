@@ -1,0 +1,41 @@
+// match_engine.hpp — the hot loop: which training windows does a rule match?
+//
+// Evaluating one offspring means scanning every sliding window of the
+// training set against D interval genes — O(m·D) with m up to 45 000. The
+// engine partitions the window range across the shared thread pool; chunks
+// append into per-chunk buffers that are concatenated in order, so results
+// are identical to the serial scan.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/rule.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ef::core {
+
+class MatchEngine {
+ public:
+  /// `pool` must outlive the engine; nullptr = use ThreadPool::shared().
+  explicit MatchEngine(const WindowDataset& data, util::ThreadPool* pool = nullptr);
+
+  [[nodiscard]] const WindowDataset& data() const noexcept { return data_; }
+
+  /// Indices of all patterns the rule's conditional part accepts, ascending.
+  [[nodiscard]] std::vector<std::size_t> match_indices(const Rule& rule) const;
+
+  /// Just the count (skips building the index vector when only N_R matters).
+  [[nodiscard]] std::size_t match_count(const Rule& rule) const;
+
+  /// Sequential reference implementation (used by tests to cross-check the
+  /// parallel path and by callers with tiny datasets).
+  [[nodiscard]] std::vector<std::size_t> match_indices_serial(const Rule& rule) const;
+
+ private:
+  const WindowDataset& data_;
+  util::ThreadPool* pool_;
+};
+
+}  // namespace ef::core

@@ -1,0 +1,83 @@
+#include "core/multistep.hpp"
+
+#include <stdexcept>
+
+namespace ef::core {
+
+std::optional<double> iterate_forecast(const RuleSystem& one_step,
+                                       std::span<const double> window,
+                                       const MultistepOptions& options) {
+  if (options.horizon == 0) throw std::invalid_argument("iterate_forecast: horizon == 0");
+  if (window.empty()) throw std::invalid_argument("iterate_forecast: empty window");
+
+  std::vector<double> state(window.begin(), window.end());
+  double last = state.back();
+  for (std::size_t step = 0; step < options.horizon; ++step) {
+    const auto next = one_step.predict(state, options.aggregation);
+    double value = 0.0;
+    if (next) {
+      value = *next;
+    } else if (options.on_abstain == ChainAbstention::kPersistence) {
+      value = last;  // bridge with the most recent (predicted) level
+    } else {
+      return std::nullopt;
+    }
+    // Slide the window: drop the oldest, append the prediction.
+    state.erase(state.begin());
+    state.push_back(value);
+    last = value;
+  }
+  return last;
+}
+
+std::vector<double> iterate_trajectory(const RuleSystem& one_step,
+                                       std::span<const double> window, std::size_t steps,
+                                       const MultistepOptions& options) {
+  if (window.empty()) throw std::invalid_argument("iterate_trajectory: empty window");
+
+  std::vector<double> trajectory;
+  trajectory.reserve(steps);
+  std::vector<double> state(window.begin(), window.end());
+  double last = state.back();
+  for (std::size_t step = 0; step < steps; ++step) {
+    const auto next = one_step.predict(state, options.aggregation);
+    double value = 0.0;
+    if (next) {
+      value = *next;
+    } else if (options.on_abstain == ChainAbstention::kPersistence) {
+      value = last;
+    } else {
+      break;  // truncate at the first abstention
+    }
+    trajectory.push_back(value);
+    state.erase(state.begin());
+    state.push_back(value);
+    last = value;
+  }
+  return trajectory;
+}
+
+series::PartialForecast iterate_forecast_dataset(const RuleSystem& one_step,
+                                                 const WindowDataset& data,
+                                                 ChainAbstention on_abstain,
+                                                 Aggregation aggregation) {
+  if (data.stride() != 1) {
+    throw std::invalid_argument(
+        "iterate_forecast_dataset: iterated forecasting requires stride-1 windows");
+  }
+  MultistepOptions options;
+  options.horizon = data.horizon();
+  options.on_abstain = on_abstain;
+  options.aggregation = aggregation;
+  if (options.horizon == 0) {
+    throw std::invalid_argument("iterate_forecast_dataset: dataset horizon is 0");
+  }
+
+  series::PartialForecast out(data.count());
+  for (std::size_t i = 0; i < data.count(); ++i) {
+    out[i] = iterate_forecast(one_step, data.pattern(i), options);
+  }
+  return out;
+}
+
+}  // namespace ef::core

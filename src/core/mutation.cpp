@@ -1,0 +1,82 @@
+#include "core/mutation.hpp"
+
+#include <algorithm>
+
+namespace ef::core {
+
+Interval mutate_gene(const Interval& gene, MutationOp op, double step, double range_lo,
+                     double range_hi, util::Rng& rng) {
+  const auto clamp = [&](double x) { return std::clamp(x, range_lo, range_hi); };
+
+  if (op == MutationOp::kToggleWildcard) {
+    if (gene.is_wildcard()) {
+      // Re-materialise: a random sub-interval around a random centre.
+      const double centre = rng.uniform(range_lo, range_hi);
+      const double half = 0.5 * step;
+      return Interval(clamp(centre - half), clamp(centre + half));
+    }
+    return Interval::wildcard();
+  }
+
+  if (gene.is_wildcard()) {
+    // Geometric edits are meaningless on '*': keep the gene unchanged. (The
+    // toggle op is the only way in or out of the wildcard state.)
+    return gene;
+  }
+
+  double lo = gene.lo();
+  double hi = gene.hi();
+  switch (op) {
+    case MutationOp::kEnlarge:
+      lo -= step;
+      hi += step;
+      break;
+    case MutationOp::kShrink:
+      lo += step;
+      hi -= step;
+      if (lo > hi) lo = hi = gene.midpoint();  // collapse to a point, never invert
+      break;
+    case MutationOp::kShiftUp:
+      lo += step;
+      hi += step;
+      break;
+    case MutationOp::kShiftDown:
+      lo -= step;
+      hi -= step;
+      break;
+    case MutationOp::kToggleWildcard:
+      break;  // handled above
+  }
+  lo = clamp(lo);
+  hi = clamp(hi);
+  if (lo > hi) std::swap(lo, hi);  // clamping a fully-out-of-range shift
+  return Interval(lo, hi);
+}
+
+void mutate_rule(Rule& rule, const WindowDataset& data, const EvolutionConfig& config,
+                 util::Rng& rng) {
+  const double range_lo = data.value_min();
+  const double range_hi = data.value_max();
+  const double span = range_hi - range_lo;
+
+  bool changed = false;
+  for (auto& gene : rule.genes()) {
+    if (!rng.bernoulli(config.mutation_prob)) continue;
+    MutationOp op;
+    if (rng.bernoulli(config.wildcard_toggle_prob)) {
+      op = MutationOp::kToggleWildcard;
+    } else {
+      constexpr MutationOp kGeometric[] = {MutationOp::kEnlarge, MutationOp::kShrink,
+                                           MutationOp::kShiftUp, MutationOp::kShiftDown};
+      op = kGeometric[rng.index(4)];
+    }
+    // Step drawn uniformly in (0, mutation_scale·span]; a fresh draw per gene
+    // lets one mutation make both fine and coarse edits.
+    const double step = rng.uniform() * config.mutation_scale * span;
+    gene = mutate_gene(gene, op, step, range_lo, range_hi, rng);
+    changed = true;
+  }
+  if (changed) rule.clear_predicting();
+}
+
+}  // namespace ef::core

@@ -1,0 +1,36 @@
+// mutation.hpp — interval-gene mutation (paper §3.1).
+//
+// "This mutation process consists of enlargement, shrink or moving up or
+// down the interval encoded by the gene." We add a low-probability wildcard
+// toggle (set a gene to '*' / re-materialise a '*'), which the encoding
+// implies but the operator list omits — without it wildcards could never
+// appear after initialisation. All steps are sized relative to the
+// variable's full range so the operator is scale-free across datasets
+// (centimetres for Venice, [0,1] elsewhere).
+#pragma once
+
+#include "core/config.hpp"
+#include "core/dataset.hpp"
+#include "core/rule.hpp"
+#include "util/rng.hpp"
+
+namespace ef::core {
+
+/// The four interval edits named by the paper plus the wildcard toggle.
+enum class MutationOp { kEnlarge, kShrink, kShiftUp, kShiftDown, kToggleWildcard };
+
+/// Apply `op` to a single gene. `range_lo/range_hi` bound the variable;
+/// `step` is the absolute edit magnitude. Results are clamped to the range
+/// and always satisfy lo <= hi (a shrink below zero width collapses to a
+/// point interval at the midpoint). Exposed for direct unit testing.
+[[nodiscard]] Interval mutate_gene(const Interval& gene, MutationOp op, double step,
+                                   double range_lo, double range_hi, util::Rng& rng);
+
+/// Mutate a rule in place: each gene independently mutates with probability
+/// config.mutation_prob; the op is uniform over {enlarge, shrink, up, down}
+/// except that with probability config.wildcard_toggle_prob the op is the
+/// wildcard toggle instead. Invalidates the predicting part.
+void mutate_rule(Rule& rule, const WindowDataset& data, const EvolutionConfig& config,
+                 util::Rng& rng);
+
+}  // namespace ef::core

@@ -1,0 +1,92 @@
+#include "core/rule.hpp"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace ef::core {
+
+double Rule::fitness() const noexcept {
+  return predicting_ ? predicting_->fitness : -std::numeric_limits<double>::infinity();
+}
+
+double Rule::forecast(std::span<const double> window_values) const {
+  if (!predicting_) throw std::logic_error("Rule::forecast: rule not evaluated");
+  return predicting_->fit.predict(window_values);
+}
+
+std::size_t Rule::specificity() const noexcept {
+  std::size_t n = 0;
+  for (const auto& g : genes_) {
+    if (!g.is_wildcard()) ++n;
+  }
+  return n;
+}
+
+std::string Rule::encode() const {
+  std::ostringstream out;
+  out << '(';
+  for (std::size_t i = 0; i < genes_.size(); ++i) {
+    if (i) out << ", ";
+    if (genes_[i].is_wildcard()) {
+      out << "*, *";
+    } else {
+      out << genes_[i].lo() << ", " << genes_[i].hi();
+    }
+  }
+  if (predicting_) {
+    out << " | p=" << predicting_->prediction() << ", e=" << predicting_->error();
+  }
+  out << ')';
+  return out.str();
+}
+
+Rule Rule::parse(const std::string& text) {
+  // Accept "(a, b, *, *, c, d ...)" optionally followed by "| p=…, e=…)".
+  const auto open = text.find('(');
+  if (open == std::string::npos) throw std::invalid_argument("Rule::parse: missing '('");
+  auto end = text.find('|', open);
+  if (end == std::string::npos) end = text.find(')', open);
+  if (end == std::string::npos) throw std::invalid_argument("Rule::parse: missing ')'");
+
+  std::vector<std::string> tokens;
+  {
+    std::string token;
+    std::istringstream body(text.substr(open + 1, end - open - 1));
+    while (std::getline(body, token, ',')) {
+      // trim
+      const auto first = token.find_first_not_of(" \t");
+      const auto last = token.find_last_not_of(" \t");
+      if (first == std::string::npos) continue;
+      tokens.push_back(token.substr(first, last - first + 1));
+    }
+  }
+  if (tokens.empty() || tokens.size() % 2 != 0) {
+    throw std::invalid_argument("Rule::parse: expected an even number of bounds, got " +
+                                std::to_string(tokens.size()));
+  }
+
+  std::vector<Interval> genes;
+  genes.reserve(tokens.size() / 2);
+  for (std::size_t i = 0; i < tokens.size(); i += 2) {
+    const bool lo_wild = tokens[i] == "*";
+    const bool hi_wild = tokens[i + 1] == "*";
+    if (lo_wild != hi_wild) {
+      throw std::invalid_argument("Rule::parse: half-wildcard gene at position " +
+                                  std::to_string(i / 2));
+    }
+    if (lo_wild) {
+      genes.push_back(Interval::wildcard());
+    } else {
+      try {
+        genes.emplace_back(std::stod(tokens[i]), std::stod(tokens[i + 1]));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("Rule::parse: bad bounds '" + tokens[i] + "', '" +
+                                    tokens[i + 1] + "'");
+      }
+    }
+  }
+  return Rule(std::move(genes));
+}
+
+}  // namespace ef::core

@@ -1,0 +1,290 @@
+#include "core/rule_system.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/evolution.hpp"
+#include "util/rng.hpp"
+
+namespace ef::core {
+
+void RuleSystem::add_rules(std::vector<Rule> rules, bool discard_unfit, double f_min) {
+  for (Rule& rule : rules) {
+    if (!rule.predicting()) continue;  // nothing to predict with
+    if (discard_unfit && rule.fitness() <= f_min) continue;
+    rules_.push_back(std::move(rule));
+  }
+}
+
+std::optional<double> RuleSystem::predict(std::span<const double> window) const {
+  double sum = 0.0;
+  std::size_t votes = 0;
+  for (const Rule& rule : rules_) {
+    if (rule.matches(window)) {
+      sum += rule.forecast(window);
+      ++votes;
+    }
+  }
+  if (votes == 0) return std::nullopt;
+  return sum / static_cast<double>(votes);
+}
+
+std::optional<double> RuleSystem::predict(std::span<const double> window,
+                                          Aggregation how) const {
+  return aggregate_votes(collect_votes(rules_, window), how);
+}
+
+std::optional<RuleSystem::BoundedForecast> RuleSystem::predict_with_bound(
+    std::span<const double> window, Aggregation how) const {
+  const std::vector<Vote> votes = collect_votes(rules_, window);
+  const auto value = aggregate_votes(votes, how);
+  if (!value) return std::nullopt;
+
+  BoundedForecast out;
+  out.value = *value;
+  out.votes = votes.size();
+  for (const Vote& v : votes) {
+    const double candidate = v.error + std::abs(v.value - *value);
+    out.bound = std::max(out.bound, candidate);
+  }
+  return out;
+}
+
+std::size_t RuleSystem::vote_count(std::span<const double> window) const {
+  std::size_t votes = 0;
+  for (const Rule& rule : rules_) {
+    if (rule.matches(window)) ++votes;
+  }
+  return votes;
+}
+
+series::PartialForecast RuleSystem::forecast_dataset(const WindowDataset& data,
+                                                     util::ThreadPool* pool) const {
+  series::PartialForecast out(data.count());
+  util::ThreadPool& tp = pool ? *pool : util::ThreadPool::shared();
+  tp.parallel_for(0, data.count(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) out[i] = predict(data.pattern(i));
+  });
+  return out;
+}
+
+series::PartialForecast RuleSystem::forecast_dataset(const WindowDataset& data,
+                                                     Aggregation how,
+                                                     util::ThreadPool* pool) const {
+  series::PartialForecast out(data.count());
+  util::ThreadPool& tp = pool ? *pool : util::ThreadPool::shared();
+  tp.parallel_for(0, data.count(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) out[i] = predict(data.pattern(i), how);
+  });
+  return out;
+}
+
+double RuleSystem::coverage_percent(const WindowDataset& data, util::ThreadPool* pool) const {
+  if (data.count() == 0) return 0.0;
+  std::atomic<std::size_t> covered{0};
+  util::ThreadPool& tp = pool ? *pool : util::ThreadPool::shared();
+  tp.parallel_for(0, data.count(), [&](std::size_t begin, std::size_t end) {
+    std::size_t local = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto window = data.pattern(i);
+      for (const Rule& rule : rules_) {
+        if (rule.matches(window)) {
+          ++local;
+          break;
+        }
+      }
+    }
+    covered.fetch_add(local, std::memory_order_relaxed);
+  });
+  return 100.0 * static_cast<double>(covered.load()) / static_cast<double>(data.count());
+}
+
+void RuleSystem::save(std::ostream& out) const {
+  out << "evoforecast-rules v1\n" << rules_.size() << '\n';
+  out.precision(17);
+  for (const Rule& rule : rules_) {
+    out << rule.window();
+    for (const auto& gene : rule.genes()) {
+      if (gene.is_wildcard()) {
+        out << " * *";
+      } else {
+        out << ' ' << gene.lo() << ' ' << gene.hi();
+      }
+    }
+    const auto& part = rule.predicting();
+    if (!part) throw std::logic_error("RuleSystem::save: unevaluated rule");
+    out << ' ' << part->fit.coeffs.size();
+    for (const double c : part->fit.coeffs) out << ' ' << c;
+    out << ' ' << part->fit.max_abs_residual << ' ' << part->fit.mean_prediction << ' '
+        << (part->fit.degenerate ? 1 : 0) << ' ' << part->matches << ' ' << part->fitness
+        << '\n';
+  }
+}
+
+RuleSystem RuleSystem::load(std::istream& in) {
+  std::string header;
+  std::getline(in, header);
+  if (header != "evoforecast-rules v1") {
+    throw std::runtime_error("RuleSystem::load: bad header '" + header + "'");
+  }
+  std::size_t count = 0;
+  in >> count;
+
+  RuleSystem system;
+  system.rules_.reserve(count);
+  for (std::size_t r = 0; r < count; ++r) {
+    std::size_t window = 0;
+    if (!(in >> window)) throw std::runtime_error("RuleSystem::load: truncated rule header");
+
+    std::vector<Interval> genes;
+    genes.reserve(window);
+    for (std::size_t j = 0; j < window; ++j) {
+      std::string lo_text;
+      std::string hi_text;
+      if (!(in >> lo_text >> hi_text)) {
+        throw std::runtime_error("RuleSystem::load: truncated genes");
+      }
+      if (lo_text == "*" && hi_text == "*") {
+        genes.push_back(Interval::wildcard());
+      } else {
+        genes.emplace_back(std::stod(lo_text), std::stod(hi_text));
+      }
+    }
+
+    PredictingPart part;
+    std::size_t n_coeffs = 0;
+    if (!(in >> n_coeffs)) throw std::runtime_error("RuleSystem::load: truncated coeffs");
+    part.fit.coeffs.resize(n_coeffs);
+    for (double& c : part.fit.coeffs) {
+      if (!(in >> c)) throw std::runtime_error("RuleSystem::load: truncated coeffs");
+    }
+    int degenerate = 0;
+    if (!(in >> part.fit.max_abs_residual >> part.fit.mean_prediction >> degenerate >>
+          part.matches >> part.fitness)) {
+      throw std::runtime_error("RuleSystem::load: truncated stats");
+    }
+    part.fit.degenerate = degenerate != 0;
+
+    Rule rule{std::move(genes)};
+    rule.set_predicting(std::move(part));
+    system.rules_.push_back(std::move(rule));
+  }
+  return system;
+}
+
+void RuleSystem::merge(const RuleSystem& other) {
+  rules_.insert(rules_.end(), other.rules_.begin(), other.rules_.end());
+}
+
+void RuleSystem::describe(std::ostream& out, std::size_t top_n) const {
+  // Sort indices by fitness descending.
+  std::vector<std::size_t> order(rules_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return rules_[a].fitness() > rules_[b].fitness();
+  });
+  const std::size_t shown = top_n == 0 ? order.size() : std::min(top_n, order.size());
+
+  out << "RuleSystem: " << rules_.size() << " rules (showing " << shown << ")\n";
+  out << "  rank  fitness   matches  max-err   prediction  spec\n";
+  for (std::size_t k = 0; k < shown; ++k) {
+    const Rule& rule = rules_[order[k]];
+    const auto& part = *rule.predicting();
+    out << "  " << k + 1 << "\t" << part.fitness << "\t" << part.matches << "\t"
+        << part.error() << "\t" << part.prediction() << "\t" << rule.specificity() << "/"
+        << rule.window() << "\n";
+  }
+}
+
+TrainResult extend_rule_system(const RuleSystem& existing, const WindowDataset& train,
+                               const RuleSystemConfig& config, util::ThreadPool* pool) {
+  config.validate();
+
+  SteadyStateEngine engine(train, config.evolution,
+                           std::vector<Rule>(existing.rules()), pool);
+  engine.run();
+
+  TrainResult result;
+  result.system.add_rules(std::vector<Rule>(engine.population()), config.discard_unfit,
+                          config.evolution.f_min);
+  result.executions = 1;
+  result.train_coverage_percent = result.system.coverage_percent(train, pool);
+  result.coverage_per_execution.push_back(result.train_coverage_percent);
+  return result;
+}
+
+TrainResult train_rule_system_parallel(const WindowDataset& train,
+                                       const RuleSystemConfig& config,
+                                       util::ThreadPool* pool) {
+  config.validate();
+  util::ThreadPool& tp = pool ? *pool : util::ThreadPool::shared();
+
+  // Same seed schedule as the sequential trainer.
+  util::Rng seeder(config.evolution.seed);
+  std::vector<std::uint64_t> seeds(config.max_executions);
+  for (std::size_t exec = 0; exec < seeds.size(); ++exec) {
+    seeds[exec] = exec == 0 ? config.evolution.seed : seeder();
+  }
+
+  // One island per execution; islands evaluate serially (single-worker
+  // sentinel pool) so a pool worker never blocks on nested parallel_for.
+  static util::ThreadPool inline_pool(1);
+  std::vector<std::vector<Rule>> islands(config.max_executions);
+  tp.parallel_for(
+      0, config.max_executions,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t exec = begin; exec < end; ++exec) {
+          EvolutionConfig run_config = config.evolution;
+          run_config.seed = seeds[exec];
+          SteadyStateEngine engine(train, run_config, &inline_pool);
+          engine.run();
+          islands[exec] = engine.population();
+        }
+      },
+      /*grain=*/1);
+
+  // Union in island order until the coverage target is met — identical to
+  // the sequential early-stopping result.
+  TrainResult result;
+  for (std::size_t exec = 0; exec < islands.size(); ++exec) {
+    result.system.add_rules(std::move(islands[exec]), config.discard_unfit,
+                            config.evolution.f_min);
+    ++result.executions;
+    result.train_coverage_percent = result.system.coverage_percent(train, pool);
+    result.coverage_per_execution.push_back(result.train_coverage_percent);
+    if (result.train_coverage_percent >= config.coverage_target_percent) break;
+  }
+  return result;
+}
+
+TrainResult train_rule_system(const WindowDataset& train, const RuleSystemConfig& config,
+                              util::ThreadPool* pool, TelemetrySink telemetry) {
+  config.validate();
+
+  TrainResult result;
+  util::Rng seeder(config.evolution.seed);
+  for (std::size_t exec = 0; exec < config.max_executions; ++exec) {
+    EvolutionConfig run_config = config.evolution;
+    // First execution uses the configured seed verbatim (reproducing a
+    // single-run experiment exactly); later ones fork from it.
+    run_config.seed = exec == 0 ? config.evolution.seed : seeder();
+
+    SteadyStateEngine engine(train, run_config, pool, telemetry);
+    engine.run();
+    result.system.add_rules(std::vector<Rule>(engine.population()), config.discard_unfit,
+                            config.evolution.f_min);
+    ++result.executions;
+
+    result.train_coverage_percent = result.system.coverage_percent(train, pool);
+    result.coverage_per_execution.push_back(result.train_coverage_percent);
+    if (result.train_coverage_percent >= config.coverage_target_percent) break;
+  }
+  return result;
+}
+
+}  // namespace ef::core

@@ -1,0 +1,45 @@
+// selection.hpp — parent selection (paper §3.3: "three rounds trials").
+//
+// We read the paper's selection as a k-round tournament: sample k
+// individuals uniformly with replacement, keep the fittest. Rounds = 3 by
+// default (configurable). Header-only: the logic is a dozen lines and is
+// instantiated in both the engine and the ablation benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/rule.hpp"
+#include "util/rng.hpp"
+
+namespace ef::core {
+
+/// Index of the tournament winner among `population`. Requires a non-empty
+/// population and rounds >= 1 (throws std::invalid_argument otherwise).
+[[nodiscard]] inline std::size_t tournament_select(std::span<const Rule> population,
+                                                   std::size_t rounds, util::Rng& rng) {
+  if (population.empty()) throw std::invalid_argument("tournament_select: empty population");
+  if (rounds == 0) throw std::invalid_argument("tournament_select: rounds must be >= 1");
+  std::size_t best = rng.index(population.size());
+  for (std::size_t r = 1; r < rounds; ++r) {
+    const std::size_t challenger = rng.index(population.size());
+    if (population[challenger].fitness() > population[best].fitness()) best = challenger;
+  }
+  return best;
+}
+
+/// Two parents, independently selected. They may coincide (the paper does
+/// not forbid self-mating; uniform crossover of identical parents is a
+/// clone, which mutation then perturbs).
+struct ParentPair {
+  std::size_t first;
+  std::size_t second;
+};
+
+[[nodiscard]] inline ParentPair select_parents(std::span<const Rule> population,
+                                               std::size_t rounds, util::Rng& rng) {
+  return ParentPair{tournament_select(population, rounds, rng),
+                    tournament_select(population, rounds, rng)};
+}
+
+}  // namespace ef::core

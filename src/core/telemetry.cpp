@@ -1,0 +1,21 @@
+#include "core/telemetry.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace ef::core {
+
+void TelemetryCollector::write_csv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("TelemetryCollector: cannot open '" + path + "'");
+  file << "generation,best_fitness,mean_fitness,mean_error,mean_matches,"
+          "mean_specificity,replacements\n";
+  for (const auto& r : records_) {
+    file << r.generation << ',' << r.best_fitness << ',' << r.mean_fitness << ','
+         << r.mean_error << ',' << r.mean_matches << ',' << r.mean_specificity << ','
+         << r.replacements << '\n';
+  }
+  if (!file) throw std::runtime_error("TelemetryCollector: write failed for '" + path + "'");
+}
+
+}  // namespace ef::core

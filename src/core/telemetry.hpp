@@ -1,0 +1,47 @@
+// telemetry.hpp — per-generation traces of a steady-state run.
+//
+// The engine emits one record every `telemetry_stride` generations; the
+// collector accumulates them and can dump a CSV for external plotting (the
+// benches attach one to show convergence curves).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ef::core {
+
+/// Snapshot of population state at one generation.
+struct TelemetryRecord {
+  std::size_t generation = 0;
+  double best_fitness = 0.0;
+  double mean_fitness = 0.0;
+  double mean_error = 0.0;        ///< mean e_R over evaluated rules
+  double mean_matches = 0.0;      ///< mean N_R
+  double mean_specificity = 0.0;  ///< mean count of non-wildcard genes
+  std::size_t replacements = 0;   ///< accepted offspring so far
+};
+
+/// Callback invoked by the engine; default collector stores records.
+using TelemetrySink = std::function<void(const TelemetryRecord&)>;
+
+class TelemetryCollector {
+ public:
+  [[nodiscard]] TelemetrySink sink() {
+    return [this](const TelemetryRecord& r) { records_.push_back(r); };
+  }
+
+  [[nodiscard]] const std::vector<TelemetryRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+
+  /// Write all records as CSV (header + one row per record).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<TelemetryRecord> records_;
+};
+
+}  // namespace ef::core

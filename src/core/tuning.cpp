@@ -1,0 +1,82 @@
+#include "core/tuning.hpp"
+
+#include <stdexcept>
+
+#include "core/rule_system.hpp"
+
+namespace ef::core {
+namespace {
+
+/// Training coverage of a short pilot run at the given EMAX.
+[[nodiscard]] double pilot_coverage(const WindowDataset& train, const EvolutionConfig& base,
+                                    const EmaxTuningOptions& options, double emax,
+                                    util::ThreadPool* pool) {
+  RuleSystemConfig cfg;
+  cfg.evolution = base;
+  cfg.evolution.emax = emax;
+  cfg.evolution.generations = options.pilot_generations;
+  cfg.max_executions = options.pilot_executions;
+  cfg.coverage_target_percent = options.coverage_target_percent;
+  return train_rule_system(train, cfg, pool).train_coverage_percent;
+}
+
+}  // namespace
+
+EmaxTuningResult tune_emax(const WindowDataset& train, const EvolutionConfig& base,
+                           const EmaxTuningOptions& options, util::ThreadPool* pool) {
+  const double range = train.target_max() - train.target_min();
+  if (range <= 0.0) {
+    throw std::invalid_argument("tune_emax: constant-target dataset, nothing to tune");
+  }
+  if (options.lo_fraction <= 0.0 || options.hi_fraction <= options.lo_fraction) {
+    throw std::invalid_argument("tune_emax: need 0 < lo_fraction < hi_fraction");
+  }
+  if (options.coverage_target_percent <= 0.0 || options.coverage_target_percent > 100.0) {
+    throw std::invalid_argument("tune_emax: coverage target out of (0, 100]");
+  }
+
+  EmaxTuningResult result;
+  double lo = options.lo_fraction * range;
+  double hi = options.hi_fraction * range;
+
+  const auto probe = [&](double emax) {
+    const double coverage = pilot_coverage(train, base, options, emax, pool);
+    result.probes.emplace_back(emax, coverage);
+    return coverage;
+  };
+
+  // If even the widest budget misses the target, return it (best possible).
+  double hi_coverage = probe(hi);
+  if (hi_coverage < options.coverage_target_percent) {
+    result.emax = hi;
+    result.achieved_coverage_percent = hi_coverage;
+    return result;
+  }
+  // If the tightest budget already reaches the target, no search needed.
+  const double lo_coverage = probe(lo);
+  if (lo_coverage >= options.coverage_target_percent) {
+    result.emax = lo;
+    result.achieved_coverage_percent = lo_coverage;
+    return result;
+  }
+
+  // Invariant: coverage(lo) < target <= coverage(hi). Bisect on EMAX.
+  double best_emax = hi;
+  double best_coverage = hi_coverage;
+  for (std::size_t step = 0; step < options.bisection_steps; ++step) {
+    const double mid = 0.5 * (lo + hi);
+    const double coverage = probe(mid);
+    if (coverage >= options.coverage_target_percent) {
+      best_emax = mid;
+      best_coverage = coverage;
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  result.emax = best_emax;
+  result.achieved_coverage_percent = best_coverage;
+  return result;
+}
+
+}  // namespace ef::core

@@ -1,0 +1,52 @@
+// tuning.hpp — automatic calibration of the EMAX dial.
+//
+// The paper's conclusion: "The algorithm can also be tuned in order to
+// attain a higher prediction percentage at the cost of worse prediction
+// results." In practice EMAX is the one parameter users must get right per
+// dataset/horizon, and its usable range spans an order of magnitude (see
+// bench_ablation_emax). tune_emax() automates the search: bisection on EMAX
+// against a *short* pilot evolution per probe, targeting a training
+// coverage, returning the smallest EMAX that reaches it (smallest = tightest
+// per-rule error budget = best accuracy at that coverage).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/dataset.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ef::core {
+
+struct EmaxTuningOptions {
+  double coverage_target_percent = 95.0;
+  /// Bracket: [lo, hi] as fractions of the training target range. The hi
+  /// bound (a whole range) always reaches full coverage.
+  double lo_fraction = 0.005;
+  double hi_fraction = 1.0;
+  std::size_t bisection_steps = 8;
+  /// Pilot budget per probe — deliberately small; coverage-vs-EMAX is
+  /// monotone enough that short runs rank candidates correctly.
+  std::size_t pilot_generations = 1500;
+  std::size_t pilot_executions = 2;
+};
+
+struct EmaxTuningResult {
+  double emax = 0.0;
+  double achieved_coverage_percent = 0.0;
+  /// Every probe evaluated: (emax, coverage), in evaluation order —
+  /// useful for plotting the dial.
+  std::vector<std::pair<double, double>> probes;
+};
+
+/// Find the smallest EMAX whose pilot run reaches the coverage target.
+/// `base` supplies every other evolution parameter (population, operators,
+/// seed…). Throws std::invalid_argument on a degenerate (constant-target)
+/// dataset or a nonsensical bracket.
+[[nodiscard]] EmaxTuningResult tune_emax(const WindowDataset& train,
+                                         const EvolutionConfig& base,
+                                         const EmaxTuningOptions& options = {},
+                                         util::ThreadPool* pool = nullptr);
+
+}  // namespace ef::core

@@ -1,0 +1,184 @@
+#include "experiments/experiments.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "baselines/ar.hpp"
+#include "baselines/arma.hpp"
+#include "baselines/elman.hpp"
+#include "baselines/mlp.hpp"
+#include "baselines/mran.hpp"
+#include "baselines/ran.hpp"
+#include "series/mackey_glass.hpp"
+#include "series/metrics.hpp"
+#include "series/significance.hpp"
+#include "series/sunspot.hpp"
+#include "series/venice.hpp"
+
+namespace ef::experiments {
+namespace {
+
+[[nodiscard]] std::vector<double> targets_of(const core::WindowDataset& data) {
+  std::vector<double> out;
+  out.reserve(data.count());
+  for (std::size_t i = 0; i < data.count(); ++i) out.push_back(data.target(i));
+  return out;
+}
+
+/// Train and evaluate the rule system; fills the common row fields and
+/// returns the forecast for metric-specific post-processing.
+[[nodiscard]] series::PartialForecast evaluate_rule_system(
+    const core::WindowDataset& train, const core::WindowDataset& validation,
+    const core::RuleSystemConfig& config, RuleSystemRow& row) {
+  const auto result = core::train_rule_system(train, config);
+  const auto forecast = result.system.forecast_dataset(validation);
+  const auto report = series::evaluate_partial(targets_of(validation), forecast);
+  row.coverage_percent = report.coverage_percent;
+  row.rmse = report.rmse;
+  row.mae = report.mae;
+  row.nmse = report.nmse;
+  row.rules = result.system.size();
+  row.executions = result.executions;
+  return forecast;
+}
+
+}  // namespace
+
+double venice_emax_schedule(std::size_t horizon) {
+  return 8.0 + 48.0 * (1.0 - std::exp(-static_cast<double>(horizon) / 8.0));
+}
+
+VeniceRowResult run_venice_row(const VeniceRowConfig& config) {
+  const auto experiment =
+      series::make_paper_venice(config.train_hours, config.validation_hours);
+  const core::WindowDataset train(experiment.train, config.window, config.horizon);
+  const core::WindowDataset validation(experiment.validation, config.window,
+                                       config.horizon);
+
+  core::RuleSystemConfig rs_config;
+  rs_config.evolution.population_size = config.population;
+  rs_config.evolution.generations = config.generations;
+  rs_config.evolution.emax =
+      config.emax > 0.0 ? config.emax : venice_emax_schedule(config.horizon);
+  rs_config.evolution.seed = config.seed + config.horizon;
+  rs_config.coverage_target_percent = config.coverage_target_percent;
+  rs_config.max_executions = config.max_executions;
+
+  VeniceRowResult result;
+  const auto forecast = evaluate_rule_system(train, validation, rs_config, result.rs);
+
+  const auto actual = targets_of(validation);
+
+  baselines::MlpConfig mlp_config;
+  mlp_config.hidden = {16};
+  mlp_config.epochs = config.mlp_epochs;
+  mlp_config.seed = config.seed + 1000 + config.horizon;
+  baselines::Mlp mlp(mlp_config);
+  mlp.fit(train);
+  const auto mlp_predictions = mlp.predict_all(validation);
+  result.rmse_mlp = series::rmse(actual, mlp_predictions);
+
+  // Paired significance over the covered windows (the only ones the rule
+  // system answers on — the fair comparison set).
+  std::vector<double> rs_abs_err;
+  std::vector<double> mlp_abs_err;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (!forecast[i]) continue;
+    rs_abs_err.push_back(std::abs(*forecast[i] - actual[i]));
+    mlp_abs_err.push_back(std::abs(mlp_predictions[i] - actual[i]));
+  }
+  if (!rs_abs_err.empty()) {
+    result.p_rs_vs_mlp =
+        series::compare_paired_errors(rs_abs_err, mlp_abs_err).wilcoxon_p;
+  }
+
+  baselines::ArModel ar;
+  ar.fit(train);
+  result.rmse_ar = series::rmse(actual, ar.predict_all(validation));
+
+  baselines::Arma arma;
+  arma.fit(train);
+  result.rmse_arma = series::rmse(actual, arma.predict_all(validation));
+  return result;
+}
+
+MackeyGlassRowResult run_mackey_glass_row(const MackeyGlassRowConfig& config) {
+  const auto experiment = series::make_paper_mackey_glass();
+  const core::WindowDataset train(experiment.train, config.window, config.horizon,
+                                  config.stride);
+  const core::WindowDataset test(experiment.test, config.window, config.horizon,
+                                 config.stride);
+
+  core::RuleSystemConfig rs_config;
+  rs_config.evolution.population_size = config.population;
+  rs_config.evolution.generations = config.generations;
+  rs_config.evolution.emax = config.emax;
+  rs_config.evolution.seed = config.seed + config.horizon;
+  rs_config.coverage_target_percent = config.coverage_target_percent;
+  rs_config.max_executions = config.max_executions;
+
+  MackeyGlassRowResult result;
+  (void)evaluate_rule_system(train, test, rs_config, result.rs);
+
+  const auto actual = targets_of(test);
+
+  baselines::RanConfig ran_config;
+  ran_config.passes = config.rbf_passes;
+  baselines::Ran ran(ran_config);
+  ran.fit(train);
+  result.nmse_ran = series::nmse(actual, ran.predict_all(test));
+
+  baselines::MranConfig mran_config;
+  mran_config.passes = config.rbf_passes;
+  baselines::Mran mran(mran_config);
+  mran.fit(train);
+  result.nmse_mran = series::nmse(actual, mran.predict_all(test));
+  return result;
+}
+
+double sunspot_emax_schedule(std::size_t horizon) {
+  return 0.18 + 0.007 * static_cast<double>(horizon);
+}
+
+SunspotRowResult run_sunspot_row(const SunspotRowConfig& config) {
+  const auto experiment = series::make_paper_sunspots();
+  const core::WindowDataset train(experiment.train, config.window, config.horizon);
+  const core::WindowDataset validation(experiment.validation, config.window,
+                                       config.horizon);
+
+  core::RuleSystemConfig rs_config;
+  rs_config.evolution.population_size = config.population;
+  rs_config.evolution.generations = config.generations;
+  rs_config.evolution.emax =
+      config.emax > 0.0 ? config.emax : sunspot_emax_schedule(config.horizon);
+  rs_config.evolution.seed = config.seed + config.horizon;
+  rs_config.coverage_target_percent = config.coverage_target_percent;
+  rs_config.max_executions = config.max_executions;
+
+  SunspotRowResult result;
+  const auto forecast =
+      evaluate_rule_system(train, validation, rs_config, result.rs);
+  const auto actual = targets_of(validation);
+  result.galvan_rs = series::galvan_error_partial(actual, forecast, config.horizon);
+
+  baselines::MlpConfig mlp_config;
+  mlp_config.hidden = {12};
+  mlp_config.epochs = config.mlp_epochs;
+  mlp_config.seed = config.seed + 1000 + config.horizon;
+  baselines::Mlp mlp(mlp_config);
+  mlp.fit(train);
+  result.galvan_mlp =
+      series::galvan_error(actual, mlp.predict_all(validation), config.horizon);
+
+  baselines::ElmanConfig elman_config;
+  elman_config.hidden = 10;
+  elman_config.epochs = config.elman_epochs;
+  elman_config.seed = config.seed + 2000 + config.horizon;
+  baselines::Elman elman(elman_config);
+  elman.fit(train);
+  result.galvan_elman =
+      series::galvan_error(actual, elman.predict_all(validation), config.horizon);
+  return result;
+}
+
+}  // namespace ef::experiments

@@ -1,0 +1,116 @@
+// experiments.hpp — the paper's three evaluation experiments as a library.
+//
+// One function per table row: build the dataset at the requested scale,
+// train the rule system, train the comparators, return every number the
+// paper's table reports. The bench binaries are thin CLI/printing wrappers
+// around these, and the test suite calls them at reduced scale to regression-
+// test the *shape* of each result (who wins, coverage bands) — so a change
+// that silently breaks a reproduction fails ctest, not just eyeballs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/rule_system.hpp"
+
+namespace ef::experiments {
+
+/// Common rule-system outcome fields of a table row.
+struct RuleSystemRow {
+  double coverage_percent = 0.0;
+  double rmse = 0.0;   ///< covered subset
+  double mae = 0.0;    ///< covered subset
+  double nmse = 0.0;   ///< covered subset
+  std::size_t rules = 0;
+  std::size_t executions = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Table 1 — Venice Lagoon
+// ---------------------------------------------------------------------------
+
+struct VeniceRowConfig {
+  std::size_t horizon = 1;
+  std::size_t window = 24;  ///< paper: 24 hourly inputs
+  std::size_t train_hours = 8000;
+  std::size_t validation_hours = 2000;
+  std::size_t population = 100;
+  std::size_t generations = 6000;
+  std::size_t max_executions = 8;
+  double coverage_target_percent = 97.0;
+  /// <= 0: use the calibrated schedule 8 + 48·(1 − e^{−τ/8}) cm.
+  double emax = -1.0;
+  std::uint64_t seed = 1;
+  std::size_t mlp_epochs = 30;
+};
+
+struct VeniceRowResult {
+  RuleSystemRow rs;
+  double rmse_mlp = 0.0;
+  double rmse_ar = 0.0;
+  double rmse_arma = 0.0;
+  /// Two-sided Wilcoxon signed-rank p for |err_RS| vs |err_MLP| paired over
+  /// the rule system's covered windows (1.0 when nothing is covered).
+  double p_rs_vs_mlp = 1.0;
+};
+
+[[nodiscard]] VeniceRowResult run_venice_row(const VeniceRowConfig& config);
+
+/// The calibrated EMAX schedule used when VeniceRowConfig::emax <= 0.
+[[nodiscard]] double venice_emax_schedule(std::size_t horizon);
+
+// ---------------------------------------------------------------------------
+// Table 2 — Mackey-Glass
+// ---------------------------------------------------------------------------
+
+struct MackeyGlassRowConfig {
+  std::size_t horizon = 50;
+  std::size_t window = 4;
+  std::size_t stride = 6;  ///< comparators' classic delay embedding
+  std::size_t population = 100;
+  std::size_t generations = 15000;
+  std::size_t max_executions = 4;
+  double coverage_target_percent = 78.0;  ///< paper's operating point
+  double emax = 0.14;
+  std::uint64_t seed = 1;
+  std::size_t rbf_passes = 2;  ///< RAN/MRAN sweeps (cited works: online)
+};
+
+struct MackeyGlassRowResult {
+  RuleSystemRow rs;
+  double nmse_ran = 0.0;
+  double nmse_mran = 0.0;
+};
+
+[[nodiscard]] MackeyGlassRowResult run_mackey_glass_row(const MackeyGlassRowConfig& config);
+
+// ---------------------------------------------------------------------------
+// Table 3 — sunspots
+// ---------------------------------------------------------------------------
+
+struct SunspotRowConfig {
+  std::size_t horizon = 1;
+  std::size_t window = 24;  ///< paper: 24 inputs
+  std::size_t population = 100;
+  std::size_t generations = 15000;
+  std::size_t max_executions = 8;
+  double coverage_target_percent = 96.0;
+  /// <= 0: use the calibrated schedule 0.18 + 0.007·τ (normalised units).
+  double emax = -1.0;
+  std::uint64_t seed = 1;
+  std::size_t mlp_epochs = 40;
+  std::size_t elman_epochs = 25;
+};
+
+struct SunspotRowResult {
+  RuleSystemRow rs;
+  double galvan_rs = 0.0;  ///< Table 3's metric, covered subset
+  double galvan_mlp = 0.0;
+  double galvan_elman = 0.0;
+};
+
+[[nodiscard]] SunspotRowResult run_sunspot_row(const SunspotRowConfig& config);
+
+[[nodiscard]] double sunspot_emax_schedule(std::size_t horizon);
+
+}  // namespace ef::experiments

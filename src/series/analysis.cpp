@@ -1,0 +1,52 @@
+#include "series/analysis.hpp"
+
+#include <stdexcept>
+
+namespace ef::series {
+
+double autocorrelation(const TimeSeries& s, std::size_t lag) {
+  if (lag >= s.size()) {
+    throw std::invalid_argument("autocorrelation: lag >= series size");
+  }
+  const double mean = s.mean();
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double d = s[i] - mean;
+    den += d * d;
+    if (i >= lag) num += d * (s[i - lag] - mean);
+  }
+  if (den == 0.0) throw std::invalid_argument("autocorrelation: constant series");
+  return num / den;
+}
+
+std::vector<double> acf(const TimeSeries& s, std::size_t max_lag) {
+  std::vector<double> out;
+  out.reserve(max_lag + 1);
+  for (std::size_t lag = 0; lag <= max_lag; ++lag) out.push_back(autocorrelation(s, lag));
+  return out;
+}
+
+std::optional<PeriodEstimate> detect_period(const TimeSeries& s, std::size_t min_lag,
+                                            std::size_t max_lag, double threshold) {
+  if (min_lag < 2 || max_lag <= min_lag) {
+    throw std::invalid_argument("detect_period: need 2 <= min_lag < max_lag");
+  }
+  if (max_lag + 1 >= s.size()) {
+    throw std::invalid_argument("detect_period: max_lag too large for series");
+  }
+  const std::vector<double> correlations = acf(s, max_lag + 1);
+
+  std::optional<PeriodEstimate> best;
+  for (std::size_t lag = min_lag; lag <= max_lag; ++lag) {
+    const double here = correlations[lag];
+    // Local maximum of the ACF above the threshold.
+    if (here < threshold) continue;
+    if (correlations[lag - 1] <= here && here >= correlations[lag + 1]) {
+      if (!best || here > best->acf_value) best = PeriodEstimate{lag, here};
+    }
+  }
+  return best;
+}
+
+}  // namespace ef::series

@@ -1,0 +1,39 @@
+// analysis.hpp — descriptive statistics of a series: autocorrelation and
+// dominant-period detection.
+//
+// Used to pick the seasonal period for SeasonalPersistence/HoltWinters and
+// a sensible embedding span for the rule system (Ablation E showed the
+// window span matters). Period detection scans the ACF for its strongest
+// local maximum beyond lag 1 — robust for the strongly periodic series this
+// library targets, and cheap (O(n·max_lag)).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "series/timeseries.hpp"
+
+namespace ef::series {
+
+/// Autocorrelation at one lag (biased estimator, standard for ACF plots).
+/// Throws std::invalid_argument when lag >= size or the series is constant.
+[[nodiscard]] double autocorrelation(const TimeSeries& s, std::size_t lag);
+
+/// ACF for lags 0..max_lag inclusive (acf[0] == 1).
+[[nodiscard]] std::vector<double> acf(const TimeSeries& s, std::size_t max_lag);
+
+struct PeriodEstimate {
+  std::size_t period = 0;
+  double acf_value = 0.0;  ///< ACF at the detected period
+};
+
+/// Dominant period: the lag of the highest ACF local maximum in
+/// [min_lag, max_lag]. nullopt when no local maximum clears `threshold`
+/// (aperiodic series). Throws on inconsistent lag bounds.
+[[nodiscard]] std::optional<PeriodEstimate> detect_period(const TimeSeries& s,
+                                                          std::size_t min_lag,
+                                                          std::size_t max_lag,
+                                                          double threshold = 0.1);
+
+}  // namespace ef::series

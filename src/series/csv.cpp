@@ -1,0 +1,110 @@
+#include "series/csv.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ef::series {
+namespace {
+
+/// Split one CSV line on the delimiter (no quoting support — numeric data).
+[[nodiscard]] std::vector<std::string> split_line(const std::string& line, char delimiter) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, delimiter)) cells.push_back(cell);
+  return cells;
+}
+
+[[nodiscard]] bool parse_double(const std::string& text, double& out) {
+  try {
+    std::size_t consumed = 0;
+    out = std::stod(text, &consumed);
+    // Allow trailing whitespace / CR only.
+    while (consumed < text.size() &&
+           (text[consumed] == ' ' || text[consumed] == '\t' || text[consumed] == '\r')) {
+      ++consumed;
+    }
+    return consumed == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+TimeSeries read_series_csv(std::istream& in, std::size_t column, char delimiter,
+                           const std::string& name) {
+  std::vector<double> values;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    const auto cells = split_line(line, delimiter);
+    if (column >= cells.size()) {
+      throw std::runtime_error("read_series_csv: line " + std::to_string(line_no) +
+                               " has only " + std::to_string(cells.size()) + " columns");
+    }
+    double v = 0.0;
+    if (parse_double(cells[column], v)) {
+      values.push_back(v);
+    } else if (line_no == 1) {
+      continue;  // header row
+    } else {
+      throw std::runtime_error("read_series_csv: non-numeric cell '" + cells[column] +
+                               "' at line " + std::to_string(line_no));
+    }
+  }
+  return TimeSeries(std::move(values), name);
+}
+
+TimeSeries read_series_csv(const std::string& path, std::size_t column, char delimiter) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("read_series_csv: cannot open '" + path + "'");
+  return read_series_csv(file, column, delimiter, path);
+}
+
+void write_series_csv(const std::string& path, const TimeSeries& s) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("write_series_csv: cannot open '" + path + "'");
+  file << "value\n";
+  for (const double v : s.values()) file << v << '\n';
+  if (!file) throw std::runtime_error("write_series_csv: write failed for '" + path + "'");
+}
+
+void Table::add_column(std::string name, std::vector<double> values) {
+  if (!columns.empty() && values.size() != columns.front().size()) {
+    throw std::invalid_argument("Table::add_column: column '" + name + "' has " +
+                                std::to_string(values.size()) + " rows, table has " +
+                                std::to_string(columns.front().size()));
+  }
+  header.push_back(std::move(name));
+  columns.push_back(std::move(values));
+}
+
+void write_table_csv(std::ostream& out, const Table& table) {
+  for (std::size_t c = 0; c < table.header.size(); ++c) {
+    if (c) out << ',';
+    out << table.header[c];
+  }
+  out << '\n';
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    for (std::size_t c = 0; c < table.columns.size(); ++c) {
+      if (c) out << ',';
+      const double v = table.columns[c][r];
+      if (!std::isnan(v)) out << v;
+    }
+    out << '\n';
+  }
+}
+
+void write_table_csv(const std::string& path, const Table& table) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("write_table_csv: cannot open '" + path + "'");
+  write_table_csv(file, table);
+  if (!file) throw std::runtime_error("write_table_csv: write failed for '" + path + "'");
+}
+
+}  // namespace ef::series

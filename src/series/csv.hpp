@@ -1,0 +1,49 @@
+// csv.hpp — plain CSV read/write for series and experiment traces.
+//
+// Kept deliberately small: one value column for series I/O plus a generic
+// multi-column table writer used by the bench harness to dump figures
+// (e.g. the Fig. 2 real-vs-predicted trace) for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "series/timeseries.hpp"
+
+namespace ef::series {
+
+/// Read a single-column (or first-column-of-many) numeric CSV into a series.
+/// Skips a non-numeric header row if present; throws std::runtime_error on
+/// unreadable files or rows that are neither numeric nor header.
+[[nodiscard]] TimeSeries read_series_csv(const std::string& path,
+                                         std::size_t column = 0, char delimiter = ',');
+
+/// Parse CSV text from a stream (unit-testable without touching the fs).
+[[nodiscard]] TimeSeries read_series_csv(std::istream& in, std::size_t column = 0,
+                                         char delimiter = ',', const std::string& name = "csv");
+
+/// Write one value per line with a header. Throws std::runtime_error when
+/// the file cannot be opened.
+void write_series_csv(const std::string& path, const TimeSeries& s);
+
+/// Generic column-oriented table for trace output. All columns must have the
+/// same length; cells may be NaN to indicate "no value" (written empty).
+struct Table {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> columns;
+
+  /// Append a column; throws std::invalid_argument on length mismatch with
+  /// existing columns.
+  void add_column(std::string name, std::vector<double> values);
+
+  [[nodiscard]] std::size_t rows() const noexcept {
+    return columns.empty() ? 0 : columns.front().size();
+  }
+};
+
+/// Serialise a table as CSV. NaN cells are written as empty fields.
+void write_table_csv(const std::string& path, const Table& table);
+void write_table_csv(std::ostream& out, const Table& table);
+
+}  // namespace ef::series

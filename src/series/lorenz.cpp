@@ -1,0 +1,61 @@
+#include "series/lorenz.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ef::series {
+namespace {
+
+using State = std::array<double, 3>;
+
+[[nodiscard]] State rhs(const State& s, const LorenzParams& p) {
+  return {p.sigma * (s[1] - s[0]), s[0] * (p.rho - s[2]) - s[1], s[0] * s[1] - p.beta * s[2]};
+}
+
+[[nodiscard]] State axpy(const State& s, double h, const State& k) {
+  return {s[0] + h * k[0], s[1] + h * k[1], s[2] + h * k[2]};
+}
+
+void rk4_step(State& s, double h, const LorenzParams& p) {
+  const State k1 = rhs(s, p);
+  const State k2 = rhs(axpy(s, 0.5 * h, k1), p);
+  const State k3 = rhs(axpy(s, 0.5 * h, k2), p);
+  const State k4 = rhs(axpy(s, h, k3), p);
+  for (int i = 0; i < 3; ++i) {
+    s[static_cast<std::size_t>(i)] +=
+        h / 6.0 *
+        (k1[static_cast<std::size_t>(i)] + 2.0 * k2[static_cast<std::size_t>(i)] +
+         2.0 * k3[static_cast<std::size_t>(i)] + k4[static_cast<std::size_t>(i)]);
+  }
+}
+
+}  // namespace
+
+TimeSeries generate_lorenz(std::size_t count, const LorenzParams& params) {
+  if (count == 0) throw std::invalid_argument("generate_lorenz: count must be > 0");
+  if (params.dt <= 0.0 || params.sample_dt <= 0.0) {
+    throw std::invalid_argument("generate_lorenz: dt and sample_dt must be > 0");
+  }
+  const double ratio = params.sample_dt / params.dt;
+  const auto steps_per_sample = static_cast<std::size_t>(std::llround(ratio));
+  if (steps_per_sample == 0 || std::abs(ratio - static_cast<double>(steps_per_sample)) > 1e-9) {
+    throw std::invalid_argument("generate_lorenz: sample_dt must be a multiple of dt");
+  }
+
+  State s{params.x0, params.y0, params.z0};
+  const auto burn_steps = static_cast<std::size_t>(std::llround(params.burn_in / params.dt));
+  for (std::size_t i = 0; i < burn_steps; ++i) rk4_step(s, params.dt, params);
+
+  std::vector<double> samples;
+  samples.reserve(count);
+  samples.push_back(s[0]);
+  for (std::size_t n = 1; n < count; ++n) {
+    for (std::size_t i = 0; i < steps_per_sample; ++i) rk4_step(s, params.dt, params);
+    samples.push_back(s[0]);
+  }
+  return TimeSeries(std::move(samples), "lorenz_x");
+}
+
+}  // namespace ef::series

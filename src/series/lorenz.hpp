@@ -1,0 +1,39 @@
+// lorenz.hpp — Lorenz-63 chaotic series generator (extension benchmark).
+//
+// Not used by the paper's three experiments, but a standard chaotic
+// forecasting benchmark alongside Mackey-Glass; included so downstream users
+// (and our extension tests) can exercise the rule system on a second,
+// structurally different chaotic attractor (no delay term, 3-D state,
+// two-lobed switching dynamics → strong *local* regimes, which is exactly
+// the method's habitat).
+//
+//   dx/dt = σ(y − x),  dy/dt = x(ρ − z) − y,  dz/dt = xy − βz
+//
+// The observable returned is x(t), sampled every `sample_dt` time units
+// after a transient burn-in, integrated with classic RK4.
+#pragma once
+
+#include <cstddef>
+
+#include "series/timeseries.hpp"
+
+namespace ef::series {
+
+struct LorenzParams {
+  double sigma = 10.0;
+  double rho = 28.0;
+  double beta = 8.0 / 3.0;
+  double x0 = 1.0;
+  double y0 = 1.0;
+  double z0 = 1.0;
+  double dt = 0.01;        ///< integrator step
+  double sample_dt = 0.1;  ///< spacing between output samples
+  double burn_in = 30.0;   ///< simulated time discarded before sampling
+};
+
+/// Generate `count` samples of the x component. Deterministic in params.
+/// Throws std::invalid_argument on non-positive count/dt/sample_dt or when
+/// sample_dt is not an integer multiple of dt.
+[[nodiscard]] TimeSeries generate_lorenz(std::size_t count, const LorenzParams& params = {});
+
+}  // namespace ef::series

@@ -1,0 +1,84 @@
+#include "series/mackey_glass.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ef::series {
+namespace {
+
+/// Right-hand side of the delay ODE given current value s and delayed value sd.
+[[nodiscard]] double rhs(double s, double sd, const MackeyGlassParams& p) {
+  return -p.b * s + p.a * sd / (1.0 + std::pow(sd, p.exponent));
+}
+
+}  // namespace
+
+TimeSeries generate_mackey_glass(std::size_t count, const MackeyGlassParams& params) {
+  if (count == 0) throw std::invalid_argument("generate_mackey_glass: count must be > 0");
+  if (params.dt <= 0.0) throw std::invalid_argument("generate_mackey_glass: dt must be > 0");
+  if (params.lambda < 0.0) {
+    throw std::invalid_argument("generate_mackey_glass: lambda must be >= 0");
+  }
+
+  const double steps_per_unit = 1.0 / params.dt;
+  // Round to the nearest integer number of integrator steps per output sample
+  // so sample instants fall exactly on grid points.
+  const auto per_unit = static_cast<std::size_t>(std::llround(steps_per_unit));
+  if (per_unit == 0 || std::abs(steps_per_unit - static_cast<double>(per_unit)) > 1e-9) {
+    throw std::invalid_argument("generate_mackey_glass: 1/dt must be an integer");
+  }
+
+  const std::size_t total_steps = (count - 1) * per_unit;
+  const double delay_steps_exact = params.lambda / params.dt;
+
+  // history[i] = s(i * dt); seeded with the constant initial condition.
+  std::vector<double> history;
+  history.reserve(total_steps + 1);
+  history.push_back(params.initial);
+
+  // Delayed value at continuous step index q (may be fractional/negative).
+  const auto delayed = [&](double q) -> double {
+    if (q <= 0.0) return params.initial;
+    const auto lo = static_cast<std::size_t>(q);
+    const double frac = q - static_cast<double>(lo);
+    if (lo + 1 >= history.size()) return history.back();
+    return history[lo] * (1.0 - frac) + history[lo + 1] * frac;
+  };
+
+  for (std::size_t step = 0; step < total_steps; ++step) {
+    const double s = history.back();
+    const auto idx = static_cast<double>(step);
+    // Delayed values needed at t, t+dt/2 and t+dt.
+    const double sd0 = delayed(idx - delay_steps_exact);
+    const double sdh = delayed(idx + 0.5 - delay_steps_exact);
+    const double sd1 = delayed(idx + 1.0 - delay_steps_exact);
+
+    const double k1 = rhs(s, sd0, params);
+    const double k2 = rhs(s + 0.5 * params.dt * k1, sdh, params);
+    const double k3 = rhs(s + 0.5 * params.dt * k2, sdh, params);
+    const double k4 = rhs(s + params.dt * k3, sd1, params);
+    history.push_back(s + params.dt / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4));
+  }
+
+  std::vector<double> samples;
+  samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) samples.push_back(history[i * per_unit]);
+  return TimeSeries(std::move(samples), "mackey_glass");
+}
+
+MackeyGlassExperiment make_paper_mackey_glass(const MackeyGlassParams& params) {
+  constexpr std::size_t kTotal = 5000;
+  constexpr std::size_t kTrainBegin = 3500;
+  constexpr std::size_t kTrainEnd = 4500;  // exclusive; paper: samples 3500..4499
+  constexpr std::size_t kTestEnd = 5000;   // exclusive; paper: [4500, 5000)
+
+  const TimeSeries full = generate_mackey_glass(kTotal, params);
+  const TimeSeries train_raw = full.slice(kTrainBegin, kTrainEnd);
+  const TimeSeries test_raw = full.slice(kTrainEnd, kTestEnd);
+
+  const Normalizer norm = Normalizer::min_max(train_raw, 0.0, 1.0);
+  return MackeyGlassExperiment{norm.transform(train_raw), norm.transform(test_raw), norm};
+}
+
+}  // namespace ef::series

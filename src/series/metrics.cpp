@@ -1,0 +1,162 @@
+#include "series/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace ef::series {
+namespace {
+
+void check_pair(std::span<const double> actual, std::span<const double> predicted,
+                const char* who) {
+  if (actual.size() != predicted.size()) {
+    throw std::invalid_argument(std::string(who) + ": size mismatch (" +
+                                std::to_string(actual.size()) + " vs " +
+                                std::to_string(predicted.size()) + ")");
+  }
+  if (actual.empty()) throw std::invalid_argument(std::string(who) + ": empty input");
+}
+
+[[nodiscard]] double sum_sq_err(std::span<const double> a, std::span<const double> p) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - p[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+double mse(std::span<const double> actual, std::span<const double> predicted) {
+  check_pair(actual, predicted, "mse");
+  return sum_sq_err(actual, predicted) / static_cast<double>(actual.size());
+}
+
+double rmse(std::span<const double> actual, std::span<const double> predicted) {
+  check_pair(actual, predicted, "rmse");
+  return std::sqrt(sum_sq_err(actual, predicted) / static_cast<double>(actual.size()));
+}
+
+double mae(std::span<const double> actual, std::span<const double> predicted) {
+  check_pair(actual, predicted, "mae");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) acc += std::abs(actual[i] - predicted[i]);
+  return acc / static_cast<double>(actual.size());
+}
+
+double nmse(std::span<const double> actual, std::span<const double> predicted) {
+  check_pair(actual, predicted, "nmse");
+  double mean = 0.0;
+  for (const double v : actual) mean += v;
+  mean /= static_cast<double>(actual.size());
+  double var = 0.0;
+  for (const double v : actual) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(actual.size());
+  if (var == 0.0) throw std::invalid_argument("nmse: actual series has zero variance");
+  return mse(actual, predicted) / var;
+}
+
+double galvan_error(std::span<const double> actual, std::span<const double> predicted,
+                    std::size_t horizon) {
+  check_pair(actual, predicted, "galvan_error");
+  // Paper: e = 1/(2(N+τ)) Σ_{i=0}^{N}(x(i)−x̃(i))², with N+1 summands.
+  const std::size_t n_plus_1 = actual.size();
+  const double denom = 2.0 * (static_cast<double>(n_plus_1 - 1) + static_cast<double>(horizon));
+  if (denom == 0.0) throw std::invalid_argument("galvan_error: degenerate denominator");
+  return sum_sq_err(actual, predicted) / denom;
+}
+
+double smape(std::span<const double> actual, std::span<const double> predicted) {
+  check_pair(actual, predicted, "smape");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double denom = std::abs(actual[i]) + std::abs(predicted[i]);
+    if (denom > 0.0) acc += std::abs(actual[i] - predicted[i]) / denom;
+  }
+  return 200.0 * acc / static_cast<double>(actual.size());
+}
+
+double mase(std::span<const double> actual, std::span<const double> predicted,
+            std::span<const double> train_series) {
+  check_pair(actual, predicted, "mase");
+  if (train_series.size() < 2) {
+    throw std::invalid_argument("mase: training series needs >= 2 samples");
+  }
+  double naive = 0.0;
+  for (std::size_t i = 1; i < train_series.size(); ++i) {
+    naive += std::abs(train_series[i] - train_series[i - 1]);
+  }
+  naive /= static_cast<double>(train_series.size() - 1);
+  if (naive == 0.0) throw std::invalid_argument("mase: constant training series");
+  return mae(actual, predicted) / naive;
+}
+
+double rmse_paper_literal(std::span<const double> actual, std::span<const double> predicted) {
+  check_pair(actual, predicted, "rmse_paper_literal");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double d = actual[i] - predicted[i];
+    const double e = 0.5 * d * d;
+    acc += e * e;
+  }
+  return std::sqrt(acc / static_cast<double>(actual.size()));
+}
+
+double galvan_error_partial(std::span<const double> actual, const PartialForecast& predicted,
+                            std::size_t horizon) {
+  if (actual.size() != predicted.size()) {
+    throw std::invalid_argument("galvan_error_partial: size mismatch");
+  }
+  std::vector<double> covered_actual;
+  std::vector<double> covered_predicted;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (predicted[i]) {
+      covered_actual.push_back(actual[i]);
+      covered_predicted.push_back(*predicted[i]);
+    }
+  }
+  if (covered_actual.empty()) return 0.0;
+  return galvan_error(covered_actual, covered_predicted, horizon);
+}
+
+CoverageReport evaluate_partial(std::span<const double> actual,
+                                const PartialForecast& predicted) {
+  if (actual.size() != predicted.size()) {
+    throw std::invalid_argument("evaluate_partial: size mismatch");
+  }
+  CoverageReport report;
+  report.total = actual.size();
+
+  std::vector<double> covered_actual;
+  std::vector<double> covered_predicted;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (predicted[i].has_value()) {
+      covered_actual.push_back(actual[i]);
+      covered_predicted.push_back(*predicted[i]);
+    }
+  }
+  report.covered = covered_actual.size();
+  report.coverage_percent =
+      report.total == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(report.covered) / static_cast<double>(report.total);
+
+  if (report.covered == 0) return report;
+
+  report.rmse = rmse(covered_actual, covered_predicted);
+  report.mse = mse(covered_actual, covered_predicted);
+  report.mae = mae(covered_actual, covered_predicted);
+  // NMSE over a constant covered subset is undefined; report 0 instead of
+  // throwing so a pathological rule set still produces a usable report.
+  double mean = 0.0;
+  for (const double v : covered_actual) mean += v;
+  mean /= static_cast<double>(covered_actual.size());
+  double var = 0.0;
+  for (const double v : covered_actual) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(covered_actual.size());
+  report.nmse = var > 0.0 ? report.mse / var : 0.0;
+  return report;
+}
+
+}  // namespace ef::series

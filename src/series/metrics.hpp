@@ -1,0 +1,79 @@
+// metrics.hpp — error measures used by the paper's three evaluation tables.
+//
+// The rule system *abstains* on windows no rule matches, so every metric has
+// a coverage-aware variant that evaluates only the predicted subset — this is
+// what the paper's tables report (error over predicted points, plus a
+// separate "percentage of prediction" column).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace ef::series {
+
+/// Root mean squared error over paired spans. Throws std::invalid_argument
+/// on size mismatch or empty input. (Table 1's comparison metric.)
+[[nodiscard]] double rmse(std::span<const double> actual, std::span<const double> predicted);
+
+/// Mean squared error.
+[[nodiscard]] double mse(std::span<const double> actual, std::span<const double> predicted);
+
+/// Mean absolute error.
+[[nodiscard]] double mae(std::span<const double> actual, std::span<const double> predicted);
+
+/// Normalised mean squared error: MSE / Var(actual). (Table 2's metric.)
+/// Throws std::invalid_argument when actual has zero variance.
+[[nodiscard]] double nmse(std::span<const double> actual, std::span<const double> predicted);
+
+/// The Galván-Isasi error of Table 3:  e = 1/(2(N+τ)) Σ_{i=0}^{N} (x_i − x̃_i)².
+/// `horizon` is the τ in the normalisation term; N is derived from the spans.
+[[nodiscard]] double galvan_error(std::span<const double> actual,
+                                  std::span<const double> predicted, std::size_t horizon);
+
+/// Symmetric MAPE in percent: 200/n · Σ |a−p| / (|a|+|p|); pairs with both
+/// values zero contribute 0. (Scale-free comparison across datasets.)
+[[nodiscard]] double smape(std::span<const double> actual, std::span<const double> predicted);
+
+/// Mean absolute scaled error (Hyndman & Koehler): MAE of the forecast
+/// divided by the MAE of the naive one-step forecast *on the training
+/// series*. < 1 = better than naive persistence. Throws when the training
+/// series is constant (naive MAE = 0) or too short.
+[[nodiscard]] double mase(std::span<const double> actual, std::span<const double> predicted,
+                          std::span<const double> train_series);
+
+/// The paper §4.1 writes RMSE through an intermediate e = ½(x−x̄)², i.e.
+/// RMSE_paper = sqrt(Σ e² / n) = sqrt(Σ ¼(x−x̄)⁴ / n). That formula is almost
+/// certainly a typo for plain RMSE (its units are cm², not cm), but we expose
+/// it verbatim for completeness; EXPERIMENTS.md discusses the discrepancy.
+[[nodiscard]] double rmse_paper_literal(std::span<const double> actual,
+                                        std::span<const double> predicted);
+
+/// Forecast sequence where abstentions are nullopt (the rule system's native
+/// output shape).
+using PartialForecast = std::vector<std::optional<double>>;
+
+/// Error metrics restricted to the covered subset of a partial forecast,
+/// together with the coverage percentage the paper tabulates.
+struct CoverageReport {
+  double coverage_percent = 0.0;  ///< 100 * covered / total
+  std::size_t covered = 0;
+  std::size_t total = 0;
+  double rmse = 0.0;  ///< over covered points; 0 when nothing covered
+  double mse = 0.0;
+  double mae = 0.0;
+  double nmse = 0.0;  ///< normalised by variance of covered actuals; 0 if degenerate
+};
+
+/// Evaluate a partial forecast against actuals (sizes must match).
+[[nodiscard]] CoverageReport evaluate_partial(std::span<const double> actual,
+                                              const PartialForecast& predicted);
+
+/// Galván-Isasi error restricted to the covered subset of a partial
+/// forecast (Table 3's metric under abstention). 0 when nothing is covered.
+[[nodiscard]] double galvan_error_partial(std::span<const double> actual,
+                                          const PartialForecast& predicted,
+                                          std::size_t horizon);
+
+}  // namespace ef::series

@@ -1,0 +1,109 @@
+#include "series/significance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace ef::series {
+namespace {
+
+/// log C(n, k) via lgamma — stable for large n.
+[[nodiscard]] double log_choose(std::size_t n, std::size_t k) {
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+/// Standard normal two-sided tail probability for |z|.
+[[nodiscard]] double normal_two_sided_p(double z) {
+  return std::erfc(std::abs(z) / std::sqrt(2.0));
+}
+
+}  // namespace
+
+double sign_test_p(std::size_t wins, std::size_t losses) {
+  const std::size_t n = wins + losses;
+  if (n == 0) return 1.0;
+  const std::size_t k = std::min(wins, losses);
+  // Two-sided: 2 · P(X <= k) under Binomial(n, 1/2), capped at 1.
+  const double log_half_n = -static_cast<double>(n) * std::log(2.0);
+  double tail = 0.0;
+  for (std::size_t i = 0; i <= k; ++i) {
+    tail += std::exp(log_choose(n, i) + log_half_n);
+  }
+  return std::min(1.0, 2.0 * tail);
+}
+
+double wilcoxon_signed_rank_p(std::span<const double> differences) {
+  // Collect non-zero |d| with their signs.
+  std::vector<std::pair<double, int>> entries;  // (|d|, sign)
+  for (const double d : differences) {
+    if (d > 0.0) entries.emplace_back(d, +1);
+    if (d < 0.0) entries.emplace_back(-d, -1);
+  }
+  const std::size_t n = entries.size();
+  if (n < 2) return 1.0;
+
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Average ranks for ties; accumulate the positive-rank sum W+ and the tie
+  // correction Σ(t³ − t).
+  double w_plus = 0.0;
+  double tie_correction = 0.0;
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j < n && entries[j].first == entries[i].first) ++j;
+    const auto t = static_cast<double>(j - i);
+    const double average_rank = 0.5 * (static_cast<double>(i + 1) + static_cast<double>(j));
+    for (std::size_t k = i; k < j; ++k) {
+      if (entries[k].second > 0) w_plus += average_rank;
+    }
+    tie_correction += t * t * t - t;
+    i = j;
+  }
+
+  const auto nd = static_cast<double>(n);
+  const double mean = nd * (nd + 1.0) / 4.0;
+  const double variance = nd * (nd + 1.0) * (2.0 * nd + 1.0) / 24.0 - tie_correction / 48.0;
+  if (variance <= 0.0) return 1.0;  // all values tied: no information
+  // Continuity correction toward the mean.
+  const double delta = w_plus - mean;
+  const double corrected = delta > 0.5 ? delta - 0.5 : (delta < -0.5 ? delta + 0.5 : 0.0);
+  return normal_two_sided_p(corrected / std::sqrt(variance));
+}
+
+PairedComparison compare_paired_errors(std::span<const double> abs_err_a,
+                                       std::span<const double> abs_err_b) {
+  if (abs_err_a.size() != abs_err_b.size()) {
+    throw std::invalid_argument("compare_paired_errors: size mismatch");
+  }
+  if (abs_err_a.empty()) {
+    throw std::invalid_argument("compare_paired_errors: empty input");
+  }
+  PairedComparison result;
+  std::vector<double> differences;
+  differences.reserve(abs_err_a.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < abs_err_a.size(); ++i) {
+    const double d = abs_err_a[i] - abs_err_b[i];
+    differences.push_back(d);
+    sum += d;
+    if (d < 0.0) {
+      ++result.a_wins;
+    } else if (d > 0.0) {
+      ++result.b_wins;
+    } else {
+      ++result.ties;
+    }
+  }
+  result.mean_diff = sum / static_cast<double>(abs_err_a.size());
+  result.sign_p = sign_test_p(result.a_wins, result.b_wins);
+  result.wilcoxon_p = wilcoxon_signed_rank_p(differences);
+  return result;
+}
+
+}  // namespace ef::series

@@ -1,0 +1,44 @@
+// significance.hpp — paired significance tests for forecaster comparisons.
+//
+// The paper (like much of the 2007-era literature) reports single-run error
+// tables without uncertainty. The bench harness prints seed spreads; this
+// module adds the matching inferential tools for paired comparisons over
+// windows or backtest folds:
+//   * exact two-sided binomial sign test (win/loss counts),
+//   * Wilcoxon signed-rank test (normal approximation, zero-diffs dropped,
+//     average ranks for ties) over paired error differences.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ef::series {
+
+/// Exact two-sided sign test: p-value for observing a split at least as
+/// extreme as (wins, losses) under H0: P(win) = 1/2. Ties are excluded by
+/// the caller. Returns 1.0 when wins + losses == 0.
+[[nodiscard]] double sign_test_p(std::size_t wins, std::size_t losses);
+
+/// Two-sided Wilcoxon signed-rank test over paired differences
+/// (d_i = err_A,i − err_B,i). Zero differences are dropped; tied |d| get
+/// average ranks; the test statistic is normal-approximated with tie
+/// correction and continuity correction. Returns 1.0 for fewer than 2
+/// non-zero differences (no evidence either way).
+[[nodiscard]] double wilcoxon_signed_rank_p(std::span<const double> differences);
+
+/// Convenience: paired comparison of two absolute-error sequences.
+struct PairedComparison {
+  std::size_t a_wins = 0;   ///< windows where |err_A| < |err_B|
+  std::size_t b_wins = 0;
+  std::size_t ties = 0;
+  double sign_p = 1.0;      ///< sign test on the win/loss counts
+  double wilcoxon_p = 1.0;  ///< signed-rank test on the differences
+  double mean_diff = 0.0;   ///< mean(|err_A| − |err_B|); negative = A better
+};
+
+/// Compare models A and B by their absolute errors on the same windows.
+/// Throws std::invalid_argument on size mismatch or empty input.
+[[nodiscard]] PairedComparison compare_paired_errors(std::span<const double> abs_err_a,
+                                                     std::span<const double> abs_err_b);
+
+}  // namespace ef::series

@@ -1,0 +1,105 @@
+#include "series/sunspot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ef::series {
+namespace {
+
+/// Hathaway (1994) cycle profile, zero for t <= 0. `t` in months since cycle
+/// start. Not normalised — callers rescale by its peak.
+[[nodiscard]] double hathaway(double t, double a, double b, double c) {
+  if (t <= 0.0) return 0.0;
+  const double x = t / b;
+  const double denominator = std::exp(x * x) - c;
+  if (denominator <= 0.0) return 0.0;
+  return a * x * x * x / denominator;
+}
+
+/// Peak value of the unscaled Hathaway profile (a=1), found numerically once
+/// per cycle so that `amp` parameterises the actual cycle maximum.
+[[nodiscard]] double hathaway_peak(double b, double c) {
+  double best = 0.0;
+  for (double t = 1.0; t <= 6.0 * b; t += 0.5) {
+    best = std::max(best, hathaway(t, 1.0, b, c));
+  }
+  return best;
+}
+
+}  // namespace
+
+TimeSeries generate_sunspots(std::size_t months, const SunspotParams& params) {
+  if (months == 0) throw std::invalid_argument("generate_sunspots: months must be > 0");
+
+  util::Rng rng(params.seed);
+  util::Rng cycle_rng = rng.fork();
+  util::Rng noise_rng = rng.fork();
+
+  std::vector<double> signal(months, 0.0);
+
+  // Lay down overlapping cycles until the last one starts beyond the range.
+  // Starting slightly before t=0 so the first months sit mid-cycle rather
+  // than at an artificial minimum.
+  double start = -60.0;
+  while (start < static_cast<double>(months)) {
+    const double length = std::max(
+        80.0, cycle_rng.normal(params.mean_cycle_months, params.cycle_sd_months));
+    const double amp =
+        std::max(params.amp_min, cycle_rng.normal(params.amp_mean, params.amp_sd));
+    // Rise parameter jitters with the cycle (stronger cycles rise faster —
+    // the Waldmeier effect — approximated by shrinking b with amplitude)
+    // plus independent per-cycle shape variability, so no single global
+    // template fits every cycle.
+    const double b = params.rise_b_months *
+                     (1.0 - 0.15 * (amp - params.amp_mean) / std::max(params.amp_mean, 1.0)) *
+                     cycle_rng.uniform(0.8, 1.25);
+    const double peak = hathaway_peak(b, params.hathaway_c);
+    const double scale = peak > 0.0 ? amp / peak : 0.0;
+
+    // Gnevyshev gap: many cycles carry a delayed secondary maximum.
+    const bool double_peaked = cycle_rng.bernoulli(params.gnevyshev_prob);
+    const double second_scale = scale * params.gnevyshev_fraction;
+    const double second_delay =
+        params.gnevyshev_delay_months * cycle_rng.uniform(0.8, 1.2);
+
+    const auto first = static_cast<std::size_t>(std::max(0.0, start));
+    const auto last = std::min(
+        months, static_cast<std::size_t>(std::max(0.0, start + 1.6 * length)) + 1);
+    for (std::size_t m = first; m < last; ++m) {
+      const double t = static_cast<double>(m) - start;
+      double v = hathaway(t, scale, b, params.hathaway_c);
+      if (double_peaked) {
+        // Mix the shifted secondary bump in by taking the max: the record
+        // shows two local maxima separated by a dip, not a simple sum.
+        v = std::max(v, hathaway(t - second_delay, second_scale, b, params.hathaway_c));
+      }
+      signal[m] += v;
+    }
+    start += length;
+  }
+
+  // Signal-dependent noise, clamped at zero (counts cannot be negative).
+  for (std::size_t m = 0; m < months; ++m) {
+    const double sd = params.noise_floor + params.noise_slope * signal[m];
+    signal[m] = std::max(0.0, signal[m] + noise_rng.normal(0.0, sd));
+  }
+
+  return TimeSeries(std::move(signal), "sunspots_monthly");
+}
+
+SunspotExperiment make_paper_sunspots(const SunspotParams& params) {
+  const std::size_t total =
+      kSunspotTrainMonths + kSunspotGapMonths + kSunspotValidationMonths;
+  const TimeSeries full = generate_sunspots(total, params);
+  const Split split = split_with_gap(full, kSunspotTrainMonths, kSunspotGapMonths);
+
+  const Normalizer norm = Normalizer::min_max(split.train, 0.0, 1.0);
+  return SunspotExperiment{norm.transform(split.train), norm.transform(split.validation),
+                           norm};
+}
+
+}  // namespace ef::series

@@ -1,0 +1,76 @@
+// sunspot.hpp — synthetic monthly sunspot-number generator.
+//
+// SUBSTITUTION (see DESIGN.md §4): the paper uses the SIDC monthly mean
+// sunspot numbers, Jan 1749 – Mar 1977 (2739 months), which we cannot fetch
+// offline. The experiment needs a noisy quasi-periodic natural series with
+// cycle-to-cycle variability and local regimes; we synthesise one with the
+// solar cycle's well-documented morphology:
+//   * cycles of ~11 years whose length varies (σ ≈ 1 year),
+//   * strongly varying peak amplitudes (≈ 50 – 200),
+//   * asymmetric shape — fast rise (~4 y) and slow decay (~7 y) — modelled
+//     with the Hathaway (1994) parametric cycle profile
+//       f(t) = a (t/b)³ / (exp((t/b)²) − c),
+//   * signal-dependent noise (scatter grows with activity),
+//   * non-negativity and overlap of consecutive cycles at minima.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "series/timeseries.hpp"
+
+namespace ef::series {
+
+/// Generator parameters; defaults calibrated to the historical record's
+/// gross statistics (mean cycle 131 months, amplitude range ≈ 50-200).
+struct SunspotParams {
+  std::uint64_t seed = 1749;
+
+  double mean_cycle_months = 131.0;
+  double cycle_sd_months = 13.0;
+
+  double amp_mean = 125.0;  ///< Hathaway `a` scaling, before shape normalisation
+  double amp_sd = 45.0;
+  double amp_min = 40.0;  ///< floor so every cycle is visible
+
+  /// Hathaway rise-time parameter `b` in months (controls asymmetry).
+  double rise_b_months = 48.0;
+  double hathaway_c = 0.71;
+
+  /// Gnevyshev gap: probability that a cycle is double-peaked, with a
+  /// secondary maximum `gnevyshev_delay` months after the first at
+  /// `gnevyshev_fraction` of its height (the real record shows this in a
+  /// majority of cycles; it is exactly the kind of local structure global
+  /// models blur out).
+  double gnevyshev_prob = 0.6;
+  double gnevyshev_delay_months = 24.0;
+  double gnevyshev_fraction = 0.8;
+
+  /// Noise: sd = noise_floor + noise_slope * signal. The real monthly means
+  /// scatter ~15-20 % around the smoothed cycle near maxima.
+  double noise_floor = 3.0;
+  double noise_slope = 0.15;
+};
+
+/// Generate `months` consecutive monthly sunspot numbers (non-negative).
+/// Deterministic in (params.seed, months). Throws on months == 0.
+[[nodiscard]] TimeSeries generate_sunspots(std::size_t months,
+                                           const SunspotParams& params = {});
+
+/// The paper's arrangement (§4.3): train Jan 1749 – Dec 1919 (2052 months),
+/// skip Jan 1920 – Dec 1928 (108 months), validate Jan 1929 – Mar 1977
+/// (579 months); both ranges scaled to [0,1] with bounds fitted on train.
+struct SunspotExperiment {
+  TimeSeries train;       ///< normalised to [0,1]
+  TimeSeries validation;  ///< normalised with the same map
+  Normalizer normalizer;
+};
+
+[[nodiscard]] SunspotExperiment make_paper_sunspots(const SunspotParams& params = {});
+
+/// Sizes of the paper's ranges, exposed for tests/docs.
+inline constexpr std::size_t kSunspotTrainMonths = 2052;  // 1749-01 .. 1919-12
+inline constexpr std::size_t kSunspotGapMonths = 108;     // 1920-01 .. 1928-12
+inline constexpr std::size_t kSunspotValidationMonths = 579;  // 1929-01 .. 1977-03
+
+}  // namespace ef::series

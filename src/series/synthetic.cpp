@@ -1,0 +1,80 @@
+#include "series/synthetic.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ef::series {
+
+TimeSeries generate_sine(std::size_t count, const SineParams& params) {
+  if (count == 0) throw std::invalid_argument("generate_sine: count must be > 0");
+  if (params.period <= 0.0) throw std::invalid_argument("generate_sine: period must be > 0");
+  if (params.noise_sd < 0.0) {
+    throw std::invalid_argument("generate_sine: noise_sd must be >= 0");
+  }
+  util::Rng rng(params.seed);
+  std::vector<double> v(count);
+  for (std::size_t t = 0; t < count; ++t) {
+    v[t] = params.offset +
+           params.amplitude * std::sin(2.0 * std::numbers::pi * static_cast<double>(t) /
+                                           params.period +
+                                       params.phase);
+    if (params.noise_sd > 0.0) v[t] += rng.normal(0.0, params.noise_sd);
+  }
+  return TimeSeries(std::move(v), "sine");
+}
+
+TimeSeries generate_ar(std::size_t count, const ArParams& params) {
+  if (count == 0) throw std::invalid_argument("generate_ar: count must be > 0");
+  if (params.noise_sd < 0.0) throw std::invalid_argument("generate_ar: noise_sd must be >= 0");
+
+  util::Rng rng(params.seed);
+  const std::size_t p = params.phi.size();
+  std::vector<double> history(p, 0.0);
+  std::vector<double> out;
+  out.reserve(count);
+
+  const auto step = [&]() {
+    double x = rng.normal(0.0, params.noise_sd);
+    for (std::size_t k = 0; k < p; ++k) x += params.phi[k] * history[k];
+    // history[0] is x_{t−1}.
+    for (std::size_t k = p; k-- > 1;) history[k] = history[k - 1];
+    if (p > 0) history[0] = x;
+    return x;
+  };
+
+  for (std::size_t i = 0; i < params.burn_in; ++i) (void)step();
+  for (std::size_t i = 0; i < count; ++i) out.push_back(params.offset + step());
+  return TimeSeries(std::move(out), "ar");
+}
+
+TimeSeries generate_regime_switch(std::size_t count, const RegimeSwitchParams& params) {
+  if (count == 0) throw std::invalid_argument("generate_regime_switch: count must be > 0");
+  if (params.regimes.empty()) {
+    throw std::invalid_argument("generate_regime_switch: need at least one regime");
+  }
+  if (params.mean_dwell <= 1.0) {
+    throw std::invalid_argument("generate_regime_switch: mean_dwell must be > 1");
+  }
+  util::Rng rng(params.seed);
+  const double switch_prob = 1.0 / params.mean_dwell;
+
+  std::vector<double> v(count);
+  std::size_t regime = 0;
+  double phase = 0.0;
+  for (std::size_t t = 0; t < count; ++t) {
+    const auto& [amplitude, period] = params.regimes[regime];
+    phase += 2.0 * std::numbers::pi / period;
+    v[t] = amplitude * std::sin(phase);
+    if (params.noise_sd > 0.0) v[t] += rng.normal(0.0, params.noise_sd);
+    if (rng.bernoulli(switch_prob)) {
+      regime = (regime + 1) % params.regimes.size();
+      // Phase continues so switches don't jump discontinuously.
+    }
+  }
+  return TimeSeries(std::move(v), "regime_switch");
+}
+
+}  // namespace ef::series

@@ -1,0 +1,57 @@
+// synthetic.hpp — small parametric test-signal generators.
+//
+// The controlled signals used throughout the test suite and handy for users
+// prototyping against the library: noisy sinusoids, AR(p) processes,
+// regime-switching composites. Everything is seeded and deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "series/timeseries.hpp"
+
+namespace ef::series {
+
+struct SineParams {
+  double amplitude = 1.0;
+  double period = 25.0;  ///< in samples
+  double phase = 0.0;
+  double offset = 0.0;
+  double noise_sd = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// offset + amplitude·sin(2π t/period + phase) + N(0, noise_sd).
+[[nodiscard]] TimeSeries generate_sine(std::size_t count, const SineParams& params = {});
+
+struct ArParams {
+  /// AR coefficients φ₁…φ_p (x_t = Σ φ_k x_{t−k} + ε). Empty = white noise.
+  std::vector<double> phi{0.8};
+  double noise_sd = 1.0;
+  double offset = 0.0;
+  std::size_t burn_in = 200;
+  std::uint64_t seed = 2;
+};
+
+/// AR(p) process with Gaussian innovations; burn-in discarded so the output
+/// starts near the stationary regime. Throws std::invalid_argument when
+/// count == 0 or noise_sd < 0.
+[[nodiscard]] TimeSeries generate_ar(std::size_t count, const ArParams& params = {});
+
+struct RegimeSwitchParams {
+  /// Mean dwell time per regime, in samples (geometric switching).
+  double mean_dwell = 300.0;
+  /// Per-regime (amplitude, period) pairs cycled through on each switch.
+  std::vector<std::pair<double, double>> regimes{{1.0, 20.0}, {2.5, 7.0}};
+  double noise_sd = 0.05;
+  std::uint64_t seed = 3;
+};
+
+/// Piecewise-sinusoidal series that switches dynamics at random instants —
+/// the "local behaviours" testbed: each regime wants its own rules.
+/// Throws when regimes is empty or mean_dwell <= 1.
+[[nodiscard]] TimeSeries generate_regime_switch(std::size_t count,
+                                                const RegimeSwitchParams& params = {});
+
+}  // namespace ef::series

@@ -1,0 +1,103 @@
+#include "series/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ef::series {
+
+TimeSeries::TimeSeries(std::vector<double> values, std::string name)
+    : values_(std::move(values)), name_(std::move(name)) {
+  for (const double v : values_) {
+    if (!std::isfinite(v)) {
+      throw std::invalid_argument("TimeSeries '" + name_ + "': non-finite value rejected");
+    }
+  }
+}
+
+TimeSeries TimeSeries::slice(std::size_t begin, std::size_t end) const {
+  if (begin > end || end > values_.size()) {
+    throw std::out_of_range("TimeSeries::slice: [" + std::to_string(begin) + ", " +
+                            std::to_string(end) + ") out of range for size " +
+                            std::to_string(values_.size()));
+  }
+  return TimeSeries(
+      std::vector<double>(values_.begin() + static_cast<std::ptrdiff_t>(begin),
+                          values_.begin() + static_cast<std::ptrdiff_t>(end)),
+      name_ + "[" + std::to_string(begin) + ":" + std::to_string(end) + ")");
+}
+
+double TimeSeries::min() const {
+  if (values_.empty()) throw std::logic_error("TimeSeries::min on empty series");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::max() const {
+  if (values_.empty()) throw std::logic_error("TimeSeries::max on empty series");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::mean() const {
+  if (values_.empty()) throw std::logic_error("TimeSeries::mean on empty series");
+  double sum = 0.0;
+  for (const double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double TimeSeries::variance() const {
+  const double m = mean();  // throws on empty
+  double acc = 0.0;
+  for (const double v : values_) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(values_.size());
+}
+
+Split split_at(const TimeSeries& s, std::size_t train_size) {
+  if (train_size == 0 || train_size >= s.size()) {
+    throw std::invalid_argument("split_at: train_size " + std::to_string(train_size) +
+                                " invalid for series of size " + std::to_string(s.size()));
+  }
+  return Split{s.slice(0, train_size), s.slice(train_size, s.size())};
+}
+
+Split split_with_gap(const TimeSeries& s, std::size_t train_size, std::size_t gap) {
+  if (train_size == 0 || train_size + gap >= s.size()) {
+    throw std::invalid_argument("split_with_gap: train " + std::to_string(train_size) +
+                                " + gap " + std::to_string(gap) +
+                                " leaves no validation data in series of size " +
+                                std::to_string(s.size()));
+  }
+  return Split{s.slice(0, train_size), s.slice(train_size + gap, s.size())};
+}
+
+Normalizer::Normalizer(double offset, double scale, double target_lo)
+    : offset_(offset), scale_(scale), inv_scale_(1.0 / scale), target_lo_(target_lo) {}
+
+Normalizer Normalizer::min_max(const TimeSeries& s, double lo, double hi) {
+  if (hi <= lo) throw std::invalid_argument("Normalizer::min_max: hi must exceed lo");
+  const double smin = s.min();
+  const double smax = s.max();
+  const double range = smax - smin;
+  if (range == 0.0) return Normalizer(smin, 1.0, lo);  // constant series → all lo
+  return Normalizer(smin, range / (hi - lo), lo);
+}
+
+Normalizer Normalizer::z_score(const TimeSeries& s) {
+  const double sd = std::sqrt(s.variance());
+  if (sd == 0.0) return Normalizer(s.mean(), 1.0, 0.0);
+  return Normalizer(s.mean(), sd, 0.0);
+}
+
+TimeSeries Normalizer::transform(const TimeSeries& s) const {
+  std::vector<double> out;
+  out.reserve(s.size());
+  for (const double v : s.values()) out.push_back(transform(v));
+  return TimeSeries(std::move(out), s.name() + "/norm");
+}
+
+TimeSeries Normalizer::inverse(const TimeSeries& s) const {
+  std::vector<double> out;
+  out.reserve(s.size());
+  for (const double v : s.values()) out.push_back(inverse(v));
+  return TimeSeries(std::move(out), s.name() + "/denorm");
+}
+
+}  // namespace ef::series

@@ -1,0 +1,109 @@
+// timeseries.hpp — series container, splits, and invertible normalisers.
+//
+// Every dataset in the paper is a scalar sequence split into train/validation
+// (and sometimes test) contiguous ranges, normalised either to [0,1]
+// (Mackey-Glass, sunspots) or left in physical units (Venice, centimetres).
+// TimeSeries owns the values; Split/Normalizer are cheap value types layered
+// on top.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ef::series {
+
+/// Owning scalar time series with an optional name and sampling-period label.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Construct from values. Throws std::invalid_argument if any value is
+  /// non-finite — NaNs silently poison regressions downstream, so reject at
+  /// the boundary.
+  explicit TimeSeries(std::vector<double> values, std::string name = "series");
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] double operator[](std::size_t i) const noexcept { return values_[i]; }
+
+  [[nodiscard]] std::span<const double> values() const noexcept { return values_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Contiguous sub-range [begin, end) as a new series.
+  /// Throws std::out_of_range on invalid bounds.
+  [[nodiscard]] TimeSeries slice(std::size_t begin, std::size_t end) const;
+
+  /// Smallest / largest value. Throws std::logic_error when empty.
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  /// Population variance.
+  [[nodiscard]] double variance() const;
+
+ private:
+  std::vector<double> values_;
+  std::string name_;
+};
+
+/// Train / validation split of one series by contiguous index ranges
+/// (the paper always splits chronologically, never randomly).
+struct Split {
+  TimeSeries train;
+  TimeSeries validation;
+};
+
+/// Split `s` at `train_size`: first `train_size` samples train, the rest
+/// validate. Throws std::invalid_argument when train_size is 0 or >= size.
+[[nodiscard]] Split split_at(const TimeSeries& s, std::size_t train_size);
+
+/// Split with an unused gap between the ranges (the sunspot experiment skips
+/// Jan 1920 – Dec 1928 between train and validation).
+[[nodiscard]] Split split_with_gap(const TimeSeries& s, std::size_t train_size,
+                                   std::size_t gap);
+
+/// Invertible affine normaliser y = (x - offset) / scale.
+///
+/// Two factory styles mirror the paper: min-max to [lo, hi], and z-score.
+/// The transform parameters are always fitted on the *training* range and
+/// then applied to validation data — fitting on the full series would leak
+/// future information.
+class Normalizer {
+ public:
+  /// Identity transform.
+  Normalizer() = default;
+
+  /// Fit a min-max map from the value range of `s` onto [lo, hi].
+  /// A constant series maps everything to lo.
+  [[nodiscard]] static Normalizer min_max(const TimeSeries& s, double lo = 0.0,
+                                          double hi = 1.0);
+
+  /// Fit a z-score map (mean 0, unit variance) on `s`.
+  /// A constant series maps everything to 0.
+  [[nodiscard]] static Normalizer z_score(const TimeSeries& s);
+
+  [[nodiscard]] double transform(double x) const noexcept { return (x - offset_) * inv_scale_ + target_lo_; }
+  [[nodiscard]] double inverse(double y) const noexcept { return (y - target_lo_) * scale_ + offset_; }
+
+  /// Transform every value of a series.
+  [[nodiscard]] TimeSeries transform(const TimeSeries& s) const;
+  /// Inverse-transform every value of a series.
+  [[nodiscard]] TimeSeries inverse(const TimeSeries& s) const;
+
+  /// Multiplicative scale of the *inverse* map; 0 never occurs (constant
+  /// inputs produce scale 1 with a degenerate-range flag instead).
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+  [[nodiscard]] double offset() const noexcept { return offset_; }
+
+ private:
+  Normalizer(double offset, double scale, double target_lo);
+
+  double offset_ = 0.0;     // subtracted in forward direction
+  double scale_ = 1.0;      // multiplied in inverse direction
+  double inv_scale_ = 1.0;  // cached 1/scale_
+  double target_lo_ = 0.0;  // lower bound of the target interval
+};
+
+}  // namespace ef::series

@@ -1,0 +1,70 @@
+#include "series/transforms.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ef::series {
+
+Differenced difference(const TimeSeries& s, std::size_t lag) {
+  if (lag == 0) throw std::invalid_argument("difference: lag must be > 0");
+  if (s.size() <= lag) {
+    throw std::invalid_argument("difference: series of size " + std::to_string(s.size()) +
+                                " too short for lag " + std::to_string(lag));
+  }
+  std::vector<double> body;
+  body.reserve(s.size() - lag);
+  for (std::size_t i = lag; i < s.size(); ++i) body.push_back(s[i] - s[i - lag]);
+
+  Differenced out;
+  out.series = TimeSeries(std::move(body), s.name() + "/diff" + std::to_string(lag));
+  out.prefix.assign(s.values().begin(), s.values().begin() + static_cast<long>(lag));
+  out.lag = lag;
+  return out;
+}
+
+TimeSeries undifference(const Differenced& d) {
+  if (d.lag == 0 || d.prefix.size() != d.lag) {
+    throw std::invalid_argument("undifference: prefix size must equal lag");
+  }
+  std::vector<double> out(d.prefix.begin(), d.prefix.end());
+  out.reserve(d.lag + d.series.size());
+  for (std::size_t i = 0; i < d.series.size(); ++i) {
+    out.push_back(out[i] + d.series[i]);  // x_{i+lag} = x_i + y_i
+  }
+  return TimeSeries(std::move(out), d.series.name() + "/undiff");
+}
+
+TimeSeries log1p_transform(const TimeSeries& s) {
+  std::vector<double> out;
+  out.reserve(s.size());
+  for (const double v : s.values()) {
+    if (v <= -1.0) {
+      throw std::invalid_argument("log1p_transform: value <= -1 not representable");
+    }
+    out.push_back(std::log1p(v));
+  }
+  return TimeSeries(std::move(out), s.name() + "/log1p");
+}
+
+TimeSeries expm1_transform(const TimeSeries& s) {
+  std::vector<double> out;
+  out.reserve(s.size());
+  for (const double v : s.values()) out.push_back(std::expm1(v));
+  return TimeSeries(std::move(out), s.name() + "/expm1");
+}
+
+TimeSeries moving_average(const TimeSeries& s, std::size_t half) {
+  if (s.empty()) return s;
+  std::vector<double> out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const std::size_t begin = i >= half ? i - half : 0;
+    const std::size_t end = std::min(s.size(), i + half + 1);
+    double acc = 0.0;
+    for (std::size_t j = begin; j < end; ++j) acc += s[j];
+    out.push_back(acc / static_cast<double>(end - begin));
+  }
+  return TimeSeries(std::move(out), s.name() + "/ma" + std::to_string(2 * half + 1));
+}
+
+}  // namespace ef::series

@@ -1,0 +1,46 @@
+// transforms.hpp — invertible series preprocessing.
+//
+// The preprocessing toolbox a forecasting user expects next to normalisers:
+// differencing (removes trend), seasonal differencing (removes a fixed
+// period), log1p scaling (stabilises multiplicative variance — sunspot-like
+// counts), and a centred moving average (analysis smoothing; *not*
+// invertible, clearly marked). Forward transforms shrink the series (by the
+// lag); inversion requires the withheld prefix, which the transform result
+// carries so round-trips are mechanical.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "series/timeseries.hpp"
+
+namespace ef::series {
+
+/// Result of a differencing transform: the differenced body plus the prefix
+/// needed to undifference.
+struct Differenced {
+  TimeSeries series;           ///< y_t = x_{t+lag} − x_t  (size = n − lag)
+  std::vector<double> prefix;  ///< x_0 … x_{lag−1}, required by inverse
+  std::size_t lag = 1;
+};
+
+/// First (lag = 1) or seasonal (lag = period) difference.
+/// Throws std::invalid_argument when lag == 0 or series.size() <= lag.
+[[nodiscard]] Differenced difference(const TimeSeries& s, std::size_t lag = 1);
+
+/// Invert `difference`: reconstructs the original series exactly.
+/// Throws std::invalid_argument when prefix/lag are inconsistent.
+[[nodiscard]] TimeSeries undifference(const Differenced& d);
+
+/// log(1 + x) transform. Throws std::invalid_argument when any value ≤ −1
+/// (log1p undefined); sunspot-like non-negative series are always safe.
+[[nodiscard]] TimeSeries log1p_transform(const TimeSeries& s);
+
+/// Inverse of log1p_transform (expm1 per value).
+[[nodiscard]] TimeSeries expm1_transform(const TimeSeries& s);
+
+/// Centred moving average of width 2·half + 1 (edges use the available
+/// samples only). Smoothing for analysis/plots — not invertible.
+[[nodiscard]] TimeSeries moving_average(const TimeSeries& s, std::size_t half);
+
+}  // namespace ef::series

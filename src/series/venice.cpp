@@ -1,0 +1,126 @@
+#include "series/venice.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ef::series {
+
+std::vector<TidalConstituent> default_venice_constituents() {
+  // Amplitudes (cm) and periods (h) loosely follow published harmonic
+  // analyses of the northern Adriatic; phases are arbitrary but fixed.
+  return {
+      {23.0, 12.4206, 0.00},  // M2 principal lunar semidiurnal
+      {14.0, 12.0000, 0.70},  // S2 principal solar semidiurnal
+      {18.0, 23.9345, 1.30},  // K1 lunisolar diurnal
+      {5.0, 25.8193, 2.10},   // O1 principal lunar diurnal
+      {4.0, 12.6583, 0.40},   // N2 larger lunar elliptic
+      {3.0, 8765.82, 0.00},   // Sa solar annual (seasonal msl cycle)
+  };
+}
+
+TimeSeries generate_venice(std::size_t hours, const VeniceParams& params) {
+  if (hours == 0) throw std::invalid_argument("generate_venice: hours must be > 0");
+
+  const std::vector<TidalConstituent> constituents =
+      params.constituents.empty() ? default_venice_constituents() : params.constituents;
+
+  util::Rng rng(params.seed);
+  // Independent streams per component so changing e.g. the storm rate does
+  // not reshuffle the surge realisation.
+  util::Rng surge_rng = rng.fork();
+  util::Rng storm_rng = rng.fork();
+  util::Rng noise_rng = rng.fork();
+
+  // --- storm events -------------------------------------------------------
+  // Poisson arrivals via exponential inter-arrival times; materialise the
+  // full event list up front, then evaluate pulses additively.
+  struct Storm {
+    double start_hour;
+    double amplitude;
+  };
+  std::vector<Storm> storms;
+  if (params.storm_rate_per_hour > 0.0) {
+    double t = 0.0;
+    for (;;) {
+      // Exponential(rate) inter-arrival; guard against log(0).
+      const double u = std::max(storm_rng.uniform(), 1e-12);
+      t += -std::log(u) / params.storm_rate_per_hour;
+      if (t >= static_cast<double>(hours)) break;
+      storms.push_back(
+          {t, storm_rng.uniform(params.storm_amp_min_cm, params.storm_amp_max_cm)});
+    }
+  }
+
+  // --- assemble -----------------------------------------------------------
+  std::vector<double> level(hours, 0.0);
+
+  // Harmonic tide + mean sea level.
+  for (std::size_t h = 0; h < hours; ++h) {
+    double tide = params.mean_sea_level_cm;
+    for (const auto& c : constituents) {
+      tide += c.amplitude_cm *
+              std::cos(2.0 * std::numbers::pi * static_cast<double>(h) / c.period_hours +
+                       c.phase_rad);
+    }
+    level[h] = tide;
+  }
+
+  // AR(2) surge. Burn in 500 samples so the process starts in its stationary
+  // regime rather than at zero.
+  {
+    double x1 = 0.0;
+    double x2 = 0.0;
+    for (int burn = 0; burn < 500; ++burn) {
+      const double x = params.surge_phi1 * x1 + params.surge_phi2 * x2 +
+                       surge_rng.normal(0.0, params.surge_noise_cm);
+      x2 = x1;
+      x1 = x;
+    }
+    for (std::size_t h = 0; h < hours; ++h) {
+      const double x = params.surge_phi1 * x1 + params.surge_phi2 * x2 +
+                       surge_rng.normal(0.0, params.surge_noise_cm);
+      x2 = x1;
+      x1 = x;
+      level[h] += x;
+    }
+  }
+
+  // Storm pulses. Each pulse affects a bounded window (rise + 8 decay
+  // constants covers >99.9 % of its mass), so cost stays linear.
+  for (const auto& storm : storms) {
+    const double window = params.storm_rise_hours + 8.0 * params.storm_decay_hours;
+    const auto begin = static_cast<std::size_t>(std::max(0.0, storm.start_hour));
+    const auto end =
+        std::min(hours, static_cast<std::size_t>(storm.start_hour + window) + 1);
+    for (std::size_t h = begin; h < end; ++h) {
+      const double dt = static_cast<double>(h) - storm.start_hour;
+      if (dt < 0.0) continue;
+      level[h] += storm.amplitude * (1.0 - std::exp(-dt / params.storm_rise_hours)) *
+                  std::exp(-dt / params.storm_decay_hours);
+    }
+  }
+
+  // Gauge noise.
+  if (params.gauge_noise_cm > 0.0) {
+    for (std::size_t h = 0; h < hours; ++h) {
+      level[h] += noise_rng.normal(0.0, params.gauge_noise_cm);
+    }
+  }
+
+  return TimeSeries(std::move(level), "venice_lagoon");
+}
+
+VeniceExperiment make_paper_venice(std::size_t train_hours, std::size_t validation_hours,
+                                   const VeniceParams& params) {
+  if (train_hours == 0 || validation_hours == 0) {
+    throw std::invalid_argument("make_paper_venice: both ranges must be non-empty");
+  }
+  const TimeSeries full = generate_venice(train_hours + validation_hours, params);
+  return VeniceExperiment{full.slice(0, train_hours),
+                          full.slice(train_hours, train_hours + validation_hours)};
+}
+
+}  // namespace ef::series

@@ -1,0 +1,86 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace ef::util {
+namespace {
+
+[[nodiscard]] bool looks_like_flag(std::string_view arg) {
+  return arg.size() > 2 && arg.substr(0, 2) == "--";
+}
+
+}  // namespace
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!looks_like_flag(arg)) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    const std::string_view body = arg.substr(2);
+    if (const auto eq = body.find('='); eq != std::string_view::npos) {
+      flags_.emplace(std::string(body.substr(0, eq)), std::string(body.substr(eq + 1)));
+      continue;
+    }
+    // `--name value` unless the next token is itself a flag (then boolean).
+    if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
+      flags_.emplace(std::string(body), argv[i + 1]);
+      ++i;
+    } else {
+      flags_.emplace(std::string(body), "true");
+    }
+  }
+}
+
+std::optional<std::string> Cli::get(std::string_view name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Cli::has(std::string_view name) const { return flags_.contains(name); }
+
+std::string Cli::get_string(std::string_view name, std::string def) const {
+  auto value = get(name);
+  return value ? *value : std::move(def);
+}
+
+std::int64_t Cli::get_int(std::string_view name, std::int64_t def) const {
+  const auto value = get(name);
+  if (!value) return def;
+  std::int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(value->data(), value->data() + value->size(), out);
+  if (ec != std::errc{} || ptr != value->data() + value->size()) {
+    throw std::invalid_argument("flag --" + std::string(name) + " expects an integer, got '" +
+                                *value + "'");
+  }
+  return out;
+}
+
+double Cli::get_double(std::string_view name, double def) const {
+  const auto value = get(name);
+  if (!value) return def;
+  try {
+    std::size_t consumed = 0;
+    const double out = std::stod(*value, &consumed);
+    if (consumed != value->size()) throw std::invalid_argument("trailing characters");
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + std::string(name) + " expects a number, got '" +
+                                *value + "'");
+  }
+}
+
+bool Cli::get_bool(std::string_view name, bool def) const {
+  const auto value = get(name);
+  if (!value) return def;
+  if (*value == "true" || *value == "1" || *value == "yes" || *value == "on") return true;
+  if (*value == "false" || *value == "0" || *value == "no" || *value == "off") return false;
+  throw std::invalid_argument("flag --" + std::string(name) + " expects a boolean, got '" +
+                              *value + "'");
+}
+
+}  // namespace ef::util

@@ -1,0 +1,52 @@
+// cli.hpp — minimal command-line flag parser shared by benches and examples.
+//
+// Supports `--name value`, `--name=value` and boolean `--name` forms; every
+// bench binary registers its sweep parameters through this so that the
+// harness stays dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ef::util {
+
+/// Parsed command line: flag→value map plus positional arguments.
+class Cli {
+ public:
+  /// Parse argv. Unrecognised syntax (a lone "-x") is treated as positional.
+  /// A flag without a following value (or followed by another flag) is stored
+  /// as boolean "true".
+  Cli(int argc, const char* const* argv);
+
+  /// Whole-string flag lookup; nullopt when absent.
+  [[nodiscard]] std::optional<std::string> get(std::string_view name) const;
+
+  /// Typed lookups with defaults. Throw std::invalid_argument on parse
+  /// failure so a typo in a sweep script fails loudly instead of silently
+  /// running the wrong experiment.
+  [[nodiscard]] std::string get_string(std::string_view name, std::string def) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name, std::int64_t def) const;
+  [[nodiscard]] double get_double(std::string_view name, double def) const;
+  [[nodiscard]] bool get_bool(std::string_view name, bool def = false) const;
+
+  /// True when the flag appeared at all (with or without a value).
+  [[nodiscard]] bool has(std::string_view name) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Program name (argv[0]) as given.
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string, std::less<>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ef::util

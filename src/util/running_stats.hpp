@@ -1,0 +1,72 @@
+// running_stats.hpp — single-pass mean/variance/extrema accumulation.
+//
+// Welford's online algorithm: numerically stable for long telemetry streams
+// (75k-generation fitness traces) where naive sum-of-squares would cancel.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace ef::util {
+
+/// Online accumulator for count / mean / variance / min / max.
+class RunningStats {
+ public:
+  /// Fold one observation into the accumulator.
+  constexpr void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  /// Merge another accumulator (parallel reduction; Chan et al. formula).
+  constexpr void merge(const RunningStats& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(count_ + other.count_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                           static_cast<double>(other.count_) / total;
+    mean_ += delta * static_cast<double>(other.count_) / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  [[nodiscard]] constexpr std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] constexpr double mean() const noexcept { return count_ ? mean_ : 0.0; }
+
+  /// Population variance (divides by n). 0 for fewer than 2 samples.
+  [[nodiscard]] constexpr double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Sample variance (divides by n-1). 0 for fewer than 2 samples.
+  [[nodiscard]] constexpr double sample_variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+  /// Minimum observed value; +inf when empty.
+  [[nodiscard]] constexpr double min() const noexcept { return min_; }
+  /// Maximum observed value; -inf when empty.
+  [[nodiscard]] constexpr double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace ef::util

@@ -1,0 +1,98 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace ef::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    threads = hc == 0 ? 1 : hc;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t, std::size_t)>& body,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  grain = std::max<std::size_t>(grain, 1);
+
+  // Small ranges or a degenerate pool: run inline, no synchronisation.
+  if (n <= grain || workers_.size() <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  const std::size_t max_chunks = (n + grain - 1) / grain;
+  const std::size_t chunks = std::min(workers_.size(), max_chunks);
+  const std::size_t width = (n + chunks - 1) / chunks;
+
+  std::atomic<std::size_t> remaining{chunks};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  {
+    const std::lock_guard lock(mutex_);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t chunk_begin = begin + c * width;
+      const std::size_t chunk_end = std::min(end, chunk_begin + width);
+      tasks_.emplace([&, chunk_begin, chunk_end] {
+        try {
+          body(chunk_begin, chunk_end);
+        } catch (...) {
+          const std::lock_guard error_lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          const std::lock_guard done_lock(done_mutex);
+          done_cv.notify_one();
+        }
+      });
+    }
+  }
+  task_ready_.notify_all();
+
+  std::unique_lock done_lock(done_mutex);
+  done_cv.wait(done_lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace ef::util

@@ -1,0 +1,69 @@
+// thread_pool.hpp — fixed-size worker pool with a blocking parallel_for.
+//
+// The evolutionary engine's hot path is evaluating one rule against every
+// sliding window of the training set (tens of thousands of interval tests per
+// offspring). That work is embarrassingly parallel over window ranges, so the
+// pool exposes a simple static-partition parallel_for rather than a general
+// task graph. Determinism note: callers must ensure the per-chunk work is
+// order-independent (the match engine reduces with order-insensitive
+// operations only).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ef::util {
+
+/// A fixed pool of worker threads executing submitted closures.
+///
+/// Usage:
+///   ThreadPool pool;                              // hardware concurrency
+///   pool.parallel_for(0, n, [&](size_t b, size_t e) { ...work [b,e)... });
+///
+/// parallel_for blocks until every chunk has completed, so the caller may
+/// freely capture stack locals by reference. Exceptions thrown by chunk
+/// bodies are rethrown on the calling thread (first one wins).
+class ThreadPool {
+ public:
+  /// Create a pool with `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Number of worker threads in the pool.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Run `body(chunk_begin, chunk_end)` over [begin, end) split into
+  /// contiguous chunks, one or more per worker. Blocks until all chunks have
+  /// run. Runs inline on the calling thread when the range is small or the
+  /// pool has a single worker (avoids synchronisation cost for tiny batches).
+  ///
+  /// `grain` is the minimum chunk width; ranges narrower than `grain` are
+  /// executed inline.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t grain = 1024);
+
+  /// Process-wide shared pool, lazily constructed. Library components that do
+  /// not receive an explicit pool use this one.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  bool stopping_ = false;
+};
+
+}  // namespace ef::util

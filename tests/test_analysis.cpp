@@ -1,0 +1,132 @@
+// Tests for series/analysis.hpp: ACF references (white noise, AR(1), pure
+// sine), period detection on the library's own generators.
+#include "series/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "series/sunspot.hpp"
+#include "series/venice.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ef::series::acf;
+using ef::series::autocorrelation;
+using ef::series::detect_period;
+using ef::series::TimeSeries;
+
+TimeSeries pure_sine(std::size_t n, std::size_t period) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(2.0 * std::numbers::pi * static_cast<double>(i) /
+                    static_cast<double>(period));
+  }
+  return TimeSeries(std::move(v));
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  ef::util::Rng rng(1);
+  std::vector<double> v(100);
+  for (double& x : v) x = rng.uniform(0, 1);
+  EXPECT_DOUBLE_EQ(autocorrelation(TimeSeries(std::move(v)), 0), 1.0);
+}
+
+TEST(Autocorrelation, WhiteNoiseNearZero) {
+  ef::util::Rng rng(2);
+  std::vector<double> v(20000);
+  for (double& x : v) x = rng.normal(0, 1);
+  const TimeSeries s(std::move(v));
+  for (const std::size_t lag : {1u, 5u, 20u}) {
+    EXPECT_NEAR(autocorrelation(s, lag), 0.0, 0.03) << lag;
+  }
+}
+
+TEST(Autocorrelation, Ar1MatchesPhiPowers) {
+  // AR(1) with phi = 0.8: ACF(k) ≈ 0.8^k.
+  ef::util::Rng rng(3);
+  std::vector<double> v;
+  double x = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    x = 0.8 * x + rng.normal(0, 1);
+    v.push_back(x);
+  }
+  const TimeSeries s(std::move(v));
+  EXPECT_NEAR(autocorrelation(s, 1), 0.8, 0.02);
+  EXPECT_NEAR(autocorrelation(s, 2), 0.64, 0.03);
+  EXPECT_NEAR(autocorrelation(s, 3), 0.512, 0.04);
+}
+
+TEST(Autocorrelation, SinePeriodicity) {
+  // The biased estimator caps ACF(lag) at ~(n − lag)/n, so the tolerance
+  // accounts for lag/n.
+  const TimeSeries s = pure_sine(1000, 20);
+  EXPECT_NEAR(autocorrelation(s, 20), 1.0, 0.025);   // full period
+  EXPECT_NEAR(autocorrelation(s, 10), -1.0, 0.015);  // half period
+}
+
+TEST(Autocorrelation, ErrorsOnBadInput) {
+  const TimeSeries s({1.0, 2.0, 3.0});
+  EXPECT_THROW((void)autocorrelation(s, 3), std::invalid_argument);
+  const TimeSeries flat({2.0, 2.0, 2.0});
+  EXPECT_THROW((void)autocorrelation(flat, 1), std::invalid_argument);
+}
+
+TEST(Acf, ShapeAndHead) {
+  const TimeSeries s = pure_sine(500, 10);
+  const auto correlations = acf(s, 25);
+  ASSERT_EQ(correlations.size(), 26u);
+  EXPECT_DOUBLE_EQ(correlations[0], 1.0);
+  for (const double c : correlations) {
+    EXPECT_GE(c, -1.0 - 1e-9);
+    EXPECT_LE(c, 1.0 + 1e-9);
+  }
+}
+
+TEST(DetectPeriod, FindsSinePeriod) {
+  const TimeSeries s = pure_sine(2000, 24);
+  const auto estimate = detect_period(s, 2, 100);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_EQ(estimate->period, 24u);
+  EXPECT_GT(estimate->acf_value, 0.95);
+}
+
+TEST(DetectPeriod, WhiteNoiseReturnsNothing) {
+  ef::util::Rng rng(6);
+  std::vector<double> v(5000);
+  for (double& x : v) x = rng.normal(0, 1);
+  const auto estimate = detect_period(TimeSeries(std::move(v)), 2, 100, /*threshold=*/0.2);
+  EXPECT_FALSE(estimate.has_value());
+}
+
+TEST(DetectPeriod, VeniceFindsDiurnalBand) {
+  // The synthetic tide's strongest short-range periodicity is the ~24-25 h
+  // diurnal/semidiurnal beat.
+  const auto venice = ef::series::generate_venice(20000);
+  const auto estimate = detect_period(venice, 3, 40);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_GE(estimate->period, 11u);
+  EXPECT_LE(estimate->period, 27u);
+}
+
+TEST(DetectPeriod, SunspotFindsSolarCycle) {
+  const auto sun = ef::series::generate_sunspots(2739);
+  const auto estimate = detect_period(sun, 60, 240, /*threshold=*/0.05);
+  ASSERT_TRUE(estimate.has_value());
+  // ~11-year cycle = ~132 months, with generator variability.
+  EXPECT_GE(estimate->period, 100u);
+  EXPECT_LE(estimate->period, 170u);
+}
+
+TEST(DetectPeriod, BadBoundsThrow) {
+  const TimeSeries s = pure_sine(100, 10);
+  EXPECT_THROW((void)detect_period(s, 1, 20), std::invalid_argument);
+  EXPECT_THROW((void)detect_period(s, 10, 10), std::invalid_argument);
+  EXPECT_THROW((void)detect_period(s, 2, 99), std::invalid_argument);
+}
+
+}  // namespace

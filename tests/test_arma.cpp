@@ -1,0 +1,156 @@
+// Tests for baselines/arma.hpp: parameter recovery on known ARMA processes,
+// forecasting quality on AR-predictable series, validation.
+#include "baselines/arma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "series/metrics.hpp"
+#include "series/synthetic.hpp"
+#include "series/timeseries.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace bl = ef::baselines;
+using ef::core::WindowDataset;
+using ef::series::TimeSeries;
+
+TEST(ArmaConfig, Validation) {
+  bl::ArmaConfig bad;
+  bad.p = 0;
+  bad.q = 0;
+  EXPECT_THROW(bl::Arma{bad}, std::invalid_argument);
+  bad = {};
+  bad.ridge = -1.0;
+  EXPECT_THROW(bl::Arma{bad}, std::invalid_argument);
+}
+
+TEST(Arma, PredictBeforeFitThrows) {
+  bl::Arma model;
+  EXPECT_THROW((void)model.predict(std::vector<double>{1.0, 2.0}), std::logic_error);
+}
+
+TEST(Arma, SeriesTooShortThrows) {
+  const TimeSeries tiny(std::vector<double>(8, 1.0));
+  const WindowDataset data(tiny, 2, 1);
+  bl::Arma model;
+  EXPECT_THROW(model.fit(data), std::invalid_argument);
+}
+
+TEST(Arma, RecoversAr2Coefficients) {
+  // x_t = 1.2 x_{t−1} − 0.5 x_{t−2} + ε.
+  ef::series::ArParams params;
+  params.phi = {1.2, -0.5};
+  params.noise_sd = 0.5;
+  params.seed = 3;
+  const auto s = ef::series::generate_ar(8000, params);
+  const WindowDataset data(s, 8, 1);
+
+  bl::ArmaConfig cfg;
+  cfg.p = 2;
+  cfg.q = 1;
+  bl::Arma model(cfg);
+  model.fit(data);
+  ASSERT_EQ(model.ar_coeffs().size(), 2u);
+  EXPECT_NEAR(model.ar_coeffs()[0], 1.2, 0.1);
+  EXPECT_NEAR(model.ar_coeffs()[1], -0.5, 0.1);
+  // θ for a pure-AR process should be near zero.
+  EXPECT_NEAR(model.ma_coeffs()[0], 0.0, 0.15);
+}
+
+TEST(Arma, OneStepForecastBeatsMeanOnAr2) {
+  ef::series::ArParams params;
+  params.phi = {1.2, -0.5};
+  params.noise_sd = 0.3;
+  params.seed = 4;
+  const auto full = ef::series::generate_ar(4000, params);
+  const auto train_series = full.slice(0, 3000);
+  const auto test_series = full.slice(3000, 4000);
+  const WindowDataset train(train_series, 8, 1);
+  const WindowDataset test(test_series, 8, 1);
+
+  bl::Arma model;
+  model.fit(train);
+  std::vector<double> actual;
+  for (std::size_t i = 0; i < test.count(); ++i) actual.push_back(test.target(i));
+  const double score = ef::series::nmse(actual, model.predict_all(test));
+  // AR(2) with these params is strongly predictable one step ahead.
+  EXPECT_LT(score, 0.25);
+}
+
+TEST(Arma, MultiStepForecastIteratesRecursion) {
+  // On a noiseless AR(1) x_t = 0.9 x_{t−1}, the τ-step forecast from level L
+  // is 0.9^τ · L.
+  std::vector<double> v;
+  double x = 10.0;
+  for (int i = 0; i < 400; ++i) {
+    v.push_back(x);
+    x *= 0.9;
+  }
+  // Re-excite so the series isn't vanishing (append several decay segments).
+  std::vector<double> series;
+  for (int seg = 0; seg < 5; ++seg) {
+    for (const double value : v) series.push_back(value * (seg % 2 == 0 ? 1.0 : -1.0));
+  }
+  const TimeSeries s(std::move(series));
+  const WindowDataset data(s, 6, 5);  // τ = 5
+
+  bl::ArmaConfig cfg;
+  cfg.p = 1;
+  cfg.q = 1;
+  bl::Arma model(cfg);
+  model.fit(data);
+  EXPECT_NEAR(model.ar_coeffs()[0], 0.9, 0.05);
+
+  const std::vector<double> window{5.0, 4.5, 4.05, 3.645, 3.2805, 2.95245};
+  // True continuation: 2.95245 · 0.9⁵ ≈ 1.7433.
+  EXPECT_NEAR(model.predict(window), 2.95245 * std::pow(0.9, 5), 0.15);
+}
+
+TEST(Arma, MaPartImprovesOnArmaProcess) {
+  // Generate an ARMA(1,1) process explicitly; ARMA(1,1) should beat AR(1)
+  // one-step (both estimated by the same pipeline).
+  ef::util::Rng rng(9);
+  std::vector<double> v;
+  double prev_x = 0.0;
+  double prev_e = 0.0;
+  for (int i = 0; i < 6000; ++i) {
+    const double e = rng.normal(0.0, 1.0);
+    const double x = 0.6 * prev_x + 0.7 * prev_e + e;
+    v.push_back(x);
+    prev_x = x;
+    prev_e = e;
+  }
+  const TimeSeries s(std::move(v));
+  const auto train_series = s.slice(0, 5000);
+  const auto test_series = s.slice(5000, 6000);
+  const WindowDataset train(train_series, 10, 1);
+  const WindowDataset test(test_series, 10, 1);
+
+  bl::ArmaConfig arma_cfg;
+  arma_cfg.p = 1;
+  arma_cfg.q = 1;
+  bl::Arma arma(arma_cfg);
+  arma.fit(train);
+
+  bl::ArmaConfig ar_cfg;
+  ar_cfg.p = 1;
+  ar_cfg.q = 0;  // pure AR(1) through the same estimator
+  EXPECT_NO_THROW(ar_cfg.validate());
+  bl::Arma ar(ar_cfg);
+  ar.fit(train);
+
+  std::vector<double> actual;
+  for (std::size_t i = 0; i < test.count(); ++i) actual.push_back(test.target(i));
+  const double arma_nmse = ef::series::nmse(actual, arma.predict_all(test));
+  const double ar_nmse = ef::series::nmse(actual, ar.predict_all(test));
+  EXPECT_LT(arma_nmse, ar_nmse);
+  EXPECT_NEAR(arma.ma_coeffs()[0], 0.7, 0.2);
+}
+
+}  // namespace

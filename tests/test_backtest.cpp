@@ -1,0 +1,160 @@
+// Tests for core/backtest.hpp: fold geometry (no leakage), expanding vs
+// rolling windows, aggregate arithmetic, degenerate inputs.
+#include "core/backtest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using ef::core::BacktestOptions;
+using ef::core::backtest_rule_system;
+using ef::core::RuleSystemConfig;
+using ef::series::TimeSeries;
+
+TimeSeries noisy_sine(std::size_t n) {
+  ef::util::Rng rng(21);
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(static_cast<double>(i) * 0.2) + rng.normal(0.0, 0.03);
+  }
+  return TimeSeries(std::move(v));
+}
+
+RuleSystemConfig quick_config() {
+  RuleSystemConfig cfg;
+  cfg.evolution.population_size = 15;
+  cfg.evolution.generations = 300;
+  cfg.evolution.emax = 0.3;
+  cfg.evolution.seed = 4;
+  cfg.max_executions = 2;
+  cfg.coverage_target_percent = 90.0;
+  return cfg;
+}
+
+TEST(Backtest, ProducesExpectedFoldCount) {
+  const TimeSeries s = noisy_sine(1000);
+  BacktestOptions options;
+  options.window = 4;
+  options.horizon = 1;
+  options.initial_train = 400;
+  options.fold_size = 150;
+  const auto result = backtest_rule_system(s, quick_config(), options);
+  // Origins at 400, 550, 700, 850 → 4 folds.
+  EXPECT_EQ(result.folds.size(), 4u);
+  EXPECT_EQ(result.folds[0].origin, 400u);
+  EXPECT_EQ(result.folds[3].origin, 850u);
+}
+
+TEST(Backtest, MaxFoldsCapRespected) {
+  const TimeSeries s = noisy_sine(1000);
+  BacktestOptions options;
+  options.window = 4;
+  options.initial_train = 300;
+  options.fold_size = 50;
+  options.max_folds = 3;
+  const auto result = backtest_rule_system(s, quick_config(), options);
+  EXPECT_EQ(result.folds.size(), 3u);
+}
+
+TEST(Backtest, FoldsReportReasonableMetrics) {
+  const TimeSeries s = noisy_sine(900);
+  BacktestOptions options;
+  options.window = 4;
+  options.initial_train = 400;
+  options.fold_size = 200;
+  const auto result = backtest_rule_system(s, quick_config(), options);
+  ASSERT_FALSE(result.folds.empty());
+  for (const auto& fold : result.folds) {
+    EXPECT_GT(fold.report.coverage_percent, 20.0);
+    EXPECT_LT(fold.report.rmse, 0.5);  // sine amplitude 1, low noise
+    EXPECT_GT(fold.rules, 0u);
+  }
+  EXPECT_GT(result.mean_coverage_percent, 20.0);
+  EXPECT_GT(result.pooled_rmse, 0.0);
+  EXPECT_GE(result.pooled_rmse, result.pooled_mae);  // RMSE >= MAE always
+}
+
+TEST(Backtest, DefaultsFillInitialTrainAndFoldSize) {
+  const TimeSeries s = noisy_sine(800);
+  BacktestOptions options;
+  options.window = 4;
+  const auto result = backtest_rule_system(s, quick_config(), options);
+  // initial_train = 400, fold = 100 → 4 folds.
+  EXPECT_EQ(result.folds.size(), 4u);
+}
+
+TEST(Backtest, RollingAndExpandingDiffer) {
+  const TimeSeries s = [] {
+    // A series with a drifting mean: expanding training sees stale data,
+    // rolling does not, so the trained systems must differ.
+    ef::util::Rng rng(8);
+    std::vector<double> v(900);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const double drift = static_cast<double>(i) * 0.002;
+      v[i] = drift + std::sin(static_cast<double>(i) * 0.2) + rng.normal(0.0, 0.02);
+    }
+    return TimeSeries(std::move(v));
+  }();
+  BacktestOptions expanding;
+  expanding.window = 4;
+  expanding.initial_train = 300;
+  expanding.fold_size = 150;
+  BacktestOptions rolling = expanding;
+  rolling.rolling = true;
+
+  const auto e = backtest_rule_system(s, quick_config(), expanding);
+  const auto r = backtest_rule_system(s, quick_config(), rolling);
+  ASSERT_EQ(e.folds.size(), r.folds.size());
+  bool any_difference = false;
+  for (std::size_t f = 0; f < e.folds.size(); ++f) {
+    if (std::abs(e.folds[f].report.rmse - r.folds[f].report.rmse) > 1e-12) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Backtest, TooShortSeriesThrows) {
+  const TimeSeries s = noisy_sine(30);
+  BacktestOptions options;
+  options.window = 10;
+  options.initial_train = 25;
+  options.fold_size = 20;
+  EXPECT_THROW((void)backtest_rule_system(s, quick_config(), options),
+               std::invalid_argument);
+}
+
+TEST(Backtest, StrideSupported) {
+  const TimeSeries s = noisy_sine(1000);
+  BacktestOptions options;
+  options.window = 4;
+  options.stride = 3;
+  options.initial_train = 400;
+  options.fold_size = 250;
+  const auto result = backtest_rule_system(s, quick_config(), options);
+  EXPECT_GE(result.folds.size(), 2u);
+  EXPECT_GT(result.mean_coverage_percent, 10.0);
+}
+
+TEST(Backtest, Deterministic) {
+  const TimeSeries s = noisy_sine(700);
+  BacktestOptions options;
+  options.window = 4;
+  options.initial_train = 350;
+  options.fold_size = 170;
+  const auto a = backtest_rule_system(s, quick_config(), options);
+  const auto b = backtest_rule_system(s, quick_config(), options);
+  ASSERT_EQ(a.folds.size(), b.folds.size());
+  for (std::size_t f = 0; f < a.folds.size(); ++f) {
+    EXPECT_DOUBLE_EQ(a.folds[f].report.rmse, b.folds[f].report.rmse);
+  }
+  EXPECT_DOUBLE_EQ(a.pooled_rmse, b.pooled_rmse);
+}
+
+}  // namespace

@@ -1,0 +1,267 @@
+// Tests for the comparator models (MLP, Elman, RAN, MRAN, AR, kNN): config
+// validation, learnability on simple functions, and the Forecaster contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/ar.hpp"
+#include "baselines/elman.hpp"
+#include "baselines/knn.hpp"
+#include "baselines/mlp.hpp"
+#include "baselines/mran.hpp"
+#include "baselines/ran.hpp"
+#include "core/dataset.hpp"
+#include "series/metrics.hpp"
+#include "series/timeseries.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace bl = ef::baselines;
+using ef::core::WindowDataset;
+using ef::series::TimeSeries;
+
+TimeSeries sine_series(std::size_t n, double noise = 0.0, std::uint64_t seed = 1) {
+  ef::util::Rng rng(seed);
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = 0.5 + 0.4 * std::sin(static_cast<double>(i) * 0.25) + rng.normal(0.0, noise);
+  }
+  return TimeSeries(std::move(v), "sine");
+}
+
+/// MSE of a fitted forecaster on a dataset.
+double model_mse(const bl::Forecaster& model, const WindowDataset& data) {
+  std::vector<double> actual;
+  for (std::size_t i = 0; i < data.count(); ++i) actual.push_back(data.target(i));
+  return ef::series::mse(actual, model.predict_all(data));
+}
+
+/// MSE of always predicting the training-target mean (skill floor).
+double mean_predictor_mse(const WindowDataset& data) {
+  double mean = 0.0;
+  for (std::size_t i = 0; i < data.count(); ++i) mean += data.target(i);
+  mean /= static_cast<double>(data.count());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data.count(); ++i) {
+    acc += (data.target(i) - mean) * (data.target(i) - mean);
+  }
+  return acc / static_cast<double>(data.count());
+}
+
+// ---- config validation ------------------------------------------------------
+
+TEST(BaselineConfigs, InvalidValuesThrow) {
+  bl::MlpConfig mlp;
+  mlp.learning_rate = 0.0;
+  EXPECT_THROW(bl::Mlp{mlp}, std::invalid_argument);
+  mlp = {};
+  mlp.hidden = {0};
+  EXPECT_THROW(bl::Mlp{mlp}, std::invalid_argument);
+  mlp = {};
+  mlp.momentum = 1.0;
+  EXPECT_THROW(bl::Mlp{mlp}, std::invalid_argument);
+
+  bl::ElmanConfig elman;
+  elman.hidden = 0;
+  EXPECT_THROW(bl::Elman{elman}, std::invalid_argument);
+
+  bl::RanConfig ran;
+  ran.delta_min = 0.5;
+  ran.delta_max = 0.1;
+  EXPECT_THROW(bl::Ran{ran}, std::invalid_argument);
+  ran = {};
+  ran.epsilon = -1.0;
+  EXPECT_THROW(bl::Ran{ran}, std::invalid_argument);
+
+  bl::MranConfig mran;
+  mran.prune_window = 0;
+  EXPECT_THROW(bl::Mran{mran}, std::invalid_argument);
+
+  bl::KnnConfig knn;
+  knn.k = 0;
+  EXPECT_THROW(bl::Knn{knn}, std::invalid_argument);
+}
+
+TEST(BaselineContract, PredictBeforeFitThrows) {
+  const std::vector<double> w{0.1, 0.2, 0.3, 0.4};
+  EXPECT_THROW((void)bl::Mlp{}.predict(w), std::logic_error);
+  EXPECT_THROW((void)bl::Elman{}.predict(w), std::logic_error);
+  EXPECT_THROW((void)bl::Ran{}.predict(w), std::logic_error);
+  EXPECT_THROW((void)bl::Mran{}.predict(w), std::logic_error);
+  EXPECT_THROW((void)bl::ArModel{}.predict(w), std::logic_error);
+  EXPECT_THROW((void)bl::Knn{}.predict(w), std::logic_error);
+}
+
+TEST(BaselineContract, Names) {
+  EXPECT_EQ(bl::Mlp{}.name(), "mlp");
+  EXPECT_EQ(bl::Elman{}.name(), "elman");
+  EXPECT_EQ(bl::Ran{}.name(), "ran");
+  EXPECT_EQ(bl::Mran{}.name(), "mran");
+  EXPECT_EQ(bl::ArModel{}.name(), "ar");
+  EXPECT_EQ(bl::Knn{}.name(), "knn");
+}
+
+// ---- learnability: every model must beat the mean predictor on a clean sine.
+
+TEST(Mlp, BeatsMeanPredictorOnSine) {
+  const WindowDataset data(sine_series(400), 4, 1);
+  bl::MlpConfig cfg;
+  cfg.epochs = 80;
+  bl::Mlp model(cfg);
+  model.fit(data);
+  EXPECT_LT(model_mse(model, data), 0.25 * mean_predictor_mse(data));
+  EXPECT_LT(model.final_train_mse(), mean_predictor_mse(data));
+}
+
+TEST(Elman, BeatsMeanPredictorOnSine) {
+  const WindowDataset data(sine_series(400), 4, 1);
+  bl::ElmanConfig cfg;
+  cfg.epochs = 60;
+  bl::Elman model(cfg);
+  model.fit(data);
+  EXPECT_LT(model_mse(model, data), 0.5 * mean_predictor_mse(data));
+}
+
+TEST(Ran, BeatsMeanPredictorOnSine) {
+  const WindowDataset data(sine_series(600), 4, 1);
+  bl::Ran model;
+  model.fit(data);
+  EXPECT_GT(model.units(), 0u);
+  EXPECT_LT(model_mse(model, data), 0.5 * mean_predictor_mse(data));
+}
+
+TEST(Mran, BeatsMeanPredictorOnSine) {
+  const WindowDataset data(sine_series(600), 4, 1);
+  bl::Mran model;
+  model.fit(data);
+  EXPECT_GT(model.units(), 0u);
+  EXPECT_LT(model_mse(model, data), 0.5 * mean_predictor_mse(data));
+}
+
+TEST(Ar, ExactOnLinearSeries) {
+  // x_t = 0.002·t: targets are an exact affine function of any window.
+  std::vector<double> v(300);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = 0.002 * static_cast<double>(i);
+  const WindowDataset data(TimeSeries(std::move(v)), 4, 3);
+  bl::ArModel model;
+  model.fit(data);
+  EXPECT_LT(model_mse(model, data), 1e-10);
+  EXPECT_FALSE(model.fit_result().degenerate);
+}
+
+TEST(Ar, BeatsMeanPredictorOnSine) {
+  const WindowDataset data(sine_series(400), 4, 1);
+  bl::ArModel model;
+  model.fit(data);
+  // A sine is near-perfectly AR(2)-predictable.
+  EXPECT_LT(model_mse(model, data), 0.01 * mean_predictor_mse(data));
+}
+
+TEST(Knn, PerfectOnTrainingPoints) {
+  const WindowDataset data(sine_series(200), 4, 1);
+  bl::KnnConfig cfg;
+  cfg.k = 1;
+  bl::Knn model(cfg);
+  model.fit(data);
+  // 1-NN on a training pattern returns exactly its own target.
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(model.predict(data.pattern(i)), data.target(i), 1e-12);
+  }
+}
+
+TEST(Knn, AveragesKNeighbours) {
+  // Two distinct training patterns; query equidistant → mean of targets.
+  std::vector<double> v{0.0, 0.0, 10.0, 10.0, 4.0};
+  // D=2, τ=1: patterns (0,0)→10, (0,10)→10, (10,10)→4.
+  const WindowDataset data(TimeSeries(std::move(v)), 2, 1);
+  bl::KnnConfig cfg;
+  cfg.k = 3;
+  bl::Knn model(cfg);
+  model.fit(data);
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{5.0, 5.0}), 8.0);
+}
+
+TEST(Knn, InverseDistanceWeightingPrefersCloser) {
+  std::vector<double> v{0.0, 0.0, 100.0, 100.0, 0.0};
+  // patterns (0,0)→100, (0,100)→100, (100,100)→0.
+  const WindowDataset data(TimeSeries(std::move(v)), 2, 1);
+  bl::KnnConfig cfg;
+  cfg.k = 3;
+  cfg.inverse_distance_weighting = true;
+  bl::Knn model(cfg);
+  model.fit(data);
+  // Query very near (100,100) must be pulled toward 0.
+  EXPECT_LT(model.predict(std::vector<double>{99.0, 99.0}), 40.0);
+  // Exact match short-circuits.
+  EXPECT_DOUBLE_EQ(model.predict(std::vector<double>{0.0, 0.0}), 100.0);
+}
+
+// ---- behavioural details ----------------------------------------------------
+
+TEST(Mlp, DeterministicForSameSeed) {
+  const WindowDataset data(sine_series(200), 4, 1);
+  bl::Mlp a;
+  bl::Mlp b;
+  a.fit(data);
+  b.fit(data);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.predict(data.pattern(i)), b.predict(data.pattern(i)));
+  }
+}
+
+TEST(Mlp, RefitReplacesModel) {
+  const WindowDataset sine(sine_series(200), 4, 1);
+  std::vector<double> flat(100, 0.5);
+  const WindowDataset constant(TimeSeries(std::move(flat)), 4, 1);
+  bl::Mlp model;
+  model.fit(sine);
+  model.fit(constant);
+  EXPECT_NEAR(model.predict(constant.pattern(0)), 0.5, 0.05);
+}
+
+TEST(Ran, AllocationRespectsMaxUnits) {
+  bl::RanConfig cfg;
+  cfg.max_units = 5;
+  cfg.epsilon = 1e-9;  // force allocation pressure
+  bl::Ran model(cfg);
+  const WindowDataset data(sine_series(500, 0.05), 4, 1);
+  model.fit(data);
+  EXPECT_LE(model.units(), 5u);
+}
+
+TEST(Mran, PrunesUselessUnits) {
+  // Aggressive pruning settings on noise: some units must get pruned, and
+  // the final network stays smaller than RAN's under the same thresholds.
+  bl::MranConfig mcfg;
+  mcfg.epsilon = 0.005;
+  mcfg.epsilon_rms = 0.001;
+  mcfg.prune_threshold = 0.05;
+  mcfg.prune_window = 10;
+  bl::Mran mran(mcfg);
+
+  bl::RanConfig rcfg;
+  rcfg.epsilon = 0.005;
+  bl::Ran ran(rcfg);
+
+  const WindowDataset data(sine_series(800, 0.05, 3), 4, 1);
+  mran.fit(data);
+  ran.fit(data);
+  EXPECT_LE(mran.units(), ran.units());
+}
+
+TEST(PredictAll, MatchesPointwisePredict) {
+  const WindowDataset data(sine_series(150), 4, 1);
+  bl::ArModel model;
+  model.fit(data);
+  const auto all = model.predict_all(data);
+  ASSERT_EQ(all.size(), data.count());
+  for (std::size_t i = 0; i < data.count(); ++i) {
+    EXPECT_DOUBLE_EQ(all[i], model.predict(data.pattern(i)));
+  }
+}
+
+}  // namespace

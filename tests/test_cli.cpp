@@ -1,0 +1,102 @@
+// Tests for util/cli.hpp: flag forms, typed parsing, error behaviour.
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using ef::util::Cli;
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  const Cli cli = make({"--horizon", "24"});
+  EXPECT_EQ(cli.get_int("horizon", 0), 24);
+}
+
+TEST(Cli, EqualsSeparatedValue) {
+  const Cli cli = make({"--horizon=24"});
+  EXPECT_EQ(cli.get_int("horizon", 0), 24);
+}
+
+TEST(Cli, BooleanFlagWithoutValue) {
+  const Cli cli = make({"--full"});
+  EXPECT_TRUE(cli.get_bool("full"));
+  EXPECT_TRUE(cli.has("full"));
+}
+
+TEST(Cli, FlagFollowedByFlagIsBoolean) {
+  const Cli cli = make({"--full", "--horizon", "4"});
+  EXPECT_TRUE(cli.get_bool("full"));
+  EXPECT_EQ(cli.get_int("horizon", 0), 4);
+}
+
+TEST(Cli, DefaultWhenAbsent) {
+  const Cli cli = make({});
+  EXPECT_EQ(cli.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(cli.get_string("missing", "dflt"), "dflt");
+  EXPECT_FALSE(cli.get_bool("missing"));
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Cli, PositionalArguments) {
+  const Cli cli = make({"input.csv", "--k", "3", "output.csv"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.csv");
+  EXPECT_EQ(cli.positional()[1], "output.csv");
+}
+
+TEST(Cli, DoubleParsing) {
+  const Cli cli = make({"--emax", "0.125"});
+  EXPECT_DOUBLE_EQ(cli.get_double("emax", 0.0), 0.125);
+}
+
+TEST(Cli, NegativeNumbersAsValues) {
+  const Cli cli = make({"--offset", "-5"});
+  EXPECT_EQ(cli.get_int("offset", 0), -5);
+}
+
+TEST(Cli, BadIntegerThrows) {
+  const Cli cli = make({"--n", "abc"});
+  EXPECT_THROW((void)cli.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Cli, BadDoubleThrows) {
+  const Cli cli = make({"--x", "1.5zzz"});
+  EXPECT_THROW((void)cli.get_double("x", 0.0), std::invalid_argument);
+}
+
+TEST(Cli, BadBoolThrows) {
+  const Cli cli = make({"--flag", "maybe"});
+  EXPECT_THROW((void)cli.get_bool("flag"), std::invalid_argument);
+}
+
+TEST(Cli, BoolSynonyms) {
+  EXPECT_TRUE(make({"--a", "yes"}).get_bool("a"));
+  EXPECT_TRUE(make({"--a", "1"}).get_bool("a"));
+  EXPECT_TRUE(make({"--a", "on"}).get_bool("a"));
+  EXPECT_FALSE(make({"--a", "no"}).get_bool("a", true));
+  EXPECT_FALSE(make({"--a", "0"}).get_bool("a", true));
+  EXPECT_FALSE(make({"--a", "off"}).get_bool("a", true));
+}
+
+TEST(Cli, ProgramName) {
+  const Cli cli = make({});
+  EXPECT_EQ(cli.program(), "prog");
+}
+
+TEST(Cli, EmptyArgvSafe) {
+  const Cli cli(0, nullptr);
+  EXPECT_TRUE(cli.positional().empty());
+  EXPECT_EQ(cli.get_int("x", 1), 1);
+}
+
+}  // namespace

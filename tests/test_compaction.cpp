@@ -1,0 +1,175 @@
+// Tests for core/compaction.hpp: subsumption relation, duplicate removal,
+// the behaviour-preservation guarantee (coverage never drops; predictions
+// move at most by the tolerance), and the unfired-rule pass.
+#include "core/compaction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rule_system.hpp"
+#include "series/mackey_glass.hpp"
+#include "series/timeseries.hpp"
+
+namespace {
+
+using ef::core::compact;
+using ef::core::CompactionOptions;
+using ef::core::CompactionReport;
+using ef::core::condition_subsumed;
+using ef::core::Interval;
+using ef::core::Rule;
+using ef::core::RuleSystem;
+using ef::core::WindowDataset;
+using ef::series::TimeSeries;
+
+Rule make_rule(std::vector<Interval> genes, double prediction, double fitness = 1.0) {
+  Rule r(std::move(genes));
+  ef::core::PredictingPart part;
+  part.fit.coeffs.assign(r.window() + 1, 0.0);
+  part.fit.coeffs.back() = prediction;
+  part.fit.mean_prediction = prediction;
+  part.matches = 4;
+  part.fitness = fitness;
+  r.set_predicting(part);
+  return r;
+}
+
+TEST(ConditionSubsumed, BasicRelations) {
+  const Rule inner({Interval(2, 3), Interval(5, 6)});
+  const Rule outer({Interval(0, 10), Interval(0, 10)});
+  const Rule wild({Interval::wildcard(), Interval::wildcard()});
+  EXPECT_TRUE(condition_subsumed(inner, outer));
+  EXPECT_FALSE(condition_subsumed(outer, inner));
+  EXPECT_TRUE(condition_subsumed(outer, wild));
+  EXPECT_FALSE(condition_subsumed(wild, outer));
+  EXPECT_TRUE(condition_subsumed(inner, inner));
+}
+
+TEST(ConditionSubsumed, PartialOverlapIsNotSubsumption) {
+  const Rule a({Interval(0, 5), Interval(0, 10)});
+  const Rule b({Interval(3, 8), Interval(0, 10)});
+  EXPECT_FALSE(condition_subsumed(a, b));
+  EXPECT_FALSE(condition_subsumed(b, a));
+}
+
+TEST(ConditionSubsumed, WindowMismatchFalse) {
+  const Rule a({Interval(0, 5)});
+  const Rule b({Interval(0, 5), Interval(0, 5)});
+  EXPECT_FALSE(condition_subsumed(a, b));
+}
+
+TEST(Compact, RemovesExactDuplicates) {
+  RuleSystem system;
+  system.add_rules({make_rule({Interval(0, 10)}, 5.0), make_rule({Interval(0, 10)}, 5.1),
+                    make_rule({Interval(20, 30)}, 9.0)},
+                   false, -1.0);
+  CompactionReport report;
+  const RuleSystem out = compact(system, report);
+  EXPECT_EQ(report.duplicates_removed, 1u);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Compact, RemovesSubsumedWithAgreeingPrediction) {
+  RuleSystem system;
+  system.add_rules({make_rule({Interval(2, 3)}, 5.00),     // inner, agrees
+                    make_rule({Interval(0, 10)}, 5.02)},   // outer
+                   false, -1.0);
+  CompactionReport report;
+  CompactionOptions options;
+  options.prediction_tolerance = 0.05;
+  const RuleSystem out = compact(system, report, options);
+  EXPECT_EQ(report.subsumed_removed, 1u);
+  ASSERT_EQ(out.size(), 1u);
+  // The survivor is the outer (general) rule.
+  EXPECT_TRUE(out.rules()[0].genes()[0] == Interval(0, 10));
+}
+
+TEST(Compact, KeepsSubsumedWithDisagreeingPrediction) {
+  // The whole point of local rules: a specialist inside a generalist's box
+  // that predicts something different must survive.
+  RuleSystem system;
+  system.add_rules({make_rule({Interval(2, 3)}, 50.0),    // specialist
+                    make_rule({Interval(0, 10)}, 5.0)},   // generalist
+                   false, -1.0);
+  CompactionReport report;
+  const RuleSystem out = compact(system, report);
+  EXPECT_EQ(report.subsumed_removed, 0u);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Compact, IdenticalBoxesKeepExactlyOne) {
+  // Same acceptance set both ways with agreeing predictions: one survives
+  // (not both removed — that would change behaviour).
+  RuleSystem system;
+  system.add_rules(
+      {make_rule({Interval(0, 5)}, 3.0), make_rule({Interval(0, 5)}, 3.0)}, false, -1.0);
+  CompactionReport report;
+  const RuleSystem out = compact(system, report);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Compact, DropsUnfiredRulesOnlyWithReference) {
+  const TimeSeries s(std::vector<double>{0, 1, 2, 3, 4, 5, 6, 7});
+  const WindowDataset data(s, 2, 1);
+  RuleSystem system;
+  system.add_rules({make_rule({Interval(0, 7), Interval(0, 7)}, 1.0),
+                    make_rule({Interval(100, 200), Interval(100, 200)}, 9.0)},
+                   false, -1.0);
+  CompactionReport no_ref_report;
+  EXPECT_EQ(compact(system, no_ref_report).size(), 2u);  // nothing dropped without ref
+
+  CompactionReport report;
+  const RuleSystem out = compact(system, report, CompactionOptions{}, &data);
+  EXPECT_EQ(report.unfired_removed, 1u);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Compact, ReportArithmeticConsistent) {
+  RuleSystem system;
+  system.add_rules({make_rule({Interval(0, 10)}, 5.0), make_rule({Interval(0, 10)}, 5.0),
+                    make_rule({Interval(2, 3)}, 5.01), make_rule({Interval(50, 60)}, 7.0)},
+                   false, -1.0);
+  CompactionReport report;
+  const RuleSystem out = compact(system, report);
+  EXPECT_EQ(report.input_rules, 4u);
+  EXPECT_EQ(report.output_rules(), out.size());
+}
+
+// The behaviour-preservation property on a real trained system: coverage
+// does not drop and covered predictions move by at most the tolerance.
+TEST(Compact, PreservesBehaviourOnTrainedSystem) {
+  const auto mg = ef::series::make_paper_mackey_glass();
+  const WindowDataset train(mg.train, 4, 1);
+
+  ef::core::RuleSystemConfig cfg;
+  cfg.evolution.population_size = 30;
+  cfg.evolution.generations = 800;
+  cfg.evolution.emax = 0.15;
+  cfg.evolution.seed = 5;
+  cfg.max_executions = 3;
+  cfg.coverage_target_percent = 100.0;  // force several executions → duplicates
+  const auto trained = ef::core::train_rule_system(train, cfg);
+
+  CompactionReport report;
+  CompactionOptions options;
+  options.prediction_tolerance = 0.02;
+  const RuleSystem slim = compact(trained.system, report, options, &train);
+
+  EXPECT_LT(slim.size(), trained.system.size());  // something was removed
+  EXPECT_GE(slim.coverage_percent(train), trained.system.coverage_percent(train) - 1e-9);
+
+  const auto before = trained.system.forecast_dataset(train);
+  const auto after = slim.forecast_dataset(train);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    ASSERT_EQ(before[i].has_value(), after[i].has_value()) << i;
+    if (before[i]) {
+      // Removing agreeing duplicates can shift the vote mean slightly; the
+      // shift is bounded by the subsumption tolerance.
+      EXPECT_NEAR(*before[i], *after[i], options.prediction_tolerance + 1e-9) << i;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Tests for core/config.hpp: every validation rule fires, defaults are
+// valid, enum stringification is total.
+#include "core/config.hpp"
+
+#include "core/aggregation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using ef::core::EvolutionConfig;
+using ef::core::RuleSystemConfig;
+
+TEST(EvolutionConfig, DefaultsAreValid) { EXPECT_NO_THROW(EvolutionConfig{}.validate()); }
+
+TEST(EvolutionConfig, PopulationTooSmall) {
+  EvolutionConfig cfg;
+  cfg.population_size = 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.population_size = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.population_size = 2;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(EvolutionConfig, EmaxMustBePositive) {
+  EvolutionConfig cfg;
+  cfg.emax = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.emax = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(EvolutionConfig, TournamentRoundsAtLeastOne) {
+  EvolutionConfig cfg;
+  cfg.tournament_rounds = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(EvolutionConfig, MutationProbabilityBounds) {
+  EvolutionConfig cfg;
+  cfg.mutation_prob = -0.1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.mutation_prob = 1.1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.mutation_prob = 0.0;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.mutation_prob = 1.0;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(EvolutionConfig, MutationScalePositive) {
+  EvolutionConfig cfg;
+  cfg.mutation_scale = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(EvolutionConfig, WildcardToggleBounds) {
+  EvolutionConfig cfg;
+  cfg.wildcard_toggle_prob = -0.01;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.wildcard_toggle_prob = 1.01;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(EvolutionConfig, ZeroGenerationsIsLegal) {
+  // A zero-generation run = evaluate the initial population only (used by
+  // the init ablation).
+  EvolutionConfig cfg;
+  cfg.generations = 0;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(RuleSystemConfig, DefaultsAreValid) { EXPECT_NO_THROW(RuleSystemConfig{}.validate()); }
+
+TEST(RuleSystemConfig, CoverageTargetBounds) {
+  RuleSystemConfig cfg;
+  cfg.coverage_target_percent = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.coverage_target_percent = 100.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.coverage_target_percent = 0.0;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.coverage_target_percent = 100.0;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(RuleSystemConfig, MaxExecutionsAtLeastOne) {
+  RuleSystemConfig cfg;
+  cfg.max_executions = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(RuleSystemConfig, ValidatePropagatesToEvolution) {
+  RuleSystemConfig cfg;
+  cfg.evolution.emax = -5.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(EnumStrings, DistanceMetricTotal) {
+  using ef::core::DistanceMetric;
+  EXPECT_STREQ(to_string(DistanceMetric::kPrediction), "prediction");
+  EXPECT_STREQ(to_string(DistanceMetric::kConditionOverlap), "condition_overlap");
+  EXPECT_STREQ(to_string(DistanceMetric::kMatchedJaccard), "matched_jaccard");
+}
+
+TEST(EnumStrings, AggregationTotal) {
+  using ef::core::Aggregation;
+  EXPECT_STREQ(to_string(Aggregation::kMean), "mean");
+  EXPECT_STREQ(to_string(Aggregation::kFitnessWeighted), "fitness_weighted");
+  EXPECT_STREQ(to_string(Aggregation::kMedian), "median");
+  EXPECT_STREQ(to_string(Aggregation::kBestRule), "best_rule");
+  EXPECT_STREQ(to_string(Aggregation::kInverseError), "inverse_error");
+}
+
+}  // namespace

@@ -1,0 +1,232 @@
+// Tests for core/crowding.hpp: the three phenotypic distances, nearest-
+// neighbour lookup, and the victim-selection strategies.
+#include "core/crowding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "series/timeseries.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ef::core::DistanceMetric;
+using ef::core::EvolutionConfig;
+using ef::core::Interval;
+using ef::core::phenotypic_distance;
+using ef::core::ReplacementStrategy;
+using ef::core::Rule;
+using ef::core::WindowDataset;
+using ef::series::TimeSeries;
+
+Rule rule_with_prediction(double p, double fitness = 0.0) {
+  Rule r({Interval(0, 10), Interval(0, 10)});
+  ef::core::PredictingPart part;
+  part.fit.coeffs = {0.0, 0.0, p};
+  part.fit.mean_prediction = p;
+  part.fitness = fitness;
+  r.set_predicting(part);
+  return r;
+}
+
+WindowDataset tiny_dataset() {
+  return WindowDataset(TimeSeries(std::vector<double>{0, 2, 4, 6, 8, 10}), 2, 1);
+}
+
+// ---- jaccard ----------------------------------------------------------------
+
+TEST(Jaccard, IdenticalSetsDistanceZero) {
+  const std::vector<std::size_t> a{1, 2, 3};
+  EXPECT_DOUBLE_EQ(ef::core::jaccard_distance(a, a), 0.0);
+}
+
+TEST(Jaccard, DisjointSetsDistanceOne) {
+  const std::vector<std::size_t> a{1, 2};
+  const std::vector<std::size_t> b{3, 4};
+  EXPECT_DOUBLE_EQ(ef::core::jaccard_distance(a, b), 1.0);
+}
+
+TEST(Jaccard, PartialOverlap) {
+  const std::vector<std::size_t> a{1, 2, 3, 4};
+  const std::vector<std::size_t> b{3, 4, 5, 6};
+  // |∩| = 2, |∪| = 6 → 1 − 1/3.
+  EXPECT_DOUBLE_EQ(ef::core::jaccard_distance(a, b), 1.0 - 2.0 / 6.0);
+}
+
+TEST(Jaccard, BothEmptyIsZero) {
+  const std::vector<std::size_t> e;
+  EXPECT_DOUBLE_EQ(ef::core::jaccard_distance(e, e), 0.0);
+}
+
+TEST(Jaccard, OneEmptyIsOne) {
+  const std::vector<std::size_t> e;
+  const std::vector<std::size_t> a{1};
+  EXPECT_DOUBLE_EQ(ef::core::jaccard_distance(e, a), 1.0);
+  EXPECT_DOUBLE_EQ(ef::core::jaccard_distance(a, e), 1.0);
+}
+
+TEST(Jaccard, SubsetDistance) {
+  const std::vector<std::size_t> a{1, 2};
+  const std::vector<std::size_t> b{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(ef::core::jaccard_distance(a, b), 0.5);
+}
+
+// ---- prediction distance ----------------------------------------------------
+
+TEST(PredictionDistance, AbsoluteDifference) {
+  const auto data = tiny_dataset();
+  const Rule a = rule_with_prediction(10.0);
+  const Rule b = rule_with_prediction(13.5);
+  EXPECT_DOUBLE_EQ(phenotypic_distance(a, b, DistanceMetric::kPrediction, data), 3.5);
+  EXPECT_DOUBLE_EQ(phenotypic_distance(b, a, DistanceMetric::kPrediction, data), 3.5);
+}
+
+TEST(PredictionDistance, UnevaluatedRuleThrows) {
+  const auto data = tiny_dataset();
+  const Rule a = rule_with_prediction(1.0);
+  const Rule b({Interval(0, 1), Interval(0, 1)});
+  EXPECT_THROW((void)phenotypic_distance(a, b, DistanceMetric::kPrediction, data),
+               std::logic_error);
+}
+
+// ---- condition-overlap distance ----------------------------------------------
+
+TEST(OverlapDistance, IdenticalRulesDistanceZero) {
+  const auto data = tiny_dataset();
+  const Rule a({Interval(0, 5), Interval(2, 8)});
+  EXPECT_DOUBLE_EQ(
+      phenotypic_distance(a, a, DistanceMetric::kConditionOverlap, data), 0.0);
+}
+
+TEST(OverlapDistance, DisjointBoxesDistanceOne) {
+  const auto data = tiny_dataset();
+  const Rule a({Interval(0, 2), Interval(0, 2)});
+  const Rule b({Interval(5, 9), Interval(5, 9)});
+  EXPECT_DOUBLE_EQ(
+      phenotypic_distance(a, b, DistanceMetric::kConditionOverlap, data), 1.0);
+}
+
+TEST(OverlapDistance, WildcardVsWildcardIsZero) {
+  const auto data = tiny_dataset();
+  const Rule a({Interval::wildcard(), Interval::wildcard()});
+  EXPECT_DOUBLE_EQ(
+      phenotypic_distance(a, a, DistanceMetric::kConditionOverlap, data), 0.0);
+}
+
+TEST(OverlapDistance, SymmetricAndBounded) {
+  const auto data = tiny_dataset();
+  ef::util::Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto rand_rule = [&] {
+      std::vector<Interval> genes;
+      for (int j = 0; j < 2; ++j) {
+        double x = rng.uniform(0.0, 10.0);
+        double y = rng.uniform(0.0, 10.0);
+        if (x > y) std::swap(x, y);
+        genes.emplace_back(x, y);
+      }
+      return Rule(std::move(genes));
+    };
+    const Rule a = rand_rule();
+    const Rule b = rand_rule();
+    const double ab = phenotypic_distance(a, b, DistanceMetric::kConditionOverlap, data);
+    const double ba = phenotypic_distance(b, a, DistanceMetric::kConditionOverlap, data);
+    EXPECT_DOUBLE_EQ(ab, ba);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+  }
+}
+
+// ---- nearest individual -----------------------------------------------------
+
+TEST(Nearest, FindsPredictionNeighbour) {
+  const auto data = tiny_dataset();
+  std::vector<Rule> population{rule_with_prediction(0.0), rule_with_prediction(5.0),
+                               rule_with_prediction(10.0)};
+  const Rule offspring = rule_with_prediction(6.2);
+  EXPECT_EQ(ef::core::nearest_individual(population, offspring,
+                                         DistanceMetric::kPrediction, data),
+            1u);
+}
+
+TEST(Nearest, TieBreaksToLowestIndex) {
+  const auto data = tiny_dataset();
+  std::vector<Rule> population{rule_with_prediction(4.0), rule_with_prediction(8.0)};
+  const Rule offspring = rule_with_prediction(6.0);  // equidistant
+  EXPECT_EQ(ef::core::nearest_individual(population, offspring,
+                                         DistanceMetric::kPrediction, data),
+            0u);
+}
+
+TEST(Nearest, EmptyPopulationThrows) {
+  const auto data = tiny_dataset();
+  const std::vector<Rule> empty;
+  const Rule offspring = rule_with_prediction(1.0);
+  EXPECT_THROW((void)ef::core::nearest_individual(empty, offspring,
+                                                  DistanceMetric::kPrediction, data),
+               std::invalid_argument);
+}
+
+TEST(Nearest, JaccardRequiresMatchedSets) {
+  const auto data = tiny_dataset();
+  std::vector<Rule> population{rule_with_prediction(0.0)};
+  const Rule offspring = rule_with_prediction(1.0);
+  EXPECT_THROW((void)ef::core::nearest_individual(population, offspring,
+                                                  DistanceMetric::kMatchedJaccard, data),
+               std::invalid_argument);
+}
+
+TEST(Nearest, JaccardFindsSetNeighbour) {
+  const auto data = tiny_dataset();
+  std::vector<Rule> population{rule_with_prediction(0.0), rule_with_prediction(0.0)};
+  const std::vector<std::vector<std::size_t>> matched{{0, 1, 2}, {7, 8, 9}};
+  const Rule offspring = rule_with_prediction(0.0);
+  const std::vector<std::size_t> offspring_matched{1, 2, 3};
+  EXPECT_EQ(ef::core::nearest_individual(population, offspring,
+                                         DistanceMetric::kMatchedJaccard, data, matched,
+                                         offspring_matched),
+            0u);
+}
+
+// ---- choose_victim ----------------------------------------------------------
+
+TEST(ChooseVictim, CrowdingPicksNearest) {
+  const auto data = tiny_dataset();
+  EvolutionConfig cfg;
+  cfg.replacement = ReplacementStrategy::kCrowding;
+  cfg.distance = DistanceMetric::kPrediction;
+  ef::util::Rng rng(6);
+  std::vector<Rule> population{rule_with_prediction(0.0, 5.0), rule_with_prediction(9.0, 1.0)};
+  const Rule offspring = rule_with_prediction(8.5);
+  EXPECT_EQ(ef::core::choose_victim(population, offspring, cfg, data, rng), 1u);
+}
+
+TEST(ChooseVictim, ReplaceWorstPicksLowestFitness) {
+  const auto data = tiny_dataset();
+  EvolutionConfig cfg;
+  cfg.replacement = ReplacementStrategy::kReplaceWorst;
+  ef::util::Rng rng(7);
+  std::vector<Rule> population{rule_with_prediction(0.0, 5.0), rule_with_prediction(1.0, -3.0),
+                               rule_with_prediction(2.0, 2.0)};
+  const Rule offspring = rule_with_prediction(0.0);
+  EXPECT_EQ(ef::core::choose_victim(population, offspring, cfg, data, rng), 1u);
+}
+
+TEST(ChooseVictim, RandomStaysInRange) {
+  const auto data = tiny_dataset();
+  EvolutionConfig cfg;
+  cfg.replacement = ReplacementStrategy::kRandom;
+  ef::util::Rng rng(8);
+  std::vector<Rule> population{rule_with_prediction(0.0), rule_with_prediction(1.0),
+                               rule_with_prediction(2.0)};
+  const Rule offspring = rule_with_prediction(0.0);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 3000; ++i) {
+    ++counts[ef::core::choose_victim(population, offspring, cfg, data, rng)];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 1000, 200);
+}
+
+}  // namespace

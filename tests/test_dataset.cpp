@@ -1,0 +1,138 @@
+// Tests for core/dataset.hpp: window/target arithmetic, bounds, edge sizes.
+#include "core/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using ef::core::WindowDataset;
+using ef::series::TimeSeries;
+
+TimeSeries ramp(std::size_t n) {
+  std::vector<double> v(n);
+  std::iota(v.begin(), v.end(), 0.0);
+  return TimeSeries(std::move(v), "ramp");
+}
+
+TEST(WindowDataset, CountFormula) {
+  // m = size − (D−1) − τ
+  const WindowDataset d(ramp(100), 5, 3);
+  EXPECT_EQ(d.count(), 100u - 4u - 3u);
+  EXPECT_EQ(d.window(), 5u);
+  EXPECT_EQ(d.horizon(), 3u);
+}
+
+TEST(WindowDataset, PatternContents) {
+  const WindowDataset d(ramp(10), 3, 1);
+  const auto p0 = d.pattern(0);
+  ASSERT_EQ(p0.size(), 3u);
+  EXPECT_DOUBLE_EQ(p0[0], 0.0);
+  EXPECT_DOUBLE_EQ(p0[2], 2.0);
+  const auto p4 = d.pattern(4);
+  EXPECT_DOUBLE_EQ(p4[0], 4.0);
+  EXPECT_DOUBLE_EQ(p4[2], 6.0);
+}
+
+TEST(WindowDataset, TargetIsHorizonAhead) {
+  // target(i) = x[i + D − 1 + τ]
+  const WindowDataset d(ramp(20), 4, 5);
+  EXPECT_DOUBLE_EQ(d.target(0), 8.0);
+  EXPECT_DOUBLE_EQ(d.target(3), 11.0);
+}
+
+TEST(WindowDataset, HorizonZeroPredictsLastWindowValue) {
+  const WindowDataset d(ramp(10), 3, 0);
+  EXPECT_EQ(d.count(), 8u);
+  EXPECT_DOUBLE_EQ(d.target(0), 2.0);  // same as pattern(0).back()
+}
+
+TEST(WindowDataset, MinimalSeriesOnePattern) {
+  const WindowDataset d(ramp(6), 5, 1);
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_DOUBLE_EQ(d.target(0), 5.0);
+}
+
+TEST(WindowDataset, TooShortThrows) {
+  EXPECT_THROW(WindowDataset(ramp(5), 5, 1), std::invalid_argument);
+  EXPECT_THROW(WindowDataset(ramp(4), 5, 0), std::invalid_argument);
+}
+
+TEST(WindowDataset, ZeroWindowThrows) {
+  EXPECT_THROW(WindowDataset(ramp(10), 0, 1), std::invalid_argument);
+}
+
+TEST(WindowDataset, ValueRangeOverWholeSeries) {
+  const TimeSeries s({5.0, -2.0, 7.0, 0.0, 3.0, 1.0});
+  const WindowDataset d(s, 2, 1);
+  EXPECT_DOUBLE_EQ(d.value_min(), -2.0);
+  EXPECT_DOUBLE_EQ(d.value_max(), 7.0);
+}
+
+TEST(WindowDataset, TargetRangeOverTargetsOnly) {
+  // Series {10, 0, 1, 2}: with D=2, τ=1 → targets are x[2]=1 and x[3]=2;
+  // the 10 and 0 never appear as targets.
+  const TimeSeries s({10.0, 0.0, 1.0, 2.0});
+  const WindowDataset d(s, 2, 1);
+  EXPECT_EQ(d.count(), 2u);
+  EXPECT_DOUBLE_EQ(d.target_min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.target_max(), 2.0);
+}
+
+TEST(WindowDataset, ConsecutivePatternsOverlap) {
+  const WindowDataset d(ramp(50), 8, 2);
+  for (std::size_t i = 0; i + 1 < d.count(); ++i) {
+    const auto a = d.pattern(i);
+    const auto b = d.pattern(i + 1);
+    for (std::size_t j = 1; j < 8; ++j) EXPECT_DOUBLE_EQ(a[j], b[j - 1]);
+  }
+}
+
+TEST(WindowDataset, StrideEmbedding) {
+  // D=4, stride=6, τ=50 — the Mackey-Glass comparators' delay embedding.
+  const WindowDataset d(ramp(100), 4, 50, 6);
+  // reach = 3·6 + 50 = 68 → m = 100 − 68 = 32.
+  EXPECT_EQ(d.count(), 32u);
+  EXPECT_EQ(d.stride(), 6u);
+  const auto p0 = d.pattern(0);
+  EXPECT_DOUBLE_EQ(p0[0], 0.0);
+  EXPECT_DOUBLE_EQ(p0[1], 6.0);
+  EXPECT_DOUBLE_EQ(p0[2], 12.0);
+  EXPECT_DOUBLE_EQ(p0[3], 18.0);
+  EXPECT_DOUBLE_EQ(d.target(0), 68.0);
+  const auto p5 = d.pattern(5);
+  EXPECT_DOUBLE_EQ(p5[0], 5.0);
+  EXPECT_DOUBLE_EQ(p5[3], 23.0);
+  EXPECT_DOUBLE_EQ(d.target(5), 73.0);
+}
+
+TEST(WindowDataset, StrideOneMatchesDefault) {
+  const WindowDataset a(ramp(50), 5, 2);
+  const WindowDataset b(ramp(50), 5, 2, 1);
+  ASSERT_EQ(a.count(), b.count());
+  for (std::size_t i = 0; i < a.count(); ++i) {
+    EXPECT_DOUBLE_EQ(a.target(i), b.target(i));
+    for (std::size_t j = 0; j < 5; ++j) EXPECT_DOUBLE_EQ(a.pattern(i)[j], b.pattern(i)[j]);
+  }
+}
+
+TEST(WindowDataset, ZeroStrideThrows) {
+  EXPECT_THROW(WindowDataset(ramp(50), 5, 2, 0), std::invalid_argument);
+}
+
+TEST(WindowDataset, StrideTooLongThrows) {
+  // reach = (4−1)·20 + 0 = 60 ≥ 50.
+  EXPECT_THROW(WindowDataset(ramp(50), 4, 0, 20), std::invalid_argument);
+}
+
+TEST(WindowDataset, PaperVeniceShape) {
+  // D = 24, τ = 96 on a 45 000-sample training set: m = 45 000 − 23 − 96.
+  std::vector<double> v(45000, 0.0);
+  const WindowDataset d(TimeSeries(std::move(v)), 24, 96);
+  EXPECT_EQ(d.count(), 45000u - 23u - 96u);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Property-test matrix over the steady-state engine's strategy space:
+// every (init × replacement × distance) combination must preserve the core
+// invariants — stable population size, evaluated individuals, gene bounds,
+// monotone mean fitness under better-only replacement, determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "core/evolution.hpp"
+#include "series/timeseries.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ef::core::DistanceMetric;
+using ef::core::EvolutionConfig;
+using ef::core::InitStrategy;
+using ef::core::ReplacementStrategy;
+using ef::core::SteadyStateEngine;
+using ef::core::WindowDataset;
+using ef::series::TimeSeries;
+
+using Combo = std::tuple<InitStrategy, ReplacementStrategy, DistanceMetric>;
+
+class EngineMatrixTest : public testing::TestWithParam<Combo> {
+ protected:
+  static TimeSeries series() {
+    ef::util::Rng rng(61);
+    std::vector<double> v(350);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = std::sin(static_cast<double>(i) * 0.25) + rng.normal(0.0, 0.05);
+    }
+    return TimeSeries(std::move(v));
+  }
+
+  static EvolutionConfig config() {
+    const auto [init, replacement, distance] = GetParam();
+    EvolutionConfig cfg;
+    cfg.population_size = 12;
+    cfg.generations = 250;
+    cfg.emax = 0.3;
+    cfg.seed = 19;
+    cfg.init = init;
+    cfg.replacement = replacement;
+    cfg.distance = distance;
+    return cfg;
+  }
+};
+
+TEST_P(EngineMatrixTest, InvariantsHoldThroughoutRun) {
+  const TimeSeries s = series();
+  const WindowDataset data(s, 4, 1);
+  SteadyStateEngine engine(data, config());
+
+  double last_mean = engine.snapshot().mean_fitness;
+  for (int g = 0; g < 250; ++g) {
+    engine.step();
+    ASSERT_EQ(engine.population().size(), 12u);
+    const double mean = engine.snapshot().mean_fitness;
+    // Better-only replacement ⇒ mean fitness never decreases.
+    ASSERT_GE(mean, last_mean - 1e-12) << "generation " << g;
+    last_mean = mean;
+  }
+  for (const auto& rule : engine.population()) {
+    ASSERT_TRUE(rule.predicting().has_value());
+    ASSERT_EQ(rule.window(), 4u);
+    for (const auto& gene : rule.genes()) {
+      if (gene.is_wildcard()) continue;
+      ASSERT_LE(gene.lo(), gene.hi());
+    }
+  }
+}
+
+TEST_P(EngineMatrixTest, DeterministicAcrossRuns) {
+  const TimeSeries s = series();
+  const WindowDataset data(s, 4, 1);
+  SteadyStateEngine a(data, config());
+  SteadyStateEngine b(data, config());
+  a.run();
+  b.run();
+  EXPECT_EQ(a.replacements(), b.replacements());
+  for (std::size_t i = 0; i < a.population().size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.population()[i].fitness(), b.population()[i].fitness());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategyCombos, EngineMatrixTest,
+    testing::Combine(testing::Values(InitStrategy::kOutputStratified,
+                                     InitStrategy::kUniformRandom),
+                     testing::Values(ReplacementStrategy::kCrowding,
+                                     ReplacementStrategy::kReplaceWorst,
+                                     ReplacementStrategy::kRandom),
+                     testing::Values(DistanceMetric::kPrediction,
+                                     DistanceMetric::kConditionOverlap,
+                                     DistanceMetric::kMatchedJaccard)));
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Shape-regression tests: the qualitative claims of the paper's three
+// tables, asserted at reduced scale through the experiments library. These
+// are the repository's contract — if a refactor silently breaks a
+// reproduction (rule system stops beating a comparator, coverage collapses),
+// ctest fails rather than a human noticing a bench table drifted.
+#include "experiments/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace ex = ef::experiments;
+
+// ---- Table 1 (Venice) -------------------------------------------------------
+
+ex::VeniceRowConfig venice_small(std::size_t horizon) {
+  ex::VeniceRowConfig config;
+  config.horizon = horizon;
+  config.train_hours = 4000;
+  config.validation_hours = 1000;
+  config.generations = 3000;
+  config.max_executions = 6;
+  config.mlp_epochs = 20;
+  return config;
+}
+
+TEST(TableShapes, VeniceShortHorizonRuleSystemCompetitive) {
+  const auto row = ex::run_venice_row(venice_small(1));
+  // Coverage band: near-complete at tau=1 (paper: 91.3 %).
+  EXPECT_GT(row.rs.coverage_percent, 85.0);
+  // Who-wins: RS <= MLP (paper: near-tie at tau=1, RS wins beyond).
+  EXPECT_LE(row.rs.rmse, row.rmse_mlp * 1.10);
+  // Sanity: errors in centimetres, not garbage.
+  EXPECT_GT(row.rs.rmse, 0.1);
+  EXPECT_LT(row.rs.rmse, 20.0);
+}
+
+TEST(TableShapes, VeniceLongHorizonRuleSystemBeatsMlp) {
+  const auto row = ex::run_venice_row(venice_small(24));
+  EXPECT_GT(row.rs.coverage_percent, 80.0);  // paper: 99.3 %
+  EXPECT_LT(row.rs.rmse, row.rmse_mlp);      // paper: 8.70 vs 11.64
+  // Errors grow with the horizon (compare against tau=1 implicitly via a
+  // loose absolute band).
+  EXPECT_GT(row.rs.rmse, 5.0);
+}
+
+TEST(TableShapes, VeniceEmaxScheduleIsMonotoneAndSaturating) {
+  double last = 0.0;
+  for (const std::size_t tau : {1u, 4u, 12u, 24u, 48u, 96u}) {
+    const double emax = ex::venice_emax_schedule(tau);
+    EXPECT_GT(emax, last);
+    last = emax;
+  }
+  EXPECT_LT(last, 60.0);  // saturates
+}
+
+// ---- Table 2 (Mackey-Glass) -------------------------------------------------
+
+TEST(TableShapes, MackeyGlassRuleSystemBeatsRbfNetworks) {
+  ex::MackeyGlassRowConfig config;
+  config.horizon = 50;
+  config.generations = 8000;
+  const auto row = ex::run_mackey_glass_row(config);
+  // Paper's signature ~78 % coverage operating point (band 70-95 at small
+  // scale).
+  EXPECT_GT(row.rs.coverage_percent, 70.0);
+  EXPECT_LT(row.rs.coverage_percent, 95.0);
+  // Who-wins at the cited comparators' budget.
+  EXPECT_LT(row.rs.nmse, row.nmse_ran);
+  EXPECT_LT(row.rs.nmse, row.nmse_mran);
+  // Absolute band: far better than the mean predictor.
+  EXPECT_LT(row.rs.nmse, 0.2);
+}
+
+TEST(TableShapes, MackeyGlassLongerHorizonIsHarder) {
+  ex::MackeyGlassRowConfig near;
+  near.horizon = 50;
+  near.generations = 6000;
+  ex::MackeyGlassRowConfig far = near;
+  far.horizon = 85;
+  const auto row_near = ex::run_mackey_glass_row(near);
+  const auto row_far = ex::run_mackey_glass_row(far);
+  EXPECT_GT(row_far.rs.nmse, 0.5 * row_near.rs.nmse);  // no free lunch at 85
+}
+
+// ---- Table 3 (sunspots) -----------------------------------------------------
+
+TEST(TableShapes, SunspotCoverageHighAndErrorsOrdered) {
+  ex::SunspotRowConfig config;
+  config.horizon = 4;
+  config.generations = 6000;
+  const auto row = ex::run_sunspot_row(config);
+  EXPECT_GT(row.rs.coverage_percent, 90.0);  // paper: 97.6 %
+  // RS within striking distance of (usually better than) the MLP at tau=4.
+  EXPECT_LT(row.galvan_rs, row.galvan_mlp * 1.15);
+  EXPECT_GT(row.galvan_rs, 0.0);
+}
+
+TEST(TableShapes, SunspotErrorGrowsWithHorizon) {
+  ex::SunspotRowConfig near;
+  near.horizon = 1;
+  near.generations = 5000;
+  ex::SunspotRowConfig far = near;
+  far.horizon = 12;
+  const auto row_near = ex::run_sunspot_row(near);
+  const auto row_far = ex::run_sunspot_row(far);
+  EXPECT_GT(row_far.galvan_rs, row_near.galvan_rs);
+  EXPECT_GT(row_far.galvan_mlp, row_near.galvan_mlp);
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+// Tests for the extended forecast metrics (sMAPE, MASE) and the synthetic
+// test-signal generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "series/analysis.hpp"
+#include "series/metrics.hpp"
+#include "series/synthetic.hpp"
+
+namespace {
+
+namespace m = ef::series;
+
+// ---- sMAPE ------------------------------------------------------------------
+
+TEST(Smape, PerfectForecastIsZero) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(m::smape(a, a), 0.0);
+}
+
+TEST(Smape, HandComputed) {
+  const std::vector<double> a{10.0};
+  const std::vector<double> p{30.0};
+  // 200 · |20| / (10+30) = 100.
+  EXPECT_DOUBLE_EQ(m::smape(a, p), 100.0);
+}
+
+TEST(Smape, BothZeroContributesNothing) {
+  const std::vector<double> a{0.0, 10.0};
+  const std::vector<double> p{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(m::smape(a, p), 0.0);
+}
+
+TEST(Smape, BoundedBy200) {
+  const std::vector<double> a{1.0, 5.0, 0.1};
+  const std::vector<double> p{-1.0, -5.0, -0.1};  // maximal disagreement
+  EXPECT_DOUBLE_EQ(m::smape(a, p), 200.0);
+}
+
+TEST(Smape, SizeMismatchThrows) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> p{1.0};
+  EXPECT_THROW((void)m::smape(a, p), std::invalid_argument);
+}
+
+// ---- MASE -------------------------------------------------------------------
+
+TEST(Mase, NaivePersistenceScoresAboutOne) {
+  // Forecasting a random walk with persistence: MASE ≈ 1 by construction.
+  const auto train = m::generate_ar(500, {{1.0}, 1.0, 0.0, 100, 5});
+  const auto test = m::generate_ar(300, {{1.0}, 1.0, 0.0, 100, 6});
+  std::vector<double> actual;
+  std::vector<double> naive;
+  for (std::size_t i = 1; i < test.size(); ++i) {
+    actual.push_back(test[i]);
+    naive.push_back(test[i - 1]);
+  }
+  const double score = m::mase(actual, naive, train.values());
+  EXPECT_GT(score, 0.7);
+  EXPECT_LT(score, 1.4);
+}
+
+TEST(Mase, PerfectForecastIsZero) {
+  const std::vector<double> train{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> a{5.0, 6.0};
+  EXPECT_DOUBLE_EQ(m::mase(a, a, train), 0.0);
+}
+
+TEST(Mase, HandComputed) {
+  // Train diffs: |1|,|1| → naive MAE 1. Forecast MAE = 2 → MASE 2.
+  const std::vector<double> train{0.0, 1.0, 2.0};
+  const std::vector<double> a{10.0};
+  const std::vector<double> p{12.0};
+  EXPECT_DOUBLE_EQ(m::mase(a, p, train), 2.0);
+}
+
+TEST(Mase, ConstantTrainThrows) {
+  const std::vector<double> train{3.0, 3.0, 3.0};
+  const std::vector<double> a{1.0};
+  EXPECT_THROW((void)m::mase(a, a, train), std::invalid_argument);
+}
+
+TEST(Mase, ShortTrainThrows) {
+  const std::vector<double> train{3.0};
+  const std::vector<double> a{1.0};
+  EXPECT_THROW((void)m::mase(a, a, train), std::invalid_argument);
+}
+
+// ---- synthetic generators ----------------------------------------------------
+
+TEST(GenerateSine, ExactWithoutNoise) {
+  m::SineParams params;
+  params.amplitude = 2.0;
+  params.period = 8.0;
+  params.offset = 1.0;
+  const auto s = m::generate_sine(64, params);
+  EXPECT_NEAR(s[0], 1.0, 1e-12);               // sin(0) = 0 → offset
+  EXPECT_NEAR(s[2], 3.0, 1e-12);               // quarter period → +amplitude
+  EXPECT_NEAR(s[6], -1.0, 1e-12);              // three quarters → −amplitude
+  EXPECT_NEAR(s.mean(), 1.0, 1e-9);            // whole periods → offset
+}
+
+TEST(GenerateSine, DetectedPeriodMatches) {
+  m::SineParams params;
+  params.period = 17.0;
+  params.noise_sd = 0.05;
+  const auto s = m::generate_sine(2000, params);
+  const auto est = m::detect_period(s, 3, 60);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->period, 17u);
+}
+
+TEST(GenerateSine, Validation) {
+  EXPECT_THROW((void)m::generate_sine(0), std::invalid_argument);
+  m::SineParams bad;
+  bad.period = 0.0;
+  EXPECT_THROW((void)m::generate_sine(10, bad), std::invalid_argument);
+  bad = {};
+  bad.noise_sd = -1.0;
+  EXPECT_THROW((void)m::generate_sine(10, bad), std::invalid_argument);
+}
+
+TEST(GenerateAr, Ar1AutocorrelationMatchesPhi) {
+  m::ArParams params;
+  params.phi = {0.7};
+  params.seed = 11;
+  const auto s = m::generate_ar(30000, params);
+  EXPECT_NEAR(m::autocorrelation(s, 1), 0.7, 0.02);
+}
+
+TEST(GenerateAr, WhiteNoiseWhenNoCoefficients) {
+  m::ArParams params;
+  params.phi = {};
+  const auto s = m::generate_ar(20000, params);
+  EXPECT_NEAR(m::autocorrelation(s, 1), 0.0, 0.03);
+  EXPECT_NEAR(s.variance(), 1.0, 0.05);
+}
+
+TEST(GenerateAr, OffsetShiftsMean) {
+  m::ArParams params;
+  params.offset = 50.0;
+  const auto s = m::generate_ar(20000, params);
+  EXPECT_NEAR(s.mean(), 50.0, 1.0);
+}
+
+TEST(GenerateAr, Deterministic) {
+  const auto a = m::generate_ar(100);
+  const auto b = m::generate_ar(100);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(GenerateRegimeSwitch, AmplitudeVariesAcrossSeries) {
+  m::RegimeSwitchParams params;
+  params.mean_dwell = 200.0;
+  const auto s = m::generate_regime_switch(4000, params);
+  // Rolling amplitude (max−min over 50-sample blocks) must differ strongly
+  // between the calmest and wildest blocks: evidence of regime switching.
+  double min_amp = 1e300;
+  double max_amp = 0.0;
+  for (std::size_t b = 0; b + 50 <= s.size(); b += 50) {
+    double lo = s[b];
+    double hi = s[b];
+    for (std::size_t i = b; i < b + 50; ++i) {
+      lo = std::min(lo, s[i]);
+      hi = std::max(hi, s[i]);
+    }
+    min_amp = std::min(min_amp, hi - lo);
+    max_amp = std::max(max_amp, hi - lo);
+  }
+  EXPECT_GT(max_amp, 1.8 * min_amp);
+}
+
+TEST(GenerateRegimeSwitch, Validation) {
+  EXPECT_THROW((void)m::generate_regime_switch(0), std::invalid_argument);
+  m::RegimeSwitchParams bad;
+  bad.regimes.clear();
+  EXPECT_THROW((void)m::generate_regime_switch(10, bad), std::invalid_argument);
+  bad = {};
+  bad.mean_dwell = 1.0;
+  EXPECT_THROW((void)m::generate_regime_switch(10, bad), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+// Tests for core/fitness.hpp: the paper's fitness formula (branch conditions,
+// monotonicity properties via TEST_P) and the full evaluator pipeline.
+#include "core/fitness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/match_engine.hpp"
+#include "series/timeseries.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ef::core::Evaluator;
+using ef::core::EvolutionConfig;
+using ef::core::fitness_value;
+using ef::core::Interval;
+using ef::core::MatchEngine;
+using ef::core::Rule;
+using ef::core::WindowDataset;
+using ef::series::TimeSeries;
+
+// ---- fitness_value formula --------------------------------------------------
+
+TEST(FitnessValue, HappyPath) {
+  // N_R = 10, e = 0.02, EMAX = 0.1 → 10·0.1 − 0.02 = 0.98.
+  EXPECT_DOUBLE_EQ(fitness_value(10, 0.02, 0.1, -1.0), 0.98);
+}
+
+TEST(FitnessValue, SingleMatchGetsFMin) {
+  EXPECT_DOUBLE_EQ(fitness_value(1, 0.0, 0.1, -1.0), -1.0);
+}
+
+TEST(FitnessValue, ZeroMatchesGetsFMin) {
+  EXPECT_DOUBLE_EQ(fitness_value(0, 0.0, 0.1, -1.0), -1.0);
+}
+
+TEST(FitnessValue, ErrorAtEmaxGetsFMin) {
+  EXPECT_DOUBLE_EQ(fitness_value(10, 0.1, 0.1, -1.0), -1.0);   // e == EMAX excluded
+  EXPECT_DOUBLE_EQ(fitness_value(10, 0.11, 0.1, -1.0), -1.0);  // e > EMAX
+}
+
+TEST(FitnessValue, TwoMatchesIsEnough) {
+  EXPECT_GT(fitness_value(2, 0.05, 0.1, -1.0), -1.0);
+}
+
+class FitnessMonotonicityTest
+    : public testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(FitnessMonotonicityTest, MoreMatchesNeverHurts) {
+  const auto [n, e] = GetParam();
+  const double emax = 0.1;
+  if (n > 1 && e < emax) {
+    EXPECT_GT(fitness_value(n + 1, e, emax, -1.0), fitness_value(n, e, emax, -1.0));
+  } else {
+    EXPECT_GE(fitness_value(n + 1, e, emax, -1.0), fitness_value(n, e, emax, -1.0));
+  }
+}
+
+TEST_P(FitnessMonotonicityTest, LowerErrorNeverHurts) {
+  const auto [n, e] = GetParam();
+  const double emax = 0.1;
+  const double smaller = e * 0.5;
+  EXPECT_GE(fitness_value(n, smaller, emax, -1.0), fitness_value(n, e, emax, -1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FitnessMonotonicityTest,
+                         testing::Combine(testing::Values<std::size_t>(0, 1, 2, 5, 50, 500),
+                                          testing::Values(0.0, 0.01, 0.05, 0.09, 0.099,
+                                                          0.1, 0.5)));
+
+// A rule matching many points with near-EMAX error can outrank a rule
+// matching few points perfectly — the balance the paper's fitness encodes.
+TEST(FitnessValue, CoverageBeatsPerfection) {
+  const double emax = 0.1;
+  const double many_sloppy = fitness_value(100, 0.09, emax, -1.0);
+  const double few_perfect = fitness_value(3, 0.0, emax, -1.0);
+  EXPECT_GT(many_sloppy, few_perfect);
+}
+
+// ---- Evaluator pipeline -----------------------------------------------------
+
+class EvaluatorTest : public testing::Test {
+ protected:
+  // Linear ramp: every window is exactly predictable → e_R ≈ 0 for any rule.
+  EvaluatorTest() : series_(make_ramp()), data_(series_, 3, 1), engine_(data_) {
+    config_.emax = 0.5;
+    config_.f_min = -1.0;
+  }
+
+  static TimeSeries make_ramp() {
+    std::vector<double> v(60);
+    std::iota(v.begin(), v.end(), 0.0);
+    return TimeSeries(std::move(v));
+  }
+
+  TimeSeries series_;
+  WindowDataset data_;
+  MatchEngine engine_;
+  EvolutionConfig config_;
+};
+
+TEST_F(EvaluatorTest, AllWildcardRuleMatchesAllAndFitsPerfectly) {
+  const Evaluator ev(engine_, config_);
+  Rule r({Interval::wildcard(), Interval::wildcard(), Interval::wildcard()});
+  ev.evaluate(r);
+  ASSERT_TRUE(r.predicting().has_value());
+  EXPECT_EQ(r.predicting()->matches, data_.count());
+  // Ridge regularisation leaves a tiny residual on the exactly-linear ramp.
+  EXPECT_LT(r.predicting()->error(), 1e-3);
+  EXPECT_NEAR(r.fitness(),
+              static_cast<double>(data_.count()) * config_.emax - r.predicting()->error(),
+              1e-9);
+}
+
+TEST_F(EvaluatorTest, NonMatchingRuleGetsFMin) {
+  const Evaluator ev(engine_, config_);
+  Rule r({Interval(1000, 2000), Interval::wildcard(), Interval::wildcard()});
+  ev.evaluate(r);
+  ASSERT_TRUE(r.predicting().has_value());
+  EXPECT_EQ(r.predicting()->matches, 0u);
+  EXPECT_DOUBLE_EQ(r.fitness(), config_.f_min);
+}
+
+TEST_F(EvaluatorTest, SingleMatchRuleGetsFMin) {
+  const Evaluator ev(engine_, config_);
+  // Window (0,1,2) is the only one whose first value is <= 0.
+  Rule r({Interval(0, 0), Interval::wildcard(), Interval::wildcard()});
+  ev.evaluate(r);
+  ASSERT_TRUE(r.predicting().has_value());
+  EXPECT_EQ(r.predicting()->matches, 1u);
+  EXPECT_DOUBLE_EQ(r.fitness(), config_.f_min);
+}
+
+TEST_F(EvaluatorTest, KeepMatchesReturnsMatchedIndices) {
+  const Evaluator ev(engine_, config_);
+  Rule r({Interval(0, 10), Interval::wildcard(), Interval::wildcard()});
+  std::vector<std::size_t> matched;
+  ev.evaluate(r, &matched);
+  // First values 0..10 → indices 0..10.
+  ASSERT_EQ(matched.size(), 11u);
+  for (std::size_t i = 0; i < matched.size(); ++i) EXPECT_EQ(matched[i], i);
+  EXPECT_EQ(r.predicting()->matches, 11u);
+}
+
+TEST_F(EvaluatorTest, EvaluateAllCoversWholePopulation) {
+  const Evaluator ev(engine_, config_);
+  std::vector<Rule> population;
+  for (int i = 0; i < 10; ++i) {
+    population.emplace_back(std::vector<Interval>{
+        Interval(i * 5.0, i * 5.0 + 10.0), Interval::wildcard(), Interval::wildcard()});
+  }
+  ev.evaluate_all(population);
+  for (const Rule& r : population) EXPECT_TRUE(r.predicting().has_value());
+}
+
+// EMAX gate: on noisy data a global rule's max-residual exceeds a tight EMAX
+// and must be punished with f_min.
+TEST(EvaluatorNoise, TightEmaxPunishesGlobalRule) {
+  ef::util::Rng rng(8);
+  std::vector<double> v;
+  for (int i = 0; i < 300; ++i) v.push_back(rng.uniform(0.0, 1.0));
+  const TimeSeries s(v);
+  const WindowDataset data(s, 3, 1);
+  const MatchEngine engine(data);
+
+  EvolutionConfig tight;
+  tight.emax = 1e-4;
+  tight.f_min = -7.0;
+  const Evaluator ev(engine, tight);
+  Rule r({Interval::wildcard(), Interval::wildcard(), Interval::wildcard()});
+  ev.evaluate(r);
+  EXPECT_DOUBLE_EQ(r.fitness(), -7.0);
+
+  EvolutionConfig loose = tight;
+  loose.emax = 10.0;
+  const Evaluator ev2(engine, loose);
+  ev2.evaluate(r);
+  EXPECT_GT(r.fitness(), 0.0);
+}
+
+}  // namespace

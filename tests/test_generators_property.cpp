@@ -1,0 +1,116 @@
+// Cross-seed property sweeps over the synthetic data generators: the
+// structural guarantees the experiments rely on must hold for every seed,
+// not just the default one.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "series/sunspot.hpp"
+#include "series/venice.hpp"
+
+namespace {
+
+class VenicePropertyTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VenicePropertyTest, RangeAndTidalStructure) {
+  ef::series::VeniceParams params;
+  params.seed = GetParam();
+  const auto s = ef::series::generate_venice(15000, params);
+
+  // Plausible lagoon range for every seed.
+  EXPECT_GT(s.min(), -150.0);
+  EXPECT_LT(s.max(), 350.0);
+  EXPECT_GT(s.max() - s.min(), 80.0);  // real tidal dynamics, not flat
+
+  // Tidal periodicity: diurnal-band autocorrelation beats a 3 h lag.
+  const double mean = s.mean();
+  const auto autocorr = [&](std::size_t lag) {
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      den += (s[i] - mean) * (s[i] - mean);
+      if (i >= lag) num += (s[i] - mean) * (s[i - lag] - mean);
+    }
+    return num / den;
+  };
+  EXPECT_GT(autocorr(25), autocorr(3));
+}
+
+TEST_P(VenicePropertyTest, StormsAddExtremesForEverySeed) {
+  ef::series::VeniceParams stormy;
+  stormy.seed = GetParam();
+  ef::series::VeniceParams calm = stormy;
+  calm.storm_rate_per_hour = 0.0;
+  const auto with_storms = ef::series::generate_venice(15000, stormy);
+  const auto without = ef::series::generate_venice(15000, calm);
+  // Pointwise: storms only ever add water.
+  for (std::size_t i = 0; i < with_storms.size(); i += 37) {
+    ASSERT_GE(with_storms[i], without[i] - 1e-9);
+  }
+  EXPECT_GT(with_storms.max(), without.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VenicePropertyTest,
+                         testing::Values(1u, 1980u, 42u, 7777u, 123456u));
+
+class SunspotPropertyTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SunspotPropertyTest, NonNegativeAndCyclic) {
+  ef::series::SunspotParams params;
+  params.seed = GetParam();
+  const auto s = ef::series::generate_sunspots(2739, params);
+  EXPECT_GE(s.min(), 0.0);
+  EXPECT_GT(s.max(), 60.0);
+  EXPECT_LT(s.max(), 500.0);
+
+  // Cycles exist: the series repeatedly returns near quiet levels and
+  // repeatedly exceeds half its maximum.
+  const double high = 0.5 * s.max();
+  int high_runs = 0;
+  int quiet_runs = 0;
+  bool in_high = false;
+  bool in_quiet = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const bool h = s[i] > high;
+    const bool q = s[i] < 20.0;
+    if (h && !in_high) ++high_runs;
+    if (q && !in_quiet) ++quiet_runs;
+    in_high = h;
+    in_quiet = q;
+  }
+  EXPECT_GE(high_runs, 5);
+  EXPECT_GE(quiet_runs, 5);
+}
+
+TEST_P(SunspotPropertyTest, NoiseScalesWithActivity) {
+  // Signal-dependent noise: month-over-month jumps should be larger at
+  // maxima than at minima.
+  ef::series::SunspotParams params;
+  params.seed = GetParam();
+  const auto s = ef::series::generate_sunspots(2739, params);
+  double hi_jump = 0.0;
+  std::size_t hi_n = 0;
+  double lo_jump = 0.0;
+  std::size_t lo_n = 0;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    const double level = 0.5 * (s[i] + s[i - 1]);
+    const double jump = std::abs(s[i] - s[i - 1]);
+    if (level > 100.0) {
+      hi_jump += jump;
+      ++hi_n;
+    } else if (level < 20.0) {
+      lo_jump += jump;
+      ++lo_n;
+    }
+  }
+  ASSERT_GT(hi_n, 20u);
+  ASSERT_GT(lo_n, 20u);
+  EXPECT_GT(hi_jump / static_cast<double>(hi_n), 1.5 * lo_jump / static_cast<double>(lo_n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SunspotPropertyTest,
+                         testing::Values(1749u, 2u, 99u, 31415u, 86420u));
+
+}  // namespace

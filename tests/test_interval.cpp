@@ -1,0 +1,173 @@
+// Tests for core/interval.hpp: constructor contracts, membership, algebraic
+// properties (overlap symmetry, subset transitivity) via parameterized sweeps.
+#include "core/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using ef::core::Interval;
+
+TEST(Interval, DefaultIsWildcard) {
+  const Interval g;
+  EXPECT_TRUE(g.is_wildcard());
+  EXPECT_TRUE(g.contains(-1e300));
+  EXPECT_TRUE(g.contains(1e300));
+  EXPECT_TRUE(std::isinf(g.width()));
+}
+
+TEST(Interval, BoundedMembership) {
+  const Interval g(2.0, 5.0);
+  EXPECT_FALSE(g.is_wildcard());
+  EXPECT_TRUE(g.contains(2.0));   // closed at both ends
+  EXPECT_TRUE(g.contains(5.0));
+  EXPECT_TRUE(g.contains(3.3));
+  EXPECT_FALSE(g.contains(1.999));
+  EXPECT_FALSE(g.contains(5.001));
+}
+
+TEST(Interval, PointIntervalContainsOnlyItself) {
+  const Interval g(4.0, 4.0);
+  EXPECT_TRUE(g.contains(4.0));
+  EXPECT_FALSE(g.contains(4.0000001));
+  EXPECT_DOUBLE_EQ(g.width(), 0.0);
+}
+
+TEST(Interval, InvertedBoundsThrow) {
+  EXPECT_THROW(Interval(5.0, 2.0), std::invalid_argument);
+}
+
+TEST(Interval, NaNBoundsThrow) {
+  EXPECT_THROW(Interval(std::nan(""), 1.0), std::invalid_argument);
+  EXPECT_THROW(Interval(0.0, std::nan("")), std::invalid_argument);
+}
+
+TEST(Interval, InfiniteBoundsThrow) {
+  EXPECT_THROW(Interval(-std::numeric_limits<double>::infinity(), 0.0),
+               std::invalid_argument);
+}
+
+TEST(Interval, WildcardAccessorsThrow) {
+  const Interval g = Interval::wildcard();
+  EXPECT_THROW((void)g.lo(), std::logic_error);
+  EXPECT_THROW((void)g.hi(), std::logic_error);
+  EXPECT_THROW((void)g.midpoint(), std::logic_error);
+}
+
+TEST(Interval, MidpointAndWidth) {
+  const Interval g(-2.0, 6.0);
+  EXPECT_DOUBLE_EQ(g.midpoint(), 2.0);
+  EXPECT_DOUBLE_EQ(g.width(), 8.0);
+}
+
+TEST(Interval, OverlapBasicCases) {
+  const Interval a(0.0, 10.0);
+  const Interval b(5.0, 15.0);
+  const Interval c(20.0, 30.0);
+  EXPECT_DOUBLE_EQ(a.overlap_width(b, -100, 100), 5.0);
+  EXPECT_DOUBLE_EQ(a.overlap_width(c, -100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(a.overlap_width(a, -100, 100), 10.0);
+}
+
+TEST(Interval, OverlapWithWildcardUsesSpan) {
+  const Interval a(0.0, 10.0);
+  const Interval w = Interval::wildcard();
+  EXPECT_DOUBLE_EQ(a.overlap_width(w, -50.0, 50.0), 10.0);
+  EXPECT_DOUBLE_EQ(w.overlap_width(w, -50.0, 50.0), 100.0);
+}
+
+TEST(Interval, SubsetRelation) {
+  const Interval inner(2.0, 3.0);
+  const Interval outer(0.0, 10.0);
+  EXPECT_TRUE(inner.subset_of(outer));
+  EXPECT_FALSE(outer.subset_of(inner));
+  EXPECT_TRUE(inner.subset_of(inner));
+  EXPECT_TRUE(inner.subset_of(Interval::wildcard()));
+  EXPECT_FALSE(Interval::wildcard().subset_of(outer));
+  EXPECT_TRUE(Interval::wildcard().subset_of(Interval::wildcard()));
+}
+
+TEST(Interval, Equality) {
+  EXPECT_EQ(Interval(1.0, 2.0), Interval(1.0, 2.0));
+  EXPECT_FALSE(Interval(1.0, 2.0) == Interval(1.0, 2.5));
+  EXPECT_EQ(Interval::wildcard(), Interval::wildcard());
+  EXPECT_FALSE(Interval(1.0, 2.0) == Interval::wildcard());
+}
+
+// ---- property sweeps --------------------------------------------------------
+
+class IntervalPropertyTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalPropertyTest, MembershipConsistentWithBounds) {
+  ef::util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    double a = rng.uniform(-100.0, 100.0);
+    double b = rng.uniform(-100.0, 100.0);
+    if (a > b) std::swap(a, b);
+    const Interval g(a, b);
+    const double x = rng.uniform(-120.0, 120.0);
+    EXPECT_EQ(g.contains(x), a <= x && x <= b);
+  }
+}
+
+TEST_P(IntervalPropertyTest, OverlapIsSymmetricAndBounded) {
+  ef::util::Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 200; ++i) {
+    double a1 = rng.uniform(-10.0, 10.0);
+    double b1 = rng.uniform(-10.0, 10.0);
+    if (a1 > b1) std::swap(a1, b1);
+    double a2 = rng.uniform(-10.0, 10.0);
+    double b2 = rng.uniform(-10.0, 10.0);
+    if (a2 > b2) std::swap(a2, b2);
+    const Interval g1(a1, b1);
+    const Interval g2(a2, b2);
+    const double o12 = g1.overlap_width(g2, -10.0, 10.0);
+    const double o21 = g2.overlap_width(g1, -10.0, 10.0);
+    EXPECT_DOUBLE_EQ(o12, o21);
+    EXPECT_GE(o12, 0.0);
+    EXPECT_LE(o12, std::min(g1.width(), g2.width()) + 1e-12);
+  }
+}
+
+TEST_P(IntervalPropertyTest, SelfOverlapEqualsWidth) {
+  ef::util::Rng rng(GetParam() + 2000);
+  for (int i = 0; i < 100; ++i) {
+    double a = rng.uniform(-5.0, 5.0);
+    double b = rng.uniform(-5.0, 5.0);
+    if (a > b) std::swap(a, b);
+    const Interval g(a, b);
+    EXPECT_DOUBLE_EQ(g.overlap_width(g, -5.0, 5.0), g.width());
+  }
+}
+
+TEST_P(IntervalPropertyTest, SubsetImpliesMembershipImplication) {
+  ef::util::Rng rng(GetParam() + 3000);
+  for (int i = 0; i < 100; ++i) {
+    double a = rng.uniform(-10.0, 10.0);
+    double b = rng.uniform(-10.0, 10.0);
+    if (a > b) std::swap(a, b);
+    const Interval outer(a, b);
+    // Carve a random sub-interval.
+    const double lo = rng.uniform(a, b);
+    const double hi = rng.uniform(lo, b);
+    const Interval inner(lo, hi);
+    ASSERT_TRUE(inner.subset_of(outer));
+    for (int k = 0; k < 20; ++k) {
+      const double x = rng.uniform(-12.0, 12.0);
+      if (inner.contains(x)) {
+        EXPECT_TRUE(outer.contains(x));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalPropertyTest, testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace

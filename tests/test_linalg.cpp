@@ -1,0 +1,182 @@
+// Tests for baselines/linalg.hpp: kernels against hand references, QR
+// least-squares against the normal-equation solution.
+#include "baselines/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+namespace bl = ef::baselines;
+using bl::Matrix;
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+  }
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+}
+
+TEST(Matrix, FromDataSizeChecked) {
+  EXPECT_THROW(Matrix(2, 2, {1.0, 2.0, 3.0}), std::invalid_argument);
+  const Matrix m(2, 2, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+}
+
+TEST(Gemv, KnownProduct) {
+  const Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const std::vector<double> x{1, 0, -1};
+  std::vector<double> y(2, 0.0);
+  bl::gemv(a, x, y);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(Gemv, ShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  std::vector<double> x(2, 0.0);
+  std::vector<double> y(2, 0.0);
+  EXPECT_THROW(bl::gemv(a, x, y), std::invalid_argument);
+}
+
+TEST(GemvT, TransposeProduct) {
+  const Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const std::vector<double> x{1, 1};
+  std::vector<double> y(3, 99.0);  // must be overwritten, not accumulated
+  bl::gemv_t(a, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  EXPECT_DOUBLE_EQ(y[2], 9.0);
+}
+
+TEST(Gemm, KnownProduct) {
+  const Matrix a(2, 2, {1, 2, 3, 4});
+  const Matrix b(2, 2, {5, 6, 7, 8});
+  const Matrix c = bl::gemm(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Gemm, InnerDimensionChecked) {
+  EXPECT_THROW((void)bl::gemm(Matrix(2, 3), Matrix(2, 2)), std::invalid_argument);
+}
+
+TEST(Axpy, Accumulates) {
+  const std::vector<double> x{1, 2, 3};
+  std::vector<double> y{10, 20, 30};
+  bl::axpy(0.5, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 10.5);
+  EXPECT_DOUBLE_EQ(y[2], 31.5);
+}
+
+TEST(Rank1Update, OuterProduct) {
+  Matrix a(2, 2);
+  const std::vector<double> x{1, 2};
+  const std::vector<double> y{3, 4};
+  bl::rank1_update(a, 2.0, x, y);
+  EXPECT_DOUBLE_EQ(a(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 12.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 16.0);
+}
+
+TEST(DotNorm, Values) {
+  const std::vector<double> x{3, 4};
+  EXPECT_DOUBLE_EQ(bl::dot(x, x), 25.0);
+  EXPECT_DOUBLE_EQ(bl::norm2(x), 5.0);
+  const std::vector<double> y{1, 1};
+  EXPECT_DOUBLE_EQ(bl::squared_distance(x, y), 4.0 + 9.0);
+}
+
+TEST(LeastSquaresQr, ExactSystem) {
+  // Square full-rank system → exact solution.
+  const Matrix a(2, 2, {2, 0, 0, 4});
+  const std::vector<double> b{6, 8};
+  const auto w = bl::solve_least_squares_qr(a, b);
+  EXPECT_NEAR(w[0], 3.0, 1e-12);
+  EXPECT_NEAR(w[1], 2.0, 1e-12);
+}
+
+TEST(LeastSquaresQr, OverdeterminedRecoversPlane) {
+  ef::util::Rng rng(1);
+  const std::size_t m = 100;
+  Matrix a(m, 3);
+  std::vector<double> b(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    a(i, 0) = rng.uniform(-1, 1);
+    a(i, 1) = rng.uniform(-1, 1);
+    a(i, 2) = 1.0;
+    b[i] = 2.0 * a(i, 0) - 0.5 * a(i, 1) + 3.0;
+  }
+  const auto w = bl::solve_least_squares_qr(a, b);
+  EXPECT_NEAR(w[0], 2.0, 1e-10);
+  EXPECT_NEAR(w[1], -0.5, 1e-10);
+  EXPECT_NEAR(w[2], 3.0, 1e-10);
+}
+
+TEST(LeastSquaresQr, NoisyFitMinimisesResidual) {
+  ef::util::Rng rng(2);
+  const std::size_t m = 200;
+  Matrix a(m, 2);
+  std::vector<double> b(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    a(i, 0) = rng.uniform(-1, 1);
+    a(i, 1) = 1.0;
+    b[i] = 5.0 * a(i, 0) + 1.0 + rng.normal(0.0, 0.1);
+  }
+  const auto w = bl::solve_least_squares_qr(a, b);
+  const auto sse = [&](double w0, double w1) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double r = b[i] - (w0 * a(i, 0) + w1 * a(i, 1));
+      acc += r * r;
+    }
+    return acc;
+  };
+  const double base = sse(w[0], w[1]);
+  EXPECT_GE(sse(w[0] + 0.01, w[1]), base);
+  EXPECT_GE(sse(w[0], w[1] + 0.01), base);
+  EXPECT_NEAR(w[0], 5.0, 0.05);
+}
+
+TEST(LeastSquaresQr, RankDeficientThrows) {
+  Matrix a(3, 2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    a(i, 0) = static_cast<double>(i);
+    a(i, 1) = 2.0 * static_cast<double>(i);  // col2 = 2·col1
+  }
+  const std::vector<double> b{1, 2, 3};
+  EXPECT_THROW((void)bl::solve_least_squares_qr(a, b), std::runtime_error);
+}
+
+TEST(LeastSquaresQr, ShapeErrorsThrow) {
+  const Matrix a(2, 3);
+  const std::vector<double> b{1, 2};
+  EXPECT_THROW((void)bl::solve_least_squares_qr(a, b), std::invalid_argument);  // m < n
+  const Matrix ok(3, 2);
+  const std::vector<double> wrong{1, 2};
+  EXPECT_THROW((void)bl::solve_least_squares_qr(ok, wrong), std::invalid_argument);
+}
+
+}  // namespace

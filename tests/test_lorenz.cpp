@@ -1,0 +1,116 @@
+// Tests for series/lorenz.hpp: integrator correctness (fixed-point check,
+// step-halving convergence), chaos signatures (bounded, two-lobed,
+// sensitive dependence), argument validation.
+#include "series/lorenz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace {
+
+using ef::series::generate_lorenz;
+using ef::series::LorenzParams;
+
+TEST(Lorenz, Deterministic) {
+  const auto a = generate_lorenz(500);
+  const auto b = generate_lorenz(500);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Lorenz, CountRespected) {
+  EXPECT_EQ(generate_lorenz(1).size(), 1u);
+  EXPECT_EQ(generate_lorenz(777).size(), 777u);
+}
+
+TEST(Lorenz, InvalidArgumentsThrow) {
+  EXPECT_THROW((void)generate_lorenz(0), std::invalid_argument);
+  LorenzParams bad;
+  bad.dt = 0.0;
+  EXPECT_THROW((void)generate_lorenz(10, bad), std::invalid_argument);
+  bad = LorenzParams{};
+  bad.sample_dt = 0.025;  // not a multiple of dt=0.01
+  EXPECT_THROW((void)generate_lorenz(10, bad), std::invalid_argument);
+}
+
+// With rho < 1 the origin is globally attracting: the series must decay
+// toward x = 0.
+TEST(Lorenz, SubcriticalRhoDecaysToOrigin) {
+  LorenzParams p;
+  p.rho = 0.5;
+  p.burn_in = 0.0;
+  const auto s = generate_lorenz(200, p);
+  EXPECT_LT(std::abs(s[199]), 1e-3);
+  EXPECT_GT(std::abs(s[0]), 0.5);  // started away from the origin
+}
+
+// For 1 < rho < ~24.7 the fixed points C± = (±√(β(ρ−1)), ·, ·) are stable:
+// trajectories settle onto x = ±√(β(ρ−1)).
+TEST(Lorenz, ModerateRhoSettlesOntoFixedPoint) {
+  LorenzParams p;
+  p.rho = 10.0;
+  p.burn_in = 80.0;
+  const auto s = generate_lorenz(50, p);
+  const double expected = std::sqrt(p.beta * (p.rho - 1.0));
+  EXPECT_NEAR(std::abs(s[0]), expected, 0.05);
+  EXPECT_NEAR(std::abs(s[49]), expected, 0.05);
+}
+
+TEST(Lorenz, ChaoticRegimeBoundedAndTwoLobed) {
+  const auto s = generate_lorenz(5000);
+  int sign_changes = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_LT(std::abs(s[i]), 25.0);  // attractor bound for classic params
+    if (i > 0 && s[i - 1] * s[i] < 0.0) ++sign_changes;
+  }
+  // The trajectory keeps switching lobes (x changes sign many times).
+  EXPECT_GT(sign_changes, 50);
+  EXPECT_GT(s.variance(), 20.0);
+}
+
+TEST(Lorenz, SensitiveDependenceOnInitialConditions) {
+  // No burn-in: otherwise the perturbation has already amplified by the
+  // first sample (Lyapunov time ≈ 1.1 time units ≪ default burn-in of 30).
+  LorenzParams a;
+  a.burn_in = 0.0;
+  LorenzParams b = a;
+  b.x0 += 1e-9;
+  const auto sa = generate_lorenz(600, a);
+  const auto sb = generate_lorenz(600, b);
+  // Identical early on...
+  EXPECT_NEAR(sa[0], sb[0], 1e-5);
+  // ...but the 1e-9 perturbation must have amplified to O(attractor size).
+  double max_gap = 0.0;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    max_gap = std::max(max_gap, std::abs(sa[i] - sb[i]));
+  }
+  EXPECT_GT(max_gap, 1.0);
+}
+
+TEST(Lorenz, StepHalvingConverges) {
+  LorenzParams coarse;
+  coarse.dt = 0.01;
+  coarse.burn_in = 0.0;
+  LorenzParams fine;
+  fine.dt = 0.005;
+  fine.burn_in = 0.0;
+  LorenzParams reference;
+  reference.dt = 0.00125;
+  reference.burn_in = 0.0;
+
+  // Short horizon: before chaos amplifies truncation differences.
+  const std::size_t n = 20;
+  const auto sc = generate_lorenz(n, coarse);
+  const auto sf = generate_lorenz(n, fine);
+  const auto sr = generate_lorenz(n, reference);
+  double err_coarse = 0.0;
+  double err_fine = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    err_coarse = std::max(err_coarse, std::abs(sc[i] - sr[i]));
+    err_fine = std::max(err_fine, std::abs(sf[i] - sr[i]));
+  }
+  EXPECT_LT(err_fine, err_coarse);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Tests for series/mackey_glass.hpp: integrator correctness (step-halving
+// convergence, delay-free closed form), chaos signatures, paper arrangement.
+#include "series/mackey_glass.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace {
+
+using ef::series::generate_mackey_glass;
+using ef::series::MackeyGlassParams;
+
+TEST(MackeyGlass, Deterministic) {
+  const auto a = generate_mackey_glass(500);
+  const auto b = generate_mackey_glass(500);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(MackeyGlass, CountRespected) {
+  EXPECT_EQ(generate_mackey_glass(1).size(), 1u);
+  EXPECT_EQ(generate_mackey_glass(1234).size(), 1234u);
+}
+
+TEST(MackeyGlass, FirstSampleIsInitialCondition) {
+  MackeyGlassParams p;
+  p.initial = 0.9;
+  const auto s = generate_mackey_glass(10, p);
+  EXPECT_DOUBLE_EQ(s[0], 0.9);
+}
+
+TEST(MackeyGlass, InvalidArgumentsThrow) {
+  EXPECT_THROW((void)generate_mackey_glass(0), std::invalid_argument);
+  MackeyGlassParams bad_dt;
+  bad_dt.dt = 0.0;
+  EXPECT_THROW((void)generate_mackey_glass(10, bad_dt), std::invalid_argument);
+  MackeyGlassParams frac_dt;
+  frac_dt.dt = 0.3;  // 1/dt not integer
+  EXPECT_THROW((void)generate_mackey_glass(10, frac_dt), std::invalid_argument);
+  MackeyGlassParams neg_lambda;
+  neg_lambda.lambda = -1.0;
+  EXPECT_THROW((void)generate_mackey_glass(10, neg_lambda), std::invalid_argument);
+}
+
+// With lambda = 0 and exponent such that s stays near 0, the equation becomes
+// the linear ODE ds/dt = −b·s + a·s/(1+s^10) ≈ (a−b)s for tiny s; easier: use
+// a = 0 so ds/dt = −b·s with closed form s(t) = s0·e^{−bt}.
+TEST(MackeyGlass, PureDecayMatchesClosedForm) {
+  MackeyGlassParams p;
+  p.a = 0.0;
+  p.b = 0.1;
+  p.lambda = 0.0;
+  p.initial = 1.0;
+  p.dt = 0.1;
+  const auto s = generate_mackey_glass(50, p);
+  for (std::size_t t = 0; t < s.size(); ++t) {
+    EXPECT_NEAR(s[t], std::exp(-0.1 * static_cast<double>(t)), 1e-6);
+  }
+}
+
+// RK4 global error is O(dt^4): halving dt must shrink the difference to a
+// fine-grid reference dramatically. Short horizon (before chaotic
+// sensitivity amplifies roundoff differences).
+TEST(MackeyGlass, StepHalvingConverges) {
+  MackeyGlassParams coarse;
+  coarse.dt = 0.5;
+  MackeyGlassParams fine;
+  fine.dt = 0.25;
+  MackeyGlassParams reference;
+  reference.dt = 0.05;
+
+  const std::size_t n = 60;
+  const auto sc = generate_mackey_glass(n, coarse);
+  const auto sf = generate_mackey_glass(n, fine);
+  const auto sr = generate_mackey_glass(n, reference);
+
+  double err_coarse = 0.0;
+  double err_fine = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    err_coarse = std::max(err_coarse, std::abs(sc[i] - sr[i]));
+    err_fine = std::max(err_fine, std::abs(sf[i] - sr[i]));
+  }
+  EXPECT_LT(err_fine, err_coarse);
+  EXPECT_LT(err_fine, 1e-3);
+}
+
+TEST(MackeyGlass, StaysBoundedAndPositive) {
+  const auto s = generate_mackey_glass(5000);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_GT(s[i], 0.0);
+    EXPECT_LT(s[i], 2.0);
+  }
+}
+
+TEST(MackeyGlass, ChaoticRegimeOscillates) {
+  // After transients the λ=17 series oscillates roughly in [0.2, 1.4] and is
+  // not periodic with the driving period; check it keeps crossing its mean.
+  const auto s = generate_mackey_glass(5000);
+  const auto tail = s.slice(3500, 5000);
+  const double mean = tail.mean();
+  int crossings = 0;
+  for (std::size_t i = 1; i < tail.size(); ++i) {
+    if ((tail[i - 1] - mean) * (tail[i] - mean) < 0.0) ++crossings;
+  }
+  EXPECT_GT(crossings, 50);
+  EXPECT_GT(tail.variance(), 0.01);
+}
+
+TEST(MackeyGlassExperiment, PaperArrangement) {
+  const auto exp = ef::series::make_paper_mackey_glass();
+  EXPECT_EQ(exp.train.size(), 1000u);
+  EXPECT_EQ(exp.test.size(), 500u);
+  // Train range normalised exactly to [0,1].
+  EXPECT_NEAR(exp.train.min(), 0.0, 1e-12);
+  EXPECT_NEAR(exp.train.max(), 1.0, 1e-12);
+  // Test normalised with the *train* map: near [0,1] but not forced into it.
+  EXPECT_GT(exp.test.min(), -0.5);
+  EXPECT_LT(exp.test.max(), 1.5);
+}
+
+TEST(MackeyGlassExperiment, NormalizerInvertsToRawSeries) {
+  const auto exp = ef::series::make_paper_mackey_glass();
+  const auto full = generate_mackey_glass(5000);
+  const auto raw_train = full.slice(3500, 4500);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_NEAR(exp.normalizer.inverse(exp.train[i]), raw_train[i], 1e-9);
+  }
+}
+
+}  // namespace

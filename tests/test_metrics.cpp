@@ -1,0 +1,138 @@
+// Tests for series/metrics.hpp against hand-computed references, plus the
+// coverage-aware partial-forecast evaluation.
+#include "series/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+namespace m = ef::series;
+
+const std::vector<double> kActual{1.0, 2.0, 3.0, 4.0};
+const std::vector<double> kPerfect{1.0, 2.0, 3.0, 4.0};
+const std::vector<double> kOffByOne{2.0, 3.0, 4.0, 5.0};
+
+TEST(Metrics, PerfectPredictionIsZero) {
+  EXPECT_DOUBLE_EQ(m::rmse(kActual, kPerfect), 0.0);
+  EXPECT_DOUBLE_EQ(m::mse(kActual, kPerfect), 0.0);
+  EXPECT_DOUBLE_EQ(m::mae(kActual, kPerfect), 0.0);
+  EXPECT_DOUBLE_EQ(m::nmse(kActual, kPerfect), 0.0);
+}
+
+TEST(Metrics, ConstantOffset) {
+  EXPECT_DOUBLE_EQ(m::rmse(kActual, kOffByOne), 1.0);
+  EXPECT_DOUBLE_EQ(m::mse(kActual, kOffByOne), 1.0);
+  EXPECT_DOUBLE_EQ(m::mae(kActual, kOffByOne), 1.0);
+}
+
+TEST(Metrics, RmseHandComputed) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> p{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(m::rmse(a, p), std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(m::mse(a, p), 12.5);
+  EXPECT_DOUBLE_EQ(m::mae(a, p), 3.5);
+}
+
+TEST(Metrics, NmseNormalisesByVariance) {
+  // Var(kActual) = 1.25; MSE(off-by-one) = 1 → NMSE = 0.8.
+  EXPECT_DOUBLE_EQ(m::nmse(kActual, kOffByOne), 0.8);
+}
+
+TEST(Metrics, NmseOfMeanPredictorIsOne) {
+  const std::vector<double> mean_pred(4, 2.5);
+  EXPECT_DOUBLE_EQ(m::nmse(kActual, mean_pred), 1.0);
+}
+
+TEST(Metrics, NmseZeroVarianceThrows) {
+  const std::vector<double> flat{2.0, 2.0};
+  EXPECT_THROW((void)m::nmse(flat, kPerfect), std::invalid_argument);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  const std::vector<double> shorter{1.0};
+  EXPECT_THROW((void)m::rmse(kActual, shorter), std::invalid_argument);
+  EXPECT_THROW((void)m::mse(kActual, shorter), std::invalid_argument);
+  EXPECT_THROW((void)m::mae(kActual, shorter), std::invalid_argument);
+  EXPECT_THROW((void)m::nmse(kActual, shorter), std::invalid_argument);
+}
+
+TEST(Metrics, EmptyThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)m::rmse(empty, empty), std::invalid_argument);
+}
+
+TEST(Metrics, GalvanErrorFormula) {
+  // e = 1/(2(N+τ)) Σ (x−x̃)²; spans of length 3 → N = 2; τ = 4 → denom 12.
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> p{2.0, 2.0, 1.0};  // Σd² = 1 + 0 + 4 = 5
+  EXPECT_DOUBLE_EQ(m::galvan_error(a, p, 4), 5.0 / 12.0);
+}
+
+TEST(Metrics, GalvanErrorHorizonZero) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> p{1.0, 4.0};  // Σd² = 4, N = 1, denom = 2
+  EXPECT_DOUBLE_EQ(m::galvan_error(a, p, 0), 2.0);
+}
+
+TEST(Metrics, PaperLiteralRmseDiffersFromStandard) {
+  // Documented inconsistency: literal formula squares ½d² again.
+  const std::vector<double> a{0.0};
+  const std::vector<double> p{2.0};  // d=2: standard RMSE 2; literal √((½·4)²)=2... pick d=4
+  const std::vector<double> a2{0.0};
+  const std::vector<double> p2{4.0};  // standard 4; literal ½·16 = 8
+  EXPECT_DOUBLE_EQ(m::rmse(a2, p2), 4.0);
+  EXPECT_DOUBLE_EQ(m::rmse_paper_literal(a2, p2), 8.0);
+  EXPECT_DOUBLE_EQ(m::rmse_paper_literal(a, p), 2.0);  // coincides at d=2
+}
+
+TEST(EvaluatePartial, FullCoverage) {
+  m::PartialForecast pred{1.0, 2.0, 3.0, 5.0};
+  const auto rep = m::evaluate_partial(kActual, pred);
+  EXPECT_DOUBLE_EQ(rep.coverage_percent, 100.0);
+  EXPECT_EQ(rep.covered, 4u);
+  EXPECT_DOUBLE_EQ(rep.rmse, 0.5);  // one miss of 1 over 4 points
+}
+
+TEST(EvaluatePartial, AbstentionsExcludedFromError) {
+  // Abstain exactly on the points that would be wrong.
+  m::PartialForecast pred{1.0, std::nullopt, 3.0, std::nullopt};
+  const auto rep = m::evaluate_partial(kActual, pred);
+  EXPECT_DOUBLE_EQ(rep.coverage_percent, 50.0);
+  EXPECT_EQ(rep.covered, 2u);
+  EXPECT_DOUBLE_EQ(rep.rmse, 0.0);
+}
+
+TEST(EvaluatePartial, NothingCovered) {
+  m::PartialForecast pred{std::nullopt, std::nullopt, std::nullopt, std::nullopt};
+  const auto rep = m::evaluate_partial(kActual, pred);
+  EXPECT_DOUBLE_EQ(rep.coverage_percent, 0.0);
+  EXPECT_EQ(rep.covered, 0u);
+  EXPECT_DOUBLE_EQ(rep.rmse, 0.0);  // defined as 0, not NaN
+}
+
+TEST(EvaluatePartial, SizeMismatchThrows) {
+  m::PartialForecast pred{1.0};
+  EXPECT_THROW((void)m::evaluate_partial(kActual, pred), std::invalid_argument);
+}
+
+TEST(EvaluatePartial, NmseOverCoveredSubset) {
+  m::PartialForecast pred{1.0, 2.0, std::nullopt, 5.0};
+  // covered actual {1,2,4}: mean 7/3, var = ((16/9)+(1/9)+(25/9))/3 = 14/9
+  // mse = (0+0+1)/3 = 1/3 → nmse = 3/14·... compute: (1/3)/(14/9) = 3/14.
+  const auto rep = m::evaluate_partial(kActual, pred);
+  EXPECT_NEAR(rep.nmse, 3.0 / 14.0, 1e-12);
+}
+
+TEST(EvaluatePartial, ConstantCoveredSubsetReportsZeroNmse) {
+  const std::vector<double> actual{2.0, 2.0, 9.0};
+  m::PartialForecast pred{2.5, 2.5, std::nullopt};
+  const auto rep = m::evaluate_partial(actual, pred);
+  EXPECT_DOUBLE_EQ(rep.nmse, 0.0);
+  EXPECT_DOUBLE_EQ(rep.rmse, 0.5);
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+// Tests for core/multistep.hpp: chain mechanics on a hand-built system,
+// abstention policies, and equivalence with direct prediction on a linear
+// series.
+#include "core/multistep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rule_system.hpp"
+#include "series/timeseries.hpp"
+
+namespace {
+
+using ef::core::ChainAbstention;
+using ef::core::Interval;
+using ef::core::iterate_forecast;
+using ef::core::iterate_forecast_dataset;
+using ef::core::MultistepOptions;
+using ef::core::Rule;
+using ef::core::RuleSystem;
+using ef::core::WindowDataset;
+using ef::series::TimeSeries;
+
+/// One-step "+1" system: a single rule over a finite box predicting
+/// last + 1 via the hyperplane (0, 1 | intercept 1).
+RuleSystem plus_one_system(double lo, double hi) {
+  Rule r({Interval(lo, hi), Interval(lo, hi)});
+  ef::core::PredictingPart part;
+  part.fit.coeffs = {0.0, 1.0, 1.0};  // ŷ = x₁ + 1
+  part.fit.mean_prediction = 0.5 * (lo + hi);
+  part.matches = 10;
+  part.fitness = 1.0;
+  r.set_predicting(part);
+  RuleSystem system;
+  system.add_rules({std::move(r)}, false, -1.0);
+  return system;
+}
+
+TEST(Multistep, SingleStepEqualsDirectPredict) {
+  const RuleSystem system = plus_one_system(0, 100);
+  const std::vector<double> w{3.0, 4.0};
+  MultistepOptions options;
+  options.horizon = 1;
+  const auto iterated = iterate_forecast(system, w, options);
+  const auto direct = system.predict(w);
+  ASSERT_TRUE(iterated.has_value());
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_DOUBLE_EQ(*iterated, *direct);
+}
+
+TEST(Multistep, ChainsAdditiveSteps) {
+  const RuleSystem system = plus_one_system(0, 100);
+  const std::vector<double> w{3.0, 4.0};
+  for (const std::size_t h : {2u, 5u, 10u}) {
+    MultistepOptions options;
+    options.horizon = h;
+    const auto out = iterate_forecast(system, w, options);
+    ASSERT_TRUE(out.has_value()) << h;
+    EXPECT_DOUBLE_EQ(*out, 4.0 + static_cast<double>(h)) << h;
+  }
+}
+
+TEST(Multistep, AbstainPolicyPropagatesAbstention) {
+  // Box only covers values <= 6: the chain leaves it after a few steps.
+  const RuleSystem system = plus_one_system(0, 6);
+  const std::vector<double> w{3.0, 4.0};
+  MultistepOptions options;
+  options.horizon = 10;
+  options.on_abstain = ChainAbstention::kAbstain;
+  EXPECT_FALSE(iterate_forecast(system, w, options).has_value());
+}
+
+TEST(Multistep, PersistencePolicyBridgesGaps) {
+  const RuleSystem system = plus_one_system(0, 6);
+  const std::vector<double> w{3.0, 4.0};
+  MultistepOptions options;
+  options.horizon = 10;
+  options.on_abstain = ChainAbstention::kPersistence;
+  const auto out = iterate_forecast(system, w, options);
+  ASSERT_TRUE(out.has_value());
+  // Steps: 5, 6, 7 (predicted while window in box)… after the window fills
+  // with values > 6 the rule stops matching and persistence holds the level.
+  EXPECT_GE(*out, 6.0);
+  EXPECT_LE(*out, 8.0);
+}
+
+TEST(Multistep, InvalidArgumentsThrow) {
+  const RuleSystem system = plus_one_system(0, 10);
+  MultistepOptions options;
+  options.horizon = 0;
+  EXPECT_THROW((void)iterate_forecast(system, std::vector<double>{1.0, 2.0}, options),
+               std::invalid_argument);
+  options.horizon = 1;
+  EXPECT_THROW((void)iterate_forecast(system, std::vector<double>{}, options),
+               std::invalid_argument);
+}
+
+TEST(MultistepDataset, RequiresStrideOne) {
+  const TimeSeries s(std::vector<double>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  const WindowDataset strided(s, 2, 2, /*stride=*/2);
+  const RuleSystem system = plus_one_system(0, 100);
+  EXPECT_THROW(
+      (void)iterate_forecast_dataset(system, strided, ChainAbstention::kAbstain),
+      std::invalid_argument);
+}
+
+TEST(MultistepDataset, ExactOnRampWithPlusOneSystem) {
+  // Ramp series: the true τ-step continuation of (x, x+1) is x+1+τ, which
+  // the iterated +1 system reproduces exactly.
+  std::vector<double> v(30);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  const TimeSeries s(std::move(v));
+  const WindowDataset data(s, 2, 4);  // τ = 4
+  const RuleSystem system = plus_one_system(0, 100);
+
+  const auto forecast = iterate_forecast_dataset(system, data, ChainAbstention::kAbstain);
+  ASSERT_EQ(forecast.size(), data.count());
+  for (std::size_t i = 0; i < data.count(); ++i) {
+    ASSERT_TRUE(forecast[i].has_value()) << i;
+    EXPECT_DOUBLE_EQ(*forecast[i], data.target(i)) << i;
+  }
+}
+
+TEST(Trajectory, ProducesRequestedSteps) {
+  const RuleSystem system = plus_one_system(0, 1000);
+  const auto traj =
+      ef::core::iterate_trajectory(system, std::vector<double>{3.0, 4.0}, 5);
+  ASSERT_EQ(traj.size(), 5u);
+  for (std::size_t k = 0; k < traj.size(); ++k) {
+    EXPECT_DOUBLE_EQ(traj[k], 5.0 + static_cast<double>(k));
+  }
+}
+
+TEST(Trajectory, TruncatesAtAbstention) {
+  const RuleSystem system = plus_one_system(0, 6);  // leaves the box quickly
+  const auto traj =
+      ef::core::iterate_trajectory(system, std::vector<double>{3.0, 4.0}, 10);
+  EXPECT_LT(traj.size(), 10u);
+  EXPECT_GE(traj.size(), 1u);
+  // Every produced value is a genuine one-step prediction (last + 1).
+  EXPECT_DOUBLE_EQ(traj.front(), 5.0);
+}
+
+TEST(Trajectory, PersistenceBridgesToFullLength) {
+  const RuleSystem system = plus_one_system(0, 6);
+  MultistepOptions options;
+  options.on_abstain = ef::core::ChainAbstention::kPersistence;
+  const auto traj =
+      ef::core::iterate_trajectory(system, std::vector<double>{3.0, 4.0}, 10, options);
+  EXPECT_EQ(traj.size(), 10u);
+  // Once persistence kicks in the level holds.
+  EXPECT_DOUBLE_EQ(traj.back(), traj[traj.size() - 2]);
+}
+
+TEST(Trajectory, EmptyWindowThrows) {
+  const RuleSystem system = plus_one_system(0, 10);
+  EXPECT_THROW((void)ef::core::iterate_trajectory(system, std::vector<double>{}, 3),
+               std::invalid_argument);
+}
+
+TEST(Trajectory, ZeroStepsIsEmpty) {
+  const RuleSystem system = plus_one_system(0, 10);
+  EXPECT_TRUE(ef::core::iterate_trajectory(system, std::vector<double>{1.0, 2.0}, 0).empty());
+}
+
+TEST(MultistepDataset, HorizonZeroThrows) {
+  std::vector<double> v(20, 1.0);
+  const TimeSeries s(std::move(v));
+  const WindowDataset data(s, 2, 0);
+  const RuleSystem system = plus_one_system(0, 100);
+  EXPECT_THROW((void)iterate_forecast_dataset(system, data, ChainAbstention::kAbstain),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Tests for train_rule_system_parallel and RuleSystem::predict_with_bound:
+// exact equivalence with the sequential trainer, and empirical calibration
+// of the uncertainty bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rule_system.hpp"
+#include "series/mackey_glass.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using ef::core::RuleSystemConfig;
+using ef::core::WindowDataset;
+using ef::series::TimeSeries;
+
+TimeSeries noisy_sine(std::size_t n) {
+  ef::util::Rng rng(55);
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(static_cast<double>(i) * 0.2) + rng.normal(0.0, 0.03);
+  }
+  return TimeSeries(std::move(v));
+}
+
+RuleSystemConfig config_with(std::size_t executions, double coverage_target) {
+  RuleSystemConfig cfg;
+  cfg.evolution.population_size = 15;
+  cfg.evolution.generations = 250;
+  cfg.evolution.emax = 0.3;
+  cfg.evolution.seed = 9;
+  cfg.max_executions = executions;
+  cfg.coverage_target_percent = coverage_target;
+  return cfg;
+}
+
+void expect_same_result(const ef::core::TrainResult& a, const ef::core::TrainResult& b) {
+  EXPECT_EQ(a.executions, b.executions);
+  EXPECT_DOUBLE_EQ(a.train_coverage_percent, b.train_coverage_percent);
+  ASSERT_EQ(a.coverage_per_execution.size(), b.coverage_per_execution.size());
+  for (std::size_t i = 0; i < a.coverage_per_execution.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.coverage_per_execution[i], b.coverage_per_execution[i]);
+  }
+  ASSERT_EQ(a.system.size(), b.system.size());
+  for (std::size_t r = 0; r < a.system.size(); ++r) {
+    const auto& ra = a.system.rules()[r];
+    const auto& rb = b.system.rules()[r];
+    ASSERT_EQ(ra.window(), rb.window());
+    for (std::size_t j = 0; j < ra.window(); ++j) EXPECT_EQ(ra.genes()[j], rb.genes()[j]);
+    EXPECT_DOUBLE_EQ(ra.fitness(), rb.fitness());
+  }
+}
+
+TEST(ParallelTrain, MatchesSequentialExactlyAllExecutions) {
+  const TimeSeries s = noisy_sine(400);
+  const WindowDataset train(s, 4, 1);
+  // Coverage target 100 %: both trainers run every execution.
+  const auto cfg = config_with(3, 100.0);
+  const auto sequential = ef::core::train_rule_system(train, cfg);
+  const auto parallel = ef::core::train_rule_system_parallel(train, cfg);
+  expect_same_result(sequential, parallel);
+}
+
+TEST(ParallelTrain, MatchesSequentialWithEarlyStop) {
+  const TimeSeries s = noisy_sine(400);
+  const WindowDataset train(s, 4, 1);
+  // Loose target: the sequential trainer stops after execution 1; the
+  // parallel one must union the same prefix.
+  const auto cfg = config_with(4, 50.0);
+  const auto sequential = ef::core::train_rule_system(train, cfg);
+  const auto parallel = ef::core::train_rule_system_parallel(train, cfg);
+  EXPECT_LT(sequential.executions, 4u);  // early stop actually happened
+  expect_same_result(sequential, parallel);
+}
+
+TEST(ParallelTrain, WorksOnExplicitPool) {
+  const TimeSeries s = noisy_sine(300);
+  const WindowDataset train(s, 4, 1);
+  ef::util::ThreadPool pool(4);
+  const auto cfg = config_with(3, 100.0);
+  const auto parallel = ef::core::train_rule_system_parallel(train, cfg, &pool);
+  EXPECT_FALSE(parallel.system.empty());
+  // The binding guarantee is sequential equivalence, whatever the stop point.
+  const auto sequential = ef::core::train_rule_system(train, cfg);
+  expect_same_result(sequential, parallel);
+}
+
+TEST(ParallelTrain, InvalidConfigThrows) {
+  const TimeSeries s = noisy_sine(300);
+  const WindowDataset train(s, 4, 1);
+  RuleSystemConfig cfg = config_with(0, 90.0);
+  EXPECT_THROW((void)ef::core::train_rule_system_parallel(train, cfg),
+               std::invalid_argument);
+}
+
+// ---- predict_with_bound -----------------------------------------------------
+
+TEST(PredictWithBound, AbstainsWithNoVotes) {
+  const ef::core::RuleSystem empty;
+  EXPECT_FALSE(empty.predict_with_bound(std::vector<double>{1.0}).has_value());
+}
+
+TEST(PredictWithBound, SingleRuleBoundIsItsError) {
+  using ef::core::Interval;
+  using ef::core::Rule;
+  Rule r({Interval(0, 10)});
+  ef::core::PredictingPart part;
+  part.fit.coeffs = {0.0, 5.0};
+  part.fit.max_abs_residual = 0.25;
+  part.fitness = 1.0;
+  r.set_predicting(part);
+  ef::core::RuleSystem system;
+  system.add_rules({std::move(r)}, false, -1.0);
+
+  const auto out = system.predict_with_bound(std::vector<double>{2.0});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_DOUBLE_EQ(out->value, 5.0);
+  EXPECT_DOUBLE_EQ(out->bound, 0.25);  // no disagreement term with one voter
+  EXPECT_EQ(out->votes, 1u);
+}
+
+TEST(PredictWithBound, DisagreementWidensBound) {
+  using ef::core::Interval;
+  using ef::core::Rule;
+  const auto make = [](double p, double e) {
+    Rule r({Interval(0, 10)});
+    ef::core::PredictingPart part;
+    part.fit.coeffs = {0.0, p};
+    part.fit.max_abs_residual = e;
+    part.fitness = 1.0;
+    r.set_predicting(part);
+    return r;
+  };
+  ef::core::RuleSystem system;
+  system.add_rules({make(4.0, 0.1), make(8.0, 0.1)}, false, -1.0);
+  const auto out = system.predict_with_bound(std::vector<double>{1.0});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_DOUBLE_EQ(out->value, 6.0);
+  EXPECT_DOUBLE_EQ(out->bound, 2.1);  // |8−6| + 0.1
+}
+
+TEST(PredictWithBound, EmpiricallyCalibratedOnMackeyGlass) {
+  const auto mg = ef::series::make_paper_mackey_glass();
+  const WindowDataset train(mg.train, 4, 1);
+  const WindowDataset test(mg.test, 4, 1);
+
+  RuleSystemConfig cfg;
+  cfg.evolution.population_size = 40;
+  cfg.evolution.generations = 2000;
+  cfg.evolution.emax = 0.12;
+  cfg.evolution.seed = 77;
+  cfg.max_executions = 2;
+  cfg.coverage_target_percent = 90.0;
+  const auto trained = ef::core::train_rule_system(train, cfg);
+
+  std::size_t covered = 0;
+  std::size_t inside = 0;
+  for (std::size_t i = 0; i < test.count(); ++i) {
+    const auto out = trained.system.predict_with_bound(test.pattern(i));
+    if (!out) continue;
+    ++covered;
+    if (std::abs(test.target(i) - out->value) <= out->bound) ++inside;
+  }
+  ASSERT_GT(covered, 50u);
+  // Heuristic bound: expect strong but not perfect containment out-of-sample.
+  EXPECT_GT(static_cast<double>(inside) / static_cast<double>(covered), 0.85);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Tests for util/rng.hpp: determinism, distribution sanity, forking.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+namespace {
+
+using ef::util::Rng;
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, DefaultConstructedIsReproducible) {
+  Rng a;
+  Rng b;
+  EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.5, 8.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 8.25);
+  }
+}
+
+TEST(Rng, UniformDegenerateRangeReturnsLo) {
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(rng.uniform(2.0, 2.0), 2.0);
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(6);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, IndexStaysInRange) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.index(17), 17u);
+}
+
+TEST(Rng, IndexOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.index(1), 0u);
+}
+
+TEST(Rng, IndexCoversAllValues) {
+  Rng rng(10);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.index(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, IndexRoughlyUniform) {
+  Rng rng(11);
+  std::array<int, 8> counts{};
+  constexpr int kN = 80000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.index(8)];
+  for (const int c : counts) EXPECT_NEAR(c, kN / 8, kN / 80);  // ±10 %
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRateMatchesP) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(14);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sq += z * z;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaledMoments) {
+  Rng rng(15);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.05);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(20);
+  Rng b(20);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa(), fb());
+}
+
+TEST(Rng, ForkIndependentOfParentContinuation) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  // Drawing more from the parent must not affect the already-forked child.
+  Rng parent2(21);
+  Rng child2 = parent2.fork();
+  (void)parent2();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child(), child2());
+}
+
+TEST(Rng, SplitMix64KnownValue) {
+  // Reference value from the SplitMix64 definition with state 0:
+  std::uint64_t state = 0;
+  EXPECT_EQ(ef::util::splitmix64(state), 0xE220A8397B1DCDAFULL);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Tests for core/rule_index.hpp: exact agreement with brute-force matching
+// across aggregations and random probes, bucket mechanics, and pruning
+// effectiveness on a trained system.
+#include "core/rule_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/rule_system.hpp"
+#include "series/mackey_glass.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ef::core::Aggregation;
+using ef::core::Interval;
+using ef::core::Rule;
+using ef::core::RuleIndex;
+using ef::core::RuleSystem;
+
+Rule make_rule(std::vector<Interval> genes, double prediction, double fitness,
+               double error = 0.1) {
+  Rule r(std::move(genes));
+  ef::core::PredictingPart part;
+  part.fit.coeffs.assign(r.window() + 1, 0.0);
+  part.fit.coeffs.back() = prediction;
+  part.fit.mean_prediction = prediction;
+  part.fit.max_abs_residual = error;
+  part.matches = 5;
+  part.fitness = fitness;
+  r.set_predicting(part);
+  return r;
+}
+
+TEST(RuleIndex, ConstructionValidation) {
+  RuleSystem system;
+  EXPECT_THROW(RuleIndex(system, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(RuleIndex(system, 2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(RuleIndex(system, 0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(RuleIndex, BucketsPruneCandidates) {
+  RuleSystem system;
+  // Three disjoint first-gene bands plus one wildcard-first rule.
+  system.add_rules({make_rule({Interval(0.0, 0.2), Interval::wildcard()}, 1.0, 1.0),
+                    make_rule({Interval(0.4, 0.6), Interval::wildcard()}, 2.0, 1.0),
+                    make_rule({Interval(0.8, 1.0), Interval::wildcard()}, 3.0, 1.0),
+                    make_rule({Interval::wildcard(), Interval::wildcard()}, 9.0, 0.5)},
+                   false, -1.0);
+  const RuleIndex index(system, 0.0, 1.0, 10);
+  // Query at 0.5: candidates = the middle-band rule + the wildcard rule.
+  const auto candidates = index.candidates(0.5);
+  EXPECT_EQ(candidates.size(), 2u);
+  // All four rules would be scanned brute-force; the index looks at 2.
+  EXPECT_LT(index.mean_candidates(), 4.0);
+}
+
+TEST(RuleIndex, AgreesWithBruteForceOnHandSystem) {
+  RuleSystem system;
+  system.add_rules({make_rule({Interval(0.0, 0.5), Interval(0.0, 1.0)}, 10.0, 2.0),
+                    make_rule({Interval(0.3, 0.9), Interval(0.0, 1.0)}, 20.0, 1.0),
+                    make_rule({Interval::wildcard(), Interval(0.2, 0.4)}, 30.0, 3.0)},
+                   false, -1.0);
+  const RuleIndex index(system, 0.0, 1.0, 16);
+
+  ef::util::Rng rng(4);
+  for (int probe = 0; probe < 500; ++probe) {
+    const std::vector<double> w{rng.uniform(-0.2, 1.2), rng.uniform(-0.2, 1.2)};
+    for (const auto how :
+         {Aggregation::kMean, Aggregation::kFitnessWeighted, Aggregation::kMedian,
+          Aggregation::kBestRule, Aggregation::kInverseError}) {
+      const auto direct = system.predict(w, how);
+      const auto indexed = index.predict(w, how);
+      ASSERT_EQ(direct.has_value(), indexed.has_value());
+      if (direct) {
+        ASSERT_DOUBLE_EQ(*direct, *indexed);
+      }
+    }
+    ASSERT_EQ(system.vote_count(w), index.vote_count(w));
+  }
+}
+
+TEST(RuleIndex, AgreesWithBruteForceOnTrainedSystem) {
+  const auto mg = ef::series::make_paper_mackey_glass();
+  const ef::core::WindowDataset train(mg.train, 4, 1);
+  const ef::core::WindowDataset test(mg.test, 4, 1);
+
+  ef::core::RuleSystemConfig cfg;
+  cfg.evolution.population_size = 40;
+  cfg.evolution.generations = 1500;
+  cfg.evolution.emax = 0.12;
+  cfg.evolution.seed = 3;
+  cfg.max_executions = 2;
+  cfg.coverage_target_percent = 100.0;
+  const auto trained = ef::core::train_rule_system(train, cfg);
+
+  const RuleIndex index(trained.system, train.value_min(), train.value_max(), 64);
+  for (std::size_t i = 0; i < test.count(); ++i) {
+    const auto direct = trained.system.predict(test.pattern(i));
+    const auto indexed = index.predict(test.pattern(i));
+    ASSERT_EQ(direct.has_value(), indexed.has_value()) << i;
+    if (direct) {
+      ASSERT_DOUBLE_EQ(*direct, *indexed) << i;
+    }
+  }
+  // The index must actually prune on a trained (specific) rule set.
+  EXPECT_LT(index.mean_candidates(), 0.8 * static_cast<double>(trained.system.size()));
+}
+
+TEST(RuleIndex, OutOfRangeQueriesHitEdgeBuckets) {
+  RuleSystem system;
+  system.add_rules({make_rule({Interval(0.0, 0.1), Interval::wildcard()}, 1.0, 1.0)}, false,
+                   -1.0);
+  const RuleIndex index(system, 0.0, 1.0, 4);
+  // Below range: bucket 0 — the low-band rule is there.
+  EXPECT_EQ(index.candidates(-5.0).size(), 1u);
+  // Above range: last bucket — empty.
+  EXPECT_EQ(index.candidates(5.0).size(), 0u);
+  // Matching still exact: the window value itself is checked by the rule.
+  EXPECT_FALSE(index.predict(std::vector<double>{-5.0, 0.0}).has_value());
+}
+
+TEST(RuleIndex, EmptyWindowAbstains) {
+  RuleSystem system;
+  system.add_rules({make_rule({Interval(0.0, 1.0)}, 1.0, 1.0)}, false, -1.0);
+  const RuleIndex index(system, 0.0, 1.0, 4);
+  EXPECT_FALSE(index.predict(std::vector<double>{}).has_value());
+  EXPECT_EQ(index.vote_count(std::vector<double>{}), 0u);
+}
+
+}  // namespace

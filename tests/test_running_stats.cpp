@@ -1,0 +1,95 @@
+// Tests for util/running_stats.hpp against closed-form references and the
+// parallel-merge identity.
+#include "util/running_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using ef::util::RunningStats;
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isinf(s.min()));
+  EXPECT_TRUE(std::isinf(s.max()));
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownSmallSet) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SampleVarianceUsesNMinus1) {
+  RunningStats s;
+  for (const double v : {1.0, 2.0, 3.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 1.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  ef::util::Rng rng(99);
+  std::vector<double> data(5000);
+  for (double& v : data) v = rng.normal(10.0, 3.0);
+
+  RunningStats whole;
+  for (const double v : data) whole.add(v);
+
+  RunningStats left;
+  RunningStats right;
+  for (std::size_t i = 0; i < data.size(); ++i) (i < 2000 ? left : right).add(data[i]);
+  left.merge(right);
+
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  RunningStats empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.5);
+
+  RunningStats other;
+  other.merge(s);
+  EXPECT_EQ(other.count(), 2u);
+  EXPECT_DOUBLE_EQ(other.mean(), 1.5);
+}
+
+TEST(RunningStats, StableOnLargeOffset) {
+  // Naive sum-of-squares catastrophically cancels here; Welford must not.
+  RunningStats s;
+  const double base = 1e9;
+  for (const double v : {base + 1.0, base + 2.0, base + 3.0}) s.add(v);
+  EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Tests for series/significance.hpp against hand-computed references and
+// statistical sanity properties.
+#include "series/significance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+namespace sig = ef::series;
+
+// ---- sign test ----------------------------------------------------------------
+
+TEST(SignTest, HandComputedSmallCases) {
+  // 8 wins / 2 losses: 2·Σ_{i<=2} C(10,i)/2^10 = 2·56/1024 = 0.109375.
+  EXPECT_NEAR(sig::sign_test_p(8, 2), 0.109375, 1e-12);
+  // 5/5: the most balanced split → p = 2·P(X<=5) > 1 → capped at 1.
+  EXPECT_DOUBLE_EQ(sig::sign_test_p(5, 5), 1.0);
+  // 10/0: 2·(1/1024) ≈ 0.00195.
+  EXPECT_NEAR(sig::sign_test_p(10, 0), 2.0 / 1024.0, 1e-12);
+}
+
+TEST(SignTest, EmptyIsInconclusive) { EXPECT_DOUBLE_EQ(sig::sign_test_p(0, 0), 1.0); }
+
+TEST(SignTest, SymmetricInArguments) {
+  EXPECT_DOUBLE_EQ(sig::sign_test_p(7, 3), sig::sign_test_p(3, 7));
+}
+
+TEST(SignTest, MonotoneInImbalance) {
+  double last = 1.1;
+  for (std::size_t wins = 10; wins <= 20; ++wins) {
+    const double p = sig::sign_test_p(wins, 20 - wins);
+    EXPECT_LE(p, last + 1e-12);
+    last = p;
+  }
+  EXPECT_LT(sig::sign_test_p(20, 0), 1e-4);
+}
+
+TEST(SignTest, LargeCountsStable) {
+  // 600/400: clearly significant, finite, in (0, 1).
+  const double p = sig::sign_test_p(600, 400);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1e-9);
+}
+
+// ---- Wilcoxon ------------------------------------------------------------------
+
+TEST(Wilcoxon, TooFewSamplesInconclusive) {
+  EXPECT_DOUBLE_EQ(sig::wilcoxon_signed_rank_p(std::vector<double>{}), 1.0);
+  EXPECT_DOUBLE_EQ(sig::wilcoxon_signed_rank_p(std::vector<double>{0.5}), 1.0);
+  EXPECT_DOUBLE_EQ(sig::wilcoxon_signed_rank_p(std::vector<double>{0.0, 0.0}), 1.0);
+}
+
+TEST(Wilcoxon, BalancedDifferencesNotSignificant) {
+  const std::vector<double> d{1.0, -1.0, 2.0, -2.0, 3.0, -3.0, 0.5, -0.5};
+  EXPECT_GT(sig::wilcoxon_signed_rank_p(d), 0.8);
+}
+
+TEST(Wilcoxon, OneSidedShiftIsSignificant) {
+  std::vector<double> d;
+  for (int i = 1; i <= 20; ++i) d.push_back(0.1 * i);  // all positive
+  EXPECT_LT(sig::wilcoxon_signed_rank_p(d), 0.001);
+}
+
+TEST(Wilcoxon, NullDistributionRarelyRejects) {
+  // Under H0 (symmetric differences) the rejection rate at alpha = 0.05
+  // should be about 5 %.
+  ef::util::Rng rng(7);
+  int rejections = 0;
+  constexpr int kTrials = 400;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<double> d(30);
+    for (double& x : d) x = rng.normal(0.0, 1.0);
+    if (sig::wilcoxon_signed_rank_p(d) < 0.05) ++rejections;
+  }
+  EXPECT_GT(rejections, 4);   // not degenerate
+  EXPECT_LT(rejections, 50);  // ~5 % ± noise, far from 12.5 %
+}
+
+TEST(Wilcoxon, DetectsConsistentSmallShift) {
+  ef::util::Rng rng(8);
+  std::vector<double> d(200);
+  for (double& x : d) x = rng.normal(0.3, 1.0);  // small real effect, n large
+  EXPECT_LT(sig::wilcoxon_signed_rank_p(d), 0.01);
+}
+
+TEST(Wilcoxon, TiesHandled) {
+  // Repeated magnitudes on both sides must not crash or degenerate.
+  const std::vector<double> d{1.0, 1.0, -1.0, 2.0, 2.0, -2.0, 2.0, 1.0};
+  const double p = sig::wilcoxon_signed_rank_p(d);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+// ---- paired comparison -----------------------------------------------------------
+
+TEST(ComparePaired, CountsAndMeanDiff) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 1.0};
+  const std::vector<double> b{2.0, 1.0, 4.0, 1.0};
+  const auto cmp = sig::compare_paired_errors(a, b);
+  EXPECT_EQ(cmp.a_wins, 2u);  // windows 0 and 2
+  EXPECT_EQ(cmp.b_wins, 1u);  // window 1
+  EXPECT_EQ(cmp.ties, 1u);
+  EXPECT_DOUBLE_EQ(cmp.mean_diff, (-1.0 + 1.0 - 1.0 + 0.0) / 4.0);
+}
+
+TEST(ComparePaired, ClearWinnerIsSignificant) {
+  ef::util::Rng rng(9);
+  std::vector<double> a(100);
+  std::vector<double> b(100);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = std::abs(rng.normal(0.0, 1.0));
+    b[i] = a[i] + 0.5 + std::abs(rng.normal(0.0, 0.1));  // B always worse
+  }
+  const auto cmp = sig::compare_paired_errors(a, b);
+  EXPECT_EQ(cmp.a_wins, 100u);
+  EXPECT_LT(cmp.sign_p, 1e-10);
+  EXPECT_LT(cmp.wilcoxon_p, 1e-10);
+  EXPECT_LT(cmp.mean_diff, 0.0);
+}
+
+TEST(ComparePaired, ErrorsOnBadInput) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW((void)sig::compare_paired_errors(a, b), std::invalid_argument);
+  const std::vector<double> empty;
+  EXPECT_THROW((void)sig::compare_paired_errors(empty, empty), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Tests for series/sunspot.hpp: determinism, non-negativity, quasi-periodic
+// cycle structure, rise/decay asymmetry, paper arrangement.
+#include "series/sunspot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using ef::series::generate_sunspots;
+using ef::series::SunspotParams;
+
+TEST(Sunspot, Deterministic) {
+  const auto a = generate_sunspots(1000);
+  const auto b = generate_sunspots(1000);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Sunspot, ZeroMonthsThrows) {
+  EXPECT_THROW((void)generate_sunspots(0), std::invalid_argument);
+}
+
+TEST(Sunspot, NonNegative) {
+  const auto s = generate_sunspots(3000);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(Sunspot, AmplitudeResemblesHistory) {
+  // Historical monthly means peak around 150-250 and bottom near 0.
+  const auto s = generate_sunspots(2739);
+  EXPECT_GT(s.max(), 80.0);
+  EXPECT_LT(s.max(), 400.0);
+  EXPECT_LT(s.min(), 15.0);
+}
+
+// Count the prominent maxima; over 2739 months (~228 years) there should be
+// roughly 228/11 ≈ 21 cycles. Use a coarse smoothed-peak count.
+TEST(Sunspot, CycleCountNearElevenYears) {
+  const auto s = generate_sunspots(2739);
+  // 25-month centred moving average to remove noise.
+  std::vector<double> smooth(s.size(), 0.0);
+  const int half = 12;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    double acc = 0.0;
+    int n = 0;
+    for (int j = -half; j <= half; ++j) {
+      const auto k = static_cast<long long>(i) + j;
+      if (k >= 0 && k < static_cast<long long>(s.size())) {
+        acc += s[static_cast<std::size_t>(k)];
+        ++n;
+      }
+    }
+    smooth[i] = acc / n;
+  }
+  // A peak = global max within ±48 months and above half the series max.
+  const double threshold = 0.3 * *std::max_element(smooth.begin(), smooth.end());
+  int peaks = 0;
+  for (std::size_t i = 48; i + 48 < smooth.size(); ++i) {
+    bool is_peak = smooth[i] > threshold;
+    for (std::size_t j = i - 48; is_peak && j <= i + 48; ++j) {
+      if (smooth[j] > smooth[i]) is_peak = false;
+    }
+    if (is_peak) ++peaks;
+  }
+  EXPECT_GE(peaks, 14);
+  EXPECT_LE(peaks, 28);
+}
+
+// Waldmeier-style asymmetry: on average the rise to a peak is faster than
+// the decay. Measured on the smoothed series as mean (peak − preceding
+// trough) distance vs (following trough − peak).
+TEST(Sunspot, RiseFasterThanDecay) {
+  SunspotParams p;
+  p.noise_floor = 0.0;
+  p.noise_slope = 0.0;  // deterministic shape: asymmetry is structural
+  const auto s = generate_sunspots(2739, p);
+
+  // Find alternating trough/peak indices on the clean signal.
+  std::vector<std::size_t> peaks;
+  for (std::size_t i = 24; i + 24 < s.size(); ++i) {
+    bool is_peak = s[i] > 40.0;
+    for (std::size_t j = i - 24; is_peak && j <= i + 24; ++j) {
+      if (s[j] > s[i]) is_peak = false;
+    }
+    if (is_peak) peaks.push_back(i);
+  }
+  ASSERT_GE(peaks.size(), 5u);
+
+  double rise_sum = 0.0;
+  double decay_sum = 0.0;
+  int counted = 0;
+  for (std::size_t k = 1; k + 1 < peaks.size(); ++k) {
+    // Trough = min between consecutive peaks.
+    const auto trough_before = static_cast<std::size_t>(
+        std::min_element(s.values().begin() + static_cast<long>(peaks[k - 1]),
+                         s.values().begin() + static_cast<long>(peaks[k])) -
+        s.values().begin());
+    const auto trough_after = static_cast<std::size_t>(
+        std::min_element(s.values().begin() + static_cast<long>(peaks[k]),
+                         s.values().begin() + static_cast<long>(peaks[k + 1])) -
+        s.values().begin());
+    rise_sum += static_cast<double>(peaks[k] - trough_before);
+    decay_sum += static_cast<double>(trough_after - peaks[k]);
+    ++counted;
+  }
+  ASSERT_GT(counted, 0);
+  EXPECT_LT(rise_sum / counted, decay_sum / counted);
+}
+
+TEST(SunspotExperiment, PaperArrangement) {
+  const auto exp = ef::series::make_paper_sunspots();
+  EXPECT_EQ(exp.train.size(), ef::series::kSunspotTrainMonths);
+  EXPECT_EQ(exp.validation.size(), ef::series::kSunspotValidationMonths);
+  EXPECT_NEAR(exp.train.min(), 0.0, 1e-12);
+  EXPECT_NEAR(exp.train.max(), 1.0, 1e-12);
+}
+
+TEST(SunspotExperiment, GapActuallySkipped) {
+  const auto exp = ef::series::make_paper_sunspots();
+  const auto full = generate_sunspots(ef::series::kSunspotTrainMonths +
+                                      ef::series::kSunspotGapMonths +
+                                      ef::series::kSunspotValidationMonths);
+  const double raw_val0 =
+      full[ef::series::kSunspotTrainMonths + ef::series::kSunspotGapMonths];
+  EXPECT_NEAR(exp.normalizer.inverse(exp.validation[0]), raw_val0, 1e-9);
+}
+
+}  // namespace

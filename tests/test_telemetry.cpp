@@ -1,0 +1,114 @@
+// Tests for core/telemetry.hpp: collector semantics, CSV output format,
+// record contents from a live engine.
+#include "core/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/evolution.hpp"
+#include "series/timeseries.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ef::core::TelemetryCollector;
+using ef::core::TelemetryRecord;
+
+TEST(TelemetryCollector, StartsEmpty) {
+  TelemetryCollector collector;
+  EXPECT_TRUE(collector.empty());
+  EXPECT_TRUE(collector.records().empty());
+}
+
+TEST(TelemetryCollector, SinkAppendsRecords) {
+  TelemetryCollector collector;
+  auto sink = collector.sink();
+  TelemetryRecord r1;
+  r1.generation = 10;
+  r1.best_fitness = 2.5;
+  sink(r1);
+  TelemetryRecord r2;
+  r2.generation = 20;
+  sink(r2);
+  ASSERT_EQ(collector.records().size(), 2u);
+  EXPECT_EQ(collector.records()[0].generation, 10u);
+  EXPECT_DOUBLE_EQ(collector.records()[0].best_fitness, 2.5);
+  EXPECT_EQ(collector.records()[1].generation, 20u);
+}
+
+TEST(TelemetryCollector, CsvHasHeaderAndRows) {
+  TelemetryCollector collector;
+  auto sink = collector.sink();
+  TelemetryRecord r;
+  r.generation = 5;
+  r.best_fitness = 1.5;
+  r.mean_fitness = 0.75;
+  r.mean_error = 0.125;
+  r.mean_matches = 10.5;
+  r.mean_specificity = 3.25;
+  r.replacements = 4;
+  sink(r);
+
+  const std::string path = testing::TempDir() + "/evoforecast_telemetry.csv";
+  collector.write_csv(path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header,
+            "generation,best_fitness,mean_fitness,mean_error,mean_matches,"
+            "mean_specificity,replacements");
+  std::string row;
+  std::getline(in, row);
+  EXPECT_EQ(row, "5,1.5,0.75,0.125,10.5,3.25,4");
+  EXPECT_FALSE(std::getline(in, row));  // exactly one data row
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryCollector, WriteToUnwritablePathThrows) {
+  TelemetryCollector collector;
+  EXPECT_THROW(collector.write_csv("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+TEST(TelemetryFromEngine, RecordsAreInternallyConsistent) {
+  ef::util::Rng rng(12);
+  std::vector<double> v(300);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = std::sin(static_cast<double>(i) * 0.2) + rng.normal(0.0, 0.05);
+  }
+  const ef::series::TimeSeries s(std::move(v));
+  const ef::core::WindowDataset data(s, 4, 1);
+
+  ef::core::EvolutionConfig cfg;
+  cfg.population_size = 15;
+  cfg.generations = 100;
+  cfg.emax = 0.3;
+  cfg.seed = 6;
+  cfg.telemetry_stride = 25;
+
+  TelemetryCollector collector;
+  ef::core::SteadyStateEngine engine(data, cfg, nullptr, collector.sink());
+  engine.run();
+
+  ASSERT_EQ(collector.records().size(), 5u);  // gen 0, 25, 50, 75, 100
+  std::size_t last_generation = 0;
+  std::size_t last_replacements = 0;
+  for (const auto& rec : collector.records()) {
+    EXPECT_GE(rec.generation, last_generation);
+    EXPECT_GE(rec.replacements, last_replacements);  // monotone counter
+    EXPECT_GE(rec.best_fitness, rec.mean_fitness);   // max >= mean
+    EXPECT_GE(rec.mean_matches, 0.0);
+    EXPECT_GE(rec.mean_specificity, 0.0);
+    EXPECT_LE(rec.mean_specificity, 4.0);  // at most D non-wildcard genes
+    last_generation = rec.generation;
+    last_replacements = rec.replacements;
+  }
+}
+
+}  // namespace

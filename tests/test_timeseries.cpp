@@ -1,0 +1,170 @@
+// Tests for series/timeseries.hpp: container invariants, splits, and the
+// round-trip property of both normalisers.
+#include "series/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using ef::series::Normalizer;
+using ef::series::Split;
+using ef::series::TimeSeries;
+
+TEST(TimeSeries, BasicAccess) {
+  const TimeSeries s({1.0, 2.0, 3.0}, "abc");
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+  EXPECT_EQ(s.name(), "abc");
+}
+
+TEST(TimeSeries, RejectsNaN) {
+  EXPECT_THROW(TimeSeries({1.0, std::nan(""), 3.0}), std::invalid_argument);
+}
+
+TEST(TimeSeries, RejectsInfinity) {
+  EXPECT_THROW(TimeSeries({1.0, std::numeric_limits<double>::infinity()}),
+               std::invalid_argument);
+}
+
+TEST(TimeSeries, SliceBoundsChecked) {
+  const TimeSeries s({1.0, 2.0, 3.0, 4.0});
+  const TimeSeries mid = s.slice(1, 3);
+  ASSERT_EQ(mid.size(), 2u);
+  EXPECT_DOUBLE_EQ(mid[0], 2.0);
+  EXPECT_DOUBLE_EQ(mid[1], 3.0);
+  EXPECT_THROW((void)s.slice(2, 5), std::out_of_range);
+  EXPECT_THROW((void)s.slice(3, 2), std::out_of_range);
+}
+
+TEST(TimeSeries, EmptySliceAllowed) {
+  const TimeSeries s({1.0, 2.0});
+  EXPECT_EQ(s.slice(1, 1).size(), 0u);
+}
+
+TEST(TimeSeries, Statistics) {
+  const TimeSeries s({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.25);
+}
+
+TEST(TimeSeries, StatisticsOnEmptyThrow) {
+  const TimeSeries s;
+  EXPECT_THROW((void)s.min(), std::logic_error);
+  EXPECT_THROW((void)s.max(), std::logic_error);
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+}
+
+TEST(SplitAt, ChronologicalSplit) {
+  const TimeSeries s({0.0, 1.0, 2.0, 3.0, 4.0});
+  const Split sp = ef::series::split_at(s, 3);
+  EXPECT_EQ(sp.train.size(), 3u);
+  EXPECT_EQ(sp.validation.size(), 2u);
+  EXPECT_DOUBLE_EQ(sp.train[2], 2.0);
+  EXPECT_DOUBLE_EQ(sp.validation[0], 3.0);
+}
+
+TEST(SplitAt, InvalidSizesThrow) {
+  const TimeSeries s({0.0, 1.0, 2.0});
+  EXPECT_THROW((void)ef::series::split_at(s, 0), std::invalid_argument);
+  EXPECT_THROW((void)ef::series::split_at(s, 3), std::invalid_argument);
+}
+
+TEST(SplitWithGap, SkipsGapRange) {
+  const TimeSeries s({0.0, 1.0, 2.0, 3.0, 4.0, 5.0});
+  const Split sp = ef::series::split_with_gap(s, 2, 2);
+  EXPECT_EQ(sp.train.size(), 2u);
+  ASSERT_EQ(sp.validation.size(), 2u);
+  EXPECT_DOUBLE_EQ(sp.validation[0], 4.0);  // indices 2,3 skipped
+}
+
+TEST(SplitWithGap, GapConsumingEverythingThrows) {
+  const TimeSeries s({0.0, 1.0, 2.0});
+  EXPECT_THROW((void)ef::series::split_with_gap(s, 1, 2), std::invalid_argument);
+}
+
+TEST(Normalizer, MinMaxMapsToUnitInterval) {
+  const TimeSeries s({-50.0, 0.0, 150.0});
+  const Normalizer n = Normalizer::min_max(s, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(n.transform(-50.0), 0.0);
+  EXPECT_DOUBLE_EQ(n.transform(150.0), 1.0);
+  EXPECT_DOUBLE_EQ(n.transform(50.0), 0.5);
+}
+
+TEST(Normalizer, MinMaxCustomTarget) {
+  const TimeSeries s({0.0, 10.0});
+  const Normalizer n = Normalizer::min_max(s, -1.0, 1.0);
+  EXPECT_DOUBLE_EQ(n.transform(0.0), -1.0);
+  EXPECT_DOUBLE_EQ(n.transform(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(n.transform(5.0), 0.0);
+}
+
+TEST(Normalizer, RoundTripIdentityProperty) {
+  ef::util::Rng rng(5);
+  std::vector<double> vals;
+  for (int i = 0; i < 500; ++i) vals.push_back(rng.uniform(-80.0, 200.0));
+  const TimeSeries s(vals);
+  const Normalizer mm = Normalizer::min_max(s);
+  const Normalizer z = Normalizer::z_score(s);
+  for (const double v : vals) {
+    EXPECT_NEAR(mm.inverse(mm.transform(v)), v, 1e-9);
+    EXPECT_NEAR(z.inverse(z.transform(v)), v, 1e-9);
+  }
+}
+
+TEST(Normalizer, ZScoreMoments) {
+  ef::util::Rng rng(6);
+  std::vector<double> vals;
+  for (int i = 0; i < 2000; ++i) vals.push_back(rng.normal(40.0, 7.0));
+  const TimeSeries s(vals);
+  const Normalizer z = Normalizer::z_score(s);
+  const TimeSeries t = z.transform(s);
+  EXPECT_NEAR(t.mean(), 0.0, 1e-9);
+  EXPECT_NEAR(t.variance(), 1.0, 1e-9);
+}
+
+TEST(Normalizer, ConstantSeriesMinMaxDoesNotDivideByZero) {
+  const TimeSeries s({5.0, 5.0, 5.0});
+  const Normalizer n = Normalizer::min_max(s);
+  EXPECT_DOUBLE_EQ(n.transform(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(n.inverse(n.transform(5.0)), 5.0);
+}
+
+TEST(Normalizer, ConstantSeriesZScoreMapsToZero) {
+  const TimeSeries s({5.0, 5.0});
+  const Normalizer n = Normalizer::z_score(s);
+  EXPECT_DOUBLE_EQ(n.transform(5.0), 0.0);
+}
+
+TEST(Normalizer, InvalidTargetRangeThrows) {
+  const TimeSeries s({0.0, 1.0});
+  EXPECT_THROW((void)Normalizer::min_max(s, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)Normalizer::min_max(s, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Normalizer, SeriesTransformPreservesLength) {
+  const TimeSeries s({1.0, 2.0, 3.0});
+  const Normalizer n = Normalizer::min_max(s);
+  EXPECT_EQ(n.transform(s).size(), 3u);
+  EXPECT_EQ(n.inverse(n.transform(s)).size(), 3u);
+}
+
+// Fitting on train only and applying to validation must not leak future info:
+// validation values outside the train range land outside [0,1].
+TEST(Normalizer, ValidationValuesMayExceedUnitRange) {
+  const TimeSeries train({0.0, 10.0});
+  const Normalizer n = Normalizer::min_max(train);
+  EXPECT_GT(n.transform(20.0), 1.0);
+  EXPECT_LT(n.transform(-5.0), 0.0);
+}
+
+}  // namespace

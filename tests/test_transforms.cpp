@@ -1,0 +1,130 @@
+// Tests for series/transforms.hpp: exact round trips, trend/season removal
+// semantics, error cases, moving-average smoothing.
+#include "series/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using ef::series::difference;
+using ef::series::Differenced;
+using ef::series::TimeSeries;
+using ef::series::undifference;
+
+TEST(Difference, FirstDifferenceValues) {
+  const TimeSeries s({1.0, 4.0, 9.0, 16.0});
+  const Differenced d = difference(s);
+  ASSERT_EQ(d.series.size(), 3u);
+  EXPECT_DOUBLE_EQ(d.series[0], 3.0);
+  EXPECT_DOUBLE_EQ(d.series[1], 5.0);
+  EXPECT_DOUBLE_EQ(d.series[2], 7.0);
+  ASSERT_EQ(d.prefix.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.prefix[0], 1.0);
+}
+
+TEST(Difference, RemovesLinearTrendExactly) {
+  std::vector<double> v(50);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = 3.0 + 0.5 * static_cast<double>(i);
+  const Differenced d = difference(TimeSeries(std::move(v)));
+  for (std::size_t i = 0; i < d.series.size(); ++i) EXPECT_NEAR(d.series[i], 0.5, 1e-12);
+}
+
+TEST(Difference, SeasonalLagRemovesPurePeriod) {
+  const std::size_t period = 8;
+  std::vector<double> v(64);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = std::sin(2.0 * std::numbers::pi * static_cast<double>(i) /
+                    static_cast<double>(period));
+  }
+  const Differenced d = difference(TimeSeries(std::move(v)), period);
+  for (std::size_t i = 0; i < d.series.size(); ++i) EXPECT_NEAR(d.series[i], 0.0, 1e-12);
+}
+
+TEST(Difference, RoundTripIsExact) {
+  ef::util::Rng rng(4);
+  std::vector<double> v(200);
+  for (double& x : v) x = rng.uniform(-10, 10);
+  const TimeSeries original(v);
+  for (const std::size_t lag : {1u, 2u, 7u, 24u}) {
+    const TimeSeries back = undifference(difference(original, lag));
+    ASSERT_EQ(back.size(), original.size()) << lag;
+    for (std::size_t i = 0; i < back.size(); ++i) {
+      EXPECT_NEAR(back[i], original[i], 1e-9) << "lag " << lag << " index " << i;
+    }
+  }
+}
+
+TEST(Difference, InvalidArgumentsThrow) {
+  const TimeSeries s({1.0, 2.0, 3.0});
+  EXPECT_THROW((void)difference(s, 0), std::invalid_argument);
+  EXPECT_THROW((void)difference(s, 3), std::invalid_argument);
+}
+
+TEST(Undifference, InconsistentPrefixThrows) {
+  Differenced d;
+  d.series = TimeSeries({1.0, 2.0});
+  d.lag = 2;
+  d.prefix = {0.0};  // size != lag
+  EXPECT_THROW((void)undifference(d), std::invalid_argument);
+}
+
+TEST(Log1p, RoundTripOnCounts) {
+  const TimeSeries s({0.0, 1.0, 10.0, 250.0});
+  const TimeSeries t = ef::series::log1p_transform(s);
+  EXPECT_DOUBLE_EQ(t[0], 0.0);
+  const TimeSeries back = ef::series::expm1_transform(t);
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_NEAR(back[i], s[i], 1e-9);
+}
+
+TEST(Log1p, CompressesLargeValues) {
+  const TimeSeries s({0.0, 9.0, 99.0});
+  const TimeSeries t = ef::series::log1p_transform(s);
+  // Ratio 99/9 = 11 compresses to log(100)/log(10) = 2.
+  EXPECT_NEAR(t[2] / t[1], 2.0, 1e-12);
+}
+
+TEST(Log1p, RejectsOutOfDomain) {
+  EXPECT_THROW((void)ef::series::log1p_transform(TimeSeries({-1.0})),
+               std::invalid_argument);
+  EXPECT_THROW((void)ef::series::log1p_transform(TimeSeries({-2.0})),
+               std::invalid_argument);
+}
+
+TEST(MovingAverage, FlattensNoiseKeepsMean) {
+  ef::util::Rng rng(5);
+  std::vector<double> v(500);
+  for (double& x : v) x = 10.0 + rng.normal(0.0, 1.0);
+  const TimeSeries s(std::move(v));
+  const TimeSeries smooth = ef::series::moving_average(s, 10);
+  ASSERT_EQ(smooth.size(), s.size());
+  EXPECT_NEAR(smooth.mean(), s.mean(), 0.05);
+  EXPECT_LT(smooth.variance(), 0.2 * s.variance());
+}
+
+TEST(MovingAverage, HalfZeroIsIdentity) {
+  const TimeSeries s({1.0, 5.0, 2.0});
+  const TimeSeries out = ef::series::moving_average(s, 0);
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_DOUBLE_EQ(out[i], s[i]);
+}
+
+TEST(MovingAverage, EdgesUseAvailableSamples) {
+  const TimeSeries s({0.0, 3.0, 6.0});
+  const TimeSeries out = ef::series::moving_average(s, 1);
+  EXPECT_DOUBLE_EQ(out[0], 1.5);  // mean of first two
+  EXPECT_DOUBLE_EQ(out[1], 3.0);  // full window
+  EXPECT_DOUBLE_EQ(out[2], 4.5);  // mean of last two
+}
+
+TEST(MovingAverage, EmptySeriesSafe) {
+  const TimeSeries s;
+  EXPECT_EQ(ef::series::moving_average(s, 3).size(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Tests for core/tuning.hpp: bracket handling, monotone-target behaviour,
+// argument validation, probe bookkeeping.
+#include "core/tuning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rule_system.hpp"
+#include "series/timeseries.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ef::core::EmaxTuningOptions;
+using ef::core::EvolutionConfig;
+using ef::core::tune_emax;
+using ef::core::WindowDataset;
+using ef::series::TimeSeries;
+
+TimeSeries noisy_sine(std::size_t n, double noise) {
+  ef::util::Rng rng(77);
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(static_cast<double>(i) * 0.2) + rng.normal(0.0, noise);
+  }
+  return TimeSeries(std::move(v));
+}
+
+EvolutionConfig base_config() {
+  EvolutionConfig cfg;
+  cfg.population_size = 20;
+  cfg.seed = 3;
+  cfg.emax = 1.0;  // overwritten by the tuner
+  return cfg;
+}
+
+TEST(TuneEmax, ReachesCoverageTarget) {
+  const TimeSeries s = noisy_sine(500, 0.05);
+  const WindowDataset train(s, 4, 1);
+  EmaxTuningOptions options;
+  options.coverage_target_percent = 90.0;
+  options.pilot_generations = 500;
+  const auto result = tune_emax(train, base_config(), options);
+  EXPECT_GE(result.achieved_coverage_percent, 90.0);
+  EXPECT_GT(result.emax, 0.0);
+}
+
+TEST(TuneEmax, TunedEmaxIsTighterThanFullRange) {
+  const TimeSeries s = noisy_sine(500, 0.05);
+  const WindowDataset train(s, 4, 1);
+  EmaxTuningOptions options;
+  options.coverage_target_percent = 85.0;
+  options.pilot_generations = 500;
+  const auto result = tune_emax(train, base_config(), options);
+  const double range = train.target_max() - train.target_min();
+  EXPECT_LT(result.emax, range);  // bisection found something below the hi bracket
+}
+
+TEST(TuneEmax, ProbesRecorded) {
+  const TimeSeries s = noisy_sine(300, 0.05);
+  const WindowDataset train(s, 4, 1);
+  EmaxTuningOptions options;
+  options.coverage_target_percent = 85.0;
+  options.bisection_steps = 4;
+  options.pilot_generations = 200;
+  const auto result = tune_emax(train, base_config(), options);
+  // hi + lo probes + up to bisection_steps more.
+  EXPECT_GE(result.probes.size(), 2u);
+  EXPECT_LE(result.probes.size(), 2u + options.bisection_steps);
+  for (const auto& [emax, coverage] : result.probes) {
+    EXPECT_GT(emax, 0.0);
+    EXPECT_GE(coverage, 0.0);
+    EXPECT_LE(coverage, 100.0);
+  }
+}
+
+TEST(TuneEmax, ImpossibleTargetReturnsWidestBudget) {
+  // A pure-noise series with a tiny pilot budget and a 100 % target: if the
+  // hi bracket misses the target the tuner must return the hi bracket.
+  ef::util::Rng rng(5);
+  std::vector<double> v(200);
+  for (double& x : v) x = rng.uniform(0.0, 1.0);
+  const WindowDataset train(TimeSeries(std::move(v)), 6, 1);
+
+  EmaxTuningOptions options;
+  options.coverage_target_percent = 100.0;
+  options.hi_fraction = 0.02;  // absurdly tight hi bracket
+  options.lo_fraction = 0.01;
+  options.pilot_generations = 50;
+  options.pilot_executions = 1;
+  const auto result = tune_emax(train, base_config(), options);
+  const double range = train.target_max() - train.target_min();
+  EXPECT_NEAR(result.emax, 0.02 * range, 1e-12);
+}
+
+TEST(TuneEmax, EasyTargetFindsTightBudget) {
+  // Near-noiseless low-amplitude sine: a modest target must be reachable
+  // with an EMAX far below the full target range.
+  std::vector<double> v(100);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = 1.0 + 1e-4 * std::sin(static_cast<double>(i));
+  }
+  const WindowDataset train(TimeSeries(std::move(v)), 3, 1);
+  EmaxTuningOptions options;
+  options.coverage_target_percent = 50.0;
+  options.pilot_generations = 50;
+  const auto result = tune_emax(train, base_config(), options);
+  const double range = train.target_max() - train.target_min();
+  EXPECT_LT(result.emax, 0.3 * range);
+  EXPECT_GE(result.achieved_coverage_percent, 50.0);
+}
+
+TEST(TuneEmax, ConstantSeriesThrows) {
+  const TimeSeries s(std::vector<double>(50, 2.0));
+  const WindowDataset train(s, 3, 1);
+  EXPECT_THROW((void)tune_emax(train, base_config()), std::invalid_argument);
+}
+
+TEST(TuneEmax, BadOptionsThrow) {
+  const TimeSeries s = noisy_sine(200, 0.05);
+  const WindowDataset train(s, 4, 1);
+  EmaxTuningOptions bad;
+  bad.lo_fraction = 0.5;
+  bad.hi_fraction = 0.1;
+  EXPECT_THROW((void)tune_emax(train, base_config(), bad), std::invalid_argument);
+  bad = EmaxTuningOptions{};
+  bad.coverage_target_percent = 0.0;
+  EXPECT_THROW((void)tune_emax(train, base_config(), bad), std::invalid_argument);
+  bad = EmaxTuningOptions{};
+  bad.coverage_target_percent = 101.0;
+  EXPECT_THROW((void)tune_emax(train, base_config(), bad), std::invalid_argument);
+}
+
+TEST(TuneEmax, Deterministic) {
+  const TimeSeries s = noisy_sine(300, 0.05);
+  const WindowDataset train(s, 4, 1);
+  EmaxTuningOptions options;
+  options.pilot_generations = 300;
+  const auto a = tune_emax(train, base_config(), options);
+  const auto b = tune_emax(train, base_config(), options);
+  EXPECT_DOUBLE_EQ(a.emax, b.emax);
+  EXPECT_DOUBLE_EQ(a.achieved_coverage_percent, b.achieved_coverage_percent);
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Compilation/state test for the umbrella header: everything is reachable
+// through one include, plus tests for RuleSystem::merge and
+// galvan_error_partial added alongside it.
+#include "evoforecast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+TEST(Umbrella, EveryLayerUsableThroughOneInclude) {
+  // util
+  ef::util::Rng rng(1);
+  (void)rng.uniform();
+  ef::util::RunningStats stats;
+  stats.add(1.0);
+  // series
+  const auto sine = ef::series::generate_sine(50);
+  EXPECT_EQ(sine.size(), 50u);
+  // core
+  const ef::core::Interval gene(0.0, 1.0);
+  EXPECT_TRUE(gene.contains(0.5));
+  ef::core::EvolutionConfig config;
+  EXPECT_NO_THROW(config.validate());
+  // baselines
+  ef::baselines::Persistence persistence;
+  EXPECT_EQ(persistence.name(), "persistence");
+}
+
+TEST(Merge, CombinesRuleSets) {
+  using ef::core::Interval;
+  using ef::core::Rule;
+  const auto make = [](double p) {
+    Rule r({Interval(0, 10)});
+    ef::core::PredictingPart part;
+    part.fit.coeffs = {0.0, p};
+    part.fitness = 1.0;
+    r.set_predicting(part);
+    return r;
+  };
+  ef::core::RuleSystem a;
+  a.add_rules({make(1.0)}, false, -1.0);
+  ef::core::RuleSystem b;
+  b.add_rules({make(3.0), make(5.0)}, false, -1.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.size(), 3u);
+  // Each rule predicts its constant p (zero slope, intercept p): mean = 3.
+  const auto out = a.predict(std::vector<double>{2.0});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_DOUBLE_EQ(*out, 3.0);
+}
+
+TEST(Merge, WithEmptyIsIdentity) {
+  ef::core::RuleSystem a;
+  const ef::core::RuleSystem empty;
+  a.merge(empty);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(GalvanPartial, MatchesFullMetricAtFullCoverage) {
+  const std::vector<double> actual{1.0, 2.0, 3.0};
+  ef::series::PartialForecast forecast{1.5, 2.0, 2.0};
+  std::vector<double> dense{1.5, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(ef::series::galvan_error_partial(actual, forecast, 4),
+                   ef::series::galvan_error(actual, dense, 4));
+}
+
+TEST(GalvanPartial, SkipsAbstentions) {
+  const std::vector<double> actual{1.0, 2.0, 3.0};
+  ef::series::PartialForecast forecast{1.5, std::nullopt, 2.0};
+  // Covered subset {1.0→1.5, 3.0→2.0}: Σd² = 0.25 + 1 = 1.25, N = 1, τ = 2
+  // → denom 2·3 = 6.
+  EXPECT_DOUBLE_EQ(ef::series::galvan_error_partial(actual, forecast, 2), 1.25 / 6.0);
+}
+
+TEST(GalvanPartial, NothingCoveredIsZero) {
+  const std::vector<double> actual{1.0};
+  ef::series::PartialForecast forecast{std::nullopt};
+  EXPECT_DOUBLE_EQ(ef::series::galvan_error_partial(actual, forecast, 1), 0.0);
+}
+
+TEST(GalvanPartial, SizeMismatchThrows) {
+  const std::vector<double> actual{1.0, 2.0};
+  ef::series::PartialForecast forecast{1.0};
+  EXPECT_THROW((void)ef::series::galvan_error_partial(actual, forecast, 1),
+               std::invalid_argument);
+}
+
+}  // namespace

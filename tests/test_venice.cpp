@@ -1,0 +1,131 @@
+// Tests for series/venice.hpp: determinism, component structure (tidal
+// periodicity, surge autocorrelation, storm extremes), paper arrangement.
+#include "series/venice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using ef::series::generate_venice;
+using ef::series::VeniceParams;
+
+TEST(Venice, DeterministicForSameSeed) {
+  const auto a = generate_venice(2000);
+  const auto b = generate_venice(2000);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Venice, DifferentSeedsDiffer) {
+  VeniceParams p1;
+  p1.seed = 1;
+  VeniceParams p2;
+  p2.seed = 2;
+  const auto a = generate_venice(500, p1);
+  const auto b = generate_venice(500, p2);
+  int equal = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Venice, ZeroHoursThrows) { EXPECT_THROW((void)generate_venice(0), std::invalid_argument); }
+
+TEST(Venice, RangeResemblesLagoon) {
+  // Paper: "the output ranges from -50 cm to 150 cm". The synthetic series
+  // should live in roughly that band (storms may exceed 150 occasionally).
+  const auto s = generate_venice(20000);
+  EXPECT_GT(s.min(), -120.0);
+  EXPECT_LT(s.min(), 20.0);
+  EXPECT_GT(s.max(), 90.0);
+  EXPECT_LT(s.max(), 260.0);
+}
+
+TEST(Venice, StormsProduceUnusualHighs) {
+  // With storms on, the extreme tail must reach clearly beyond the purely
+  // astronomical range; with storms off it must not.
+  VeniceParams calm;
+  calm.storm_rate_per_hour = 0.0;
+  const auto stormy = generate_venice(20000);
+  const auto quiet = generate_venice(20000, calm);
+  EXPECT_GT(stormy.max(), quiet.max() + 20.0);
+}
+
+TEST(Venice, SemidiurnalPeriodicityDominates) {
+  // Autocorrelation at the M2 period (~12.42 h → lag 12) should clearly
+  // exceed autocorrelation at an off-period lag like 3 h.
+  const auto s = generate_venice(30000);
+  const double mean = s.mean();
+  const auto autocorr = [&](std::size_t lag) {
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = lag; i < s.size(); ++i) {
+      num += (s[i] - mean) * (s[i - lag] - mean);
+    }
+    for (std::size_t i = 0; i < s.size(); ++i) den += (s[i] - mean) * (s[i] - mean);
+    return num / den;
+  };
+  EXPECT_GT(autocorr(25), autocorr(3));  // ~K1/O1 diurnal band beats short lag
+  EXPECT_GT(autocorr(25), 0.3);
+}
+
+TEST(Venice, SurgeIsAutocorrelated) {
+  // Disable tide+storm+noise: the remaining AR(2) surge must have strong
+  // lag-1 autocorrelation (phi1+phi2 ≈ 0.98).
+  VeniceParams p;
+  p.constituents = {{0.0, 12.42, 0.0}};  // zero-amplitude constituent = no tide
+  p.mean_sea_level_cm = 0.0;
+  p.storm_rate_per_hour = 0.0;
+  p.gauge_noise_cm = 0.0;
+  const auto s = generate_venice(20000, p);
+  const double mean = s.mean();
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 1; i < s.size(); ++i) num += (s[i] - mean) * (s[i - 1] - mean);
+  for (std::size_t i = 0; i < s.size(); ++i) den += (s[i] - mean) * (s[i] - mean);
+  EXPECT_GT(num / den, 0.9);
+}
+
+TEST(Venice, MeanNearMeanSeaLevel) {
+  const auto s = generate_venice(40000);
+  // Storm pulses push the mean slightly above the configured MSL of 30 cm.
+  EXPECT_NEAR(s.mean(), 32.0, 8.0);
+}
+
+TEST(Venice, DefaultConstituentsArePlausible) {
+  const auto cs = ef::series::default_venice_constituents();
+  ASSERT_GE(cs.size(), 5u);
+  // M2 must be the largest semidiurnal term.
+  EXPECT_DOUBLE_EQ(cs[0].period_hours, 12.4206);
+  for (std::size_t i = 1; i < cs.size(); ++i) {
+    EXPECT_LE(cs[i].amplitude_cm, cs[0].amplitude_cm);
+  }
+}
+
+TEST(VeniceExperiment, SplitSizes) {
+  const auto exp = ef::series::make_paper_venice(4500, 1000);
+  EXPECT_EQ(exp.train.size(), 4500u);
+  EXPECT_EQ(exp.validation.size(), 1000u);
+}
+
+TEST(VeniceExperiment, ChronologicalContinuity) {
+  // validation[0] must be the sample right after train.back() in the full
+  // series: regenerate and compare.
+  const auto exp = ef::series::make_paper_venice(300, 100);
+  const auto full = generate_venice(400);
+  EXPECT_DOUBLE_EQ(exp.train[299], full[299]);
+  EXPECT_DOUBLE_EQ(exp.validation[0], full[300]);
+}
+
+TEST(VeniceExperiment, InvalidSizesThrow) {
+  EXPECT_THROW((void)ef::series::make_paper_venice(0, 10), std::invalid_argument);
+  EXPECT_THROW((void)ef::series::make_paper_venice(10, 0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,206 @@
+// Tests for the warm-start engine constructor and extend_rule_system (the
+// online-update extension), plus RuleSystem::describe.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "core/evolution.hpp"
+#include "core/rule_system.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ef::core::EvolutionConfig;
+using ef::core::Interval;
+using ef::core::Rule;
+using ef::core::RuleSystemConfig;
+using ef::core::SteadyStateEngine;
+using ef::core::WindowDataset;
+using ef::series::TimeSeries;
+
+TimeSeries regime_series(std::size_t n, double level, std::uint64_t seed) {
+  ef::util::Rng rng(seed);
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = level + std::sin(static_cast<double>(i) * 0.2) + rng.normal(0.0, 0.03);
+  }
+  return TimeSeries(std::move(v));
+}
+
+EvolutionConfig quick_config() {
+  EvolutionConfig cfg;
+  cfg.population_size = 15;
+  cfg.generations = 300;
+  cfg.emax = 0.3;
+  cfg.seed = 6;
+  return cfg;
+}
+
+TEST(WarmStart, SeedPopulationSurvivesAndIsReevaluated) {
+  const TimeSeries s = regime_series(400, 0.0, 1);
+  const WindowDataset data(s, 3, 1);
+
+  // Seeds: full-range rules (match everything) — recognisable after trim.
+  std::vector<Rule> seeds;
+  for (int i = 0; i < 5; ++i) {
+    seeds.emplace_back(std::vector<Interval>(3, Interval(data.value_min(), data.value_max())));
+  }
+  SteadyStateEngine engine(data, quick_config(), std::move(seeds));
+  EXPECT_EQ(engine.population().size(), 15u);  // topped up to population_size
+  for (const Rule& r : engine.population()) {
+    ASSERT_TRUE(r.predicting().has_value());  // everything (re)evaluated
+  }
+}
+
+TEST(WarmStart, SurplusSeedsTrimmedToFittest) {
+  const TimeSeries s = regime_series(400, 0.0, 2);
+  const WindowDataset data(s, 3, 1);
+  EvolutionConfig cfg = quick_config();
+  cfg.population_size = 4;
+
+  std::vector<Rule> seeds;
+  // 3 full-range rules (high N_R → high fitness), 5 impossible rules (f_min).
+  for (int i = 0; i < 3; ++i) {
+    seeds.emplace_back(std::vector<Interval>(3, Interval(data.value_min(), data.value_max())));
+  }
+  for (int i = 0; i < 5; ++i) {
+    seeds.emplace_back(std::vector<Interval>(3, Interval(99.0, 100.0)));
+  }
+  SteadyStateEngine engine(data, cfg, std::move(seeds));
+  ASSERT_EQ(engine.population().size(), 4u);
+  // The three matchers must have survived the trim (their fitness is higher).
+  std::size_t matchers = 0;
+  for (const Rule& r : engine.population()) {
+    if (r.predicting()->matches > 0) ++matchers;
+  }
+  EXPECT_GE(matchers, 3u);
+}
+
+TEST(WarmStart, WrongWindowSeedsDropped) {
+  const TimeSeries s = regime_series(400, 0.0, 3);
+  const WindowDataset data(s, 3, 1);
+  std::vector<Rule> seeds;
+  seeds.emplace_back(std::vector<Interval>(7, Interval::wildcard()));  // D mismatch
+  SteadyStateEngine engine(data, quick_config(), std::move(seeds));
+  EXPECT_EQ(engine.population().size(), 15u);
+  for (const Rule& r : engine.population()) EXPECT_EQ(r.window(), 3u);
+}
+
+TEST(ExtendRuleSystem, ImprovesAfterRegimeShift) {
+  // Train on a slow low-amplitude oscillation, then the dynamics change
+  // (faster, twice the amplitude): the old hyperplanes encode the wrong
+  // recurrence, so whatever the old system still covers it predicts badly;
+  // extending on the new data must fix it. (A pure *level* shift would NOT
+  // break the rules — affine predicting parts are nearly shift-equivariant —
+  // which is itself a nice property, asserted at the end.)
+  const TimeSeries before = regime_series(500, 0.0, 4);
+  const auto after = [] {
+    ef::util::Rng rng(5);
+    std::vector<double> v(500);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = 2.0 * std::sin(static_cast<double>(i) * 0.55) + rng.normal(0.0, 0.03);
+    }
+    return TimeSeries(std::move(v));
+  }();
+  const WindowDataset old_data(before, 3, 1);
+  const WindowDataset new_data(after, 3, 1);
+
+  RuleSystemConfig cfg;
+  cfg.evolution = quick_config();
+  cfg.evolution.generations = 600;
+  cfg.max_executions = 2;
+  cfg.coverage_target_percent = 90.0;
+
+  const auto original = ef::core::train_rule_system(old_data, cfg);
+
+  const auto rmse_on = [&](const ef::core::RuleSystem& system) {
+    const auto forecast = system.forecast_dataset(new_data);
+    std::vector<double> actual;
+    for (std::size_t i = 0; i < new_data.count(); ++i) actual.push_back(new_data.target(i));
+    return ef::series::evaluate_partial(actual, forecast).rmse;
+  };
+
+  const double before_rmse = rmse_on(original.system);
+  EXPECT_GT(before_rmse, 0.3);  // wrong recurrence: large errors where covered
+
+  const auto extended = ef::core::extend_rule_system(original.system, new_data, cfg);
+  EXPECT_GT(extended.train_coverage_percent, 80.0);
+  EXPECT_FALSE(extended.system.empty());
+  const double after_rmse = rmse_on(extended.system);
+  EXPECT_LT(after_rmse, 0.5 * before_rmse);
+
+  // Bonus property: a pure level shift barely hurts (affine rules travel).
+  const TimeSeries shifted = regime_series(500, 2.0, 7);
+  const WindowDataset shifted_data(shifted, 3, 1);
+  const auto forecast = original.system.forecast_dataset(shifted_data);
+  std::vector<double> actual;
+  for (std::size_t i = 0; i < shifted_data.count(); ++i) {
+    actual.push_back(shifted_data.target(i));
+  }
+  const auto report = ef::series::evaluate_partial(actual, forecast);
+  if (report.covered > 20) {
+    EXPECT_LT(report.rmse, 0.3);
+  }
+}
+
+TEST(ExtendRuleSystem, KeepsCompetenceOnUnchangedData) {
+  const TimeSeries s = regime_series(600, 0.0, 6);
+  const WindowDataset data(s, 3, 1);
+  RuleSystemConfig cfg;
+  cfg.evolution = quick_config();
+  cfg.max_executions = 1;
+  cfg.coverage_target_percent = 100.0;
+
+  const auto original = ef::core::train_rule_system(data, cfg);
+  const auto extended = ef::core::extend_rule_system(original.system, data, cfg);
+  // Extending on the same data must not lose coverage (warm start +
+  // better-only replacement can only hold or improve training fit).
+  EXPECT_GE(extended.train_coverage_percent,
+            original.train_coverage_percent - 5.0);
+}
+
+TEST(Describe, ListsRulesFitnessDescending) {
+  ef::core::RuleSystem system;
+  const auto make = [](double fitness) {
+    Rule r({Interval(0, 1)});
+    ef::core::PredictingPart part;
+    part.fit.coeffs = {0.0, 1.0};
+    part.fitness = fitness;
+    part.matches = 3;
+    r.set_predicting(part);
+    return r;
+  };
+  system.add_rules({make(1.0), make(5.0), make(3.0)}, false, -10.0);
+
+  std::ostringstream out;
+  system.describe(out, 0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("3 rules"), std::string::npos);
+  // Fitness 5 appears before 3 before 1.
+  const auto p5 = text.find("\t5\t");
+  const auto p3 = text.find("\t3\t");
+  ASSERT_NE(p5, std::string::npos);
+  ASSERT_NE(p3, std::string::npos);
+  EXPECT_LT(p5, p3);
+}
+
+TEST(Describe, TopNLimitsOutput) {
+  ef::core::RuleSystem system;
+  std::vector<Rule> rules;
+  for (int i = 0; i < 20; ++i) {
+    Rule r({Interval(0, 1)});
+    ef::core::PredictingPart part;
+    part.fit.coeffs = {0.0, 1.0};
+    part.fitness = i;
+    r.set_predicting(part);
+    rules.push_back(std::move(r));
+  }
+  system.add_rules(std::move(rules), false, -10.0);
+  std::ostringstream out;
+  system.describe(out, 5);
+  EXPECT_NE(out.str().find("showing 5"), std::string::npos);
+}
+
+}  // namespace
