@@ -74,5 +74,6 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shape: all aggregations agree within a few percent (votes are\n"
               "locally consistent); best-rule is noisiest. Compaction sheds a large\n"
               "fraction of the multi-execution union at (near-)unchanged accuracy.\n");
+  ef::obs::emit_cli_report(cli);
   return 0;
 }

@@ -86,5 +86,6 @@ int main(int argc, char** argv) {
   ef::bench::print_rule();
   std::printf("Expected shape: crowding variants keep test coverage above replace-worst;\n"
               "replace-worst narrows the rule set (fewer surviving niches).\n");
+  ef::obs::emit_cli_report(cli);
   return 0;
 }

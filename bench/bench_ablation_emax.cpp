@@ -61,5 +61,6 @@ int main(int argc, char** argv) {
       "EMAX forces rules so specific (few matched windows each) that they overfit and\n"
       "the covered-subset error is WORSE despite the stricter training budget. The\n"
       "usable trade-off region starts where EMAX clears the irreducible noise.\n");
+  ef::obs::emit_cli_report(cli);
   return 0;
 }

@@ -66,5 +66,6 @@ int main(int argc, char** argv) {
       "history for tau=50 and lose badly; the sparse classic embedding (4x6) matches\n"
       "or beats dense consecutive windows of the same span at a fraction of the\n"
       "dimensionality (fewer genes -> easier evolution).\n");
+  ef::obs::emit_cli_report(cli);
   return 0;
 }

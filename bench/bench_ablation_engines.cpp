@@ -104,5 +104,6 @@ int main(int argc, char** argv) {
       "credit assignment to individual rules is coarse, so per-window error stays a\n"
       "multiple of the Michigan system's. Steady-state + crowding is the only\n"
       "variant that is simultaneously accurate and broadly covering.\n");
+  ef::obs::emit_cli_report(cli);
   return 0;
 }

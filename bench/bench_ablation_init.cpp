@@ -74,5 +74,6 @@ int main(int argc, char** argv) {
 
   std::printf("Expected shape: stratified init covers ~100%% of training from generation 0\n"
               "and yields >= coverage and <= NMSE of random init at equal budget.\n");
+  ef::obs::emit_cli_report(cli);
   return 0;
 }

@@ -76,5 +76,6 @@ int main(int argc, char** argv) {
       "far more slowly — supporting the paper's direct-forecast design. Strict\n"
       "abstention chaining also collapses coverage as tau grows (any abstaining\n"
       "link breaks the chain).\n");
+  ef::obs::emit_cli_report(cli);
   return 0;
 }

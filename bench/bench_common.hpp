@@ -7,7 +7,6 @@
 // sweep script can tune without recompiling.
 #pragma once
 
-#include <chrono>
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -15,21 +14,11 @@
 
 #include "baselines/forecaster.hpp"
 #include "core/rule_system.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace.hpp"
 #include "series/metrics.hpp"
 
 namespace ef::bench {
-
-/// Wall-clock helper.
-class Stopwatch {
- public:
-  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
-  [[nodiscard]] double seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
 
 /// Targets of a dataset as a flat vector (metrics take spans).
 [[nodiscard]] inline std::vector<double> targets_of(const core::WindowDataset& data) {
@@ -54,9 +43,9 @@ struct RuleSystemOutcome {
                                                        const core::WindowDataset& validation,
                                                        const core::RuleSystemConfig& config) {
   RuleSystemOutcome out;
-  const Stopwatch timer;
+  const obs::ScopedTimer timer("bench.run_rule_system");
   auto result = core::train_rule_system(train, config);
-  out.train_seconds = timer.seconds();
+  out.train_seconds = timer.elapsed_seconds();
   out.rules = result.system.size();
   out.executions = result.executions;
   out.forecast = result.system.forecast_dataset(validation);
@@ -77,9 +66,9 @@ struct BaselineOutcome {
                                                   const core::WindowDataset& train,
                                                   const core::WindowDataset& validation) {
   BaselineOutcome out;
-  const Stopwatch timer;
+  const obs::ScopedTimer timer("bench.run_baseline");
   model.fit(train);
-  out.train_seconds = timer.seconds();
+  out.train_seconds = timer.elapsed_seconds();
   const auto predictions = model.predict_all(validation);
   const auto actual = targets_of(validation);
   out.rmse = series::rmse(actual, predictions);

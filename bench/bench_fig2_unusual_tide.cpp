@@ -104,5 +104,6 @@ int main(int argc, char** argv) {
   std::printf(
       "Shape check vs the paper's Figure 2: the predicted curve tracks the real\n"
       "series closely through the surge peak, not just in the tidal regime.\n");
+  ef::obs::emit_cli_report(cli);
   return 0;
 }

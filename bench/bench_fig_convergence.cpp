@@ -103,5 +103,6 @@ int main(int argc, char** argv) {
               "replacement); mean e_R falls toward the EMAX budget as rules specialise;\n"
               "coverage may dip mid-run (specialisation) before the multi-execution\n"
               "union (not shown here) restores it.\n");
+  ef::obs::emit_cli_report(cli);
   return 0;
 }

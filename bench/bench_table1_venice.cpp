@@ -108,5 +108,6 @@ int main(int argc, char** argv) {
       "Shape checks vs the paper: (1) coverage stays near-constant (>90%%) as tau grows;\n"
       "(2) rule-system RMSE < MLP RMSE for tau > 1 and roughly ties at tau = 1;\n"
       "(3) absolute errors grow with tau for every model.\n");
+  ef::obs::emit_cli_report(cli);
   return 0;
 }

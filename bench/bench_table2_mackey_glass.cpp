@@ -105,5 +105,6 @@ int main(int argc, char** argv) {
       "subset NMSE undercuts the RBF networks at both horizons; (3) tau=85 is harder\n"
       "than tau=50 for every model. Comparator caveat: RAN/MRAN are budget-sensitive —\n"
       "see EXPERIMENTS.md.\n");
+  ef::obs::emit_cli_report(cli);
   return 0;
 }

@@ -94,5 +94,6 @@ int main(int argc, char** argv) {
       "    (our re-trained comparators are stronger than the 2001-era cited results,\n"
       "    so margins are thinner than the paper's — see EXPERIMENTS.md);\n"
       "(3) error grows with tau for every model.\n");
+  ef::obs::emit_cli_report(cli);
   return 0;
 }

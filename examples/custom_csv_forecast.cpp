@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/rule_system.hpp"
+#include "obs/run_report.hpp"
 #include "series/csv.hpp"
 #include "series/metrics.hpp"
 #include "series/timeseries.hpp"
@@ -112,5 +113,6 @@ int main(int argc, char** argv) {
     ++checked;
   }
   std::printf("reloaded model verified on %zu windows — save/load round trip OK\n", checked);
+  ef::obs::emit_cli_report(cli);
   return 0;
 }

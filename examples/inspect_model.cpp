@@ -16,6 +16,7 @@
 #include "core/introspection.hpp"
 #include "core/rule_index.hpp"
 #include "core/rule_system.hpp"
+#include "obs/run_report.hpp"
 #include "series/csv.hpp"
 #include "series/metrics.hpp"
 #include "series/synthetic.hpp"
@@ -107,5 +108,7 @@ int main(int argc, char** argv) {
     for (const double v : importance) std::printf(" %.2f", v);
     std::printf("\n");
   }
+
+  ef::obs::emit_cli_report(cli);
   return 0;
 }

@@ -6,13 +6,21 @@
 //   4. forecast and inspect coverage + error.
 //
 // Build & run:  ./build/examples/quickstart
+//
+// Observability flags (see docs/OBSERVABILITY.md):
+//   --report              print the metrics/trace run report after the run
+//   --metrics-json PATH   dump counters, gauges, histograms and spans as JSON
+//   --metrics-csv PATH    same as flat CSV rows
 #include <cstdio>
 
 #include "core/rule_system.hpp"
+#include "obs/run_report.hpp"
 #include "series/mackey_glass.hpp"
 #include "series/metrics.hpp"
+#include "util/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const ef::util::Cli cli(argc, argv);
   // 1. Data: the paper's exact Mackey-Glass arrangement (1000 train /
   //    500 test samples, normalised to [0,1]).
   const auto mg = ef::series::make_paper_mackey_glass();
@@ -58,5 +66,7 @@ int main() {
     std::printf("\nexample evolved rule:\n  %s\n",
                 result.system.rules().front().encode().c_str());
   }
+
+  ef::obs::emit_cli_report(cli);
   return 0;
 }

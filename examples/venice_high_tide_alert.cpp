@@ -14,6 +14,7 @@
 
 #include "baselines/ar.hpp"
 #include "core/rule_system.hpp"
+#include "obs/run_report.hpp"
 #include "series/venice.hpp"
 #include "util/cli.hpp"
 
@@ -104,5 +105,6 @@ int main(int argc, char** argv) {
   std::printf("\nThe local-rule system's value proposition (paper §1): comparable or\n"
               "better detection of the rare events, because dedicated rules form for\n"
               "the atypical regimes a single global fit has to average away.\n");
+  ef::obs::emit_cli_report(cli);
   return 0;
 }

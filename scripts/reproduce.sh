@@ -23,11 +23,14 @@ ctest --test-dir build -j"$(nproc)" 2>&1 | tee -a "$OUT/tests.log"
 for bench in build/bench/*; do
   name="$(basename "$bench")"
   echo "== $name $FULL_FLAG =="
-  # bench_micro_core takes google-benchmark flags, not --full.
+  # bench_micro_core takes google-benchmark flags, not --full. Every other
+  # bench also emits its observability run report (docs/OBSERVABILITY.md):
+  # the table goes into the log, the JSON next to it for machine analysis.
   if [[ "$name" == "bench_micro_core" ]]; then
     "$bench" 2>&1 | tee "$OUT/$name.log"
   else
-    "$bench" $FULL_FLAG 2>&1 | tee "$OUT/$name.log"
+    "$bench" $FULL_FLAG --report --metrics-json "$OUT/$name.metrics.json" \
+      2>&1 | tee "$OUT/$name.log"
   fi
 done
 

@@ -3,12 +3,15 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/macros.hpp"
+
 namespace ef::core {
 
 BacktestResult backtest_rule_system(const series::TimeSeries& series,
                                     const RuleSystemConfig& config,
                                     const BacktestOptions& options,
                                     util::ThreadPool* pool) {
+  EVOFORECAST_TRACE("core.backtest");
   const std::size_t reach = (options.window - 1) * options.stride + options.horizon;
   const std::size_t min_train = reach + 2;  // at least two training windows
 
@@ -35,6 +38,7 @@ BacktestResult backtest_rule_system(const series::TimeSeries& series,
   for (std::size_t origin = initial_train;
        origin + reach < series.size() && result.folds.size() < options.max_folds;
        origin += fold_size) {
+    EVOFORECAST_TRACE("core.backtest.fold");
     const std::size_t train_begin =
         options.rolling && origin > initial_train ? origin - initial_train : 0;
     const series::TimeSeries train_slice = series.slice(train_begin, origin);
@@ -68,6 +72,7 @@ BacktestResult backtest_rule_system(const series::TimeSeries& series,
       ++covered_total;
     }
     result.folds.push_back(std::move(fold));
+    EVOFORECAST_COUNT("backtest.folds", 1);
   }
 
   if (result.folds.empty()) {

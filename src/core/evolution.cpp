@@ -7,6 +7,7 @@
 #include "core/crossover.hpp"
 #include "core/mutation.hpp"
 #include "core/selection.hpp"
+#include "obs/macros.hpp"
 
 namespace ef::core {
 
@@ -70,12 +71,15 @@ SteadyStateEngine::SteadyStateEngine(const WindowDataset& data, EvolutionConfig 
 }
 
 bool SteadyStateEngine::step() {
+  EVOFORECAST_TRACE("core.evolution.step");
   ++generation_;
 
   const ParentPair parents = select_parents(population_, config_.tournament_rounds, rng_);
+  EVOFORECAST_COUNT("evolution.tournament_rounds", config_.tournament_rounds);
   Rule offspring =
       uniform_crossover(population_[parents.first], population_[parents.second], rng_);
   mutate_rule(offspring, data_, config_, rng_);
+  EVOFORECAST_COUNT("evolution.offspring_generated", 1);
 
   const bool track_matches = !matched_.empty();
   std::vector<std::size_t> offspring_matches;
@@ -90,6 +94,10 @@ bool SteadyStateEngine::step() {
     if (track_matches) matched_[victim] = std::move(offspring_matches);
     ++replacements_;
     accepted = true;
+    EVOFORECAST_COUNT("evolution.offspring_accepted", 1);
+    if (config_.replacement == ReplacementStrategy::kCrowding) {
+      EVOFORECAST_COUNT("evolution.crowding_replacements", 1);
+    }
   }
 
   if (config_.telemetry_stride != 0 && generation_ % config_.telemetry_stride == 0) {
@@ -99,6 +107,7 @@ bool SteadyStateEngine::step() {
 }
 
 void SteadyStateEngine::run() {
+  EVOFORECAST_TRACE("core.evolution.run");
   while (generation_ < config_.generations) step();
 }
 
@@ -142,7 +151,10 @@ TelemetryRecord SteadyStateEngine::snapshot() const {
 }
 
 void SteadyStateEngine::emit_telemetry() {
-  if (telemetry_) telemetry_(snapshot());
+  if (!telemetry_) return;
+  TelemetryRecord rec = snapshot();
+  rec.registry = &obs::Registry::global();
+  telemetry_(rec);
 }
 
 }  // namespace ef::core

@@ -7,6 +7,7 @@
 #include "core/init.hpp"
 #include "core/mutation.hpp"
 #include "core/selection.hpp"
+#include "obs/macros.hpp"
 
 namespace ef::core {
 
@@ -28,10 +29,15 @@ GenerationalEngine::GenerationalEngine(const WindowDataset& data, GenerationalCo
   config_.validate();
   population_ = initialize_population(data_, config_.base, rng_);
   evaluator_.evaluate_all(population_);
-  if (telemetry_) telemetry_(snapshot());
+  if (telemetry_) {
+    TelemetryRecord rec = snapshot();
+    rec.registry = &obs::Registry::global();
+    telemetry_(rec);
+  }
 }
 
 std::size_t GenerationalEngine::step() {
+  EVOFORECAST_TRACE("core.generational.step");
   ++generation_;
 
   // Elites: indices of the top-k by fitness, copied unchanged.
@@ -53,19 +59,26 @@ std::size_t GenerationalEngine::step() {
   while (next.size() < population_.size()) {
     const ParentPair parents =
         select_parents(population_, config_.base.tournament_rounds, rng_);
+    EVOFORECAST_COUNT("evolution.tournament_rounds", config_.base.tournament_rounds);
     Rule offspring =
         uniform_crossover(population_[parents.first], population_[parents.second], rng_);
     mutate_rule(offspring, data_, config_.base, rng_);
+    EVOFORECAST_COUNT("evolution.offspring_generated", 1);
     evaluator_.evaluate(offspring);
     ++evaluations_;
-    if (offspring.fitness() > population_[next.size()].fitness()) ++improved;
+    if (offspring.fitness() > population_[next.size()].fitness()) {
+      ++improved;
+      EVOFORECAST_COUNT("evolution.offspring_accepted", 1);
+    }
     next.push_back(std::move(offspring));
   }
   population_ = std::move(next);
 
   if (config_.base.telemetry_stride != 0 &&
       generation_ % config_.base.telemetry_stride == 0 && telemetry_) {
-    telemetry_(snapshot());
+    TelemetryRecord rec = snapshot();
+    rec.registry = &obs::Registry::global();
+    telemetry_(rec);
   }
   return improved;
 }

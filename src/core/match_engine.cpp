@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "obs/macros.hpp"
+
 namespace ef::core {
 namespace {
 
@@ -38,8 +40,15 @@ std::vector<std::size_t> MatchEngine::match_indices_serial(const Rule& rule) con
 }
 
 std::vector<std::size_t> MatchEngine::match_indices(const Rule& rule) const {
+  EVOFORECAST_TRACE("core.match");
   const std::size_t m = data_.count();
-  if (m <= kParallelGrain || pool_->size() <= 1) return match_indices_serial(rule);
+  EVOFORECAST_COUNT("match.calls", 1);
+  EVOFORECAST_COUNT("match.windows_tested", m);
+  if (m <= kParallelGrain || pool_->size() <= 1) {
+    auto out = match_indices_serial(rule);
+    EVOFORECAST_COUNT("match.windows_matched", out.size());
+    return out;
+  }
 
   // One result buffer per chunk, keyed by the chunk's begin index so the
   // concatenation order is deterministic regardless of completion order.
@@ -59,12 +68,20 @@ std::vector<std::size_t> MatchEngine::match_indices(const Rule& rule) const {
   std::vector<std::size_t> out;
   out.reserve(total);
   for (const auto& p : partial) out.insert(out.end(), p.begin(), p.end());
+  EVOFORECAST_COUNT("match.windows_matched", out.size());
   return out;
 }
 
 std::size_t MatchEngine::match_count(const Rule& rule) const {
+  EVOFORECAST_TRACE("core.match");
   const std::size_t m = data_.count();
-  if (m <= kParallelGrain || pool_->size() <= 1) return match_indices_serial(rule).size();
+  EVOFORECAST_COUNT("match.calls", 1);
+  EVOFORECAST_COUNT("match.windows_tested", m);
+  if (m <= kParallelGrain || pool_->size() <= 1) {
+    const std::size_t count = match_indices_serial(rule).size();
+    EVOFORECAST_COUNT("match.windows_matched", count);
+    return count;
+  }
 
   std::atomic<std::size_t> total{0};
   pool_->parallel_for(
@@ -75,6 +92,7 @@ std::size_t MatchEngine::match_count(const Rule& rule) const {
         total.fetch_add(local.size(), std::memory_order_relaxed);
       },
       kParallelGrain);
+  EVOFORECAST_COUNT("match.windows_matched", total.load());
   return total.load();
 }
 

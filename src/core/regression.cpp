@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/macros.hpp"
+
 namespace ef::core {
 
 double LinearFit::predict(std::span<const double> window) const noexcept {
@@ -56,6 +58,9 @@ template <typename RowAt>
 LinearFit fit_impl(std::size_t row_count, std::size_t dim, RowAt&& row_at,
                    const RegressionOptions& options) {
   if (row_count == 0) throw std::invalid_argument("fit_hyperplane: no rows");
+  EVOFORECAST_TRACE("core.regression");
+  EVOFORECAST_COUNT("regression.fits", 1);
+  EVOFORECAST_COUNT("regression.rows", row_count);
 
   LinearFit fit;
   const std::size_t n = dim + 1;  // + intercept

@@ -9,9 +9,28 @@
 #include <stdexcept>
 
 #include "core/evolution.hpp"
+#include "obs/macros.hpp"
 #include "util/rng.hpp"
 
 namespace ef::core {
+namespace {
+
+/// Prediction-time metrics shared by every aggregation path: request and
+/// abstention counts plus the fan-in histogram make the paper's
+/// "percentage of prediction" observable live instead of post-hoc.
+inline void note_prediction(std::size_t votes) {
+  EVOFORECAST_COUNT("predict.requests", 1);
+  if (votes == 0) {
+    EVOFORECAST_COUNT("predict.abstentions", 1);
+  } else {
+    EVOFORECAST_HISTOGRAM("predict.fan_in", votes);
+  }
+#if !EVOFORECAST_OBS_ENABLED
+  (void)votes;
+#endif
+}
+
+}  // namespace
 
 void RuleSystem::add_rules(std::vector<Rule> rules, bool discard_unfit, double f_min) {
   for (Rule& rule : rules) {
@@ -30,18 +49,22 @@ std::optional<double> RuleSystem::predict(std::span<const double> window) const 
       ++votes;
     }
   }
+  note_prediction(votes);
   if (votes == 0) return std::nullopt;
   return sum / static_cast<double>(votes);
 }
 
 std::optional<double> RuleSystem::predict(std::span<const double> window,
                                           Aggregation how) const {
-  return aggregate_votes(collect_votes(rules_, window), how);
+  std::vector<Vote> votes = collect_votes(rules_, window);
+  note_prediction(votes.size());
+  return aggregate_votes(std::move(votes), how);
 }
 
 std::optional<RuleSystem::BoundedForecast> RuleSystem::predict_with_bound(
     std::span<const double> window, Aggregation how) const {
   const std::vector<Vote> votes = collect_votes(rules_, window);
+  note_prediction(votes.size());
   const auto value = aggregate_votes(votes, how);
   if (!value) return std::nullopt;
 
@@ -65,6 +88,7 @@ std::size_t RuleSystem::vote_count(std::span<const double> window) const {
 
 series::PartialForecast RuleSystem::forecast_dataset(const WindowDataset& data,
                                                      util::ThreadPool* pool) const {
+  EVOFORECAST_TRACE("core.forecast_dataset");
   series::PartialForecast out(data.count());
   util::ThreadPool& tp = pool ? *pool : util::ThreadPool::shared();
   tp.parallel_for(0, data.count(), [&](std::size_t begin, std::size_t end) {
@@ -76,6 +100,7 @@ series::PartialForecast RuleSystem::forecast_dataset(const WindowDataset& data,
 series::PartialForecast RuleSystem::forecast_dataset(const WindowDataset& data,
                                                      Aggregation how,
                                                      util::ThreadPool* pool) const {
+  EVOFORECAST_TRACE("core.forecast_dataset");
   series::PartialForecast out(data.count());
   util::ThreadPool& tp = pool ? *pool : util::ThreadPool::shared();
   tp.parallel_for(0, data.count(), [&](std::size_t begin, std::size_t end) {
@@ -85,7 +110,10 @@ series::PartialForecast RuleSystem::forecast_dataset(const WindowDataset& data,
 }
 
 double RuleSystem::coverage_percent(const WindowDataset& data, util::ThreadPool* pool) const {
+  EVOFORECAST_TRACE("core.coverage_scan");
   if (data.count() == 0) return 0.0;
+  EVOFORECAST_COUNT("coverage.scans", 1);
+  EVOFORECAST_COUNT("coverage.windows_tested", data.count());
   std::atomic<std::size_t> covered{0};
   util::ThreadPool& tp = pool ? *pool : util::ThreadPool::shared();
   tp.parallel_for(0, data.count(), [&](std::size_t begin, std::size_t end) {
@@ -203,6 +231,7 @@ void RuleSystem::describe(std::ostream& out, std::size_t top_n) const {
 
 TrainResult extend_rule_system(const RuleSystem& existing, const WindowDataset& train,
                                const RuleSystemConfig& config, util::ThreadPool* pool) {
+  EVOFORECAST_TRACE("core.train.extend");
   config.validate();
 
   SteadyStateEngine engine(train, config.evolution,
@@ -215,12 +244,16 @@ TrainResult extend_rule_system(const RuleSystem& existing, const WindowDataset& 
   result.executions = 1;
   result.train_coverage_percent = result.system.coverage_percent(train, pool);
   result.coverage_per_execution.push_back(result.train_coverage_percent);
+  EVOFORECAST_COUNT("train.executions", 1);
+  EVOFORECAST_GAUGE_SET("train.coverage_percent", result.train_coverage_percent);
+  EVOFORECAST_GAUGE_SET("train.rules_union_size", result.system.size());
   return result;
 }
 
 TrainResult train_rule_system_parallel(const WindowDataset& train,
                                        const RuleSystemConfig& config,
                                        util::ThreadPool* pool) {
+  EVOFORECAST_TRACE("core.train_parallel");
   config.validate();
   util::ThreadPool& tp = pool ? *pool : util::ThreadPool::shared();
 
@@ -255,8 +288,11 @@ TrainResult train_rule_system_parallel(const WindowDataset& train,
     result.system.add_rules(std::move(islands[exec]), config.discard_unfit,
                             config.evolution.f_min);
     ++result.executions;
+    EVOFORECAST_COUNT("train.executions", 1);
     result.train_coverage_percent = result.system.coverage_percent(train, pool);
     result.coverage_per_execution.push_back(result.train_coverage_percent);
+    EVOFORECAST_GAUGE_SET("train.coverage_percent", result.train_coverage_percent);
+    EVOFORECAST_GAUGE_SET("train.rules_union_size", result.system.size());
     if (result.train_coverage_percent >= config.coverage_target_percent) break;
   }
   return result;
@@ -264,11 +300,13 @@ TrainResult train_rule_system_parallel(const WindowDataset& train,
 
 TrainResult train_rule_system(const WindowDataset& train, const RuleSystemConfig& config,
                               util::ThreadPool* pool, TelemetrySink telemetry) {
+  EVOFORECAST_TRACE("core.train");
   config.validate();
 
   TrainResult result;
   util::Rng seeder(config.evolution.seed);
   for (std::size_t exec = 0; exec < config.max_executions; ++exec) {
+    EVOFORECAST_TRACE("core.train.execution");
     EvolutionConfig run_config = config.evolution;
     // First execution uses the configured seed verbatim (reproducing a
     // single-run experiment exactly); later ones fork from it.
@@ -279,9 +317,12 @@ TrainResult train_rule_system(const WindowDataset& train, const RuleSystemConfig
     result.system.add_rules(std::vector<Rule>(engine.population()), config.discard_unfit,
                             config.evolution.f_min);
     ++result.executions;
+    EVOFORECAST_COUNT("train.executions", 1);
 
     result.train_coverage_percent = result.system.coverage_percent(train, pool);
     result.coverage_per_execution.push_back(result.train_coverage_percent);
+    EVOFORECAST_GAUGE_SET("train.coverage_percent", result.train_coverage_percent);
+    EVOFORECAST_GAUGE_SET("train.rules_union_size", result.system.size());
     if (result.train_coverage_percent >= config.coverage_target_percent) break;
   }
   return result;

@@ -6,6 +6,7 @@
 namespace ef::core {
 
 void TelemetryCollector::write_csv(const std::string& path) const {
+  const std::lock_guard lock(mutex_);
   std::ofstream file(path);
   if (!file) throw std::runtime_error("TelemetryCollector: cannot open '" + path + "'");
   file << "generation,best_fitness,mean_fitness,mean_error,mean_matches,"

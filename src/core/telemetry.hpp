@@ -2,13 +2,26 @@
 //
 // The engine emits one record every `telemetry_stride` generations; the
 // collector accumulates them and can dump a CSV for external plotting (the
-// benches attach one to show convergence curves).
+// benches attach one to show convergence curves). Records also carry a
+// pointer to the global ef::obs metrics registry, so a sink can correlate a
+// generation snapshot with the cumulative engine counters (windows tested,
+// fits performed, …) and both share one export path (obs/export.hpp).
+//
+// Thread-safety guarantee: TelemetryCollector is safe to share across
+// concurrently running engines — sink callbacks append under an internal
+// mutex, and empty()/snapshot_records()/write_csv() take the same mutex.
+// records() returns an unlocked reference for the common single-threaded
+// case; call it only once every engine feeding the collector has finished
+// (use snapshot_records() while runs may still be emitting).
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace ef::core {
 
@@ -21,6 +34,9 @@ struct TelemetryRecord {
   double mean_matches = 0.0;      ///< mean N_R
   double mean_specificity = 0.0;  ///< mean count of non-wildcard genes
   std::size_t replacements = 0;   ///< accepted offspring so far
+  /// Global metrics registry at emission time (never null when emitted by an
+  /// engine; snapshot() it to pair generation traces with engine counters).
+  const obs::Registry* registry = nullptr;
 };
 
 /// Callback invoked by the engine; default collector stores records.
@@ -28,19 +44,38 @@ using TelemetrySink = std::function<void(const TelemetryRecord&)>;
 
 class TelemetryCollector {
  public:
+  /// The returned sink may be invoked from any thread; appends are
+  /// serialised internally, so one collector can be shared by parallel
+  /// multi-execution runs.
   [[nodiscard]] TelemetrySink sink() {
-    return [this](const TelemetryRecord& r) { records_.push_back(r); };
+    return [this](const TelemetryRecord& r) {
+      const std::lock_guard lock(mutex_);
+      records_.push_back(r);
+    };
   }
 
+  /// Unlocked view for single-threaded use — only valid once all engines
+  /// feeding this collector have finished running.
   [[nodiscard]] const std::vector<TelemetryRecord>& records() const noexcept {
     return records_;
   }
-  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+
+  /// Locked copy, safe while sinks may still be emitting concurrently.
+  [[nodiscard]] std::vector<TelemetryRecord> snapshot_records() const {
+    const std::lock_guard lock(mutex_);
+    return records_;
+  }
+
+  [[nodiscard]] bool empty() const {
+    const std::lock_guard lock(mutex_);
+    return records_.empty();
+  }
 
   /// Write all records as CSV (header + one row per record).
   void write_csv(const std::string& path) const;
 
  private:
+  mutable std::mutex mutex_;
   std::vector<TelemetryRecord> records_;
 };
 

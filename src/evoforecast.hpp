@@ -17,6 +17,7 @@
 //   const auto forecast = result.system.predict(window);  // optional<double>
 //
 // Layering (each header is also individually includable):
+//   obs/       metrics registry, scoped tracing, run reports
 //   util/      seeded RNG, thread pool, running stats, CLI
 //   series/    data containers, generators, metrics, transforms, analysis
 //   core/      the paper's rule system + extensions (tuning, backtesting,
@@ -24,6 +25,13 @@
 //   baselines/ comparator models (MLP, Elman, RAN, MRAN, AR(MA), k-NN,
 //              persistence, Holt-Winters)
 #pragma once
+
+// obs
+#include "obs/export.hpp"      // IWYU pragma: export
+#include "obs/macros.hpp"      // IWYU pragma: export
+#include "obs/metrics.hpp"     // IWYU pragma: export
+#include "obs/run_report.hpp"  // IWYU pragma: export
+#include "obs/trace.hpp"       // IWYU pragma: export
 
 // util
 #include "util/cli.hpp"            // IWYU pragma: export

@@ -1,0 +1,51 @@
+// obs/export.hpp — turn the metrics + trace registries into artifacts.
+//
+// Three formats, one capture path:
+//   * JSON  — machine-readable, one object with counters/gauges/histograms/
+//             spans sections (CI uploads the quickstart run's file).
+//   * CSV   — flat `kind,name,field,value` rows for spreadsheet/plot tools.
+//   * table — format_report(), the human-readable summary benches and
+//             examples print at exit under --report.
+//
+// All entry points operate on an explicit RunReport so tests can round-trip
+// synthetic snapshots; the *_file/print helpers capture the global
+// registries first.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ef::obs {
+
+/// One run's complete observability state.
+struct RunReport {
+  MetricsSnapshot metrics;
+  TraceSnapshot trace;
+};
+
+/// Snapshot both global registries.
+[[nodiscard]] RunReport capture_run_report();
+
+/// Serialise as a single JSON object (UTF-8, no trailing newline guarantees
+/// beyond one '\n' at the end). Non-finite doubles become null.
+[[nodiscard]] std::string to_json(const RunReport& report);
+
+/// Serialise as `kind,name,field,value` CSV rows (header included).
+[[nodiscard]] std::string to_csv(const RunReport& report);
+
+/// Human-readable fixed-width table: counters, gauges, histogram quantiles,
+/// span timings sorted by total time.
+[[nodiscard]] std::string format_report(const RunReport& report);
+
+/// Capture the global registries and write JSON/CSV to `path`. Throws
+/// std::runtime_error on I/O failure.
+void write_json_file(const std::string& path);
+void write_csv_file(const std::string& path);
+
+/// Capture the global registries and print format_report() to `out`.
+void print_report(std::FILE* out = stdout);
+
+}  // namespace ef::obs

@@ -1,0 +1,154 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ef::obs {
+namespace {
+
+/// Linear-interpolated quantile over fixed buckets. `rank` in [0, count].
+double quantile_estimate(const std::vector<double>& bounds,
+                         const std::vector<std::uint64_t>& buckets, std::uint64_t count,
+                         double q, double lo_clamp, double hi_clamp) {
+  if (count == 0) return 0.0;
+  const double rank = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const auto in_bucket = static_cast<double>(buckets[i]);
+    if (in_bucket == 0.0) continue;
+    if (cum + in_bucket >= rank) {
+      const double lo = i == 0 ? lo_clamp : bounds[i - 1];
+      const double hi = i < bounds.size() ? bounds[i] : hi_clamp;
+      const double frac = std::clamp((rank - cum) / in_bucket, 0.0, 1.0);
+      const double value = lo + frac * (hi - lo);
+      return std::clamp(value, lo_clamp, hi_clamp);
+    }
+    cum += in_bucket;
+  }
+  return hi_clamp;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)),
+      bounds_(bounds.empty() ? default_bounds() : std::move(bounds)),
+      buckets_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram '" + name_ + "': bounds must be ascending");
+  }
+}
+
+std::vector<double> Histogram::default_bounds() {
+  std::vector<double> bounds;
+  bounds.reserve(21);
+  for (int p = 0; p <= 20; ++p) bounds.push_back(static_cast<double>(1u << p));
+  return bounds;
+}
+
+std::size_t Histogram::bucket_index(double x) const noexcept {
+  // First bound >= x; misses past the last bound land in the +inf bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+HistogramStats Histogram::stats() const {
+  HistogramStats out;
+  out.bounds = bounds_;
+  out.buckets.reserve(buckets_.size());
+  for (const auto& b : buckets_) out.buckets.push_back(b.load(std::memory_order_relaxed));
+
+  util::RunningStats moments;
+  {
+    const detail::SpinLockGuard guard(moments_lock_);
+    moments = moments_;
+  }
+  out.count = moments.count();
+  if (out.count == 0) return out;
+
+  out.mean = moments.mean();
+  out.sum = moments.mean() * static_cast<double>(moments.count());
+  out.stddev = moments.stddev();
+  out.min = moments.min();
+  out.max = moments.max();
+
+  // Quantile estimates from the buckets. The bucket counts may trail the
+  // moments by in-flight observe() calls; use the bucket total as the rank
+  // base so interpolation stays internally consistent.
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : out.buckets) bucket_total += b;
+  out.p50 = quantile_estimate(out.bounds, out.buckets, bucket_total, 0.50, out.min, out.max);
+  out.p90 = quantile_estimate(out.bounds, out.buckets, bucket_total, 0.90, out.min, out.max);
+  out.p99 = quantile_estimate(out.bounds, out.buckets, bucket_total, 0.99, out.min, out.max);
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  const detail::SpinLockGuard guard(moments_lock_);
+  moments_ = util::RunningStats{};
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::check_name_free(std::string_view name) const {
+  // Caller holds mutex_. A name may appear in at most one kind map.
+  const bool taken = counters_.find(name) != counters_.end() ||
+                     gauges_.find(name) != gauges_.end() ||
+                     histograms_.find(name) != histograms_.end();
+  if (taken) {
+    throw std::invalid_argument("obs::Registry: metric name '" + std::string(name) +
+                                "' already registered as a different kind");
+  }
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  if (const auto it = counters_.find(name); it != counters_.end()) return *it->second;
+  check_name_free(name);
+  auto [it, inserted] =
+      counters_.emplace(std::string(name), std::make_unique<Counter>(std::string(name)));
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  if (const auto it = gauges_.find(name); it != gauges_.end()) return *it->second;
+  check_name_free(name);
+  auto [it, inserted] =
+      gauges_.emplace(std::string(name), std::make_unique<Gauge>(std::string(name)));
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::vector<double> bounds) {
+  const std::lock_guard lock(mutex_);
+  if (const auto it = histograms_.find(name); it != histograms_.end()) return *it->second;
+  check_name_free(name);
+  auto [it, inserted] = histograms_.emplace(
+      std::string(name), std::make_unique<Histogram>(std::string(name), std::move(bounds)));
+  return *it->second;
+}
+
+void Registry::reset_values() {
+  const std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard lock(mutex_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.counters.push_back({name, c->value()});
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.gauges.push_back({name, g->value()});
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.histograms.push_back({name, h->stats()});
+  return out;
+}
+
+}  // namespace ef::obs

@@ -1,0 +1,234 @@
+// obs/metrics.hpp — process-wide registry of named counters, gauges and
+// fixed-bucket histograms.
+//
+// The registry answers the questions the per-generation telemetry CSV cannot:
+// how many windows did the match engine actually test, how often does the
+// predictor abstain, where does thread-pool time go. Design constraints:
+//
+//   * Lock-free fast path. Counter::add is a single relaxed atomic add;
+//     Histogram::observe is a handful of relaxed atomics (bucket + moment
+//     CAS loops). The only mutex in the layer guards *registration*, which
+//     instrumentation sites pay once via a function-local static reference
+//     (see obs/macros.hpp).
+//   * Stable addresses. Instruments are never destroyed or reallocated once
+//     registered, so cached references stay valid for the process lifetime;
+//     Registry::reset_values() zeroes values but keeps the instruments.
+//   * Static string keys. Metric names are expected to be string literals
+//     (see docs/OBSERVABILITY.md for the catalogue); dynamic names are
+//     allowed (the registry copies them) but defeat the cached-reference
+//     fast path.
+//
+// Quantiles (p50/p90/p99) are estimated from the histogram's fixed buckets
+// by linear interpolation; mean/stddev estimates fold bucket midpoints
+// through util::RunningStats (Welford) while the exact sum/count give the
+// exact mean. See Histogram::stats().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/running_stats.hpp"
+
+namespace ef::obs {
+
+namespace detail {
+
+/// Relaxed CAS-loop add for atomic<double> (no fetch_add for FP on all
+/// targets; contention here is rare and the loop is two instructions).
+inline void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+/// Minimal test-and-set spinlock for the histogram moment accumulator. The
+/// critical section is a Welford fold (~10 ns), so spinning beats a mutex.
+class SpinLockGuard {
+ public:
+  explicit SpinLockGuard(std::atomic_flag& flag) noexcept : flag_(flag) {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  ~SpinLockGuard() { flag_.clear(std::memory_order_release); }
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  std::atomic_flag& flag_;
+};
+
+}  // namespace detail
+
+/// Monotone event count. add() is one relaxed atomic add — safe to call from
+/// any thread, including pool workers inside parallel_for chunks.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written level (coverage %, union size, …). set/add are thread-safe.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double x) noexcept { value_.store(x, std::memory_order_relaxed); }
+  void add(double delta) noexcept { detail::atomic_add(value_, delta); }
+
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time view of one histogram, with derived statistics.
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;    ///< exact (Welford)
+  double stddev = 0.0;  ///< exact population stddev (Welford)
+  double min = 0.0;     ///< exact; 0 when empty
+  double max = 0.0;     ///< exact; 0 when empty
+  double p50 = 0.0;     ///< bucket-interpolated estimates, clamped to [min, max]
+  double p90 = 0.0;
+  double p99 = 0.0;
+  std::vector<double> bounds;          ///< upper bucket bounds (last bucket = +inf)
+  std::vector<std::uint64_t> buckets;  ///< per-bucket counts, |bounds|+1 entries
+};
+
+/// Fixed-bucket distribution (prediction fan-in, task durations, …).
+/// observe() is a relaxed atomic bucket increment plus a Welford fold
+/// (util::RunningStats) under a spinlock; quantiles are interpolated from
+/// the buckets on demand by stats().
+class Histogram {
+ public:
+  /// `bounds` are ascending upper bucket edges; an implicit +inf bucket is
+  /// appended. Empty bounds fall back to default_bounds().
+  Histogram(std::string name, std::vector<double> bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double x) noexcept {
+    buckets_[bucket_index(x)].fetch_add(1, std::memory_order_relaxed);
+    const detail::SpinLockGuard guard(moments_lock_);
+    moments_.add(x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    const detail::SpinLockGuard guard(moments_lock_);
+    return moments_.count();
+  }
+
+  /// Consistent-enough snapshot: buckets and moments are read under separate
+  /// synchronisation, so a racing observe() may be visible in one but not
+  /// yet the other. Quantiles are bucket estimates either way.
+  [[nodiscard]] HistogramStats stats() const;
+
+  void reset() noexcept;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Powers of two from 1 to 2^20 — covers small fan-in counts and
+  /// microsecond-scale durations with ~2x resolution.
+  [[nodiscard]] static std::vector<double> default_bounds();
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(double x) const noexcept;
+
+  std::string name_;
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  mutable std::atomic_flag moments_lock_ = ATOMIC_FLAG_INIT;
+  util::RunningStats moments_;
+};
+
+/// Everything the registry knows, flattened for export (obs/export.hpp).
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    HistogramStats stats;
+  };
+  std::vector<CounterValue> counters;      ///< sorted by name
+  std::vector<GaugeValue> gauges;          ///< sorted by name
+  std::vector<HistogramValue> histograms;  ///< sorted by name
+};
+
+/// Thread-safe instrument registry. Registration takes a mutex; returned
+/// references are valid for the process lifetime (instruments are never
+/// destroyed, reset_values() only zeroes them).
+class Registry {
+ public:
+  /// The process-wide registry all instrumentation macros record into.
+  [[nodiscard]] static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create by name. A name identifies at most one instrument kind;
+  /// reusing a name across kinds throws std::invalid_argument.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  /// First registration fixes the bucket bounds; later callers get the
+  /// existing histogram regardless of the bounds they pass.
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::vector<double> bounds = {});
+
+  /// Zero every instrument's value without invalidating cached references.
+  void reset_values();
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  void check_name_free(std::string_view name) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace ef::obs

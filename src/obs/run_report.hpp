@@ -1,0 +1,46 @@
+// obs/run_report.hpp — standard observability CLI flags for binaries.
+//
+// Every bench and example that parses a util::Cli can expose the run-report
+// surface with one call at the end of main():
+//
+//   ef::obs::emit_cli_report(cli);
+//
+// which honours:
+//   --report              print the human-readable metrics/trace table
+//   --metrics-json PATH   dump the registry + trace snapshot as JSON
+//   --metrics-csv PATH    same as flat CSV rows
+//
+// Header-only so the obs library itself stays free of a util::Cli link
+// dependency (util links obs for the thread-pool instrumentation; the
+// consumer binary links both).
+#pragma once
+
+#include <cstdio>
+
+#include "obs/export.hpp"
+#include "util/cli.hpp"
+
+namespace ef::obs {
+
+inline void emit_cli_report(const util::Cli& cli, std::FILE* out = stdout) {
+  // A valueless `--metrics-json` parses as boolean "true" (util::Cli); treat
+  // it as a usage error rather than writing a file literally named "true".
+  const auto path_flag = [&](const char* name) -> std::optional<std::string> {
+    auto path = cli.get(name);
+    if (path && *path == "true") {
+      std::fprintf(stderr, "warning: --%s needs a file path; ignoring\n", name);
+      path.reset();
+    }
+    return path;
+  };
+  // A bad path shouldn't crash the binary after the run already succeeded.
+  try {
+    if (const auto path = path_flag("metrics-json")) write_json_file(*path);
+    if (const auto path = path_flag("metrics-csv")) write_csv_file(*path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warning: metrics dump failed: %s\n", e.what());
+  }
+  if (cli.get_bool("report")) print_report(out);
+}
+
+}  // namespace ef::obs

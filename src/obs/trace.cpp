@@ -1,0 +1,70 @@
+#include "obs/trace.hpp"
+
+#include "obs/metrics.hpp"
+
+#ifndef EVOFORECAST_OBS_ENABLED
+#define EVOFORECAST_OBS_ENABLED 1
+#endif
+
+namespace ef::obs {
+namespace {
+
+/// Innermost live span on this thread (nullptr at top level).
+thread_local ScopedTimer* t_current_span = nullptr;
+
+}  // namespace
+
+TraceRegistry& TraceRegistry::global() {
+  static TraceRegistry registry;
+  return registry;
+}
+
+void TraceRegistry::record(std::string_view name, double total_ns, double self_ns) {
+  const std::lock_guard lock(mutex_);
+  auto it = spans_.find(name);
+  if (it == spans_.end()) it = spans_.emplace(std::string(name), SpanStats{}).first;
+  SpanStats& s = it->second;
+  ++s.calls;
+  s.total_ns += total_ns;
+  s.self_ns += self_ns;
+  s.duration_ns.add(total_ns);
+}
+
+TraceSnapshot TraceRegistry::snapshot() const {
+  const std::lock_guard lock(mutex_);
+  TraceSnapshot out;
+  out.spans.reserve(spans_.size());
+  for (const auto& [name, stats] : spans_) out.spans.push_back({name, stats});
+  return out;
+}
+
+void TraceRegistry::reset() {
+  const std::lock_guard lock(mutex_);
+  spans_.clear();
+}
+
+ScopedTimer::ScopedTimer(const char* name) noexcept
+    : name_(name), start_(std::chrono::steady_clock::now()) {
+#if EVOFORECAST_OBS_ENABLED
+  parent_ = t_current_span;
+  t_current_span = this;
+#endif
+}
+
+ScopedTimer::~ScopedTimer() {
+#if EVOFORECAST_OBS_ENABLED
+  const double total_ns =
+      std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - start_)
+          .count();
+  t_current_span = parent_;
+  if (parent_ != nullptr) parent_->child_ns_ += total_ns;
+  TraceRegistry::global().record(name_, total_ns, total_ns - child_ns_);
+#endif
+}
+
+void reset_all() {
+  Registry::global().reset_values();
+  TraceRegistry::global().reset();
+}
+
+}  // namespace ef::obs

@@ -1,0 +1,99 @@
+// obs/trace.hpp — scoped wall-clock spans aggregated per span name.
+//
+// A ScopedTimer measures one dynamic extent (a match scan, a regression fit,
+// one training execution) and, on destruction, folds the duration into the
+// process-wide TraceRegistry keyed by span name. Spans nest through a
+// thread-local stack: every span knows its parent, so the registry can
+// account *self* time (total minus time spent in child spans) — the number
+// that actually says where a training run's wall clock went.
+//
+// Instrumentation sites should use the EVOFORECAST_TRACE macro
+// (obs/macros.hpp), which compiles to nothing under -DEVOFORECAST_OBS=OFF.
+// ScopedTimer itself stays functional in that mode — elapsed_seconds() keeps
+// working for callers (the benches) that want a plain stopwatch on the same
+// clock path — but nothing is recorded into the registry.
+//
+// Recursion note: recursive spans of the same name aggregate all their
+// frames, so a self-recursive span's total can exceed wall time; self time
+// remains meaningful.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/running_stats.hpp"
+
+namespace ef::obs {
+
+/// Aggregated view of one span name.
+struct SpanStats {
+  std::uint64_t calls = 0;
+  double total_ns = 0.0;  ///< sum of span durations
+  double self_ns = 0.0;   ///< total minus time inside child spans
+  util::RunningStats duration_ns;  ///< per-call duration distribution (Welford)
+};
+
+struct TraceSnapshot {
+  struct Span {
+    std::string name;
+    SpanStats stats;
+  };
+  std::vector<Span> spans;  ///< sorted by name
+};
+
+/// Process-wide span aggregation. record() takes a mutex; span *exits* are
+/// orders of magnitude rarer than counter increments (one per evaluation,
+/// not one per window), so this stays invisible next to the measured work.
+class TraceRegistry {
+ public:
+  [[nodiscard]] static TraceRegistry& global();
+
+  TraceRegistry() = default;
+  TraceRegistry(const TraceRegistry&) = delete;
+  TraceRegistry& operator=(const TraceRegistry&) = delete;
+
+  void record(std::string_view name, double total_ns, double self_ns);
+
+  [[nodiscard]] TraceSnapshot snapshot() const;
+
+  /// Drop all aggregated spans (active ScopedTimers are unaffected; they
+  /// re-register their name on exit).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, SpanStats, std::less<>> spans_;
+};
+
+/// RAII span. `name` must outlive the timer — pass a string literal.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name) noexcept;
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds since construction (same steady clock the spans record).
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+  double child_ns_ = 0.0;      ///< filled in by exiting children
+  ScopedTimer* parent_ = nullptr;  ///< enclosing span on this thread
+};
+
+/// Zero both global stores (metrics registry + trace registry). Tests and
+/// long-lived servers use this between runs; cached instrument references
+/// stay valid.
+void reset_all();
+
+}  // namespace ef::obs

@@ -1,0 +1,48 @@
+// function_ref.hpp — non-owning, non-allocating callable reference.
+//
+// std::function type-erases with ownership, which costs an allocation for
+// captures beyond the small-buffer size. The thread pool's parallel_for is
+// called from the match engine's hot path with reference-capturing lambdas,
+// and it blocks until the work completes — so the callee never outlives the
+// call and ownership is pure overhead. FunctionRef erases to a {object
+// pointer, trampoline} pair on the stack instead (the same shape as
+// llvm::function_ref / C++26 std::function_ref).
+//
+// Lifetime rule: a FunctionRef must not outlive the callable it was built
+// from. Only pass it down the stack; never store it.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace ef::util {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, FunctionRef>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // std::function_ref — call sites pass lambdas directly.
+  FunctionRef(F&& callable) noexcept
+      : object_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(callable)))),
+        call_([](void* object, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(object))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(object_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* object_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace ef::util

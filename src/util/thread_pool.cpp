@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
+#include <string>
+
+#include "obs/macros.hpp"
 
 namespace ef::util {
 
@@ -11,9 +15,15 @@ ThreadPool::ThreadPool(std::size_t threads) {
     const unsigned hc = std::thread::hardware_concurrency();
     threads = hc == 0 ? 1 : hc;
   }
+  // Register the pool-wide instruments eagerly so a run report always shows
+  // them, even when every parallel_for of the run decided to stay inline.
+  EVOFORECAST_COUNT("pool.tasks", 0);
+  EVOFORECAST_COUNT("pool.busy_us", 0);
+  EVOFORECAST_COUNT("pool.parallel_for.inline", 0);
+  EVOFORECAST_COUNT("pool.parallel_for.pooled", 0);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -26,7 +36,16 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+#if EVOFORECAST_OBS_ENABLED
+  // Per-worker busy-time counter, registered once per worker thread. The
+  // name is dynamic, so bypass the static-caching macro and hold the
+  // reference for the worker's lifetime (registry instruments are stable).
+  obs::Counter& busy_us = obs::Registry::global().counter(
+      "pool.worker" + std::to_string(worker_index) + ".busy_us");
+#else
+  (void)worker_index;
+#endif
   for (;;) {
     std::function<void()> task;
     {
@@ -36,22 +55,37 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+#if EVOFORECAST_OBS_ENABLED
+    const auto task_start = std::chrono::steady_clock::now();
+#endif
     task();
+#if EVOFORECAST_OBS_ENABLED
+    const double task_us = std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - task_start)
+                               .count();
+    const auto whole_us = static_cast<std::uint64_t>(task_us);
+    busy_us.add(whole_us);
+    EVOFORECAST_COUNT("pool.tasks", 1);
+    EVOFORECAST_COUNT("pool.busy_us", whole_us);
+    EVOFORECAST_HISTOGRAM("pool.task_us", task_us);
+#endif
   }
 }
 
-void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t, std::size_t)>& body,
-                              std::size_t grain) {
+void ThreadPool::parallel_for_impl(std::size_t begin, std::size_t end,
+                                   FunctionRef<void(std::size_t, std::size_t)> body,
+                                   std::size_t grain) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
   grain = std::max<std::size_t>(grain, 1);
 
   // Small ranges or a degenerate pool: run inline, no synchronisation.
   if (n <= grain || workers_.size() <= 1) {
+    EVOFORECAST_COUNT("pool.parallel_for.inline", 1);
     body(begin, end);
     return;
   }
+  EVOFORECAST_COUNT("pool.parallel_for.pooled", 1);
 
   const std::size_t max_chunks = (n + grain - 1) / grain;
   const std::size_t chunks = std::min(workers_.size(), max_chunks);
@@ -68,7 +102,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     for (std::size_t c = 0; c < chunks; ++c) {
       const std::size_t chunk_begin = begin + c * width;
       const std::size_t chunk_end = std::min(end, chunk_begin + width);
-      tasks_.emplace([&, chunk_begin, chunk_end] {
+      tasks_.emplace([&, body, chunk_begin, chunk_end] {
         try {
           body(chunk_begin, chunk_end);
         } catch (...) {

@@ -7,6 +7,11 @@
 // task graph. Determinism note: callers must ensure the per-chunk work is
 // order-independent (the match engine reduces with order-insensitive
 // operations only).
+//
+// Observability: the pool feeds the ef::obs registry — task counts, total
+// and per-worker busy time (`pool.worker<i>.busy_us`), a task-duration
+// histogram, and the inline-vs-pooled decision counters of parallel_for.
+// All of it compiles out under -DEVOFORECAST_OBS=OFF.
 #pragma once
 
 #include <condition_variable>
@@ -15,7 +20,10 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "util/function_ref.hpp"
 
 namespace ef::util {
 
@@ -48,16 +56,28 @@ class ThreadPool {
   ///
   /// `grain` is the minimum chunk width; ranges narrower than `grain` are
   /// executed inline.
-  void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t, std::size_t)>& body,
-                    std::size_t grain = 1024);
+  ///
+  /// Accepts any callable with signature void(size_t, size_t) by lightweight
+  /// reference — no std::function conversion, so hot-path callers pay no
+  /// allocation. parallel_for blocks, so the reference never dangles.
+  template <typename Body>
+  void parallel_for(std::size_t begin, std::size_t end, Body&& body,
+                    std::size_t grain = 1024) {
+    parallel_for_impl(begin, end,
+                      FunctionRef<void(std::size_t, std::size_t)>(std::forward<Body>(body)),
+                      grain);
+  }
 
   /// Process-wide shared pool, lazily constructed. Library components that do
   /// not receive an explicit pool use this one.
   static ThreadPool& shared();
 
  private:
-  void worker_loop();
+  void parallel_for_impl(std::size_t begin, std::size_t end,
+                         FunctionRef<void(std::size_t, std::size_t)> body,
+                         std::size_t grain);
+
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

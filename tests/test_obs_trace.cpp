@@ -1,0 +1,163 @@
+// Tests for obs/trace.hpp: span aggregation, nesting and self-time
+// accounting, per-thread span stacks, and compile-out behaviour under
+// -DEVOFORECAST_OBS=OFF.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "obs/macros.hpp"
+
+namespace {
+
+using ef::obs::ScopedTimer;
+using ef::obs::TraceRegistry;
+using ef::obs::TraceSnapshot;
+
+const ef::obs::SpanStats* find_span(const TraceSnapshot& snap, const char* name) {
+  for (const auto& span : snap.spans) {
+    if (span.name == name) return &span.stats;
+  }
+  return nullptr;
+}
+
+void busy_wait_us(int us) {
+  const auto until = std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+TEST(ObsTraceRegistry, RecordAggregatesByName) {
+  TraceRegistry::global().reset();
+  TraceRegistry::global().record("trace.test.manual", 100.0, 60.0);
+  TraceRegistry::global().record("trace.test.manual", 300.0, 140.0);
+  const auto snap = TraceRegistry::global().snapshot();
+  const auto* stats = find_span(snap, "trace.test.manual");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->calls, 2u);
+  EXPECT_DOUBLE_EQ(stats->total_ns, 400.0);
+  EXPECT_DOUBLE_EQ(stats->self_ns, 200.0);
+  EXPECT_DOUBLE_EQ(stats->duration_ns.mean(), 200.0);
+}
+
+TEST(ObsTrace, ElapsedSecondsWorksInEveryBuildMode) {
+  const ScopedTimer timer("trace.test.elapsed");
+  busy_wait_us(200);
+  const double s = timer.elapsed_seconds();
+  EXPECT_GE(s, 100e-6);
+  EXPECT_LT(s, 5.0);
+}
+
+#if EVOFORECAST_OBS_ENABLED
+
+TEST(ObsTrace, ScopedTimerRecordsOnExit) {
+  TraceRegistry::global().reset();
+  {
+    const ScopedTimer timer("trace.test.single");
+    busy_wait_us(200);
+  }
+  const auto snap = TraceRegistry::global().snapshot();
+  const auto* stats = find_span(snap, "trace.test.single");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->calls, 1u);
+  EXPECT_GE(stats->total_ns, 100e3);
+  // No children ran, so self time equals total time.
+  EXPECT_DOUBLE_EQ(stats->self_ns, stats->total_ns);
+}
+
+TEST(ObsTrace, NestedSpanSelfTimeIsTotalMinusChildren) {
+  TraceRegistry::global().reset();
+  {
+    const ScopedTimer outer("trace.test.outer");
+    busy_wait_us(300);
+    {
+      const ScopedTimer inner("trace.test.inner");
+      busy_wait_us(300);
+    }
+    busy_wait_us(300);
+  }
+  const auto snap = TraceRegistry::global().snapshot();
+  const auto* outer = find_span(snap, "trace.test.outer");
+  const auto* inner = find_span(snap, "trace.test.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // The parent's child accounting uses the same measured duration the child
+  // records, so the identity is exact, not approximate.
+  EXPECT_NEAR(outer->self_ns, outer->total_ns - inner->total_ns, 1.0);
+  EXPECT_GT(outer->self_ns, inner->total_ns / 2.0);  // two busy waits vs one
+  EXPECT_DOUBLE_EQ(inner->self_ns, inner->total_ns);
+}
+
+TEST(ObsTrace, SpanStacksArePerThread) {
+  TraceRegistry::global().reset();
+  {
+    const ScopedTimer outer("trace.test.thread_outer");
+    // A span opened on another thread must not become our child.
+    std::thread worker([] {
+      const ScopedTimer other("trace.test.thread_other");
+      busy_wait_us(500);
+    });
+    worker.join();
+  }
+  const auto snap = TraceRegistry::global().snapshot();
+  const auto* outer = find_span(snap, "trace.test.thread_outer");
+  ASSERT_NE(outer, nullptr);
+  // If the worker's span had nested under us, our self time would be roughly
+  // total minus its 500 us; per-thread stacks keep self == total.
+  EXPECT_DOUBLE_EQ(outer->self_ns, outer->total_ns);
+}
+
+TEST(ObsTrace, MacroExpandsToScopedTimer) {
+  TraceRegistry::global().reset();
+  {
+    EVOFORECAST_TRACE("trace.test.macro");
+    busy_wait_us(100);
+  }
+  const auto snap = TraceRegistry::global().snapshot();
+  const auto* stats = find_span(snap, "trace.test.macro");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->calls, 1u);
+}
+
+TEST(ObsTrace, RepeatedCallsAccumulate) {
+  TraceRegistry::global().reset();
+  for (int i = 0; i < 5; ++i) {
+    const ScopedTimer timer("trace.test.repeat");
+    busy_wait_us(50);
+  }
+  const auto snap = TraceRegistry::global().snapshot();
+  const auto* stats = find_span(snap, "trace.test.repeat");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->calls, 5u);
+  EXPECT_EQ(stats->duration_ns.count(), 5u);
+  EXPECT_GT(stats->duration_ns.mean(), 0.0);
+}
+
+#else  // !EVOFORECAST_OBS_ENABLED
+
+TEST(ObsTrace, CompiledOutScopedTimerRecordsNothing) {
+  TraceRegistry::global().reset();
+  {
+    const ScopedTimer timer("trace.test.compiled_out");
+    busy_wait_us(100);
+  }
+  {
+    EVOFORECAST_TRACE("trace.test.compiled_out_macro");
+    busy_wait_us(100);
+  }
+  const auto snap = TraceRegistry::global().snapshot();
+  EXPECT_TRUE(snap.spans.empty());
+}
+
+#endif  // EVOFORECAST_OBS_ENABLED
+
+TEST(ObsTrace, ResetAllClearsSpans) {
+  TraceRegistry::global().record("trace.test.reset", 10.0, 10.0);
+  ef::obs::reset_all();
+  const auto snap = TraceRegistry::global().snapshot();
+  EXPECT_EQ(find_span(snap, "trace.test.reset"), nullptr);
+}
+
+}  // namespace
