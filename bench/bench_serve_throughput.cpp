@@ -1,0 +1,214 @@
+// bench_serve_throughput — load generator for the serving pipeline.
+//
+// Drives ForecastService in-process (no sockets: this measures the serving
+// machinery — cache, batcher, batch predict — not the kernel's TCP stack)
+// with N client threads issuing blocking predicts over a pool of probe
+// windows. Reports throughput and client-side latency quantiles, and, via
+// --metrics-json, the full obs registry (serve.request_us histogram,
+// cache/batch/abstention counters) for CI baselines (BENCH_serve.json).
+//
+// A --reload-every-ms flag hot-swaps the model mid-load to demonstrate the
+// RCU reload contract: every request must still succeed.
+//
+// Flags:
+//   --clients N          concurrent client threads        (default 4)
+//   --requests N         requests per client              (default 25000)
+//   --window D           window length                    (default 6)
+//   --rules R            synthetic rule count             (default 64)
+//   --unique N           distinct probe windows (cache hit rate ~ 1-N/total)
+//   --horizon H          steps ahead                      (default 1)
+//   --no-cache           disable the prediction cache
+//   --no-batch           disable the micro-batcher (inline predicts)
+//   --batch-delay-us N   batcher coalescing delay         (default 200)
+//   --reload-every-ms N  hot-swap the model every N ms    (default 0 = off)
+//   --seed S             probe/rule RNG seed              (default 1)
+//   --metrics-json PATH  write the obs run report as JSON
+//   --report             print the obs table at exit
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/interval.hpp"
+#include "core/rule.hpp"
+#include "core/rule_system.hpp"
+#include "obs/export.hpp"
+#include "serve/model_store.hpp"
+#include "serve/service.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ef::core::Interval;
+using ef::core::Rule;
+using ef::core::RuleSystem;
+
+/// Synthetic rule set over [0,1]^window: random boxes (some wildcard genes)
+/// with random hyperplanes. Deterministic in `seed` so baselines compare.
+RuleSystem synthetic_system(std::size_t rules, std::size_t window, std::uint64_t seed) {
+  ef::util::Rng rng(seed);
+  std::vector<Rule> out;
+  out.reserve(rules);
+  for (std::size_t r = 0; r < rules; ++r) {
+    std::vector<Interval> genes;
+    genes.reserve(window);
+    for (std::size_t g = 0; g < window; ++g) {
+      if (rng.uniform(0.0, 1.0) < 0.3) {
+        genes.emplace_back(Interval::wildcard());
+      } else {
+        const double lo = rng.uniform(0.0, 0.7);
+        genes.emplace_back(lo, lo + rng.uniform(0.2, 0.3));
+      }
+    }
+    Rule rule(std::move(genes));
+    ef::core::PredictingPart part;
+    part.fit.coeffs.reserve(window + 1);
+    for (std::size_t c = 0; c <= window; ++c) {
+      part.fit.coeffs.push_back(rng.uniform(-0.3, 0.3));
+    }
+    part.fit.mean_prediction = part.fit.coeffs.back();
+    part.fit.max_abs_residual = rng.uniform(0.01, 0.1);
+    part.matches = 10;
+    part.fitness = rng.uniform(0.5, 5.0);
+    rule.set_predicting(part);
+    out.push_back(std::move(rule));
+  }
+  RuleSystem system;
+  system.add_rules(std::move(out), /*discard_unfit=*/false, /*f_min=*/-1.0);
+  return system;
+}
+
+double quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ef::util::Cli cli(argc, argv);
+  const auto clients = static_cast<std::size_t>(cli.get_int("clients", 4));
+  const auto requests = static_cast<std::size_t>(cli.get_int("requests", 25000));
+  const auto window = static_cast<std::size_t>(cli.get_int("window", 6));
+  const auto rules = static_cast<std::size_t>(cli.get_int("rules", 64));
+  const auto unique = static_cast<std::size_t>(cli.get_int("unique", 512));
+  const auto horizon = static_cast<std::size_t>(cli.get_int("horizon", 1));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const auto reload_every_ms = cli.get_int("reload-every-ms", 0);
+
+  ef::serve::ModelStore store;
+  store.add_system("bench", synthetic_system(rules, window, seed));
+
+  ef::serve::ServiceConfig config;
+  config.enable_cache = !cli.get_bool("no-cache");
+  config.enable_batcher = !cli.get_bool("no-batch");
+  config.batcher.max_delay =
+      std::chrono::microseconds(cli.get_int("batch-delay-us", 200));
+  ef::serve::ForecastService service(store, config);
+
+  // Probe pool: windows in a slightly enlarged range so a realistic fraction
+  // of requests abstain (uncovered regions answer explicitly, per the paper).
+  ef::util::Rng rng(seed + 1);
+  std::vector<std::vector<double>> probes(unique);
+  for (auto& probe : probes) {
+    probe.reserve(window);
+    for (std::size_t i = 0; i < window; ++i) probe.push_back(rng.uniform(-0.1, 1.1));
+  }
+
+  std::atomic<std::size_t> ok{0};
+  std::atomic<std::size_t> abstained{0};
+  std::atomic<std::size_t> failed{0};
+  std::vector<std::vector<double>> latencies_us(clients);
+
+  std::atomic<bool> reloading{reload_every_ms > 0};
+  std::thread reloader;
+  if (reload_every_ms > 0) {
+    reloader = std::thread([&] {
+      std::uint64_t generation = 1;
+      while (reloading.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(reload_every_ms));
+        store.add_system("bench", synthetic_system(rules, window, seed + generation++));
+      }
+    });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      auto& lat = latencies_us[c];
+      lat.reserve(requests);
+      ef::serve::PredictRequest req;
+      req.model = "bench";
+      req.horizon = horizon;
+      for (std::size_t i = 0; i < requests; ++i) {
+        req.window = probes[(c * 7919 + i) % probes.size()];
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto response = service.predict(req);
+        lat.push_back(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+        if (!response.ok) {
+          ++failed;
+        } else if (response.abstain) {
+          ++abstained;
+          ++ok;
+        } else {
+          ++ok;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  if (reloader.joinable()) {
+    reloading = false;
+    reloader.join();
+  }
+
+  std::vector<double> all;
+  for (const auto& lat : latencies_us) all.insert(all.end(), lat.begin(), lat.end());
+  std::sort(all.begin(), all.end());
+
+  const std::size_t total = clients * requests;
+  const auto cache = service.cache_stats();
+  const double hit_rate =
+      cache.hits + cache.misses == 0
+          ? 0.0
+          : static_cast<double>(cache.hits) / static_cast<double>(cache.hits + cache.misses);
+
+  std::printf("bench_serve_throughput: %zu clients x %zu requests (window %zu, rules %zu, "
+              "horizon %zu, cache %s, batcher %s%s)\n",
+              clients, requests, window, rules, horizon,
+              config.enable_cache ? "on" : "off", config.enable_batcher ? "on" : "off",
+              reload_every_ms > 0 ? ", hot-reload on" : "");
+  std::printf("  throughput : %10.0f req/s (%zu requests in %.2fs)\n",
+              static_cast<double>(total) / elapsed, total, elapsed);
+  std::printf("  latency    : p50 %8.1f us   p90 %8.1f us   p99 %8.1f us   max %8.1f us\n",
+              quantile(all, 0.50), quantile(all, 0.90), quantile(all, 0.99),
+              all.empty() ? 0.0 : all.back());
+  std::printf("  outcomes   : ok %zu   abstained %zu (%.1f%%)   failed %zu\n", ok.load(),
+              abstained.load(), 100.0 * static_cast<double>(abstained.load()) /
+                                    static_cast<double>(total),
+              failed.load());
+  std::printf("  cache      : hits %llu   misses %llu   evictions %llu   hit rate %.1f%%\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.evictions), 100.0 * hit_rate);
+
+  if (const auto path = cli.get("metrics-json")) {
+    ef::obs::write_json_file(*path);
+    std::printf("  metrics    : wrote %s\n", path->c_str());
+  }
+  if (cli.get_bool("report")) ef::obs::print_report();
+
+  return failed.load() == 0 ? 0 : 1;
+}

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Loopback smoke test for efserve (used by CI).
+
+Usage: serve_smoke.py EFSERVE_BINARY MODEL_EFR
+
+Starts efserve on an ephemeral port with fast polling, then exercises the
+JSON-lines protocol end to end: ping, cold miss, warm cache hit, explicit
+abstention, bad requests (connection must survive), on-disk model swap
+(version bump, identical values), and graceful SIGTERM shutdown.
+Exits non-zero on the first failed check.
+"""
+import json
+import math
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+FAILURES = []
+
+
+def check(name, ok, detail=""):
+    status = "ok" if ok else "FAIL"
+    print(f"  [{status}] {name}{': ' + str(detail) if detail and not ok else ''}")
+    if not ok:
+        FAILURES.append(name)
+
+
+class Client:
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+        self.reader = self.sock.makefile("r")
+
+    def request(self, line):
+        self.sock.sendall((line + "\n").encode())
+        response = self.reader.readline().strip()
+        try:
+            return json.loads(response)
+        except json.JSONDecodeError:
+            return {"_raw": response}
+
+    def close(self):
+        self.sock.close()
+
+
+def sine_window(phase, length=6, period=25.0):
+    return [math.sin(2.0 * math.pi * (phase + t) / period) for t in range(length)]
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    efserve, model_path = sys.argv[1], sys.argv[2]
+
+    proc = subprocess.Popen(
+        [efserve, f"demo={model_path}", "--port", "0", "--poll-ms", "100"],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    port = None
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        print(f"  server: {line.rstrip()}")
+        if "listening on" in line:
+            port = int(line.rsplit(":", 1)[1].split()[0])
+            break
+    if port is None:
+        print("FAIL: server never reported its port")
+        proc.kill()
+        return 1
+
+    try:
+        client = Client(port)
+
+        check("ping", client.request('{"cmd":"ping"}').get("ok") is True)
+        models = client.request('{"cmd":"models"}')
+        check("models lists demo", models.get("ok") is True and "demo" in str(models))
+
+        # Cold miss on a window the demo model (noisy sine) should cover.
+        # Try a few phases; the trained model covers ~95% of the attractor.
+        covered = None
+        for phase in range(0, 25, 3):
+            window = sine_window(phase)
+            r = client.request(json.dumps({"model": "demo", "window": window}))
+            if r.get("ok") and not r.get("abstain"):
+                covered = (window, r)
+                break
+        check("cold miss returns a value", covered is not None)
+        if covered is None:
+            raise SystemExit(1)
+        window, cold = covered
+        check("cold miss is uncached", cold.get("cached") is False, cold)
+        check("value is finite", math.isfinite(cold.get("value", math.nan)), cold)
+        check("votes reported", cold.get("votes", 0) >= 1, cold)
+
+        # Warm hit: identical request, identical value, cached:true.
+        warm = client.request(json.dumps({"model": "demo", "window": window}))
+        check("warm hit is cached", warm.get("cached") is True, warm)
+        check("warm hit value identical", warm.get("value") == cold.get("value"), warm)
+
+        # Explicit abstention: windows far outside the training attractor.
+        abstained = None
+        for probe in ([50.0] * 6, [-50.0] * 6, [1e6] * 6):
+            r = client.request(json.dumps({"model": "demo", "window": probe}))
+            if r.get("ok") and r.get("abstain"):
+                abstained = r
+                break
+        check("uncovered window abstains explicitly", abstained is not None)
+        if abstained:
+            check("abstention has no value field", "value" not in abstained, abstained)
+            check("abstention reports zero votes", abstained.get("votes") == 0, abstained)
+
+        # Bad requests: ok:false with a reason, connection stays usable.
+        for bad in (
+            "this is not json",
+            '{"model":"no-such-model","window":[0.1]}',
+            '{"model":"demo","window":[0.1]}',          # wrong window length
+            '{"model":"demo","window":[0.1],"bogus":1}',  # unknown field
+            '{"model":"demo"}',                          # missing window
+        ):
+            r = client.request(bad)
+            check(f"bad request rejected ({bad[:24]}...)",
+                  r.get("ok") is False and r.get("error"), r)
+        check("connection survives bad requests",
+              client.request('{"cmd":"ping"}').get("ok") is True)
+
+        # Hot reload: rewrite the model file in place (same rules, new
+        # mtime); the server must bump the version and keep answering with
+        # identical values — zero failed requests across the swap.
+        swap = model_path + ".swap"
+        shutil.copyfile(model_path, swap)
+        os.replace(swap, model_path)  # atomic publish, fresh mtime
+        reloaded = None
+        for _ in range(50):
+            time.sleep(0.1)
+            r = client.request(json.dumps(
+                {"model": "demo", "window": window, "cache": False}))
+            if not r.get("ok"):
+                check("request during reload", False, r)
+                break
+            if r.get("version", 1) >= 2:
+                reloaded = r
+                break
+        check("model hot-reloaded (version bumped)", reloaded is not None)
+        if reloaded:
+            check("reloaded value identical", reloaded.get("value") == cold.get("value"),
+                  reloaded)
+
+        stats = client.request('{"cmd":"stats"}')
+        check("stats", stats.get("ok") is True, stats)
+
+        client.close()
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            check("graceful shutdown", False, "timed out")
+    check("clean exit code", proc.returncode == 0, proc.returncode)
+
+    if FAILURES:
+        print(f"{len(FAILURES)} check(s) failed: {FAILURES}")
+        return 1
+    print("all serve smoke checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/macros.hpp"
+#include "util/thread_pool.hpp"
+
 namespace ef::core {
 
 RuleIndex::RuleIndex(const RuleSystem& system, double value_lo, double value_hi,
@@ -75,6 +78,52 @@ std::optional<double> RuleIndex::predict(std::span<const double> window,
     votes.push_back(Vote{rule.forecast(window), rule.fitness(), rule.predicting()->error()});
   }
   return aggregate_votes(std::move(votes), how);
+}
+
+RuleIndex::Prediction RuleIndex::predict_with_votes(std::span<const double> window,
+                                                    Aggregation how) const {
+  Prediction out;
+  if (window.size() <= dimension_) return out;
+  std::vector<Vote> votes;
+  const auto& rules = system_.rules();
+  for (const std::size_t r : candidates(window[dimension_])) {
+    const Rule& rule = rules[r];
+    if (!rule.predicting() || !rule.matches(window)) continue;
+    votes.push_back(Vote{rule.forecast(window), rule.fitness(), rule.predicting()->error()});
+  }
+  out.votes = votes.size();
+  out.value = aggregate_votes(std::move(votes), how);
+  return out;
+}
+
+std::vector<std::optional<double>> RuleIndex::predict_batch(
+    std::span<const double> flat_windows, std::size_t window, Aggregation how,
+    util::ThreadPool* pool, std::vector<std::size_t>* votes_out) const {
+  if (window == 0) {
+    throw std::invalid_argument("RuleIndex::predict_batch: window must be > 0");
+  }
+  if (flat_windows.size() % window != 0) {
+    throw std::invalid_argument(
+        "RuleIndex::predict_batch: flat_windows.size() not a multiple of window");
+  }
+  const std::size_t n = flat_windows.size() / window;
+  EVOFORECAST_COUNT("predict.batch.calls", 1);
+  EVOFORECAST_HISTOGRAM("predict.batch.windows", static_cast<double>(n));
+  std::vector<std::optional<double>> out(n);
+  if (votes_out) votes_out->assign(n, 0);
+  util::ThreadPool& tp = pool ? *pool : util::ThreadPool::shared();
+  tp.parallel_for(
+      0, n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const Prediction p =
+              predict_with_votes(flat_windows.subspan(i * window, window), how);
+          if (votes_out) (*votes_out)[i] = p.votes;
+          out[i] = p.value;
+        }
+      },
+      /*grain=*/16);
+  return out;
 }
 
 std::size_t RuleIndex::vote_count(std::span<const double> window) const {

@@ -36,6 +36,25 @@ class RuleIndex {
   [[nodiscard]] std::optional<double> predict(std::span<const double> window,
                                               Aggregation how = Aggregation::kMean) const;
 
+  /// Indexed forecast that also reports the vote count (serving fast path:
+  /// one candidate scan answers both value and fan-in).
+  struct Prediction {
+    std::optional<double> value;  ///< nullopt = abstention
+    std::size_t votes = 0;
+  };
+  [[nodiscard]] Prediction predict_with_votes(std::span<const double> window,
+                                              Aggregation how = Aggregation::kMean) const;
+
+  /// Batched indexed forecasts over `flat_windows.size() / window` row-major
+  /// packed windows, parallel over windows via `pool` (nullptr = shared
+  /// pool). Identical element-by-element to predict(); `votes_out`, when
+  /// non-null, receives per-window vote counts. Throws std::invalid_argument
+  /// on window == 0 or a size that is not a multiple of window.
+  [[nodiscard]] std::vector<std::optional<double>> predict_batch(
+      std::span<const double> flat_windows, std::size_t window,
+      Aggregation how = Aggregation::kMean, util::ThreadPool* pool = nullptr,
+      std::vector<std::size_t>* votes_out = nullptr) const;
+
   /// Indexed vote count — identical to system.vote_count(window).
   [[nodiscard]] std::size_t vote_count(std::span<const double> window) const;
 

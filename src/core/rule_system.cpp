@@ -61,6 +61,38 @@ std::optional<double> RuleSystem::predict(std::span<const double> window,
   return aggregate_votes(std::move(votes), how);
 }
 
+std::vector<std::optional<double>> RuleSystem::predict_batch(
+    std::span<const double> flat_windows, std::size_t window, Aggregation how,
+    util::ThreadPool* pool, std::vector<std::size_t>* votes_out) const {
+  if (window == 0) {
+    throw std::invalid_argument("RuleSystem::predict_batch: window must be > 0");
+  }
+  if (flat_windows.size() % window != 0) {
+    throw std::invalid_argument(
+        "RuleSystem::predict_batch: flat_windows.size() not a multiple of window");
+  }
+  const std::size_t n = flat_windows.size() / window;
+  EVOFORECAST_COUNT("predict.batch.calls", 1);
+  EVOFORECAST_HISTOGRAM("predict.batch.windows", n);
+
+  std::vector<std::optional<double>> out(n);
+  if (votes_out) votes_out->assign(n, 0);
+  util::ThreadPool& tp = pool ? *pool : util::ThreadPool::shared();
+  tp.parallel_for(
+      0, n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto w = flat_windows.subspan(i * window, window);
+          std::vector<Vote> votes = collect_votes(rules_, w);
+          note_prediction(votes.size());
+          if (votes_out) (*votes_out)[i] = votes.size();
+          out[i] = aggregate_votes(std::move(votes), how);
+        }
+      },
+      /*grain=*/16);
+  return out;
+}
+
 std::optional<RuleSystem::BoundedForecast> RuleSystem::predict_with_bound(
     std::span<const double> window, Aggregation how) const {
   const std::vector<Vote> votes = collect_votes(rules_, window);
@@ -155,19 +187,38 @@ void RuleSystem::save(std::ostream& out) const {
 }
 
 RuleSystem RuleSystem::load(std::istream& in) {
+  // Hard limits against corrupt or hostile input: the declared counts are
+  // validated *before* any allocation sized by them (no allocation bomb),
+  // and every floating-point field must be finite (a NaN gene or coefficient
+  // would poison every forecast downstream). Generous bounds: real unions
+  // are ~10^2-10^3 rules with D ≤ 24.
+  constexpr std::size_t kMaxRules = 1'000'000;
+  constexpr std::size_t kMaxWindow = 4096;
+  constexpr std::size_t kMaxCoeffs = kMaxWindow + 1;
+
   std::string header;
   std::getline(in, header);
   if (header != "evoforecast-rules v1") {
     throw std::runtime_error("RuleSystem::load: bad header '" + header + "'");
   }
   std::size_t count = 0;
-  in >> count;
+  if (!(in >> count)) throw std::runtime_error("RuleSystem::load: missing rule count");
+  if (count > kMaxRules) {
+    throw std::runtime_error("RuleSystem::load: rule count " + std::to_string(count) +
+                             " exceeds limit " + std::to_string(kMaxRules));
+  }
 
   RuleSystem system;
-  system.rules_.reserve(count);
+  // Bounded up-front reservation; a truncated payload with a huge declared
+  // count fails while parsing, not while allocating.
+  system.rules_.reserve(std::min<std::size_t>(count, 4096));
   for (std::size_t r = 0; r < count; ++r) {
     std::size_t window = 0;
     if (!(in >> window)) throw std::runtime_error("RuleSystem::load: truncated rule header");
+    if (window == 0 || window > kMaxWindow) {
+      throw std::runtime_error("RuleSystem::load: window size " + std::to_string(window) +
+                               " out of [1, " + std::to_string(kMaxWindow) + "]");
+    }
 
     std::vector<Interval> genes;
     genes.reserve(window);
@@ -180,21 +231,42 @@ RuleSystem RuleSystem::load(std::istream& in) {
       if (lo_text == "*" && hi_text == "*") {
         genes.push_back(Interval::wildcard());
       } else {
-        genes.emplace_back(std::stod(lo_text), std::stod(hi_text));
+        try {
+          const double lo = std::stod(lo_text);
+          const double hi = std::stod(hi_text);
+          if (!std::isfinite(lo) || !std::isfinite(hi)) {
+            throw std::runtime_error("non-finite gene bound");
+          }
+          genes.emplace_back(lo, hi);  // Interval rejects lo > hi
+        } catch (const std::exception& e) {
+          throw std::runtime_error(std::string("RuleSystem::load: bad gene: ") + e.what());
+        }
       }
     }
 
     PredictingPart part;
     std::size_t n_coeffs = 0;
     if (!(in >> n_coeffs)) throw std::runtime_error("RuleSystem::load: truncated coeffs");
+    if (n_coeffs > kMaxCoeffs) {
+      throw std::runtime_error("RuleSystem::load: coefficient count " +
+                               std::to_string(n_coeffs) + " exceeds limit " +
+                               std::to_string(kMaxCoeffs));
+    }
     part.fit.coeffs.resize(n_coeffs);
     for (double& c : part.fit.coeffs) {
       if (!(in >> c)) throw std::runtime_error("RuleSystem::load: truncated coeffs");
+      if (!std::isfinite(c)) {
+        throw std::runtime_error("RuleSystem::load: non-finite coefficient");
+      }
     }
     int degenerate = 0;
     if (!(in >> part.fit.max_abs_residual >> part.fit.mean_prediction >> degenerate >>
           part.matches >> part.fitness)) {
       throw std::runtime_error("RuleSystem::load: truncated stats");
+    }
+    if (!std::isfinite(part.fit.max_abs_residual) || !std::isfinite(part.fit.mean_prediction) ||
+        !std::isfinite(part.fitness)) {
+      throw std::runtime_error("RuleSystem::load: non-finite rule stats");
     }
     part.fit.degenerate = degenerate != 0;
 

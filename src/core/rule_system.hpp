@@ -48,6 +48,18 @@ class RuleSystem {
   [[nodiscard]] std::optional<double> predict(std::span<const double> window,
                                               Aggregation how) const;
 
+  /// Batched forecasts for `flat_windows.size() / window` row-major packed
+  /// windows, parallel over windows via `pool` (nullptr = shared pool).
+  /// Element i equals predict(flat_windows.subspan(i*window, window), how)
+  /// exactly, including abstention positions. When `votes_out` is non-null
+  /// it is resized to the batch and filled with per-window vote counts.
+  /// Throws std::invalid_argument when window == 0 or flat_windows.size()
+  /// is not a multiple of window.
+  [[nodiscard]] std::vector<std::optional<double>> predict_batch(
+      std::span<const double> flat_windows, std::size_t window,
+      Aggregation how = Aggregation::kMean, util::ThreadPool* pool = nullptr,
+      std::vector<std::size_t>* votes_out = nullptr) const;
+
   /// Point forecast with a heuristic uncertainty bound derived from the
   /// voters' training errors and their disagreement:
   ///   bound = max_k ( e_k + |v_k − value| )

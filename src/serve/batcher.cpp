@@ -1,0 +1,158 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/macros.hpp"
+
+namespace ef::serve {
+
+MicroBatcher::MicroBatcher(BatcherConfig config, util::ThreadPool* pool)
+    : config_(config), pool_(pool) {
+  if (config_.max_batch == 0) {
+    throw std::invalid_argument("MicroBatcher: max_batch must be > 0");
+  }
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+MicroBatcher::~MicroBatcher() { shutdown(); }
+
+std::future<MicroBatcher::Result> MicroBatcher::submit(
+    std::shared_ptr<const LoadedModel> model, std::vector<double> window,
+    core::Aggregation agg) {
+  Item item;
+  item.model = std::move(model);
+  item.window = std::move(window);
+  item.agg = agg;
+  std::future<Result> future = item.promise.get_future();
+  {
+    const std::lock_guard lock(mutex_);
+    if (!accepting_) throw std::runtime_error("MicroBatcher: shutting down");
+    queue_.push_back(std::move(item));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+std::size_t MicroBatcher::pending() const {
+  const std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+void MicroBatcher::shutdown() {
+  {
+    const std::lock_guard lock(mutex_);
+    accepting_ = false;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void MicroBatcher::dispatcher_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    // Coalescing window: give concurrent callers max_delay to join this
+    // round, but dispatch immediately once max_batch is queued or shutdown
+    // begins (the drain must not sleep).
+    if (queue_.size() < config_.max_batch && !stopping_) {
+      queue_cv_.wait_for(lock, config_.max_delay, [this] {
+        return stopping_ || queue_.size() >= config_.max_batch;
+      });
+    }
+
+    std::vector<Item> batch;
+    const std::size_t take = std::min(queue_.size(), config_.max_batch);
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    EVOFORECAST_HISTOGRAM("serve.batch.size", batch.size());
+    EVOFORECAST_COUNT("serve.batch.dispatches", 1);
+    run_batch(std::move(batch), pool_);
+    lock.lock();
+  }
+}
+
+void MicroBatcher::run_batch(std::vector<Item> batch, util::ThreadPool* pool) {
+  // Group by (model snapshot, aggregation, window length): one batch-predict
+  // call per group keeps windows of mixed models/shapes correct while still
+  // coalescing the common single-model case into one flat span.
+  std::vector<std::size_t> order(batch.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Item& ia = batch[a];
+    const Item& ib = batch[b];
+    const std::uint64_t ta = ia.model ? ia.model->tag() : 0;
+    const std::uint64_t tb = ib.model ? ib.model->tag() : 0;
+    if (ta != tb) return ta < tb;
+    if (ia.agg != ib.agg) return ia.agg < ib.agg;
+    return ia.window.size() < ib.window.size();
+  });
+
+  std::size_t group_begin = 0;
+  while (group_begin < order.size()) {
+    std::size_t group_end = group_begin + 1;
+    const Item& head = batch[order[group_begin]];
+    const std::uint64_t head_tag = head.model ? head.model->tag() : 0;
+    while (group_end < order.size()) {
+      const Item& next = batch[order[group_end]];
+      const std::uint64_t next_tag = next.model ? next.model->tag() : 0;
+      if (next_tag != head_tag || next.agg != head.agg ||
+          next.window.size() != head.window.size()) {
+        break;
+      }
+      ++group_end;
+    }
+
+    const std::size_t group_size = group_end - group_begin;
+    const std::size_t width = head.window.size();
+    if (!head.model || head.model->system().empty() || width == 0) {
+      // No rules (or empty window): every request in the group abstains.
+      for (std::size_t k = group_begin; k < group_end; ++k) {
+        batch[order[k]].promise.set_value(Result{});
+      }
+      group_begin = group_end;
+      continue;
+    }
+
+    std::vector<double> flat;
+    flat.reserve(group_size * width);
+    for (std::size_t k = group_begin; k < group_end; ++k) {
+      const Item& item = batch[order[k]];
+      flat.insert(flat.end(), item.window.begin(), item.window.end());
+    }
+
+    std::vector<std::size_t> votes;
+    std::vector<std::optional<double>> values;
+    try {
+      const auto& model = *head.model;
+      if (model.index()) {
+        values = model.index()->predict_batch(flat, width, head.agg, pool, &votes);
+      } else {
+        values = model.system().predict_batch(flat, width, head.agg, pool, &votes);
+      }
+      for (std::size_t k = group_begin; k < group_end; ++k) {
+        Result result;
+        result.value = values[k - group_begin];
+        result.votes = votes[k - group_begin];
+        batch[order[k]].promise.set_value(result);
+      }
+    } catch (...) {
+      for (std::size_t k = group_begin; k < group_end; ++k) {
+        batch[order[k]].promise.set_exception(std::current_exception());
+      }
+    }
+    group_begin = group_end;
+  }
+}
+
+}  // namespace ef::serve

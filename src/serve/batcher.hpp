@@ -1,0 +1,85 @@
+// serve/batcher.hpp — micro-batching of concurrent prediction requests.
+//
+// Under concurrent load, dispatching each request alone wastes the batch
+// fast path: RuleIndex::predict_batch amortises candidate scans across
+// windows and parallelises over the thread pool. The batcher queues
+// incoming requests; a dispatcher thread collects whatever arrived within a
+// short coalescing delay (bounded by max_batch), groups the batch by model
+// snapshot + aggregation, and runs each group through the batch fast path.
+// Callers block on a future, so the API stays synchronous while the
+// execution is batched. A single request on an idle service pays at most
+// the coalescing delay (first request in a round dispatches immediately
+// when the queue stays short — see the loop's two-phase wait).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/aggregation.hpp"
+#include "serve/model_store.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ef::serve {
+
+struct BatcherConfig {
+  std::size_t max_batch = 64;  ///< dispatch at this many queued requests
+  std::chrono::microseconds max_delay{200};  ///< max coalescing wait
+};
+
+class MicroBatcher {
+ public:
+  struct Result {
+    std::optional<double> value;  ///< nullopt = abstention
+    std::size_t votes = 0;
+  };
+
+  explicit MicroBatcher(BatcherConfig config = {}, util::ThreadPool* pool = nullptr);
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueue one single-step prediction. The future resolves once the
+  /// request's batch has been dispatched. Throws std::runtime_error after
+  /// shutdown() has begun.
+  [[nodiscard]] std::future<Result> submit(std::shared_ptr<const LoadedModel> model,
+                                           std::vector<double> window,
+                                           core::Aggregation agg);
+
+  /// Stop accepting new requests, dispatch everything already queued, then
+  /// stop the dispatcher thread. Idempotent; called by the destructor.
+  void shutdown();
+
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  struct Item {
+    std::shared_ptr<const LoadedModel> model;
+    std::vector<double> window;
+    core::Aggregation agg = core::Aggregation::kMean;
+    std::promise<Result> promise;
+  };
+
+  void dispatcher_loop();
+  static void run_batch(std::vector<Item> batch, util::ThreadPool* pool);
+
+  BatcherConfig config_;
+  util::ThreadPool* pool_;  ///< may be nullptr (shared pool)
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Item> queue_;
+  bool accepting_ = true;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace ef::serve

@@ -1,0 +1,181 @@
+// efserve — the evoforecast model server.
+//
+//   efserve tide=models/tide.efr sun=models/sun.efr [--port 7777] ...
+//   efserve --train-demo demo.efr        # write a small demo model and exit
+//
+// Serves named .efr rule-system models over the JSON-lines TCP protocol
+// (docs/SERVING.md), hot-reloading each file when its mtime changes.
+// Graceful shutdown on SIGINT/SIGTERM: stop accepting, drain in-flight
+// requests, emit the observability report (--report / --metrics-json).
+//
+// Flags:
+//   --port N            listen port (default 7777; 0 = ephemeral, printed)
+//   --host A            bind address (default 127.0.0.1)
+//   --poll-ms N         model-file poll interval (default 500; 0 = no reload)
+//   --cache-capacity N  prediction cache entries (default 65536; 0 = off)
+//   --cache-shards N    cache shards (default 8)
+//   --quantum X         cache window quantization grid (default 1e-9)
+//   --batch-max N       micro-batch size cap (default 64)
+//   --batch-delay-us N  micro-batch coalescing delay (default 200; 0 = no batching)
+//   --threads N         prediction thread-pool size (default: hardware)
+//   --report / --metrics-json PATH / --metrics-csv PATH  on exit
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "core/rule_system.hpp"
+#include "obs/run_report.hpp"
+#include "serve/model_store.hpp"
+#include "serve/service.hpp"
+#include "serve/tcp_server.hpp"
+#include "series/synthetic.hpp"
+#include "util/cli.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define EFSERVE_HAVE_SIGNALS 1
+#else
+#define EFSERVE_HAVE_SIGNALS 0
+#endif
+
+namespace {
+
+#if EFSERVE_HAVE_SIGNALS
+// Self-pipe: the handler writes one byte; main blocks on read. Both ends
+// async-signal-safe, no polling loop.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void handle_stop_signal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const auto n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void wait_for_stop_signal() {
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "efserve: pipe() failed; running until killed\n");
+    for (;;) ::pause();
+  }
+  struct sigaction action {};
+  action.sa_handler = handle_stop_signal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0) {
+  }
+}
+#else
+void wait_for_stop_signal() {
+  std::fprintf(stderr, "efserve: no signal support; press Ctrl-C to hard-exit\n");
+  for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+}
+#endif
+
+/// Train a small one-step demo model on a noisy sine and save it — gives CI
+/// and first-time users a .efr to serve without a full training run.
+int train_demo(const std::string& path, std::uint64_t seed) {
+  std::printf("training demo model (noisy sine, D=6, tau=1)...\n");
+  const auto series = ef::series::generate_sine(1500, {1.0, 25.0, 0.0, 0.0, 0.05, 9});
+  const ef::core::WindowDataset train(series, 6, 1);
+  ef::core::RuleSystemConfig config;
+  config.evolution.population_size = 50;
+  config.evolution.generations = 3000;
+  config.evolution.emax = 0.25;
+  config.evolution.seed = seed;
+  config.max_executions = 2;
+  config.coverage_target_percent = 95.0;
+  const auto result = ef::core::train_rule_system(train, config);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "efserve: cannot write '%s'\n", path.c_str());
+    return 1;
+  }
+  result.system.save(out);
+  std::printf("wrote %zu rules (train coverage %.1f%%) to %s\n", result.system.size(),
+              result.train_coverage_percent, path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ef::util::Cli cli(argc, argv);
+
+  if (const auto demo_path = cli.get("train-demo")) {
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 12));
+    return train_demo(*demo_path, seed);
+  }
+
+  if (cli.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: efserve NAME=MODEL.efr [NAME=MODEL.efr ...] [--port 7777]\n"
+                 "       efserve --train-demo PATH.efr\n");
+    return 2;
+  }
+
+  ef::serve::ModelStore store;
+  for (const std::string& spec : cli.positional()) {
+    const std::size_t eq = spec.find('=');
+    const std::string name = eq == std::string::npos ? "default" : spec.substr(0, eq);
+    const std::string path = eq == std::string::npos ? spec : spec.substr(eq + 1);
+    try {
+      store.add_file(name, path);
+      const auto model = store.get(name);
+      std::printf("loaded model '%s' from %s (%zu rules, window %zu)\n", name.c_str(),
+                  path.c_str(), model->system().size(), model->window());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "efserve: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  const auto poll_ms = cli.get_int("poll-ms", 500);
+  if (poll_ms > 0) store.start_polling(std::chrono::milliseconds(poll_ms));
+
+  ef::serve::ServiceConfig config;
+  const auto cache_capacity = cli.get_int("cache-capacity", 65536);
+  config.enable_cache = cache_capacity > 0;
+  if (config.enable_cache) {
+    config.cache.capacity = static_cast<std::size_t>(cache_capacity);
+  }
+  config.cache.shards = static_cast<std::size_t>(cli.get_int("cache-shards", 8));
+  config.cache.quantum = cli.get_double("quantum", 1e-9);
+  const auto batch_delay_us = cli.get_int("batch-delay-us", 200);
+  config.enable_batcher = batch_delay_us > 0;
+  config.batcher.max_delay = std::chrono::microseconds(batch_delay_us);
+  config.batcher.max_batch = static_cast<std::size_t>(cli.get_int("batch-max", 64));
+
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+  ef::util::ThreadPool pool(threads);
+  ef::serve::ForecastService service(store, config, &pool);
+
+  ef::serve::ServerConfig server_config;
+  server_config.host = cli.get_string("host", "127.0.0.1");
+  server_config.port = static_cast<std::uint16_t>(cli.get_int("port", 7777));
+  ef::serve::TcpServer server(service, server_config);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "efserve: %s\n", e.what());
+    return 1;
+  }
+  std::printf("efserve listening on %s:%u (%zu model%s; Ctrl-C to stop)\n",
+              server_config.host.c_str(), static_cast<unsigned>(server.port()),
+              store.size(), store.size() == 1 ? "" : "s");
+  std::fflush(stdout);
+
+  wait_for_stop_signal();
+
+  std::printf("\nshutting down: draining in-flight requests...\n");
+  server.stop();        // stop accepting, finish per-connection work
+  service.shutdown();   // drain the batcher queue
+  store.stop_polling();
+  std::printf("served %llu connections\n",
+              static_cast<unsigned long long>(server.connections_served()));
+
+  ef::obs::emit_cli_report(cli);
+  return 0;
+}

@@ -1,0 +1,186 @@
+#include "serve/model_store.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/macros.hpp"
+
+namespace ef::serve {
+namespace {
+
+/// Value range spanned by the rule set's non-wildcard genes — the bucket
+/// extent of the query index. nullopt when no gene bounds exist (all
+/// wildcard or empty system).
+std::optional<std::pair<double, double>> gene_value_range(const core::RuleSystem& system) {
+  bool seen = false;
+  double lo = 0.0;
+  double hi = 0.0;
+  for (const core::Rule& rule : system.rules()) {
+    for (const core::Interval& gene : rule.genes()) {
+      if (gene.is_wildcard()) continue;
+      if (!seen) {
+        lo = gene.lo();
+        hi = gene.hi();
+        seen = true;
+      } else {
+        lo = std::min(lo, gene.lo());
+        hi = std::max(hi, gene.hi());
+      }
+    }
+  }
+  if (!seen || !(hi > lo)) return std::nullopt;
+  return std::make_pair(lo, hi);
+}
+
+core::RuleSystem load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ModelStore: cannot open '" + path + "'");
+  return core::RuleSystem::load(in);
+}
+
+std::filesystem::file_time_type mtime_of(const std::string& path) {
+  std::error_code ec;
+  const auto t = std::filesystem::last_write_time(path, ec);
+  return ec ? std::filesystem::file_time_type{} : t;
+}
+
+}  // namespace
+
+std::shared_ptr<const LoadedModel> LoadedModel::make(core::RuleSystem system,
+                                                     std::string name,
+                                                     std::uint64_t version,
+                                                     std::uint64_t tag) {
+  auto model = std::shared_ptr<LoadedModel>(new LoadedModel());
+  model->system_ = std::move(system);
+  model->name_ = std::move(name);
+  model->version_ = version;
+  model->tag_ = tag;
+  model->window_ = model->system_.empty() ? 0 : model->system_.rules().front().window();
+  // The index holds a reference to system_, so it is built only once the
+  // system has reached its final address inside the shared_ptr.
+  if (const auto range = gene_value_range(model->system_)) {
+    model->index_.emplace(model->system_, range->first, range->second);
+  }
+  return model;
+}
+
+core::RuleIndex::Prediction LoadedModel::predict_one(std::span<const double> window,
+                                                     core::Aggregation how) const {
+  if (index_) return index_->predict_with_votes(window, how);
+  core::RuleIndex::Prediction out;
+  out.votes = system_.vote_count(window);
+  out.value = system_.predict(window, how);
+  return out;
+}
+
+ModelStore::~ModelStore() { stop_polling(); }
+
+void ModelStore::add_file(const std::string& name, const std::string& path) {
+  core::RuleSystem system = load_file(path);
+  const auto mtime = mtime_of(path);
+  const std::lock_guard lock(mutex_);
+  auto& entry = entries_[name];
+  const std::uint64_t version = entry.model ? entry.model->version() + 1 : 1;
+  entry.model = LoadedModel::make(std::move(system), name, version, next_tag_++);
+  entry.path = path;
+  entry.mtime = mtime;
+  EVOFORECAST_COUNT("serve.model.loads", 1);
+}
+
+void ModelStore::add_system(const std::string& name, core::RuleSystem system) {
+  const std::lock_guard lock(mutex_);
+  auto& entry = entries_[name];
+  const std::uint64_t version = entry.model ? entry.model->version() + 1 : 1;
+  entry.model = LoadedModel::make(std::move(system), name, version, next_tag_++);
+  entry.path.clear();
+  EVOFORECAST_COUNT("serve.model.loads", 1);
+}
+
+std::shared_ptr<const LoadedModel> ModelStore::get(std::string_view name) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.model;
+}
+
+std::vector<std::string> ModelStore::names() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+std::size_t ModelStore::size() const {
+  const std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t ModelStore::poll_now() {
+  // Snapshot the file-backed entries, then parse outside the map mutex so a
+  // slow reload never blocks get() on the serving path.
+  struct Pending {
+    std::string name;
+    std::string path;
+    std::filesystem::file_time_type old_mtime;
+  };
+  std::vector<Pending> pending;
+  {
+    const std::lock_guard lock(mutex_);
+    for (const auto& [name, entry] : entries_) {
+      if (!entry.path.empty()) pending.push_back({name, entry.path, entry.mtime});
+    }
+  }
+
+  std::size_t reloaded = 0;
+  for (const Pending& p : pending) {
+    const auto now_mtime = mtime_of(p.path);
+    if (now_mtime == p.old_mtime) continue;
+    try {
+      core::RuleSystem system = load_file(p.path);
+      const std::lock_guard lock(mutex_);
+      const auto it = entries_.find(p.name);
+      if (it == entries_.end() || it->second.path != p.path) continue;  // removed/re-added
+      const std::uint64_t version = it->second.model ? it->second.model->version() + 1 : 1;
+      it->second.model = LoadedModel::make(std::move(system), p.name, version, next_tag_++);
+      it->second.mtime = now_mtime;
+      ++reloaded;
+      EVOFORECAST_COUNT("serve.model.reloads", 1);
+    } catch (const std::exception&) {
+      // Torn or corrupt file: keep serving the previous version; the next
+      // mtime change retries.
+      EVOFORECAST_COUNT("serve.model.reload_failures", 1);
+      const std::lock_guard lock(mutex_);
+      const auto it = entries_.find(p.name);
+      if (it != entries_.end() && it->second.path == p.path) it->second.mtime = now_mtime;
+    }
+  }
+  return reloaded;
+}
+
+void ModelStore::start_polling(std::chrono::milliseconds interval) {
+  stop_polling();
+  {
+    const std::lock_guard lock(poll_mutex_);
+    poll_stop_ = false;
+  }
+  poller_ = std::thread([this, interval] {
+    std::unique_lock lock(poll_mutex_);
+    while (!poll_cv_.wait_for(lock, interval, [this] { return poll_stop_; })) {
+      lock.unlock();
+      poll_now();
+      lock.lock();
+    }
+  });
+}
+
+void ModelStore::stop_polling() {
+  {
+    const std::lock_guard lock(poll_mutex_);
+    poll_stop_ = true;
+  }
+  poll_cv_.notify_all();
+  if (poller_.joinable()) poller_.join();
+}
+
+}  // namespace ef::serve

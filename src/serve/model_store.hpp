@@ -1,0 +1,129 @@
+// serve/model_store.hpp — named, versioned rule-system models with atomic
+// hot-reload.
+//
+// The serving layer must swap a model from disk without dropping or blocking
+// in-flight requests. The store keeps each model as a
+// std::shared_ptr<const LoadedModel>; readers copy the pointer under a brief
+// mutex (RCU-style: the swap is atomic from the reader's perspective, and a
+// request that grabbed the old version keeps it alive until its last
+// reference drops). A poller thread stats the backing .efr files and
+// reloads on mtime change; a reload that fails to parse keeps the previous
+// version serving and only bumps a failure counter — a half-written file
+// never takes down a model. Writers should still publish atomically
+// (write temp + rename) to avoid serving a torn intermediate version.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/rule_index.hpp"
+#include "core/rule_system.hpp"
+
+namespace ef::serve {
+
+/// One immutable, serving-ready model version: the rule system plus a
+/// pre-built query index and the metadata the service needs to validate and
+/// cache requests. Never mutated after construction — hot-reload replaces
+/// the whole object.
+class LoadedModel {
+ public:
+  /// Build a serving-ready snapshot. `tag` must be process-unique (the
+  /// store's monotone counter); it keys the prediction cache so entries of
+  /// a replaced version can never serve a newer one.
+  [[nodiscard]] static std::shared_ptr<const LoadedModel> make(core::RuleSystem system,
+                                                               std::string name,
+                                                               std::uint64_t version,
+                                                               std::uint64_t tag);
+
+  [[nodiscard]] const core::RuleSystem& system() const noexcept { return system_; }
+  /// Query index over the rule set; absent when the system is empty or its
+  /// genes give no finite value range to bucket.
+  [[nodiscard]] const std::optional<core::RuleIndex>& index() const noexcept { return index_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// Per-name reload generation (1 = first load).
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+  /// Process-unique identity of this exact snapshot (cache key component).
+  [[nodiscard]] std::uint64_t tag() const noexcept { return tag_; }
+  /// Window length D every rule expects (0 when the system is empty).
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+
+  /// One forecast through the index when available, full scan otherwise.
+  [[nodiscard]] core::RuleIndex::Prediction predict_one(
+      std::span<const double> window,
+      core::Aggregation how = core::Aggregation::kMean) const;
+
+ private:
+  LoadedModel() = default;
+
+  core::RuleSystem system_;
+  std::optional<core::RuleIndex> index_;  // references system_; built after it settles
+  std::string name_;
+  std::uint64_t version_ = 0;
+  std::uint64_t tag_ = 0;
+  std::size_t window_ = 0;
+};
+
+/// Thread-safe registry of named models with optional file backing and
+/// mtime-driven hot-reload.
+class ModelStore {
+ public:
+  ModelStore() = default;
+  ~ModelStore();
+
+  ModelStore(const ModelStore&) = delete;
+  ModelStore& operator=(const ModelStore&) = delete;
+
+  /// Register a model from a .efr file; loads immediately and throws
+  /// std::runtime_error when the file is missing or malformed. Re-adding an
+  /// existing name replaces it (version continues from the old one).
+  void add_file(const std::string& name, const std::string& path);
+
+  /// Register an in-memory system (tests, demo mode). Not file-backed, so
+  /// the poller ignores it.
+  void add_system(const std::string& name, core::RuleSystem system);
+
+  /// Current snapshot of `name`; nullptr when unknown. The returned pointer
+  /// stays valid (and the model alive) for as long as the caller holds it,
+  /// across any number of hot-reloads.
+  [[nodiscard]] std::shared_ptr<const LoadedModel> get(std::string_view name) const;
+
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Check every file-backed model's mtime and reload the changed ones now.
+  /// Returns the number of successful reloads. A model whose file fails to
+  /// parse keeps its current version (counted in serve.model.reload_failures).
+  std::size_t poll_now();
+
+  /// Start/stop the background poller calling poll_now() every `interval`.
+  void start_polling(std::chrono::milliseconds interval);
+  void stop_polling();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const LoadedModel> model;
+    std::string path;  ///< empty for in-memory models
+    std::filesystem::file_time_type mtime{};
+  };
+
+  mutable std::mutex mutex_;  ///< guards entries_ map shape and pointer swaps
+  std::map<std::string, Entry, std::less<>> entries_;
+  std::uint64_t next_tag_ = 1;
+
+  std::thread poller_;
+  std::mutex poll_mutex_;
+  std::condition_variable poll_cv_;
+  bool poll_stop_ = false;
+};
+
+}  // namespace ef::serve

@@ -1,0 +1,56 @@
+// serve/protocol.hpp — the JSON-lines wire protocol of efserve.
+//
+// One request per line, one response per line. Requests are flat JSON
+// objects; the parser below handles exactly the JSON subset the protocol
+// needs (objects, arrays of numbers, strings, numbers, booleans) and
+// rejects everything else loudly — a malformed line yields an ok=false
+// response, never a crash or a silent default.
+//
+// Request fields:
+//   "cmd"     : "predict" (default) | "ping" | "models" | "stats"
+//   "model"   : model name (default "default")
+//   "window"  : array of numbers, most recent value last   [predict]
+//   "horizon" : integer >= 1 (default 1)                   [predict]
+//   "agg"     : "mean" | "fitness_weighted" | "median" |
+//               "best_rule" | "inverse_error" (default "mean")
+//   "cache"   : boolean (default true)                     [predict]
+//
+// Response (predict): {"ok":true,"model":...,"version":N,"horizon":N,
+//   "abstain":false,"value":V,"votes":N,"cached":false}
+// Abstention: same envelope with "abstain":true and no "value" field —
+//   abstentions are explicit, per the paper's coverage semantics.
+// Error:     {"ok":false,"error":"reason"}
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "serve/service.hpp"
+
+namespace ef::serve {
+
+/// Wire-level request: service PredictRequest plus the non-predict commands.
+struct Request {
+  enum class Cmd { kPredict, kPing, kModels, kStats };
+  Cmd cmd = Cmd::kPredict;
+  PredictRequest predict;
+};
+
+/// Parse one JSON-lines request. Returns nullopt and fills `error` on
+/// malformed input (bad JSON, wrong field types, unknown cmd/agg).
+[[nodiscard]] std::optional<Request> parse_request(std::string_view line, std::string& error);
+
+/// Serialise a predict response (one line, no trailing newline).
+[[nodiscard]] std::string to_json(const PredictResponse& response);
+
+/// Error-envelope helper for protocol-level failures.
+[[nodiscard]] std::string error_json(std::string_view reason);
+
+/// JSON string escaping (quotes, backslashes, control characters).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Parse an aggregation name as used by the protocol ("mean", "median", …).
+[[nodiscard]] std::optional<core::Aggregation> parse_aggregation(std::string_view name);
+
+}  // namespace ef::serve

@@ -1,0 +1,149 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/macros.hpp"
+
+namespace ef::serve {
+namespace {
+
+/// Latency histogram bounds in microseconds: 1 µs … ~1 s with ~2x steps.
+[[maybe_unused]] std::vector<double> latency_bounds_us() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 1.0e6; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+void observe_latency_us(double us) {
+#if EVOFORECAST_OBS_ENABLED
+  static obs::Histogram& hist =
+      obs::Registry::global().histogram("serve.request_us", latency_bounds_us());
+  hist.observe(us);
+#else
+  (void)us;
+#endif
+}
+
+}  // namespace
+
+ForecastService::ForecastService(ModelStore& store, ServiceConfig config,
+                                 util::ThreadPool* pool)
+    : store_(store), config_(config), pool_(pool), cache_(config.cache) {
+  if (config_.enable_batcher) {
+    batcher_ = std::make_unique<MicroBatcher>(config_.batcher, pool_);
+  }
+}
+
+ForecastService::~ForecastService() { shutdown(); }
+
+void ForecastService::shutdown() {
+  accepting_.store(false, std::memory_order_release);
+  if (batcher_) batcher_->shutdown();
+}
+
+bool ForecastService::accepting() const noexcept {
+  return accepting_.load(std::memory_order_acquire);
+}
+
+MicroBatcher::Result ForecastService::predict_uncached(
+    const std::shared_ptr<const LoadedModel>& model, const PredictRequest& request) {
+  if (request.horizon == 1) {
+    if (batcher_) {
+      return batcher_->submit(model, request.window, request.agg).get();
+    }
+    const auto p = model->predict_one(request.window, request.agg);
+    return MicroBatcher::Result{p.value, p.votes};
+  }
+
+  // Iterated multi-step: slide the window forward, feeding each one-step
+  // forecast back as the newest value. Chain abstention policy: any
+  // abstaining step abstains the request (paper semantics — no fabricated
+  // bridge values on the serving path).
+  std::vector<double> window = request.window;
+  core::RuleIndex::Prediction last;
+  for (std::size_t step = 0; step < request.horizon; ++step) {
+    last = model->predict_one(window, request.agg);
+    if (!last.value) return MicroBatcher::Result{std::nullopt, 0};
+    window.erase(window.begin());
+    window.push_back(*last.value);
+  }
+  return MicroBatcher::Result{last.value, last.votes};
+}
+
+PredictResponse ForecastService::predict(const PredictRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  EVOFORECAST_COUNT("serve.requests", 1);
+
+  PredictResponse response;
+  response.model = request.model;
+  response.horizon = request.horizon;
+
+  const auto fail = [&](std::string reason) {
+    EVOFORECAST_COUNT("serve.errors", 1);
+    response.ok = false;
+    response.error = std::move(reason);
+    return response;
+  };
+
+  if (!accepting()) return fail("service shutting down");
+  if (request.window.empty()) return fail("window must not be empty");
+  if (request.window.size() > config_.max_window) return fail("window too long");
+  if (request.horizon == 0) return fail("horizon must be >= 1");
+  if (request.horizon > config_.max_horizon) return fail("horizon too large");
+
+  const std::shared_ptr<const LoadedModel> model = store_.get(request.model);
+  if (!model) return fail("unknown model '" + request.model + "'");
+  response.version = model->version();
+  if (model->window() != 0 && request.window.size() != model->window()) {
+    return fail("window length " + std::to_string(request.window.size()) +
+                " does not match model window " + std::to_string(model->window()));
+  }
+
+  const bool use_cache = config_.enable_cache && request.use_cache;
+  WindowCache::Key key;
+  if (use_cache) {
+    key = cache_.make_key(model->tag(), static_cast<std::uint32_t>(request.horizon),
+                          request.agg, request.window);
+    if (const auto hit = cache_.get(key)) {
+      response.ok = true;
+      response.cached = true;
+      response.abstain = hit->abstain;
+      response.value = hit->value;
+      response.votes = hit->votes;
+      if (hit->abstain) EVOFORECAST_COUNT("serve.abstentions", 1);
+      observe_latency_us(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - start)
+                             .count());
+      return response;
+    }
+  }
+
+  MicroBatcher::Result result;
+  try {
+    result = predict_uncached(model, request);
+  } catch (const std::exception& e) {
+    return fail(std::string("prediction failed: ") + e.what());
+  }
+
+  response.ok = true;
+  response.abstain = !result.value.has_value();
+  response.value = result.value.value_or(0.0);
+  response.votes = result.votes;
+  if (response.abstain) EVOFORECAST_COUNT("serve.abstentions", 1);
+
+  if (use_cache) {
+    WindowCache::Value cached;
+    cached.abstain = response.abstain;
+    cached.value = response.value;
+    cached.votes = static_cast<std::uint32_t>(response.votes);
+    cache_.put(std::move(key), cached);
+  }
+
+  observe_latency_us(std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - start)
+                         .count());
+  return response;
+}
+
+}  // namespace ef::serve

@@ -1,0 +1,98 @@
+// serve/service.hpp — the in-process forecast service.
+//
+// ForecastService is the complete serving pipeline behind one blocking
+// call: validate → cache lookup → micro-batched (or iterated multi-step)
+// prediction → cache fill → instrumented response. It owns the cache and
+// the batcher but only borrows the ModelStore, so several services (or a
+// service plus an offline evaluator) can share one store. Tests drive this
+// API directly — no sockets involved; the TCP server in serve/tcp_server.hpp
+// is a thin line-protocol wrapper around it.
+//
+// Abstention semantics follow the paper: a window matched by no rule gets
+// an explicit "abstain" response, never a fabricated value. Multi-step
+// requests (horizon > 1) iterate the one-step system, feeding each
+// prediction back as the newest input; an abstention at any intermediate
+// step abstains the whole chain (core::ChainAbstention::kAbstain policy).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aggregation.hpp"
+#include "serve/batcher.hpp"
+#include "serve/model_store.hpp"
+#include "serve/window_cache.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ef::serve {
+
+struct ServiceConfig {
+  CacheConfig cache;
+  BatcherConfig batcher;
+  bool enable_cache = true;
+  bool enable_batcher = true;  ///< off = predict inline (lowest latency, no coalescing)
+  std::size_t max_window = 4096;
+  std::size_t max_horizon = 1024;
+};
+
+struct PredictRequest {
+  std::string model = "default";
+  std::vector<double> window;  ///< most recent value last
+  std::size_t horizon = 1;     ///< steps ahead; > 1 iterates the one-step system
+  core::Aggregation agg = core::Aggregation::kMean;
+  bool use_cache = true;  ///< per-request bypass (debugging, cache-busting)
+};
+
+struct PredictResponse {
+  bool ok = false;
+  std::string error;  ///< set when !ok
+  std::string model;
+  std::uint64_t version = 0;
+  std::size_t horizon = 1;
+  bool abstain = false;
+  double value = 0.0;   ///< valid when ok && !abstain
+  std::size_t votes = 0;  ///< matching rules behind the (final-step) forecast
+  bool cached = false;
+};
+
+class ForecastService {
+ public:
+  explicit ForecastService(ModelStore& store, ServiceConfig config = {},
+                           util::ThreadPool* pool = nullptr);
+  ~ForecastService();
+
+  ForecastService(const ForecastService&) = delete;
+  ForecastService& operator=(const ForecastService&) = delete;
+
+  /// One blocking forecast. Thread-safe; concurrent callers are coalesced
+  /// by the micro-batcher. Never throws for bad requests — returns
+  /// ok=false with a reason instead (the protocol layer forwards it).
+  [[nodiscard]] PredictResponse predict(const PredictRequest& request);
+
+  /// Drain in-flight batches and refuse further predicts (graceful
+  /// shutdown). Idempotent.
+  void shutdown();
+  [[nodiscard]] bool accepting() const noexcept;
+
+  [[nodiscard]] const ModelStore& store() const noexcept { return store_; }
+  [[nodiscard]] ModelStore& store() noexcept { return store_; }
+  [[nodiscard]] WindowCache::Stats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] MicroBatcher::Result predict_uncached(
+      const std::shared_ptr<const LoadedModel>& model, const PredictRequest& request);
+
+  ModelStore& store_;
+  ServiceConfig config_;
+  util::ThreadPool* pool_;
+  WindowCache cache_;
+  std::unique_ptr<MicroBatcher> batcher_;  ///< null when enable_batcher = false
+  std::atomic<bool> accepting_{true};
+};
+
+}  // namespace ef::serve

@@ -1,0 +1,241 @@
+#include "serve/tcp_server.hpp"
+
+#include <cerrno>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/macros.hpp"
+#include "serve/protocol.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define EVOFORECAST_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+#else
+#define EVOFORECAST_HAVE_SOCKETS 0
+#endif
+
+namespace ef::serve {
+
+TcpServer::TcpServer(ForecastService& service, ServerConfig config)
+    : service_(service), config_(std::move(config)) {}
+
+TcpServer::~TcpServer() { stop(); }
+
+bool TcpServer::running() const noexcept {
+  return running_.load(std::memory_order_acquire);
+}
+
+std::uint64_t TcpServer::connections_served() const noexcept {
+  return connections_.load(std::memory_order_relaxed);
+}
+
+#if EVOFORECAST_HAVE_SOCKETS
+
+void TcpServer::start() {
+  if (running()) return;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("TcpServer: socket() failed");
+
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("TcpServer: bad host '" + config_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("TcpServer: cannot bind " + config_.host + ":" +
+                             std::to_string(config_.port));
+  }
+  if (::listen(listen_fd_, config_.backlog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("TcpServer: listen() failed");
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void TcpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  // Unblock accept() by shutting the listener down, then join everything.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<Connection> connections;
+  {
+    const std::lock_guard lock(threads_mutex_);
+    connections.swap(connection_threads_);
+  }
+  for (Connection& c : connections) {
+    if (c.thread.joinable()) c.thread.join();
+  }
+}
+
+void TcpServer::reap_finished_locked() {
+  std::erase_if(connection_threads_, [](Connection& c) {
+    if (!c.done->load(std::memory_order_acquire)) return false;
+    if (c.thread.joinable()) c.thread.join();
+    return true;
+  });
+}
+
+void TcpServer::accept_loop() {
+  while (running()) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (!running()) break;
+      continue;  // transient accept failure
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    EVOFORECAST_COUNT("serve.connections", 1);
+
+    // Periodic recv timeout so idle connections notice stop() promptly.
+    timeval timeout{};
+    timeout.tv_usec = 200 * 1000;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    const int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    const std::lock_guard lock(threads_mutex_);
+    reap_finished_locked();
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    Connection connection;
+    connection.done = done;
+    connection.thread =
+        std::thread([this, client, done] { connection_loop(client, std::move(done)); });
+    connection_threads_.push_back(std::move(connection));
+  }
+}
+
+void TcpServer::connection_loop(int client_fd, std::shared_ptr<std::atomic<bool>> done) {
+  std::string buffer;
+  char chunk[4096];
+  bool overlong = false;
+  while (running()) {
+    const ssize_t n = ::recv(client_fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;  // client closed
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      std::string response;
+      if (overlong) {
+        response = error_json("request line too long");
+        overlong = false;
+      } else if (line.empty()) {
+        continue;
+      } else {
+        response = handle_line(line);
+      }
+      response.push_back('\n');
+      std::size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t w =
+            ::send(client_fd, response.data() + sent, response.size() - sent, MSG_NOSIGNAL);
+        if (w <= 0) break;
+        sent += static_cast<std::size_t>(w);
+      }
+      if (sent < response.size()) break;
+    }
+    if (buffer.size() > config_.max_line_bytes) {
+      // Discard the runaway line but keep the connection; the error goes out
+      // once its terminating newline arrives.
+      buffer.clear();
+      overlong = true;
+    }
+  }
+  ::close(client_fd);
+  done->store(true, std::memory_order_release);
+}
+
+#else  // !EVOFORECAST_HAVE_SOCKETS
+
+void TcpServer::start() {
+  throw std::runtime_error("TcpServer: no socket support on this platform");
+}
+
+void TcpServer::stop() {}
+
+void TcpServer::accept_loop() {}
+
+void TcpServer::connection_loop(int, std::shared_ptr<std::atomic<bool>>) {}
+
+void TcpServer::reap_finished_locked() {}
+
+#endif  // EVOFORECAST_HAVE_SOCKETS
+
+std::string TcpServer::handle_line(const std::string& line) {
+  std::string parse_error;
+  const auto request = parse_request(line, parse_error);
+  if (!request) return error_json(parse_error);
+
+  switch (request->cmd) {
+    case Request::Cmd::kPing:
+      return "{\"ok\":true,\"pong\":true}";
+    case Request::Cmd::kModels: {
+      std::string out = "{\"ok\":true,\"models\":[";
+      bool first = true;
+      for (const std::string& name : service_.store().names()) {
+        const auto model = service_.store().get(name);
+        if (!model) continue;
+        if (!first) out += ",";
+        first = false;
+        out += "{\"name\":\"" + json_escape(name) + "\"";
+        out += ",\"version\":" + std::to_string(model->version());
+        out += ",\"rules\":" + std::to_string(model->system().size());
+        out += ",\"window\":" + std::to_string(model->window()) + "}";
+      }
+      out += "]}";
+      return out;
+    }
+    case Request::Cmd::kStats: {
+      const auto cache = service_.cache_stats();
+      std::string out = "{\"ok\":true";
+      out += ",\"connections\":" + std::to_string(connections_served());
+      out += ",\"cache_hits\":" + std::to_string(cache.hits);
+      out += ",\"cache_misses\":" + std::to_string(cache.misses);
+      out += ",\"cache_entries\":" + std::to_string(cache.entries);
+      out += ",\"cache_evictions\":" + std::to_string(cache.evictions);
+      out += "}";
+      return out;
+    }
+    case Request::Cmd::kPredict:
+      break;
+  }
+  return to_json(service_.predict(request->predict));
+}
+
+}  // namespace ef::serve

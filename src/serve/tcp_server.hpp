@@ -1,0 +1,83 @@
+// serve/tcp_server.hpp — blocking TCP wrapper around ForecastService.
+//
+// Deliberately boring transport: one listening socket, one thread per
+// connection, newline-delimited JSON both ways (see serve/protocol.hpp).
+// Boring is a feature — the protocol is testable with netcat, implementable
+// from any language in ten lines, and free of framing ambiguity. The
+// interesting machinery (hot-reload, batching, caching) lives below the
+// transport in ForecastService, so an async or HTTP front-end can replace
+// this file without touching the serving semantics.
+//
+// Shutdown contract: stop() closes the listening socket, then each
+// connection finishes the request it is currently processing (the batcher
+// drains separately via ForecastService::shutdown) before its thread is
+// joined. Connection read loops wake every ~200 ms to notice the stop flag,
+// so stop() completes promptly even with idle keep-alive connections.
+// POSIX-only (guarded); on other platforms construction throws.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace ef::serve {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7777;  ///< 0 = pick an ephemeral port (tests)
+  int backlog = 64;
+  std::size_t max_line_bytes = 1 << 20;  ///< oversize request lines are rejected
+};
+
+class TcpServer {
+ public:
+  TcpServer(ForecastService& service, ServerConfig config = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Bind, listen and spawn the accept thread. Throws std::runtime_error on
+  /// bind/listen failure (port taken, unsupported platform).
+  void start();
+
+  /// Graceful stop: close the listener, let in-flight requests finish, join
+  /// every connection thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept;
+  /// Actual bound port (resolves port 0 after start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
+  [[nodiscard]] std::uint64_t connections_served() const noexcept;
+
+ private:
+  /// One live connection: its thread plus a completion flag the accept loop
+  /// uses to reap finished threads without blocking on join.
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  void accept_loop();
+  void connection_loop(int client_fd, std::shared_ptr<std::atomic<bool>> done);
+  void reap_finished_locked();
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  ForecastService& service_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> connections_{0};
+  std::thread acceptor_;
+  std::mutex threads_mutex_;
+  std::vector<Connection> connection_threads_;
+};
+
+}  // namespace ef::serve

@@ -1,0 +1,123 @@
+#include "serve/window_cache.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/macros.hpp"
+
+namespace ef::serve {
+namespace {
+
+/// Saturating quantization: |v|/quantum beyond int64 range clamps to the
+/// extremes instead of overflowing into UB.
+std::int64_t quantize(double v, double quantum) noexcept {
+  const double q = v / quantum;
+  constexpr double kLimit = 9.0e18;
+  if (q >= kLimit) return std::numeric_limits<std::int64_t>::max();
+  if (q <= -kLimit) return std::numeric_limits<std::int64_t>::min();
+  if (std::isnan(q)) return 0;
+  return static_cast<std::int64_t>(std::llround(q));
+}
+
+}  // namespace
+
+std::size_t WindowCache::KeyHash::operator()(const Key& key) const noexcept {
+  // FNV-1a over the key's fixed fields and quantized values.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto fold = [&h](std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (i * 8)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  };
+  fold(key.model_tag);
+  fold((static_cast<std::uint64_t>(key.horizon) << 8) | key.agg);
+  for (const std::int64_t q : key.qwindow) fold(static_cast<std::uint64_t>(q));
+  return static_cast<std::size_t>(h);
+}
+
+WindowCache::WindowCache(CacheConfig config) : config_(config) {
+  if (config_.shards == 0) throw std::invalid_argument("WindowCache: shards must be > 0");
+  if (config_.capacity == 0) throw std::invalid_argument("WindowCache: capacity must be > 0");
+  if (!(config_.quantum > 0.0)) {
+    throw std::invalid_argument("WindowCache: quantum must be > 0");
+  }
+  config_.shards = std::min(config_.shards, config_.capacity);
+  per_shard_capacity_ = (config_.capacity + config_.shards - 1) / config_.shards;
+  shards_ = std::vector<Shard>(config_.shards);
+}
+
+WindowCache::Key WindowCache::make_key(std::uint64_t model_tag, std::uint32_t horizon,
+                                       core::Aggregation agg,
+                                       std::span<const double> window) const {
+  Key key;
+  key.model_tag = model_tag;
+  key.horizon = horizon;
+  key.agg = static_cast<std::uint8_t>(agg);
+  key.qwindow.reserve(window.size());
+  for (const double v : window) key.qwindow.push_back(quantize(v, config_.quantum));
+  return key;
+}
+
+WindowCache::Shard& WindowCache::shard_of(const Key& key) {
+  return shards_[KeyHash{}(key) % shards_.size()];
+}
+
+std::optional<WindowCache::Value> WindowCache::get(const Key& key) {
+  Shard& shard = shard_of(key);
+  const std::lock_guard lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    EVOFORECAST_COUNT("serve.cache.misses", 1);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  EVOFORECAST_COUNT("serve.cache.hits", 1);
+  return it->second->second;
+}
+
+void WindowCache::put(Key key, Value value) {
+  Shard& shard = shard_of(key);
+  const std::lock_guard lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->second = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.map.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+    EVOFORECAST_COUNT("serve.cache.evictions", 1);
+  }
+  shard.lru.emplace_front(std::move(key), value);
+  shard.map.emplace(shard.lru.front().first, shard.lru.begin());
+  ++shard.insertions;
+}
+
+WindowCache::Stats WindowCache::stats() const {
+  Stats out;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard lock(shard.mutex);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.insertions += shard.insertions;
+    out.evictions += shard.evictions;
+    out.entries += shard.lru.size();
+  }
+  return out;
+}
+
+void WindowCache::clear() {
+  for (Shard& shard : shards_) {
+    const std::lock_guard lock(shard.mutex);
+    shard.map.clear();
+    shard.lru.clear();
+  }
+}
+
+}  // namespace ef::serve

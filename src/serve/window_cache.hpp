@@ -1,0 +1,101 @@
+// serve/window_cache.hpp — sharded LRU cache of prediction results keyed by
+// quantized window.
+//
+// Production traffic repeats: the same sensor window arrives from many
+// clients, and a rule-system forecast is a pure function of (model version,
+// window, horizon, aggregation). Keys quantize each window value to a grid
+// (`quantum`) so that float jitter below the grid maps to the same entry,
+// then carry the full quantized vector — a hash collision can therefore
+// never return a wrong value, only a slower exact compare. The table is
+// sharded by hash with one mutex and one LRU list per shard, so concurrent
+// request threads rarely contend. Abstentions are cached like values (they
+// are just as deterministic and just as expensive to recompute).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/aggregation.hpp"
+
+namespace ef::serve {
+
+struct CacheConfig {
+  std::size_t capacity = 65536;  ///< total entries across all shards
+  std::size_t shards = 8;
+  double quantum = 1e-9;  ///< window-value quantization grid
+};
+
+class WindowCache {
+ public:
+  struct Key {
+    std::uint64_t model_tag = 0;  ///< LoadedModel::tag() of the exact snapshot
+    std::uint32_t horizon = 1;
+    std::uint8_t agg = 0;  ///< static_cast of core::Aggregation
+    std::vector<std::int64_t> qwindow;
+
+    [[nodiscard]] bool operator==(const Key& other) const = default;
+  };
+
+  struct Value {
+    bool abstain = false;
+    double value = 0.0;
+    std::uint32_t votes = 0;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+  };
+
+  explicit WindowCache(CacheConfig config = {});
+
+  /// Quantize a raw window into a cache key for the given model snapshot.
+  [[nodiscard]] Key make_key(std::uint64_t model_tag, std::uint32_t horizon,
+                             core::Aggregation agg, std::span<const double> window) const;
+
+  /// Lookup; a hit refreshes the entry's LRU position.
+  [[nodiscard]] std::optional<Value> get(const Key& key);
+
+  /// Insert or overwrite; evicts the shard's least-recently-used entry when
+  /// the shard is at capacity.
+  void put(Key key, Value value);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return config_.capacity; }
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  void clear();
+
+ private:
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& key) const noexcept;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recently used.
+    std::list<std::pair<Key, Value>> lru;
+    std::unordered_map<Key, std::list<std::pair<Key, Value>>::iterator, KeyHash> map;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  [[nodiscard]] Shard& shard_of(const Key& key);
+
+  CacheConfig config_;
+  std::size_t per_shard_capacity_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace ef::serve

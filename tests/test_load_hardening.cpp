@@ -1,0 +1,126 @@
+// Tests for the hardened RuleSystem::load: corrupt, truncated and hostile
+// .efr payloads must fail with a clean std::runtime_error — no allocation
+// bomb from huge declared counts, no NaN/inf smuggled into predictions.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rule_system.hpp"
+
+namespace {
+
+using ef::core::Interval;
+using ef::core::Rule;
+using ef::core::RuleSystem;
+
+RuleSystem small_system() {
+  Rule rule({Interval(0.0, 0.5), Interval::wildcard()});
+  ef::core::PredictingPart part;
+  part.fit.coeffs = {0.25, -0.5, 0.125};
+  part.fit.mean_prediction = 0.125;
+  part.fit.max_abs_residual = 0.01;
+  part.matches = 3;
+  part.fitness = 1.5;
+  rule.set_predicting(part);
+  RuleSystem system;
+  system.add_rules({rule}, false, -1.0);
+  return system;
+}
+
+std::string saved_text() {
+  std::ostringstream out;
+  small_system().save(out);
+  return out.str();
+}
+
+void expect_load_fails(const std::string& payload) {
+  std::istringstream in(payload);
+  EXPECT_THROW((void)RuleSystem::load(in), std::runtime_error) << payload;
+}
+
+TEST(LoadHardening, RoundTripStillWorks) {
+  std::istringstream in(saved_text());
+  const RuleSystem loaded = RuleSystem::load(in);
+  ASSERT_EQ(loaded.size(), 1u);
+  const std::vector<double> window{0.25, 7.0};
+  const auto original = small_system().predict(window);
+  const auto reloaded = loaded.predict(window);
+  ASSERT_TRUE(original.has_value());
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(*original, *reloaded);
+}
+
+TEST(LoadHardening, BadHeader) {
+  expect_load_fails("not-a-rules-file\n1\n");
+  expect_load_fails("");
+}
+
+TEST(LoadHardening, MissingOrHostileRuleCount) {
+  expect_load_fails("evoforecast-rules v1\n");
+  expect_load_fails("evoforecast-rules v1\nbanana\n");
+  // Oversized declared count: must be rejected before any allocation
+  // proportional to it (allocation-bomb guard).
+  expect_load_fails("evoforecast-rules v1\n1000000000\n");
+  expect_load_fails("evoforecast-rules v1\n18446744073709551615\n");
+}
+
+TEST(LoadHardening, TruncatedPayloads) {
+  const std::string full = saved_text();
+  // Chop the serialised text at several interior points: every prefix that
+  // still has the header but lost data must fail cleanly.
+  const std::size_t header_end = full.find('\n') + 1;
+  for (std::size_t cut = header_end + 2; cut < full.size() - 1; cut += 7) {
+    std::istringstream in(full.substr(0, cut));
+    EXPECT_THROW((void)RuleSystem::load(in), std::runtime_error) << "cut at " << cut;
+  }
+  // Declared count larger than the rules actually present.
+  std::string overdeclared = full;
+  overdeclared[full.find('\n') + 1] = '9';
+  expect_load_fails(overdeclared);
+}
+
+TEST(LoadHardening, HostileWindowSize) {
+  expect_load_fails("evoforecast-rules v1\n1\n0 1 0.5 0.1 0.2 0\n");       // window 0
+  expect_load_fails("evoforecast-rules v1\n1\n999999 * *\n");               // window huge
+}
+
+TEST(LoadHardening, HostileCoefficientCount) {
+  // window 1, one wildcard gene, then an absurd coefficient count.
+  expect_load_fails("evoforecast-rules v1\n1\n1 * * 99999999 0.0\n");
+}
+
+TEST(LoadHardening, NonFiniteValuesRejected) {
+  // NaN coefficient.
+  expect_load_fails("evoforecast-rules v1\n1\n1 * * 2 nan 0.0 0.1 0.2 0 3 1.5\n");
+  // Infinite coefficient.
+  expect_load_fails("evoforecast-rules v1\n1\n1 * * 2 inf 0.0 0.1 0.2 0 3 1.5\n");
+  // NaN stats.
+  expect_load_fails("evoforecast-rules v1\n1\n1 * * 2 0.5 0.0 nan 0.2 0 3 1.5\n");
+  expect_load_fails("evoforecast-rules v1\n1\n1 * * 2 0.5 0.0 0.1 0.2 0 3 inf\n");
+  // Non-finite gene bound.
+  expect_load_fails("evoforecast-rules v1\n1\n1 inf inf 2 0.5 0.0 0.1 0.2 0 3 1.5\n");
+}
+
+TEST(LoadHardening, MalformedGenes) {
+  // lo > hi violates the Interval invariant.
+  expect_load_fails("evoforecast-rules v1\n1\n1 0.9 0.1 2 0.5 0.0 0.1 0.2 0 3 1.5\n");
+  // Unparseable gene text.
+  expect_load_fails("evoforecast-rules v1\n1\n1 abc def 2 0.5 0.0 0.1 0.2 0 3 1.5\n");
+  // Half-wildcard gene.
+  expect_load_fails("evoforecast-rules v1\n1\n1 * 0.5 2 0.5 0.0 0.1 0.2 0 3 1.5\n");
+}
+
+TEST(LoadHardening, ValidMinimalPayloadLoads) {
+  // window 1, wildcard gene, 2 coeffs, stats: residual mean degenerate matches fitness.
+  std::istringstream in("evoforecast-rules v1\n1\n1 * * 2 0.5 0.25 0.1 0.2 0 3 1.5\n");
+  const RuleSystem system = RuleSystem::load(in);
+  ASSERT_EQ(system.size(), 1u);
+  const std::vector<double> window{2.0};
+  const auto prediction = system.predict(window);
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_DOUBLE_EQ(*prediction, 0.5 * 2.0 + 0.25);
+}
+
+}  // namespace

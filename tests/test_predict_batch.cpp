@@ -1,0 +1,176 @@
+// Tests for RuleSystem::predict_batch and RuleIndex::predict_batch: exact
+// element-by-element agreement with single-window predict across every
+// aggregation mode, including abstention positions and vote counts.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rule_index.hpp"
+#include "core/rule_system.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using ef::core::Aggregation;
+using ef::core::Interval;
+using ef::core::Rule;
+using ef::core::RuleIndex;
+using ef::core::RuleSystem;
+
+constexpr Aggregation kAllAggregations[] = {
+    Aggregation::kMean, Aggregation::kFitnessWeighted, Aggregation::kMedian,
+    Aggregation::kBestRule, Aggregation::kInverseError};
+
+Rule make_rule(std::vector<Interval> genes, std::vector<double> coeffs, double fitness,
+               double error) {
+  Rule r(std::move(genes));
+  ef::core::PredictingPart part;
+  part.fit.coeffs = std::move(coeffs);
+  part.fit.mean_prediction = part.fit.coeffs.back();
+  part.fit.max_abs_residual = error;
+  part.matches = 7;
+  part.fitness = fitness;
+  r.set_predicting(part);
+  return r;
+}
+
+/// A small overlapping rule set over [0,1]^3 with genuinely different
+/// hyperplanes, so every aggregation mode produces distinct values.
+RuleSystem make_system() {
+  RuleSystem system;
+  std::vector<Rule> rules;
+  rules.push_back(make_rule({Interval(0.0, 0.5), Interval::wildcard(), Interval(0.0, 1.0)},
+                            {0.3, -0.2, 0.1, 0.4}, 2.0, 0.05));
+  rules.push_back(make_rule({Interval(0.2, 0.9), Interval(0.1, 0.8), Interval::wildcard()},
+                            {-0.1, 0.5, 0.2, 0.1}, 3.5, 0.01));
+  rules.push_back(make_rule({Interval::wildcard(), Interval(0.0, 0.6), Interval(0.3, 1.0)},
+                            {0.0, 0.0, 1.0, 0.0}, 1.0, 0.2));
+  rules.push_back(make_rule({Interval(0.6, 1.0), Interval(0.6, 1.0), Interval(0.6, 1.0)},
+                            {0.1, 0.1, 0.1, 0.7}, 5.0, 0.005));
+  system.add_rules(std::move(rules), /*discard_unfit=*/false, /*f_min=*/-1.0);
+  return system;
+}
+
+/// Random probe windows over a slightly enlarged range so a good fraction of
+/// positions abstain.
+std::vector<double> make_probes(std::size_t n, std::size_t window) {
+  ef::util::Rng rng(42);
+  std::vector<double> flat;
+  flat.reserve(n * window);
+  for (std::size_t i = 0; i < n * window; ++i) {
+    flat.push_back(rng.uniform(-0.2, 1.4));
+  }
+  return flat;
+}
+
+TEST(PredictBatch, MatchesSinglePredictAllAggregations) {
+  const RuleSystem system = make_system();
+  const std::size_t window = 3;
+  const std::size_t n = 200;
+  const std::vector<double> flat = make_probes(n, window);
+
+  for (const Aggregation how : kAllAggregations) {
+    std::vector<std::size_t> votes;
+    const auto batch = system.predict_batch(flat, window, how, nullptr, &votes);
+    ASSERT_EQ(batch.size(), n);
+    ASSERT_EQ(votes.size(), n);
+
+    std::size_t abstentions = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::span<const double> w(flat.data() + i * window, window);
+      const auto single = system.predict(w, how);
+      ASSERT_EQ(batch[i].has_value(), single.has_value()) << "position " << i;
+      if (single) {
+        EXPECT_EQ(*batch[i], *single) << "position " << i;  // bit-identical path
+      } else {
+        ++abstentions;
+        EXPECT_EQ(votes[i], 0u);
+      }
+      EXPECT_EQ(votes[i], system.vote_count(w));
+    }
+    EXPECT_GT(abstentions, 0u) << "probe set should include abstaining windows";
+    EXPECT_LT(abstentions, n) << "probe set should include covered windows";
+  }
+}
+
+TEST(PredictBatch, MatchesPlainMeanPredict) {
+  const RuleSystem system = make_system();
+  const std::size_t window = 3;
+  const std::vector<double> flat = make_probes(64, window);
+  const auto batch = system.predict_batch(flat, window);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::span<const double> w(flat.data() + i * window, window);
+    const auto single = system.predict(w);  // the paper's mean path
+    ASSERT_EQ(batch[i].has_value(), single.has_value());
+    if (single) {
+      EXPECT_EQ(*batch[i], *single);
+    }
+  }
+}
+
+TEST(PredictBatch, IndexBatchMatchesSystemBatch) {
+  const RuleSystem system = make_system();
+  const RuleIndex index(system, 0.0, 1.0);
+  const std::size_t window = 3;
+  const std::vector<double> flat = make_probes(150, window);
+
+  for (const Aggregation how : kAllAggregations) {
+    std::vector<std::size_t> system_votes;
+    std::vector<std::size_t> index_votes;
+    const auto from_system = system.predict_batch(flat, window, how, nullptr, &system_votes);
+    const auto from_index = index.predict_batch(flat, window, how, nullptr, &index_votes);
+    ASSERT_EQ(from_system.size(), from_index.size());
+    for (std::size_t i = 0; i < from_system.size(); ++i) {
+      ASSERT_EQ(from_system[i].has_value(), from_index[i].has_value()) << "position " << i;
+      if (from_system[i]) {
+        EXPECT_EQ(*from_system[i], *from_index[i]) << "position " << i;
+      }
+      EXPECT_EQ(system_votes[i], index_votes[i]) << "position " << i;
+    }
+  }
+}
+
+TEST(PredictBatch, ExplicitPoolMatchesSharedPool) {
+  const RuleSystem system = make_system();
+  ef::util::ThreadPool pool(2);
+  const std::vector<double> flat = make_probes(100, 3);
+  const auto with_pool = system.predict_batch(flat, 3, Aggregation::kMean, &pool);
+  const auto without = system.predict_batch(flat, 3, Aggregation::kMean);
+  ASSERT_EQ(with_pool.size(), without.size());
+  for (std::size_t i = 0; i < with_pool.size(); ++i) {
+    ASSERT_EQ(with_pool[i].has_value(), without[i].has_value());
+    if (without[i]) {
+      EXPECT_EQ(*with_pool[i], *without[i]);
+    }
+  }
+}
+
+TEST(PredictBatch, EmptyBatchAndValidation) {
+  const RuleSystem system = make_system();
+  EXPECT_TRUE(system.predict_batch({}, 3).empty());
+  const std::vector<double> flat{0.1, 0.2, 0.3, 0.4};
+  EXPECT_THROW((void)system.predict_batch(flat, 0), std::invalid_argument);
+  EXPECT_THROW((void)system.predict_batch(flat, 3), std::invalid_argument);
+
+  const RuleIndex index(system, 0.0, 1.0);
+  EXPECT_THROW((void)index.predict_batch(flat, 0), std::invalid_argument);
+  EXPECT_THROW((void)index.predict_batch(flat, 3), std::invalid_argument);
+}
+
+TEST(PredictBatch, EmptySystemAbstainsEverywhere) {
+  const RuleSystem system;
+  const std::vector<double> flat{0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  std::vector<std::size_t> votes;
+  const auto batch = system.predict_batch(flat, 3, Aggregation::kMean, nullptr, &votes);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_FALSE(batch[0].has_value());
+  EXPECT_FALSE(batch[1].has_value());
+  EXPECT_EQ(votes[0], 0u);
+  EXPECT_EQ(votes[1], 0u);
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Tests for serve/window_cache.hpp: quantized-key roundtrips (values and
+// abstentions alike), LRU eviction/refresh, stat counters, and key
+// separation across model tag / horizon / aggregation.
+#include "serve/window_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using ef::core::Aggregation;
+using ef::serve::CacheConfig;
+using ef::serve::WindowCache;
+
+WindowCache::Value value_of(double v, std::uint32_t votes = 1) {
+  WindowCache::Value out;
+  out.value = v;
+  out.votes = votes;
+  return out;
+}
+
+TEST(WindowCache, RoundTripValueAndAbstention) {
+  WindowCache cache;
+  const std::vector<double> window{0.1, 0.2, 0.3};
+  const auto key = cache.make_key(7, 1, Aggregation::kMean, window);
+
+  EXPECT_FALSE(cache.get(key).has_value());
+  cache.put(key, value_of(0.42, 3));
+  const auto hit = cache.get(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->abstain);
+  EXPECT_DOUBLE_EQ(hit->value, 0.42);
+  EXPECT_EQ(hit->votes, 3u);
+
+  // Abstentions are cached like values.
+  const auto akey = cache.make_key(7, 1, Aggregation::kMean, std::vector<double>{9.0, 9.0, 9.0});
+  WindowCache::Value abstain;
+  abstain.abstain = true;
+  cache.put(akey, abstain);
+  const auto ahit = cache.get(akey);
+  ASSERT_TRUE(ahit.has_value());
+  EXPECT_TRUE(ahit->abstain);
+  EXPECT_EQ(ahit->votes, 0u);
+}
+
+TEST(WindowCache, QuantizationMergesSubGridJitter) {
+  CacheConfig config;
+  config.quantum = 1e-6;
+  WindowCache cache(config);
+
+  const std::vector<double> base{0.5, 0.25};
+  // Jitter far below the grid: same key.
+  const std::vector<double> jittered{0.5 + 1e-9, 0.25 - 1e-9};
+  // Offset beyond the grid: different key.
+  const std::vector<double> shifted{0.5 + 1e-4, 0.25};
+
+  const auto k1 = cache.make_key(1, 1, Aggregation::kMean, base);
+  const auto k2 = cache.make_key(1, 1, Aggregation::kMean, jittered);
+  const auto k3 = cache.make_key(1, 1, Aggregation::kMean, shifted);
+  EXPECT_EQ(k1, k2);
+  EXPECT_NE(k1, k3);
+
+  cache.put(k1, value_of(1.0));
+  EXPECT_TRUE(cache.get(k2).has_value());
+  EXPECT_FALSE(cache.get(k3).has_value());
+}
+
+TEST(WindowCache, KeySeparation) {
+  WindowCache cache;
+  const std::vector<double> window{0.3, 0.6};
+  const auto base = cache.make_key(1, 1, Aggregation::kMean, window);
+  // Any change in the snapshot tag, horizon or aggregation must miss.
+  EXPECT_NE(base, cache.make_key(2, 1, Aggregation::kMean, window));
+  EXPECT_NE(base, cache.make_key(1, 2, Aggregation::kMean, window));
+  EXPECT_NE(base, cache.make_key(1, 1, Aggregation::kMedian, window));
+
+  cache.put(base, value_of(5.0));
+  EXPECT_FALSE(cache.get(cache.make_key(2, 1, Aggregation::kMean, window)).has_value());
+  EXPECT_FALSE(cache.get(cache.make_key(1, 2, Aggregation::kMean, window)).has_value());
+  EXPECT_FALSE(cache.get(cache.make_key(1, 1, Aggregation::kMedian, window)).has_value());
+  EXPECT_TRUE(cache.get(base).has_value());
+}
+
+TEST(WindowCache, LruEvictionAndRefresh) {
+  CacheConfig config;
+  config.capacity = 4;
+  config.shards = 1;  // deterministic LRU order
+  WindowCache cache(config);
+
+  auto key_of = [&](int i) {
+    return cache.make_key(1, 1, Aggregation::kMean, std::vector<double>{static_cast<double>(i)});
+  };
+
+  for (int i = 0; i < 4; ++i) cache.put(key_of(i), value_of(i));
+  // Touch key 0 so key 1 becomes the LRU victim.
+  EXPECT_TRUE(cache.get(key_of(0)).has_value());
+  cache.put(key_of(4), value_of(4.0));
+
+  EXPECT_TRUE(cache.get(key_of(0)).has_value());
+  EXPECT_FALSE(cache.get(key_of(1)).has_value());  // evicted
+  EXPECT_TRUE(cache.get(key_of(2)).has_value());
+  EXPECT_TRUE(cache.get(key_of(3)).has_value());
+  EXPECT_TRUE(cache.get(key_of(4)).has_value());
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 4u);
+}
+
+TEST(WindowCache, PutOverwritesInPlace) {
+  CacheConfig config;
+  config.capacity = 2;
+  config.shards = 1;
+  WindowCache cache(config);
+  const auto key = cache.make_key(1, 1, Aggregation::kMean, std::vector<double>{1.0});
+  cache.put(key, value_of(1.0));
+  cache.put(key, value_of(2.0));
+  const auto hit = cache.get(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->value, 2.0);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(WindowCache, StatsAndClear) {
+  WindowCache cache;
+  const auto key = cache.make_key(1, 1, Aggregation::kMean, std::vector<double>{0.5});
+  EXPECT_FALSE(cache.get(key).has_value());
+  cache.put(key, value_of(1.0));
+  EXPECT_TRUE(cache.get(key).has_value());
+  EXPECT_TRUE(cache.get(key).has_value());
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_FALSE(cache.get(key).has_value());
+}
+
+TEST(WindowCache, NonFiniteWindowValuesProduceStableKeys) {
+  // Saturating quantization: NaN and infinities must not crash or UB; they
+  // map to fixed buckets so lookups stay deterministic.
+  WindowCache cache;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const auto k1 = cache.make_key(1, 1, Aggregation::kMean, std::vector<double>{nan, inf, -inf});
+  const auto k2 = cache.make_key(1, 1, Aggregation::kMean, std::vector<double>{nan, inf, -inf});
+  EXPECT_EQ(k1, k2);
+  cache.put(k1, value_of(3.0));
+  EXPECT_TRUE(cache.get(k2).has_value());
+}
+
+TEST(WindowCache, ConcurrentMixedTraffic) {
+  CacheConfig config;
+  config.capacity = 128;
+  config.shards = 4;
+  WindowCache cache(config);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        const double v = static_cast<double>((t * 31 + i) % 200);
+        const auto key = cache.make_key(1, 1, Aggregation::kMean, std::vector<double>{v});
+        if (const auto hit = cache.get(key)) {
+          // A hit must always carry the value that was stored for this key.
+          EXPECT_DOUBLE_EQ(hit->value, v * 2.0);
+        } else {
+          cache.put(key, value_of(v * 2.0));
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+  EXPECT_LE(stats.entries, 128u);
+}
+
+}  // namespace
