@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   cfg.coverage_target_percent = 78.0;
   cfg.max_executions = 4;
 
-  const auto trained = ef::core::train_rule_system(train, cfg);
+  const auto trained = ef::core::train(train, {.config = cfg});
   std::printf("trained: %zu rules, train coverage %.1f%%\n\n", trained.system.size(),
               trained.train_coverage_percent);
 

@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
       ef::core::RuleSystemConfig init_only = cfg;
       init_only.evolution.generations = 0;
       init_only.discard_unfit = false;
-      const auto at_init = ef::core::train_rule_system(train, init_only);
+      const auto at_init = ef::core::train(train, {.config = init_only});
 
       const auto rs = ef::bench::run_rule_system(train, test, cfg);
       cov_sum += rs.report.coverage_percent;

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   one_cfg.max_executions = 4;
 
   const ef::core::WindowDataset one_train(experiment.train, window, 1);
-  const auto one_step = ef::core::train_rule_system(one_train, one_cfg);
+  const auto one_step = ef::core::train(one_train, {.config = one_cfg});
   std::printf("one-step system: %zu rules, train coverage %.1f%%\n\n",
               one_step.system.size(), one_step.train_coverage_percent);
 

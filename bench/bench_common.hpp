@@ -44,7 +44,10 @@ struct RuleSystemOutcome {
                                                        const core::RuleSystemConfig& config) {
   RuleSystemOutcome out;
   const obs::ScopedTimer timer("bench.run_rule_system");
-  auto result = core::train_rule_system(train, config);
+  // Sequential schedule: train_seconds must stay comparable across runs and
+  // with the committed baselines, so the schedule is pinned rather than kAuto.
+  auto result = core::train(train, {.config = config,
+                                    .parallelism = core::TrainParallelism::kSequential});
   out.train_seconds = timer.elapsed_seconds();
   out.rules = result.system.size();
   out.executions = result.executions;

@@ -1,0 +1,182 @@
+// bench_match_kernel — match-backend throughput on Mackey-Glass (D=4, τ=6).
+//
+// Trains a real rule system on a prefix of a long Mackey-Glass series
+// (deterministic seed → identical rule sets across runs), then measures
+// single-threaded match throughput of every MatchBackend sweeping the full
+// rule set over the full dataset. Before timing, every backend's match set
+// is checked index-for-index against the scalar serial reference: the
+// backends' contract is *bit-identical* match sets, so any divergence is a
+// correctness bug and the bench exits non-zero — speed numbers for wrong
+// answers are worthless.
+//
+// Output: a human-readable table plus (via --json) a machine-readable
+// report with per-backend windows/s and speedups vs scalar. CI runs
+// --quick and diffs against the committed baseline BENCH_match.json with
+// scripts/check_match_bench.py.
+//
+// Flags:
+//   --quick         scaled-down series/training/reps (CI smoke)
+//   --series N      series length                (default 120000 / 20000 quick)
+//   --generations N per-execution budget         (default 3000 / 300 quick)
+//   --executions N  training executions unioned  (default 3 / 1 quick)
+//   --reps N        timed sweeps per backend     (default 5 / 7 quick)
+//   --seed S        training seed                (default 7)
+//   --json PATH     write the JSON report
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/match_backend.hpp"
+#include "core/match_engine.hpp"
+#include "core/rule_system.hpp"
+#include "series/mackey_glass.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using ef::core::MatchBackend;
+using ef::core::MatchEngine;
+using ef::core::Rule;
+using ef::core::WindowDataset;
+
+struct BackendResult {
+  MatchBackend backend = MatchBackend::kScalar;
+  double seconds = 0.0;  ///< best (minimum) single-sweep wall time
+  double windows_per_sec = 0.0;
+  std::size_t matched = 0;  ///< total matches over one sweep (sanity anchor)
+};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ef::util::Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick");
+  const auto series_len =
+      static_cast<std::size_t>(cli.get_int("series", quick ? 20000 : 120000));
+  const auto generations =
+      static_cast<std::size_t>(cli.get_int("generations", quick ? 300 : 3000));
+  const auto executions =
+      static_cast<std::size_t>(cli.get_int("executions", quick ? 1 : 3));
+  // Quick sweeps are ~1 ms, so extra reps are free and the min needs them
+  // to be repeatable on a noisy CI box.
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", quick ? 7 : 5));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const std::string json_path = cli.get_string("json", "");
+
+  // The paper's Mackey-Glass embedding: D = 4 lags, horizon τ = 6.
+  const auto series = ef::series::generate_mackey_glass(series_len);
+  const WindowDataset data(series, 4, 6);
+  const WindowDataset train_ds(series.slice(0, std::min<std::size_t>(3000, series_len)),
+                               4, 6);
+
+  ef::core::RuleSystemConfig cfg;
+  cfg.evolution.population_size = 50;
+  cfg.evolution.generations = generations;
+  cfg.evolution.emax = 0.06;  // raw MG amplitude ≈ [0.2, 1.4]
+  cfg.evolution.seed = seed;
+  cfg.max_executions = executions;
+  cfg.coverage_target_percent = 100.0;  // union every execution
+  const auto trained = ef::core::train(train_ds, {.config = cfg});
+  const std::vector<Rule>& rules = trained.system.rules();
+  if (rules.empty()) {
+    std::fprintf(stderr, "bench_match_kernel: training produced no rules\n");
+    return 2;
+  }
+
+  std::printf("bench_match_kernel: %zu windows x %zu rules, %zu reps%s\n",
+              data.count(), rules.size(), reps, quick ? " (quick)" : "");
+
+  // Single-worker pool: m > the parallel grain, so a multi-worker pool would
+  // measure chunking, not the kernels.
+  ef::util::ThreadPool one(1);
+
+  // Correctness gate first: every backend vs the scalar serial reference.
+  const MatchEngine reference(data, &one);
+  bool identical = true;
+  constexpr MatchBackend kBackends[] = {MatchBackend::kScalar, MatchBackend::kSoa,
+                                        MatchBackend::kSoaPrefilter};
+  for (const MatchBackend backend : kBackends) {
+    const MatchEngine engine(data, &one, backend);
+    for (const Rule& rule : rules) {
+      if (engine.match_indices(rule) != reference.match_indices_serial(rule)) {
+        std::fprintf(stderr, "MATCH SET MISMATCH: backend=%s\n",
+                     ef::core::to_string(backend));
+        identical = false;
+        break;
+      }
+    }
+  }
+
+  std::vector<BackendResult> results;
+  for (const MatchBackend backend : kBackends) {
+    const MatchEngine engine(data, &one, backend);
+    BackendResult r;
+    r.backend = backend;
+    for (const Rule& rule : rules) r.matched += engine.match_indices(rule).size();  // warm
+    // Per-rep minimum: the machine is shared, so total time over reps mixes
+    // in scheduler noise; the fastest sweep is the most repeatable estimate
+    // of what the kernel actually costs.
+    r.seconds = 0.0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const double t0 = now_seconds();
+      for (const Rule& rule : rules) {
+        const auto matches = engine.match_indices(rule);
+        (void)matches;
+      }
+      const double dt = now_seconds() - t0;
+      if (rep == 0 || dt < r.seconds) r.seconds = dt;
+    }
+    const double scanned =
+        static_cast<double>(rules.size()) * static_cast<double>(data.count());
+    r.windows_per_sec = r.seconds > 0.0 ? scanned / r.seconds : 0.0;
+    results.push_back(r);
+    std::printf("  %-14s %8.3f s/sweep   %12.3e windows/s   (%zu matches/sweep)\n",
+                ef::core::to_string(backend), r.seconds, r.windows_per_sec, r.matched);
+  }
+
+  const double scalar_wps = results[0].windows_per_sec;
+  std::printf("  speedup: soa %.2fx, soa_prefilter %.2fx, match sets %s\n",
+              results[1].windows_per_sec / scalar_wps,
+              results[2].windows_per_sec / scalar_wps,
+              identical ? "identical" : "MISMATCH");
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench_match_kernel: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f,
+                 "  \"config\": {\"series\": %zu, \"windows\": %zu, \"rules\": %zu, "
+                 "\"reps\": %zu, \"quick\": %s, \"window\": 4, \"horizon\": 6},\n",
+                 series_len, data.count(), rules.size(), reps,
+                 quick ? "true" : "false");
+    std::fprintf(f, "  \"backends\": {\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      std::fprintf(f,
+                   "    \"%s\": {\"seconds\": %.6f, \"windows_per_sec\": %.1f, "
+                   "\"matches_per_sweep\": %zu}%s\n",
+                   ef::core::to_string(results[i].backend), results[i].seconds,
+                   results[i].windows_per_sec, results[i].matched,
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"speedup\": {\"soa\": %.3f, \"soa_prefilter\": %.3f},\n",
+                 results[1].windows_per_sec / scalar_wps,
+                 results[2].windows_per_sec / scalar_wps);
+    std::fprintf(f, "  \"match_sets_identical\": %s\n", identical ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+  }
+
+  return identical ? 0 : 1;
+}

@@ -115,7 +115,7 @@ const ef::core::RuleSystem& query_system() {
     cfg.evolution.emax = 20.0;
     cfg.max_executions = 4;
     cfg.coverage_target_percent = 100.0;
-    return ef::core::train_rule_system(d, cfg).system;
+    return ef::core::train(d, {.config = cfg}).system;
   }();
   return system;
 }

@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
 
   std::printf("training: D=%zu, tau=%zu, EMAX=%.3f, %zu windows\n", window, horizon,
               config.evolution.emax, train.count());
-  const auto result = ef::core::train_rule_system(train, config);
+  const auto result = ef::core::train(train, {.config = config});
 
   const auto forecast = result.system.forecast_dataset(validation);
   std::vector<double> actual;

@@ -35,7 +35,7 @@ ef::core::RuleSystem demo_model() {
   cfg.evolution.seed = 12;
   cfg.max_executions = 2;
   cfg.coverage_target_percent = 95.0;
-  return ef::core::train_rule_system(train, cfg).system;
+  return ef::core::train(train, {.config = cfg}).system;
 }
 
 }  // namespace

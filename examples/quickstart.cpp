@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   config.max_executions = 3;
 
   std::printf("training on %zu windows...\n", train.count());
-  const auto result = ef::core::train_rule_system(train, config);
+  const auto result = ef::core::train(train, {.config = config});
   std::printf("done: %zu rules from %zu execution(s), train coverage %.1f%%\n",
               result.system.size(), result.executions, result.train_coverage_percent);
 

@@ -88,7 +88,7 @@ int main() {
 
   std::printf("\n== 5. forecasts with uncertainty bounds ==\n");
   const ef::core::WindowDataset eval(mg.slice(1500, 2000), 4, 6);
-  const auto trained = ef::core::train_rule_system(mg_train, cfg);
+  const auto trained = ef::core::train(mg_train, {.config = cfg});
   std::size_t covered = 0;
   std::size_t inside = 0;
   double bound_sum = 0.0;

@@ -35,7 +35,7 @@ int main() {
 
   std::printf("training on %zu windows (train 1749-1919, horizon %zu months)...\n",
               train.count(), horizon);
-  const auto result = ef::core::train_rule_system(train, config);
+  const auto result = ef::core::train(train, {.config = config});
 
   const auto forecast = result.system.forecast_dataset(validation);
   std::vector<double> actual;

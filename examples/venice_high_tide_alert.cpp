@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
   config.max_executions = 6;
 
   std::printf("training rule system on %zu windows...\n", train.count());
-  const auto result = ef::core::train_rule_system(train, config);
+  const auto result = ef::core::train(train, {.config = config});
   std::printf("%zu rules, train coverage %.1f%%\n\n", result.system.size(),
               result.train_coverage_percent);
 

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Gate a bench_match_kernel run against the committed baseline (used by CI).
+
+Usage: check_match_bench.py CURRENT_JSON [BASELINE_JSON]
+
+BASELINE_JSON defaults to BENCH_match.json next to the repo root (one
+directory above this script). The current run is typically --quick on a
+noisy shared runner while the baseline is a full run on a quiet box, so
+the throughput thresholds are deliberately generous — this is a smoke
+gate against order-of-magnitude regressions and correctness bugs, not a
+performance tracker.
+
+Checks, in order of severity:
+  1. match_sets_identical must be true (hard correctness failure).
+  2. soa_prefilter speedup vs scalar must stay >= MIN_SPEEDUP (1.5x;
+     the committed baseline demonstrates >= 3x).
+  3. Each backend's windows/s must stay >= MIN_THROUGHPUT_RATIO (0.25)
+     of the baseline's.
+Exits non-zero on the first category that fails, after printing all checks.
+"""
+import json
+import os
+import sys
+
+MIN_SPEEDUP = 1.5
+MIN_THROUGHPUT_RATIO = 0.25
+
+FAILURES = []
+
+
+def check(name, ok, detail=""):
+    status = "ok" if ok else "FAIL"
+    suffix = f": {detail}" if detail and not ok else ""
+    print(f"  [{status}] {name}{suffix}")
+    if not ok:
+        FAILURES.append(name)
+
+
+def main():
+    if len(sys.argv) < 2 or len(sys.argv) > 3:
+        print(__doc__)
+        return 2
+    current_path = sys.argv[1]
+    baseline_path = (
+        sys.argv[2]
+        if len(sys.argv) == 3
+        else os.path.join(os.path.dirname(__file__), "..", "BENCH_match.json")
+    )
+
+    with open(current_path) as f:
+        current = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    print(f"check_match_bench: {current_path} vs {baseline_path}")
+
+    check(
+        "match sets identical",
+        current.get("match_sets_identical") is True,
+        "backends disagree with the scalar reference — correctness bug",
+    )
+
+    speedup = current.get("speedup", {}).get("soa_prefilter", 0.0)
+    check(
+        f"soa_prefilter speedup {speedup:.2f}x >= {MIN_SPEEDUP}x",
+        speedup >= MIN_SPEEDUP,
+        f"baseline has {baseline.get('speedup', {}).get('soa_prefilter', 0.0):.2f}x",
+    )
+
+    for name, base in baseline.get("backends", {}).items():
+        cur = current.get("backends", {}).get(name)
+        if cur is None:
+            check(f"backend {name} present", False, "missing from current run")
+            continue
+        floor = base["windows_per_sec"] * MIN_THROUGHPUT_RATIO
+        check(
+            f"{name} {cur['windows_per_sec']:.3e} windows/s >= "
+            f"{MIN_THROUGHPUT_RATIO} x baseline ({floor:.3e})",
+            cur["windows_per_sec"] >= floor,
+        )
+
+    if FAILURES:
+        print(f"check_match_bench: {len(FAILURES)} check(s) failed")
+        return 1
+    print("check_match_bench: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

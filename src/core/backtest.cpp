@@ -52,7 +52,7 @@ BacktestResult backtest_rule_system(const series::TimeSeries& series,
     const WindowDataset train(train_slice, options.window, options.horizon, options.stride);
     const WindowDataset eval(eval_slice, options.window, options.horizon, options.stride);
 
-    const TrainResult trained = train_rule_system(train, config, pool);
+    const TrainResult trained = ef::core::train(train, {.config = config, .pool = pool});
     const auto forecast = trained.system.forecast_dataset(eval, pool);
     std::vector<double> actual;
     actual.reserve(eval.count());

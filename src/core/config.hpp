@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/match_backend.hpp"
+
 namespace ef::core {
 
 /// Phenotypic distance used by crowding replacement (DESIGN.md §5.2).
@@ -65,6 +67,12 @@ struct EvolutionConfig {
   DistanceMetric distance = DistanceMetric::kPrediction;
   InitStrategy init = InitStrategy::kOutputStratified;
   ReplacementStrategy replacement = ReplacementStrategy::kCrowding;
+
+  /// Match-kernel implementation used by rule evaluation. Every backend
+  /// produces bit-identical match sets, so this is purely a throughput knob;
+  /// EVOFORECAST_MATCH_BACKEND in the environment overrides it at run time
+  /// (see resolve_match_backend).
+  MatchBackend match_backend = MatchBackend::kSoaPrefilter;
 
   std::uint64_t seed = 1;
 

@@ -1,6 +1,7 @@
 #include "core/dataset.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -24,10 +25,13 @@ WindowDataset::WindowDataset(const series::TimeSeries& s, std::size_t window,
   count_ = s.size() - reach;
 
   patterns_.resize(count_ * window_);
+  lag_major_.resize(count_ * window_);
   targets_.resize(count_);
   for (std::size_t i = 0; i < count_; ++i) {
     for (std::size_t j = 0; j < window_; ++j) {
-      patterns_[i * window_ + j] = values_[i + j * stride_];
+      const double v = values_[i + j * stride_];
+      patterns_[i * window_ + j] = v;
+      lag_major_[j * count_ + i] = v;
     }
     targets_[i] = values_[i + reach];
   }
@@ -36,6 +40,17 @@ WindowDataset::WindowDataset(const series::TimeSeries& s, std::size_t window,
   value_max_ = *std::max_element(values_.begin(), values_.end());
   target_min_ = *std::min_element(targets_.begin(), targets_.end());
   target_max_ = *std::max_element(targets_.begin(), targets_.end());
+
+  // Quantized mirror for the prefilter kernel: a monotone map of the value
+  // range onto [0, 255]. The kernel relaxes gene bounds through the same
+  // map, so the byte scan can only over-accept — never drop — a window, and
+  // its survivors are re-verified in double precision.
+  qinv_ = value_max_ > value_min_ ? 255.0 / (value_max_ - value_min_) : 0.0;
+  lag_major_q_.resize(count_ * window_);
+  for (std::size_t k = 0; k < lag_major_.size(); ++k) {
+    lag_major_q_[k] = static_cast<std::uint8_t>(
+        std::clamp(std::floor((lag_major_[k] - value_min_) * qinv_), 0.0, 255.0));
+  }
 }
 
 }  // namespace ef::core

@@ -6,14 +6,18 @@
 // consecutive values (s = 1); the stride generalisation matches the delay
 // embedding used by the Mackey-Glass comparators it quotes (RAN/MRAN take
 // s(t), s(t−6), s(t−12), s(t−18) to predict s(t+τ)). Patterns are
-// materialised row-contiguously so the match engine scans one cache-friendly
-// buffer regardless of stride.
+// materialised twice, both built once at construction: row-contiguously
+// (pattern(i) spans for regression residuals and per-window forecasting)
+// and lag-major (lag_major(): one contiguous column per lag, the layout the
+// vectorized match kernels and the SoA normal-equation accumulation scan).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "core/match_backend.hpp"
 #include "series/timeseries.hpp"
 
 namespace ef::core {
@@ -40,8 +44,21 @@ class WindowDataset {
     return {patterns_.data() + i * window_, window_};
   }
 
+  /// Transposed (lag-major) view of every pattern: column j is the value of
+  /// lag j across all windows, contiguous. This is the layout the SoA match
+  /// backends and the regression accumulator consume. The view also carries
+  /// the row-major mirror and the quantized byte columns the prefilter
+  /// kernel uses (built once here, at construction).
+  [[nodiscard]] LagMajorView lag_major() const noexcept {
+    return LagMajorView{lag_major_.data(), count_,      window_, patterns_.data(),
+                        lag_major_q_.data(), value_min_, qinv_};
+  }
+
   /// Target v_i = x_{i+(D-1)·s+τ}.
   [[nodiscard]] double target(std::size_t i) const noexcept { return targets_[i]; }
+
+  /// All targets, contiguous (regression accumulates over this directly).
+  [[nodiscard]] std::span<const double> targets() const noexcept { return targets_; }
 
   /// The underlying raw series values.
   [[nodiscard]] std::span<const double> values() const noexcept { return values_; }
@@ -58,7 +75,9 @@ class WindowDataset {
 
  private:
   std::vector<double> values_;
-  std::vector<double> patterns_;  ///< row-major m×D packed windows
+  std::vector<double> patterns_;   ///< row-major m×D packed windows
+  std::vector<double> lag_major_;  ///< transposed D×m copy (one column per lag)
+  std::vector<std::uint8_t> lag_major_q_;  ///< quantized mirror of lag_major_
   std::vector<double> targets_;
   std::size_t window_ = 0;
   std::size_t horizon_ = 0;
@@ -68,6 +87,7 @@ class WindowDataset {
   double value_max_ = 0.0;
   double target_min_ = 0.0;
   double target_max_ = 0.0;
+  double qinv_ = 0.0;  ///< 255 / (value_max_ − value_min_); 0 when constant
 };
 
 }  // namespace ef::core

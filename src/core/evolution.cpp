@@ -20,7 +20,7 @@ SteadyStateEngine::SteadyStateEngine(const WindowDataset& data, EvolutionConfig 
                                      util::ThreadPool* pool, TelemetrySink telemetry)
     : data_(data),
       config_(config),
-      engine_(data, pool),
+      engine_(data, pool, resolve_match_backend(config.match_backend)),
       evaluator_(engine_, config_),
       rng_(config.seed),
       telemetry_(std::move(telemetry)) {

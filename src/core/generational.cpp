@@ -22,7 +22,7 @@ GenerationalEngine::GenerationalEngine(const WindowDataset& data, GenerationalCo
                                        util::ThreadPool* pool, TelemetrySink telemetry)
     : data_(data),
       config_(config),
-      engine_(data, pool),
+      engine_(data, pool, resolve_match_backend(config.base.match_backend)),
       evaluator_(engine_, config_.base),
       rng_(config.base.seed),
       telemetry_(std::move(telemetry)) {

@@ -1,0 +1,279 @@
+#include "core/match_backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace ef::core {
+
+std::optional<MatchBackend> parse_match_backend(std::string_view name) noexcept {
+  if (name == "scalar") return MatchBackend::kScalar;
+  if (name == "soa") return MatchBackend::kSoa;
+  if (name == "soa_prefilter" || name == "soa+prefilter") return MatchBackend::kSoaPrefilter;
+  return std::nullopt;
+}
+
+MatchBackend resolve_match_backend(MatchBackend configured) {
+  // Read and parse the environment once; std::getenv is not guaranteed
+  // thread-safe against setenv, and engines are constructed on hot paths.
+  static const std::optional<MatchBackend> override_backend = [] {
+    const char* value = std::getenv("EVOFORECAST_MATCH_BACKEND");
+    if (!value || *value == '\0') return std::optional<MatchBackend>{};
+    const auto parsed = parse_match_backend(value);
+    if (!parsed) {
+      std::fprintf(stderr,
+                   "evoforecast: ignoring unknown EVOFORECAST_MATCH_BACKEND='%s' "
+                   "(expected scalar | soa | soa_prefilter)\n",
+                   value);
+    }
+    return parsed;
+  }();
+  return override_backend.value_or(configured);
+}
+
+namespace matchkern {
+
+namespace {
+
+/// Branchless block compress: append every i in [begin, end) with
+/// lo <= c[i] <= hi to `out`, ascending. The hot loop stores every index
+/// into a small stack buffer and advances the write cursor by the predicate
+/// — no data-dependent branch, so sparse and dense columns cost the same
+/// and the column read streams at bandwidth. The buffer stays L1-resident;
+/// the vector grows only in bulk appends between blocks.
+inline void compress_column(const double* c, double lo, double hi, std::size_t begin,
+                            std::size_t end, std::vector<std::size_t>& out) {
+  constexpr std::size_t kBlock = 512;
+  std::size_t buf[kBlock];
+  std::size_t i = begin;
+  while (i < end) {
+    const std::size_t stop = std::min(end, i + kBlock);
+    std::size_t w = 0;
+    for (; i < stop; ++i) {
+      buf[w] = i;
+      w += static_cast<std::size_t>((c[i] >= lo) & (c[i] <= hi));
+    }
+    out.insert(out.end(), buf, buf + w);
+  }
+}
+
+/// Byte-column compress of one block: write every i in [begin, end) with
+/// qlo <= qc[i] <= qhi into `cand`, ascending; return how many. `cand` must
+/// hold at least end − begin indices. Reads 1/8th the memory of the double
+/// column and, with SSE2, tests 16 windows per compare — candidate indices
+/// are extracted from the 16-bit movemask, so sparse masks cost almost
+/// nothing beyond the streaming compare.
+inline std::size_t byte_compress_block(const std::uint8_t* qc, std::uint8_t qlo,
+                                       std::uint8_t qhi, std::size_t begin,
+                                       std::size_t end, std::size_t* cand) {
+  std::size_t w = 0;
+  std::size_t i = begin;
+#if defined(__SSE2__)
+  // Unsigned byte range test without epu8 compares (SSE2 has none):
+  // v >= lo  <=>  max(v, lo) == v, and v <= hi  <=>  min(v, hi) == v.
+  const __m128i vlo = _mm_set1_epi8(static_cast<char>(qlo));
+  const __m128i vhi = _mm_set1_epi8(static_cast<char>(qhi));
+  for (; i + 16 <= end; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(qc + i));
+    const __m128i ge = _mm_cmpeq_epi8(_mm_max_epu8(v, vlo), v);
+    const __m128i le = _mm_cmpeq_epi8(_mm_min_epu8(v, vhi), v);
+    unsigned mask = static_cast<unsigned>(_mm_movemask_epi8(_mm_and_si128(ge, le)));
+    while (mask) {
+      cand[w++] = i + static_cast<unsigned>(__builtin_ctz(mask));
+      mask &= mask - 1;
+    }
+  }
+#endif
+  for (; i < end; ++i) {
+    cand[w] = i;
+    w += static_cast<std::size_t>((qc[i] >= qlo) & (qc[i] <= qhi));
+  }
+  return w;
+}
+
+/// Relax a double bound through the quantization map. floor() and the
+/// multiply are monotone, so clamp(⌊(b − qmin)·qinv⌋) applied to both gene
+/// edges brackets every byte a passing value could quantize to.
+inline std::uint8_t quantize_bound(double b, double qmin, double qinv) {
+  return static_cast<std::uint8_t>(std::clamp(std::floor((b - qmin) * qinv), 0.0, 255.0));
+}
+
+}  // namespace
+
+void scalar_match(const double* rows, std::size_t window, std::span<const Interval> genes,
+                  std::size_t begin, std::size_t end, std::vector<std::size_t>& out) {
+  const std::size_t d = genes.size();
+  for (std::size_t i = begin; i < end; ++i) {
+    const double* w = rows + i * window;
+    bool ok = true;
+    for (std::size_t j = 0; j < d; ++j) {
+      if (!genes[j].contains(w[j])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(i);
+  }
+}
+
+void soa_match(const LagMajorView& view, std::span<const Interval> genes, std::size_t begin,
+               std::size_t end, std::vector<std::size_t>& out) {
+  const std::size_t n = end - begin;
+  if (n == 0) return;
+
+  // One pass/fail byte per window; wildcard genes never touch it. The
+  // bitwise AND of two comparisons keeps the inner loop branch-free so the
+  // compiler can vectorize it.
+  std::vector<unsigned char> ok(n, 1);
+  for (std::size_t j = 0; j < genes.size(); ++j) {
+    if (genes[j].is_wildcard()) continue;
+    const double lo = genes[j].lo();
+    const double hi = genes[j].hi();
+    const double* c = view.col(j) + begin;
+    for (std::size_t i = 0; i < n; ++i) {
+      ok[i] = static_cast<unsigned char>(ok[i] & ((c[i] >= lo) & (c[i] <= hi)));
+    }
+  }
+  // Collect survivors with the same branchless block compress the prefilter
+  // kernel uses.
+  constexpr std::size_t kBlock = 512;
+  std::size_t buf[kBlock];
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t stop = std::min(n, i + kBlock);
+    std::size_t w = 0;
+    for (; i < stop; ++i) {
+      buf[w] = begin + i;
+      w += ok[i];
+    }
+    out.insert(out.end(), buf, buf + w);
+  }
+}
+
+void soa_prefilter_match(const LagMajorView& view, std::span<const Interval> genes,
+                         std::size_t begin, std::size_t end, std::vector<std::size_t>& out,
+                         std::size_t* pruned_out) {
+  const std::size_t n = end - begin;
+  if (n == 0) return;
+
+  // Non-wildcard genes ordered narrowest interval first: interval width is
+  // proportional to expected pass rate, so the first column pass eliminates
+  // as many windows as a single gene can.
+  std::size_t order[64];
+  std::size_t bound_count = 0;
+  std::vector<std::size_t> order_heap;  // spill for very long windows
+  std::size_t* ord = order;
+  if (genes.size() > std::size(order)) {
+    order_heap.resize(genes.size());
+    ord = order_heap.data();
+  }
+  for (std::size_t j = 0; j < genes.size(); ++j) {
+    if (!genes[j].is_wildcard()) ord[bound_count++] = j;
+  }
+  std::sort(ord, ord + bound_count, [&](std::size_t a, std::size_t b) {
+    return genes[a].width() < genes[b].width();
+  });
+
+  if (bound_count == 0) {
+    // All-wildcard rule: everything matches.
+    out.reserve(out.size() + n);
+    for (std::size_t i = begin; i < end; ++i) out.push_back(i);
+    return;
+  }
+
+  const std::size_t first_size = out.size();
+
+  if (view.qdata != nullptr && view.rows != nullptr) {
+    // Fast path: scan the quantized byte column of the narrowest gene (8×
+    // less traffic than doubles, 16 lanes per SSE2 compare), then verify
+    // each surviving candidate exactly against its contiguous row-major
+    // window — every bound gene, narrowest first, in double precision. The
+    // byte ranges are conservative supersets, so this reproduces the scalar
+    // reference bit-for-bit. The column is processed in blocks through a
+    // stack candidate buffer so `out` only ever receives verified matches —
+    // typically a handful per thousand windows — instead of the much larger
+    // candidate superset.
+    const std::size_t j0 = ord[0];
+    const std::uint8_t qlo = quantize_bound(genes[j0].lo(), view.qmin, view.qinv);
+    const std::uint8_t qhi = quantize_bound(genes[j0].hi(), view.qmin, view.qinv);
+
+    double glo_stack[64];
+    double ghi_stack[64];
+    std::vector<double> glo_heap;
+    std::vector<double> ghi_heap;
+    double* glo = glo_stack;
+    double* ghi = ghi_stack;
+    if (bound_count > std::size(glo_stack)) {
+      glo_heap.resize(bound_count);
+      ghi_heap.resize(bound_count);
+      glo = glo_heap.data();
+      ghi = ghi_heap.data();
+    }
+    for (std::size_t k = 0; k < bound_count; ++k) {
+      glo[k] = genes[ord[k]].lo();
+      ghi[k] = genes[ord[k]].hi();
+    }
+
+    const std::uint8_t* qc = view.qcol(j0);
+    const double* rows = view.rows;
+    const std::size_t d = view.window;
+    constexpr std::size_t kBlockWin = 4096;
+    std::size_t cand[kBlockWin];
+    std::size_t candidates = 0;
+    for (std::size_t b = begin; b < end; b += kBlockWin) {
+      const std::size_t block_end = std::min(end, b + kBlockWin);
+      const std::size_t m = byte_compress_block(qc, qlo, qhi, b, block_end, cand);
+      candidates += m;
+      // Verify in place (write <= read, so the unconditional store is safe);
+      // candidate rows are scattered, so prefetching a couple dozen ahead
+      // hides the row-gather latency behind the branchless gene checks.
+      std::size_t w = 0;
+      for (std::size_t r = 0; r < m; ++r) {
+        if (r + 24 < m) __builtin_prefetch(rows + cand[r + 24] * d);
+        const std::size_t i = cand[r];
+        const double* row = rows + i * d;
+        unsigned okf = 1;
+        for (std::size_t k = 0; k < bound_count; ++k) {
+          const double v = row[ord[k]];
+          okf &= static_cast<unsigned>((v >= glo[k]) & (v <= ghi[k]));
+        }
+        cand[w] = i;
+        w += okf;
+      }
+      out.insert(out.end(), cand, cand + w);
+    }
+    if (pruned_out) *pruned_out += n - candidates;
+    return;
+  }
+
+  // Plain-view path (no quantized mirror): branchless double column scan
+  // into a candidate list for the first gene.
+  compress_column(view.col(ord[0]), genes[ord[0]].lo(), genes[ord[0]].hi(), begin, end,
+                  out);
+  if (pruned_out) *pruned_out += n - (out.size() - first_size);
+
+  // Remaining genes: compact the candidate list in place (write <= read, so
+  // the unconditional store is safe), early-outing once it is empty.
+  // Indices stay ascending by construction.
+  for (std::size_t k = 1; k < bound_count && out.size() > first_size; ++k) {
+    const double lo = genes[ord[k]].lo();
+    const double hi = genes[ord[k]].hi();
+    const double* c = view.col(ord[k]);
+    std::size_t write = first_size;
+    for (std::size_t r = first_size; r < out.size(); ++r) {
+      const std::size_t i = out[r];
+      out[write] = i;
+      write += static_cast<std::size_t>((c[i] >= lo) & (c[i] <= hi));
+    }
+    out.resize(write);
+  }
+}
+
+}  // namespace matchkern
+
+}  // namespace ef::core

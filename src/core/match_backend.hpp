@@ -1,0 +1,129 @@
+// match_backend.hpp — pluggable implementations of the match hot loop.
+//
+// Evaluating one offspring rule tests every training window (up to ~45 000
+// for Venice) against D interval genes; that scan dominates training
+// wall-clock. This module isolates the per-range kernels behind a small
+// enum so the engine (match_engine.hpp) can dispatch and callers can select:
+//
+//   * kScalar       — the row-wise reference scan: one window at a time,
+//                     short-circuiting on the first failing gene.
+//   * kSoa          — structure-of-arrays: one lag-major column pass per
+//                     non-wildcard gene, AND-ing a branchless pass/fail flag
+//                     per window. The inner loop is a pure compare-and-mask
+//                     over contiguous doubles, which auto-vectorizes.
+//   * kSoaPrefilter — SoA plus selectivity ordering: non-wildcard genes are
+//                     processed narrowest-interval first. On views carrying
+//                     the quantized byte mirror (WindowDataset builds one),
+//                     the narrowest gene is relaxed to a byte range and
+//                     scanned over uint8 columns — 8× less memory traffic
+//                     than the double column, 16 lanes per SSE2 compare —
+//                     and the surviving candidates are re-verified exactly
+//                     against the contiguous row-major mirror (all genes,
+//                     narrowest first). On plain views it falls back to a
+//                     double column scan + in-place candidate compaction.
+//
+// All three kernels produce bit-identical match sets (ascending window
+// indices, identical NaN semantics: a non-wildcard gene rejects NaN, a
+// wildcard accepts anything) — backends differ only in speed. Quantization
+// never costs a match: the byte mapping is monotone, so the relaxed byte
+// range is a superset of the gene's exact interval, and every candidate is
+// re-checked with the same double comparisons the scalar kernel uses. The
+// engine default is kSoaPrefilter; the EVOFORECAST_MATCH_BACKEND environment
+// variable overrides any configured choice (see resolve_match_backend).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/interval.hpp"
+
+namespace ef::core {
+
+enum class MatchBackend {
+  kScalar,        ///< row-wise reference scan
+  kSoa,           ///< lag-major vectorizable flag kernel
+  kSoaPrefilter,  ///< lag-major with selectivity-ordered candidate pruning
+};
+
+[[nodiscard]] constexpr const char* to_string(MatchBackend b) noexcept {
+  switch (b) {
+    case MatchBackend::kScalar: return "scalar";
+    case MatchBackend::kSoa: return "soa";
+    case MatchBackend::kSoaPrefilter: return "soa_prefilter";
+  }
+  return "?";
+}
+
+/// Parse a backend name ("scalar", "soa", "soa_prefilter"; "soa+prefilter"
+/// is accepted as an alias). nullopt on anything else.
+[[nodiscard]] std::optional<MatchBackend> parse_match_backend(std::string_view name) noexcept;
+
+/// Apply the EVOFORECAST_MATCH_BACKEND environment override to a configured
+/// choice. An unset variable returns `configured` unchanged; a set but
+/// unparsable value warns once on stderr and is ignored. The environment is
+/// read once per process (the result is cached).
+[[nodiscard]] MatchBackend resolve_match_backend(MatchBackend configured);
+
+/// Lag-major (transposed) view of packed windows: column j holds the value
+/// of lag j for every window, contiguously. Built once by WindowDataset at
+/// construction; forecast_batch builds one per batch.
+struct LagMajorView {
+  const double* data = nullptr;  ///< window columns of `count` doubles each
+  std::size_t count = 0;         ///< windows (rows of the logical matrix)
+  std::size_t window = 0;        ///< lags (columns)
+
+  /// Optional row-major mirror of the same windows (count × window,
+  /// window-contiguous per row). When present together with `qdata`, the
+  /// prefilter kernel verifies byte-pass candidates against one contiguous
+  /// row instead of gathering from `window` strided columns.
+  const double* rows = nullptr;
+
+  /// Optional quantized lag-major mirror: byte = clamp(⌊(v − qmin)·qinv⌋,
+  /// 0, 255), same column layout as `data`. The mapping is monotone, so a
+  /// gene interval relaxed to byte bounds the same way yields a candidate
+  /// superset — exact double verification then restores bit-identical match
+  /// sets. nullptr on ad-hoc views (kernels fall back to double columns).
+  const std::uint8_t* qdata = nullptr;
+  double qmin = 0.0;  ///< quantization origin (dataset value minimum)
+  double qinv = 0.0;  ///< 255 / (max − min); 0 for a constant series
+
+  [[nodiscard]] const double* col(std::size_t j) const noexcept {
+    return data + j * count;
+  }
+  [[nodiscard]] const std::uint8_t* qcol(std::size_t j) const noexcept {
+    return qdata + j * count;
+  }
+};
+
+/// Low-level kernels. Each appends the indices in [begin, end) whose window
+/// matches `genes` to `out`, ascending. `genes.size()` must equal the view's
+/// window length (callers handle the dimension-mismatch = matches-nothing
+/// rule). Kernels are stateless and safe to call concurrently on disjoint
+/// or overlapping ranges.
+namespace matchkern {
+
+/// Row-wise reference scan over row-major packed windows (`rows` is
+/// count × window, window-contiguous per row).
+void scalar_match(const double* rows, std::size_t window,
+                  std::span<const Interval> genes, std::size_t begin, std::size_t end,
+                  std::vector<std::size_t>& out);
+
+/// SoA flag kernel: one column pass per non-wildcard gene.
+void soa_match(const LagMajorView& view, std::span<const Interval> genes,
+               std::size_t begin, std::size_t end, std::vector<std::size_t>& out);
+
+/// SoA prefilter kernel: narrowest non-wildcard gene first, candidate-list
+/// compaction for the rest. When `pruned_out` is non-null it accumulates the
+/// number of windows eliminated by the first (most selective) gene — i.e.
+/// windows never tested against the remaining genes.
+void soa_prefilter_match(const LagMajorView& view, std::span<const Interval> genes,
+                         std::size_t begin, std::size_t end, std::vector<std::size_t>& out,
+                         std::size_t* pruned_out = nullptr);
+
+}  // namespace matchkern
+
+}  // namespace ef::core

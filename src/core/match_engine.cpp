@@ -1,41 +1,75 @@
 #include "core/match_engine.hpp"
 
 #include <atomic>
+#include <chrono>
 
 #include "obs/macros.hpp"
 
 namespace ef::core {
 namespace {
 
-/// Scan [begin, end) serially, appending matches to `out`.
-void scan_range(const WindowDataset& data, const Rule& rule, std::size_t begin,
-                std::size_t end, std::vector<std::size_t>& out) {
-  const auto& genes = rule.genes();
-  const std::size_t d = genes.size();
-  if (d != data.window()) return;  // dimension mismatch: matches nothing
-  for (std::size_t i = begin; i < end; ++i) {
-    const std::span<const double> window = data.pattern(i);
-    bool ok = true;
-    for (std::size_t j = 0; j < d; ++j) {
-      if (!genes[j].contains(window[j])) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) out.push_back(i);
-  }
-}
-
 constexpr std::size_t kParallelGrain = 4096;
+
+#if EVOFORECAST_OBS_ENABLED
+/// Records the wall time of one engine call into the per-backend histogram.
+/// Histogram names must be string literals, hence the switch.
+class BackendTimer {
+ public:
+  explicit BackendTimer(MatchBackend backend) noexcept
+      : backend_(backend), start_(Clock::now()) {}
+  BackendTimer(const BackendTimer&) = delete;
+  BackendTimer& operator=(const BackendTimer&) = delete;
+  ~BackendTimer() {
+    const double us = std::chrono::duration<double, std::micro>(Clock::now() - start_).count();
+    switch (backend_) {
+      case MatchBackend::kScalar:
+        EVOFORECAST_HISTOGRAM("match.scalar.us", us);
+        break;
+      case MatchBackend::kSoa:
+        EVOFORECAST_HISTOGRAM("match.soa.us", us);
+        break;
+      case MatchBackend::kSoaPrefilter:
+        EVOFORECAST_HISTOGRAM("match.soa_prefilter.us", us);
+        break;
+    }
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  MatchBackend backend_;
+  Clock::time_point start_;
+};
+#define EF_MATCH_TIMER(backend) const ::ef::core::BackendTimer ef_match_timer { backend }
+#else
+#define EF_MATCH_TIMER(backend) ((void)0)
+#endif
 
 }  // namespace
 
-MatchEngine::MatchEngine(const WindowDataset& data, util::ThreadPool* pool)
-    : data_(data), pool_(pool ? pool : &util::ThreadPool::shared()) {}
+MatchEngine::MatchEngine(const WindowDataset& data, util::ThreadPool* pool, MatchBackend backend)
+    : data_(data), pool_(pool ? pool : &util::ThreadPool::shared()), backend_(backend) {}
+
+void MatchEngine::match_range(const Rule& rule, std::size_t begin, std::size_t end,
+                              std::vector<std::size_t>& out, std::size_t* pruned) const {
+  const auto& genes = rule.genes();
+  switch (backend_) {
+    case MatchBackend::kScalar:
+      matchkern::scalar_match(data_.pattern(0).data(), data_.window(), genes, begin, end, out);
+      break;
+    case MatchBackend::kSoa:
+      matchkern::soa_match(data_.lag_major(), genes, begin, end, out);
+      break;
+    case MatchBackend::kSoaPrefilter:
+      matchkern::soa_prefilter_match(data_.lag_major(), genes, begin, end, out, pruned);
+      break;
+  }
+}
 
 std::vector<std::size_t> MatchEngine::match_indices_serial(const Rule& rule) const {
   std::vector<std::size_t> out;
-  scan_range(data_, rule, 0, data_.count(), out);
+  if (rule.genes().size() != data_.window()) return out;  // dimension mismatch
+  matchkern::scalar_match(data_.pattern(0).data(), data_.window(), rule.genes(), 0, data_.count(),
+                          out);
   return out;
 }
 
@@ -43,32 +77,38 @@ std::vector<std::size_t> MatchEngine::match_indices(const Rule& rule) const {
   EVOFORECAST_TRACE("core.match");
   const std::size_t m = data_.count();
   EVOFORECAST_COUNT("match.calls", 1);
-  EVOFORECAST_COUNT("match.windows_tested", m);
-  if (m <= kParallelGrain || pool_->size() <= 1) {
-    auto out = match_indices_serial(rule);
-    EVOFORECAST_COUNT("match.windows_matched", out.size());
-    return out;
-  }
-
-  // One result buffer per chunk, keyed by the chunk's begin index so the
-  // concatenation order is deterministic regardless of completion order.
-  const std::size_t chunks = pool_->size();
-  const std::size_t width = (m + chunks - 1) / chunks;
-  std::vector<std::vector<std::size_t>> partial(chunks);
-
-  pool_->parallel_for(
-      0, m,
-      [&](std::size_t begin, std::size_t end) {
-        scan_range(data_, rule, begin, end, partial[begin / width]);
-      },
-      width);
-
-  std::size_t total = 0;
-  for (const auto& p : partial) total += p.size();
+  EVOFORECAST_COUNT("match.windows_scanned", m);
   std::vector<std::size_t> out;
-  out.reserve(total);
-  for (const auto& p : partial) out.insert(out.end(), p.begin(), p.end());
+  if (rule.genes().size() != data_.window()) return out;  // dimension mismatch
+  EF_MATCH_TIMER(backend_);
+
+  std::size_t pruned = 0;
+  if (m <= kParallelGrain || pool_->size() <= 1) {
+    match_range(rule, 0, m, out, &pruned);
+  } else {
+    // One result buffer per chunk, keyed by the chunk's begin index so the
+    // concatenation order is deterministic regardless of completion order.
+    const std::size_t chunks = pool_->size();
+    const std::size_t width = (m + chunks - 1) / chunks;
+    std::vector<std::vector<std::size_t>> partial(chunks);
+    std::vector<std::size_t> partial_pruned(chunks, 0);
+
+    pool_->parallel_for(
+        0, m,
+        [&](std::size_t begin, std::size_t end) {
+          const std::size_t c = begin / width;
+          match_range(rule, begin, end, partial[c], &partial_pruned[c]);
+        },
+        width);
+
+    std::size_t total = 0;
+    for (const auto& p : partial) total += p.size();
+    out.reserve(total);
+    for (const auto& p : partial) out.insert(out.end(), p.begin(), p.end());
+    for (const std::size_t p : partial_pruned) pruned += p;
+  }
   EVOFORECAST_COUNT("match.windows_matched", out.size());
+  if (pruned != 0) EVOFORECAST_COUNT("match.pruned", pruned);
   return out;
 }
 
@@ -76,23 +116,33 @@ std::size_t MatchEngine::match_count(const Rule& rule) const {
   EVOFORECAST_TRACE("core.match");
   const std::size_t m = data_.count();
   EVOFORECAST_COUNT("match.calls", 1);
-  EVOFORECAST_COUNT("match.windows_tested", m);
+  EVOFORECAST_COUNT("match.windows_scanned", m);
+  if (rule.genes().size() != data_.window()) return 0;  // dimension mismatch
+  EF_MATCH_TIMER(backend_);
+
   if (m <= kParallelGrain || pool_->size() <= 1) {
-    const std::size_t count = match_indices_serial(rule).size();
-    EVOFORECAST_COUNT("match.windows_matched", count);
-    return count;
+    std::vector<std::size_t> out;
+    std::size_t pruned = 0;
+    match_range(rule, 0, m, out, &pruned);
+    EVOFORECAST_COUNT("match.windows_matched", out.size());
+    if (pruned != 0) EVOFORECAST_COUNT("match.pruned", pruned);
+    return out.size();
   }
 
   std::atomic<std::size_t> total{0};
+  std::atomic<std::size_t> pruned{0};
   pool_->parallel_for(
       0, m,
       [&](std::size_t begin, std::size_t end) {
         std::vector<std::size_t> local;
-        scan_range(data_, rule, begin, end, local);
+        std::size_t local_pruned = 0;
+        match_range(rule, begin, end, local, &local_pruned);
         total.fetch_add(local.size(), std::memory_order_relaxed);
+        pruned.fetch_add(local_pruned, std::memory_order_relaxed);
       },
       kParallelGrain);
   EVOFORECAST_COUNT("match.windows_matched", total.load());
+  if (pruned.load() != 0) EVOFORECAST_COUNT("match.pruned", pruned.load());
   return total.load();
 }
 

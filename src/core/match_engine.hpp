@@ -2,15 +2,20 @@
 //
 // Evaluating one offspring means scanning every sliding window of the
 // training set against D interval genes — O(m·D) with m up to 45 000. The
-// engine partitions the window range across the shared thread pool; chunks
-// append into per-chunk buffers that are concatenated in order, so results
-// are identical to the serial scan.
+// engine is a thin dispatcher over the pluggable kernels of
+// core/match_backend.hpp (scalar reference, SoA vectorized, SoA with
+// selectivity prefilter); all backends return bit-identical match sets, so
+// the choice is purely a throughput knob (EvolutionConfig::match_backend,
+// overridable via EVOFORECAST_MATCH_BACKEND). Large scans are partitioned
+// across the shared thread pool; chunks append into per-chunk buffers that
+// are concatenated in order, so results are identical to the serial scan.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "core/dataset.hpp"
+#include "core/match_backend.hpp"
 #include "core/rule.hpp"
 #include "util/thread_pool.hpp"
 
@@ -19,23 +24,33 @@ namespace ef::core {
 class MatchEngine {
  public:
   /// `pool` must outlive the engine; nullptr = use ThreadPool::shared().
-  explicit MatchEngine(const WindowDataset& data, util::ThreadPool* pool = nullptr);
+  /// `backend` selects the kernel (already resolved against the environment
+  /// by the caller, or pass resolve_match_backend(...) explicitly).
+  explicit MatchEngine(const WindowDataset& data, util::ThreadPool* pool = nullptr,
+                       MatchBackend backend = resolve_match_backend(MatchBackend::kSoaPrefilter));
 
   [[nodiscard]] const WindowDataset& data() const noexcept { return data_; }
+  [[nodiscard]] MatchBackend backend() const noexcept { return backend_; }
 
   /// Indices of all patterns the rule's conditional part accepts, ascending.
   [[nodiscard]] std::vector<std::size_t> match_indices(const Rule& rule) const;
 
-  /// Just the count (skips building the index vector when only N_R matters).
+  /// Just the count (skips building the full index vector when only N_R
+  /// matters on the serial path).
   [[nodiscard]] std::size_t match_count(const Rule& rule) const;
 
-  /// Sequential reference implementation (used by tests to cross-check the
-  /// parallel path and by callers with tiny datasets).
+  /// Sequential scalar reference implementation (used by tests to cross-check
+  /// every backend and by callers with tiny datasets).
   [[nodiscard]] std::vector<std::size_t> match_indices_serial(const Rule& rule) const;
 
  private:
+  /// Run the selected kernel over [begin, end), appending to `out`.
+  void match_range(const Rule& rule, std::size_t begin, std::size_t end,
+                   std::vector<std::size_t>& out, std::size_t* pruned) const;
+
   const WindowDataset& data_;
   util::ThreadPool* pool_;
+  MatchBackend backend_;
 };
 
 }  // namespace ef::core

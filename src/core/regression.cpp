@@ -53,10 +53,14 @@ bool solve_spd_inplace(std::vector<double>& a, std::vector<double>& b, std::size
 namespace {
 
 /// Shared core: rows are provided through an accessor returning
-/// (pattern span, target) so both public overloads use the same path.
-template <typename RowAt>
+/// (pattern span, target) so both public overloads use the same path, and
+/// the XᵀX / Xᵀy accumulation is supplied by the caller so the
+/// WindowDataset overload can scan lag-major columns instead of rows.
+/// Any accumulate implementation must add terms into each accumulator in
+/// ascending row order — that keeps every layout bit-identical.
+template <typename RowAt, typename Accumulate>
 LinearFit fit_impl(std::size_t row_count, std::size_t dim, RowAt&& row_at,
-                   const RegressionOptions& options) {
+                   Accumulate&& accumulate, const RegressionOptions& options) {
   if (row_count == 0) throw std::invalid_argument("fit_hyperplane: no rows");
   EVOFORECAST_TRACE("core.regression");
   EVOFORECAST_COUNT("regression.fits", 1);
@@ -81,17 +85,7 @@ LinearFit fit_impl(std::size_t row_count, std::size_t dim, RowAt&& row_at,
     // Normal equations: (XᵀX) w = Xᵀy with X augmented by a ones column.
     std::vector<double> xtx(n * n, 0.0);
     std::vector<double> xty(n, 0.0);
-    for (std::size_t r = 0; r < row_count; ++r) {
-      const auto [pattern, y] = row_at(r);
-      for (std::size_t i = 0; i < dim; ++i) {
-        const double xi = pattern[i];
-        for (std::size_t j = i; j < dim; ++j) xtx[i * n + j] += xi * pattern[j];
-        xtx[i * n + dim] += xi;  // × ones column
-        xty[i] += xi * y;
-      }
-      xtx[dim * n + dim] += 1.0;
-      xty[dim] += y;
-    }
+    accumulate(xtx, xty, n);
     // Mirror the upper triangle (we accumulated j >= i only).
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = 0; j < i; ++j) xtx[i * n + j] = xtx[j * n + i];
@@ -126,17 +120,65 @@ LinearFit fit_impl(std::size_t row_count, std::size_t dim, RowAt&& row_at,
   return fit;
 }
 
+/// Row-outer accumulation: the scalar reference used by the generic overload.
+template <typename RowAt>
+auto make_rowwise_accumulate(std::size_t row_count, std::size_t dim, RowAt& row_at) {
+  return [row_count, dim, &row_at](std::vector<double>& xtx, std::vector<double>& xty,
+                                   std::size_t n) {
+    for (std::size_t r = 0; r < row_count; ++r) {
+      const auto [pattern, y] = row_at(r);
+      for (std::size_t i = 0; i < dim; ++i) {
+        const double xi = pattern[i];
+        for (std::size_t j = i; j < dim; ++j) xtx[i * n + j] += xi * pattern[j];
+        xtx[i * n + dim] += xi;  // × ones column
+        xty[i] += xi * y;
+      }
+      xtx[dim * n + dim] += 1.0;
+      xty[dim] += y;
+    }
+  };
+}
+
 }  // namespace
 
 LinearFit fit_hyperplane(const WindowDataset& data, std::span<const std::size_t> rows,
                          const RegressionOptions& options) {
-  return fit_impl(
-      rows.size(), data.window(),
-      [&](std::size_t r) {
-        return std::pair<std::span<const double>, double>{data.pattern(rows[r]),
-                                                          data.target(rows[r])};
-      },
-      options);
+  const auto row_at = [&](std::size_t r) {
+    return std::pair<std::span<const double>, double>{data.pattern(rows[r]),
+                                                      data.target(rows[r])};
+  };
+  // Lag-major accumulation: loop nest interchanged so each (i, j) entry scans
+  // two contiguous columns with a gathered row index. Terms still enter every
+  // accumulator in ascending row order — the per-entry operation sequence is
+  // exactly the row-outer reference's, so the results are bit-identical.
+  const LagMajorView cols = data.lag_major();
+  const std::span<const double> targets = data.targets();
+  const std::size_t dim = data.window();
+  const auto accumulate = [&](std::vector<double>& xtx, std::vector<double>& xty, std::size_t n) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double* ci = cols.col(i);
+      for (std::size_t j = i; j < dim; ++j) {
+        const double* cj = cols.col(j);
+        double acc = 0.0;
+        for (const std::size_t w : rows) acc += ci[w] * cj[w];
+        xtx[i * n + j] = acc;
+      }
+      double ones = 0.0;
+      double xy = 0.0;
+      for (const std::size_t w : rows) {
+        ones += ci[w];
+        xy += ci[w] * targets[w];
+      }
+      xtx[i * n + dim] = ones;  // × ones column
+      xty[i] = xy;
+    }
+    // Σ 1.0 over the matched rows — exact for any realistic row count.
+    xtx[dim * n + dim] = static_cast<double>(rows.size());
+    double ty = 0.0;
+    for (const std::size_t w : rows) ty += targets[w];
+    xty[dim] = ty;
+  };
+  return fit_impl(rows.size(), dim, row_at, accumulate, options);
 }
 
 LinearFit fit_hyperplane(const std::vector<std::vector<double>>& x, std::span<const double> y,
@@ -146,12 +188,10 @@ LinearFit fit_hyperplane(const std::vector<std::vector<double>>& x, std::span<co
   for (const auto& row : x) {
     if (row.size() != dim) throw std::invalid_argument("fit_hyperplane: ragged rows");
   }
-  return fit_impl(
-      x.size(), dim,
-      [&](std::size_t r) {
-        return std::pair<std::span<const double>, double>{x[r], y[r]};
-      },
-      options);
+  const auto row_at = [&](std::size_t r) {
+    return std::pair<std::span<const double>, double>{x[r], y[r]};
+  };
+  return fit_impl(x.size(), dim, row_at, make_rowwise_accumulate(x.size(), dim, row_at), options);
 }
 
 }  // namespace ef::core

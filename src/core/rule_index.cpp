@@ -67,22 +67,8 @@ std::span<const std::size_t> RuleIndex::candidates(double value_at_dimension) co
   return bucket_rules_[bucket_of(value_at_dimension)];
 }
 
-std::optional<double> RuleIndex::predict(std::span<const double> window,
-                                         Aggregation how) const {
-  if (window.size() <= dimension_) return std::nullopt;
-  std::vector<Vote> votes;
-  const auto& rules = system_.rules();
-  for (const std::size_t r : candidates(window[dimension_])) {
-    const Rule& rule = rules[r];
-    if (!rule.predicting() || !rule.matches(window)) continue;
-    votes.push_back(Vote{rule.forecast(window), rule.fitness(), rule.predicting()->error()});
-  }
-  return aggregate_votes(std::move(votes), how);
-}
-
-RuleIndex::Prediction RuleIndex::predict_with_votes(std::span<const double> window,
-                                                    Aggregation how) const {
-  Prediction out;
+core::Prediction RuleIndex::forecast(std::span<const double> window, Aggregation how) const {
+  core::Prediction out;
   if (window.size() <= dimension_) return out;
   std::vector<Vote> votes;
   const auto& rules = system_.rules();
@@ -92,37 +78,67 @@ RuleIndex::Prediction RuleIndex::predict_with_votes(std::span<const double> wind
     votes.push_back(Vote{rule.forecast(window), rule.fitness(), rule.predicting()->error()});
   }
   out.votes = votes.size();
-  out.value = aggregate_votes(std::move(votes), how);
+  const auto value = aggregate_votes(std::move(votes), how);
+  out.abstained = !value.has_value();
+  if (value) out.value = *value;
   return out;
 }
 
-std::vector<std::optional<double>> RuleIndex::predict_batch(
-    std::span<const double> flat_windows, std::size_t window, Aggregation how,
-    util::ThreadPool* pool, std::vector<std::size_t>* votes_out) const {
+std::vector<core::Prediction> RuleIndex::forecast_batch(std::span<const double> flat_windows,
+                                                        std::size_t window, Aggregation how,
+                                                        util::ThreadPool* pool) const {
   if (window == 0) {
-    throw std::invalid_argument("RuleIndex::predict_batch: window must be > 0");
+    throw std::invalid_argument("RuleIndex::forecast_batch: window must be > 0");
   }
   if (flat_windows.size() % window != 0) {
     throw std::invalid_argument(
-        "RuleIndex::predict_batch: flat_windows.size() not a multiple of window");
+        "RuleIndex::forecast_batch: flat_windows.size() not a multiple of window");
+  }
+  // An unselective index (candidate lists covering most of the rule set)
+  // filters almost nothing; the rule-outer vectorized batch path is faster
+  // and produces identical results, so hand over.
+  if (mean_candidates() >= 0.5 * static_cast<double>(system_.rules().size())) {
+    EVOFORECAST_COUNT("rule_index.batch_delegated", 1);
+    return system_.forecast_batch(flat_windows, window, how, pool);
   }
   const std::size_t n = flat_windows.size() / window;
   EVOFORECAST_COUNT("predict.batch.calls", 1);
   EVOFORECAST_HISTOGRAM("predict.batch.windows", static_cast<double>(n));
-  std::vector<std::optional<double>> out(n);
-  if (votes_out) votes_out->assign(n, 0);
+  std::vector<core::Prediction> out(n);
   util::ThreadPool& tp = pool ? *pool : util::ThreadPool::shared();
   tp.parallel_for(
       0, n,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          const Prediction p =
-              predict_with_votes(flat_windows.subspan(i * window, window), how);
-          if (votes_out) (*votes_out)[i] = p.votes;
-          out[i] = p.value;
+          out[i] = forecast(flat_windows.subspan(i * window, window), how);
         }
       },
       /*grain=*/16);
+  return out;
+}
+
+std::optional<double> RuleIndex::predict(std::span<const double> window,
+                                         Aggregation how) const {
+  return forecast(window, how).as_optional();
+}
+
+RuleIndex::Prediction RuleIndex::predict_with_votes(std::span<const double> window,
+                                                    Aggregation how) const {
+  const core::Prediction p = forecast(window, how);
+  return Prediction{p.as_optional(), p.votes};
+}
+
+std::vector<std::optional<double>> RuleIndex::predict_batch(
+    std::span<const double> flat_windows, std::size_t window, Aggregation how,
+    util::ThreadPool* pool, std::vector<std::size_t>* votes_out) const {
+  const std::vector<core::Prediction> predictions =
+      forecast_batch(flat_windows, window, how, pool);
+  std::vector<std::optional<double>> out(predictions.size());
+  if (votes_out) votes_out->assign(predictions.size(), 0);
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    out[i] = predictions[i].as_optional();
+    if (votes_out) (*votes_out)[i] = predictions[i].votes;
+  }
   return out;
 }
 

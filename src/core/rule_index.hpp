@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/aggregation.hpp"
+#include "core/prediction.hpp"
 #include "core/rule_system.hpp"
 
 namespace ef::core {
@@ -32,12 +33,27 @@ class RuleIndex {
   RuleIndex(const RuleSystem& system, double value_lo, double value_hi,
             std::size_t buckets = 64);
 
-  /// Indexed forecast — identical results to system.predict(window, how).
+  /// Indexed forecast — identical results to system.forecast(window, how):
+  /// one candidate scan answers value, fan-in and abstention at once.
+  [[nodiscard]] core::Prediction forecast(std::span<const double> window,
+                                          Aggregation how = Aggregation::kMean) const;
+
+  /// Batched indexed forecasts over `flat_windows.size() / window` row-major
+  /// packed windows, parallel over windows via `pool` (nullptr = shared
+  /// pool). Identical element-by-element to forecast(). When the index is
+  /// unselective (mean candidate list covering half the rules or more) this
+  /// delegates to RuleSystem::forecast_batch, whose rule-outer vectorized
+  /// kernels beat an ineffective bucket scan. Throws std::invalid_argument
+  /// on window == 0 or a size that is not a multiple of window.
+  [[nodiscard]] std::vector<core::Prediction> forecast_batch(
+      std::span<const double> flat_windows, std::size_t window,
+      Aggregation how = Aggregation::kMean, util::ThreadPool* pool = nullptr) const;
+
+  /// Optional-shaped shim over forecast() — nullopt = abstention.
   [[nodiscard]] std::optional<double> predict(std::span<const double> window,
                                               Aggregation how = Aggregation::kMean) const;
 
-  /// Indexed forecast that also reports the vote count (serving fast path:
-  /// one candidate scan answers both value and fan-in).
+  /// Pre-redesign shape of forecast(), kept for existing callers.
   struct Prediction {
     std::optional<double> value;  ///< nullopt = abstention
     std::size_t votes = 0;
@@ -45,11 +61,9 @@ class RuleIndex {
   [[nodiscard]] Prediction predict_with_votes(std::span<const double> window,
                                               Aggregation how = Aggregation::kMean) const;
 
-  /// Batched indexed forecasts over `flat_windows.size() / window` row-major
-  /// packed windows, parallel over windows via `pool` (nullptr = shared
-  /// pool). Identical element-by-element to predict(); `votes_out`, when
-  /// non-null, receives per-window vote counts. Throws std::invalid_argument
-  /// on window == 0 or a size that is not a multiple of window.
+  /// Optional-shaped shim over forecast_batch(); `votes_out`, when non-null,
+  /// receives per-window vote counts (prefer forecast_batch, which returns
+  /// them inline).
   [[nodiscard]] std::vector<std::optional<double>> predict_batch(
       std::span<const double> flat_windows, std::size_t window,
       Aggregation how = Aggregation::kMean, util::ThreadPool* pool = nullptr,

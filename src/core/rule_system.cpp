@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "core/evolution.hpp"
+#include "core/match_backend.hpp"
 #include "obs/macros.hpp"
 #include "util/rng.hpp"
 
@@ -40,56 +41,111 @@ void RuleSystem::add_rules(std::vector<Rule> rules, bool discard_unfit, double f
   }
 }
 
-std::optional<double> RuleSystem::predict(std::span<const double> window) const {
-  double sum = 0.0;
-  std::size_t votes = 0;
-  for (const Rule& rule : rules_) {
-    if (rule.matches(window)) {
-      sum += rule.forecast(window);
-      ++votes;
-    }
-  }
-  note_prediction(votes);
-  if (votes == 0) return std::nullopt;
-  return sum / static_cast<double>(votes);
-}
-
-std::optional<double> RuleSystem::predict(std::span<const double> window,
-                                          Aggregation how) const {
+Prediction RuleSystem::forecast(std::span<const double> window, Aggregation how) const {
   std::vector<Vote> votes = collect_votes(rules_, window);
   note_prediction(votes.size());
-  return aggregate_votes(std::move(votes), how);
+  Prediction out;
+  out.votes = votes.size();
+  const auto value = aggregate_votes(std::move(votes), how);
+  out.abstained = !value.has_value();
+  if (value) out.value = *value;
+  return out;
 }
 
-std::vector<std::optional<double>> RuleSystem::predict_batch(
-    std::span<const double> flat_windows, std::size_t window, Aggregation how,
-    util::ThreadPool* pool, std::vector<std::size_t>* votes_out) const {
+std::vector<Prediction> RuleSystem::forecast_batch(std::span<const double> flat_windows,
+                                                   std::size_t window, Aggregation how,
+                                                   util::ThreadPool* pool) const {
   if (window == 0) {
-    throw std::invalid_argument("RuleSystem::predict_batch: window must be > 0");
+    throw std::invalid_argument("RuleSystem::forecast_batch: window must be > 0");
   }
   if (flat_windows.size() % window != 0) {
     throw std::invalid_argument(
-        "RuleSystem::predict_batch: flat_windows.size() not a multiple of window");
+        "RuleSystem::forecast_batch: flat_windows.size() not a multiple of window");
   }
   const std::size_t n = flat_windows.size() / window;
   EVOFORECAST_COUNT("predict.batch.calls", 1);
   EVOFORECAST_HISTOGRAM("predict.batch.windows", n);
 
-  std::vector<std::optional<double>> out(n);
-  if (votes_out) votes_out->assign(n, 0);
+  std::vector<Prediction> out(n);
+  if (n == 0) return out;
+
+  // Lag-major transpose of the batch, shared by every rule's kernel pass.
+  const MatchBackend backend = resolve_match_backend(MatchBackend::kSoaPrefilter);
+  std::vector<double> lag_major;
+  if (backend != MatchBackend::kScalar) {
+    lag_major.resize(flat_windows.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < window; ++j) {
+        lag_major[j * n + i] = flat_windows[i * window + j];
+      }
+    }
+  }
+  const LagMajorView view{lag_major.data(), n, window};
+
   util::ThreadPool& tp = pool ? *pool : util::ThreadPool::shared();
   tp.parallel_for(
       0, n,
       [&](std::size_t begin, std::size_t end) {
+        // Rule-outer within the chunk: each rule's kernel pass appends its
+        // matched windows, so per-window vote lists fill in ascending rule
+        // order — exactly the vectors the window-outer collect_votes path
+        // builds, hence identical aggregation for every strategy.
+        std::vector<std::vector<Vote>> votes(end - begin);
+        std::vector<std::size_t> matched;
+        for (const Rule& rule : rules_) {
+          if (!rule.predicting() || rule.window() != window) continue;
+          matched.clear();
+          switch (backend) {
+            case MatchBackend::kScalar:
+              matchkern::scalar_match(flat_windows.data(), window, rule.genes(), begin, end,
+                                      matched);
+              break;
+            case MatchBackend::kSoa:
+              matchkern::soa_match(view, rule.genes(), begin, end, matched);
+              break;
+            case MatchBackend::kSoaPrefilter:
+              matchkern::soa_prefilter_match(view, rule.genes(), begin, end, matched);
+              break;
+          }
+          for (const std::size_t i : matched) {
+            const auto w = flat_windows.subspan(i * window, window);
+            votes[i - begin].push_back(
+                Vote{rule.forecast(w), rule.fitness(), rule.predicting()->error()});
+          }
+        }
         for (std::size_t i = begin; i < end; ++i) {
-          const auto w = flat_windows.subspan(i * window, window);
-          std::vector<Vote> votes = collect_votes(rules_, w);
-          note_prediction(votes.size());
-          if (votes_out) (*votes_out)[i] = votes.size();
-          out[i] = aggregate_votes(std::move(votes), how);
+          std::vector<Vote>& v = votes[i - begin];
+          note_prediction(v.size());
+          Prediction& p = out[i];
+          p.votes = v.size();
+          const auto value = aggregate_votes(std::move(v), how);
+          p.abstained = !value.has_value();
+          if (value) p.value = *value;
         }
       },
       /*grain=*/16);
+  return out;
+}
+
+std::optional<double> RuleSystem::predict(std::span<const double> window) const {
+  return forecast(window).as_optional();
+}
+
+std::optional<double> RuleSystem::predict(std::span<const double> window,
+                                          Aggregation how) const {
+  return forecast(window, how).as_optional();
+}
+
+std::vector<std::optional<double>> RuleSystem::predict_batch(
+    std::span<const double> flat_windows, std::size_t window, Aggregation how,
+    util::ThreadPool* pool, std::vector<std::size_t>* votes_out) const {
+  const std::vector<Prediction> predictions = forecast_batch(flat_windows, window, how, pool);
+  std::vector<std::optional<double>> out(predictions.size());
+  if (votes_out) votes_out->assign(predictions.size(), 0);
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    out[i] = predictions[i].as_optional();
+    if (votes_out) (*votes_out)[i] = predictions[i].votes;
+  }
   return out;
 }
 
@@ -322,11 +378,12 @@ TrainResult extend_rule_system(const RuleSystem& existing, const WindowDataset& 
   return result;
 }
 
-TrainResult train_rule_system_parallel(const WindowDataset& train,
-                                       const RuleSystemConfig& config,
-                                       util::ThreadPool* pool) {
+namespace {
+
+/// Island schedule: all executions concurrently, unioned in island order.
+TrainResult train_islands(const WindowDataset& train, const RuleSystemConfig& config,
+                          util::ThreadPool* pool) {
   EVOFORECAST_TRACE("core.train_parallel");
-  config.validate();
   util::ThreadPool& tp = pool ? *pool : util::ThreadPool::shared();
 
   // Same seed schedule as the sequential trainer.
@@ -370,11 +427,10 @@ TrainResult train_rule_system_parallel(const WindowDataset& train,
   return result;
 }
 
-TrainResult train_rule_system(const WindowDataset& train, const RuleSystemConfig& config,
-                              util::ThreadPool* pool, TelemetrySink telemetry) {
+/// Sequential schedule: one execution after another; supports telemetry.
+TrainResult train_sequential(const WindowDataset& train, const RuleSystemConfig& config,
+                             util::ThreadPool* pool, const TelemetrySink& telemetry) {
   EVOFORECAST_TRACE("core.train");
-  config.validate();
-
   TrainResult result;
   util::Rng seeder(config.evolution.seed);
   for (std::size_t exec = 0; exec < config.max_executions; ++exec) {
@@ -398,6 +454,29 @@ TrainResult train_rule_system(const WindowDataset& train, const RuleSystemConfig
     if (result.train_coverage_percent >= config.coverage_target_percent) break;
   }
   return result;
+}
+
+}  // namespace
+
+TrainResult train(const WindowDataset& data, const TrainOptions& options) {
+  RuleSystemConfig config = options.config;
+  if (options.seed) config.evolution.seed = *options.seed;
+  config.validate();
+
+  TrainParallelism mode = options.parallelism;
+  if (mode == TrainParallelism::kAuto) {
+    util::ThreadPool& tp = options.pool ? *options.pool : util::ThreadPool::shared();
+    const bool islands_help =
+        config.max_executions > 1 && tp.size() > 1 && !options.telemetry;
+    mode = islands_help ? TrainParallelism::kIslands : TrainParallelism::kSequential;
+  }
+  if (mode == TrainParallelism::kIslands && options.telemetry) {
+    throw std::invalid_argument(
+        "train: telemetry is not supported with TrainParallelism::kIslands (interleaved "
+        "records from concurrent islands would be unordered)");
+  }
+  if (mode == TrainParallelism::kIslands) return train_islands(data, config, options.pool);
+  return train_sequential(data, config, options.pool, options.telemetry);
 }
 
 }  // namespace ef::core

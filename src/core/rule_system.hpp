@@ -11,14 +11,17 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/aggregation.hpp"
 #include "core/config.hpp"
 #include "core/dataset.hpp"
+#include "core/prediction.hpp"
 #include "core/rule.hpp"
 #include "core/telemetry.hpp"
 #include "series/metrics.hpp"
@@ -40,21 +43,37 @@ class RuleSystem {
   [[nodiscard]] bool empty() const noexcept { return rules_.empty(); }
   [[nodiscard]] const std::vector<Rule>& rules() const noexcept { return rules_; }
 
-  /// Forecast for one window: mean over matching rules' hyperplane outputs
-  /// (paper §3.4); nullopt when no rule matches (abstention).
+  /// Forecast for one window (paper §3.4: matching rules vote with their
+  /// hyperplane outputs; kMean is the paper's aggregation, others are
+  /// Ablation D). The returned Prediction carries the value, the vote count
+  /// and the abstention flag in one place.
+  [[nodiscard]] Prediction forecast(std::span<const double> window,
+                                    Aggregation how = Aggregation::kMean) const;
+
+  /// Batched forecasts for `flat_windows.size() / window` row-major packed
+  /// windows. Matching runs rule-outer over a lag-major transpose of the
+  /// batch (the same vectorized kernels training uses), parallel over
+  /// windows via `pool` (nullptr = shared pool). Element i equals
+  /// forecast(flat_windows.subspan(i*window, window), how) exactly,
+  /// including abstention positions and vote counts. Throws
+  /// std::invalid_argument when window == 0 or flat_windows.size() is not a
+  /// multiple of window.
+  [[nodiscard]] std::vector<Prediction> forecast_batch(std::span<const double> flat_windows,
+                                                       std::size_t window,
+                                                       Aggregation how = Aggregation::kMean,
+                                                       util::ThreadPool* pool = nullptr) const;
+
+  /// Optional-shaped shim over forecast(): nullopt = abstention. Kept for
+  /// callers that only want the value; forecast() also reports votes.
   [[nodiscard]] std::optional<double> predict(std::span<const double> window) const;
 
   /// Forecast under an alternative vote-aggregation strategy (Ablation D).
   [[nodiscard]] std::optional<double> predict(std::span<const double> window,
                                               Aggregation how) const;
 
-  /// Batched forecasts for `flat_windows.size() / window` row-major packed
-  /// windows, parallel over windows via `pool` (nullptr = shared pool).
-  /// Element i equals predict(flat_windows.subspan(i*window, window), how)
-  /// exactly, including abstention positions. When `votes_out` is non-null
-  /// it is resized to the batch and filled with per-window vote counts.
-  /// Throws std::invalid_argument when window == 0 or flat_windows.size()
-  /// is not a multiple of window.
+  /// Optional-shaped shim over forecast_batch(). When `votes_out` is
+  /// non-null it is resized to the batch and filled with per-window vote
+  /// counts (prefer forecast_batch, which returns them inline).
   [[nodiscard]] std::vector<std::optional<double>> predict_batch(
       std::span<const double> flat_windows, std::size_t window,
       Aggregation how = Aggregation::kMean, util::ThreadPool* pool = nullptr,
@@ -118,13 +137,44 @@ struct TrainResult {
   std::vector<double> coverage_per_execution;
 };
 
-/// Run up to `config.max_executions` independent evolutions (seeds derived
-/// from config.evolution.seed), unioning the resulting populations until the
-/// training coverage target is met (paper §3.4).
-[[nodiscard]] TrainResult train_rule_system(const WindowDataset& train,
-                                            const RuleSystemConfig& config,
-                                            util::ThreadPool* pool = nullptr,
-                                            TelemetrySink telemetry = {});
+/// How train() schedules the multi-execution outer loop.
+enum class TrainParallelism {
+  /// Islands when they can help (max_executions > 1, multi-worker pool, no
+  /// telemetry sink), sequential otherwise. Both schedules produce exactly
+  /// the same TrainResult, so this is safe as the default.
+  kAuto,
+  /// One execution after another on `pool`; supports telemetry.
+  kSequential,
+  /// All executions concurrently, one island each (each island evaluates
+  /// serially to avoid nested pool waits), unioned in island order until the
+  /// coverage target is met. Identical result to kSequential — wall-clock
+  /// only (and wasted islands when the target is hit early). Telemetry is
+  /// rejected here: interleaved records from concurrent islands would be
+  /// unordered.
+  kIslands,
+};
+
+/// Everything train() needs besides the data. Aggregate — designated
+/// initializers work: train(data, {.config = cfg, .parallelism = …}).
+struct TrainOptions {
+  RuleSystemConfig config;
+  /// Worker pool (nullptr = ThreadPool::shared()).
+  util::ThreadPool* pool = nullptr;
+  TrainParallelism parallelism = TrainParallelism::kAuto;
+  /// Per-generation sink; forces the sequential schedule under kAuto and
+  /// throws std::invalid_argument when combined with kIslands.
+  TelemetrySink telemetry = {};
+  /// When set, overrides config.evolution.seed for this run (the config
+  /// stays untouched — handy for seed sweeps over one shared config).
+  std::optional<std::uint64_t> seed = std::nullopt;
+};
+
+/// Train a rule system: up to config.max_executions independent evolutions
+/// (execution 0 uses the configured seed verbatim, later ones fork from it),
+/// unioning the resulting populations until the training coverage target is
+/// met (paper §3.4). The single entry point for both the sequential and the
+/// island-parallel schedule — see TrainOptions.
+[[nodiscard]] TrainResult train(const WindowDataset& data, const TrainOptions& options = {});
 
 /// Incremental update (online learning extension): warm-start further
 /// evolution from an existing system when new training data arrives. The
@@ -137,16 +187,31 @@ struct TrainResult {
                                              const RuleSystemConfig& config,
                                              util::ThreadPool* pool = nullptr);
 
-/// Island-parallel variant: all `config.max_executions` executions run
-/// concurrently on `pool` (each island evaluates serially to avoid nested
-/// pool waits), then populations are unioned in island order until the
-/// coverage target is met. Produces *exactly* the same rule system,
-/// execution count and coverage history as the sequential trainer — the
-/// only difference is wall-clock (and wasted islands when the target is hit
-/// early). Telemetry is not supported here (interleaved records from
-/// concurrent islands would be unordered).
-[[nodiscard]] TrainResult train_rule_system_parallel(const WindowDataset& train,
-                                                     const RuleSystemConfig& config,
-                                                     util::ThreadPool* pool = nullptr);
+/// Pre-redesign entry point; forwards to train() with the sequential
+/// schedule. See docs/API.md for the migration table.
+[[deprecated("use ef::core::train(data, {.config = config, …}) instead")]] [[nodiscard]] inline TrainResult
+train_rule_system(const WindowDataset& data, const RuleSystemConfig& config,
+                  util::ThreadPool* pool = nullptr, TelemetrySink telemetry = {}) {
+  TrainOptions options;
+  options.config = config;
+  options.pool = pool;
+  options.parallelism = TrainParallelism::kSequential;
+  options.telemetry = std::move(telemetry);
+  return train(data, options);
+}
+
+/// Pre-redesign entry point; forwards to train() with the island schedule.
+/// See docs/API.md for the migration table.
+[[deprecated(
+    "use ef::core::train(data, {.config = config, .parallelism = "
+    "TrainParallelism::kIslands}) instead")]] [[nodiscard]] inline TrainResult
+train_rule_system_parallel(const WindowDataset& data, const RuleSystemConfig& config,
+                           util::ThreadPool* pool = nullptr) {
+  TrainOptions options;
+  options.config = config;
+  options.pool = pool;
+  options.parallelism = TrainParallelism::kIslands;
+  return train(data, options);
+}
 
 }  // namespace ef::core

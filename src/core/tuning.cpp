@@ -17,7 +17,7 @@ namespace {
   cfg.evolution.generations = options.pilot_generations;
   cfg.max_executions = options.pilot_executions;
   cfg.coverage_target_percent = options.coverage_target_percent;
-  return train_rule_system(train, cfg, pool).train_coverage_percent;
+  return ef::core::train(train, {.config = cfg, .pool = pool}).train_coverage_percent;
 }
 
 }  // namespace

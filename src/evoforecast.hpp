@@ -13,8 +13,17 @@
 //   const ef::core::WindowDataset train(mg.train, 4, 50, 6);
 //   ef::core::RuleSystemConfig config;          // paper defaults
 //   config.evolution.emax = 0.14;               // per-rule error budget
-//   const auto result = ef::core::train_rule_system(train, config);
-//   const auto forecast = result.system.predict(window);  // optional<double>
+//   const auto result = ef::core::train(train, {.config = config});
+//   const auto p = result.system.forecast(window);  // core::Prediction
+//   if (!p.abstained) use(p.value, p.votes);
+//
+// Training schedules (sequential vs island-parallel) are one entry point:
+// ef::core::train(data, options) — see TrainOptions. The match hot path runs
+// on a pluggable backend (core/match_backend.hpp): scalar reference, SoA
+// vectorized, or SoA + selectivity prefilter (default); all three produce
+// bit-identical match sets, so the choice is purely about speed. Override
+// per-config via EvolutionConfig::match_backend or process-wide with the
+// EVOFORECAST_MATCH_BACKEND environment variable.
 //
 // Layering (each header is also individually includable):
 //   obs/       metrics registry, scoped tracing, run reports
@@ -24,6 +33,11 @@
 //              compaction, aggregation, multistep, indexing, alt engines)
 //   baselines/ comparator models (MLP, Elman, RAN, MRAN, AR(MA), k-NN,
 //              persistence, Holt-Winters)
+//
+// The serving layer (ef::serve — model store, micro-batcher, TCP service)
+// is deliberately NOT included here: it spawns threads and opens sockets
+// that offline training/evaluation never needs. Opt in explicitly with
+// #include "evoforecast_serve.hpp".
 #pragma once
 
 // obs
@@ -66,10 +80,12 @@
 #include "core/init.hpp"          // IWYU pragma: export
 #include "core/interval.hpp"      // IWYU pragma: export
 #include "core/introspection.hpp" // IWYU pragma: export
+#include "core/match_backend.hpp" // IWYU pragma: export
 #include "core/match_engine.hpp"  // IWYU pragma: export
 #include "core/multistep.hpp"     // IWYU pragma: export
 #include "core/mutation.hpp"      // IWYU pragma: export
 #include "core/pittsburgh.hpp"    // IWYU pragma: export
+#include "core/prediction.hpp"    // IWYU pragma: export
 #include "core/regression.hpp"    // IWYU pragma: export
 #include "core/rule.hpp"          // IWYU pragma: export
 #include "core/rule_index.hpp"    // IWYU pragma: export

@@ -1,0 +1,37 @@
+// evoforecast_serve.hpp — opt-in umbrella header for the serving layer.
+//
+// Deliberately separate from evoforecast.hpp: the serve layer spawns
+// threads (model-store poller, micro-batcher dispatcher, TCP accept loop)
+// and pulls in sockets, which library consumers doing offline training and
+// evaluation never need. Include this header only in processes that host a
+// forecast service.
+//
+//   #include "evoforecast.hpp"        // training + prediction (no threads)
+//   #include "evoforecast_serve.hpp"  // + ModelStore, ForecastService, TCP
+//
+// Typical use:
+//
+//   ef::serve::ModelStore store;
+//   store.add_file("default", "model.efr");
+//   store.start_polling(std::chrono::seconds(2));   // hot-reload on mtime
+//   ef::serve::ForecastService service(store);
+//   const auto response = service.predict({.window = {...}});
+//   if (response.ok && !response.abstain) use(response.value);
+//
+// Layering (each header is also individually includable):
+//   model_store   named, versioned models with atomic hot-reload
+//   window_cache  sharded LRU over (model tag, horizon, agg, window)
+//   batcher       micro-batching of concurrent requests → forecast_batch
+//   service       validate → cache → batch → respond, one blocking call
+//   protocol      line protocol encode/decode (PREDICT/INFO/STATS)
+//   tcp_server    thin socket wrapper around ForecastService
+#pragma once
+
+#include "evoforecast.hpp"  // IWYU pragma: export
+
+#include "serve/batcher.hpp"       // IWYU pragma: export
+#include "serve/model_store.hpp"   // IWYU pragma: export
+#include "serve/protocol.hpp"      // IWYU pragma: export
+#include "serve/service.hpp"       // IWYU pragma: export
+#include "serve/tcp_server.hpp"    // IWYU pragma: export
+#include "serve/window_cache.hpp"  // IWYU pragma: export

@@ -30,7 +30,7 @@ namespace {
 [[nodiscard]] series::PartialForecast evaluate_rule_system(
     const core::WindowDataset& train, const core::WindowDataset& validation,
     const core::RuleSystemConfig& config, RuleSystemRow& row) {
-  const auto result = core::train_rule_system(train, config);
+  const auto result = core::train(train, {.config = config});
   const auto forecast = result.system.forecast_dataset(validation);
   const auto report = series::evaluate_partial(targets_of(validation), forecast);
   row.coverage_percent = report.coverage_percent;

@@ -131,20 +131,13 @@ void MicroBatcher::run_batch(std::vector<Item> batch, util::ThreadPool* pool) {
       flat.insert(flat.end(), item.window.begin(), item.window.end());
     }
 
-    std::vector<std::size_t> votes;
-    std::vector<std::optional<double>> values;
     try {
       const auto& model = *head.model;
-      if (model.index()) {
-        values = model.index()->predict_batch(flat, width, head.agg, pool, &votes);
-      } else {
-        values = model.system().predict_batch(flat, width, head.agg, pool, &votes);
-      }
+      const std::vector<core::Prediction> results =
+          model.index() ? model.index()->forecast_batch(flat, width, head.agg, pool)
+                        : model.system().forecast_batch(flat, width, head.agg, pool);
       for (std::size_t k = group_begin; k < group_end; ++k) {
-        Result result;
-        result.value = values[k - group_begin];
-        result.votes = votes[k - group_begin];
-        batch[order[k]].promise.set_value(result);
+        batch[order[k]].promise.set_value(results[k - group_begin]);
       }
     } catch (...) {
       for (std::size_t k = group_begin; k < group_end; ++k) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/aggregation.hpp"
+#include "core/prediction.hpp"
 #include "serve/model_store.hpp"
 #include "util/thread_pool.hpp"
 
@@ -36,10 +37,9 @@ struct BatcherConfig {
 
 class MicroBatcher {
  public:
-  struct Result {
-    std::optional<double> value;  ///< nullopt = abstention
-    std::size_t votes = 0;
-  };
+  /// Batch results are plain core predictions — value, votes and abstention
+  /// travel together from the kernel to the response.
+  using Result = core::Prediction;
 
   explicit MicroBatcher(BatcherConfig config = {}, util::ThreadPool* pool = nullptr);
   ~MicroBatcher();

@@ -87,7 +87,7 @@ int train_demo(const std::string& path, std::uint64_t seed) {
   config.evolution.seed = seed;
   config.max_executions = 2;
   config.coverage_target_percent = 95.0;
-  const auto result = ef::core::train_rule_system(train, config);
+  const auto result = ef::core::train(train, {.config = config});
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "efserve: cannot write '%s'\n", path.c_str());

@@ -65,13 +65,16 @@ std::shared_ptr<const LoadedModel> LoadedModel::make(core::RuleSystem system,
   return model;
 }
 
+core::Prediction LoadedModel::forecast(std::span<const double> window,
+                                       core::Aggregation how) const {
+  if (index_) return index_->forecast(window, how);
+  return system_.forecast(window, how);
+}
+
 core::RuleIndex::Prediction LoadedModel::predict_one(std::span<const double> window,
                                                      core::Aggregation how) const {
-  if (index_) return index_->predict_with_votes(window, how);
-  core::RuleIndex::Prediction out;
-  out.votes = system_.vote_count(window);
-  out.value = system_.predict(window, how);
-  return out;
+  const core::Prediction p = forecast(window, how);
+  return core::RuleIndex::Prediction{p.as_optional(), p.votes};
 }
 
 ModelStore::~ModelStore() { stop_polling(); }

@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/prediction.hpp"
 #include "core/rule_index.hpp"
 #include "core/rule_system.hpp"
 
@@ -58,6 +59,12 @@ class LoadedModel {
   [[nodiscard]] std::size_t window() const noexcept { return window_; }
 
   /// One forecast through the index when available, full scan otherwise.
+  /// Value, vote count and abstention arrive together — nothing to re-derive.
+  [[nodiscard]] core::Prediction forecast(
+      std::span<const double> window,
+      core::Aggregation how = core::Aggregation::kMean) const;
+
+  /// Pre-redesign shape of forecast(), kept for existing callers.
   [[nodiscard]] core::RuleIndex::Prediction predict_one(
       std::span<const double> window,
       core::Aggregation how = core::Aggregation::kMean) const;

@@ -46,14 +46,13 @@ bool ForecastService::accepting() const noexcept {
   return accepting_.load(std::memory_order_acquire);
 }
 
-MicroBatcher::Result ForecastService::predict_uncached(
+core::Prediction ForecastService::predict_uncached(
     const std::shared_ptr<const LoadedModel>& model, const PredictRequest& request) {
   if (request.horizon == 1) {
     if (batcher_) {
       return batcher_->submit(model, request.window, request.agg).get();
     }
-    const auto p = model->predict_one(request.window, request.agg);
-    return MicroBatcher::Result{p.value, p.votes};
+    return model->forecast(request.window, request.agg);
   }
 
   // Iterated multi-step: slide the window forward, feeding each one-step
@@ -61,14 +60,14 @@ MicroBatcher::Result ForecastService::predict_uncached(
   // abstaining step abstains the request (paper semantics — no fabricated
   // bridge values on the serving path).
   std::vector<double> window = request.window;
-  core::RuleIndex::Prediction last;
+  core::Prediction last;
   for (std::size_t step = 0; step < request.horizon; ++step) {
-    last = model->predict_one(window, request.agg);
-    if (!last.value) return MicroBatcher::Result{std::nullopt, 0};
+    last = model->forecast(window, request.agg);
+    if (last.abstained) return core::Prediction{};
     window.erase(window.begin());
-    window.push_back(*last.value);
+    window.push_back(last.value);
   }
-  return MicroBatcher::Result{last.value, last.votes};
+  return last;
 }
 
 PredictResponse ForecastService::predict(const PredictRequest& request) {
@@ -119,7 +118,7 @@ PredictResponse ForecastService::predict(const PredictRequest& request) {
     }
   }
 
-  MicroBatcher::Result result;
+  core::Prediction result;
   try {
     result = predict_uncached(model, request);
   } catch (const std::exception& e) {
@@ -127,8 +126,8 @@ PredictResponse ForecastService::predict(const PredictRequest& request) {
   }
 
   response.ok = true;
-  response.abstain = !result.value.has_value();
-  response.value = result.value.value_or(0.0);
+  response.abstain = result.abstained;
+  response.value = result.value;
   response.votes = result.votes;
   if (response.abstain) EVOFORECAST_COUNT("serve.abstentions", 1);
 

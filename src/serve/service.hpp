@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/aggregation.hpp"
+#include "core/prediction.hpp"
 #include "serve/batcher.hpp"
 #include "serve/model_store.hpp"
 #include "serve/window_cache.hpp"
@@ -84,7 +85,7 @@ class ForecastService {
   [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
 
  private:
-  [[nodiscard]] MicroBatcher::Result predict_uncached(
+  [[nodiscard]] core::Prediction predict_uncached(
       const std::shared_ptr<const LoadedModel>& model, const PredictRequest& request);
 
   ModelStore& store_;

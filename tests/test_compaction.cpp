@@ -150,7 +150,7 @@ TEST(Compact, PreservesBehaviourOnTrainedSystem) {
   cfg.evolution.seed = 5;
   cfg.max_executions = 3;
   cfg.coverage_target_percent = 100.0;  // force several executions → duplicates
-  const auto trained = ef::core::train_rule_system(train, cfg);
+  const auto trained = ef::core::train(train, {.config = cfg});
 
   CompactionReport report;
   CompactionOptions options;

@@ -54,7 +54,7 @@ TEST(Determinism, FullPipelineSerialisationIsByteStable) {
   std::string first;
   std::string second;
   for (std::string* out : {&first, &second}) {
-    const auto result = ef::core::train_rule_system(train, small_config());
+    const auto result = ef::core::train(train, {.config = small_config()});
     std::ostringstream buffer;
     result.system.save(buffer);
     *out = buffer.str();
@@ -72,8 +72,8 @@ TEST(Determinism, IndependentOfThreadPoolSize) {
   ef::util::ThreadPool one(1);
   ef::util::ThreadPool four(4);
 
-  const auto a = ef::core::train_rule_system(train, small_config(), &one);
-  const auto b = ef::core::train_rule_system(train, small_config(), &four);
+  const auto a = ef::core::train(train, {.config = small_config(), .pool = &one});
+  const auto b = ef::core::train(train, {.config = small_config(), .pool = &four});
 
   ASSERT_EQ(a.system.size(), b.system.size());
   const auto fa = a.system.forecast_dataset(test, &one);
@@ -86,6 +86,30 @@ TEST(Determinism, IndependentOfThreadPoolSize) {
   }
 }
 
+TEST(Determinism, IndependentOfMatchBackend) {
+  // The backend is a speed knob only: all three kernels produce bit-identical
+  // match sets, so the trained system must serialise to identical bytes
+  // whichever backend the config picks.
+  const auto mg = ef::series::make_paper_mackey_glass();
+  const WindowDataset train(mg.train, 4, 1);
+
+  std::vector<std::string> serialised;
+  for (const ef::core::MatchBackend backend :
+       {ef::core::MatchBackend::kScalar, ef::core::MatchBackend::kSoa,
+        ef::core::MatchBackend::kSoaPrefilter}) {
+    auto cfg = small_config();
+    cfg.evolution.match_backend = backend;
+    const auto result = ef::core::train(train, {.config = cfg});
+    std::ostringstream buffer;
+    result.system.save(buffer);
+    serialised.push_back(buffer.str());
+  }
+  ASSERT_EQ(serialised.size(), 3u);
+  EXPECT_FALSE(serialised[0].empty());
+  EXPECT_EQ(serialised[0], serialised[1]);
+  EXPECT_EQ(serialised[0], serialised[2]);
+}
+
 TEST(Determinism, SeedChangesResults) {
   // Sanity check that the determinism above isn't vacuous: a different seed
   // must actually produce a different system.
@@ -95,8 +119,8 @@ TEST(Determinism, SeedChangesResults) {
   auto cfg_a = small_config();
   auto cfg_b = small_config();
   cfg_b.evolution.seed = 72;
-  const auto a = ef::core::train_rule_system(train, cfg_a);
-  const auto b = ef::core::train_rule_system(train, cfg_b);
+  const auto a = ef::core::train(train, {.config = cfg_a});
+  const auto b = ef::core::train(train, {.config = cfg_b});
 
   std::ostringstream sa;
   std::ostringstream sb;

@@ -40,7 +40,7 @@ TEST(Integration, MackeyGlassEndToEnd) {
   cfg.coverage_target_percent = 70.0;
   cfg.max_executions = 3;
 
-  const auto result = ef::core::train_rule_system(train, cfg);
+  const auto result = ef::core::train(train, {.config = cfg});
   ASSERT_FALSE(result.system.empty());
 
   const auto forecast = result.system.forecast_dataset(test);
@@ -65,7 +65,7 @@ TEST(Integration, VeniceEndToEndAndBeatsNothingburger) {
   cfg.coverage_target_percent = 80.0;
   cfg.max_executions = 3;
 
-  const auto result = ef::core::train_rule_system(train, cfg);
+  const auto result = ef::core::train(train, {.config = cfg});
   const auto forecast = result.system.forecast_dataset(validation);
   const auto report = ef::series::evaluate_partial(targets_of(validation), forecast);
 
@@ -88,7 +88,7 @@ TEST(Integration, SunspotEndToEnd) {
   cfg.coverage_target_percent = 80.0;
   cfg.max_executions = 3;
 
-  const auto result = ef::core::train_rule_system(train, cfg);
+  const auto result = ef::core::train(train, {.config = cfg});
   const auto forecast = result.system.forecast_dataset(validation);
   const auto report = ef::series::evaluate_partial(targets_of(validation), forecast);
 
@@ -108,7 +108,7 @@ TEST(Integration, RuleSystemSerialisationPreservesForecasts) {
   cfg.evolution.seed = 99;
   cfg.max_executions = 1;
 
-  const auto result = ef::core::train_rule_system(train, cfg);
+  const auto result = ef::core::train(train, {.config = cfg});
 
   std::stringstream buffer;
   result.system.save(buffer);
@@ -142,7 +142,7 @@ TEST(Integration, LocalRulesHandleExtremesAtLongHorizon) {
   cfg.coverage_target_percent = 85.0;
   cfg.max_executions = 4;
 
-  const auto result = ef::core::train_rule_system(train, cfg);
+  const auto result = ef::core::train(train, {.config = cfg});
   const auto forecast = result.system.forecast_dataset(validation);
 
   ef::baselines::ArModel ar;
@@ -195,7 +195,7 @@ TEST(Integration, DegenerateInputsRejected) {
   cfg.evolution.generations = 50;
   cfg.evolution.emax = 0.1;
   cfg.max_executions = 1;
-  const auto result = ef::core::train_rule_system(data, cfg);
+  const auto result = ef::core::train(data, {.config = cfg});
   EXPECT_DOUBLE_EQ(result.train_coverage_percent, 100.0);
   const auto forecast = result.system.forecast_dataset(data);
   for (const auto& p : forecast) {

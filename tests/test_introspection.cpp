@@ -134,7 +134,7 @@ TEST(GeneImportance, TrainedSystemFindsTheInformativeLag) {
   cfg.evolution.seed = 23;
   cfg.max_executions = 2;
   cfg.coverage_target_percent = 95.0;
-  const auto trained = ef::core::train_rule_system(train, cfg);
+  const auto trained = ef::core::train(train, {.config = cfg});
 
   const auto profile =
       gene_importance(trained.system, train.value_min(), train.value_max());

@@ -1,0 +1,198 @@
+// Property tests for the pluggable match backends: every backend must
+// produce exactly the same ascending index set as the scalar serial
+// reference (match_indices_serial), across wildcard densities, window
+// sizes, selectivities, and datasets large enough to trigger the parallel
+// chunked path. Bit-identical match sets are the contract that makes the
+// backend choice purely a speed knob.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/match_backend.hpp"
+#include "core/match_engine.hpp"
+#include "series/timeseries.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using ef::core::Interval;
+using ef::core::MatchBackend;
+using ef::core::MatchEngine;
+using ef::core::Rule;
+using ef::core::WindowDataset;
+using ef::series::TimeSeries;
+
+constexpr MatchBackend kAllBackends[] = {MatchBackend::kScalar, MatchBackend::kSoa,
+                                         MatchBackend::kSoaPrefilter};
+
+TimeSeries random_series(std::size_t n, std::uint64_t seed) {
+  ef::util::Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(0.0, 1.0);
+  return TimeSeries(std::move(v));
+}
+
+/// Random rule with a given wildcard probability. Interval edges are drawn
+/// raw (no widening), so selectivity varies from near-empty to near-full.
+Rule random_rule(std::size_t d, double wildcard_prob, std::uint64_t seed) {
+  ef::util::Rng rng(seed);
+  std::vector<Interval> genes;
+  genes.reserve(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    if (rng.bernoulli(wildcard_prob)) {
+      genes.push_back(Interval::wildcard());
+      continue;
+    }
+    double a = rng.uniform(0.0, 1.0);
+    double b = rng.uniform(0.0, 1.0);
+    if (a > b) std::swap(a, b);
+    genes.emplace_back(a, b);
+  }
+  return Rule(std::move(genes));
+}
+
+void expect_backends_match_reference(const WindowDataset& data, const Rule& rule,
+                                     ef::util::ThreadPool* pool, const char* what) {
+  const MatchEngine reference(data);
+  const std::vector<std::size_t> expected = reference.match_indices_serial(rule);
+  for (const MatchBackend backend : kAllBackends) {
+    const MatchEngine engine(data, pool, backend);
+    const auto got = engine.match_indices(rule);
+    EXPECT_EQ(got, expected) << what << " backend=" << ef::core::to_string(backend);
+    EXPECT_EQ(engine.match_count(rule), expected.size())
+        << what << " backend=" << ef::core::to_string(backend);
+  }
+}
+
+TEST(MatchBackends, AgreeAcrossWildcardDensitiesAndWindows) {
+  // Small dataset: serial path in match_indices (below the parallel grain).
+  const TimeSeries s = random_series(600, 11);
+  for (const std::size_t window : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    const WindowDataset data(s, window, 1);
+    std::uint64_t seed = 1000 * window;
+    for (const double wc : {0.0, 0.2, 0.5, 1.0}) {
+      for (int trial = 0; trial < 8; ++trial) {
+        expect_backends_match_reference(data, random_rule(window, wc, ++seed), nullptr,
+                                        "small");
+      }
+    }
+  }
+}
+
+TEST(MatchBackends, AgreeOnParallelChunkedPath) {
+  // > 4096 windows and an explicit multi-worker pool: the chunked parallel
+  // path must concatenate per-chunk results in dataset order for every
+  // backend.
+  const TimeSeries s = random_series(20000, 29);
+  const WindowDataset data(s, 4, 1);
+  ef::util::ThreadPool pool(4);
+  std::uint64_t seed = 500;
+  for (const double wc : {0.0, 0.2, 0.5, 1.0}) {
+    for (int trial = 0; trial < 4; ++trial) {
+      expect_backends_match_reference(data, random_rule(4, wc, ++seed), &pool, "parallel");
+    }
+  }
+}
+
+TEST(MatchBackends, AllWildcardRuleMatchesEverything) {
+  const TimeSeries s = random_series(5000, 3);
+  const WindowDataset data(s, 5, 1);
+  const Rule rule(std::vector<Interval>(5, Interval::wildcard()));
+  for (const MatchBackend backend : kAllBackends) {
+    const MatchEngine engine(data, nullptr, backend);
+    EXPECT_EQ(engine.match_count(rule), data.count())
+        << ef::core::to_string(backend);
+  }
+  expect_backends_match_reference(data, rule, nullptr, "all-wildcard");
+}
+
+TEST(MatchBackends, EmptyMatchSetAgrees) {
+  // Values live in [0,1); an interval above 2 can never match.
+  const TimeSeries s = random_series(3000, 7);
+  const WindowDataset data(s, 3, 1);
+  std::vector<Interval> genes(3, Interval::wildcard());
+  genes[1] = Interval(2.0, 3.0);
+  const Rule rule(std::move(genes));
+  for (const MatchBackend backend : kAllBackends) {
+    const MatchEngine engine(data, nullptr, backend);
+    EXPECT_TRUE(engine.match_indices(rule).empty()) << ef::core::to_string(backend);
+  }
+  expect_backends_match_reference(data, rule, nullptr, "empty");
+}
+
+TEST(MatchBackends, DimensionMismatchMatchesNothing) {
+  const TimeSeries s = random_series(500, 13);
+  const WindowDataset data(s, 4, 1);
+  const Rule narrow(std::vector<Interval>(3, Interval::wildcard()));
+  const Rule wide(std::vector<Interval>(6, Interval::wildcard()));
+  for (const MatchBackend backend : kAllBackends) {
+    const MatchEngine engine(data, nullptr, backend);
+    EXPECT_TRUE(engine.match_indices(narrow).empty()) << ef::core::to_string(backend);
+    EXPECT_TRUE(engine.match_indices(wide).empty()) << ef::core::to_string(backend);
+  }
+}
+
+TEST(MatchBackends, NanSemanticsAgreeAtKernelLevel) {
+  // TimeSeries rejects non-finite input, so NaN can only be probed at the
+  // kernel layer: a NaN value must be rejected by any bounded gene and
+  // accepted by a wildcard — identically in every kernel.
+  constexpr std::size_t kWindow = 3;
+  constexpr std::size_t kCount = 64;
+  ef::util::Rng rng(17);
+  std::vector<double> rows(kCount * kWindow);
+  for (double& x : rows) x = rng.uniform(0.0, 1.0);
+  rows[5 * kWindow + 1] = std::numeric_limits<double>::quiet_NaN();
+  rows[20 * kWindow + 0] = std::numeric_limits<double>::quiet_NaN();
+  rows[33 * kWindow + 2] = std::numeric_limits<double>::quiet_NaN();
+
+  std::vector<double> lag_major(kCount * kWindow);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    for (std::size_t j = 0; j < kWindow; ++j) {
+      lag_major[j * kCount + i] = rows[i * kWindow + j];
+    }
+  }
+  const ef::core::LagMajorView view{lag_major.data(), kCount, kWindow};
+
+  std::uint64_t seed = 90;
+  for (const double wc : {0.0, 0.5, 1.0}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const Rule rule = random_rule(kWindow, wc, ++seed);
+      std::vector<std::size_t> scalar_out;
+      std::vector<std::size_t> soa_out;
+      std::vector<std::size_t> prefilter_out;
+      ef::core::matchkern::scalar_match(rows.data(), kWindow, rule.genes(), 0, kCount,
+                                        scalar_out);
+      ef::core::matchkern::soa_match(view, rule.genes(), 0, kCount, soa_out);
+      ef::core::matchkern::soa_prefilter_match(view, rule.genes(), 0, kCount,
+                                               prefilter_out);
+      EXPECT_EQ(soa_out, scalar_out) << "wc=" << wc << " trial=" << trial;
+      EXPECT_EQ(prefilter_out, scalar_out) << "wc=" << wc << " trial=" << trial;
+      // Any row containing NaN must be absent unless every NaN lag is
+      // wildcarded.
+      for (const std::size_t i : {std::size_t{5}, std::size_t{20}, std::size_t{33}}) {
+        const std::size_t nan_lag = i == 5 ? 1 : (i == 20 ? 0 : 2);
+        if (!rule.genes()[nan_lag].is_wildcard()) {
+          EXPECT_TRUE(std::find(scalar_out.begin(), scalar_out.end(), i) ==
+                      scalar_out.end())
+              << "row " << i << " with NaN at bounded lag matched";
+        }
+      }
+    }
+  }
+}
+
+TEST(MatchBackends, ParseAndToStringRoundTrip) {
+  for (const MatchBackend backend : kAllBackends) {
+    const auto parsed = ef::core::parse_match_backend(ef::core::to_string(backend));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, backend);
+  }
+  EXPECT_EQ(ef::core::parse_match_backend("soa+prefilter"), MatchBackend::kSoaPrefilter);
+  EXPECT_FALSE(ef::core::parse_match_backend("definitely-not-a-backend").has_value());
+}
+
+}  // namespace

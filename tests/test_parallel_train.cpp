@@ -1,6 +1,7 @@
-// Tests for train_rule_system_parallel and RuleSystem::predict_with_bound:
-// exact equivalence with the sequential trainer, and empirical calibration
-// of the uncertainty bound.
+// Tests for train() scheduling (sequential vs islands vs auto) and
+// RuleSystem::predict_with_bound: exact equivalence between schedules,
+// telemetry rules, the deprecated entry points, and empirical calibration of
+// the uncertainty bound.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -14,6 +15,8 @@
 namespace {
 
 using ef::core::RuleSystemConfig;
+using ef::core::TrainOptions;
+using ef::core::TrainParallelism;
 using ef::core::WindowDataset;
 using ef::series::TimeSeries;
 
@@ -54,26 +57,40 @@ void expect_same_result(const ef::core::TrainResult& a, const ef::core::TrainRes
   }
 }
 
-TEST(ParallelTrain, MatchesSequentialExactlyAllExecutions) {
+TEST(ParallelTrain, IslandsMatchSequentialExactlyAllExecutions) {
   const TimeSeries s = noisy_sine(400);
   const WindowDataset train(s, 4, 1);
-  // Coverage target 100 %: both trainers run every execution.
+  // Coverage target 100 %: both schedules run every execution.
   const auto cfg = config_with(3, 100.0);
-  const auto sequential = ef::core::train_rule_system(train, cfg);
-  const auto parallel = ef::core::train_rule_system_parallel(train, cfg);
-  expect_same_result(sequential, parallel);
+  const auto sequential = ef::core::train(
+      train, {.config = cfg, .parallelism = TrainParallelism::kSequential});
+  const auto islands =
+      ef::core::train(train, {.config = cfg, .parallelism = TrainParallelism::kIslands});
+  expect_same_result(sequential, islands);
 }
 
-TEST(ParallelTrain, MatchesSequentialWithEarlyStop) {
+TEST(ParallelTrain, IslandsMatchSequentialWithEarlyStop) {
   const TimeSeries s = noisy_sine(400);
   const WindowDataset train(s, 4, 1);
-  // Loose target: the sequential trainer stops after execution 1; the
-  // parallel one must union the same prefix.
+  // Loose target: the sequential schedule stops after execution 1; the
+  // island one must union the same prefix.
   const auto cfg = config_with(4, 50.0);
-  const auto sequential = ef::core::train_rule_system(train, cfg);
-  const auto parallel = ef::core::train_rule_system_parallel(train, cfg);
+  const auto sequential = ef::core::train(
+      train, {.config = cfg, .parallelism = TrainParallelism::kSequential});
+  const auto islands =
+      ef::core::train(train, {.config = cfg, .parallelism = TrainParallelism::kIslands});
   EXPECT_LT(sequential.executions, 4u);  // early stop actually happened
-  expect_same_result(sequential, parallel);
+  expect_same_result(sequential, islands);
+}
+
+TEST(ParallelTrain, AutoMatchesPinnedSchedules) {
+  const TimeSeries s = noisy_sine(300);
+  const WindowDataset train(s, 4, 1);
+  const auto cfg = config_with(2, 100.0);
+  const auto automatic = ef::core::train(train, {.config = cfg});
+  const auto sequential = ef::core::train(
+      train, {.config = cfg, .parallelism = TrainParallelism::kSequential});
+  expect_same_result(automatic, sequential);
 }
 
 TEST(ParallelTrain, WorksOnExplicitPool) {
@@ -81,20 +98,82 @@ TEST(ParallelTrain, WorksOnExplicitPool) {
   const WindowDataset train(s, 4, 1);
   ef::util::ThreadPool pool(4);
   const auto cfg = config_with(3, 100.0);
-  const auto parallel = ef::core::train_rule_system_parallel(train, cfg, &pool);
-  EXPECT_FALSE(parallel.system.empty());
+  const auto islands = ef::core::train(
+      train, {.config = cfg, .pool = &pool, .parallelism = TrainParallelism::kIslands});
+  EXPECT_FALSE(islands.system.empty());
   // The binding guarantee is sequential equivalence, whatever the stop point.
-  const auto sequential = ef::core::train_rule_system(train, cfg);
-  expect_same_result(sequential, parallel);
+  const auto sequential = ef::core::train(
+      train, {.config = cfg, .parallelism = TrainParallelism::kSequential});
+  expect_same_result(sequential, islands);
+}
+
+TEST(ParallelTrain, SeedOverrideLeavesConfigAlone) {
+  const TimeSeries s = noisy_sine(300);
+  const WindowDataset train(s, 4, 1);
+  const auto cfg = config_with(1, 100.0);  // cfg.evolution.seed == 9
+
+  auto override_cfg = cfg;
+  override_cfg.evolution.seed = 123;
+  const auto via_config = ef::core::train(
+      train, {.config = override_cfg, .parallelism = TrainParallelism::kSequential});
+  const auto via_option = ef::core::train(
+      train,
+      {.config = cfg, .parallelism = TrainParallelism::kSequential, .seed = 123});
+  expect_same_result(via_config, via_option);
 }
 
 TEST(ParallelTrain, InvalidConfigThrows) {
   const TimeSeries s = noisy_sine(300);
   const WindowDataset train(s, 4, 1);
   RuleSystemConfig cfg = config_with(0, 90.0);
-  EXPECT_THROW((void)ef::core::train_rule_system_parallel(train, cfg),
-               std::invalid_argument);
+  EXPECT_THROW(
+      (void)ef::core::train(train,
+                            {.config = cfg, .parallelism = TrainParallelism::kIslands}),
+      std::invalid_argument);
 }
+
+TEST(ParallelTrain, TelemetryWithIslandsThrows) {
+  const TimeSeries s = noisy_sine(300);
+  const WindowDataset train(s, 4, 1);
+  const auto cfg = config_with(2, 100.0);
+  ef::core::TelemetryCollector collector;
+  TrainOptions options;
+  options.config = cfg;
+  options.parallelism = TrainParallelism::kIslands;
+  options.telemetry = collector.sink();
+  EXPECT_THROW((void)ef::core::train(train, options), std::invalid_argument);
+}
+
+TEST(ParallelTrain, AutoWithTelemetryFallsBackToSequential) {
+  const TimeSeries s = noisy_sine(300);
+  const WindowDataset train(s, 4, 1);
+  auto cfg = config_with(2, 100.0);
+  cfg.evolution.telemetry_stride = 50;
+  ef::core::TelemetryCollector collector;
+  TrainOptions options;
+  options.config = cfg;
+  options.telemetry = collector.sink();  // kAuto must not pick islands here
+  const auto result = ef::core::train(train, options);
+  EXPECT_FALSE(result.system.empty());
+  EXPECT_FALSE(collector.empty());
+}
+
+// The pre-redesign entry points must keep compiling and produce identical
+// results; in-tree code is migrated, so silence the deprecation here only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(ParallelTrain, DeprecatedEntryPointsStillWork) {
+  const TimeSeries s = noisy_sine(300);
+  const WindowDataset train(s, 4, 1);
+  const auto cfg = config_with(2, 100.0);
+  const auto old_sequential = ef::core::train_rule_system(train, cfg);
+  const auto old_parallel = ef::core::train_rule_system_parallel(train, cfg);
+  const auto unified = ef::core::train(
+      train, {.config = cfg, .parallelism = TrainParallelism::kSequential});
+  expect_same_result(old_sequential, unified);
+  expect_same_result(old_parallel, unified);
+}
+#pragma GCC diagnostic pop
 
 // ---- predict_with_bound -----------------------------------------------------
 
@@ -154,7 +233,7 @@ TEST(PredictWithBound, EmpiricallyCalibratedOnMackeyGlass) {
   cfg.evolution.seed = 77;
   cfg.max_executions = 2;
   cfg.coverage_target_percent = 90.0;
-  const auto trained = ef::core::train_rule_system(train, cfg);
+  const auto trained = ef::core::train(train, {.config = cfg});
 
   std::size_t covered = 0;
   std::size_t inside = 0;

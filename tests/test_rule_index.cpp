@@ -94,7 +94,7 @@ TEST(RuleIndex, AgreesWithBruteForceOnTrainedSystem) {
   cfg.evolution.seed = 3;
   cfg.max_executions = 2;
   cfg.coverage_target_percent = 100.0;
-  const auto trained = ef::core::train_rule_system(train, cfg);
+  const auto trained = ef::core::train(train, {.config = cfg});
 
   const RuleIndex index(trained.system, train.value_min(), train.value_max(), 64);
   for (std::size_t i = 0; i < test.count(); ++i) {

@@ -155,7 +155,7 @@ TEST(RuleSystem, LoadRejectsTruncatedFile) {
   EXPECT_THROW((void)RuleSystem::load(buffer), std::runtime_error);
 }
 
-// ---- train_rule_system ------------------------------------------------------
+// ---- train ------------------------------------------------------------------
 
 TEST(TrainRuleSystem, ReachesCoverageTargetOnEasySeries) {
   ef::util::Rng rng(31);
@@ -173,7 +173,7 @@ TEST(TrainRuleSystem, ReachesCoverageTargetOnEasySeries) {
   cfg.coverage_target_percent = 60.0;
   cfg.max_executions = 4;
 
-  const auto result = ef::core::train_rule_system(data, cfg);
+  const auto result = ef::core::train(data, {.config = cfg});
   EXPECT_GE(result.executions, 1u);
   EXPECT_LE(result.executions, 4u);
   EXPECT_GE(result.train_coverage_percent, 60.0);
@@ -194,7 +194,7 @@ TEST(TrainRuleSystem, CoverageMonotonicallyNonDecreasing) {
   cfg.coverage_target_percent = 100.0;  // force all executions
   cfg.max_executions = 3;
 
-  const auto result = ef::core::train_rule_system(data, cfg);
+  const auto result = ef::core::train(data, {.config = cfg});
   for (std::size_t i = 1; i < result.coverage_per_execution.size(); ++i) {
     EXPECT_GE(result.coverage_per_execution[i], result.coverage_per_execution[i - 1] - 1e-9);
   }
@@ -217,8 +217,8 @@ TEST(TrainRuleSystem, Deterministic) {
   cfg.max_executions = 2;
   cfg.coverage_target_percent = 100.0;
 
-  const auto a = ef::core::train_rule_system(data, cfg);
-  const auto b = ef::core::train_rule_system(data, cfg);
+  const auto a = ef::core::train(data, {.config = cfg});
+  const auto b = ef::core::train(data, {.config = cfg});
   EXPECT_EQ(a.executions, b.executions);
   EXPECT_DOUBLE_EQ(a.train_coverage_percent, b.train_coverage_percent);
   ASSERT_EQ(a.system.size(), b.system.size());
@@ -229,10 +229,10 @@ TEST(TrainRuleSystem, InvalidConfigThrows) {
   const WindowDataset data(s, 3, 1);
   RuleSystemConfig cfg;
   cfg.max_executions = 0;
-  EXPECT_THROW((void)ef::core::train_rule_system(data, cfg), std::invalid_argument);
+  EXPECT_THROW((void)ef::core::train(data, {.config = cfg}), std::invalid_argument);
   cfg = RuleSystemConfig{};
   cfg.coverage_target_percent = 150.0;
-  EXPECT_THROW((void)ef::core::train_rule_system(data, cfg), std::invalid_argument);
+  EXPECT_THROW((void)ef::core::train(data, {.config = cfg}), std::invalid_argument);
 }
 
 }  // namespace

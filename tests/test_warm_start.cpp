@@ -113,7 +113,7 @@ TEST(ExtendRuleSystem, ImprovesAfterRegimeShift) {
   cfg.max_executions = 2;
   cfg.coverage_target_percent = 90.0;
 
-  const auto original = ef::core::train_rule_system(old_data, cfg);
+  const auto original = ef::core::train(old_data, {.config = cfg});
 
   const auto rmse_on = [&](const ef::core::RuleSystem& system) {
     const auto forecast = system.forecast_dataset(new_data);
@@ -153,7 +153,7 @@ TEST(ExtendRuleSystem, KeepsCompetenceOnUnchangedData) {
   cfg.max_executions = 1;
   cfg.coverage_target_percent = 100.0;
 
-  const auto original = ef::core::train_rule_system(data, cfg);
+  const auto original = ef::core::train(data, {.config = cfg});
   const auto extended = ef::core::extend_rule_system(original.system, data, cfg);
   // Extending on the same data must not lose coverage (warm start +
   // better-only replacement can only hold or improve training fit).
