@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/match_backend.hpp"
+#include "obs/build_info.hpp"
 #include "core/match_engine.hpp"
 #include "core/rule_system.hpp"
 #include "series/mackey_glass.hpp"
@@ -155,6 +156,9 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::fprintf(f, "{\n");
+    // Provenance stamp: which sources/toolchain produced these numbers.
+    // check_match_bench.py ignores it; humans diffing baselines don't.
+    std::fprintf(f, "  \"build\": %s,\n", ef::obs::build_info_json().c_str());
     std::fprintf(f,
                  "  \"config\": {\"series\": %zu, \"windows\": %zu, \"rules\": %zu, "
                  "\"reps\": %zu, \"quick\": %s, \"window\": 4, \"horizon\": 6},\n",

@@ -47,10 +47,24 @@ def main():
         else os.path.join(os.path.dirname(__file__), "..", "BENCH_match.json")
     )
 
-    with open(current_path) as f:
-        current = json.load(f)
-    with open(baseline_path) as f:
-        baseline = json.load(f)
+    def load(path, role):
+        try:
+            with open(path) as f:
+                return json.load(f)
+        except OSError as err:
+            print(f"check_match_bench: cannot read {role} {path}: {err}")
+        except json.JSONDecodeError as err:
+            print(f"check_match_bench: {role} {path} is not valid JSON "
+                  f"(line {err.lineno}, col {err.colno}): {err.msg}")
+        return None
+
+    current = load(current_path, "current run")
+    baseline = load(baseline_path, "baseline")
+    if current is None or baseline is None:
+        return 2
+    if not isinstance(current, dict) or not isinstance(baseline, dict):
+        print("check_match_bench: expected a JSON object at the top level")
+        return 2
 
     print(f"check_match_bench: {current_path} vs {baseline_path}")
 

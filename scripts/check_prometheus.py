@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition format 0.0.4 (used by CI).
+
+Usage: check_prometheus.py [FILE]       (reads stdin when FILE is omitted)
+
+Structural checks on a scrape of efserve's GET /metrics:
+  * every sample line parses as  name{labels} value  with a legal metric
+    name ([a-zA-Z_:][a-zA-Z0-9_:]*) and a parseable value
+  * every sample's base family has a # TYPE line, and it appears before
+    the samples it describes
+  * counters end in _total
+  * histogram bucket series are cumulative (non-decreasing in le order),
+    end with an le="+Inf" bucket, and that bucket equals <family>_count
+  * le label values are parseable floats or +Inf
+
+Importable: validate(text) returns a list of problem strings (empty = ok).
+The CLI prints each problem and exits 1 on any, 2 on usage/IO errors —
+always a readable message, never a traceback.
+"""
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)(?: \d+)?$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_value(text):
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)  # raises ValueError on garbage
+
+
+def _family_of(name):
+    """Base metric family: strip histogram sample suffixes."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def validate(text):
+    problems = []
+    types = {}          # family -> declared type
+    type_line_no = {}   # family -> line number of its # TYPE
+    buckets = {}        # family -> list of (le, value, line_no)
+    counts = {}         # family -> _count value
+    samples = 0
+
+    for line_no, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            problems.append(f"line {line_no}: blank line in exposition")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                problems.append(f"line {line_no}: malformed TYPE line: {line!r}")
+                continue
+            _, _, family, kind = parts
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                problems.append(f"line {line_no}: unknown type {kind!r} for {family}")
+            if family in types:
+                problems.append(f"line {line_no}: duplicate TYPE for {family}")
+            types[family] = kind
+            type_line_no[family] = line_no
+            continue
+        if line.startswith("#"):
+            continue  # HELP / comments: fine
+
+        match = SAMPLE_RE.match(line)
+        if not match:
+            problems.append(f"line {line_no}: unparseable sample: {line!r}")
+            continue
+        samples += 1
+        name = match.group("name")
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            problems.append(
+                f"line {line_no}: bad value {match.group('value')!r} for {name}")
+            continue
+        labels = dict(LABEL_RE.findall(match.group("labels") or ""))
+
+        family = _family_of(name)
+        declared = types.get(family) or types.get(name)
+        if declared is None:
+            problems.append(f"line {line_no}: sample {name} has no # TYPE line")
+            continue
+        described = family if family in types else name
+        if type_line_no[described] > line_no:
+            problems.append(
+                f"line {line_no}: sample {name} precedes its # TYPE line")
+
+        if declared == "counter" and not name.endswith("_total"):
+            problems.append(
+                f"line {line_no}: counter sample {name} does not end in _total")
+
+        if declared == "histogram" and name.endswith("_bucket"):
+            le = labels.get("le")
+            if le is None:
+                problems.append(f"line {line_no}: bucket without le label: {name}")
+                continue
+            try:
+                bound = _parse_value(le)
+            except ValueError:
+                problems.append(f"line {line_no}: unparseable le={le!r} on {name}")
+                continue
+            buckets.setdefault(family, []).append((bound, value, line_no))
+        if declared == "histogram" and name.endswith("_count"):
+            counts[family] = value
+
+    for family, series in sorted(buckets.items()):
+        bounds = [bound for bound, _, _ in series]
+        if bounds != sorted(bounds):
+            problems.append(f"{family}: le buckets not in ascending order")
+        last = None
+        for bound, value, line_no in series:
+            if last is not None and value < last:
+                problems.append(
+                    f"line {line_no}: {family} bucket le={bound} count {value} "
+                    f"< previous bucket {last} (not cumulative)")
+            last = value
+        if not series or series[-1][0] != float("inf"):
+            problems.append(f"{family}: bucket series does not end at le=\"+Inf\"")
+        elif family in counts and series[-1][1] != counts[family]:
+            problems.append(
+                f"{family}: +Inf bucket {series[-1][1]} != _count {counts[family]}")
+        if family in types and family not in counts:
+            problems.append(f"{family}: histogram has buckets but no _count sample")
+
+    if samples == 0:
+        problems.append("no samples found — empty or non-exposition input")
+    return problems
+
+
+def main():
+    if len(sys.argv) > 2:
+        print(__doc__)
+        return 2
+    try:
+        if len(sys.argv) == 2:
+            with open(sys.argv[1]) as f:
+                text = f.read()
+        else:
+            text = sys.stdin.read()
+    except OSError as err:
+        print(f"check_prometheus: cannot read input: {err}")
+        return 2
+
+    problems = validate(text)
+    if problems:
+        for problem in problems:
+            print(f"  [FAIL] {problem}")
+        print(f"check_prometheus: {len(problems)} problem(s)")
+        return 1
+    families = len(re.findall(r"^# TYPE ", text, re.MULTILINE))
+    print(f"check_prometheus: ok ({families} metric families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

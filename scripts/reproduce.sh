@@ -17,6 +17,23 @@ mkdir -p "$OUT"
 cmake -B build -G Ninja
 cmake --build build
 
+# Provenance manifest: which sources, toolchain, and host produced this
+# reproduction. The per-bench metrics JSONs carry the same build stamp in
+# their "build" section; manifest.json ties the whole directory together.
+{
+  echo "{"
+  echo "  \"git_commit\": \"$(git rev-parse HEAD 2>/dev/null || echo unknown)\","
+  echo "  \"git_dirty\": $(git diff --quiet 2>/dev/null && echo false || echo true),"
+  echo "  \"date_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+  echo "  \"host\": \"$(uname -srm)\","
+  echo "  \"nproc\": $(nproc),"
+  echo "  \"compiler\": \"$(c++ --version 2>/dev/null | head -1 | tr -d '"\\')\","
+  echo "  \"mode\": \"${FULL_FLAG:-quick}\""
+  echo "}"
+} > "$OUT/manifest.json"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$OUT/manifest.json" \
+  || echo "warning: manifest.json failed to validate"
+
 echo "== tests ==" | tee "$OUT/tests.log"
 ctest --test-dir build -j"$(nproc)" 2>&1 | tee -a "$OUT/tests.log"
 

@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
 """Loopback smoke test for efserve (used by CI).
 
-Usage: serve_smoke.py EFSERVE_BINARY MODEL_EFR
+Usage: serve_smoke.py EFSERVE_BINARY MODEL_EFR [EFSTAT_BINARY]
 
 Starts efserve on an ephemeral port with fast polling, then exercises the
 JSON-lines protocol end to end: ping, cold miss, warm cache hit, explicit
 abstention, bad requests (connection must survive), on-disk model swap
-(version bump, identical values), and graceful SIGTERM shutdown.
+(version bump, identical values), the metrics/events observability verbs,
+a raw HTTP GET /metrics scrape (validated with check_prometheus), a
+SIGUSR1 flight-recorder dump (server keeps serving), optionally one
+efstat --once --json poll, and graceful SIGTERM shutdown.
 Exits non-zero on the first failed check.
 """
 import json
@@ -17,7 +20,11 @@ import signal
 import socket
 import subprocess
 import sys
+import threading
 import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_prometheus  # noqa: E402  (sibling module, no package)
 
 FAILURES = []
 
@@ -50,17 +57,66 @@ def sine_window(phase, length=6, period=25.0):
     return [math.sin(2.0 * math.pi * (phase + t) / period) for t in range(length)]
 
 
+class LineDrain:
+    """Continuously drain a pipe into a list so the child never blocks on a
+    full pipe buffer (the SIGUSR1 dump writes freely to stdout/stderr)."""
+
+    def __init__(self, stream):
+        self.lines = []
+        self.cond = threading.Condition()
+        self.thread = threading.Thread(target=self._run, args=(stream,), daemon=True)
+        self.thread.start()
+
+    def _run(self, stream):
+        for line in stream:
+            with self.cond:
+                self.lines.append(line.rstrip("\n"))
+                self.cond.notify_all()
+
+    def wait_for(self, needle, timeout=15):
+        """Block until a line containing `needle` arrives; returns its index
+        or None on timeout."""
+        deadline = time.time() + timeout
+        with self.cond:
+            while True:
+                for i, line in enumerate(self.lines):
+                    if needle in line:
+                        return i
+                remaining = deadline - time.time()
+                if remaining <= 0:
+                    return None
+                self.cond.wait(remaining)
+
+
+def http_get(port, path):
+    """One-shot HTTP/1.0 GET on the JSON-lines port; returns (status, body)."""
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall(f"GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n".encode())
+        raw = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            raw += chunk
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, body.decode()
+
+
 def main():
-    if len(sys.argv) != 3:
+    if len(sys.argv) not in (3, 4):
         print(__doc__)
         return 2
     efserve, model_path = sys.argv[1], sys.argv[2]
+    efstat = sys.argv[3] if len(sys.argv) == 4 else None
 
     proc = subprocess.Popen(
         [efserve, f"demo={model_path}", "--port", "0", "--poll-ms", "100"],
         stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
         text=True,
     )
+    stderr_drain = LineDrain(proc.stderr)
     port = None
     deadline = time.time() + 30
     while time.time() < deadline:
@@ -75,6 +131,7 @@ def main():
         print("FAIL: server never reported its port")
         proc.kill()
         return 1
+    stdout_drain = LineDrain(proc.stdout)
 
     try:
         client = Client(port)
@@ -155,6 +212,81 @@ def main():
 
         stats = client.request('{"cmd":"stats"}')
         check("stats", stats.get("ok") is True, stats)
+
+        # -- observability: metrics verb, raw HTTP scrape, events, SIGUSR1 --
+
+        metrics = client.request('{"cmd":"metrics"}')
+        check("metrics verb", metrics.get("ok") is True
+              and metrics.get("format") == "prometheus", metrics)
+        problems = check_prometheus.validate(metrics.get("exposition", ""))
+        check("metrics verb exposition valid", not problems, problems[:3])
+
+        status, scrape = http_get(port, "/metrics")
+        check("GET /metrics is 200", status == 200, status)
+        problems = check_prometheus.validate(scrape)
+        check("GET /metrics exposition valid", not problems, problems[:3])
+        check("scrape has request histogram",
+              "evoforecast_serve_request_us_bucket" in scrape)
+        check("scrape has build_info", "evoforecast_build_info{" in scrape)
+        status404, _ = http_get(port, "/nope")
+        check("GET unknown path is 404", status404 == 404, status404)
+        check("connection survives HTTP scrape",
+              client.request('{"cmd":"ping"}').get("ok") is True)
+
+        events = client.request('{"cmd":"events"}')
+        check("events verb", events.get("ok") is True
+              and isinstance(events.get("events"), list), events.get("_raw"))
+        kinds = {e.get("kind") for e in events.get("events", [])}
+        check("events carry serve.start", "serve.start" in kinds, sorted(kinds))
+        check("events carry serve.model.load", "serve.model.load" in kinds,
+              sorted(kinds))
+        check("events carry serve.model.reload", "serve.model.reload" in kinds,
+              sorted(kinds))
+
+        # SIGUSR1: flight recorder to stderr between markers, report to
+        # stdout, server keeps answering.
+        begin_before = len(stderr_drain.lines)
+        proc.send_signal(signal.SIGUSR1)
+        end_at = stderr_drain.wait_for("== flight recorder end ==")
+        check("SIGUSR1 dumps flight recorder", end_at is not None)
+        if end_at is not None:
+            begin_at = stderr_drain.wait_for("== flight recorder begin ==")
+            recorded = stderr_drain.lines[begin_at + 1:end_at]
+            parsed = []
+            for line in recorded:
+                try:
+                    parsed.append(json.loads(line))
+                except json.JSONDecodeError:
+                    check("flight recorder line is JSON", False, line[:80])
+            dump_kinds = {e.get("kind") for e in parsed}
+            check("flight recorder has events", len(parsed) >= 3
+                  and begin_at >= begin_before, sorted(dump_kinds))
+            check("flight recorder carries model lifecycle",
+                  "serve.model.load" in dump_kinds, sorted(dump_kinds))
+        check("report goes to stdout",
+              stdout_drain.wait_for("run report") is not None
+              or stdout_drain.wait_for("serve.requests") is not None)
+        check("server survives SIGUSR1",
+              client.request('{"cmd":"ping"}').get("ok") is True)
+        after = client.request('{"cmd":"metrics"}').get("exposition", "")
+        check("report_dumps counter incremented",
+              "evoforecast_serve_report_dumps_total 1" in after)
+
+        if efstat:
+            stat = subprocess.run(
+                [efstat, "--port", str(port), "--once", "--json"],
+                capture_output=True, text=True, timeout=30)
+            check("efstat --once --json exits 0", stat.returncode == 0,
+                  stat.stderr)
+            try:
+                snapshot = json.loads(stat.stdout)
+                check("efstat reports requests",
+                      snapshot.get("requests_total", 0) >= 1, snapshot)
+                check("efstat lists demo model",
+                      any(m.get("name") == "demo"
+                          for m in snapshot.get("models", [])), snapshot)
+            except json.JSONDecodeError:
+                check("efstat output is JSON", False, stat.stdout[:120])
 
         client.close()
     finally:

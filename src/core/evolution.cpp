@@ -151,10 +151,17 @@ TelemetryRecord SteadyStateEngine::snapshot() const {
 }
 
 void SteadyStateEngine::emit_telemetry() {
-  if (!telemetry_) return;
+#if !EVOFORECAST_OBS_ENABLED
+  if (!telemetry_) return;  // nothing to feed: no sink, events compiled out
+#endif
   TelemetryRecord rec = snapshot();
   rec.registry = &obs::Registry::global();
-  telemetry_(rec);
+  EVOFORECAST_EVENT("train.generation", {"engine", "steady_state"},
+                    {"generation", rec.generation}, {"best_fitness", rec.best_fitness},
+                    {"mean_fitness", rec.mean_fitness}, {"mean_error", rec.mean_error},
+                    {"mean_matches", rec.mean_matches},
+                    {"replacements", rec.replacements});
+  if (telemetry_) telemetry_(rec);
 }
 
 }  // namespace ef::core

@@ -29,11 +29,21 @@ GenerationalEngine::GenerationalEngine(const WindowDataset& data, GenerationalCo
   config_.validate();
   population_ = initialize_population(data_, config_.base, rng_);
   evaluator_.evaluate_all(population_);
-  if (telemetry_) {
-    TelemetryRecord rec = snapshot();
-    rec.registry = &obs::Registry::global();
-    telemetry_(rec);
-  }
+  emit_telemetry();  // generation-0 snapshot
+}
+
+void GenerationalEngine::emit_telemetry() {
+#if !EVOFORECAST_OBS_ENABLED
+  if (!telemetry_) return;  // nothing to feed: no sink, events compiled out
+#endif
+  TelemetryRecord rec = snapshot();
+  rec.registry = &obs::Registry::global();
+  EVOFORECAST_EVENT("train.generation", {"engine", "generational"},
+                    {"generation", rec.generation}, {"best_fitness", rec.best_fitness},
+                    {"mean_fitness", rec.mean_fitness}, {"mean_error", rec.mean_error},
+                    {"mean_matches", rec.mean_matches},
+                    {"replacements", rec.replacements});
+  if (telemetry_) telemetry_(rec);
 }
 
 std::size_t GenerationalEngine::step() {
@@ -75,10 +85,8 @@ std::size_t GenerationalEngine::step() {
   population_ = std::move(next);
 
   if (config_.base.telemetry_stride != 0 &&
-      generation_ % config_.base.telemetry_stride == 0 && telemetry_) {
-    TelemetryRecord rec = snapshot();
-    rec.registry = &obs::Registry::global();
-    telemetry_(rec);
+      generation_ % config_.base.telemetry_stride == 0) {
+    emit_telemetry();
   }
   return improved;
 }

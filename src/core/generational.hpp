@@ -52,6 +52,8 @@ class GenerationalEngine {
   [[nodiscard]] TelemetryRecord snapshot() const;
 
  private:
+  void emit_telemetry();
+
   const WindowDataset& data_;
   GenerationalConfig config_;
   MatchEngine engine_;

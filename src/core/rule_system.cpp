@@ -375,6 +375,9 @@ TrainResult extend_rule_system(const RuleSystem& existing, const WindowDataset& 
   EVOFORECAST_COUNT("train.executions", 1);
   EVOFORECAST_GAUGE_SET("train.coverage_percent", result.train_coverage_percent);
   EVOFORECAST_GAUGE_SET("train.rules_union_size", result.system.size());
+  EVOFORECAST_EVENT("train.execution", {"schedule", "extend"}, {"execution", std::size_t{1}},
+                    {"coverage_percent", result.train_coverage_percent},
+                    {"rules", result.system.size()});
   return result;
 }
 
@@ -422,6 +425,9 @@ TrainResult train_islands(const WindowDataset& train, const RuleSystemConfig& co
     result.coverage_per_execution.push_back(result.train_coverage_percent);
     EVOFORECAST_GAUGE_SET("train.coverage_percent", result.train_coverage_percent);
     EVOFORECAST_GAUGE_SET("train.rules_union_size", result.system.size());
+    EVOFORECAST_EVENT("train.execution", {"schedule", "islands"}, {"execution", result.executions},
+                      {"coverage_percent", result.train_coverage_percent},
+                      {"rules", result.system.size()});
     if (result.train_coverage_percent >= config.coverage_target_percent) break;
   }
   return result;
@@ -451,6 +457,10 @@ TrainResult train_sequential(const WindowDataset& train, const RuleSystemConfig&
     result.coverage_per_execution.push_back(result.train_coverage_percent);
     EVOFORECAST_GAUGE_SET("train.coverage_percent", result.train_coverage_percent);
     EVOFORECAST_GAUGE_SET("train.rules_union_size", result.system.size());
+    EVOFORECAST_EVENT("train.execution", {"schedule", "sequential"},
+                      {"execution", result.executions},
+                      {"coverage_percent", result.train_coverage_percent},
+                      {"rules", result.system.size()});
     if (result.train_coverage_percent >= config.coverage_target_percent) break;
   }
   return result;

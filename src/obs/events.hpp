@@ -1,0 +1,130 @@
+// obs/events.hpp — structured event log and bounded flight recorder.
+//
+// Metrics answer "how much"; events answer "what happened". The EventLog
+// keeps a bounded ring of timestamped, typed events — generation telemetry
+// from training, model reloads and slow requests from serving, lifecycle
+// markers — each serialisable to one JSON line:
+//
+//   {"seq":42,"ts_ms":1723000000123,"kind":"serve.model.reload",
+//    "name":"mg17","version":3}
+//
+// The ring is the flight recorder: when something goes wrong, the last N
+// events are dumpable on demand (efserve's SIGUSR1, the "events" protocol
+// verb) without having had logging enabled in advance. Setting
+// EVOFORECAST_EVENT_LOG=<path> additionally streams every event to a file
+// as it happens; EVOFORECAST_EVENT_CAPACITY overrides the ring size
+// (default 2048).
+//
+// Cost model: emit() takes a mutex — events are RARE (per generation, per
+// reload, per slow request), never per-window or per-observation, so this
+// is deliberately simpler than the lock-free metrics path. Instrumentation
+// sites use EVOFORECAST_EVENT from obs/macros.hpp, which compiles to
+// nothing under EVOFORECAST_OBS=OFF.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace ef::obs {
+
+/// One key/value attribute of an event. Accepts the types instrumentation
+/// sites actually have in hand: bools, integers, doubles, strings.
+struct EventField {
+  enum class Kind { kBool, kInt, kUint, kDouble, kString };
+
+  template <typename T, typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+  EventField(std::string_view key_in, T value) : key(key_in) {
+    if constexpr (std::is_same_v<T, bool>) {
+      kind = Kind::kBool;
+      b = value;
+    } else if constexpr (std::is_floating_point_v<T>) {
+      kind = Kind::kDouble;
+      d = static_cast<double>(value);
+    } else if constexpr (std::is_signed_v<T>) {
+      kind = Kind::kInt;
+      i = static_cast<std::int64_t>(value);
+    } else {
+      kind = Kind::kUint;
+      u = static_cast<std::uint64_t>(value);
+    }
+  }
+  EventField(std::string_view key_in, std::string_view value)
+      : key(key_in), kind(Kind::kString), s(value) {}
+  EventField(std::string_view key_in, const char* value)
+      : EventField(key_in, std::string_view(value)) {}
+
+  std::string key;
+  Kind kind = Kind::kInt;
+  bool b = false;
+  std::int64_t i = 0;
+  std::uint64_t u = 0;
+  double d = 0.0;
+  std::string s;
+};
+
+/// One recorded event. `seq` is a process-wide monotone id; `ts_ms` is wall
+/// clock (system_clock) in milliseconds since the epoch.
+struct Event {
+  std::uint64_t seq = 0;
+  std::int64_t ts_ms = 0;
+  std::string kind;
+  std::vector<EventField> fields;
+
+  /// Serialise to a single JSON object (one line, no trailing newline).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Bounded ring of events plus an optional file sink. Thread-safe.
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity = 2048);
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Record an event. Oldest events are dropped once the ring is full
+  /// (dropped() counts them). If a file sink is open, the JSON line is
+  /// written and flushed before emit() returns.
+  void emit(std::string_view kind, std::vector<EventField> fields = {});
+
+  /// Copy of the ring, oldest first.
+  [[nodiscard]] std::vector<Event> recent() const;
+  /// Ring contents as newline-separated JSON lines, oldest first.
+  [[nodiscard]] std::string dump_json_lines() const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::uint64_t total_emitted() const;
+
+  /// Stream every subsequent event to `path` (append mode) as JSON lines.
+  /// Returns false if the file could not be opened. An empty path closes
+  /// the sink.
+  bool set_file_sink(const std::string& path);
+  [[nodiscard]] bool has_file_sink() const;
+
+  /// Drop all buffered events (counters keep their totals).
+  void clear();
+
+  /// The process-wide log every EVOFORECAST_EVENT site records into.
+  /// Capacity comes from EVOFORECAST_EVENT_CAPACITY (default 2048); a file
+  /// sink is opened when EVOFORECAST_EVENT_LOG names a writable path.
+  [[nodiscard]] static EventLog& global();
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<Event> ring_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t dropped_ = 0;
+  std::FILE* sink_ = nullptr;
+};
+
+}  // namespace ef::obs

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/build_info.hpp"
+
 namespace ef::obs {
 namespace {
 
@@ -97,7 +99,9 @@ RunReport capture_run_report() {
 std::string to_json(const RunReport& report) {
   std::string out;
   out.reserve(4096);
-  out += "{\n  \"counters\": {";
+  out += "{\n  \"build\": ";
+  out += build_info_json();
+  out += ",\n  \"counters\": {";
   for (std::size_t i = 0; i < report.metrics.counters.size(); ++i) {
     const auto& c = report.metrics.counters[i];
     out += i == 0 ? "\n    " : ",\n    ";

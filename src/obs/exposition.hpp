@@ -1,0 +1,49 @@
+// obs/exposition.hpp — Prometheus text exposition (format 0.0.4) for the
+// metrics registry.
+//
+// Renders a MetricsSnapshot — and optionally a WindowSnapshot — into the
+// plain-text format Prometheus scrapes:
+//
+//   * counters  → `<prefix><name>_total` with a `# TYPE ... counter` line
+//   * gauges    → `<prefix><name>` typed gauge
+//   * histograms→ cumulative `_bucket{le="..."}` series ending at
+//                 `le="+Inf"`, plus `_sum` and `_count`
+//   * windowed  → per-instrument gauges derived from the collector:
+//                 `<name>_window_rate`, `<name>_window{q="0.50"}` …, and a
+//                 single `evoforecast_window_seconds` describing the window
+//   * build     → `evoforecast_build_info{commit=...,compiler=...,...} 1`
+//
+// Metric names are sanitised to [a-zA-Z0-9_:] (every other byte becomes
+// '_'), so the registry's dotted names ("serve.request_us") come out as
+// Prometheus-legal ("evoforecast_serve_request_us"). Exposition is a pure
+// read of snapshots — no registry locks are held while formatting.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/window.hpp"
+
+namespace ef::obs {
+
+struct ExpositionOptions {
+  std::string prefix = "evoforecast_";
+  bool build_info_series = true;  ///< emit evoforecast_build_info{...} 1
+};
+
+/// Sanitise one metric name: apply the prefix, map bytes outside
+/// [a-zA-Z0-9_:] to '_', and guard a leading digit with '_'.
+[[nodiscard]] std::string prometheus_name(std::string_view name,
+                                          const ExpositionOptions& options = {});
+
+/// Render a snapshot (and optionally a windowed view) as Prometheus text.
+/// `window` may be nullptr to skip the windowed series.
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot,
+                                        const WindowSnapshot* window = nullptr,
+                                        const ExpositionOptions& options = {});
+
+/// Convenience: snapshot Registry::global(), fold in the global collector's
+/// window when it has one (>= 2 frames), render.
+[[nodiscard]] std::string prometheus_text(const ExpositionOptions& options = {});
+
+}  // namespace ef::obs

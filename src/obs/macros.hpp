@@ -13,6 +13,7 @@
 // for the catalogue of names used across the library.
 #pragma once
 
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -51,11 +52,19 @@
     ef_obs_h.observe(static_cast<double>(value));                     \
   } while (0)
 
+/// Structured event into the global flight recorder. Fields are EventField
+/// initialisers: EVOFORECAST_EVENT("serve.model.reload", {"name", name},
+/// {"version", v}) — or none at all. Events are rare (per generation / per
+/// reload / per slow request), so this takes the EventLog mutex.
+#define EVOFORECAST_EVENT(kind, ...) \
+  ::ef::obs::EventLog::global().emit(kind, std::vector<::ef::obs::EventField>{__VA_ARGS__})
+
 #else  // EVOFORECAST_OBS_ENABLED == 0: instrumentation compiles out.
 
 #define EVOFORECAST_TRACE(name) ((void)0)
 #define EVOFORECAST_COUNT(name, delta) ((void)0)
 #define EVOFORECAST_GAUGE_SET(name, value) ((void)0)
 #define EVOFORECAST_HISTOGRAM(name, value) ((void)0)
+#define EVOFORECAST_EVENT(kind, ...) ((void)0)
 
 #endif  // EVOFORECAST_OBS_ENABLED

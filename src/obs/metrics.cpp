@@ -4,12 +4,10 @@
 #include <stdexcept>
 
 namespace ef::obs {
-namespace {
 
-/// Linear-interpolated quantile over fixed buckets. `rank` in [0, count].
-double quantile_estimate(const std::vector<double>& bounds,
-                         const std::vector<std::uint64_t>& buckets, std::uint64_t count,
-                         double q, double lo_clamp, double hi_clamp) {
+double quantile_from_buckets(const std::vector<double>& bounds,
+                             const std::vector<std::uint64_t>& buckets, std::uint64_t count,
+                             double q, double lo_clamp, double hi_clamp) {
   if (count == 0) return 0.0;
   const double rank = q * static_cast<double>(count);
   double cum = 0.0;
@@ -27,8 +25,6 @@ double quantile_estimate(const std::vector<double>& bounds,
   }
   return hi_clamp;
 }
-
-}  // namespace
 
 Histogram::Histogram(std::string name, std::vector<double> bounds)
     : name_(std::move(name)),
@@ -77,9 +73,9 @@ HistogramStats Histogram::stats() const {
   // base so interpolation stays internally consistent.
   std::uint64_t bucket_total = 0;
   for (const std::uint64_t b : out.buckets) bucket_total += b;
-  out.p50 = quantile_estimate(out.bounds, out.buckets, bucket_total, 0.50, out.min, out.max);
-  out.p90 = quantile_estimate(out.bounds, out.buckets, bucket_total, 0.90, out.min, out.max);
-  out.p99 = quantile_estimate(out.bounds, out.buckets, bucket_total, 0.99, out.min, out.max);
+  out.p50 = quantile_from_buckets(out.bounds, out.buckets, bucket_total, 0.50, out.min, out.max);
+  out.p90 = quantile_from_buckets(out.bounds, out.buckets, bucket_total, 0.90, out.min, out.max);
+  out.p99 = quantile_from_buckets(out.bounds, out.buckets, bucket_total, 0.99, out.min, out.max);
   return out;
 }
 

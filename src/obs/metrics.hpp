@@ -177,6 +177,16 @@ class Histogram {
   util::RunningStats moments_;
 };
 
+/// Linear-interpolated quantile estimate over fixed buckets, shared by
+/// Histogram::stats() and the windowed collector (obs/window.hpp). `count`
+/// is the rank base (normally the sum of `buckets`); `lo_clamp`/`hi_clamp`
+/// bound the interpolation endpoints of the first and the +inf bucket.
+/// Returns 0 when count == 0.
+[[nodiscard]] double quantile_from_buckets(const std::vector<double>& bounds,
+                                           const std::vector<std::uint64_t>& buckets,
+                                           std::uint64_t count, double q, double lo_clamp,
+                                           double hi_clamp);
+
 /// Everything the registry knows, flattened for export (obs/export.hpp).
 struct MetricsSnapshot {
   struct CounterValue {

@@ -9,8 +9,9 @@
 namespace ef::obs {
 namespace {
 
-/// Innermost live span on this thread (nullptr at top level).
-thread_local ScopedTimer* t_current_span = nullptr;
+/// Innermost live span on this thread (nullptr at top level). Unreferenced
+/// when the instrumentation is compiled out (EVOFORECAST_OBS=OFF).
+[[maybe_unused]] thread_local ScopedTimer* t_current_span = nullptr;
 
 }  // namespace
 

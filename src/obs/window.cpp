@@ -1,0 +1,173 @@
+#include "obs/window.hpp"
+
+#include <algorithm>
+
+namespace ef::obs {
+namespace {
+
+/// Monotone-counter delta tolerant of reset_values(): a counter that went
+/// backwards between frames is treated as freshly restarted.
+std::uint64_t monotone_delta(std::uint64_t older, std::uint64_t newer) {
+  return newer >= older ? newer - older : newer;
+}
+
+/// Find a counter value by name in a sorted snapshot section; 0 when absent
+/// (the instrument did not exist yet at the older frame).
+std::uint64_t counter_value_or_zero(const std::vector<MetricsSnapshot::CounterValue>& counters,
+                                    const std::string& name) {
+  const auto it = std::lower_bound(
+      counters.begin(), counters.end(), name,
+      [](const MetricsSnapshot::CounterValue& c, const std::string& n) { return c.name < n; });
+  return (it != counters.end() && it->name == name) ? it->value : 0;
+}
+
+const HistogramStats* histogram_or_null(
+    const std::vector<MetricsSnapshot::HistogramValue>& histograms, const std::string& name) {
+  const auto it = std::lower_bound(histograms.begin(), histograms.end(), name,
+                                   [](const MetricsSnapshot::HistogramValue& h,
+                                      const std::string& n) { return h.name < n; });
+  return (it != histograms.end() && it->name == name) ? &it->stats : nullptr;
+}
+
+WindowedHistogram windowed_histogram(const std::string& name, const HistogramStats* older,
+                                     const HistogramStats& newer, double window_seconds) {
+  WindowedHistogram out;
+  out.name = name;
+
+  // Bucket-wise delta. Instrument addresses are stable and bounds are fixed
+  // at first registration, so the layouts match whenever the older frame
+  // has the histogram at all; a missing/mismatched older frame counts as
+  // all-zero (the histogram was born inside the window).
+  std::vector<std::uint64_t> delta(newer.buckets.size(), 0);
+  const bool comparable = older != nullptr && older->buckets.size() == newer.buckets.size();
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < newer.buckets.size(); ++i) {
+    const std::uint64_t before = comparable ? older->buckets[i] : 0;
+    delta[i] = monotone_delta(before, newer.buckets[i]);
+    total += delta[i];
+  }
+  out.count = total;
+  out.per_sec = window_seconds > 0.0 ? static_cast<double>(total) / window_seconds : 0.0;
+  const double sum_before = comparable ? older->sum : 0.0;
+  out.sum = newer.sum >= sum_before ? newer.sum - sum_before : newer.sum;
+
+  // Windowed quantiles re-interpolate the delta buckets. Without per-window
+  // exact min/max, clamp to the bucket grid itself: 0 below, the last
+  // finite bound above (observations past it report that bound).
+  const double hi = newer.bounds.empty() ? 0.0 : newer.bounds.back();
+  out.p50 = quantile_from_buckets(newer.bounds, delta, total, 0.50, 0.0, hi);
+  out.p90 = quantile_from_buckets(newer.bounds, delta, total, 0.90, 0.0, hi);
+  out.p99 = quantile_from_buckets(newer.bounds, delta, total, 0.99, 0.0, hi);
+  return out;
+}
+
+}  // namespace
+
+WindowedCollector::WindowedCollector(Registry& registry)
+    : WindowedCollector(registry, Config{}) {}
+
+WindowedCollector::WindowedCollector(Registry& registry, Config config)
+    : registry_(registry), config_(config) {
+  if (config_.buckets < 2) config_.buckets = 2;
+}
+
+WindowedCollector::~WindowedCollector() { stop(); }
+
+void WindowedCollector::tick(std::chrono::steady_clock::time_point now) {
+  Frame frame{now, registry_.snapshot()};
+  const auto horizon = config_.bucket * static_cast<long>(config_.buckets);
+  const std::lock_guard lock(mutex_);
+  // Drop frames that fell off the horizon (and anything from a clock that
+  // went backwards, e.g. synthetic test timestamps reused across cases).
+  while (!frames_.empty() &&
+         (frames_.front().at + horizon < now || frames_.front().at > now)) {
+    frames_.pop_front();
+  }
+  frames_.push_back(std::move(frame));
+  while (frames_.size() > config_.buckets + 1) frames_.pop_front();
+}
+
+void WindowedCollector::start() {
+  if (sampling_.exchange(true, std::memory_order_acq_rel)) return;
+  {
+    const std::lock_guard lock(sampler_mutex_);
+    sampler_stop_ = false;
+  }
+  sampler_ = std::thread([this] {
+    tick();
+    std::unique_lock lock(sampler_mutex_);
+    while (!sampler_cv_.wait_for(lock, config_.bucket, [this] { return sampler_stop_; })) {
+      lock.unlock();
+      tick();
+      lock.lock();
+    }
+  });
+}
+
+void WindowedCollector::stop() {
+  if (!sampling_.exchange(false, std::memory_order_acq_rel)) return;
+  {
+    const std::lock_guard lock(sampler_mutex_);
+    sampler_stop_ = true;
+  }
+  sampler_cv_.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+}
+
+bool WindowedCollector::endpoints(Frame& oldest, Frame& newest) const {
+  const std::lock_guard lock(mutex_);
+  if (frames_.size() < 2) return false;
+  oldest = frames_.front();
+  newest = frames_.back();
+  return true;
+}
+
+WindowSnapshot WindowedCollector::window() const {
+  WindowSnapshot out;
+  Frame oldest;
+  Frame newest;
+  if (!endpoints(oldest, newest)) return out;
+  out.window_seconds = std::chrono::duration<double>(newest.at - oldest.at).count();
+  if (out.window_seconds <= 0.0) return out;
+
+  out.counters.reserve(newest.snap.counters.size());
+  for (const auto& c : newest.snap.counters) {
+    WindowedCounter wc;
+    wc.name = c.name;
+    wc.delta = monotone_delta(counter_value_or_zero(oldest.snap.counters, c.name), c.value);
+    wc.per_sec = static_cast<double>(wc.delta) / out.window_seconds;
+    out.counters.push_back(std::move(wc));
+  }
+
+  out.histograms.reserve(newest.snap.histograms.size());
+  for (const auto& h : newest.snap.histograms) {
+    out.histograms.push_back(windowed_histogram(
+        h.name, histogram_or_null(oldest.snap.histograms, h.name), h.stats,
+        out.window_seconds));
+  }
+  return out;
+}
+
+std::optional<WindowedCounter> WindowedCollector::counter_rate(std::string_view name) const {
+  const WindowSnapshot snap = window();
+  for (const auto& c : snap.counters) {
+    if (c.name == name) return c;
+  }
+  return std::nullopt;
+}
+
+std::optional<WindowedHistogram> WindowedCollector::histogram_window(
+    std::string_view name) const {
+  const WindowSnapshot snap = window();
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) return h;
+  }
+  return std::nullopt;
+}
+
+WindowedCollector& WindowedCollector::global() {
+  static WindowedCollector collector(Registry::global(), Config{});
+  return collector;
+}
+
+}  // namespace ef::obs

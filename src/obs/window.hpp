@@ -1,0 +1,130 @@
+// obs/window.hpp — time-windowed view over the cumulative metrics registry.
+//
+// The registry's counters and histograms are lifetime aggregates: perfect
+// for a run report, useless for an operator watching a server that has been
+// up for a week — yesterday's million requests smear today's latency spike
+// into invisibility. The WindowedCollector fixes that WITHOUT touching the
+// hot path: instrumentation sites keep paying exactly one relaxed atomic op,
+// and the collector *samples* the registry into a ring of timestamped
+// frames (one snapshot per bucket interval). A windowed value is then just
+// the difference between the newest and oldest frame in the ring:
+//
+//   * counter  → delta over the window and a per-second rate
+//   * histogram→ bucket-wise delta, re-interpolated into windowed
+//                p50/p90/p99 plus a windowed observation rate
+//
+// Sampling cost is one Registry::snapshot() per bucket (default 1 s) —
+// microseconds against a serving workload. Tests drive tick(time_point)
+// with synthetic timestamps; efserve runs start() for a real background
+// sampler. Counter resets between frames clamp to "everything is new"
+// rather than underflowing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ef::obs {
+
+/// Windowed view of one counter.
+struct WindowedCounter {
+  std::string name;
+  std::uint64_t delta = 0;  ///< increments inside the window
+  double per_sec = 0.0;
+};
+
+/// Windowed view of one histogram: quantiles of the observations that fell
+/// inside the window, not of the process lifetime.
+struct WindowedHistogram {
+  std::string name;
+  std::uint64_t count = 0;  ///< observations inside the window
+  double per_sec = 0.0;
+  double sum = 0.0;
+  double p50 = 0.0;  ///< bucket-interpolated over the window's bucket deltas
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Everything the collector can say about the last window. Empty (and
+/// window_seconds == 0) until two frames exist.
+struct WindowSnapshot {
+  double window_seconds = 0.0;
+  std::vector<WindowedCounter> counters;      ///< sorted by name
+  std::vector<WindowedHistogram> histograms;  ///< sorted by name
+};
+
+class WindowedCollector {
+ public:
+  struct Config {
+    std::chrono::milliseconds bucket{1000};  ///< sampling interval
+    std::size_t buckets = 60;                ///< ring length (horizon = bucket * buckets)
+  };
+
+  explicit WindowedCollector(Registry& registry = Registry::global());
+  WindowedCollector(Registry& registry, Config config);
+  ~WindowedCollector();
+
+  WindowedCollector(const WindowedCollector&) = delete;
+  WindowedCollector& operator=(const WindowedCollector&) = delete;
+
+  /// Sample the registry now. Frames older than the horizon (relative to
+  /// `now`) are dropped. Thread-safe.
+  void tick() { tick(std::chrono::steady_clock::now()); }
+  void tick(std::chrono::steady_clock::time_point now);
+
+  /// Start/stop a background thread calling tick() every config.bucket.
+  /// start() is idempotent; stop() joins the sampler.
+  void start();
+  void stop();
+  [[nodiscard]] bool sampling() const noexcept {
+    return sampling_.load(std::memory_order_acquire);
+  }
+
+  /// Windowed view across every counter and histogram the registry held at
+  /// the two endpoint frames. window_seconds == 0 with < 2 frames.
+  [[nodiscard]] WindowSnapshot window() const;
+
+  /// Single-instrument lookups; nullopt with < 2 frames or unknown name.
+  [[nodiscard]] std::optional<WindowedCounter> counter_rate(std::string_view name) const;
+  [[nodiscard]] std::optional<WindowedHistogram> histogram_window(std::string_view name) const;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// The process-wide collector over Registry::global(), default config.
+  /// Constructed lazily and never started implicitly — long-running servers
+  /// call start(); short-lived binaries never pay for it.
+  [[nodiscard]] static WindowedCollector& global();
+
+ private:
+  struct Frame {
+    std::chrono::steady_clock::time_point at;
+    MetricsSnapshot snap;
+  };
+
+  /// Newest + oldest frame under the mutex; false with < 2 frames.
+  [[nodiscard]] bool endpoints(Frame& oldest, Frame& newest) const;
+
+  Registry& registry_;
+  Config config_;
+
+  mutable std::mutex mutex_;
+  std::deque<Frame> frames_;
+
+  std::thread sampler_;
+  std::mutex sampler_mutex_;
+  std::condition_variable sampler_cv_;
+  bool sampler_stop_ = false;
+  std::atomic<bool> sampling_{false};
+};
+
+}  // namespace ef::obs

@@ -8,6 +8,13 @@
 // Graceful shutdown on SIGINT/SIGTERM: stop accepting, drain in-flight
 // requests, emit the observability report (--report / --metrics-json).
 //
+// SIGUSR1 dumps live state without shutting down: the run report goes to
+// stdout and the event-log flight recorder to stderr as JSON lines between
+// "== flight recorder begin/end ==" markers. The same data is reachable
+// over the wire via the "metrics"/"events" verbs and GET /metrics
+// (Prometheus text), and live windowed rates/quantiles come from the
+// background WindowedCollector started at boot.
+//
 // Flags:
 //   --port N            listen port (default 7777; 0 = ephemeral, printed)
 //   --host A            bind address (default 127.0.0.1)
@@ -18,6 +25,7 @@
 //   --batch-max N       micro-batch size cap (default 64)
 //   --batch-delay-us N  micro-batch coalescing delay (default 200; 0 = no batching)
 //   --threads N         prediction thread-pool size (default: hardware)
+//   --slow-request-us X slow-request event threshold in µs (default 50000; 0 = off)
 //   --report / --metrics-json PATH / --metrics-csv PATH  on exit
 #include <atomic>
 #include <chrono>
@@ -28,7 +36,11 @@
 #include <thread>
 
 #include "core/rule_system.hpp"
+#include "obs/events.hpp"
+#include "obs/export.hpp"
+#include "obs/macros.hpp"
 #include "obs/run_report.hpp"
+#include "obs/window.hpp"
 #include "serve/model_store.hpp"
 #include "serve/service.hpp"
 #include "serve/tcp_server.hpp"
@@ -44,13 +56,31 @@
 
 namespace {
 
+/// Dump the run report (stdout) and the flight recorder (stderr) without
+/// disturbing the serving path — the SIGUSR1 action.
+void dump_live_report() {
+  EVOFORECAST_COUNT("serve.report_dumps", 1);
+  ef::obs::print_report(stdout);
+  std::fflush(stdout);
+  std::fputs("== flight recorder begin ==\n", stderr);
+  const std::string lines = ef::obs::EventLog::global().dump_json_lines();
+  std::fwrite(lines.data(), 1, lines.size(), stderr);
+  std::fputs("== flight recorder end ==\n", stderr);
+  std::fflush(stderr);
+}
+
 #if EFSERVE_HAVE_SIGNALS
-// Self-pipe: the handler writes one byte; main blocks on read. Both ends
-// async-signal-safe, no polling loop.
+// Self-pipe: handlers write one byte (1 = stop, 2 = dump report); main
+// blocks on read. Both ends async-signal-safe, no polling loop.
 int g_signal_pipe[2] = {-1, -1};
 
 extern "C" void handle_stop_signal(int) {
   const char byte = 1;
+  [[maybe_unused]] const auto n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+extern "C" void handle_dump_signal(int) {
+  const char byte = 2;
   [[maybe_unused]] const auto n = ::write(g_signal_pipe[1], &byte, 1);
 }
 
@@ -63,8 +93,15 @@ void wait_for_stop_signal() {
   action.sa_handler = handle_stop_signal;
   ::sigaction(SIGINT, &action, nullptr);
   ::sigaction(SIGTERM, &action, nullptr);
-  char byte = 0;
-  while (::read(g_signal_pipe[0], &byte, 1) < 0) {
+  struct sigaction dump_action {};
+  dump_action.sa_handler = handle_dump_signal;
+  ::sigaction(SIGUSR1, &dump_action, nullptr);
+  for (;;) {
+    char byte = 0;
+    const auto n = ::read(g_signal_pipe[0], &byte, 1);
+    if (n < 0) continue;  // EINTR
+    if (n == 0 || byte == 1) return;
+    if (byte == 2) dump_live_report();  // SIGUSR1: report, keep serving
   }
 }
 #else
@@ -147,6 +184,7 @@ int main(int argc, char** argv) {
   config.enable_batcher = batch_delay_us > 0;
   config.batcher.max_delay = std::chrono::microseconds(batch_delay_us);
   config.batcher.max_batch = static_cast<std::size_t>(cli.get_int("batch-max", 64));
+  config.slow_request_us = cli.get_double("slow-request-us", 50000.0);
 
   const auto threads = static_cast<std::size_t>(cli.get_int("threads", 0));
   ef::util::ThreadPool pool(threads);
@@ -167,12 +205,19 @@ int main(int argc, char** argv) {
               store.size(), store.size() == 1 ? "" : "s");
   std::fflush(stdout);
 
+  // Windowed rates/quantiles for GET /metrics and the "metrics" verb; one
+  // registry snapshot per second, nothing added to the request path.
+  ef::obs::WindowedCollector::global().start();
+  EVOFORECAST_EVENT("serve.start", {"port", server.port()}, {"models", store.size()});
+
   wait_for_stop_signal();
 
+  EVOFORECAST_EVENT("serve.stop", {"connections", server.connections_served()});
   std::printf("\nshutting down: draining in-flight requests...\n");
   server.stop();        // stop accepting, finish per-connection work
   service.shutdown();   // drain the batcher queue
   store.stop_polling();
+  ef::obs::WindowedCollector::global().stop();
   std::printf("served %llu connections\n",
               static_cast<unsigned long long>(server.connections_served()));
 

@@ -1,0 +1,176 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace ef::serve::json {
+namespace {
+
+struct ParseError {
+  std::string message;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view text, const ParseOptions& options)
+      : text_(text), options_(options) {}
+
+  Value parse() {
+    Value v = value(/*depth=*/0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError{what + " at byte " + std::to_string(pos_)};
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\r' || text_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  Value value(std::size_t depth) {
+    if (depth > options_.max_depth) fail("nesting too deep");
+    skip_ws();
+    switch (peek()) {
+      case '{': return object(depth);
+      case '[': return array(depth);
+      case '"': return Value{string()};
+      case 't': return keyword("true", Value{true});
+      case 'f': return keyword("false", Value{false});
+      case 'n': return keyword("null", Value{nullptr});
+      default: return Value{number()};
+    }
+  }
+
+  Value keyword(std::string_view word, Value result) {
+    if (text_.substr(pos_, word.size()) != word) fail("bad literal");
+    pos_ += word.size();
+    return result;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': fail("\\u escapes not supported by this protocol");
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  double number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("malformed number");
+    if (!std::isfinite(v)) fail("non-finite number");
+    return v;
+  }
+
+  Value array(std::size_t depth) {
+    expect('[');
+    Array items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value{std::move(items)};
+    }
+    for (;;) {
+      items.push_back(value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return Value{std::move(items)};
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  Value object(std::size_t depth) {
+    expect('{');
+    Object fields;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value{std::move(fields)};
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      // Reject duplicates outright: last-one-wins would silently discard a
+      // request field, and the caller has no way to notice.
+      const auto [it, inserted] = fields.emplace(std::move(key), Value{nullptr});
+      if (!inserted) fail("duplicate key \"" + it->first + "\"");
+      it->second = value(depth + 1);
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return Value{std::move(fields)};
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  ParseOptions options_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text, std::string& error,
+                           const ParseOptions& options) {
+  try {
+    return Parser(text, options).parse();
+  } catch (const ParseError& e) {
+    error = e.message;
+    return std::nullopt;
+  }
+}
+
+}  // namespace ef::serve::json

@@ -1,0 +1,53 @@
+// serve/json.hpp — the protocol's minimal JSON value + parser, public.
+//
+// Originally private to serve/protocol.cpp; promoted so tools (efstat) and
+// tests can parse the server's JSON-lines responses with the exact grammar
+// the server speaks. This is deliberately NOT a general JSON library:
+//
+//   * nesting bounded (default depth 8) — rejected loudly, never a stack
+//     overflow on adversarial input
+//   * numbers must be finite doubles — "1e999" and friends are errors, not
+//     silently-infinite values
+//   * duplicate object keys are errors — the last-one-wins behaviour most
+//     parsers default to silently discards request fields
+//   * no \u escapes (the protocol is ASCII/UTF-8 pass-through)
+//
+// parse() returns nullopt and fills `error` with a byte position instead of
+// throwing; malformed wire input is an expected case, not an exception.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace ef::serve::json {
+
+struct Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value, std::less<>>;
+
+struct Value {
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data;
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(data); }
+  [[nodiscard]] const bool* as_bool() const { return std::get_if<bool>(&data); }
+  [[nodiscard]] const double* as_number() const { return std::get_if<double>(&data); }
+  [[nodiscard]] const std::string* as_string() const { return std::get_if<std::string>(&data); }
+  [[nodiscard]] const Array* as_array() const { return std::get_if<Array>(&data); }
+  [[nodiscard]] const Object* as_object() const { return std::get_if<Object>(&data); }
+};
+
+struct ParseOptions {
+  std::size_t max_depth = 8;  ///< protocol requests are one object of scalars + one flat array
+};
+
+/// Parse a complete JSON document. On failure returns nullopt and sets
+/// `error` to a human-readable reason including the byte offset.
+[[nodiscard]] std::optional<Value> parse(std::string_view text, std::string& error,
+                                         const ParseOptions& options = {});
+
+}  // namespace ef::serve::json

@@ -89,6 +89,8 @@ void ModelStore::add_file(const std::string& name, const std::string& path) {
   entry.path = path;
   entry.mtime = mtime;
   EVOFORECAST_COUNT("serve.model.loads", 1);
+  EVOFORECAST_EVENT("serve.model.load", {"name", name}, {"version", version},
+                    {"path", path});
 }
 
 void ModelStore::add_system(const std::string& name, core::RuleSystem system) {
@@ -98,6 +100,7 @@ void ModelStore::add_system(const std::string& name, core::RuleSystem system) {
   entry.model = LoadedModel::make(std::move(system), name, version, next_tag_++);
   entry.path.clear();
   EVOFORECAST_COUNT("serve.model.loads", 1);
+  EVOFORECAST_EVENT("serve.model.load", {"name", name}, {"version", version});
 }
 
 std::shared_ptr<const LoadedModel> ModelStore::get(std::string_view name) const {
@@ -149,10 +152,14 @@ std::size_t ModelStore::poll_now() {
       it->second.mtime = now_mtime;
       ++reloaded;
       EVOFORECAST_COUNT("serve.model.reloads", 1);
-    } catch (const std::exception&) {
+      EVOFORECAST_EVENT("serve.model.reload", {"name", p.name}, {"version", version},
+                        {"path", p.path});
+    } catch (const std::exception& reload_error) {
       // Torn or corrupt file: keep serving the previous version; the next
       // mtime change retries.
       EVOFORECAST_COUNT("serve.model.reload_failures", 1);
+      EVOFORECAST_EVENT("serve.model.reload_failed", {"name", p.name}, {"path", p.path},
+                        {"error", reload_error.what()});
       const std::lock_guard lock(mutex_);
       const auto it = entries_.find(p.name);
       if (it != entries_.end() && it->second.path == p.path) it->second.mtime = now_mtime;

@@ -1,177 +1,12 @@
 #include "serve/protocol.hpp"
 
-#include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
-#include <map>
-#include <variant>
-#include <vector>
+
+#include "serve/json.hpp"
 
 namespace ef::serve {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Minimal JSON value + recursive-descent parser. Depth is bounded (the
-// protocol needs one object holding scalars and one flat array), inputs are
-// one line, and every syntax error throws ParseError with a position.
-// ---------------------------------------------------------------------------
-
-struct ParseError {
-  std::string message;
-};
-
-struct JsonValue;
-using JsonArray = std::vector<JsonValue>;
-using JsonObject = std::map<std::string, JsonValue, std::less<>>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> data;
-};
-
-class Parser {
- public:
-  explicit Parser(std::string_view text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value(/*depth=*/0);
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters after JSON value");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw ParseError{what + " at byte " + std::to_string(pos_)};
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-                                   text_[pos_] == '\r' || text_[pos_] == '\n')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  JsonValue value(int depth) {
-    if (depth > 8) fail("nesting too deep");
-    skip_ws();
-    switch (peek()) {
-      case '{': return object(depth);
-      case '[': return array(depth);
-      case '"': return JsonValue{string()};
-      case 't': return keyword("true", JsonValue{true});
-      case 'f': return keyword("false", JsonValue{false});
-      case 'n': return keyword("null", JsonValue{nullptr});
-      default: return JsonValue{number()};
-    }
-  }
-
-  JsonValue keyword(std::string_view word, JsonValue result) {
-    if (text_.substr(pos_, word.size()) != word) fail("bad literal");
-    pos_ += word.size();
-    return result;
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (static_cast<unsigned char>(c) < 0x20) fail("control character in string");
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': fail("\\u escapes not supported by this protocol");
-        default: fail("bad escape");
-      }
-    }
-  }
-
-  double number() {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
-            text_[pos_] == '+')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    const double v = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) fail("malformed number");
-    if (!std::isfinite(v)) fail("non-finite number");
-    return v;
-  }
-
-  JsonValue array(int depth) {
-    expect('[');
-    JsonArray items;
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return JsonValue{std::move(items)};
-    }
-    for (;;) {
-      items.push_back(value(depth + 1));
-      skip_ws();
-      const char c = peek();
-      ++pos_;
-      if (c == ']') return JsonValue{std::move(items)};
-      if (c != ',') fail("expected ',' or ']'");
-    }
-  }
-
-  JsonValue object(int depth) {
-    expect('{');
-    JsonObject fields;
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return JsonValue{std::move(fields)};
-    }
-    for (;;) {
-      skip_ws();
-      std::string key = string();
-      skip_ws();
-      expect(':');
-      fields[std::move(key)] = value(depth + 1);
-      skip_ws();
-      const char c = peek();
-      ++pos_;
-      if (c == '}') return JsonValue{std::move(fields)};
-      if (c != ',') fail("expected ',' or '}'");
-    }
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
 
 /// Shortest round-trip double formatting (%.17g trims via %g).
 std::string format_double(double v) {
@@ -193,14 +28,13 @@ std::optional<core::Aggregation> parse_aggregation(std::string_view name) {
 }
 
 std::optional<Request> parse_request(std::string_view line, std::string& error) {
-  JsonValue root;
-  try {
-    root = Parser(line).parse();
-  } catch (const ParseError& e) {
-    error = "bad JSON: " + e.message;
+  std::string parse_error;
+  const std::optional<json::Value> root = json::parse(line, parse_error);
+  if (!root) {
+    error = "bad JSON: " + parse_error;
     return std::nullopt;
   }
-  const auto* object = std::get_if<JsonObject>(&root.data);
+  const json::Object* object = root->as_object();
   if (!object) {
     error = "request must be a JSON object";
     return std::nullopt;
@@ -209,7 +43,7 @@ std::optional<Request> parse_request(std::string_view line, std::string& error) 
   Request request;
   for (const auto& [key, value] : *object) {
     if (key == "cmd") {
-      const auto* text = std::get_if<std::string>(&value.data);
+      const std::string* text = value.as_string();
       if (!text) {
         error = "\"cmd\" must be a string";
         return std::nullopt;
@@ -222,27 +56,31 @@ std::optional<Request> parse_request(std::string_view line, std::string& error) 
         request.cmd = Request::Cmd::kModels;
       } else if (*text == "stats") {
         request.cmd = Request::Cmd::kStats;
+      } else if (*text == "metrics") {
+        request.cmd = Request::Cmd::kMetrics;
+      } else if (*text == "events") {
+        request.cmd = Request::Cmd::kEvents;
       } else {
         error = "unknown cmd '" + *text + "'";
         return std::nullopt;
       }
     } else if (key == "model") {
-      const auto* text = std::get_if<std::string>(&value.data);
+      const std::string* text = value.as_string();
       if (!text) {
         error = "\"model\" must be a string";
         return std::nullopt;
       }
       request.predict.model = *text;
     } else if (key == "window") {
-      const auto* array = std::get_if<JsonArray>(&value.data);
+      const json::Array* array = value.as_array();
       if (!array) {
         error = "\"window\" must be an array of numbers";
         return std::nullopt;
       }
       request.predict.window.clear();
       request.predict.window.reserve(array->size());
-      for (const JsonValue& item : *array) {
-        const auto* num = std::get_if<double>(&item.data);
+      for (const json::Value& item : *array) {
+        const double* num = item.as_number();
         if (!num) {
           error = "\"window\" must contain only numbers";
           return std::nullopt;
@@ -250,14 +88,14 @@ std::optional<Request> parse_request(std::string_view line, std::string& error) 
         request.predict.window.push_back(*num);
       }
     } else if (key == "horizon") {
-      const auto* num = std::get_if<double>(&value.data);
+      const double* num = value.as_number();
       if (!num || *num < 1.0 || *num != std::floor(*num) || *num > 1.0e9) {
         error = "\"horizon\" must be a positive integer";
         return std::nullopt;
       }
       request.predict.horizon = static_cast<std::size_t>(*num);
     } else if (key == "agg") {
-      const auto* text = std::get_if<std::string>(&value.data);
+      const std::string* text = value.as_string();
       const auto agg = text ? parse_aggregation(*text) : std::nullopt;
       if (!agg) {
         error = "\"agg\" must be one of mean|fitness_weighted|median|best_rule|inverse_error";
@@ -265,7 +103,7 @@ std::optional<Request> parse_request(std::string_view line, std::string& error) 
       }
       request.predict.agg = *agg;
     } else if (key == "cache") {
-      const auto* flag = std::get_if<bool>(&value.data);
+      const bool* flag = value.as_bool();
       if (!flag) {
         error = "\"cache\" must be a boolean";
         return std::nullopt;

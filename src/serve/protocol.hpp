@@ -7,7 +7,8 @@
 // response, never a crash or a silent default.
 //
 // Request fields:
-//   "cmd"     : "predict" (default) | "ping" | "models" | "stats"
+//   "cmd"     : "predict" (default) | "ping" | "models" | "stats" |
+//               "metrics" | "events"
 //   "model"   : model name (default "default")
 //   "window"  : array of numbers, most recent value last   [predict]
 //   "horizon" : integer >= 1 (default 1)                   [predict]
@@ -32,7 +33,7 @@ namespace ef::serve {
 
 /// Wire-level request: service PredictRequest plus the non-predict commands.
 struct Request {
-  enum class Cmd { kPredict, kPing, kModels, kStats };
+  enum class Cmd { kPredict, kPing, kModels, kStats, kMetrics, kEvents };
   Cmd cmd = Cmd::kPredict;
   PredictRequest predict;
 };

@@ -25,6 +25,25 @@ void observe_latency_us(double us) {
 #endif
 }
 
+/// Common request epilogue: record latency, and flag requests that blew the
+/// configured slow threshold into the flight recorder (counter + event with
+/// enough context to find the culprit later).
+void finish_request([[maybe_unused]] const ServiceConfig& config,
+                    [[maybe_unused]] const PredictRequest& request,
+                    [[maybe_unused]] const PredictResponse& response,
+                    std::chrono::steady_clock::time_point start) {
+  const double us =
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
+          .count();
+  observe_latency_us(us);
+  if (config.slow_request_us > 0.0 && us >= config.slow_request_us) {
+    EVOFORECAST_COUNT("serve.slow_requests", 1);
+    EVOFORECAST_EVENT("serve.slow_request", {"model", request.model}, {"us", us},
+                      {"horizon", request.horizon}, {"cached", response.cached},
+                      {"abstain", response.abstain});
+  }
+}
+
 }  // namespace
 
 ForecastService::ForecastService(ModelStore& store, ServiceConfig config,
@@ -111,9 +130,7 @@ PredictResponse ForecastService::predict(const PredictRequest& request) {
       response.value = hit->value;
       response.votes = hit->votes;
       if (hit->abstain) EVOFORECAST_COUNT("serve.abstentions", 1);
-      observe_latency_us(std::chrono::duration<double, std::micro>(
-                             std::chrono::steady_clock::now() - start)
-                             .count());
+      finish_request(config_, request, response, start);
       return response;
     }
   }
@@ -139,9 +156,7 @@ PredictResponse ForecastService::predict(const PredictRequest& request) {
     cache_.put(std::move(key), cached);
   }
 
-  observe_latency_us(std::chrono::duration<double, std::micro>(
-                         std::chrono::steady_clock::now() - start)
-                         .count());
+  finish_request(config_, request, response, start);
   return response;
 }
 

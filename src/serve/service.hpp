@@ -38,6 +38,9 @@ struct ServiceConfig {
   bool enable_batcher = true;  ///< off = predict inline (lowest latency, no coalescing)
   std::size_t max_window = 4096;
   std::size_t max_horizon = 1024;
+  /// Requests slower than this emit a serve.slow_request event and bump the
+  /// serve.slow_requests counter; <= 0 disables the check.
+  double slow_request_us = 50000.0;
 };
 
 struct PredictRequest {

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/events.hpp"
+#include "obs/exposition.hpp"
 #include "obs/macros.hpp"
 #include "serve/protocol.hpp"
 
@@ -133,11 +135,33 @@ void TcpServer::accept_loop() {
   }
 }
 
+namespace {
+
+/// send() until done; false on a broken connection.
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t w = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
 void TcpServer::connection_loop(int client_fd, std::shared_ptr<std::atomic<bool>> done) {
   std::string buffer;
   char chunk[4096];
   bool overlong = false;
-  while (running()) {
+  // Set once a "GET "/"HEAD " request line arrives: subsequent lines are
+  // HTTP headers, and the blank line that ends them triggers one HTTP
+  // response followed by close (Connection: close semantics).
+  bool http_mode = false;
+  bool closing = false;
+  std::string http_method;
+  std::string http_path;
+  while (running() && !closing) {
     const ssize_t n = ::recv(client_fd, chunk, sizeof(chunk), 0);
     if (n == 0) break;  // client closed
     if (n < 0) {
@@ -155,20 +179,30 @@ void TcpServer::connection_loop(int client_fd, std::shared_ptr<std::atomic<bool>
       if (overlong) {
         response = error_json("request line too long");
         overlong = false;
+      } else if (http_mode) {
+        if (!line.empty()) continue;  // header line; ignore
+        send_all(client_fd, handle_http(http_method, http_path));
+        closing = true;  // Connection: close — one response per HTTP client
+        break;
       } else if (line.empty()) {
+        continue;
+      } else if (line.rfind("GET ", 0) == 0 || line.rfind("HEAD ", 0) == 0) {
+        const std::size_t space = line.find(' ');
+        const std::size_t path_end = line.find(' ', space + 1);
+        http_method = line.substr(0, space);
+        http_path = line.substr(space + 1, path_end == std::string::npos
+                                               ? std::string::npos
+                                               : path_end - space - 1);
+        http_mode = true;
         continue;
       } else {
         response = handle_line(line);
       }
       response.push_back('\n');
-      std::size_t sent = 0;
-      while (sent < response.size()) {
-        const ssize_t w =
-            ::send(client_fd, response.data() + sent, response.size() - sent, MSG_NOSIGNAL);
-        if (w <= 0) break;
-        sent += static_cast<std::size_t>(w);
+      if (!send_all(client_fd, response)) {
+        closing = true;
+        break;
       }
-      if (sent < response.size()) break;
     }
     if (buffer.size() > config_.max_line_bytes) {
       // Discard the runaway line but keep the connection; the error goes out
@@ -232,10 +266,55 @@ std::string TcpServer::handle_line(const std::string& line) {
       out += "}";
       return out;
     }
+    case Request::Cmd::kMetrics: {
+      // The exposition text is multi-line; ship it JSON-escaped inside the
+      // one-line envelope so JSON-lines framing survives. HTTP clients get
+      // the raw text via GET /metrics instead.
+      std::string out = "{\"ok\":true,\"format\":\"prometheus\",\"exposition\":\"";
+      out += json_escape(obs::prometheus_text());
+      out += "\"}";
+      return out;
+    }
+    case Request::Cmd::kEvents: {
+      const auto events = obs::EventLog::global().recent();
+      std::string out = "{\"ok\":true,\"dropped\":";
+      out += std::to_string(obs::EventLog::global().dropped());
+      out += ",\"events\":[";
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        if (i != 0) out += ',';
+        out += events[i].to_json();
+      }
+      out += "]}";
+      return out;
+    }
     case Request::Cmd::kPredict:
       break;
   }
   return to_json(service_.predict(request->predict));
+}
+
+std::string TcpServer::handle_http(std::string_view method, std::string_view path) {
+  const std::string_view bare_path = path.substr(0, path.find('?'));
+  std::string status = "200 OK";
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::string body;
+  if (bare_path == "/metrics") {
+    EVOFORECAST_COUNT("serve.http_scrapes", 1);
+    body = obs::prometheus_text();
+  } else {
+    status = "404 Not Found";
+    content_type = "text/plain; charset=utf-8";
+    body = "not found: only /metrics is served here\n";
+  }
+  std::string out = "HTTP/1.0 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  if (method != "HEAD") out += body;
+  return out;
 }
 
 }  // namespace ef::serve

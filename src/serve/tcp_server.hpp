@@ -8,6 +8,11 @@
 // transport in ForecastService, so an async or HTTP front-end can replace
 // this file without touching the serving semantics.
 //
+// One carve-out: a first line starting with "GET " or "HEAD " flips the
+// connection into single-shot HTTP mode, so Prometheus can scrape
+// GET /metrics from the same port without a second listener. The response
+// is HTTP/1.0 with Connection: close; anything but /metrics is a 404.
+//
 // Shutdown contract: stop() closes the listening socket, then each
 // connection finishes the request it is currently processing (the batcher
 // drains separately via ForecastService::shutdown) before its thread is
@@ -68,6 +73,9 @@ class TcpServer {
   void connection_loop(int client_fd, std::shared_ptr<std::atomic<bool>> done);
   void reap_finished_locked();
   [[nodiscard]] std::string handle_line(const std::string& line);
+  /// Full HTTP/1.0 response (headers + body) for a GET/HEAD hitting the
+  /// JSON-lines port — the Prometheus scrape path. Connection: close.
+  [[nodiscard]] std::string handle_http(std::string_view method, std::string_view path);
 
   ForecastService& service_;
   ServerConfig config_;

@@ -93,6 +93,13 @@ void WindowCache::put(Key key, Value value) {
     shard.lru.pop_back();
     ++shard.evictions;
     EVOFORECAST_COUNT("serve.cache.evictions", 1);
+    // Eviction pressure into the flight recorder, heavily sampled: one
+    // event per 1024 evictions per shard, so a thrashing cache is visible
+    // without the event ring becoming an eviction ticker.
+    if ((shard.evictions & 1023) == 1) {
+      EVOFORECAST_EVENT("serve.cache.pressure", {"shard_evictions", shard.evictions},
+                        {"entries", shard.lru.size()});
+    }
   }
   shard.lru.emplace_front(std::move(key), value);
   shard.map.emplace(shard.lru.front().first, shard.lru.begin());

@@ -1,0 +1,138 @@
+// Prometheus text exposition: name sanitisation, type lines, cumulative
+// le buckets, windowed gauge series, build_info labels.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/build_info.hpp"
+#include "obs/exposition.hpp"
+
+namespace {
+
+using ef::obs::ExpositionOptions;
+using ef::obs::Registry;
+using ef::obs::WindowedCollector;
+using std::chrono::seconds;
+using std::chrono::steady_clock;
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+TEST(PrometheusName, SanitisesIllegalBytes) {
+  EXPECT_EQ(ef::obs::prometheus_name("serve.request_us"), "evoforecast_serve_request_us");
+  EXPECT_EQ(ef::obs::prometheus_name("a-b c"), "evoforecast_a_b_c");
+  ExpositionOptions no_prefix;
+  no_prefix.prefix.clear();
+  EXPECT_EQ(ef::obs::prometheus_name("9lives", no_prefix), "_9lives");
+}
+
+TEST(Exposition, CountersGetTotalSuffixAndTypeLine) {
+  Registry registry;
+  registry.counter("serve.requests").add(42);
+  const std::string text = ef::obs::to_prometheus(registry.snapshot());
+  EXPECT_TRUE(contains(text, "# TYPE evoforecast_serve_requests_total counter\n"));
+  EXPECT_TRUE(contains(text, "evoforecast_serve_requests_total 42\n"));
+}
+
+TEST(Exposition, GaugeRendered) {
+  Registry registry;
+  registry.gauge("train.coverage_percent").set(87.5);
+  const std::string text = ef::obs::to_prometheus(registry.snapshot());
+  EXPECT_TRUE(contains(text, "# TYPE evoforecast_train_coverage_percent gauge"));
+  EXPECT_TRUE(contains(text, "evoforecast_train_coverage_percent 87.5"));
+}
+
+TEST(Exposition, HistogramBucketsAreCumulativeAndEndAtInf) {
+  Registry registry;
+  auto& h = registry.histogram("lat", {1.0, 10.0, 100.0});
+  h.observe(0.5);   // le=1
+  h.observe(5.0);   // le=10
+  h.observe(5.0);   // le=10
+  h.observe(1e9);   // +Inf
+  const std::string text = ef::obs::to_prometheus(registry.snapshot());
+
+  EXPECT_TRUE(contains(text, "# TYPE evoforecast_lat histogram"));
+  EXPECT_TRUE(contains(text, "evoforecast_lat_bucket{le=\"1\"} 1"));
+  EXPECT_TRUE(contains(text, "evoforecast_lat_bucket{le=\"10\"} 3"));
+  EXPECT_TRUE(contains(text, "evoforecast_lat_bucket{le=\"100\"} 3"));
+  EXPECT_TRUE(contains(text, "evoforecast_lat_bucket{le=\"+Inf\"} 4"));
+  EXPECT_TRUE(contains(text, "evoforecast_lat_count 4"));
+
+  // Cumulative monotonicity across the whole bucket series.
+  std::uint64_t last = 0;
+  for (const std::string& line : lines_of(text)) {
+    if (line.rfind("evoforecast_lat_bucket", 0) != 0) continue;
+    const std::uint64_t count = std::stoull(line.substr(line.rfind(' ') + 1));
+    EXPECT_GE(count, last);
+    last = count;
+  }
+  EXPECT_EQ(last, 4u);  // +Inf bucket == _count
+}
+
+TEST(Exposition, WindowedSeriesRenderedAsGauges) {
+  Registry registry;
+  registry.counter("serve.requests").add(10);
+  registry.histogram("serve.request_us").observe(8.0);
+  WindowedCollector collector(registry);
+  const auto t0 = steady_clock::now();
+  collector.tick(t0);
+  registry.counter("serve.requests").add(20);
+  registry.histogram("serve.request_us").observe(16.0);
+  collector.tick(t0 + seconds(10));
+
+  const auto window = collector.window();
+  const std::string text = ef::obs::to_prometheus(registry.snapshot(), &window);
+  EXPECT_TRUE(contains(text, "# TYPE evoforecast_window_seconds gauge"));
+  EXPECT_TRUE(contains(text, "evoforecast_window_seconds 10"));
+  EXPECT_TRUE(contains(text, "evoforecast_serve_requests_window_rate 2"));
+  EXPECT_TRUE(contains(text, "evoforecast_serve_request_us_window{q=\"0.50\"}"));
+  EXPECT_TRUE(contains(text, "evoforecast_serve_request_us_window{q=\"0.99\"}"));
+  EXPECT_TRUE(contains(text, "evoforecast_serve_request_us_window_rate"));
+}
+
+TEST(Exposition, BuildInfoSeriesCarriesCommitLabel) {
+  Registry registry;
+  const std::string text = ef::obs::to_prometheus(registry.snapshot());
+  EXPECT_TRUE(contains(text, "# TYPE evoforecast_build_info gauge"));
+  EXPECT_TRUE(contains(text, "evoforecast_build_info{commit=\"" +
+                                 ef::obs::build_info().git_commit + "\""));
+  ExpositionOptions no_build;
+  no_build.build_info_series = false;
+  EXPECT_FALSE(contains(ef::obs::to_prometheus(registry.snapshot(), nullptr, no_build),
+                        "build_info"));
+}
+
+TEST(Exposition, EmptyRegistryStillValid) {
+  Registry registry;
+  const std::string text = ef::obs::to_prometheus(registry.snapshot());
+  // Only the build_info series — still well-formed exposition text.
+  for (const std::string& line : lines_of(text)) {
+    EXPECT_FALSE(line.empty());
+  }
+}
+
+TEST(BuildInfo, JsonIsWellFormedAndStable) {
+  const std::string json = ef::obs::build_info_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_TRUE(contains(json, "\"git_commit\""));
+  EXPECT_TRUE(contains(json, "\"compiler\""));
+  EXPECT_TRUE(contains(json, "\"build_type\""));
+  EXPECT_TRUE(contains(json, "\"obs_enabled\""));
+  EXPECT_EQ(json, ef::obs::build_info_json());  // captured once, stable
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// Windowed collector: synthetic-timestamp ticks over a private registry,
+// including the acceptance scenario — a load change visible in the windowed
+// serve.request_us quantiles that the lifetime histogram smears away.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "obs/window.hpp"
+
+namespace {
+
+using ef::obs::Registry;
+using ef::obs::WindowSnapshot;
+using ef::obs::WindowedCollector;
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+using std::chrono::steady_clock;
+
+TEST(WindowedCollector, EmptyUntilTwoFrames) {
+  Registry registry;
+  (void)registry.counter("c");
+  WindowedCollector collector(registry);
+  EXPECT_EQ(collector.window().window_seconds, 0.0);
+  const auto t0 = steady_clock::now();
+  collector.tick(t0);
+  EXPECT_EQ(collector.window().window_seconds, 0.0);
+  collector.tick(t0 + seconds(1));
+  EXPECT_GT(collector.window().window_seconds, 0.0);
+}
+
+TEST(WindowedCollector, CounterDeltaAndRate) {
+  Registry registry;
+  auto& counter = registry.counter("serve.requests");
+  WindowedCollector collector(registry);
+  const auto t0 = steady_clock::now();
+
+  counter.add(100);
+  collector.tick(t0);
+  counter.add(50);
+  collector.tick(t0 + seconds(10));
+
+  const auto windowed = collector.counter_rate("serve.requests");
+  ASSERT_TRUE(windowed.has_value());
+  EXPECT_EQ(windowed->delta, 50u);          // only in-window increments
+  EXPECT_NEAR(windowed->per_sec, 5.0, 1e-9);
+  EXPECT_EQ(counter.value(), 150u);         // lifetime untouched
+}
+
+TEST(WindowedCollector, CounterResetClamps) {
+  Registry registry;
+  auto& counter = registry.counter("c");
+  WindowedCollector collector(registry);
+  const auto t0 = steady_clock::now();
+
+  counter.add(1000);
+  collector.tick(t0);
+  registry.reset_values();
+  counter.add(7);
+  collector.tick(t0 + seconds(1));
+
+  const auto windowed = collector.counter_rate("c");
+  ASSERT_TRUE(windowed.has_value());
+  EXPECT_EQ(windowed->delta, 7u);  // not a huge underflow
+}
+
+TEST(WindowedCollector, InstrumentBornInsideWindow) {
+  Registry registry;
+  WindowedCollector collector(registry);
+  const auto t0 = steady_clock::now();
+  collector.tick(t0);
+  registry.counter("born.late").add(3);
+  registry.histogram("h.late").observe(4.0);
+  collector.tick(t0 + seconds(1));
+
+  const auto counter = collector.counter_rate("born.late");
+  ASSERT_TRUE(counter.has_value());
+  EXPECT_EQ(counter->delta, 3u);
+  const auto histogram = collector.histogram_window("h.late");
+  ASSERT_TRUE(histogram.has_value());
+  EXPECT_EQ(histogram->count, 1u);
+}
+
+TEST(WindowedCollector, FramesExpireBeyondHorizon) {
+  Registry registry;
+  auto& counter = registry.counter("c");
+  WindowedCollector collector(registry, {.bucket = milliseconds(1000), .buckets = 5});
+  const auto t0 = steady_clock::now();
+
+  counter.add(100);
+  collector.tick(t0);
+  for (int s = 1; s <= 10; ++s) {
+    counter.add(1);
+    collector.tick(t0 + seconds(s));
+  }
+  const auto windowed = collector.counter_rate("c");
+  ASSERT_TRUE(windowed.has_value());
+  // The t0 frame (and its 100-increment baseline) fell off the 5 s horizon:
+  // the visible delta covers only the retained ring.
+  EXPECT_LE(windowed->delta, 6u);
+  EXPECT_GE(windowed->delta, 4u);
+}
+
+// The tentpole acceptance: a server that ran fast for a long time, then got
+// slow. Lifetime p90 stays dominated by the fast bulk; the windowed p90
+// tracks the regression.
+TEST(WindowedCollector, WindowedQuantilesTrackLoadChangeLifetimeSmears) {
+  Registry registry;
+  auto& latency = registry.histogram("serve.request_us");
+  WindowedCollector collector(registry);
+  const auto t0 = steady_clock::now();
+
+  // Phase 1: 10k fast requests (~4 µs) — the long quiet history.
+  for (int i = 0; i < 10000; ++i) latency.observe(4.0);
+  collector.tick(t0);
+
+  // Phase 2: 100 slow requests (~4096 µs) inside the observation window.
+  for (int i = 0; i < 100; ++i) latency.observe(4096.0);
+  collector.tick(t0 + seconds(30));
+
+  const auto lifetime = latency.stats();
+  // Lifetime smears: 10000 fast vs 100 slow → p90 still in the fast bucket.
+  EXPECT_LT(lifetime.p90, 100.0);
+
+  const auto windowed = collector.histogram_window("serve.request_us");
+  ASSERT_TRUE(windowed.has_value());
+  EXPECT_EQ(windowed->count, 100u);
+  // Windowed: every in-window observation is slow → p50/p90 near 4096 µs.
+  EXPECT_GT(windowed->p50, 1000.0);
+  EXPECT_GT(windowed->p90, 1000.0);
+  EXPECT_NEAR(windowed->per_sec, 100.0 / 30.0, 1e-6);
+}
+
+TEST(WindowedCollector, BackgroundSamplerProducesFrames) {
+  Registry registry;
+  registry.counter("c").add(1);
+  WindowedCollector collector(registry, {.bucket = milliseconds(20), .buckets = 10});
+  EXPECT_FALSE(collector.sampling());
+  collector.start();
+  EXPECT_TRUE(collector.sampling());
+  for (int i = 0; i < 100 && collector.window().window_seconds <= 0.0; ++i) {
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+  EXPECT_GT(collector.window().window_seconds, 0.0);
+  collector.stop();
+  EXPECT_FALSE(collector.sampling());
+  collector.stop();  // idempotent
+}
+
+TEST(WindowedCollector, GlobalIsLazyAndNotSampling) {
+  auto& collector = WindowedCollector::global();
+  EXPECT_FALSE(collector.sampling());
+  EXPECT_EQ(&collector, &WindowedCollector::global());
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Wire-protocol hardening: the JSON grammar edge cases a public TCP port
+// sees (duplicate keys, overflowing numbers, deep nesting) plus the
+// metrics/events observability verbs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+
+namespace {
+
+using ef::serve::Request;
+using ef::serve::parse_request;
+
+// --- json::parse ----------------------------------------------------------
+
+TEST(ServeJson, ParsesScalarsArraysObjects) {
+  std::string error;
+  const auto doc = ef::serve::json::parse(
+      R"({"a":1.5,"b":"x","c":[1,2,3],"d":true,"e":null})", error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const auto* object = doc->as_object();
+  ASSERT_NE(object, nullptr);
+  EXPECT_EQ(*object->at("a").as_number(), 1.5);
+  EXPECT_EQ(*object->at("b").as_string(), "x");
+  ASSERT_NE(object->at("c").as_array(), nullptr);
+  EXPECT_EQ(object->at("c").as_array()->size(), 3u);
+  EXPECT_TRUE(*object->at("d").as_bool());
+  EXPECT_TRUE(object->at("e").is_null());
+}
+
+TEST(ServeJson, RejectsDuplicateKeys) {
+  std::string error;
+  const auto doc = ef::serve::json::parse(R"({"cmd":"ping","cmd":"stats"})", error);
+  EXPECT_FALSE(doc.has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
+TEST(ServeJson, RejectsNumbersOverflowingDouble) {
+  std::string error;
+  EXPECT_FALSE(ef::serve::json::parse("1e999", error).has_value());
+  EXPECT_FALSE(ef::serve::json::parse("-1e999", error).has_value());
+  EXPECT_FALSE(ef::serve::json::parse(R"({"horizon":1e999})", error).has_value());
+}
+
+TEST(ServeJson, RejectsNestingBeyondMaxDepth) {
+  // 20 nested arrays > default max_depth 8. Must fail, not overflow.
+  std::string deep;
+  for (int i = 0; i < 20; ++i) deep += '[';
+  deep += '1';
+  for (int i = 0; i < 20; ++i) deep += ']';
+  std::string error;
+  EXPECT_FALSE(ef::serve::json::parse(deep, error).has_value());
+  EXPECT_NE(error.find("deep"), std::string::npos) << error;
+
+  // A raised limit accepts the same document.
+  ef::serve::json::ParseOptions relaxed;
+  relaxed.max_depth = 32;
+  EXPECT_TRUE(ef::serve::json::parse(deep, error, relaxed).has_value());
+}
+
+TEST(ServeJson, RejectsTrailingGarbageAndTruncation) {
+  std::string error;
+  EXPECT_FALSE(ef::serve::json::parse(R"({"a":1} extra)", error).has_value());
+  EXPECT_FALSE(ef::serve::json::parse(R"({"a":)", error).has_value());
+  EXPECT_FALSE(ef::serve::json::parse("", error).has_value());
+}
+
+// --- parse_request --------------------------------------------------------
+
+TEST(ParseRequest, PredictFieldsRoundTrip) {
+  std::string error;
+  const auto request = parse_request(
+      R"({"cmd":"predict","model":"m1","window":[1.0,2.0,3.0],"horizon":4,"agg":"median","cache":false})",
+      error);
+  ASSERT_TRUE(request.has_value()) << error;
+  EXPECT_EQ(request->cmd, Request::Cmd::kPredict);
+  EXPECT_EQ(request->predict.model, "m1");
+  ASSERT_EQ(request->predict.window.size(), 3u);
+  EXPECT_EQ(request->predict.horizon, 4u);
+  EXPECT_FALSE(request->predict.use_cache);
+}
+
+TEST(ParseRequest, MetricsAndEventsVerbs) {
+  std::string error;
+  const auto metrics = parse_request(R"({"cmd":"metrics"})", error);
+  ASSERT_TRUE(metrics.has_value()) << error;
+  EXPECT_EQ(metrics->cmd, Request::Cmd::kMetrics);
+
+  const auto events = parse_request(R"({"cmd":"events"})", error);
+  ASSERT_TRUE(events.has_value()) << error;
+  EXPECT_EQ(events->cmd, Request::Cmd::kEvents);
+}
+
+TEST(ParseRequest, DuplicateKeysAreAnError) {
+  std::string error;
+  EXPECT_FALSE(parse_request(R"({"horizon":1,"horizon":2})", error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
+TEST(ParseRequest, OverflowingNumberIsAnError) {
+  std::string error;
+  EXPECT_FALSE(parse_request(R"({"window":[1e999]})", error).has_value());
+}
+
+TEST(ParseRequest, DeepNestingIsAnError) {
+  std::string deep = R"({"window":)";
+  for (int i = 0; i < 20; ++i) deep += '[';
+  deep += '1';
+  for (int i = 0; i < 20; ++i) deep += ']';
+  deep += '}';
+  std::string error;
+  EXPECT_FALSE(parse_request(deep, error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ParseRequest, UnknownCmdIsAnError) {
+  std::string error;
+  EXPECT_FALSE(parse_request(R"({"cmd":"reboot"})", error).has_value());
+  EXPECT_NE(error.find("cmd"), std::string::npos) << error;
+}
+
+}  // namespace
