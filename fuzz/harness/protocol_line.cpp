@@ -1,0 +1,51 @@
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "harness.hpp"
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+
+namespace ef::fuzz {
+namespace {
+
+[[noreturn]] void die(const std::string& what) {
+  std::fprintf(stderr, "protocol_line invariant violated: %s\n", what.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+int protocol_line(const std::uint8_t* data, std::size_t size) {
+  const std::string_view line(reinterpret_cast<const char*>(data), size);
+  std::string error;
+  const std::optional<serve::Request> request = serve::parse_request(line, error);
+  if (!request && error.empty()) die("rejection without an error message");
+
+  // Whatever the parse produced, the server answers with protocol JSON. The
+  // error envelope quotes the (hostile) error text, so it must survive its
+  // own escaping: efstat and the smoke harness parse these lines with the
+  // same strict parser.
+  const std::string envelope =
+      serve::error_json(error.empty() ? std::string_view("fuzz") : std::string_view(error));
+  std::string parse_error;
+  if (!serve::json::parse(envelope, parse_error)) {
+    die("error envelope is not valid protocol JSON: " + parse_error + ": " + envelope);
+  }
+
+  if (request && request->cmd == serve::Request::Cmd::kPredict) {
+    // A parsed predict request has validated fields; horizon fits size_t
+    // and the window holds only finite doubles (the JSON layer rejects
+    // non-finite numbers).
+    if (request->predict.horizon < 1) die("parsed horizon < 1");
+    for (const double v : request->predict.window) {
+      if (!std::isfinite(v)) die("non-finite window value accepted");
+    }
+  }
+  return 0;
+}
+
+}  // namespace ef::fuzz

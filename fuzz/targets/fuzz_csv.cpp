@@ -1,0 +1,6 @@
+// libFuzzer target: the CSV series loader on hostile bytes.
+#include "harness/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  return ef::fuzz::csv_load(data, size);
+}

@@ -1,0 +1,6 @@
+// libFuzzer target: core::RuleSystem::load on hostile .efr bytes.
+#include "harness/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  return ef::fuzz::efr_load(data, size);
+}

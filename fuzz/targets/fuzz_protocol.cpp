@@ -1,0 +1,6 @@
+// libFuzzer target: one JSON-lines protocol request through parse_request.
+#include "harness/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  return ef::fuzz::protocol_line(data, size);
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Time-boxed fuzz smoke: replay the committed corpus through every target,
+# then (when the binaries were built with libFuzzer) explore for a fixed
+# budget per target. CI runs this for ~60 s/target; it is a regression
+# tripwire, not a soak — long exploratory runs happen offline.
+#
+# Usage: run_fuzz_smoke.sh BUILD_DIR [SECONDS_PER_TARGET]
+#
+# Works in two modes:
+#   - libFuzzer build (-DEVOFORECAST_FUZZ=ON, clang): corpus replay is
+#     implicit in the -runs exploration; crashes land in fuzz-artifacts/.
+#   - plain build (gcc, no libFuzzer): falls back to fuzz_replay, which
+#     drives the same harness entry points over the corpus once.
+set -euo pipefail
+
+build_dir="${1:?usage: run_fuzz_smoke.sh BUILD_DIR [SECONDS_PER_TARGET]}"
+seconds="${2:-60}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+corpus_root="${repo_root}/fuzz/corpus"
+artifact_dir="${PWD}/fuzz-artifacts"
+
+targets=(json efr protocol csv)
+
+have_libfuzzer=true
+for t in "${targets[@]}"; do
+  [ -x "${build_dir}/fuzz/fuzz_${t}" ] || have_libfuzzer=false
+done
+
+if $have_libfuzzer; then
+  mkdir -p "${artifact_dir}"
+  for t in "${targets[@]}"; do
+    echo "== fuzz_${t}: ${seconds}s exploration seeded from fuzz/corpus/${t} =="
+    # -max_total_time bounds wall clock; the committed corpus seeds the run.
+    # Generated inputs go to a scratch dir so the committed corpus only grows
+    # through deliberate check-ins of triggers.
+    scratch="$(mktemp -d)"
+    "${build_dir}/fuzz/fuzz_${t}" \
+      -max_total_time="${seconds}" \
+      -timeout=10 \
+      -rss_limit_mb=2048 \
+      -print_final_stats=1 \
+      -artifact_prefix="${artifact_dir}/fuzz_${t}-" \
+      "${scratch}" "${corpus_root}/${t}"
+    rm -rf "${scratch}"
+  done
+else
+  echo "== no libFuzzer binaries in ${build_dir}/fuzz: corpus replay fallback =="
+  replay="${build_dir}/fuzz/fuzz_replay"
+  [ -x "${replay}" ] || { echo "fuzz_replay not built" >&2; exit 1; }
+  for t in "${targets[@]}"; do
+    echo "-- replaying fuzz/corpus/${t}"
+    "${replay}" "${t}" "${corpus_root}/${t}"
+  done
+fi
+
+echo "fuzz smoke passed"

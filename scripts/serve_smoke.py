@@ -103,6 +103,50 @@ def http_get(port, path):
     return status, body.decode()
 
 
+def launch_server(efserve, model_path, attempts=3):
+    """Start efserve on an ephemeral port and wait for it to report the port.
+
+    The kernel hands out the port (--port 0), so a clean bind cannot collide
+    — but a constrained environment can still fail the bind (exhausted
+    ephemeral range, EADDRINUSE from aggressive TIME_WAIT reuse). Retry a
+    few times before declaring the smoke test dead; each retry gets a fresh
+    socket and a fresh kernel-assigned port.
+
+    Returns (proc, port, stderr_drain) or (None, None, None) after the last
+    failed attempt.
+    """
+    for attempt in range(1, attempts + 1):
+        proc = subprocess.Popen(
+            [efserve, f"demo={model_path}", "--port", "0", "--poll-ms", "100"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        stderr_drain = LineDrain(proc.stderr)
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                break
+            print(f"  server: {line.rstrip()}")
+            if "listening on" in line:
+                port = int(line.rsplit(":", 1)[1].split()[0])
+                return proc, port, stderr_drain
+        proc.kill()
+        proc.wait()
+        bind_error = any(
+            "bind" in line or "Address already in use" in line
+            for line in stderr_drain.lines)
+        print(f"  launch attempt {attempt}/{attempts} failed"
+              f"{' (bind error, retrying)' if bind_error else ''}:")
+        for line in stderr_drain.lines[-5:]:
+            print(f"    server stderr: {line}")
+        if not bind_error:
+            break  # not a port problem; retrying would just repeat it
+        time.sleep(0.5 * attempt)
+    return None, None, None
+
+
 def main():
     if len(sys.argv) not in (3, 4):
         print(__doc__)
@@ -110,26 +154,9 @@ def main():
     efserve, model_path = sys.argv[1], sys.argv[2]
     efstat = sys.argv[3] if len(sys.argv) == 4 else None
 
-    proc = subprocess.Popen(
-        [efserve, f"demo={model_path}", "--port", "0", "--poll-ms", "100"],
-        stdout=subprocess.PIPE,
-        stderr=subprocess.PIPE,
-        text=True,
-    )
-    stderr_drain = LineDrain(proc.stderr)
-    port = None
-    deadline = time.time() + 30
-    while time.time() < deadline:
-        line = proc.stdout.readline()
-        if not line:
-            break
-        print(f"  server: {line.rstrip()}")
-        if "listening on" in line:
-            port = int(line.rsplit(":", 1)[1].split()[0])
-            break
-    if port is None:
+    proc, port, stderr_drain = launch_server(efserve, model_path)
+    if proc is None:
         print("FAIL: server never reported its port")
-        proc.kill()
         return 1
     stdout_drain = LineDrain(proc.stdout)
 

@@ -77,10 +77,20 @@ void WindowedCollector::tick(std::chrono::steady_clock::time_point now) {
   Frame frame{now, registry_.snapshot()};
   const auto horizon = config_.bucket * static_cast<long>(config_.buckets);
   const std::lock_guard lock(mutex_);
-  // Drop frames that fell off the horizon (and anything from a clock that
-  // went backwards, e.g. synthetic test timestamps reused across cases).
-  while (!frames_.empty() &&
-         (frames_.front().at + horizon < now || frames_.front().at > now)) {
+  // `now` is captured before the lock, so concurrent tickers (the sampler
+  // thread racing an explicit tick()) can arrive here out of order. A frame
+  // older than the newest one recorded adds no information — and pushing it
+  // would break the deque's time ordering, which window() relies on for a
+  // non-negative window_seconds.
+  if (!frames_.empty() && now <= frames_.back().at) {
+    if (now >= frames_.front().at) return;
+    // A jump to before the whole window is a genuine clock reset (synthetic
+    // test timestamps reused across cases): start the window over from this
+    // frame.
+    frames_.clear();
+  }
+  // Drop frames that fell off the horizon.
+  while (!frames_.empty() && frames_.front().at + horizon < now) {
     frames_.pop_front();
   }
   frames_.push_back(std::move(frame));

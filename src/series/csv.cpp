@@ -49,6 +49,14 @@ TimeSeries read_series_csv(std::istream& in, std::size_t column, char delimiter,
     }
     double v = 0.0;
     if (parse_double(cells[column], v)) {
+      // std::stod happily parses "inf"/"nan" spellings, but TimeSeries
+      // rejects non-finite values in its constructor with a different
+      // exception type and no line context. Reject here so every bad row
+      // fails the same way (found by the csv fuzz harness).
+      if (!std::isfinite(v)) {
+        throw std::runtime_error("read_series_csv: non-finite cell '" + cells[column] +
+                                 "' at line " + std::to_string(line_no));
+      }
       values.push_back(v);
     } else if (line_no == 1) {
       continue;  // header row

@@ -15,7 +15,8 @@ namespace ef::series {
 
 /// Read a single-column (or first-column-of-many) numeric CSV into a series.
 /// Skips a non-numeric header row if present; throws std::runtime_error on
-/// unreadable files or rows that are neither numeric nor header.
+/// unreadable files, rows that are neither numeric nor header, and cells
+/// that parse to a non-finite value ("inf"/"nan" spellings).
 [[nodiscard]] TimeSeries read_series_csv(const std::string& path,
                                          std::size_t column = 0, char delimiter = ',');
 

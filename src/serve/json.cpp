@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 
 namespace ef::serve::json {
@@ -88,9 +90,60 @@ class Parser {
         case 'n': out.push_back('\n'); break;
         case 'r': out.push_back('\r'); break;
         case 't': out.push_back('\t'); break;
-        case 'u': fail("\\u escapes not supported by this protocol");
+        case 'u': unicode_escape(out); break;
         default: fail("bad escape");
       }
+    }
+  }
+
+  /// Four hex digits already past the "\u". Fails on bad hex and on lone
+  /// surrogates; a valid surrogate pair decodes to one code point.
+  std::uint32_t hex4() {
+    std::uint32_t unit = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) fail("unterminated \\u escape");
+      const char c = text_[pos_++];
+      unit <<= 4;
+      if (c >= '0' && c <= '9') {
+        unit |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        unit |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        unit |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("bad hex digit in \\u escape");
+      }
+    }
+    return unit;
+  }
+
+  void unicode_escape(std::string& out) {
+    std::uint32_t code = hex4();
+    if (code >= 0xDC00 && code <= 0xDFFF) fail("lone low surrogate");
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+        fail("high surrogate not followed by \\u escape");
+      }
+      pos_ += 2;
+      const std::uint32_t low = hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
     }
   }
 
@@ -171,6 +224,72 @@ std::optional<Value> parse(std::string_view text, std::string& error,
     error = e.message;
     return std::nullopt;
   }
+}
+
+namespace {
+
+void dump_string(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_value(std::string& out, const Value& value) {
+  if (value.is_null()) {
+    out += "null";
+  } else if (const bool* b = value.as_bool()) {
+    out += *b ? "true" : "false";
+  } else if (const double* n = value.as_number()) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", *n);
+    out += buf;
+  } else if (const std::string* s = value.as_string()) {
+    dump_string(out, *s);
+  } else if (const Array* a = value.as_array()) {
+    out.push_back('[');
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      if (i) out.push_back(',');
+      dump_value(out, (*a)[i]);
+    }
+    out.push_back(']');
+  } else if (const Object* o = value.as_object()) {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, item] : *o) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_string(out, key);
+      out.push_back(':');
+      dump_value(out, item);
+    }
+    out.push_back('}');
+  }
+}
+
+}  // namespace
+
+std::string dump(const Value& value) {
+  std::string out;
+  dump_value(out, value);
+  return out;
 }
 
 }  // namespace ef::serve::json

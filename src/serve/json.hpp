@@ -10,7 +10,10 @@
 //     silently-infinite values
 //   * duplicate object keys are errors — the last-one-wins behaviour most
 //     parsers default to silently discards request fields
-//   * no \u escapes (the protocol is ASCII/UTF-8 pass-through)
+//   * \u escapes decode to UTF-8 (surrogate pairs included; lone surrogates
+//     are errors). The server's own serialisers emit \u00XX for control
+//     characters, so the parser must accept what the stack emits — the
+//     round-trip fuzz target (fuzz/harness/json_roundtrip.cpp) enforces it.
 //
 // parse() returns nullopt and fills `error` with a byte position instead of
 // throwing; malformed wire input is an expected case, not an exception.
@@ -49,5 +52,11 @@ struct ParseOptions {
 /// `error` to a human-readable reason including the byte offset.
 [[nodiscard]] std::optional<Value> parse(std::string_view text, std::string& error,
                                          const ParseOptions& options = {});
+
+/// Serialise a Value to one line of JSON that parse() accepts back
+/// (dump/parse/dump is a fixed point — the round-trip fuzz invariant).
+/// Numbers use shortest-round-trip %.17g; object keys stay sorted (Object is
+/// an ordered map), so equal Values dump to byte-identical text.
+[[nodiscard]] std::string dump(const Value& value);
 
 }  // namespace ef::serve::json

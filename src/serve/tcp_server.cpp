@@ -61,6 +61,12 @@ void TcpServer::start() {
     throw std::runtime_error("TcpServer: cannot bind " + config_.host + ":" +
                              std::to_string(config_.port));
   }
+  // Periodic accept timeout: the accept loop wakes up to observe stop()
+  // without anyone having to touch the listening fd from another thread.
+  timeval accept_timeout{};
+  accept_timeout.tv_usec = 200 * 1000;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_RCVTIMEO, &accept_timeout, sizeof(accept_timeout));
+
   if (::listen(listen_fd_, config_.backlog) != 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -82,13 +88,17 @@ void TcpServer::stop() {
     if (acceptor_.joinable()) acceptor_.join();
     return;
   }
-  // Unblock accept() by shutting the listener down, then join everything.
+  // Nudge a blocked accept() awake (the SO_RCVTIMEO on the listener bounds
+  // the wait at 200 ms regardless), then join BEFORE closing the fd: closing
+  // while the acceptor still reads listen_fd_ is a data race, and a recycled
+  // fd number could send accept() onto some unrelated descriptor
+  // (race reported by TSan on the loopback round-trip test).
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
   if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (acceptor_.joinable()) acceptor_.join();
   std::vector<Connection> connections;
   {
     const std::lock_guard lock(threads_mutex_);

@@ -1,0 +1,79 @@
+// Corpus-replay test: every committed fuzz seed runs through its harness
+// entry point on every build, fuzzer-capable or not. This is the no-libFuzzer
+// fallback the build relies on with GCC, and it catches corpus regressions
+// (a deleted directory, an input that starts crashing) in plain CI jobs.
+//
+// The corpus root comes in via EVOFORECAST_FUZZ_CORPUS_DIR (an absolute path
+// baked in by tests/CMakeLists.txt). A crash here is a real finding: fix the
+// code, keep the input.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/harness.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using Entry = int (*)(const std::uint8_t*, std::size_t);
+
+std::vector<fs::path> corpus_files(const char* target) {
+  const fs::path dir = fs::path(EVOFORECAST_FUZZ_CORPUS_DIR) / target;
+  std::vector<fs::path> files;
+  if (fs::is_directory(dir)) {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<std::uint8_t> read_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void replay_corpus(const char* target, Entry entry) {
+  const std::vector<fs::path> files = corpus_files(target);
+  // An empty corpus means the seeds were lost, not that there is nothing to
+  // test — fail loudly instead of green-running zero inputs.
+  ASSERT_GE(files.size(), 3u) << "fuzz corpus '" << target << "' is missing or empty under "
+                              << EVOFORECAST_FUZZ_CORPUS_DIR;
+  for (const fs::path& file : files) {
+    SCOPED_TRACE(file.string());
+    const std::vector<std::uint8_t> bytes = read_bytes(file);
+    static const std::uint8_t kEmpty = 0;
+    const int rc = entry(bytes.empty() ? &kEmpty : bytes.data(), bytes.size());
+    EXPECT_EQ(rc, 0);
+  }
+}
+
+TEST(FuzzCorpus, JsonRoundTrip) { replay_corpus("json", ef::fuzz::json_roundtrip); }
+
+TEST(FuzzCorpus, EfrLoad) { replay_corpus("efr", ef::fuzz::efr_load); }
+
+TEST(FuzzCorpus, ProtocolLine) { replay_corpus("protocol", ef::fuzz::protocol_line); }
+
+TEST(FuzzCorpus, CsvLoad) { replay_corpus("csv", ef::fuzz::csv_load); }
+
+// The harness invariants must hold on inputs the corpus cannot express
+// byte-for-byte in a reviewable file (e.g. embedded NUL bytes).
+TEST(FuzzCorpus, HarnessesAcceptEmbeddedNul) {
+  const std::uint8_t nul_json[] = {'"', 'a', 0x00, 'b', '"'};
+  EXPECT_EQ(ef::fuzz::json_roundtrip(nul_json, sizeof nul_json), 0);
+  const std::uint8_t nul_csv[] = {'0', '1', 0x00, '2', '\n'};
+  EXPECT_EQ(ef::fuzz::csv_load(nul_csv, sizeof nul_csv), 0);
+  const std::uint8_t nul_proto[] = {'{', 0x00, '}'};
+  EXPECT_EQ(ef::fuzz::protocol_line(nul_proto, sizeof nul_proto), 0);
+  const std::uint8_t nul_efr[] = {'e', 'v', 0x00};
+  EXPECT_EQ(ef::fuzz::efr_load(nul_efr, sizeof nul_efr), 0);
+}
+
+}  // namespace

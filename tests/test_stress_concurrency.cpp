@@ -1,0 +1,334 @@
+// Race-stress suite for the concurrent serving stack, written for TSan.
+//
+// Each test hammers one component from many threads at once — exactly the
+// interleavings production traffic produces and unit tests don't: model
+// hot-reload under live predictions, micro-batcher submit against shutdown,
+// sharded cache churn with eviction, event-log append against snapshot,
+// windowed-collector sampling against queries, and overlapping parallel_for
+// rounds on one shared pool.
+//
+// The assertions are deliberately coarse (values sane, counts add up); the
+// real oracle is the sanitizer. Run with -DEVOFORECAST_SANITIZE=thread and
+// any data race fails the test hard. Iteration budgets shrink under
+// sanitizer builds (EVOFORECAST_SANITIZED) so the instrumented runs stay
+// inside the per-test ctest TIMEOUT; the interleavings, not the volume, are
+// what find races. ctest label: "stress".
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/window.hpp"
+#include "serve/batcher.hpp"
+#include "serve/json.hpp"
+#include "serve/model_store.hpp"
+#include "serve/window_cache.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+
+#if defined(EVOFORECAST_SANITIZED)
+constexpr std::size_t kIterScale = 1;  // sanitizers add the rigour; keep wall-clock down
+#else
+constexpr std::size_t kIterScale = 4;
+#endif
+
+/// One-rule system predicting `value` on windows inside [0,1]^2.
+ef::core::RuleSystem constant_system(double value) {
+  ef::core::Rule rule({ef::core::Interval(0.0, 1.0), ef::core::Interval(0.0, 1.0)});
+  ef::core::PredictingPart part;
+  part.fit.coeffs = {0.0, 0.0, value};
+  part.fit.mean_prediction = value;
+  part.fit.max_abs_residual = 0.01;
+  part.matches = 4;
+  part.fitness = 2.0;
+  rule.set_predicting(part);
+  ef::core::RuleSystem system;
+  system.add_rules({rule}, false, -1.0);
+  return system;
+}
+
+std::vector<std::thread> spawn(std::size_t n, const std::function<void(std::size_t)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) threads.emplace_back(body, i);
+  return threads;
+}
+
+void join_all(std::vector<std::thread>& threads) {
+  for (std::thread& t : threads) t.join();
+}
+
+TEST(StressConcurrency, ModelStoreReloadUnderPredict) {
+  const auto path = std::filesystem::temp_directory_path() / "stress_reload.efr";
+  {
+    std::ofstream out(path);
+    constant_system(1.0).save(out);
+  }
+  ef::serve::ModelStore store;
+  store.add_file("m", path.string());
+  store.start_polling(1ms);  // background poller races the explicit poll_now below
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> predictions{0};
+  const std::vector<double> window{0.5, 0.5};
+
+  auto readers = spawn(4, [&](std::size_t) {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto model = store.get("m");
+      ASSERT_NE(model, nullptr);
+      const ef::core::Prediction p = model->forecast(window);
+      ASSERT_FALSE(p.abstained);
+      // Whatever snapshot this thread grabbed, its value is one a writer
+      // actually published.
+      ASSERT_GE(p.value, 1.0);
+      ASSERT_LE(p.value, 64.0);
+      predictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  auto pollers = spawn(2, [&](std::size_t) {
+    while (!stop.load(std::memory_order_relaxed)) store.poll_now();
+  });
+
+  for (std::size_t round = 2; round < 2 + 16 * kIterScale; ++round) {
+    {
+      std::ofstream out(path);
+      constant_system(static_cast<double>(round % 63 + 1)).save(out);
+    }
+    // Force an mtime the pollers cannot miss, regardless of fs granularity.
+    std::filesystem::last_write_time(
+        path, std::filesystem::last_write_time(path) + std::chrono::seconds(round));
+    std::this_thread::sleep_for(2ms);
+  }
+
+  stop.store(true);
+  join_all(readers);
+  join_all(pollers);
+  store.stop_polling();
+  EXPECT_GT(predictions.load(), 0u);
+  EXPECT_GE(store.get("m")->version(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(StressConcurrency, BatcherSubmitAgainstDrain) {
+  ef::serve::ModelStore store;
+  store.add_system("m", constant_system(3.0));
+  const auto model = store.get("m");
+
+  ef::serve::BatcherConfig config;
+  config.max_batch = 16;
+  config.max_delay = std::chrono::microseconds(100);
+  ef::serve::MicroBatcher batcher(config);
+
+  constexpr std::size_t kThreads = 8;
+  const std::size_t per_thread = 50 * kIterScale;
+  std::atomic<std::size_t> resolved{0};
+  std::atomic<std::size_t> rejected{0};
+
+  auto submitters = spawn(kThreads, [&](std::size_t t) {
+    for (std::size_t i = 0; i < per_thread; ++i) {
+      std::vector<double> window{0.25 + 0.001 * static_cast<double>(t), 0.5};
+      try {
+        auto future = batcher.submit(model, std::move(window), ef::core::Aggregation::kMean);
+        const ef::core::Prediction p = future.get();
+        ASSERT_FALSE(p.abstained);
+        ASSERT_DOUBLE_EQ(p.value, 3.0);
+        resolved.fetch_add(1, std::memory_order_relaxed);
+      } catch (const std::runtime_error&) {
+        // Submit after shutdown began: the documented rejection path.
+        rejected.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  // Shut down while the last threads are still submitting: every accepted
+  // request must still resolve (drain), every late one must throw.
+  while (resolved.load(std::memory_order_relaxed) < kThreads * per_thread / 2) {
+    std::this_thread::yield();
+  }
+  batcher.shutdown();
+  join_all(submitters);
+  EXPECT_EQ(resolved.load() + rejected.load(), kThreads * per_thread);
+  EXPECT_GT(resolved.load(), 0u);
+}
+
+TEST(StressConcurrency, WindowCacheChurnWithEviction) {
+  ef::serve::CacheConfig config;
+  config.capacity = 128;  // small: eviction on nearly every insert
+  config.shards = 4;
+  ef::serve::WindowCache cache(config);
+
+  constexpr std::size_t kThreads = 8;
+  const std::size_t ops = 2000 * kIterScale;
+  std::atomic<bool> stop{false};
+
+  auto workers = spawn(kThreads, [&](std::size_t t) {
+    for (std::size_t i = 0; i < ops; ++i) {
+      const double v = static_cast<double>((t * 131 + i) % 512);
+      const std::vector<double> window{v, v + 1.0};
+      const auto key =
+          cache.make_key(/*model_tag=*/7, /*horizon=*/1, ef::core::Aggregation::kMean, window);
+      if (const auto hit = cache.get(key)) {
+        // A hit must return exactly what some thread inserted for this key.
+        ASSERT_FALSE(hit->abstain);
+        ASSERT_DOUBLE_EQ(hit->value, v * 2.0);
+      } else {
+        cache.put(key, ef::serve::WindowCache::Value{false, v * 2.0, 1});
+      }
+    }
+  });
+  std::thread churn([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)cache.stats();
+      std::this_thread::sleep_for(1ms);
+    }
+    cache.clear();
+  });
+
+  join_all(workers);
+  stop.store(true);
+  churn.join();
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);  // churn thread cleared after the workers stopped
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * ops);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+TEST(StressConcurrency, EventLogAppendAgainstSnapshot) {
+  ef::obs::EventLog log(/*capacity=*/256);
+
+  constexpr std::size_t kWriters = 6;
+  const std::size_t per_writer = 500 * kIterScale;
+  std::atomic<bool> stop{false};
+
+  auto writers = spawn(kWriters, [&](std::size_t t) {
+    for (std::size_t i = 0; i < per_writer; ++i) {
+      log.emit("stress.event", {{"writer", t}, {"i", i}, {"label", "x\ny\"z"}});
+    }
+  });
+  auto readers = spawn(2, [&](std::size_t) {
+    std::string parse_error;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto recent = log.recent();
+      ASSERT_LE(recent.size(), log.capacity());
+      std::uint64_t last_seq = 0;
+      for (const auto& event : recent) {
+        ASSERT_GT(event.seq, last_seq);  // ring stays in emission order
+        last_seq = event.seq;
+        ASSERT_TRUE(ef::serve::json::parse(event.to_json(), parse_error))
+            << parse_error << ": " << event.to_json();
+      }
+      (void)log.dump_json_lines();
+      (void)log.size();
+    }
+  });
+
+  join_all(writers);
+  stop.store(true);
+  join_all(readers);
+
+  EXPECT_EQ(log.total_emitted(), kWriters * per_writer);
+  EXPECT_EQ(log.size(), std::min<std::size_t>(log.capacity(), kWriters * per_writer));
+  EXPECT_EQ(log.dropped(), kWriters * per_writer - log.size());
+}
+
+TEST(StressConcurrency, WindowedCollectorSampleAgainstQuery) {
+  ef::obs::Registry registry;
+  ef::obs::WindowedCollector::Config config;
+  config.bucket = 2ms;
+  config.buckets = 8;
+  ef::obs::WindowedCollector collector(registry, config);
+  collector.start();  // real background sampler racing the queries below
+
+  std::atomic<bool> stop{false};
+  auto writers = spawn(4, [&](std::size_t t) {
+    auto& counter = registry.counter("stress.count");
+    auto& histogram = registry.histogram("stress.lat_us");
+    std::size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      counter.add(1);
+      histogram.observe(static_cast<double>((t * 37 + i++) % 1000));
+    }
+  });
+  auto queriers = spawn(2, [&](std::size_t) {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto snap = collector.window();
+      ASSERT_GE(snap.window_seconds, 0.0);
+      for (const auto& c : snap.counters) ASSERT_GE(c.per_sec, 0.0);
+      for (const auto& h : snap.histograms) {
+        ASSERT_LE(h.p50, h.p99 + 1e-9);
+        ASSERT_TRUE(std::isfinite(h.p99));
+      }
+      (void)collector.counter_rate("stress.count");
+      (void)collector.histogram_window("stress.lat_us");
+      collector.tick();  // explicit tick racing the sampler thread
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100 * kIterScale));
+
+  // Query while the writers are still running: the ring only covers
+  // buckets*bucket (~16 ms) of history, so after the joins below every frame
+  // would post-date the last increment and a zero delta would be correct.
+  // The explicit-tick querier threads can shrink the window to microseconds,
+  // so retry until a window catches an increment in flight.
+  bool saw_rate = false;
+  for (int attempt = 0; attempt < 200 && !saw_rate; ++attempt) {
+    const auto rate = collector.counter_rate("stress.count");
+    saw_rate = rate.has_value() && rate->delta > 0;
+    if (!saw_rate) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(saw_rate) << "no windowed increments observed while writers were live";
+
+  stop.store(true);
+  join_all(writers);
+  join_all(queriers);
+  collector.stop();
+
+  // The cumulative registry counter (unlike the windowed view) never forgets.
+  const auto snapshot = registry.snapshot();
+  const auto it = std::find_if(snapshot.counters.begin(), snapshot.counters.end(),
+                               [](const auto& c) { return c.name == "stress.count"; });
+  ASSERT_NE(it, snapshot.counters.end());
+  EXPECT_GT(it->value, 0u);
+}
+
+TEST(StressConcurrency, SharedThreadPoolOverlappingParallelFor) {
+  ef::util::ThreadPool pool(4);
+  constexpr std::size_t kCallers = 6;
+  const std::size_t rounds = 30 * kIterScale;
+
+  auto callers = spawn(kCallers, [&](std::size_t t) {
+    for (std::size_t round = 0; round < rounds; ++round) {
+      std::atomic<std::size_t> sum{0};
+      const std::size_t n = 1000 + t * 17 + round;
+      pool.parallel_for(
+          0, n,
+          [&](std::size_t begin, std::size_t end) {
+            std::size_t local = 0;
+            for (std::size_t i = begin; i < end; ++i) local += i;
+            sum.fetch_add(local, std::memory_order_relaxed);
+          },
+          /*grain=*/64);
+      ASSERT_EQ(sum.load(), n * (n - 1) / 2);
+    }
+  });
+  join_all(callers);
+}
+
+}  // namespace
