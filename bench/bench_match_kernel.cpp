@@ -22,6 +22,8 @@
 //   --reps N        timed sweeps per backend     (default 5 / 7 quick)
 //   --seed S        training seed                (default 7)
 //   --json PATH     write the JSON report
+//   --trace-out PATH  write the training + sweep timeline as Chrome
+//                     trace-event JSON (arms tracing at rate 1.0)
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -29,6 +31,8 @@
 
 #include "core/match_backend.hpp"
 #include "obs/build_info.hpp"
+#include "obs/timeline.hpp"
+#include "obs/timeline_export.hpp"
 #include "core/match_engine.hpp"
 #include "core/rule_system.hpp"
 #include "series/mackey_glass.hpp"
@@ -71,6 +75,13 @@ int main(int argc, char** argv) {
   const auto reps = static_cast<std::size_t>(cli.get_int("reps", quick ? 7 : 5));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
   const std::string json_path = cli.get_string("json", "");
+  const std::string trace_out = cli.get_string("trace-out", "");
+  if (!trace_out.empty() && !ef::obs::Timeline::enabled()) {
+    ef::obs::Timeline::set_sample_rate(1.0);
+  }
+  // Root trace covering training (generation spans land under it via
+  // ef::core::train) and the timed backend sweeps below.
+  const ef::obs::TraceScope bench_trace("bench.match_kernel");
 
   // The paper's Mackey-Glass embedding: D = 4 lags, horizon τ = 6.
   const auto series = ef::series::generate_mackey_glass(series_len);
@@ -118,6 +129,8 @@ int main(int argc, char** argv) {
 
   std::vector<BackendResult> results;
   for (const MatchBackend backend : kBackends) {
+    ef::obs::SpanScope sweep_span("bench.sweep");
+    sweep_span.set_arg("backend", static_cast<double>(backend));
     const MatchEngine engine(data, &one, backend);
     BackendResult r;
     r.backend = backend;
@@ -180,6 +193,15 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"match_sets_identical\": %s\n", identical ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);
+  }
+
+  if (!trace_out.empty()) {
+    if (ef::obs::write_chrome_trace_file(trace_out)) {
+      std::printf("  trace: wrote %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "bench_match_kernel: cannot write %s\n", trace_out.c_str());
+      return 2;
+    }
   }
 
   return identical ? 0 : 1;

@@ -23,6 +23,9 @@
 //   --reload-every-ms N  hot-swap the model every N ms    (default 0 = off)
 //   --seed S             probe/rule RNG seed              (default 1)
 //   --metrics-json PATH  write the obs run report as JSON
+//   --trace-out PATH     write the request timeline as Chrome trace-event
+//                        JSON (arms tracing at rate 1.0 unless
+//                        EVOFORECAST_TRACE_SAMPLE configured one)
 //   --report             print the obs table at exit
 #include <algorithm>
 #include <atomic>
@@ -36,6 +39,8 @@
 #include "core/rule.hpp"
 #include "core/rule_system.hpp"
 #include "obs/export.hpp"
+#include "obs/timeline.hpp"
+#include "obs/timeline_export.hpp"
 #include "serve/model_store.hpp"
 #include "serve/service.hpp"
 #include "util/cli.hpp"
@@ -100,6 +105,10 @@ int main(int argc, char** argv) {
   const auto horizon = static_cast<std::size_t>(cli.get_int("horizon", 1));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const auto reload_every_ms = cli.get_int("reload-every-ms", 0);
+  const std::string trace_out = cli.get_string("trace-out", "");
+  if (!trace_out.empty() && !ef::obs::Timeline::enabled()) {
+    ef::obs::Timeline::set_sample_rate(1.0);
+  }
 
   ef::serve::ModelStore store;
   store.add_system("bench", synthetic_system(rules, window, seed));
@@ -207,6 +216,15 @@ int main(int argc, char** argv) {
   if (const auto path = cli.get("metrics-json")) {
     ef::obs::write_json_file(*path);
     std::printf("  metrics    : wrote %s\n", path->c_str());
+  }
+  if (!trace_out.empty()) {
+    if (ef::obs::write_chrome_trace_file(trace_out)) {
+      std::printf("  trace      : wrote %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "bench_serve_throughput: cannot write '%s'\n",
+                   trace_out.c_str());
+      return 1;
+    }
   }
   if (cli.get_bool("report")) ef::obs::print_report();
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate Prometheus text exposition format 0.0.4 (used by CI).
 
-Usage: check_prometheus.py [FILE]       (reads stdin when FILE is omitted)
+Reads stdin when FILE is omitted.
 
 Structural checks on a scrape of efserve's GET /metrics:
   * every sample line parses as  name{labels} value  with a legal metric
@@ -13,9 +13,19 @@ Structural checks on a scrape of efserve's GET /metrics:
     end with an le="+Inf" bucket, and that bucket equals <family>_count
   * le label values are parseable floats or +Inf
 
-Importable: validate(text) returns a list of problem strings (empty = ok).
-The CLI prints each problem and exits 1 on any, 2 on usage/IO errors —
-always a readable message, never a traceback.
+With --windowed, additionally require windowed coverage: the collector
+window must be live (evoforecast_window_seconds > 0) and every histogram
+family must expose windowed quantile gauges (<family>_window{q="..."}) and
+a windowed rate (<family>_window_rate) — catching histograms added to the
+registry without showing up in the windowed section.
+
+Usage: check_prometheus.py [--windowed] [FILE]
+
+Importable: validate(text) and validate_windowed(text) return lists of
+problem strings (empty = ok); validate_windowed reports nothing when the
+window is not live yet (callers poll for evoforecast_window_seconds > 0
+first). The CLI prints each problem and exits 1 on any, 2 on usage/IO
+errors — always a readable message, never a traceback.
 """
 import re
 import sys
@@ -141,13 +151,65 @@ def validate(text):
     return problems
 
 
+def validate_windowed(text):
+    """Cross-check that every histogram also appears in windowed form.
+
+    The WindowedCollector derives <family>_window{q=...} gauges and a
+    <family>_window_rate from every histogram in its newest frame, so a
+    histogram missing from the windowed section means it was registered but
+    never reached a collector frame — exactly the regression this catches.
+    Returns [] when the window is not live yet (no frames: nothing windowed
+    is expected); callers wanting a hard requirement poll for
+    evoforecast_window_seconds > 0 before calling.
+    """
+    problems = []
+    window_seconds = 0.0
+    histogram_families = set()
+    window_quantiles = set()
+    window_rates = set()
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) == 4 and parts[3] == "histogram":
+                histogram_families.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        match = SAMPLE_RE.match(line)
+        if not match:
+            continue  # validate() reports malformed lines
+        name = match.group("name")
+        if name == "evoforecast_window_seconds":
+            try:
+                window_seconds = _parse_value(match.group("value"))
+            except ValueError:
+                pass
+        elif name.endswith("_window"):
+            window_quantiles.add(name[: -len("_window")])
+        elif name.endswith("_window_rate"):
+            window_rates.add(name[: -len("_window_rate")])
+    if not window_seconds > 0.0:
+        return problems
+    for family in sorted(histogram_families):
+        if family not in window_quantiles:
+            problems.append(
+                f"{family}: histogram has no windowed quantiles ({family}_window)")
+        if family not in window_rates:
+            problems.append(
+                f"{family}: histogram has no windowed rate ({family}_window_rate)")
+    return problems
+
+
 def main():
-    if len(sys.argv) > 2:
+    argv = sys.argv[1:]
+    windowed = "--windowed" in argv
+    argv = [a for a in argv if a != "--windowed"]
+    if len(argv) > 1:
         print(__doc__)
         return 2
     try:
-        if len(sys.argv) == 2:
-            with open(sys.argv[1]) as f:
+        if len(argv) == 1:
+            with open(argv[0]) as f:
                 text = f.read()
         else:
             text = sys.stdin.read()
@@ -156,6 +218,17 @@ def main():
         return 2
 
     problems = validate(text)
+    if windowed:
+        # The flag makes windowed coverage a hard requirement: a scrape with
+        # no live window fails instead of vacuously passing.
+        live = re.search(
+            r"^evoforecast_window_seconds ([0-9.eE+-]+)", text, re.MULTILINE)
+        if live is None or not float(live.group(1)) > 0.0:
+            problems.append(
+                "--windowed: collector window not live "
+                "(evoforecast_window_seconds missing or 0)")
+        else:
+            problems += validate_windowed(text)
     if problems:
         for problem in problems:
             print(f"  [FAIL] {problem}")

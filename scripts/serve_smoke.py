@@ -3,18 +3,24 @@
 
 Usage: serve_smoke.py EFSERVE_BINARY MODEL_EFR [EFSTAT_BINARY]
 
-Starts efserve on an ephemeral port with fast polling, then exercises the
-JSON-lines protocol end to end: ping, cold miss, warm cache hit, explicit
-abstention, bad requests (connection must survive), on-disk model swap
-(version bump, identical values), the metrics/events observability verbs,
-a raw HTTP GET /metrics scrape (validated with check_prometheus), a
-SIGUSR1 flight-recorder dump (server keeps serving), optionally one
-efstat --once --json poll, and graceful SIGTERM shutdown.
-Exits non-zero on the first failed check.
+Starts efserve on an ephemeral port with fast polling and timeline tracing
+armed (--trace-sample 1, --trace-out, a sub-microsecond --slow-request-us
+so every request becomes a slow exemplar), then exercises the JSON-lines
+protocol end to end: ping, cold miss, warm cache hit, explicit abstention,
+bad requests (connection must survive), on-disk model swap (version bump,
+identical values), the metrics/events/trace observability verbs (trace
+document validated with check_trace_json), windowed coverage of every
+histogram once the collector window is live, a raw HTTP GET /metrics
+scrape (validated with check_prometheus), a SIGUSR1 flight-recorder dump
+(server keeps serving), optionally one efstat --once --json poll plus an
+efstat --trace breakdown, graceful SIGTERM shutdown, and finally the
+--trace-out file itself (well-formed, >= 4 span names in one request,
+slow exemplars present). Exits non-zero on the first failed check.
 """
 import json
 import math
 import os
+import re
 import shutil
 import signal
 import socket
@@ -25,6 +31,7 @@ import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import check_prometheus  # noqa: E402  (sibling module, no package)
+import check_trace_json  # noqa: E402
 
 FAILURES = []
 
@@ -103,7 +110,7 @@ def http_get(port, path):
     return status, body.decode()
 
 
-def launch_server(efserve, model_path, attempts=3):
+def launch_server(efserve, model_path, trace_path, attempts=3):
     """Start efserve on an ephemeral port and wait for it to report the port.
 
     The kernel hands out the port (--port 0), so a clean bind cannot collide
@@ -117,7 +124,12 @@ def launch_server(efserve, model_path, attempts=3):
     """
     for attempt in range(1, attempts + 1):
         proc = subprocess.Popen(
-            [efserve, f"demo={model_path}", "--port", "0", "--poll-ms", "100"],
+            [efserve, f"demo={model_path}", "--port", "0", "--poll-ms", "100",
+             # Timeline tracing armed for the whole run; the tiny slow
+             # threshold turns every request into a slow exemplar so the
+             # exemplar path is exercised deterministically.
+             "--trace-sample", "1", "--trace-out", trace_path,
+             "--slow-request-us", "0.001"],
             stdout=subprocess.PIPE,
             stderr=subprocess.PIPE,
             text=True,
@@ -153,8 +165,9 @@ def main():
         return 2
     efserve, model_path = sys.argv[1], sys.argv[2]
     efstat = sys.argv[3] if len(sys.argv) == 4 else None
+    trace_path = model_path + ".trace.json"
 
-    proc, port, stderr_drain = launch_server(efserve, model_path)
+    proc, port, stderr_drain = launch_server(efserve, model_path, trace_path)
     if proc is None:
         print("FAIL: server never reported its port")
         return 1
@@ -270,6 +283,42 @@ def main():
         check("events carry serve.model.reload", "serve.model.reload" in kinds,
               sorted(kinds))
 
+        # Trace verb: embedded Chrome trace-event document, structurally
+        # valid, with the request pipeline (>= 4 distinct span names in one
+        # trace) and slow exemplars (every request is "slow" at 0.001 us).
+        trace = client.request('{"cmd":"trace"}')
+        check("trace verb", trace.get("ok") is True, trace.get("_raw"))
+        check("trace verb reports enabled", trace.get("enabled") is True, trace)
+        doc = trace.get("trace", {})
+        tevents = doc.get("traceEvents")
+        check("trace verb has traceEvents", isinstance(tevents, list)
+              and len(tevents) > 0, trace.get("_raw"))
+        problems = check_trace_json.validate(doc, min_span_names=4,
+                                             require_slow=True)
+        check("trace verb document valid", not problems, problems[:3])
+        names = {e.get("name") for e in tevents or [] if isinstance(e, dict)}
+        check("trace has serve.request spans", "serve.request" in names,
+              sorted(names)[:10])
+        check("trace has batcher pipeline spans",
+              {"serve.queue", "serve.batch", "serve.match"} <= names,
+              sorted(names)[:10])
+
+        # Windowed coverage: once the collector window is live every
+        # histogram must expose windowed quantiles and a rate. Poll — the
+        # collector frames once per second, and a histogram registered
+        # after the newest frame only shows up windowed in the next one.
+        problems = ["collector window never went live"]
+        for _ in range(100):
+            text = client.request('{"cmd":"metrics"}').get("exposition", "")
+            live = re.search(
+                r"^evoforecast_window_seconds ([0-9.eE+-]+)", text, re.MULTILINE)
+            if live and float(live.group(1)) > 0:
+                problems = check_prometheus.validate_windowed(text)
+                if not problems:
+                    break
+            time.sleep(0.2)
+        check("every histogram appears windowed", not problems, problems[:3])
+
         # SIGUSR1: flight recorder to stderr between markers, report to
         # stdout, server keeps answering.
         begin_before = len(stderr_drain.lines)
@@ -315,6 +364,15 @@ def main():
             except json.JSONDecodeError:
                 check("efstat output is JSON", False, stat.stdout[:120])
 
+            stat_trace = subprocess.run(
+                [efstat, "--port", str(port), "--trace"],
+                capture_output=True, text=True, timeout=30)
+            check("efstat --trace exits 0", stat_trace.returncode == 0,
+                  stat_trace.stderr)
+            check("efstat --trace shows stage breakdown",
+                  "queue" in stat_trace.stdout and "match" in stat_trace.stdout,
+                  stat_trace.stdout[:200])
+
         client.close()
     finally:
         proc.send_signal(signal.SIGTERM)
@@ -324,6 +382,22 @@ def main():
             proc.kill()
             check("graceful shutdown", False, "timed out")
     check("clean exit code", proc.returncode == 0, proc.returncode)
+
+    # --trace-out is written at shutdown: validate the file the same way
+    # Perfetto would load it. Every request was a slow exemplar, so the
+    # full span trees must be present.
+    check("trace file written", os.path.exists(trace_path), trace_path)
+    if os.path.exists(trace_path):
+        try:
+            with open(trace_path) as f:
+                file_doc = json.load(f)
+        except json.JSONDecodeError as err:
+            file_doc = None
+            check("trace file is JSON", False, str(err))
+        if file_doc is not None:
+            problems = check_trace_json.validate(file_doc, min_span_names=4,
+                                                 require_slow=True)
+            check("trace file valid", not problems, problems[:3])
 
     if FAILURES:
         print(f"{len(FAILURES)} check(s) failed: {FAILURES}")

@@ -8,6 +8,7 @@
 #include "core/mutation.hpp"
 #include "core/selection.hpp"
 #include "obs/macros.hpp"
+#include "obs/timeline.hpp"
 
 namespace ef::core {
 
@@ -72,6 +73,9 @@ SteadyStateEngine::SteadyStateEngine(const WindowDataset& data, EvolutionConfig 
 
 bool SteadyStateEngine::step() {
   EVOFORECAST_TRACE("core.evolution.step");
+  // One timeline span per generation when a core.train trace is live; a
+  // single thread-local check otherwise.
+  const obs::SpanScope generation_span("train.generation");
   ++generation_;
 
   const ParentPair parents = select_parents(population_, config_.tournament_rounds, rng_);

@@ -8,6 +8,7 @@
 #include "core/mutation.hpp"
 #include "core/selection.hpp"
 #include "obs/macros.hpp"
+#include "obs/timeline.hpp"
 
 namespace ef::core {
 
@@ -48,6 +49,7 @@ void GenerationalEngine::emit_telemetry() {
 
 std::size_t GenerationalEngine::step() {
   EVOFORECAST_TRACE("core.generational.step");
+  const obs::SpanScope generation_span("train.generation");
   ++generation_;
 
   // Elites: indices of the top-k by fitness, copied unchanged.

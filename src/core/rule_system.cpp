@@ -11,6 +11,7 @@
 #include "core/evolution.hpp"
 #include "core/match_backend.hpp"
 #include "obs/macros.hpp"
+#include "obs/timeline.hpp"
 #include "util/rng.hpp"
 
 namespace ef::core {
@@ -360,6 +361,7 @@ void RuleSystem::describe(std::ostream& out, std::size_t top_n) const {
 TrainResult extend_rule_system(const RuleSystem& existing, const WindowDataset& train,
                                const RuleSystemConfig& config, util::ThreadPool* pool) {
   EVOFORECAST_TRACE("core.train.extend");
+  const obs::TraceScope timeline("core.train");
   config.validate();
 
   SteadyStateEngine engine(train, config.evolution,
@@ -400,10 +402,16 @@ TrainResult train_islands(const WindowDataset& train, const RuleSystemConfig& co
   // sentinel pool) so a pool worker never blocks on nested parallel_for.
   static util::ThreadPool inline_pool(1);
   std::vector<std::vector<Rule>> islands(config.max_executions);
+  // Pool workers adopt the caller's trace context so island execution spans
+  // land in the same timeline despite the thread hop.
+  const obs::TraceContext trace_ctx = obs::current_context();
   tp.parallel_for(
       0, config.max_executions,
       [&](std::size_t begin, std::size_t end) {
+        const obs::ContextGuard trace_guard(trace_ctx);
         for (std::size_t exec = begin; exec < end; ++exec) {
+          obs::SpanScope execution_span("train.execution");
+          execution_span.set_arg("execution", static_cast<double>(exec + 1));
           EvolutionConfig run_config = config.evolution;
           run_config.seed = seeds[exec];
           SteadyStateEngine engine(train, run_config, &inline_pool);
@@ -441,6 +449,8 @@ TrainResult train_sequential(const WindowDataset& train, const RuleSystemConfig&
   util::Rng seeder(config.evolution.seed);
   for (std::size_t exec = 0; exec < config.max_executions; ++exec) {
     EVOFORECAST_TRACE("core.train.execution");
+    obs::SpanScope execution_span("train.execution");
+    execution_span.set_arg("execution", static_cast<double>(exec + 1));
     EvolutionConfig run_config = config.evolution;
     // First execution uses the configured seed verbatim (reproducing a
     // single-run experiment exactly); later ones fork from it.
@@ -469,6 +479,10 @@ TrainResult train_sequential(const WindowDataset& train, const RuleSystemConfig&
 }  // namespace
 
 TrainResult train(const WindowDataset& data, const TrainOptions& options) {
+  // Timeline root for the whole training run: execution and generation
+  // spans below nest under it (child span when a request trace is already
+  // active — e.g. future in-server evolution).
+  const obs::TraceScope timeline("core.train");
   RuleSystemConfig config = options.config;
   if (options.seed) config.evolution.seed = *options.seed;
   config.validate();

@@ -1,0 +1,349 @@
+#include "obs/timeline.hpp"
+
+#if EVOFORECAST_OBS_ENABLED
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace ef::obs {
+namespace {
+
+constexpr std::size_t kDefaultRingCapacity = 8192;
+constexpr std::size_t kSlowTraceCapacity = 128;
+
+/// One ring slot. Every field is an atomic so the seqlock read side is
+/// data-race-free under TSan (fences are invisible to it); the writer is
+/// always the ring-owning thread, so relaxed stores bracketed by the seq
+/// release are enough. An odd `seq` marks a slot mid-write.
+struct Slot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> trace_id{0};
+  std::atomic<std::uint64_t> span_id{0};
+  std::atomic<std::uint64_t> parent_id{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::int64_t> t_start_us{0};
+  std::atomic<std::int64_t> dur_us{0};
+  std::atomic<const char*> arg_key{nullptr};
+  std::atomic<double> arg_value{0.0};
+  std::atomic<bool> sampled{false};
+};
+
+/// Fixed-capacity span ring with exactly one writer (the owning thread).
+/// Readers (snapshot) come from any thread and tolerate concurrent writes
+/// via the per-slot seqlock.
+struct Ring {
+  Ring(std::size_t capacity, std::uint32_t index)
+      : slots(capacity), thread_index(index) {}
+
+  std::vector<Slot> slots;  ///< fixed at construction; never resized
+  std::atomic<std::uint64_t> head{0};
+  std::uint32_t thread_index;
+};
+
+double env_double(const char* name, double fallback) {
+  const char* text = std::getenv(name);
+  if (!text || !*text) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text) return fallback;
+  return value;
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* text = std::getenv(name);
+  if (!text || !*text) return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || value == 0) return fallback;
+  return static_cast<std::size_t>(value);
+}
+
+struct State {
+  std::atomic<bool> enabled{false};
+  /// sample_rate mapped onto [0, 2^32]: a trace is head-sampled when a
+  /// 32-bit uniform draw lands strictly below this threshold.
+  std::atomic<std::uint64_t> sample_threshold{0};
+  std::atomic<std::uint64_t> next_id{1};
+  std::atomic<std::size_t> ring_capacity{kDefaultRingCapacity};
+
+  std::mutex mutex;  ///< guards rings / free_rings / slow / rate (cold paths)
+  std::vector<std::shared_ptr<Ring>> rings;
+  std::vector<std::shared_ptr<Ring>> free_rings;  ///< rings of exited threads
+  std::uint32_t next_thread_index = 0;
+  std::deque<TimelineSnapshot::SlowTrace> slow;
+  double rate = 0.0;
+
+  State() {
+    set_rate(env_double("EVOFORECAST_TRACE_SAMPLE", 0.0));
+    ring_capacity.store(env_size("EVOFORECAST_TRACE_CAPACITY", kDefaultRingCapacity),
+                        std::memory_order_relaxed);
+  }
+
+  void set_rate(double r) {
+    if (r < 0.0) r = 0.0;
+    if (r > 1.0) r = 1.0;
+    const std::lock_guard<std::mutex> lock(mutex);
+    rate = r;
+    sample_threshold.store(
+        static_cast<std::uint64_t>(r * 4294967296.0 /* 2^32 */),
+        std::memory_order_relaxed);
+    enabled.store(r > 0.0, std::memory_order_relaxed);
+  }
+};
+
+State& state() {
+  static State* instance = new State();  // leaked: emitters may outlive main
+  return *instance;
+}
+
+thread_local TraceContext t_context;
+
+/// Thread-owned ring handle: acquired lazily on first emit, returned to the
+/// free pool at thread exit so short-lived connection threads recycle rings
+/// instead of growing the registry without bound. The registry's shared_ptr
+/// keeps a parked ring's spans snapshot-able after its thread is gone.
+struct RingHandle {
+  std::shared_ptr<Ring> ring;
+
+  ~RingHandle() {
+    if (!ring) return;
+    State& s = state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.free_rings.push_back(std::move(ring));
+  }
+};
+
+thread_local RingHandle t_ring;
+
+Ring& local_ring() {
+  if (!t_ring.ring) {
+    State& s = state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.free_rings.empty()) {
+      t_ring.ring = std::move(s.free_rings.back());
+      s.free_rings.pop_back();
+    } else {
+      t_ring.ring = std::make_shared<Ring>(
+          s.ring_capacity.load(std::memory_order_relaxed), s.next_thread_index++);
+      s.rings.push_back(t_ring.ring);
+    }
+  }
+  return *t_ring.ring;
+}
+
+std::uint64_t next_id() {
+  return state().next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Cheap per-thread xorshift64* for the head-sample draw; seeded from the
+/// global id counter so threads diverge.
+std::uint32_t sample_draw() {
+  thread_local std::uint64_t seed = 0;
+  if (seed == 0) seed = 0x9e3779b97f4a7c15ull ^ (next_id() * 0xbf58476d1ce4e5b9ull);
+  seed ^= seed >> 12;
+  seed ^= seed << 25;
+  seed ^= seed >> 27;
+  return static_cast<std::uint32_t>((seed * 0x2545f4914f6cdd1dull) >> 32);
+}
+
+bool draw_sampled() {
+  const std::uint64_t threshold =
+      state().sample_threshold.load(std::memory_order_relaxed);
+  if (threshold >= 4294967296ull) return true;  // rate == 1.0: skip the draw
+  return sample_draw() < threshold;
+}
+
+void record(const TraceContext& ctx, std::uint64_t span_id, std::uint64_t parent_id,
+            const char* name, std::int64_t t_start_us, std::int64_t dur_us,
+            const char* arg_key, double arg_value) {
+  Ring& ring = local_ring();
+  const std::uint64_t index =
+      ring.head.fetch_add(1, std::memory_order_relaxed) % ring.slots.size();
+  Slot& slot = ring.slots[index];
+  const std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_release);  // odd: mid-write
+  slot.trace_id.store(ctx.trace_id, std::memory_order_relaxed);
+  slot.span_id.store(span_id, std::memory_order_relaxed);
+  slot.parent_id.store(parent_id, std::memory_order_relaxed);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.t_start_us.store(t_start_us, std::memory_order_relaxed);
+  slot.dur_us.store(dur_us, std::memory_order_relaxed);
+  slot.arg_key.store(arg_key, std::memory_order_relaxed);
+  slot.arg_value.store(arg_value, std::memory_order_relaxed);
+  slot.sampled.store(ctx.sampled, std::memory_order_relaxed);
+  slot.seq.store(seq + 2, std::memory_order_release);  // even: published
+}
+
+}  // namespace
+
+bool Timeline::enabled() noexcept {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+void Timeline::set_sample_rate(double rate) { state().set_rate(rate); }
+
+double Timeline::sample_rate() {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.rate;
+}
+
+void Timeline::set_ring_capacity(std::size_t spans) {
+  if (spans == 0) spans = 1;
+  state().ring_capacity.store(spans, std::memory_order_relaxed);
+}
+
+std::size_t Timeline::ring_capacity() {
+  return state().ring_capacity.load(std::memory_order_relaxed);
+}
+
+void Timeline::mark_slow(std::uint64_t trace_id, double us) {
+  if (trace_id == 0) return;
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.slow.push_back({trace_id, us});
+  while (s.slow.size() > kSlowTraceCapacity) s.slow.pop_front();
+}
+
+TimelineSnapshot Timeline::snapshot() {
+  State& s = state();
+  std::vector<std::shared_ptr<Ring>> rings;
+  TimelineSnapshot snap;
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    rings = s.rings;  // copy the shared_ptrs; slot reads happen unlocked
+    snap.slow.assign(s.slow.begin(), s.slow.end());
+  }
+  for (const std::shared_ptr<Ring>& ring : rings) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::size_t capacity = ring->slots.size();
+    const std::uint64_t count = head < capacity ? head : capacity;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const Slot& slot = ring->slots[i % capacity];
+      const std::uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+      if (seq_before & 1) continue;  // mid-write
+      TimelineSpan span;
+      span.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      span.span_id = slot.span_id.load(std::memory_order_relaxed);
+      span.parent_id = slot.parent_id.load(std::memory_order_relaxed);
+      const char* name = slot.name.load(std::memory_order_relaxed);
+      span.name = name ? name : "";
+      span.t_start_us = slot.t_start_us.load(std::memory_order_relaxed);
+      span.dur_us = slot.dur_us.load(std::memory_order_relaxed);
+      span.arg_key = slot.arg_key.load(std::memory_order_relaxed);
+      span.arg_value = slot.arg_value.load(std::memory_order_relaxed);
+      span.sampled = slot.sampled.load(std::memory_order_relaxed);
+      span.thread_index = ring->thread_index;
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != seq_before) continue;
+      if (span.trace_id == 0 || span.span_id == 0) continue;  // never written
+      snap.spans.push_back(span);
+    }
+  }
+  return snap;
+}
+
+void Timeline::reset() {
+  State& s = state();
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    rings = s.rings;
+    s.slow.clear();
+  }
+  for (const std::shared_ptr<Ring>& ring : rings) {
+    for (Slot& slot : ring->slots) {
+      const std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+      slot.seq.store(seq + 1, std::memory_order_release);
+      slot.trace_id.store(0, std::memory_order_relaxed);
+      slot.span_id.store(0, std::memory_order_relaxed);
+      slot.seq.store(seq + 2, std::memory_order_release);
+    }
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+std::int64_t Timeline::now_us() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(clock::now() - epoch)
+      .count();
+}
+
+std::uint64_t Timeline::emit(const TraceContext& ctx, const char* name,
+                             std::int64_t t_start_us, std::int64_t t_end_us,
+                             std::uint64_t parent_id, const char* arg_key,
+                             double arg_value) {
+  if (!ctx.active()) return 0;
+  const std::uint64_t span_id = next_id();
+  if (parent_id == 0) parent_id = ctx.span_id;
+  const std::int64_t dur = t_end_us > t_start_us ? t_end_us - t_start_us : 0;
+  record(ctx, span_id, parent_id, name, t_start_us, dur, arg_key, arg_value);
+  return span_id;
+}
+
+TraceContext current_context() noexcept { return t_context; }
+
+TraceScope::TraceScope(const char* name) noexcept : prev_(t_context), name_(name) {
+  if (prev_.active()) {
+    // Nested trace: behave as a child span of the enclosing trace.
+    span_id_ = next_id();
+    t_start_us_ = Timeline::now_us();
+    t_context.span_id = span_id_;
+    return;
+  }
+  if (!Timeline::enabled()) return;  // the whole cost when tracing is off
+  span_id_ = next_id();
+  t_start_us_ = Timeline::now_us();
+  t_context.trace_id = next_id();
+  t_context.span_id = span_id_;
+  t_context.sampled = draw_sampled();
+}
+
+TraceScope::~TraceScope() {
+  if (span_id_ == 0) return;
+  const TraceContext ctx{t_context.trace_id, prev_.span_id, t_context.sampled};
+  record(ctx, span_id_, prev_.span_id, name_, t_start_us_,
+         Timeline::now_us() - t_start_us_, nullptr, 0.0);
+  t_context = prev_;
+}
+
+TraceContext TraceScope::context() const noexcept {
+  if (span_id_ == 0) return {};
+  return TraceContext{t_context.trace_id, span_id_, t_context.sampled};
+}
+
+std::uint64_t TraceScope::trace_id() const noexcept {
+  return span_id_ == 0 ? 0 : t_context.trace_id;
+}
+
+SpanScope::SpanScope(const char* name) noexcept : name_(name) {
+  if (!t_context.active()) return;
+  span_id_ = next_id();
+  parent_id_ = t_context.span_id;
+  t_start_us_ = Timeline::now_us();
+  t_context.span_id = span_id_;
+}
+
+SpanScope::~SpanScope() {
+  if (span_id_ == 0) return;
+  const TraceContext ctx{t_context.trace_id, parent_id_, t_context.sampled};
+  record(ctx, span_id_, parent_id_, name_, t_start_us_,
+         Timeline::now_us() - t_start_us_, arg_key_, arg_value_);
+  t_context.span_id = parent_id_;
+}
+
+ContextGuard::ContextGuard(const TraceContext& ctx) noexcept : prev_(t_context) {
+  t_context = ctx;
+}
+
+ContextGuard::~ContextGuard() { t_context = prev_; }
+
+}  // namespace ef::obs
+
+#endif  // EVOFORECAST_OBS_ENABLED

@@ -1,0 +1,135 @@
+#include "obs/timeline_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ef::obs {
+namespace {
+
+std::string format_double(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+/// Minimal escape for span names/arg keys (string literals in practice, but
+/// the format must stay valid whatever they contain).
+std::string escape(const char* text) {
+  std::string out;
+  for (const char* p = text; p && *p; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", static_cast<unsigned>(c));
+      out += buffer;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const TimelineSnapshot& snapshot) {
+  // Slow exemplars are kept even when their head-sample draw said no.
+  std::unordered_map<std::uint64_t, double> slow;
+  for (const TimelineSnapshot::SlowTrace& s : snapshot.slow) slow[s.trace_id] = s.us;
+
+  std::vector<const TimelineSpan*> kept;
+  kept.reserve(snapshot.spans.size());
+  std::unordered_set<std::uint64_t> span_ids;
+  for (const TimelineSpan& span : snapshot.spans) {
+    if (span.sampled || slow.count(span.trace_id) != 0) {
+      kept.push_back(&span);
+      span_ids.insert(span.span_id);
+    }
+  }
+  // Perfetto requires nothing here, but check_trace_json.py asserts monotone
+  // timestamps and resolvable parents — sort, and re-root orphans whose
+  // parent span was overwritten in the ring before the snapshot.
+  std::sort(kept.begin(), kept.end(), [](const TimelineSpan* a, const TimelineSpan* b) {
+    if (a->t_start_us != b->t_start_us) return a->t_start_us < b->t_start_us;
+    return a->span_id < b->span_id;
+  });
+
+  // One instant marker per slow trace with spans in view — the visual anchor
+  // the serve.slow_request flight-recorder event's trace_id points at — sits
+  // at the end of the span tree it annotates, which is mid-stream when other
+  // traces run later. Compute marker positions first, then emit spans and
+  // markers as one ts-sorted merge so the stream stays monotone end to end.
+  std::unordered_map<std::uint64_t, std::int64_t> slow_end;
+  for (const TimelineSpan* span : kept) {
+    if (slow.count(span->trace_id) != 0) {
+      std::int64_t& end = slow_end[span->trace_id];
+      end = std::max(end, span->t_start_us + span->dur_us);
+    }
+  }
+  std::vector<std::pair<std::int64_t, std::uint64_t>> markers;
+  markers.reserve(slow_end.size());
+  for (const auto& [trace_id, end] : slow_end) markers.emplace_back(end, trace_id);
+  std::sort(markers.begin(), markers.end());
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit_marker = [&](std::int64_t end, std::uint64_t trace_id) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"serve.slow_request\",\"ph\":\"i\",\"s\":\"g\"";
+    out += ",\"ts\":" + std::to_string(end);
+    out += ",\"pid\":1,\"tid\":0";
+    out += ",\"args\":{\"trace_id\":" + std::to_string(trace_id);
+    out += ",\"slow_us\":" + format_double(slow[trace_id]) + "}}";
+  };
+  std::size_t next_marker = 0;
+  for (const TimelineSpan* span : kept) {
+    while (next_marker < markers.size() &&
+           markers[next_marker].first < span->t_start_us) {
+      emit_marker(markers[next_marker].first, markers[next_marker].second);
+      ++next_marker;
+    }
+    if (!first) out += ",";
+    first = false;
+    const std::uint64_t parent =
+        span->parent_id != 0 && span_ids.count(span->parent_id) == 0 ? 0
+                                                                     : span->parent_id;
+    out += "{\"name\":\"" + escape(span->name) + "\",\"ph\":\"X\"";
+    out += ",\"ts\":" + std::to_string(span->t_start_us);
+    out += ",\"dur\":" + std::to_string(span->dur_us);
+    out += ",\"pid\":1,\"tid\":" + std::to_string(span->thread_index);
+    out += ",\"args\":{\"trace_id\":" + std::to_string(span->trace_id);
+    out += ",\"span_id\":" + std::to_string(span->span_id);
+    out += ",\"parent_id\":" + std::to_string(parent);
+    if (span->arg_key) {
+      out += ",\"" + escape(span->arg_key) + "\":" + format_double(span->arg_value);
+    }
+    const auto it = slow.find(span->trace_id);
+    if (it != slow.end()) {
+      out += ",\"slow_us\":" + format_double(it->second);
+    }
+    out += "}}";
+  }
+  while (next_marker < markers.size()) {
+    emit_marker(markers[next_marker].first, markers[next_marker].second);
+    ++next_marker;
+  }
+  out += "]}";
+  return out;
+}
+
+std::string chrome_trace_json() { return to_chrome_trace_json(Timeline::snapshot()); }
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  file << chrome_trace_json() << "\n";
+  return static_cast<bool>(file);
+}
+
+}  // namespace ef::obs

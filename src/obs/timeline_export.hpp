@@ -1,0 +1,32 @@
+// obs/timeline_export.hpp — Chrome trace-event JSON export of the timeline.
+//
+// Renders a TimelineSnapshot as the Chrome trace-event format ("JSON object
+// format" with a traceEvents array), which both Perfetto
+// (https://ui.perfetto.dev) and chrome://tracing open directly. Export is
+// where sampling is enforced: a trace appears in the output when its head
+// sample drew in (span.sampled) OR it was force-kept by Timeline::mark_slow
+// — the slow-request exemplar path. Spans whose parent has already been
+// overwritten in the ring are re-parented to the trace root so every
+// exported parent id resolves.
+//
+// These functions are cold-path and compiled unconditionally; under
+// EVOFORECAST_OBS=OFF they see only empty snapshots.
+#pragma once
+
+#include <string>
+
+#include "obs/timeline.hpp"
+
+namespace ef::obs {
+
+/// Render `snapshot` as a Chrome trace-event JSON document.
+[[nodiscard]] std::string to_chrome_trace_json(const TimelineSnapshot& snapshot);
+
+/// Snapshot the live timeline and render it.
+[[nodiscard]] std::string chrome_trace_json();
+
+/// Snapshot the live timeline and write it to `path`. Returns false when the
+/// file cannot be opened/written.
+bool write_chrome_trace_file(const std::string& path);
+
+}  // namespace ef::obs

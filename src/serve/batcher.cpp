@@ -25,6 +25,8 @@ std::future<MicroBatcher::Result> MicroBatcher::submit(
   item.model = std::move(model);
   item.window = std::move(window);
   item.agg = agg;
+  item.trace = obs::current_context();
+  if (item.trace.active()) item.t_enqueue_us = obs::Timeline::now_us();
   std::future<Result> future = item.promise.get_future();
   {
     const std::lock_guard lock(mutex_);
@@ -77,6 +79,15 @@ void MicroBatcher::dispatcher_loop() {
     lock.unlock();
     EVOFORECAST_HISTOGRAM("serve.batch.size", batch.size());
     EVOFORECAST_COUNT("serve.batch.dispatches", 1);
+    // Queue-wait spans are retrospective: each traced item's wait is only
+    // known now that the dispatcher picked its batch up.
+    std::int64_t t_dispatch_us = 0;
+    for (const Item& item : batch) {
+      if (!item.trace.active()) continue;
+      if (t_dispatch_us == 0) t_dispatch_us = obs::Timeline::now_us();
+      obs::Timeline::emit(item.trace, "serve.queue", item.t_enqueue_us,
+                          t_dispatch_us);
+    }
     run_batch(std::move(batch), pool_);
     lock.lock();
   }
@@ -126,22 +137,45 @@ void MicroBatcher::run_batch(std::vector<Item> batch, util::ThreadPool* pool) {
 
     std::vector<double> flat;
     flat.reserve(group_size * width);
+    bool traced = false;
     for (std::size_t k = group_begin; k < group_end; ++k) {
       const Item& item = batch[order[k]];
       flat.insert(flat.end(), item.window.begin(), item.window.end());
+      traced = traced || item.trace.active();
     }
 
+    const std::int64_t t_group_us = traced ? obs::Timeline::now_us() : 0;
+    std::int64_t t_match0_us = 0;
+    std::int64_t t_match1_us = 0;
     try {
       const auto& model = *head.model;
+      if (traced) t_match0_us = obs::Timeline::now_us();
       const std::vector<core::Prediction> results =
           model.index() ? model.index()->forecast_batch(flat, width, head.agg, pool)
                         : model.system().forecast_batch(flat, width, head.agg, pool);
+      if (traced) t_match1_us = obs::Timeline::now_us();
       for (std::size_t k = group_begin; k < group_end; ++k) {
         batch[order[k]].promise.set_value(results[k - group_begin]);
       }
     } catch (...) {
+      if (traced && t_match1_us == 0) t_match1_us = obs::Timeline::now_us();
       for (std::size_t k = group_begin; k < group_end; ++k) {
         batch[order[k]].promise.set_exception(std::current_exception());
+      }
+    }
+    if (traced) {
+      // Per traced request: a serve.batch span (the group it rode in, with
+      // the group size as an arg) parenting the shared serve.match kernel
+      // span — both under the request's own trace id.
+      const std::int64_t t_end_us = obs::Timeline::now_us();
+      for (std::size_t k = group_begin; k < group_end; ++k) {
+        const Item& item = batch[order[k]];
+        if (!item.trace.active()) continue;
+        const std::uint64_t batch_span =
+            obs::Timeline::emit(item.trace, "serve.batch", t_group_us, t_end_us, 0,
+                                "batch", static_cast<double>(group_size));
+        obs::Timeline::emit(item.trace, "serve.match", t_match0_us, t_match1_us,
+                            batch_span);
       }
     }
     group_begin = group_end;

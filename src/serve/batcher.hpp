@@ -25,6 +25,7 @@
 
 #include "core/aggregation.hpp"
 #include "core/prediction.hpp"
+#include "obs/timeline.hpp"
 #include "serve/model_store.hpp"
 #include "util/thread_pool.hpp"
 
@@ -66,6 +67,12 @@ class MicroBatcher {
     std::vector<double> window;
     core::Aggregation agg = core::Aggregation::kMean;
     std::promise<Result> promise;
+    // Timeline handoff across the thread hop: the submitting request's trace
+    // context plus its enqueue time, so the dispatcher can emit the
+    // retrospective serve.queue / serve.batch / serve.match spans under the
+    // right trace id. Inactive (all-zero) when tracing is off.
+    obs::TraceContext trace;
+    std::int64_t t_enqueue_us = 0;
   };
 
   void dispatcher_loop();

@@ -26,6 +26,11 @@
 //   --batch-delay-us N  micro-batch coalescing delay (default 200; 0 = no batching)
 //   --threads N         prediction thread-pool size (default: hardware)
 //   --slow-request-us X slow-request event threshold in µs (default 50000; 0 = off)
+//   --trace-sample X    timeline trace sample rate 0..1 (default: the
+//                       EVOFORECAST_TRACE_SAMPLE environment variable)
+//   --trace-out PATH    write the timeline as Chrome trace-event JSON on
+//                       exit and on SIGUSR1 (arms tracing at rate 1.0 when
+//                       no rate was configured)
 //   --report / --metrics-json PATH / --metrics-csv PATH  on exit
 #include <atomic>
 #include <chrono>
@@ -40,6 +45,8 @@
 #include "obs/export.hpp"
 #include "obs/macros.hpp"
 #include "obs/run_report.hpp"
+#include "obs/timeline.hpp"
+#include "obs/timeline_export.hpp"
 #include "obs/window.hpp"
 #include "serve/model_store.hpp"
 #include "serve/service.hpp"
@@ -56,6 +63,21 @@
 
 namespace {
 
+/// --trace-out destination; empty = no timeline dump.
+std::string g_trace_out;
+
+/// Write the timeline next to the flight recorder when --trace-out is set
+/// (SIGUSR1 and exit both land here; each write replaces the file with the
+/// current ring contents).
+void dump_timeline() {
+  if (g_trace_out.empty()) return;
+  if (ef::obs::write_chrome_trace_file(g_trace_out)) {
+    std::fprintf(stderr, "timeline trace written to %s\n", g_trace_out.c_str());
+  } else {
+    std::fprintf(stderr, "efserve: cannot write trace file '%s'\n", g_trace_out.c_str());
+  }
+}
+
 /// Dump the run report (stdout) and the flight recorder (stderr) without
 /// disturbing the serving path — the SIGUSR1 action.
 void dump_live_report() {
@@ -66,6 +88,7 @@ void dump_live_report() {
   const std::string lines = ef::obs::EventLog::global().dump_json_lines();
   std::fwrite(lines.data(), 1, lines.size(), stderr);
   std::fputs("== flight recorder end ==\n", stderr);
+  dump_timeline();
   std::fflush(stderr);
 }
 
@@ -186,6 +209,17 @@ int main(int argc, char** argv) {
   config.batcher.max_batch = static_cast<std::size_t>(cli.get_int("batch-max", 64));
   config.slow_request_us = cli.get_double("slow-request-us", 50000.0);
 
+  // Timeline tracing: an explicit --trace-sample wins over the environment;
+  // --trace-out with nothing configured arms full sampling so the dump is
+  // never silently empty.
+  if (cli.has("trace-sample")) {
+    ef::obs::Timeline::set_sample_rate(cli.get_double("trace-sample", 0.0));
+  }
+  g_trace_out = cli.get_string("trace-out", "");
+  if (!g_trace_out.empty() && !ef::obs::Timeline::enabled()) {
+    ef::obs::Timeline::set_sample_rate(1.0);
+  }
+
   const auto threads = static_cast<std::size_t>(cli.get_int("threads", 0));
   ef::util::ThreadPool pool(threads);
   ef::serve::ForecastService service(store, config, &pool);
@@ -221,6 +255,7 @@ int main(int argc, char** argv) {
   std::printf("served %llu connections\n",
               static_cast<unsigned long long>(server.connections_served()));
 
+  dump_timeline();
   ef::obs::emit_cli_report(cli);
   return 0;
 }

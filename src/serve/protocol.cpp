@@ -60,6 +60,8 @@ std::optional<Request> parse_request(std::string_view line, std::string& error) 
         request.cmd = Request::Cmd::kMetrics;
       } else if (*text == "events") {
         request.cmd = Request::Cmd::kEvents;
+      } else if (*text == "trace") {
+        request.cmd = Request::Cmd::kTrace;
       } else {
         error = "unknown cmd '" + *text + "'";
         return std::nullopt;

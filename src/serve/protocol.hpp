@@ -8,7 +8,7 @@
 //
 // Request fields:
 //   "cmd"     : "predict" (default) | "ping" | "models" | "stats" |
-//               "metrics" | "events"
+//               "metrics" | "events" | "trace"
 //   "model"   : model name (default "default")
 //   "window"  : array of numbers, most recent value last   [predict]
 //   "horizon" : integer >= 1 (default 1)                   [predict]
@@ -33,7 +33,7 @@ namespace ef::serve {
 
 /// Wire-level request: service PredictRequest plus the non-predict commands.
 struct Request {
-  enum class Cmd { kPredict, kPing, kModels, kStats, kMetrics, kEvents };
+  enum class Cmd { kPredict, kPing, kModels, kStats, kMetrics, kEvents, kTrace };
   Cmd cmd = Cmd::kPredict;
   PredictRequest predict;
 };

@@ -1,9 +1,11 @@
 #include "serve/service.hpp"
 
 #include <chrono>
+#include <optional>
 #include <utility>
 
 #include "obs/macros.hpp"
+#include "obs/timeline.hpp"
 
 namespace ef::serve {
 namespace {
@@ -31,7 +33,8 @@ void observe_latency_us(double us) {
 void finish_request([[maybe_unused]] const ServiceConfig& config,
                     [[maybe_unused]] const PredictRequest& request,
                     [[maybe_unused]] const PredictResponse& response,
-                    std::chrono::steady_clock::time_point start) {
+                    std::chrono::steady_clock::time_point start,
+                    [[maybe_unused]] std::uint64_t trace_id) {
   const double us =
       std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
           .count();
@@ -40,7 +43,11 @@ void finish_request([[maybe_unused]] const ServiceConfig& config,
     EVOFORECAST_COUNT("serve.slow_requests", 1);
     EVOFORECAST_EVENT("serve.slow_request", {"model", request.model}, {"us", us},
                       {"horizon", request.horizon}, {"cached", response.cached},
-                      {"abstain", response.abstain});
+                      {"abstain", response.abstain}, {"trace", trace_id});
+    // Slow-request exemplar: keep this trace's full span tree at export even
+    // when its head-sample draw said no — the event's "trace" field is the
+    // link from the flight recorder into the timeline.
+    obs::Timeline::mark_slow(trace_id, us);
   }
 }
 
@@ -69,8 +76,11 @@ core::Prediction ForecastService::predict_uncached(
     const std::shared_ptr<const LoadedModel>& model, const PredictRequest& request) {
   if (request.horizon == 1) {
     if (batcher_) {
+      // The queue/batch/match spans for this path are emitted by the
+      // batcher's dispatcher thread under this request's trace context.
       return batcher_->submit(model, request.window, request.agg).get();
     }
+    obs::SpanScope match("serve.match");
     return model->forecast(request.window, request.agg);
   }
 
@@ -78,6 +88,8 @@ core::Prediction ForecastService::predict_uncached(
   // forecast back as the newest value. Chain abstention policy: any
   // abstaining step abstains the request (paper semantics — no fabricated
   // bridge values on the serving path).
+  obs::SpanScope match("serve.match");
+  match.set_arg("steps", static_cast<double>(request.horizon));
   std::vector<double> window = request.window;
   core::Prediction last;
   for (std::size_t step = 0; step < request.horizon; ++step) {
@@ -90,6 +102,10 @@ core::Prediction ForecastService::predict_uncached(
 }
 
 PredictResponse ForecastService::predict(const PredictRequest& request) {
+  // Root timeline span: every span below (including those emitted by the
+  // batcher's dispatcher thread) shares this request's trace id. One relaxed
+  // atomic load when tracing is off.
+  const obs::TraceScope trace("serve.request");
   const auto start = std::chrono::steady_clock::now();
   EVOFORECAST_COUNT("serve.requests", 1);
 
@@ -110,7 +126,11 @@ PredictResponse ForecastService::predict(const PredictRequest& request) {
   if (request.horizon == 0) return fail("horizon must be >= 1");
   if (request.horizon > config_.max_horizon) return fail("horizon too large");
 
-  const std::shared_ptr<const LoadedModel> model = store_.get(request.model);
+  std::shared_ptr<const LoadedModel> model;
+  {
+    const obs::SpanScope lookup("serve.lookup");
+    model = store_.get(request.model);
+  }
   if (!model) return fail("unknown model '" + request.model + "'");
   response.version = model->version();
   if (model->window() != 0 && request.window.size() != model->window()) {
@@ -121,16 +141,23 @@ PredictResponse ForecastService::predict(const PredictRequest& request) {
   const bool use_cache = config_.enable_cache && request.use_cache;
   WindowCache::Key key;
   if (use_cache) {
-    key = cache_.make_key(model->tag(), static_cast<std::uint32_t>(request.horizon),
-                          request.agg, request.window);
-    if (const auto hit = cache_.get(key)) {
+    std::optional<WindowCache::Value> hit;
+    {
+      obs::SpanScope cache_span("serve.cache");
+      key = cache_.make_key(model->tag(), static_cast<std::uint32_t>(request.horizon),
+                            request.agg, request.window);
+      hit = cache_.get(key);
+      cache_span.set_arg("hit", hit ? 1.0 : 0.0);
+    }
+    if (hit) {
+      const obs::SpanScope respond("serve.respond");
       response.ok = true;
       response.cached = true;
       response.abstain = hit->abstain;
       response.value = hit->value;
       response.votes = hit->votes;
       if (hit->abstain) EVOFORECAST_COUNT("serve.abstentions", 1);
-      finish_request(config_, request, response, start);
+      finish_request(config_, request, response, start, trace.trace_id());
       return response;
     }
   }
@@ -142,6 +169,7 @@ PredictResponse ForecastService::predict(const PredictRequest& request) {
     return fail(std::string("prediction failed: ") + e.what());
   }
 
+  const obs::SpanScope respond("serve.respond");
   response.ok = true;
   response.abstain = result.abstained;
   response.value = result.value;
@@ -156,7 +184,7 @@ PredictResponse ForecastService::predict(const PredictRequest& request) {
     cache_.put(std::move(key), cached);
   }
 
-  finish_request(config_, request, response, start);
+  finish_request(config_, request, response, start, trace.trace_id());
   return response;
 }
 

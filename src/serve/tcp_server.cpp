@@ -1,12 +1,15 @@
 #include "serve/tcp_server.hpp"
 
 #include <cerrno>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
 #include "obs/events.hpp"
 #include "obs/exposition.hpp"
 #include "obs/macros.hpp"
+#include "obs/timeline.hpp"
+#include "obs/timeline_export.hpp"
 #include "serve/protocol.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -283,6 +286,21 @@ std::string TcpServer::handle_line(const std::string& line) {
       std::string out = "{\"ok\":true,\"format\":\"prometheus\",\"exposition\":\"";
       out += json_escape(obs::prometheus_text());
       out += "\"}";
+      return out;
+    }
+    case Request::Cmd::kTrace: {
+      // Chrome trace-event document embedded as a JSON value (it is already
+      // valid JSON, depth 3 — well inside the parser's depth limit). Clients
+      // save response["trace"] to a file and open it in Perfetto.
+      char rate[32];
+      std::snprintf(rate, sizeof(rate), "%g", obs::Timeline::sample_rate());
+      std::string out = "{\"ok\":true,\"enabled\":";
+      out += obs::Timeline::enabled() ? "true" : "false";
+      out += ",\"sample\":";
+      out += rate;
+      out += ",\"trace\":";
+      out += obs::chrome_trace_json();
+      out += "}";
       return out;
     }
     case Request::Cmd::kEvents: {

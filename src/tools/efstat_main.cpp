@@ -18,6 +18,10 @@
 //   --once           sample once and exit (no screen clearing)
 //   --json           emit the sample as one JSON object (implies no screen
 //                    clearing; combine with --once for scripting)
+//   --trace          fetch the server's request timeline ({"cmd":"trace"})
+//                    and print a per-request latency breakdown table
+//                    (queue / batch / cache / match / respond), then exit
+//   --trace-rows N   max requests shown in --trace mode (default 20)
 #include <algorithm>
 #include <cctype>
 #include <chrono>
@@ -343,6 +347,139 @@ Sample poll(Client& client) {
   return out;
 }
 
+/// Per-request stage durations accumulated from one trace's spans.
+struct TraceRow {
+  std::uint64_t trace_id = 0;
+  double ts = 0.0;        ///< earliest span start (µs, server timeline clock)
+  double total_us = 0.0;  ///< serve.request root span duration
+  double queue_us = 0.0;
+  double batch_us = 0.0;
+  double cache_us = 0.0;
+  double match_us = 0.0;
+  double respond_us = 0.0;
+  double slow_us = 0.0;  ///< > 0 when the server kept it as a slow exemplar
+  std::size_t spans = 0;
+};
+
+/// --trace mode: one {"cmd":"trace"} round trip, then a per-request latency
+/// breakdown of the exported timeline. Where the total exceeds the sum of
+/// stages, the remainder is service-side validation/lookup overhead.
+int run_trace_mode(Client& client, std::size_t max_rows) {
+  const auto line = client.request("{\"cmd\":\"trace\"}");
+  if (!line) {
+    std::fprintf(stderr, "efstat: no response to trace verb (server down?)\n");
+    return 1;
+  }
+  std::string parse_error;
+  const auto doc = ef::serve::json::parse(*line, parse_error);
+  const auto* root = doc ? doc->as_object() : nullptr;
+  if (!root) {
+    std::fprintf(stderr, "efstat: bad trace response: %s\n", parse_error.c_str());
+    return 1;
+  }
+  const auto enabled_it = root->find("enabled");
+  const bool* enabled =
+      enabled_it != root->end() ? enabled_it->second.as_bool() : nullptr;
+  const auto sample_it = root->find("sample");
+  const double* rate = sample_it != root->end() ? sample_it->second.as_number() : nullptr;
+  const auto trace_it = root->find("trace");
+  const auto* trace = trace_it != root->end() ? trace_it->second.as_object() : nullptr;
+  const auto events_it = trace ? trace->find("traceEvents") : ef::serve::json::Object::const_iterator{};
+  const auto* events =
+      trace && events_it != trace->end() ? events_it->second.as_array() : nullptr;
+  if (!events) {
+    std::fprintf(stderr, "efstat: trace response lacks traceEvents\n");
+    return 1;
+  }
+
+  std::map<std::uint64_t, TraceRow> rows;
+  for (const auto& item : *events) {
+    const auto* event = item.as_object();
+    if (!event) continue;
+    const std::string* name = nullptr;
+    const std::string* ph = nullptr;
+    double ts = 0.0;
+    double dur = 0.0;
+    const ef::serve::json::Object* args = nullptr;
+    for (const auto& [key, value] : *event) {
+      if (key == "name") name = value.as_string();
+      if (key == "ph") ph = value.as_string();
+      if (key == "ts" && value.as_number()) ts = *value.as_number();
+      if (key == "dur" && value.as_number()) dur = *value.as_number();
+      if (key == "args") args = value.as_object();
+    }
+    if (!name || !args) continue;
+    double trace_id = 0.0;
+    double slow_us = 0.0;
+    for (const auto& [key, value] : *args) {
+      if (key == "trace_id" && value.as_number()) trace_id = *value.as_number();
+      if (key == "slow_us" && value.as_number()) slow_us = *value.as_number();
+    }
+    if (trace_id <= 0.0) continue;
+    TraceRow& row = rows[static_cast<std::uint64_t>(trace_id)];
+    row.trace_id = static_cast<std::uint64_t>(trace_id);
+    if (slow_us > 0.0) row.slow_us = slow_us;
+    if (!ph || *ph != "X") continue;  // instant markers carry no durations
+    ++row.spans;
+    if (row.spans == 1 || ts < row.ts) row.ts = ts;
+    if (*name == "serve.request") row.total_us += dur;
+    else if (*name == "serve.queue") row.queue_us += dur;
+    else if (*name == "serve.batch") row.batch_us += dur;
+    else if (*name == "serve.cache") row.cache_us += dur;
+    else if (*name == "serve.match") row.match_us += dur;
+    else if (*name == "serve.respond") row.respond_us += dur;
+  }
+
+  std::printf("efstat trace — %zu traced request%s (tracing %s, sample %g)\n",
+              rows.size(), rows.size() == 1 ? "" : "s",
+              enabled && *enabled ? "on" : "off", rate ? *rate : 0.0);
+  if (rows.empty()) {
+    std::printf("  no spans captured — arm tracing with --trace-sample/"
+                "EVOFORECAST_TRACE_SAMPLE and send requests\n");
+    return 0;
+  }
+
+  // Newest requests first, bounded at max_rows.
+  std::vector<const TraceRow*> order;
+  order.reserve(rows.size());
+  for (const auto& [id, row] : rows) {
+    if (row.total_us > 0.0) order.push_back(&row);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const TraceRow* a, const TraceRow* b) { return a->ts > b->ts; });
+  const std::size_t shown = std::min(order.size(), max_rows);
+
+  std::printf("  %-12s %9s %9s %9s %9s %9s %9s  %s\n", "trace", "total", "queue",
+              "batch", "cache", "match", "respond", "flags");
+  TraceRow mean;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const TraceRow& row = *order[i];
+    mean.total_us += row.total_us;
+    mean.queue_us += row.queue_us;
+    mean.batch_us += row.batch_us;
+    mean.cache_us += row.cache_us;
+    mean.match_us += row.match_us;
+    mean.respond_us += row.respond_us;
+    if (i >= shown) continue;
+    std::printf("  %-12llu %9.1f %9.1f %9.1f %9.1f %9.1f %9.1f  %s\n",
+                static_cast<unsigned long long>(row.trace_id), row.total_us,
+                row.queue_us, row.batch_us, row.cache_us, row.match_us, row.respond_us,
+                row.slow_us > 0.0 ? "slow" : "");
+  }
+  const auto n = static_cast<double>(order.size());
+  if (n > 0.0) {
+    std::printf("  %-12s %9.1f %9.1f %9.1f %9.1f %9.1f %9.1f  (us, mean of %zu)\n",
+                "mean", mean.total_us / n, mean.queue_us / n, mean.batch_us / n,
+                mean.cache_us / n, mean.match_us / n, mean.respond_us / n,
+                order.size());
+  }
+  if (order.size() > shown) {
+    std::printf("  ... %zu more (raise --trace-rows)\n", order.size() - shown);
+  }
+  std::fflush(stdout);
+  return 0;
+}
+
 #endif  // EFSTAT_HAVE_SOCKETS
 
 void render_dashboard(const Sample& cur, const Derived& d, const std::string& target,
@@ -420,6 +557,10 @@ int main(int argc, char** argv) {
   const std::string target = host + ":" + std::to_string(port);
 
   Client client(host, port);
+  if (cli.get_bool("trace")) {
+    const auto rows = static_cast<std::size_t>(cli.get_int("trace-rows", 20));
+    return run_trace_mode(client, rows);
+  }
   Sample prev;
   bool have_prev = false;
   auto prev_at = std::chrono::steady_clock::now();

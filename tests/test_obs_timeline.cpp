@@ -1,0 +1,247 @@
+// Tests for obs/timeline.{hpp,cpp} + obs/timeline_export.hpp: ring
+// wraparound, parent/child nesting, context propagation across a real
+// thread hop, head-sampling, slow-request exemplars, and the Chrome
+// trace-event exporter.
+//
+// The file compiles (and its unguarded tests pass) under
+// -DEVOFORECAST_OBS=OFF too — every scope becomes an inline stub and
+// snapshots come back empty — so assertions that need real recording sit
+// behind #if EVOFORECAST_OBS_ENABLED.
+//
+// The timeline is process-wide with per-thread rings that are recycled
+// through a free pool, so ordering matters: the wraparound test runs FIRST
+// (gtest registers in file order) because it needs a freshly created ring
+// at its small capacity — any thread spawned later may inherit that parked
+// ring from the pool. Tests keep per-trace span counts at or below that
+// small capacity and reset() between tests.
+#include "obs/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/timeline_export.hpp"
+
+namespace {
+
+using ef::obs::ContextGuard;
+using ef::obs::SpanScope;
+using ef::obs::Timeline;
+using ef::obs::TimelineSnapshot;
+using ef::obs::TimelineSpan;
+using ef::obs::TraceContext;
+using ef::obs::TraceScope;
+
+[[maybe_unused]] std::vector<TimelineSpan> spans_of(const TimelineSnapshot& snap,
+                                                    std::uint64_t trace_id) {
+  std::vector<TimelineSpan> out;
+  for (const TimelineSpan& span : snap.spans) {
+    if (span.trace_id == trace_id) out.push_back(span);
+  }
+  return out;
+}
+
+#if EVOFORECAST_OBS_ENABLED
+
+TEST(ObsTimeline, RingWrapsAroundKeepingNewestSpans) {
+  Timeline::set_ring_capacity(4);
+  EXPECT_EQ(Timeline::ring_capacity(), 4u);
+  Timeline::set_sample_rate(1.0);
+  Timeline::reset();
+
+  std::uint64_t trace_id = 0;
+  std::uint64_t last_span = 0;
+  std::thread emitter([&] {
+    const TraceScope root("wrap.root");
+    trace_id = root.trace_id();
+    const TraceContext ctx = root.context();
+    for (std::int64_t i = 0; i < 10; ++i) {
+      last_span = Timeline::emit(ctx, "wrap.span", i, i + 1);
+    }
+  });
+  emitter.join();
+
+  // 10 emits + the root close went through a 4-slot ring: at most 4 spans
+  // survive, the newest writes win, and the last-emitted span is among them.
+  const auto spans = spans_of(Timeline::snapshot(), trace_id);
+  ASSERT_GT(trace_id, 0u);
+  EXPECT_EQ(spans.size(), 4u);
+  bool saw_last = false;
+  bool saw_root = false;
+  for (const TimelineSpan& span : spans) {
+    if (span.span_id == last_span) saw_last = true;
+    if (std::string(span.name) == "wrap.root") saw_root = true;
+  }
+  EXPECT_TRUE(saw_last);
+  EXPECT_TRUE(saw_root);  // the root closed last, so it cannot be overwritten
+
+  Timeline::set_ring_capacity(8192);  // fresh rings after this test: default
+}
+
+TEST(ObsTimeline, NestedScopesRecordParentChildWithArgs) {
+  Timeline::set_sample_rate(1.0);
+  Timeline::reset();
+
+  std::uint64_t trace_id = 0;
+  {
+    const TraceScope root("nest.root");
+    EXPECT_TRUE(root.active());
+    trace_id = root.trace_id();
+    SpanScope child("nest.child");
+    EXPECT_TRUE(child.active());
+    child.set_arg("k", 7.0);
+  }
+
+  const auto spans = spans_of(Timeline::snapshot(), trace_id);
+  ASSERT_EQ(spans.size(), 2u);
+  const bool first_is_child = std::string(spans[0].name) == "nest.child";
+  const TimelineSpan& child = first_is_child ? spans[0] : spans[1];
+  const TimelineSpan& root = first_is_child ? spans[1] : spans[0];
+  EXPECT_EQ(std::string(root.name), "nest.root");
+  EXPECT_EQ(root.parent_id, 0u);
+  EXPECT_EQ(child.parent_id, root.span_id);
+  EXPECT_TRUE(root.sampled);  // rate 1.0: every trace draws in
+  ASSERT_NE(child.arg_key, nullptr);
+  EXPECT_EQ(std::string(child.arg_key), "k");
+  EXPECT_DOUBLE_EQ(child.arg_value, 7.0);
+}
+
+TEST(ObsTimeline, ContextCrossesThreadHop) {
+  Timeline::set_sample_rate(1.0);
+  Timeline::reset();
+
+  std::uint64_t trace_id = 0;
+  std::uint64_t root_span = 0;
+  {
+    const TraceScope root("hop.root");
+    trace_id = root.trace_id();
+    const TraceContext ctx = root.context();
+    root_span = ctx.span_id;
+    // Pin this thread's ring before the worker runs: rings are recycled
+    // through a free pool, so otherwise the worker's parked ring (same
+    // thread_index) would be handed to this thread at root close.
+    Timeline::emit(ctx, "hop.prelude", 0, 1);
+    std::thread worker([ctx] {
+      const ContextGuard guard(ctx);
+      EXPECT_EQ(ef::obs::current_context().trace_id, ctx.trace_id);
+      const SpanScope span("hop.worker");
+      EXPECT_TRUE(span.active());
+    });
+    worker.join();
+    EXPECT_FALSE(ef::obs::current_context().trace_id == 0);  // guard restored
+  }
+
+  const auto spans = spans_of(Timeline::snapshot(), trace_id);
+  ASSERT_EQ(spans.size(), 3u);
+  const TimelineSpan* worker = nullptr;
+  const TimelineSpan* root = nullptr;
+  for (const TimelineSpan& span : spans) {
+    if (std::string(span.name) == "hop.worker") worker = &span;
+    if (std::string(span.name) == "hop.root") root = &span;
+  }
+  ASSERT_NE(worker, nullptr);
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(worker->trace_id, root->trace_id);  // one trace across both threads
+  EXPECT_EQ(worker->parent_id, root_span);      // child of the handed-over span
+  EXPECT_NE(worker->thread_index, root->thread_index);
+}
+
+TEST(ObsTimeline, RetrospectiveEmitDefaultsParentToContextSpan) {
+  Timeline::set_sample_rate(1.0);
+  Timeline::reset();
+
+  const TraceContext ctx{4242, 17, true};
+  const std::uint64_t id = Timeline::emit(ctx, "emit.span", 100, 250, 0, "batch", 3.0);
+  ASSERT_NE(id, 0u);
+
+  const auto spans = spans_of(Timeline::snapshot(), 4242);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].span_id, id);
+  EXPECT_EQ(spans[0].parent_id, 17u);  // parent 0 means "under ctx.span_id"
+  EXPECT_EQ(spans[0].t_start_us, 100);
+  EXPECT_EQ(spans[0].dur_us, 150);
+  ASSERT_NE(spans[0].arg_key, nullptr);
+  EXPECT_EQ(std::string(spans[0].arg_key), "batch");
+}
+
+TEST(ObsTimeline, ExporterKeepsSampledAndSlowDropsRest) {
+  Timeline::set_sample_rate(1.0);
+  Timeline::reset();
+
+  const TraceContext sampled_ctx{1001, 0, true};
+  Timeline::emit(sampled_ctx, "exp.sampled", 10, 20);
+  const TraceContext unsampled_ctx{1002, 0, false};
+  Timeline::emit(unsampled_ctx, "exp.unsampled", 30, 40);
+
+  std::string json = ef::obs::chrome_trace_json();
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("exp.sampled"), std::string::npos);
+  EXPECT_EQ(json.find("exp.unsampled"), std::string::npos)
+      << "head-sample verdict must gate export";
+
+  // A slow exemplar rescues the unsampled trace: full span tree plus a
+  // serve.slow_request instant marker carrying the tripping latency.
+  Timeline::mark_slow(1002, 123.5);
+  json = ef::obs::chrome_trace_json();
+  EXPECT_NE(json.find("exp.unsampled"), std::string::npos);
+  EXPECT_NE(json.find("slow_us"), std::string::npos);
+  EXPECT_NE(json.find("serve.slow_request"), std::string::npos);
+}
+
+TEST(ObsTimeline, HeadSamplingDrawsBothWays) {
+  Timeline::set_sample_rate(0.5);
+  EXPECT_DOUBLE_EQ(Timeline::sample_rate(), 0.5);
+  Timeline::reset();
+
+  int sampled = 0;
+  for (int i = 0; i < 256; ++i) {
+    const TraceScope t("draw.root");
+    sampled += t.context().sampled ? 1 : 0;
+  }
+  // P(all 256 draws agree) = 2^-255: a failure here is a broken RNG or a
+  // threshold mapped to 0/1, not bad luck.
+  EXPECT_GT(sampled, 0);
+  EXPECT_LT(sampled, 256);
+}
+
+#endif  // EVOFORECAST_OBS_ENABLED
+
+// The remaining tests run identically with real recording disarmed (rate 0)
+// and with the OBS=OFF stubs: every entry point must be callable and inert.
+
+TEST(ObsTimeline, DisarmedScopesAreInactiveAndRecordNothing) {
+  Timeline::set_sample_rate(0.0);
+  Timeline::reset();
+  EXPECT_FALSE(Timeline::enabled());
+  {
+    const TraceScope root("off.root");
+    EXPECT_FALSE(root.active());
+    EXPECT_EQ(root.trace_id(), 0u);
+    EXPECT_FALSE(root.context().active());
+    EXPECT_FALSE(ef::obs::current_context().active());
+    SpanScope child("off.child");
+    child.set_arg("k", 1.0);
+    EXPECT_FALSE(child.active());
+  }
+  EXPECT_TRUE(Timeline::snapshot().spans.empty());
+}
+
+TEST(ObsTimeline, InactiveContextEmitsNothing) {
+  Timeline::set_sample_rate(0.0);
+  Timeline::reset();
+  const TraceContext none{};
+  EXPECT_EQ(Timeline::emit(none, "noop", 0, 1), 0u);
+  {
+    const ContextGuard guard(none);
+    EXPECT_FALSE(ef::obs::current_context().active());
+  }
+  Timeline::mark_slow(0, 1.0);  // trace id 0 is "no trace": ignored
+  const TimelineSnapshot snap = Timeline::snapshot();
+  EXPECT_TRUE(snap.spans.empty());
+  EXPECT_TRUE(snap.slow.empty());
+}
+
+}  // namespace

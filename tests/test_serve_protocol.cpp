@@ -91,6 +91,10 @@ TEST(ParseRequest, MetricsAndEventsVerbs) {
   const auto events = parse_request(R"({"cmd":"events"})", error);
   ASSERT_TRUE(events.has_value()) << error;
   EXPECT_EQ(events->cmd, Request::Cmd::kEvents);
+
+  const auto trace = parse_request(R"({"cmd":"trace"})", error);
+  ASSERT_TRUE(trace.has_value()) << error;
+  EXPECT_EQ(trace->cmd, Request::Cmd::kTrace);
 }
 
 TEST(ParseRequest, DuplicateKeysAreAnError) {

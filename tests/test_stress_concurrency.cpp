@@ -4,8 +4,9 @@
 // interleavings production traffic produces and unit tests don't: model
 // hot-reload under live predictions, micro-batcher submit against shutdown,
 // sharded cache churn with eviction, event-log append against snapshot,
-// windowed-collector sampling against queries, and overlapping parallel_for
-// rounds on one shared pool.
+// windowed-collector sampling against queries, timeline span emission
+// against snapshot/export/reset, and overlapping parallel_for rounds on one
+// shared pool.
 //
 // The assertions are deliberately coarse (values sane, counts add up); the
 // real oracle is the sanitizer. Run with -DEVOFORECAST_SANITIZE=thread and
@@ -30,6 +31,8 @@
 
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/timeline_export.hpp"
 #include "obs/window.hpp"
 #include "serve/batcher.hpp"
 #include "serve/json.hpp"
@@ -306,6 +309,65 @@ TEST(StressConcurrency, WindowedCollectorSampleAgainstQuery) {
                                [](const auto& c) { return c.name == "stress.count"; });
   ASSERT_NE(it, snapshot.counters.end());
   EXPECT_GT(it->value, 0u);
+}
+
+TEST(StressConcurrency, TimelineEmitAgainstExport) {
+  // Per-thread seqlock rings: 6 threads emit span trees (scopes, a context
+  // hop, retrospective emits) while 2 readers snapshot, export to Chrome
+  // JSON, and mark slow exemplars, and one thread periodically reset()s the
+  // rings mid-flight. TSan is the oracle; the inline assertions only check
+  // that torn reads never surface (the seqlock skips mid-write slots).
+  ef::obs::Timeline::set_ring_capacity(256);
+  ef::obs::Timeline::set_sample_rate(1.0);
+  ef::obs::Timeline::reset();
+
+  constexpr std::size_t kWriters = 6;
+  const std::size_t per_writer = 400 * kIterScale;
+  std::atomic<bool> stop{false};
+
+  auto writers = spawn(kWriters, [&](std::size_t t) {
+    for (std::size_t i = 0; i < per_writer; ++i) {
+      const ef::obs::TraceScope root("stress.request");
+      const ef::obs::TraceContext ctx = root.context();
+      {
+        ef::obs::SpanScope child("stress.child");
+        child.set_arg("writer", static_cast<double>(t));
+      }
+      // The batcher pattern: adopt the context and emit retrospectively.
+      const ef::obs::ContextGuard guard(ctx);
+      ef::obs::Timeline::emit(ctx, "stress.emit", static_cast<std::int64_t>(i),
+                              static_cast<std::int64_t>(i) + 2);
+    }
+  });
+  auto readers = spawn(2, [&](std::size_t r) {
+    std::string parse_error;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto snap = ef::obs::Timeline::snapshot();
+      for (const auto& span : snap.spans) {
+        ASSERT_NE(span.trace_id, 0u);  // reset/mid-write slots are skipped
+        ASSERT_NE(span.span_id, 0u);
+        ASSERT_NE(span.name, nullptr);
+        ASSERT_GE(span.dur_us, 0);
+        if (r == 0) ef::obs::Timeline::mark_slow(span.trace_id, 1.0);
+      }
+      const std::string json = ef::obs::chrome_trace_json();
+      ASSERT_TRUE(ef::serve::json::parse(json, parse_error)) << parse_error;
+    }
+  });
+  std::thread resetter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ef::obs::Timeline::reset();
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+
+  join_all(writers);
+  stop.store(true);
+  join_all(readers);
+  resetter.join();
+
+  ef::obs::Timeline::set_sample_rate(0.0);
+  ef::obs::Timeline::reset();
 }
 
 TEST(StressConcurrency, SharedThreadPoolOverlappingParallelFor) {
