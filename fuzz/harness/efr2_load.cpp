@@ -1,0 +1,76 @@
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/rule_system.hpp"
+#include "fleet/container.hpp"
+#include "harness.hpp"
+
+namespace ef::fuzz {
+
+int efr2_load(const std::uint8_t* data, std::size_t size) {
+  fleet::FleetReader reader;
+  try {
+    reader = fleet::FleetReader::from_bytes({data, data + size});
+  } catch (const std::runtime_error&) {
+    return 0;  // the contract for hostile bytes: reject loudly, typed
+  }
+
+  // A container that validated must have a structurally sound index:
+  // strictly sorted ids, every one resolvable through binary search back to
+  // its own slot.
+  std::string previous;
+  for (std::size_t i = 0; i < reader.size(); ++i) {
+    const std::string id(reader.id_at(i));
+    if (i > 0 && !(previous < id)) {
+      std::fprintf(stderr, "efr2_load invariant violated: index not strictly sorted\n");
+      std::abort();
+    }
+    previous = id;
+    const auto found = reader.find(id);
+    if (!found || *found != i) {
+      std::fprintf(stderr, "efr2_load invariant violated: find(id_at(i)) != i\n");
+      std::abort();
+    }
+  }
+
+  // Materialisation is allowed to reject a corrupt payload (only the header
+  // and index were validated at open) — but an accepted model must be fully
+  // serving-ready: v1 save/load round-trips to the same rule count and a
+  // forecast over an in-range window runs clean. Bounded work per call:
+  // libFuzzer runs this millions of times.
+  const std::size_t probe = std::min<std::size_t>(reader.size(), 8);
+  for (std::size_t i = 0; i < probe; ++i) {
+    core::RuleSystem system;
+    try {
+      system = reader.materialize_at(i);
+    } catch (const std::runtime_error&) {
+      continue;  // corrupt payload detected lazily: fine, typed
+    }
+    if (system.size() != reader.rule_count_at(i)) {
+      std::fprintf(stderr, "efr2_load invariant violated: rule count mismatch\n");
+      std::abort();
+    }
+    std::ostringstream saved;
+    std::istringstream reload;
+    try {
+      system.save(saved);
+      reload.str(saved.str());
+      (void)core::RuleSystem::load(reload);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "efr2_load invariant violated: materialized model rejected by v1: %s\n",
+                   e.what());
+      std::abort();
+    }
+    if (!system.empty()) {
+      const std::vector<double> window(system.rules().front().window(), 0.5);
+      (void)system.forecast(window);
+    }
+  }
+  return 0;
+}
+
+}  // namespace ef::fuzz

@@ -1,4 +1,4 @@
-// fuzz/harness/harness.hpp — the four fuzz entry points, compiler-agnostic.
+// fuzz/harness/harness.hpp — the fuzz entry points, compiler-agnostic.
 //
 // Each function has the libFuzzer contract (return 0, abort() on an invariant
 // violation) but a plain name, so the same code drives three consumers:
@@ -27,6 +27,12 @@ int json_roundtrip(const std::uint8_t* data, std::size_t size);
 /// core::RuleSystem::load on hostile .efr bytes: throws std::runtime_error
 /// or yields a system that survives save/load and a forecast.
 int efr_load(const std::uint8_t* data, std::size_t size);
+
+/// fleet::FleetReader::from_bytes on hostile .efr v2 container bytes: throws
+/// std::runtime_error, or yields a validated index (strictly sorted,
+/// binary-search self-consistent) whose materialisable models survive a v1
+/// save/load round-trip and a forecast.
+int efr2_load(const std::uint8_t* data, std::size_t size);
 
 /// serve::parse_request on one JSON-lines request; the error envelope built
 /// from any parse failure must itself be valid protocol JSON.

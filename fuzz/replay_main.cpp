@@ -30,6 +30,7 @@ struct Target {
 constexpr Target kTargets[] = {
     {"json", ef::fuzz::json_roundtrip},
     {"efr", ef::fuzz::efr_load},
+    {"efr2", ef::fuzz::efr2_load},
     {"protocol", ef::fuzz::protocol_line},
     {"csv", ef::fuzz::csv_load},
 };
@@ -43,7 +44,7 @@ std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
 
 int main(int argc, char** argv) {
   if (argc < 3) {
-    std::fprintf(stderr, "usage: %s <json|efr|protocol|csv> <file-or-dir>...\n", argv[0]);
+    std::fprintf(stderr, "usage: %s <json|efr|efr2|protocol|csv> <file-or-dir>...\n", argv[0]);
     return 2;
   }
   Entry entry = nullptr;
@@ -51,7 +52,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], t.name) == 0) entry = t.entry;
   }
   if (entry == nullptr) {
-    std::fprintf(stderr, "unknown target '%s' (expected json, efr, protocol, csv)\n", argv[1]);
+    std::fprintf(stderr, "unknown target '%s' (expected json, efr, efr2, protocol, csv)\n", argv[1]);
     return 2;
   }
 

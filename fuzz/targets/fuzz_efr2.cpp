@@ -1,0 +1,6 @@
+// libFuzzer target: fleet::FleetReader on hostile .efr v2 container bytes.
+#include "harness/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  return ef::fuzz::efr2_load(data, size);
+}

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_fleet.json produced by `eftrain --bench-json` (used by CI).
+
+Usage: check_fleet_bench.py BENCH_JSON [--min-series N]
+
+Unlike check_match_bench.py this is not a baseline comparison: fleet bench
+numbers scale with the requested fleet size, so the gate is structural —
+every section the fleet pipeline promises must be present with sane values.
+CI runs it twice: against the ~50-series smoke fleet it just trained
+(--min-series 50) and against the committed BENCH_fleet.json baseline
+(--min-series 1000, the acceptance floor for the packed-fleet numbers).
+
+Checks:
+  1. build / config / train / container sections present (corpus optional,
+     required only when the producing run passed --evaluate).
+  2. train: trained >= min-series, models_per_sec > 0, skipped reported.
+  3. container: models == trained, bytes/model in a sane band (the v2
+     payload is ~100 B/rule; < 64 B means the pack is empty shells, > 16 MiB
+     means runaway rules), cold_load_us and lookup p50/p99 present and sane
+     (cold load is an mmap + index validation — anything over a second means
+     eager materialisation snuck back in).
+  4. corpus (when present): pooled errors finite, coverage in [0, 100],
+     evaluated + skipped == trained.
+Exits non-zero if any check fails, after printing all of them.
+"""
+import json
+import math
+import sys
+
+MIN_BYTES_PER_MODEL = 64.0
+MAX_BYTES_PER_MODEL = 16.0 * 1024 * 1024
+MAX_COLD_LOAD_US = 1_000_000.0
+MAX_LOOKUP_P99_NS = 100_000_000.0
+
+FAILURES = []
+
+
+def check(name, ok, detail=""):
+    status = "ok" if ok else "FAIL"
+    suffix = f": {detail}" if detail and not ok else ""
+    print(f"  [{status}] {name}{suffix}")
+    if not ok:
+        FAILURES.append(name)
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    min_series = 1
+    for i, a in enumerate(sys.argv[1:], 1):
+        if a == "--min-series":
+            if i + 1 >= len(sys.argv):
+                print("check_fleet_bench: --min-series needs a value")
+                return 2
+            min_series = int(sys.argv[i + 1])
+            args = [x for x in args if x != sys.argv[i + 1]]
+    if len(args) != 1:
+        print(__doc__)
+        return 2
+
+    path = args[0]
+    try:
+        with open(path) as f:
+            bench = json.load(f)
+    except OSError as err:
+        print(f"check_fleet_bench: cannot read {path}: {err}")
+        return 2
+    except json.JSONDecodeError as err:
+        print(f"check_fleet_bench: {path} is not valid JSON "
+              f"(line {err.lineno}, col {err.colno}): {err.msg}")
+        return 2
+    if not isinstance(bench, dict):
+        print("check_fleet_bench: expected a JSON object at the top level")
+        return 2
+
+    print(f"check_fleet_bench: {path} (min series {min_series})")
+
+    for section in ("build", "config", "train", "container"):
+        check(f"section '{section}' present", isinstance(bench.get(section), dict))
+    if FAILURES:
+        print("check_fleet_bench: missing sections, stopping")
+        return 1
+
+    train = bench["train"]
+    trained = train.get("trained", 0)
+    check(f"trained {trained} >= {min_series}", trained >= min_series)
+    check("skipped count reported", isinstance(train.get("skipped"), int))
+    check(f"models_per_sec {train.get('models_per_sec', 0):.1f} > 0",
+          train.get("models_per_sec", 0) > 0)
+    check("total rules > 0", train.get("rules", 0) > 0)
+
+    container = bench["container"]
+    check(f"container models {container.get('models')} == trained {trained}",
+          container.get("models") == trained)
+    bpm = container.get("bytes_per_model", 0.0)
+    check(f"bytes/model {bpm:.1f} in [{MIN_BYTES_PER_MODEL:.0f}, "
+          f"{MAX_BYTES_PER_MODEL:.0f}]",
+          MIN_BYTES_PER_MODEL <= bpm <= MAX_BYTES_PER_MODEL)
+    cold = container.get("cold_load_us", -1.0)
+    check(f"cold_load_us {cold:.2f} in (0, {MAX_COLD_LOAD_US:.0f}]",
+          0 < cold <= MAX_COLD_LOAD_US,
+          "cold open must stay an mmap + header/index walk")
+    for key in ("lookup_p50_ns", "lookup_p99_ns"):
+        v = container.get(key, -1.0)
+        check(f"{key} {v:.0f} in (0, {MAX_LOOKUP_P99_NS:.0f}]",
+              0 < v <= MAX_LOOKUP_P99_NS)
+    check("lookup p50 <= p99",
+          container.get("lookup_p50_ns", 0) <= container.get("lookup_p99_ns", 0))
+    check("materialize_p99_us > 0", container.get("materialize_p99_us", 0) > 0)
+
+    corpus = bench.get("corpus")
+    if isinstance(corpus, dict):
+        for key in ("pooled_rmse", "pooled_mae"):
+            v = corpus.get(key, math.nan)
+            check(f"corpus {key} finite", isinstance(v, (int, float))
+                  and math.isfinite(v))
+        pop = corpus.get("percentage_of_prediction", -1.0)
+        check(f"percentage_of_prediction {pop:.1f} in [0, 100]", 0 <= pop <= 100)
+        accounted = corpus.get("evaluated", 0) + corpus.get("skipped", 0)
+        check(f"corpus evaluated+skipped {accounted} == trained {trained}",
+              accounted == trained)
+        check("covered <= total points",
+              corpus.get("covered_points", 0) <= corpus.get("total_points", 0))
+
+    check("peak_rss_kb > 0", bench.get("peak_rss_kb", 0) > 0)
+
+    if FAILURES:
+        print(f"check_fleet_bench: {len(FAILURES)} check(s) failed")
+        return 1
+    print("check_fleet_bench: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 corpus_root="${repo_root}/fuzz/corpus"
 artifact_dir="${PWD}/fuzz-artifacts"
 
-targets=(json efr protocol csv)
+targets=(json efr efr2 protocol csv)
 
 have_libfuzzer=true
 for t in "${targets[@]}"; do

@@ -179,6 +179,17 @@ def main():
         check("ping", client.request('{"cmd":"ping"}').get("ok") is True)
         models = client.request('{"cmd":"models"}')
         check("models lists demo", models.get("ok") is True and "demo" in str(models))
+        demo_entry = next((m for m in models.get("models", [])
+                           if m.get("name") == "demo"), None)
+        check("models entry carries version/rules/window",
+              demo_entry is not None
+              and demo_entry.get("version", 0) >= 1
+              and demo_entry.get("rules", 0) >= 1
+              and demo_entry.get("window", 0) >= 1, demo_entry)
+        # The container section is fleet-mode only (scripts/fleet_smoke.py
+        # asserts its schema); a file-backed server must not emit it.
+        check("no container section without --container",
+              "container" not in models, models)
 
         # Cold miss on a window the demo model (noisy sine) should cover.
         # Try a few phases; the trained model covers ~95% of the attractor.

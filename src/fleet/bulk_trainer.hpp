@@ -1,0 +1,74 @@
+// fleet/bulk_trainer.hpp — one evolved rule system per series, in parallel.
+//
+// The paper trains one rule system per series; a production fleet is
+// thousands-to-millions of them. Training is embarrassingly parallel across
+// series, so the bulk trainer fans the fleet out over the shared thread
+// pool — one series per outer chunk, each inner train() forced onto a
+// single-worker schedule so pool workers never block on nested
+// parallel_for waits (the same inversion the island trainer uses).
+//
+// Determinism is per-series, not per-run-order: every series derives its
+// seed from (base seed, series id) alone, so a fleet trained with 1 thread,
+// 64 threads, or with the series list shuffled produces bit-identical rule
+// systems per id. That is what makes `.efr` v2 containers reproducible
+// artifacts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/rule_system.hpp"
+#include "fleet/long_csv.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ef::fleet {
+
+struct FleetTrainOptions {
+  /// Per-series training configuration; evolution.seed is the fleet-wide
+  /// base seed that per-series seeds derive from.
+  core::RuleSystemConfig config;
+  /// Embedding: window length D, horizon τ, stride s.
+  std::size_t window = 6;
+  std::size_t horizon = 1;
+  std::size_t stride = 1;
+  /// Worker pool for the across-series fan-out (nullptr = shared pool).
+  util::ThreadPool* pool = nullptr;
+};
+
+/// Outcome for one series: a trained system, or a skip with the reason
+/// (series too short for one training pattern is the common case — skips
+/// are reported, never silent).
+struct TrainedSeries {
+  std::string id;
+  core::RuleSystem system;
+  std::size_t executions = 0;
+  double train_coverage_percent = 0.0;
+  std::uint64_t seed = 0;  ///< the derived per-series seed actually used
+  bool skipped = false;
+  std::string skip_reason;
+};
+
+struct FleetTrainResult {
+  std::vector<TrainedSeries> models;  ///< input order, skips included
+  std::size_t trained = 0;
+  std::size_t skipped = 0;
+  double wall_seconds = 0.0;
+  /// Σ rules over trained systems.
+  std::size_t total_rules = 0;
+};
+
+/// Deterministic per-series seed: FNV-1a over the id folded into the base
+/// seed, finished with a splitmix64 avalanche so adjacent ids ("s1","s2")
+/// land far apart in seed space.
+[[nodiscard]] std::uint64_t derive_series_seed(std::uint64_t base_seed, std::string_view id);
+
+/// Train the whole fleet. Per-series failures other than "too short"
+/// (config validation errors, degenerate series) are also recorded as
+/// skips with the exception text — one bad series never aborts the fleet.
+[[nodiscard]] FleetTrainResult train_fleet(std::span<const SeriesRecord> fleet,
+                                           const FleetTrainOptions& options);
+
+}  // namespace ef::fleet

@@ -1,0 +1,477 @@
+#include "fleet/container.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/macros.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define EVOFORECAST_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define EVOFORECAST_HAVE_MMAP 0
+#endif
+
+namespace ef::fleet {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 64;
+constexpr std::size_t kIndexEntryBytes = 32;
+
+// FileHeader field offsets (see container.hpp for the layout narrative).
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffVersion = 8;
+constexpr std::size_t kOffFlags = 12;
+constexpr std::size_t kOffNModels = 16;
+constexpr std::size_t kOffIndexOff = 24;
+constexpr std::size_t kOffIdsOff = 32;
+constexpr std::size_t kOffIdsBytes = 40;
+constexpr std::size_t kOffModelsOff = 48;
+constexpr std::size_t kOffFileBytes = 56;
+
+// IndexEntry field offsets.
+constexpr std::size_t kEntryIdOff = 0;
+constexpr std::size_t kEntryIdLen = 8;
+constexpr std::size_t kEntryRuleCount = 12;
+constexpr std::size_t kEntryModelOff = 16;
+constexpr std::size_t kEntryModelLen = 24;
+
+// Per-rule fixed header inside a model payload: 4 × u64 + 3 × f64.
+constexpr std::size_t kRuleHeaderBytes = 56;
+constexpr std::uint64_t kFlagDegenerate = 1;
+
+template <typename T>
+T read_le(const std::uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void append_le(std::vector<std::uint8_t>& out, T v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+void write_le(std::uint8_t* p, T v) {
+  std::memcpy(p, &v, sizeof(T));
+}
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw std::runtime_error("FleetReader: " + what);
+}
+
+/// Bounds-checked cursor over one model's payload bytes.
+struct Cursor {
+  const std::uint8_t* p;
+  const std::uint8_t* end;
+
+  std::uint64_t u64() {
+    if (static_cast<std::size_t>(end - p) < sizeof(std::uint64_t)) {
+      corrupt("truncated model payload");
+    }
+    const std::uint64_t v = read_le<std::uint64_t>(p);
+    p += sizeof(std::uint64_t);
+    return v;
+  }
+
+  double f64() {
+    if (static_cast<std::size_t>(end - p) < sizeof(double)) {
+      corrupt("truncated model payload");
+    }
+    const double v = read_le<double>(p);
+    p += sizeof(double);
+    return v;
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- FleetWriter
+
+void FleetWriter::add(std::string series_id, const core::RuleSystem& system) {
+  if (series_id.empty() || series_id.size() > kMaxIdBytes) {
+    throw std::invalid_argument("FleetWriter: series id must be 1.." +
+                                std::to_string(kMaxIdBytes) + " bytes");
+  }
+  for (const PendingModel& m : models_) {
+    if (m.id == series_id) {
+      throw std::invalid_argument("FleetWriter: duplicate series id '" + series_id + "'");
+    }
+  }
+  if (system.size() > kMaxRulesPerModel) {
+    throw std::invalid_argument("FleetWriter: rule count exceeds container limit");
+  }
+
+  PendingModel model;
+  model.id = std::move(series_id);
+  model.rule_count = static_cast<std::uint32_t>(system.size());
+  for (const core::Rule& rule : system.rules()) {
+    const auto& part = rule.predicting();
+    if (!part) throw std::invalid_argument("FleetWriter: unevaluated rule cannot be packed");
+    if (rule.window() == 0 || rule.window() > kMaxWindow ||
+        part->fit.coeffs.size() > kMaxCoeffs) {
+      throw std::invalid_argument("FleetWriter: rule dimensions exceed container limits");
+    }
+    if (!std::isfinite(part->fitness) || !std::isfinite(part->fit.max_abs_residual) ||
+        !std::isfinite(part->fit.mean_prediction)) {
+      throw std::invalid_argument("FleetWriter: non-finite rule stats");
+    }
+    append_le<std::uint64_t>(model.payload, rule.window());
+    append_le<std::uint64_t>(model.payload, part->fit.coeffs.size());
+    append_le<std::uint64_t>(model.payload, part->matches);
+    append_le<std::uint64_t>(model.payload, part->fit.degenerate ? kFlagDegenerate : 0);
+    append_le<double>(model.payload, part->fitness);
+    append_le<double>(model.payload, part->fit.max_abs_residual);
+    append_le<double>(model.payload, part->fit.mean_prediction);
+    for (const core::Interval& gene : rule.genes()) {
+      if (gene.is_wildcard()) {
+        // (NaN, NaN) is the wildcard encoding; bounded genes are finite by
+        // Interval's own invariant.
+        append_le<double>(model.payload, std::numeric_limits<double>::quiet_NaN());
+        append_le<double>(model.payload, std::numeric_limits<double>::quiet_NaN());
+      } else {
+        append_le<double>(model.payload, gene.lo());
+        append_le<double>(model.payload, gene.hi());
+      }
+    }
+    for (const double c : part->fit.coeffs) {
+      if (!std::isfinite(c)) throw std::invalid_argument("FleetWriter: non-finite coefficient");
+      append_le<double>(model.payload, c);
+    }
+  }
+  models_.push_back(std::move(model));
+}
+
+std::vector<std::uint8_t> FleetWriter::encode() const {
+  if (models_.size() > kMaxModels) {
+    throw std::invalid_argument("FleetWriter: model count exceeds container limit");
+  }
+  // Sort index slots by id so the reader can binary-search the raw mapping.
+  std::vector<const PendingModel*> order;
+  order.reserve(models_.size());
+  for (const PendingModel& m : models_) order.push_back(&m);
+  std::sort(order.begin(), order.end(),
+            [](const PendingModel* a, const PendingModel* b) { return a->id < b->id; });
+
+  const std::size_t index_off = kHeaderBytes;
+  const std::size_t ids_off = index_off + order.size() * kIndexEntryBytes;
+  std::size_t ids_bytes = 0;
+  for (const PendingModel* m : order) ids_bytes += m->id.size();
+  // Model arena starts 8-byte aligned so every f64/u64 record field is
+  // naturally aligned in the mapping.
+  const std::size_t models_off = (ids_off + ids_bytes + 7) & ~std::size_t{7};
+  std::size_t model_bytes = 0;
+  for (const PendingModel* m : order) model_bytes += m->payload.size();
+  const std::size_t total = models_off + model_bytes;
+
+  std::vector<std::uint8_t> out(total, 0);
+  std::memcpy(out.data() + kOffMagic, kContainerMagic, sizeof(kContainerMagic));
+  write_le<std::uint32_t>(out.data() + kOffVersion, kContainerVersion);
+  write_le<std::uint32_t>(out.data() + kOffFlags, 0);
+  write_le<std::uint64_t>(out.data() + kOffNModels, order.size());
+  write_le<std::uint64_t>(out.data() + kOffIndexOff, index_off);
+  write_le<std::uint64_t>(out.data() + kOffIdsOff, ids_off);
+  write_le<std::uint64_t>(out.data() + kOffIdsBytes, ids_bytes);
+  write_le<std::uint64_t>(out.data() + kOffModelsOff, models_off);
+  write_le<std::uint64_t>(out.data() + kOffFileBytes, total);
+
+  std::size_t id_cursor = ids_off;
+  std::size_t model_cursor = models_off;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const PendingModel* m = order[i];
+    std::uint8_t* entry = out.data() + index_off + i * kIndexEntryBytes;
+    write_le<std::uint64_t>(entry + kEntryIdOff, id_cursor);
+    write_le<std::uint32_t>(entry + kEntryIdLen, static_cast<std::uint32_t>(m->id.size()));
+    write_le<std::uint32_t>(entry + kEntryRuleCount, m->rule_count);
+    write_le<std::uint64_t>(entry + kEntryModelOff, model_cursor);
+    write_le<std::uint64_t>(entry + kEntryModelLen, m->payload.size());
+    std::memcpy(out.data() + id_cursor, m->id.data(), m->id.size());
+    std::memcpy(out.data() + model_cursor, m->payload.data(), m->payload.size());
+    id_cursor += m->id.size();
+    model_cursor += m->payload.size();
+  }
+  return out;
+}
+
+void FleetWriter::write_file(const std::string& path) const {
+  const std::vector<std::uint8_t> bytes = encode();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("FleetWriter: cannot open '" + tmp + "'");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw std::runtime_error("FleetWriter: short write to '" + tmp + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("FleetWriter: cannot publish '" + path + "'");
+  }
+  EVOFORECAST_COUNT("fleet.containers_written", 1);
+  EVOFORECAST_EVENT("fleet.container.write", {"path", path}, {"models", models_.size()},
+                    {"bytes", bytes.size()});
+}
+
+// ---------------------------------------------------------------- FleetReader
+
+FleetReader::~FleetReader() { reset(); }
+
+FleetReader::FleetReader(FleetReader&& other) noexcept { *this = std::move(other); }
+
+FleetReader& FleetReader::operator=(FleetReader&& other) noexcept {
+  if (this == &other) return *this;
+  reset();
+  data_ = std::exchange(other.data_, nullptr);
+  size_ = std::exchange(other.size_, 0);
+  n_models_ = std::exchange(other.n_models_, 0);
+  owned_ = std::move(other.owned_);
+  other.owned_.clear();
+  map_base_ = std::exchange(other.map_base_, nullptr);
+  map_size_ = std::exchange(other.map_size_, 0);
+  return *this;
+}
+
+void FleetReader::reset() noexcept {
+#if EVOFORECAST_HAVE_MMAP
+  if (map_base_ != nullptr) ::munmap(map_base_, map_size_);
+#endif
+  map_base_ = nullptr;
+  map_size_ = 0;
+  data_ = nullptr;
+  size_ = 0;
+  n_models_ = 0;
+  owned_.clear();
+}
+
+FleetReader FleetReader::open(const std::string& path) {
+  FleetReader reader;
+#if EVOFORECAST_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw std::runtime_error("FleetReader: cannot open '" + path + "'");
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    throw std::runtime_error("FleetReader: cannot stat '" + path + "'");
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    throw std::runtime_error("FleetReader: '" + path + "' is empty");
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (base == MAP_FAILED) {
+    throw std::runtime_error("FleetReader: mmap failed for '" + path + "'");
+  }
+  reader.map_base_ = base;
+  reader.map_size_ = size;
+  reader.data_ = static_cast<const std::uint8_t*>(base);
+  reader.size_ = size;
+#else
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("FleetReader: cannot open '" + path + "'");
+  reader.owned_.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  reader.data_ = reader.owned_.data();
+  reader.size_ = reader.owned_.size();
+#endif
+  reader.validate();
+  EVOFORECAST_COUNT("fleet.containers_opened", 1);
+  return reader;
+}
+
+FleetReader FleetReader::from_bytes(std::vector<std::uint8_t> bytes) {
+  FleetReader reader;
+  reader.owned_ = std::move(bytes);
+  reader.data_ = reader.owned_.data();
+  reader.size_ = reader.owned_.size();
+  reader.validate();
+  return reader;
+}
+
+const std::uint8_t* FleetReader::index_entry(std::size_t i) const noexcept {
+  return data_ + kHeaderBytes + i * kIndexEntryBytes;
+}
+
+void FleetReader::validate() {
+  // Header pass. Everything below dereferences only ranges proven in-bounds
+  // here; materialize_at() re-validates its own model payload on demand.
+  if (size_ < kHeaderBytes) corrupt("file shorter than header");
+  if (std::memcmp(data_ + kOffMagic, kContainerMagic, sizeof(kContainerMagic)) != 0) {
+    corrupt("bad magic (not an .efr v2 container)");
+  }
+  const auto version = read_le<std::uint32_t>(data_ + kOffVersion);
+  if (version != kContainerVersion) {
+    corrupt("unsupported container version " + std::to_string(version));
+  }
+  if (read_le<std::uint32_t>(data_ + kOffFlags) != 0) corrupt("unknown header flags");
+  const auto declared_size = read_le<std::uint64_t>(data_ + kOffFileBytes);
+  if (declared_size != size_) corrupt("declared size does not match file size (truncated?)");
+
+  const auto n_models = read_le<std::uint64_t>(data_ + kOffNModels);
+  if (n_models > kMaxModels) corrupt("model count exceeds limit");
+  const auto index_off = read_le<std::uint64_t>(data_ + kOffIndexOff);
+  const auto ids_off = read_le<std::uint64_t>(data_ + kOffIdsOff);
+  const auto ids_bytes = read_le<std::uint64_t>(data_ + kOffIdsBytes);
+  const auto models_off = read_le<std::uint64_t>(data_ + kOffModelsOff);
+  // Canonical section layout: header, index, id arena, model arena. The
+  // writer emits exactly this; the reader refuses anything else so offsets
+  // cannot alias each other or the header.
+  if (index_off != kHeaderBytes) corrupt("index must follow the header");
+  const std::uint64_t index_bytes = n_models * kIndexEntryBytes;  // <= 16M * 32, no overflow
+  if (ids_off != index_off + index_bytes) corrupt("id arena must follow the index");
+  if (ids_off + ids_bytes < ids_off || ids_off + ids_bytes > size_) {
+    corrupt("id arena out of bounds");
+  }
+  if (models_off < ids_off + ids_bytes || models_off > size_ || (models_off & 7) != 0) {
+    corrupt("model arena out of bounds or misaligned");
+  }
+
+  n_models_ = static_cast<std::size_t>(n_models);
+
+  // Index pass: every entry in bounds, ids strictly ascending (sorted and
+  // duplicate-free — the binary-search contract), model ranges inside the
+  // arena.
+  std::string_view previous;
+  for (std::size_t i = 0; i < n_models_; ++i) {
+    const std::uint8_t* entry = index_entry(i);
+    const auto id_off = read_le<std::uint64_t>(entry + kEntryIdOff);
+    const auto id_len = read_le<std::uint32_t>(entry + kEntryIdLen);
+    const auto rule_count = read_le<std::uint32_t>(entry + kEntryRuleCount);
+    const auto model_off = read_le<std::uint64_t>(entry + kEntryModelOff);
+    const auto model_len = read_le<std::uint64_t>(entry + kEntryModelLen);
+    if (id_len == 0 || id_len > kMaxIdBytes) corrupt("series id length out of range");
+    if (id_off < ids_off || id_off + id_len < id_off || id_off + id_len > ids_off + ids_bytes) {
+      corrupt("series id out of arena bounds");
+    }
+    if (rule_count > kMaxRulesPerModel) corrupt("per-model rule count exceeds limit");
+    if (model_off < models_off || model_off + model_len < model_off ||
+        model_off + model_len > size_ || (model_off & 7) != 0) {
+      corrupt("model payload out of bounds or misaligned");
+    }
+    const std::string_view id(reinterpret_cast<const char*>(data_ + id_off), id_len);
+    if (i > 0 && !(previous < id)) corrupt("index ids not strictly sorted");
+    previous = id;
+  }
+}
+
+std::string_view FleetReader::id_at(std::size_t i) const {
+  if (i >= n_models_) throw std::out_of_range("FleetReader::id_at");
+  const std::uint8_t* entry = index_entry(i);
+  const auto id_off = read_le<std::uint64_t>(entry + kEntryIdOff);
+  const auto id_len = read_le<std::uint32_t>(entry + kEntryIdLen);
+  return {reinterpret_cast<const char*>(data_ + id_off), id_len};
+}
+
+std::size_t FleetReader::rule_count_at(std::size_t i) const {
+  if (i >= n_models_) throw std::out_of_range("FleetReader::rule_count_at");
+  return read_le<std::uint32_t>(index_entry(i) + kEntryRuleCount);
+}
+
+std::optional<std::size_t> FleetReader::find(std::string_view series_id) const {
+  std::size_t lo = 0;
+  std::size_t hi = n_models_;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const std::string_view id = id_at(mid);
+    if (id == series_id) return mid;
+    if (id < series_id) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::nullopt;
+}
+
+core::RuleSystem FleetReader::materialize_at(std::size_t i) const {
+  if (i >= n_models_) throw std::out_of_range("FleetReader::materialize_at");
+  const std::uint8_t* entry = index_entry(i);
+  const auto rule_count = read_le<std::uint32_t>(entry + kEntryRuleCount);
+  const auto model_off = read_le<std::uint64_t>(entry + kEntryModelOff);
+  const auto model_len = read_le<std::uint64_t>(entry + kEntryModelLen);
+  Cursor cursor{data_ + model_off, data_ + model_off + model_len};
+
+  std::vector<core::Rule> rules;
+  rules.reserve(std::min<std::size_t>(rule_count, 4096));
+  for (std::uint32_t r = 0; r < rule_count; ++r) {
+    const std::uint64_t window = cursor.u64();
+    const std::uint64_t n_coeffs = cursor.u64();
+    const std::uint64_t matches = cursor.u64();
+    const std::uint64_t flags = cursor.u64();
+    if (window == 0 || window > kMaxWindow) corrupt("rule window out of range");
+    if (n_coeffs > kMaxCoeffs) corrupt("coefficient count exceeds limit");
+    if ((flags & ~kFlagDegenerate) != 0) corrupt("unknown rule flags");
+
+    core::PredictingPart part;
+    part.matches = static_cast<std::size_t>(matches);
+    part.fitness = cursor.f64();
+    part.fit.max_abs_residual = cursor.f64();
+    part.fit.mean_prediction = cursor.f64();
+    part.fit.degenerate = (flags & kFlagDegenerate) != 0;
+    if (!std::isfinite(part.fitness) || !std::isfinite(part.fit.max_abs_residual) ||
+        !std::isfinite(part.fit.mean_prediction)) {
+      corrupt("non-finite rule stats");
+    }
+
+    std::vector<core::Interval> genes;
+    genes.reserve(window);
+    for (std::uint64_t j = 0; j < window; ++j) {
+      const double lo = cursor.f64();
+      const double hi = cursor.f64();
+      if (std::isnan(lo) && std::isnan(hi)) {
+        genes.push_back(core::Interval::wildcard());
+        continue;
+      }
+      if (!std::isfinite(lo) || !std::isfinite(hi) || !(lo <= hi)) {
+        corrupt("bad gene bounds");
+      }
+      genes.emplace_back(lo, hi);
+    }
+
+    part.fit.coeffs.resize(n_coeffs);
+    for (double& c : part.fit.coeffs) {
+      c = cursor.f64();
+      if (!std::isfinite(c)) corrupt("non-finite coefficient");
+    }
+
+    core::Rule rule{std::move(genes)};
+    rule.set_predicting(std::move(part));
+    rules.push_back(std::move(rule));
+  }
+  if (cursor.p != cursor.end) corrupt("trailing bytes after last rule");
+
+  core::RuleSystem system;
+  // discard_unfit=false: the container stores exactly what was trained;
+  // filtering happened at training time.
+  system.add_rules(std::move(rules), /*discard_unfit=*/false, 0.0);
+  return system;
+}
+
+std::optional<core::RuleSystem> FleetReader::materialize(std::string_view series_id) const {
+  const auto slot = find(series_id);
+  if (!slot) return std::nullopt;
+  return materialize_at(*slot);
+}
+
+std::vector<std::string> FleetReader::ids() const {
+  std::vector<std::string> out;
+  out.reserve(n_models_);
+  for (std::size_t i = 0; i < n_models_; ++i) out.emplace_back(id_at(i));
+  return out;
+}
+
+}  // namespace ef::fleet

@@ -1,0 +1,157 @@
+// fleet/container.hpp — the `.efr` v2 multi-model container.
+//
+// One efserve instance at fleet scale hosts one rule system per series
+// across thousands-to-millions of series. Per-series v1 `.efr` text files
+// make that shape pathological: one open()+parse per model at boot, one
+// stat() per model per poll tick, and a filesystem directory as the index.
+// The v2 container packs an entire fleet into a single mmap-able binary
+// file:
+//
+//   [FileHeader]            fixed 64 bytes, magic "EFRPACK2"
+//   [IndexEntry × n_models] sorted by series id (strict, duplicate-free) —
+//                           binary-searchable directly in the mapped bytes
+//   [id arena]              concatenated UTF-8 series ids (no terminators;
+//                           lengths live in the index)
+//   [model arena]           per-model rule records, 8-byte aligned
+//
+// Every multi-byte field is little-endian (the only byte order this code
+// base targets; the reader refuses a byte-swapped magic loudly rather than
+// translating). Offsets are absolute file offsets; every one is validated
+// against the actual file size before use, counts are capped before any
+// allocation sized by them, and every floating-point payload value must be
+// finite — the same hardening contract as the v1 text loader.
+//
+// The reader is zero-copy in the structural sense: opening a container
+// mmaps the file and validates the header + index only (cold load is O(n)
+// over 32-byte index entries, independent of rule payload volume, and
+// touches no model bytes). Looking up a series binary-searches the mapped
+// index; materialising a RuleSystem copies exactly that model's records out
+// of the arena and nothing else. A million-model container costs one fd,
+// one mmap, and page-cache residency proportional to the models actually
+// served.
+//
+// Model payload, per rule (all offsets 8-byte aligned):
+//   u64 window, u64 n_coeffs, u64 matches, u64 flags (bit0 = degenerate fit)
+//   f64 fitness, f64 max_abs_residual, f64 mean_prediction
+//   f64 lo, f64 hi           × window   (gene; NaN,NaN encodes the wildcard)
+//   f64 coeff                × n_coeffs
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/rule_system.hpp"
+
+namespace ef::fleet {
+
+/// Format constants shared by writer, reader and the fuzz harness.
+inline constexpr char kContainerMagic[8] = {'E', 'F', 'R', 'P', 'A', 'C', 'K', '2'};
+inline constexpr std::uint32_t kContainerVersion = 2;
+/// Caps mirror RuleSystem::load hardening, scaled to fleet shape.
+inline constexpr std::uint64_t kMaxModels = 16'000'000;
+inline constexpr std::uint64_t kMaxRulesPerModel = 1'000'000;
+inline constexpr std::uint64_t kMaxWindow = 4096;
+inline constexpr std::uint64_t kMaxCoeffs = kMaxWindow + 1;
+inline constexpr std::uint64_t kMaxIdBytes = 4096;
+
+/// Builds a v2 container in memory and publishes it atomically
+/// (write temp + rename), so a reader polling the path never maps a torn
+/// file. Ids must be unique and non-empty; add order is irrelevant — the
+/// writer sorts the index. Every rule must carry a predicting part
+/// (unevaluated rules cannot forecast and are rejected, as in v1 save).
+class FleetWriter {
+ public:
+  /// Queue one model. Throws std::invalid_argument on an empty/oversized or
+  /// duplicate id, an unevaluated rule, or a non-finite payload value.
+  void add(std::string series_id, const core::RuleSystem& system);
+
+  [[nodiscard]] std::size_t size() const noexcept { return models_.size(); }
+
+  /// Serialise the container to bytes (the exact file image).
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  /// encode() then write to `path` atomically via a sibling temp file +
+  /// rename. Throws std::runtime_error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  struct PendingModel {
+    std::string id;
+    std::vector<std::uint8_t> payload;  ///< encoded rule records
+    std::uint32_t rule_count = 0;
+  };
+  std::vector<PendingModel> models_;
+};
+
+/// Read-only view of one container file. The whole object is immutable
+/// after open() and safe to share across threads without locking; the
+/// mapping lives for the lifetime of the reader (materialised RuleSystems
+/// are deep copies and outlive it freely).
+class FleetReader {
+ public:
+  FleetReader() = default;
+  ~FleetReader();
+
+  FleetReader(FleetReader&& other) noexcept;
+  FleetReader& operator=(FleetReader&& other) noexcept;
+  FleetReader(const FleetReader&) = delete;
+  FleetReader& operator=(const FleetReader&) = delete;
+
+  /// Map and validate a container file (header, index bounds, sort order).
+  /// Throws std::runtime_error on any structural violation — a container
+  /// that opens is structurally safe to query.
+  [[nodiscard]] static FleetReader open(const std::string& path);
+
+  /// Validate a container from bytes already in memory (tests, fuzzing).
+  /// The reader copies the bytes.
+  [[nodiscard]] static FleetReader from_bytes(std::vector<std::uint8_t> bytes);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_models_; }
+  [[nodiscard]] bool empty() const noexcept { return n_models_ == 0; }
+  /// Total container bytes (the mapped file size).
+  [[nodiscard]] std::size_t bytes() const noexcept { return size_; }
+
+  /// Series id of index slot `i` (sorted ascending), view into the mapping.
+  [[nodiscard]] std::string_view id_at(std::size_t i) const;
+  /// Rule count of index slot `i` without touching the model arena.
+  [[nodiscard]] std::size_t rule_count_at(std::size_t i) const;
+
+  /// Binary-search the sorted index; nullopt when the id is absent.
+  [[nodiscard]] std::optional<std::size_t> find(std::string_view series_id) const;
+
+  [[nodiscard]] bool contains(std::string_view series_id) const {
+    return find(series_id).has_value();
+  }
+
+  /// Deep-copy index slot `i` into a serving-ready RuleSystem. Payload
+  /// bounds, caps and finiteness are enforced here (the open() pass
+  /// deliberately never reads model bytes). Throws std::runtime_error on a
+  /// corrupt payload.
+  [[nodiscard]] core::RuleSystem materialize_at(std::size_t i) const;
+
+  /// find() + materialize_at(); nullopt when the id is absent.
+  [[nodiscard]] std::optional<core::RuleSystem> materialize(std::string_view series_id) const;
+
+  /// All ids in index order (allocates; intended for tools, not the serving
+  /// hot path).
+  [[nodiscard]] std::vector<std::string> ids() const;
+
+ private:
+  void validate();  ///< header + index pass; throws std::runtime_error
+  void reset() noexcept;
+
+  [[nodiscard]] const std::uint8_t* index_entry(std::size_t i) const noexcept;
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t n_models_ = 0;
+  std::vector<std::uint8_t> owned_;  ///< from_bytes storage (empty when mapped)
+  void* map_base_ = nullptr;         ///< mmap base (nullptr when owned_)
+  std::size_t map_size_ = 0;
+};
+
+}  // namespace ef::fleet

@@ -1,0 +1,61 @@
+// fleet/corpus.hpp — rolling-origin accuracy evaluation across a fleet.
+//
+// M4-style corpus scoring for abstaining forecasters: per series, hold out
+// the chronological tail, train on the prefix (deterministic per-series
+// seeds, same derivation the bulk trainer uses), forecast every holdout
+// window one step at a time, and report coverage-aware errors. The
+// fleet-level aggregates pool covered points across series (so a series
+// with 100 holdout points weighs 10× one with 10) and track the paper's
+// headline secondary metric — percentage of prediction — fleet-wide.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fleet/bulk_trainer.hpp"
+#include "series/metrics.hpp"
+
+namespace ef::fleet {
+
+struct CorpusOptions {
+  /// Training configuration + embedding + pool (seed derivation included).
+  FleetTrainOptions train;
+  /// Fraction of each series held out for evaluation (chronological tail).
+  double holdout_fraction = 0.2;
+  /// Lower bound on holdout points per series; series whose holdout would
+  /// be smaller are skipped (recorded, not silent).
+  std::size_t min_holdout = 4;
+};
+
+struct SeriesEvaluation {
+  std::string id;
+  series::CoverageReport report;  ///< errors over covered holdout points
+  std::size_t rules = 0;
+  std::size_t holdout_points = 0;
+  bool skipped = false;
+  std::string skip_reason;
+};
+
+struct CorpusResult {
+  std::vector<SeriesEvaluation> series;  ///< input order, skips included
+  std::size_t evaluated = 0;
+  std::size_t skipped = 0;
+  /// Pooled over every covered holdout point of every evaluated series.
+  double pooled_rmse = 0.0;
+  double pooled_mae = 0.0;
+  /// Fleet-wide percentage of prediction: 100 · covered / total holdout
+  /// points (the abstention complement).
+  double percentage_of_prediction = 0.0;
+  std::size_t total_points = 0;
+  std::size_t covered_points = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Train-and-evaluate the fleet with rolling-origin holdout. Parallel
+/// across series on options.train.pool.
+[[nodiscard]] CorpusResult evaluate_fleet(std::span<const SeriesRecord> fleet,
+                                          const CorpusOptions& options);
+
+}  // namespace ef::fleet

@@ -1,0 +1,146 @@
+#include "fleet/long_csv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "series/csv.hpp"
+
+namespace ef::fleet {
+namespace {
+
+/// Split one line on `delimiter` into at most 4 fields (id, timestamp,
+/// value, rest); extra delimiters beyond the value column are tolerated so
+/// wide long-format exports (extra feature columns) still load.
+struct Row {
+  std::string_view id;
+  std::string_view value;
+  bool ok = false;
+};
+
+Row split_row(std::string_view line, char delimiter) {
+  Row row;
+  const std::size_t first = line.find(delimiter);
+  if (first == std::string_view::npos) return row;
+  const std::size_t second = line.find(delimiter, first + 1);
+  if (second == std::string_view::npos) return row;
+  std::size_t value_end = line.find(delimiter, second + 1);
+  if (value_end == std::string_view::npos) value_end = line.size();
+  row.id = line.substr(0, first);
+  row.value = line.substr(second + 1, value_end - second - 1);
+  row.ok = true;
+  return row;
+}
+
+std::optional<double> parse_value(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(std::string(text), &consumed);
+    // Trailing junk after the number ("1.5x") is a malformed cell, not a
+    // partial parse. Trailing whitespace (CR already stripped) is fine.
+    while (consumed < text.size() &&
+           (text[consumed] == ' ' || text[consumed] == '\t')) {
+      ++consumed;
+    }
+    if (consumed != text.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::vector<SeriesRecord> read_long_csv(std::istream& in, const LongCsvOptions& options) {
+  std::vector<std::string> order;                           // ids by first appearance
+  std::unordered_map<std::string, std::vector<double>> by_id;
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t rows = 0;
+  bool first_data_row = true;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const Row row = split_row(line, options.delimiter);
+    if (!row.ok) {
+      throw std::runtime_error("read_long_csv: line " + std::to_string(line_no) +
+                               ": expected at least 3 columns (series_id,timestamp,value)");
+    }
+    const std::optional<double> value = parse_value(row.value);
+    if (!value) {
+      // A non-numeric value column on the very first row is the header.
+      if (first_data_row) {
+        first_data_row = false;
+        continue;
+      }
+      throw std::runtime_error("read_long_csv: line " + std::to_string(line_no) +
+                               ": value '" + std::string(row.value) + "' is not numeric");
+    }
+    first_data_row = false;
+    if (!std::isfinite(*value)) {
+      throw std::runtime_error("read_long_csv: line " + std::to_string(line_no) +
+                               ": non-finite value");
+    }
+    if (row.id.empty()) {
+      throw std::runtime_error("read_long_csv: line " + std::to_string(line_no) +
+                               ": empty series id");
+    }
+    if (++rows > options.max_rows) {
+      throw std::runtime_error("read_long_csv: row count exceeds limit");
+    }
+    const std::string id(row.id);
+    auto it = by_id.find(id);
+    if (it == by_id.end()) {
+      if (by_id.size() >= options.max_series) {
+        throw std::runtime_error("read_long_csv: series count exceeds limit");
+      }
+      it = by_id.emplace(id, std::vector<double>{}).first;
+      order.push_back(id);
+    }
+    it->second.push_back(*value);
+  }
+
+  std::vector<SeriesRecord> out;
+  out.reserve(order.size());
+  for (const std::string& id : order) {
+    out.push_back({id, series::TimeSeries(std::move(by_id[id]), id)});
+  }
+  return out;
+}
+
+std::vector<SeriesRecord> read_long_csv(const std::string& path, const LongCsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_long_csv: cannot open '" + path + "'");
+  return read_long_csv(in, options);
+}
+
+std::vector<SeriesRecord> read_series_directory(const std::string& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    throw std::runtime_error("read_series_directory: '" + dir + "' is not a directory");
+  }
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".csv") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<SeriesRecord> out;
+  out.reserve(files.size());
+  for (const auto& path : files) {
+    out.push_back({path.stem().string(), series::read_series_csv(path.string())});
+  }
+  return out;
+}
+
+}  // namespace ef::fleet

@@ -1,0 +1,56 @@
+// fleet/long_csv.hpp — long-format multi-series CSV input.
+//
+// Production forecasting corpora (M4/M5-style, per-product retail demand)
+// ship as long-format tables: one observation per row, keyed by a series
+// id — `series_id,timestamp,value`. This loader groups rows into one
+// TimeSeries per id, preserving first-appearance order across series and
+// file order within a series (rows are assumed chronologically sorted per
+// series, the universal convention for these corpora; the timestamp column
+// is carried for schema compatibility but not parsed as a date).
+//
+// A dataset *directory* is the other common shape: one single-column CSV
+// per series, named by file stem. read_series_directory() wraps the
+// existing v1 loader over every `*.csv` in lexicographic order.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "series/timeseries.hpp"
+
+namespace ef::fleet {
+
+/// One named series of a fleet.
+struct SeriesRecord {
+  std::string id;
+  series::TimeSeries series;
+};
+
+struct LongCsvOptions {
+  char delimiter = ',';
+  /// Hard cap on distinct series ids (allocation guard on hostile input).
+  std::size_t max_series = 16'000'000;
+  /// Hard cap on total rows.
+  std::size_t max_rows = 1'000'000'000;
+};
+
+/// Parse long-format CSV text. A header row is skipped when its value
+/// column does not parse as a number. Throws std::runtime_error with the
+/// offending line number on rows with fewer than 3 columns, non-numeric or
+/// non-finite values, empty series ids, or cap violations.
+[[nodiscard]] std::vector<SeriesRecord> read_long_csv(std::istream& in,
+                                                      const LongCsvOptions& options = {});
+
+/// File variant; throws std::runtime_error when the file cannot be opened.
+[[nodiscard]] std::vector<SeriesRecord> read_long_csv(const std::string& path,
+                                                      const LongCsvOptions& options = {});
+
+/// Load every `*.csv` under `dir` (non-recursive, lexicographic order) as
+/// one series per file via series::read_series_csv; the series id is the
+/// file stem. Throws std::runtime_error when the directory cannot be read
+/// or any file fails to parse.
+[[nodiscard]] std::vector<SeriesRecord> read_series_directory(const std::string& dir);
+
+}  // namespace ef::fleet

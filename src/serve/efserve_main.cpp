@@ -15,7 +15,17 @@
 // (Prometheus text), and live windowed rates/quantiles come from the
 // background WindowedCollector started at boot.
 //
+// Fleet mode serves a whole `.efr` v2 container (built by eftrain) instead
+// of — or alongside — named files:
+//
+//   efserve --container fleet.efr2 [--port 7777]
+//
+// Every series id in the container is a model name on the wire; the poller
+// stats the one container file and swaps the whole fleet atomically when a
+// repack lands (docs/FLEET.md).
+//
 // Flags:
+//   --container PATH    serve every series of a .efr v2 container
 //   --port N            listen port (default 7777; 0 = ephemeral, printed)
 //   --host A            bind address (default 127.0.0.1)
 //   --poll-ms N         model-file poll interval (default 500; 0 = no reload)
@@ -169,14 +179,27 @@ int main(int argc, char** argv) {
     return train_demo(*demo_path, seed);
   }
 
-  if (cli.positional().empty()) {
+  const std::string container_path = cli.get_string("container", "");
+  if (cli.positional().empty() && container_path.empty()) {
     std::fprintf(stderr,
                  "usage: efserve NAME=MODEL.efr [NAME=MODEL.efr ...] [--port 7777]\n"
+                 "       efserve --container FLEET.efr2 [--port 7777]\n"
                  "       efserve --train-demo PATH.efr\n");
     return 2;
   }
 
   ef::serve::ModelStore store;
+  if (!container_path.empty()) {
+    try {
+      store.attach_container(container_path);
+      const auto info = store.container_info();
+      std::printf("attached container %s (%zu series, %zu bytes)\n",
+                  container_path.c_str(), info->models, info->bytes);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "efserve: %s\n", e.what());
+      return 1;
+    }
+  }
   for (const std::string& spec : cli.positional()) {
     const std::size_t eq = spec.find('=');
     const std::string name = eq == std::string::npos ? "default" : spec.substr(0, eq);
@@ -234,9 +257,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "efserve: %s\n", e.what());
     return 1;
   }
+  std::size_t model_count = store.size();
+  if (const auto info = store.container_info()) model_count += info->models;
   std::printf("efserve listening on %s:%u (%zu model%s; Ctrl-C to stop)\n",
               server_config.host.c_str(), static_cast<unsigned>(server.port()),
-              store.size(), store.size() == 1 ? "" : "s");
+              model_count, model_count == 1 ? "" : "s");
   std::fflush(stdout);
 
   // Windowed rates/quantiles for GET /metrics and the "metrics" verb; one

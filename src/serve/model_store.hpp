@@ -11,8 +11,19 @@
 // version serving and only bumps a failure counter — a half-written file
 // never takes down a model. Writers should still publish atomically
 // (write temp + rename) to avoid serving a torn intermediate version.
+//
+// Fleet scale uses a *container* instead of per-model files: one `.efr` v2
+// file (fleet/container.hpp) backs every series. The store keeps the mapped
+// reader plus a lazy cache of materialised models behind one RCU-swapped
+// snapshot; get() falls through the named entries to the container, so a
+// million-series fleet serves through the same API as two named models.
+// Reload cost collapses with it: the poller stats the one container file
+// per tick — not one stat per model per tick — and a repack (atomic rename)
+// swaps the entire fleet in a single pointer exchange, old snapshot pinned
+// by in-flight requests until the last reference drops.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -29,6 +40,7 @@
 #include "core/prediction.hpp"
 #include "core/rule_index.hpp"
 #include "core/rule_system.hpp"
+#include "fleet/container.hpp"
 
 namespace ef::serve {
 
@@ -99,17 +111,42 @@ class ModelStore {
   /// the poller ignores it.
   void add_system(const std::string& name, core::RuleSystem system);
 
-  /// Current snapshot of `name`; nullptr when unknown. The returned pointer
-  /// stays valid (and the model alive) for as long as the caller holds it,
-  /// across any number of hot-reloads.
+  /// Attach (or replace) the `.efr` v2 container backing the store's
+  /// fallthrough namespace. Opens and validates the file immediately;
+  /// throws std::runtime_error on a malformed container. Named entries
+  /// always shadow container series of the same id.
+  void attach_container(const std::string& path);
+
+  [[nodiscard]] bool has_container() const;
+
+  /// Point-in-time summary of the attached container (nullopt when none).
+  struct ContainerInfo {
+    std::string path;
+    std::size_t models = 0;       ///< series resident in the container
+    std::size_t bytes = 0;        ///< mapped file size
+    std::uint64_t generation = 0; ///< bumps on every successful reload
+    std::size_t materialized = 0; ///< series served (and cached) so far
+  };
+  [[nodiscard]] std::optional<ContainerInfo> container_info() const;
+
+  /// Container series ids in index (sorted) order; `limit` 0 = all.
+  [[nodiscard]] std::vector<std::string> container_ids(std::size_t limit = 0) const;
+
+  /// Current snapshot of `name`; nullptr when unknown. Checks named entries
+  /// first, then the attached container (materialising — and caching — the
+  /// series on first use). The returned pointer stays valid (and the model
+  /// alive) for as long as the caller holds it, across any number of
+  /// hot-reloads.
   [[nodiscard]] std::shared_ptr<const LoadedModel> get(std::string_view name) const;
 
   [[nodiscard]] std::vector<std::string> names() const;
   [[nodiscard]] std::size_t size() const;
 
-  /// Check every file-backed model's mtime and reload the changed ones now.
-  /// Returns the number of successful reloads. A model whose file fails to
-  /// parse keeps its current version (counted in serve.model.reload_failures).
+  /// Check every file-backed model's mtime — plus ONE stat for the whole
+  /// container, however many series it holds — and reload what changed.
+  /// Returns the number of successful reloads (a container swap counts as
+  /// one). A file that fails to parse keeps its current version serving
+  /// (counted in serve.model.reload_failures).
   std::size_t poll_now();
 
   /// Start/stop the background poller calling poll_now() every `interval`.
@@ -123,9 +160,26 @@ class ModelStore {
     std::filesystem::file_time_type mtime{};
   };
 
+  /// One immutable container generation: the mapped reader plus the lazy
+  /// materialisation cache. Swapped wholesale on reload (the fresh state
+  /// starts with an empty cache; in-flight requests pin the old one).
+  struct ContainerState {
+    fleet::FleetReader reader;
+    std::string path;
+    std::uint64_t generation = 1;
+    std::filesystem::file_time_type mtime{};
+    mutable std::mutex cache_mutex;
+    mutable std::map<std::string, std::shared_ptr<const LoadedModel>, std::less<>> cache;
+  };
+
   mutable std::mutex mutex_;  ///< guards entries_ map shape and pointer swaps
   std::map<std::string, Entry, std::less<>> entries_;
-  std::uint64_t next_tag_ = 1;
+  std::shared_ptr<ContainerState> container_;  ///< RCU-swapped under mutex_
+  /// Container mtime whose open() failed — skip retrying until it changes
+  /// again (the per-file loaders get the same no-rehammer behaviour from
+  /// their recorded Entry::mtime).
+  std::filesystem::file_time_type container_failed_mtime_{};
+  mutable std::atomic<std::uint64_t> next_tag_{1};
 
   std::thread poller_;
   std::mutex poll_mutex_;

@@ -265,7 +265,28 @@ std::string TcpServer::handle_line(const std::string& line) {
         out += ",\"rules\":" + std::to_string(model->system().size());
         out += ",\"window\":" + std::to_string(model->window()) + "}";
       }
-      out += "]}";
+      out += "]";
+      // Container-backed series ride in their own section: every id is
+      // predictable by name, versioned by the container generation. The id
+      // list is capped so a million-series fleet answers in one line;
+      // "series_total" carries the true count.
+      if (const auto info = service_.store().container_info()) {
+        constexpr std::size_t kMaxListedSeries = 256;
+        out += ",\"container\":{\"path\":\"" + json_escape(info->path) + "\"";
+        out += ",\"generation\":" + std::to_string(info->generation);
+        out += ",\"bytes\":" + std::to_string(info->bytes);
+        out += ",\"materialized\":" + std::to_string(info->materialized);
+        out += ",\"series_total\":" + std::to_string(info->models);
+        out += ",\"series\":[";
+        bool first_id = true;
+        for (const std::string& id : service_.store().container_ids(kMaxListedSeries)) {
+          if (!first_id) out += ",";
+          first_id = false;
+          out += "\"" + json_escape(id) + "\"";
+        }
+        out += "]}";
+      }
+      out += "}";
       return out;
     }
     case Request::Cmd::kStats: {

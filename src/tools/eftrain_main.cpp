@@ -1,0 +1,438 @@
+// eftrain — fleet-scale bulk trainer, `.efr` v2 container packer, and
+// corpus runner in one operator-facing binary.
+//
+// Modes (exactly one per invocation):
+//   --by-series DATA     train one rule system per series. DATA is either a
+//                        long-format CSV (`series_id,timestamp,value`) or a
+//                        dataset directory (one single-column CSV per
+//                        series, id = file stem).
+//   --synthetic N        train over a generated N-series fleet (sine / AR /
+//                        regime-switch mix, deterministic in --seed).
+//   --pack DIR           no training: pack every v1 `*.efr` under DIR into
+//                        a v2 container (id = file stem). Requires --out.
+//   --list FILE          print the index of a v2 container.
+//   --extract ID         write one series of --container FILE back out as
+//                        v1 text (--out PATH, default stdout) — the
+//                        bit-identity bridge between the two formats.
+//
+// Training modes accept --out fleet.efr2 (pack the trained fleet),
+// --evaluate (rolling-origin corpus scoring: per-series + pooled errors and
+// fleet-wide percentage of prediction), and --bench-json PATH
+// (BENCH_fleet.json: trained-models/sec, container bytes/model, cold-load
+// time, lookup p99 — the numbers scripts/check_fleet_bench.py gates on).
+//
+// Embedding/evolution flags mirror the library defaults:
+//   --window D --horizon T --stride S --population P --generations G
+//   --emax E --coverage-target PCT --max-executions K --seed S
+// Fleet shaping: --limit K (first K series), --length L (synthetic),
+// --threads N (private pool; default = shared pool), --holdout FRAC /
+// --min-holdout K (corpus split). Observability: --report, --metrics-json.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/rule_system.hpp"
+#include "fleet/bulk_trainer.hpp"
+#include "fleet/container.hpp"
+#include "fleet/corpus.hpp"
+#include "fleet/long_csv.hpp"
+#include "obs/build_info.hpp"
+#include "obs/export.hpp"
+#include "series/synthetic.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Peak resident set size in kB from /proc/self/status (0 when unavailable).
+std::size_t peak_rss_kb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return static_cast<std::size_t>(std::strtoull(line.c_str() + 6, nullptr, 10));
+    }
+  }
+  return 0;
+}
+
+/// Deterministic synthetic fleet: a sine / AR(2) / regime-switch rotation
+/// with per-series parameter drift, so the fleet exercises heterogeneous
+/// dynamics rather than 1000 copies of one signal. Ids are zero-padded so
+/// lexicographic (container index) order equals generation order.
+std::vector<ef::fleet::SeriesRecord> synthetic_fleet(std::size_t count, std::size_t length,
+                                                     std::uint64_t seed) {
+  std::vector<ef::fleet::SeriesRecord> fleet;
+  fleet.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    char id[32];
+    std::snprintf(id, sizeof(id), "synthetic-%06zu", i);
+    const std::uint64_t series_seed = seed + 0x51ed270b * static_cast<std::uint64_t>(i) + 1;
+    ef::series::TimeSeries series;
+    switch (i % 3) {
+      case 0: {
+        ef::series::SineParams p;
+        p.amplitude = 0.6 + 0.05 * static_cast<double>(i % 9);
+        p.period = 8.0 + static_cast<double>(i % 37);
+        p.phase = 0.1 * static_cast<double>(i % 63);
+        p.noise_sd = 0.02;
+        p.seed = series_seed;
+        series = ef::series::generate_sine(length, p);
+        break;
+      }
+      case 1: {
+        ef::series::ArParams p;
+        p.phi = {0.55 + 0.06 * static_cast<double>(i % 5),
+                 -0.1 - 0.04 * static_cast<double>(i % 4)};
+        p.noise_sd = 0.3;
+        p.seed = series_seed;
+        series = ef::series::generate_ar(length, p);
+        break;
+      }
+      default: {
+        ef::series::RegimeSwitchParams p;
+        p.mean_dwell = 40.0 + static_cast<double>(i % 30);
+        p.regimes = {{1.0, 16.0 + static_cast<double>(i % 11)},
+                     {2.0 + 0.1 * static_cast<double>(i % 7), 7.0}};
+        p.noise_sd = 0.05;
+        p.seed = series_seed;
+        series = ef::series::generate_regime_switch(length, p);
+        break;
+      }
+    }
+    fleet.push_back({id, std::move(series)});
+  }
+  return fleet;
+}
+
+/// Quantile of a sorted sample vector (nearest-rank).
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct ContainerStats {
+  std::size_t models = 0;
+  std::size_t bytes = 0;
+  double bytes_per_model = 0.0;
+  double cold_load_us = 0.0;    ///< best-of-3 open()+validate of the file
+  double lookup_p50_ns = 0.0;   ///< find() over the mapped index
+  double lookup_p99_ns = 0.0;
+  double materialize_p99_us = 0.0;  ///< deep-copy one model to a RuleSystem
+};
+
+/// Measure the serving-side numbers on a freshly written container.
+ContainerStats measure_container(const std::string& path) {
+  ContainerStats stats;
+
+  double best = 1e18;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = Clock::now();
+    const auto reader = ef::fleet::FleetReader::open(path);
+    best = std::min(best, seconds_since(t0));
+    if (rep == 0) {
+      stats.models = reader.size();
+      stats.bytes = reader.bytes();
+    }
+  }
+  stats.cold_load_us = best * 1e6;
+  if (stats.models > 0) {
+    stats.bytes_per_model =
+        static_cast<double>(stats.bytes) / static_cast<double>(stats.models);
+  }
+
+  const auto reader = ef::fleet::FleetReader::open(path);
+  if (reader.empty()) return stats;
+
+  // Lookup latency over a deterministic shuffle of resident ids (xorshift
+  // walk, no std::random so runs are reproducible bit-for-bit).
+  const std::vector<std::string> ids = reader.ids();
+  const std::size_t samples = std::min<std::size_t>(20000, ids.size() * 50);
+  std::vector<double> lookup_ns;
+  lookup_ns.reserve(samples);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (std::size_t i = 0; i < samples; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const std::string& id = ids[x % ids.size()];
+    const auto t0 = Clock::now();
+    const auto slot = reader.find(id);
+    lookup_ns.push_back(seconds_since(t0) * 1e9);
+    if (!slot) std::abort();  // resident id must always resolve
+  }
+  std::sort(lookup_ns.begin(), lookup_ns.end());
+  stats.lookup_p50_ns = quantile_sorted(lookup_ns, 0.50);
+  stats.lookup_p99_ns = quantile_sorted(lookup_ns, 0.99);
+
+  const std::size_t mat_samples = std::min<std::size_t>(reader.size(), 256);
+  std::vector<double> mat_us;
+  mat_us.reserve(mat_samples);
+  for (std::size_t i = 0; i < mat_samples; ++i) {
+    const std::size_t slot = (i * 2654435761u) % reader.size();
+    const auto t0 = Clock::now();
+    const ef::core::RuleSystem system = reader.materialize_at(slot);
+    mat_us.push_back(seconds_since(t0) * 1e6);
+    if (system.size() != reader.rule_count_at(slot)) std::abort();
+  }
+  std::sort(mat_us.begin(), mat_us.end());
+  stats.materialize_p99_us = quantile_sorted(mat_us, 0.99);
+  return stats;
+}
+
+int run_list(const std::string& path) {
+  const auto reader = ef::fleet::FleetReader::open(path);
+  std::printf("%s: %zu models, %zu bytes\n", path.c_str(), reader.size(), reader.bytes());
+  for (std::size_t i = 0; i < reader.size(); ++i) {
+    const auto id = reader.id_at(i);
+    std::printf("  %-32.*s %6zu rules\n", static_cast<int>(id.size()), id.data(),
+                reader.rule_count_at(i));
+  }
+  return 0;
+}
+
+int run_extract(const std::string& container_path, const std::string& id,
+                const std::string& out_path) {
+  const auto reader = ef::fleet::FleetReader::open(container_path);
+  const auto system = reader.materialize(id);
+  if (!system) {
+    std::fprintf(stderr, "eftrain: series '%s' not found in %s\n", id.c_str(),
+                 container_path.c_str());
+    return 2;
+  }
+  if (out_path.empty()) {
+    system->save(std::cout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "eftrain: cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    system->save(out);
+  }
+  return 0;
+}
+
+int run_pack(const std::string& dir, const std::string& out_path) {
+  if (out_path.empty()) {
+    std::fprintf(stderr, "eftrain: --pack requires --out CONTAINER\n");
+    return 2;
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".efr") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "eftrain: no *.efr files under %s\n", dir.c_str());
+    return 2;
+  }
+  ef::fleet::FleetWriter writer;
+  for (const fs::path& file : files) {
+    std::ifstream in(file);
+    if (!in) throw std::runtime_error("cannot open " + file.string());
+    writer.add(file.stem().string(), ef::core::RuleSystem::load(in));
+  }
+  writer.write_file(out_path);
+  const auto stats = measure_container(out_path);
+  std::printf("packed %zu models (%zu bytes, %.1f bytes/model) -> %s\n", stats.models,
+              stats.bytes, stats.bytes_per_model, out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ef::util::Cli cli(argc, argv);
+  try {
+    // ---- single-file modes (no training) ------------------------------
+    if (cli.has("list")) return run_list(cli.get_string("list", ""));
+    if (cli.has("extract")) {
+      const std::string container = cli.get_string("container", "");
+      if (container.empty()) {
+        std::fprintf(stderr, "eftrain: --extract requires --container FILE\n");
+        return 2;
+      }
+      return run_extract(container, cli.get_string("extract", ""),
+                         cli.get_string("out", ""));
+    }
+    if (cli.has("pack")) {
+      return run_pack(cli.get_string("pack", ""), cli.get_string("out", ""));
+    }
+
+    // ---- training configuration --------------------------------------
+    ef::fleet::FleetTrainOptions train_options;
+    train_options.window = static_cast<std::size_t>(cli.get_int("window", 6));
+    train_options.horizon = static_cast<std::size_t>(cli.get_int("horizon", 1));
+    train_options.stride = static_cast<std::size_t>(cli.get_int("stride", 1));
+    auto& config = train_options.config;
+    config.evolution.population_size =
+        static_cast<std::size_t>(cli.get_int("population", 40));
+    config.evolution.generations =
+        static_cast<std::size_t>(cli.get_int("generations", 800));
+    config.evolution.emax = cli.get_double("emax", 0.1);
+    config.evolution.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    config.coverage_target_percent = cli.get_double("coverage-target", 90.0);
+    config.max_executions = static_cast<std::size_t>(cli.get_int("max-executions", 2));
+    config.validate();
+
+    std::unique_ptr<ef::util::ThreadPool> private_pool;
+    const auto threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+    if (threads > 0) {
+      private_pool = std::make_unique<ef::util::ThreadPool>(threads);
+      train_options.pool = private_pool.get();
+    }
+
+    // ---- load the fleet -----------------------------------------------
+    std::vector<ef::fleet::SeriesRecord> fleet;
+    if (cli.has("synthetic")) {
+      fleet = synthetic_fleet(static_cast<std::size_t>(cli.get_int("synthetic", 100)),
+                              static_cast<std::size_t>(cli.get_int("length", 200)),
+                              config.evolution.seed);
+    } else if (cli.has("by-series")) {
+      const std::string data = cli.get_string("by-series", "");
+      fleet = fs::is_directory(data) ? ef::fleet::read_series_directory(data)
+                                     : ef::fleet::read_long_csv(data);
+    } else {
+      std::fprintf(stderr,
+                   "usage: eftrain --by-series DATA | --synthetic N | --pack DIR "
+                   "| --list FILE | --extract ID --container FILE\n"
+                   "  (see docs/FLEET.md for the full flag reference)\n");
+      return 2;
+    }
+    const auto limit = static_cast<std::size_t>(cli.get_int("limit", 0));
+    if (limit > 0 && fleet.size() > limit) fleet.resize(limit);
+    std::printf("fleet: %zu series\n", fleet.size());
+
+    // ---- train --------------------------------------------------------
+    const auto result = ef::fleet::train_fleet(fleet, train_options);
+    const double models_per_sec =
+        result.wall_seconds > 0.0
+            ? static_cast<double>(result.trained) / result.wall_seconds
+            : 0.0;
+    std::printf("trained %zu/%zu series in %.2fs (%.1f models/s, %zu rules",
+                result.trained, fleet.size(), result.wall_seconds, models_per_sec,
+                result.total_rules);
+    if (result.skipped > 0) std::printf(", %zu skipped", result.skipped);
+    std::printf(")\n");
+    for (const auto& model : result.models) {
+      if (model.skipped) {
+        std::fprintf(stderr, "  skipped %s: %s\n", model.id.c_str(),
+                     model.skip_reason.c_str());
+      }
+    }
+
+    // ---- pack ---------------------------------------------------------
+    const std::string out_path = cli.get_string("out", "");
+    ContainerStats container;
+    if (!out_path.empty()) {
+      ef::fleet::FleetWriter writer;
+      for (const auto& model : result.models) {
+        if (!model.skipped) writer.add(model.id, model.system);
+      }
+      writer.write_file(out_path);
+      container = measure_container(out_path);
+      std::printf(
+          "container: %s (%zu models, %zu bytes, %.1f bytes/model, "
+          "cold load %.1f us, lookup p99 %.0f ns)\n",
+          out_path.c_str(), container.models, container.bytes,
+          container.bytes_per_model, container.cold_load_us, container.lookup_p99_ns);
+    }
+
+    // ---- evaluate -----------------------------------------------------
+    ef::fleet::CorpusResult corpus;
+    const bool evaluated = cli.get_bool("evaluate");
+    if (evaluated) {
+      ef::fleet::CorpusOptions corpus_options;
+      corpus_options.train = train_options;
+      corpus_options.holdout_fraction = cli.get_double("holdout", 0.2);
+      corpus_options.min_holdout =
+          static_cast<std::size_t>(cli.get_int("min-holdout", 4));
+      corpus = ef::fleet::evaluate_fleet(fleet, corpus_options);
+      std::printf(
+          "corpus: %zu evaluated, %zu skipped | pooled rmse %.4f mae %.4f | "
+          "%% of prediction %.1f (%zu/%zu points) in %.2fs\n",
+          corpus.evaluated, corpus.skipped, corpus.pooled_rmse, corpus.pooled_mae,
+          corpus.percentage_of_prediction, corpus.covered_points, corpus.total_points,
+          corpus.wall_seconds);
+    }
+
+    // ---- bench report -------------------------------------------------
+    const std::string bench_path = cli.get_string("bench-json", "");
+    if (!bench_path.empty()) {
+      std::FILE* f = std::fopen(bench_path.c_str(), "w");
+      if (!f) {
+        std::fprintf(stderr, "eftrain: cannot write %s\n", bench_path.c_str());
+        return 2;
+      }
+      std::fprintf(f, "{\n");
+      std::fprintf(f, "  \"build\": %s,\n", ef::obs::build_info_json().c_str());
+      std::fprintf(f,
+                   "  \"config\": {\"series\": %zu, \"window\": %zu, \"horizon\": %zu, "
+                   "\"stride\": %zu, \"population\": %zu, \"generations\": %zu, "
+                   "\"max_executions\": %zu, \"seed\": %llu},\n",
+                   fleet.size(), train_options.window, train_options.horizon,
+                   train_options.stride, config.evolution.population_size,
+                   config.evolution.generations, config.max_executions,
+                   static_cast<unsigned long long>(config.evolution.seed));
+      std::fprintf(f,
+                   "  \"train\": {\"trained\": %zu, \"skipped\": %zu, \"rules\": %zu, "
+                   "\"wall_seconds\": %.4f, \"models_per_sec\": %.2f},\n",
+                   result.trained, result.skipped, result.total_rules,
+                   result.wall_seconds, models_per_sec);
+      if (!out_path.empty()) {
+        std::fprintf(f,
+                     "  \"container\": {\"models\": %zu, \"bytes\": %zu, "
+                     "\"bytes_per_model\": %.1f, \"cold_load_us\": %.2f, "
+                     "\"lookup_p50_ns\": %.0f, \"lookup_p99_ns\": %.0f, "
+                     "\"materialize_p99_us\": %.2f},\n",
+                     container.models, container.bytes, container.bytes_per_model,
+                     container.cold_load_us, container.lookup_p50_ns,
+                     container.lookup_p99_ns, container.materialize_p99_us);
+      }
+      if (evaluated) {
+        std::fprintf(f,
+                     "  \"corpus\": {\"evaluated\": %zu, \"skipped\": %zu, "
+                     "\"pooled_rmse\": %.6f, \"pooled_mae\": %.6f, "
+                     "\"percentage_of_prediction\": %.2f, \"total_points\": %zu, "
+                     "\"covered_points\": %zu, \"wall_seconds\": %.4f},\n",
+                     corpus.evaluated, corpus.skipped, corpus.pooled_rmse,
+                     corpus.pooled_mae, corpus.percentage_of_prediction,
+                     corpus.total_points, corpus.covered_points, corpus.wall_seconds);
+      }
+      std::fprintf(f, "  \"peak_rss_kb\": %zu\n", peak_rss_kb());
+      std::fprintf(f, "}\n");
+      std::fclose(f);
+      std::printf("bench: wrote %s\n", bench_path.c_str());
+    }
+
+    if (!cli.get_string("metrics-json", "").empty()) {
+      ef::obs::write_json_file(cli.get_string("metrics-json", ""));
+    }
+    if (cli.get_bool("report")) ef::obs::print_report();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "eftrain: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,257 @@
+// Tests for fleet/container.hpp: the `.efr` v2 multi-model container.
+// Round-trip (pack → load → bit-identical forecasts vs the v1 text format),
+// index lookup semantics, writer validation, and strict load hardening —
+// truncated files, corrupt headers, out-of-bounds offsets, unsorted ids and
+// non-finite payloads must all be rejected before any model is served.
+#include "fleet/container.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/rule_system.hpp"
+#include "fleet/bulk_trainer.hpp"
+#include "series/synthetic.hpp"
+
+namespace {
+
+using ef::core::RuleSystem;
+using ef::fleet::FleetReader;
+using ef::fleet::FleetWriter;
+
+/// A small genuinely-trained system (not hand-built), so round-trips cover
+/// wildcards, negative coefficients and real residual stats.
+RuleSystem trained_system(std::uint64_t seed) {
+  const auto series = ef::series::generate_sine(240, {1.0, 21.0, 0.3, 0.0, 0.05, seed});
+  const ef::core::WindowDataset data(series, 4, 1);
+  ef::core::RuleSystemConfig config;
+  config.evolution.population_size = 24;
+  config.evolution.generations = 150;
+  config.evolution.emax = 0.2;
+  config.evolution.seed = seed;
+  config.max_executions = 1;
+  return ef::core::train(data, {.config = config}).system;
+}
+
+/// v1 text round-trip: the bit-identity reference for container payloads.
+RuleSystem via_v1_text(const RuleSystem& system) {
+  std::stringstream buffer;
+  system.save(buffer);
+  return RuleSystem::load(buffer);
+}
+
+std::vector<std::uint8_t> encode_fleet(const std::vector<std::uint64_t>& seeds) {
+  FleetWriter writer;
+  for (const std::uint64_t seed : seeds) {
+    writer.add("series-" + std::to_string(seed), trained_system(seed));
+  }
+  return writer.encode();
+}
+
+/// Forecast both systems over a probe dataset and require *bit* equality —
+/// the container must not perturb a single ULP relative to v1.
+void expect_identical_forecasts(const RuleSystem& a, const RuleSystem& b) {
+  ASSERT_EQ(a.size(), b.size());
+  const auto probe = ef::series::generate_sine(120, {1.0, 21.0, 0.0, 0.0, 0.1, 99});
+  const ef::core::WindowDataset data(probe, 4, 1);
+  for (std::size_t i = 0; i < data.count(); ++i) {
+    const auto pa = a.predict(data.pattern(i));
+    const auto pb = b.predict(data.pattern(i));
+    ASSERT_EQ(pa.has_value(), pb.has_value()) << "pattern " << i;
+    if (pa.has_value()) {
+      ASSERT_EQ(std::memcmp(&*pa, &*pb, sizeof(double)), 0) << "pattern " << i;
+    }
+  }
+}
+
+TEST(FleetContainer, RoundTripBitIdenticalToV1) {
+  const RuleSystem original = trained_system(7);
+  ASSERT_GT(original.size(), 0u);
+
+  FleetWriter writer;
+  writer.add("alpha", original);
+  auto reader = FleetReader::from_bytes(writer.encode());
+  ASSERT_EQ(reader.size(), 1u);
+
+  const RuleSystem from_container = reader.materialize_at(0);
+  expect_identical_forecasts(from_container, via_v1_text(original));
+  expect_identical_forecasts(from_container, original);
+}
+
+TEST(FleetContainer, IndexIsSortedAndSearchable) {
+  FleetWriter writer;
+  const RuleSystem system = trained_system(3);
+  // Added out of order; the index must come back sorted.
+  writer.add("zebra", system);
+  writer.add("ant", system);
+  writer.add("mule", system);
+  auto reader = FleetReader::from_bytes(writer.encode());
+  ASSERT_EQ(reader.size(), 3u);
+  EXPECT_EQ(reader.id_at(0), "ant");
+  EXPECT_EQ(reader.id_at(1), "mule");
+  EXPECT_EQ(reader.id_at(2), "zebra");
+  EXPECT_EQ(reader.find("mule"), std::optional<std::size_t>(1));
+  EXPECT_FALSE(reader.find("aardvark").has_value());
+  EXPECT_FALSE(reader.find("").has_value());
+  EXPECT_TRUE(reader.contains("zebra"));
+  EXPECT_EQ(reader.rule_count_at(0), system.size());
+  EXPECT_EQ(reader.ids(), (std::vector<std::string>{"ant", "mule", "zebra"}));
+}
+
+TEST(FleetContainer, FileRoundTripViaMmap) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "fleet_container_test.efr2").string();
+  FleetWriter writer;
+  const RuleSystem original = trained_system(11);
+  writer.add("only", original);
+  writer.write_file(path);
+
+  auto reader = FleetReader::open(path);
+  EXPECT_EQ(reader.bytes(), std::filesystem::file_size(path));
+  ASSERT_EQ(reader.size(), 1u);
+  const auto materialized = reader.materialize("only");
+  ASSERT_TRUE(materialized.has_value());
+  expect_identical_forecasts(*materialized, original);
+  std::filesystem::remove(path);
+}
+
+TEST(FleetContainer, WriterRejectsBadInput) {
+  FleetWriter writer;
+  const RuleSystem system = trained_system(5);
+  EXPECT_THROW(writer.add("", system), std::invalid_argument);
+  writer.add("dup", system);
+  EXPECT_THROW(writer.add("dup", system), std::invalid_argument);
+  EXPECT_THROW(writer.add(std::string(5000, 'x'), system), std::invalid_argument);
+}
+
+TEST(FleetContainer, EmptyContainerRoundTrips) {
+  const FleetWriter writer;
+  auto reader = FleetReader::from_bytes(writer.encode());
+  EXPECT_TRUE(reader.empty());
+  EXPECT_FALSE(reader.find("anything").has_value());
+}
+
+// ---- hardening -----------------------------------------------------------
+
+TEST(FleetContainerHardening, TruncationsRejected) {
+  const auto bytes = encode_fleet({1, 2});
+  // Every strict prefix must be rejected at open — sweep a spread of cut
+  // points including "header only" and "one byte short".
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{7}, std::size_t{63}, std::size_t{64},
+        std::size_t{100}, bytes.size() / 2, bytes.size() - 1}) {
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW((void)FleetReader::from_bytes(std::move(cut)), std::runtime_error)
+        << "kept " << keep << " of " << bytes.size();
+  }
+}
+
+TEST(FleetContainerHardening, BadMagicAndVersionRejected) {
+  auto bytes = encode_fleet({1});
+  auto corrupt = bytes;
+  corrupt[0] = 'X';
+  EXPECT_THROW((void)FleetReader::from_bytes(std::move(corrupt)), std::runtime_error);
+  corrupt = bytes;
+  corrupt[8] = 0x7f;  // version
+  EXPECT_THROW((void)FleetReader::from_bytes(std::move(corrupt)), std::runtime_error);
+  corrupt = bytes;
+  corrupt[12] = 1;  // flags must be zero
+  EXPECT_THROW((void)FleetReader::from_bytes(std::move(corrupt)), std::runtime_error);
+}
+
+TEST(FleetContainerHardening, HostileCountsAndOffsetsRejected) {
+  const auto bytes = encode_fleet({1});
+  const auto poke_u64 = [&](std::size_t offset, std::uint64_t value) {
+    auto corrupt = bytes;
+    std::memcpy(corrupt.data() + offset, &value, sizeof(value));
+    EXPECT_THROW((void)FleetReader::from_bytes(std::move(corrupt)), std::runtime_error)
+        << "u64@" << offset << " = " << value;
+  };
+  poke_u64(16, ~0ull);                 // n_models absurd
+  poke_u64(16, 2);                     // n_models > actual index entries
+  poke_u64(24, 0);                     // index_off not canonical
+  poke_u64(32, ~0ull - 8);             // ids_off out of file
+  poke_u64(40, ~0ull / 2);             // ids_bytes overflows the file
+  poke_u64(48, 3);                     // models_off misaligned
+  poke_u64(56, 10);                    // declared size != actual
+}
+
+TEST(FleetContainerHardening, CorruptIndexEntryRejected) {
+  const auto bytes = encode_fleet({1});
+  // IndexEntry 0 starts at 64: id_off u64, id_len u32, rule_count u32,
+  // model_off u64, model_len u64.
+  const auto poke = [&](std::size_t offset, std::uint64_t value, std::size_t width) {
+    auto corrupt = bytes;
+    std::memcpy(corrupt.data() + offset, &value, width);
+    EXPECT_THROW((void)FleetReader::from_bytes(std::move(corrupt)), std::runtime_error)
+        << "index@" << offset;
+  };
+  poke(64, ~0ull, 8);       // id_off near UINT64_MAX (overflow guard)
+  poke(72, 0, 4);           // empty id
+  poke(72, 1u << 20, 4);    // id_len past the arena
+  poke(80, 64, 8);          // model_off inside the index region
+  poke(88, ~0ull, 8);       // model_len overflows the file
+}
+
+TEST(FleetContainerHardening, UnsortedOrDuplicateIdsRejected) {
+  const RuleSystem system = trained_system(2);
+  FleetWriter writer;
+  writer.add("aa", system);
+  writer.add("bb", system);
+  auto bytes = writer.encode();
+  // Both ids are 2 bytes; swapping the two id_off fields (index entries at
+  // 64 and 96) makes the index lexicographically descending.
+  std::uint64_t off0 = 0;
+  std::uint64_t off1 = 0;
+  std::memcpy(&off0, bytes.data() + 64, 8);
+  std::memcpy(&off1, bytes.data() + 96, 8);
+  auto unsorted = bytes;
+  std::memcpy(unsorted.data() + 64, &off1, 8);
+  std::memcpy(unsorted.data() + 96, &off0, 8);
+  EXPECT_THROW((void)FleetReader::from_bytes(std::move(unsorted)), std::runtime_error);
+  // Pointing both entries at the same id makes a duplicate.
+  auto duplicate = bytes;
+  std::memcpy(duplicate.data() + 96, &off0, 8);
+  EXPECT_THROW((void)FleetReader::from_bytes(std::move(duplicate)), std::runtime_error);
+}
+
+TEST(FleetContainerHardening, CorruptPayloadRejectedAtMaterialize) {
+  FleetWriter writer;
+  writer.add("m", trained_system(4));
+  const auto bytes = writer.encode();
+  std::uint64_t models_off = 0;
+  std::memcpy(&models_off, bytes.data() + 48, 8);
+
+  // Open never touches the payload, so corruption there must surface at
+  // materialize_at — as an exception, never as garbage rules.
+  const auto poke_payload = [&](std::size_t rel, std::uint64_t value) {
+    auto corrupt = bytes;
+    std::memcpy(corrupt.data() + models_off + rel, &value, 8);
+    auto reader = FleetReader::from_bytes(std::move(corrupt));
+    EXPECT_THROW((void)reader.materialize_at(0), std::runtime_error) << "payload@" << rel;
+  };
+  poke_payload(0, ~0ull);   // window cap
+  poke_payload(0, 0);       // window zero
+  poke_payload(8, ~0ull);   // n_coeffs cap
+  // Non-finite fitness (payload offset 32 = fitness f64).
+  const double inf = std::numeric_limits<double>::infinity();
+  auto corrupt = bytes;
+  std::memcpy(corrupt.data() + models_off + 32, &inf, 8);
+  auto reader = FleetReader::from_bytes(std::move(corrupt));
+  EXPECT_THROW((void)reader.materialize_at(0), std::runtime_error);
+}
+
+TEST(FleetContainer, OpenMissingFileThrows) {
+  EXPECT_THROW((void)FleetReader::open("/nonexistent/fleet.efr2"), std::runtime_error);
+}
+
+}  // namespace

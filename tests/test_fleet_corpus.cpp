@@ -1,0 +1,126 @@
+// Tests for fleet/corpus.hpp: rolling-origin fleet evaluation — holdout
+// sizing, skip handling, and the pooled aggregate recomposition (covered
+// points weight the fleet-level RMSE/MAE; percentage of prediction is the
+// fleet-wide abstention complement).
+#include "fleet/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "series/synthetic.hpp"
+
+namespace {
+
+using ef::fleet::CorpusOptions;
+using ef::fleet::evaluate_fleet;
+using ef::fleet::SeriesRecord;
+
+std::vector<SeriesRecord> test_fleet(std::size_t count, std::size_t length) {
+  std::vector<SeriesRecord> fleet;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    fleet.push_back({"s" + std::to_string(i),
+                     ef::series::generate_sine(
+                         length, {1.0, 18.0 + static_cast<double>(i), 0.0, 0.0, 0.05, i + 5})});
+  }
+  return fleet;
+}
+
+CorpusOptions quick_options() {
+  CorpusOptions options;
+  options.train.window = 4;
+  options.train.config.evolution.population_size = 16;
+  options.train.config.evolution.generations = 80;
+  options.train.config.evolution.emax = 0.25;
+  options.train.config.evolution.seed = 3;
+  options.train.config.max_executions = 1;
+  return options;
+}
+
+TEST(FleetCorpus, EvaluatesEverySeriesWithExpectedHoldout) {
+  const auto fleet = test_fleet(4, 150);
+  const auto options = quick_options();
+  const auto result = evaluate_fleet(fleet, options);
+
+  ASSERT_EQ(result.series.size(), fleet.size());
+  EXPECT_EQ(result.evaluated, fleet.size());
+  EXPECT_EQ(result.skipped, 0u);
+  std::size_t total = 0;
+  std::size_t covered = 0;
+  for (const auto& s : result.series) {
+    EXPECT_FALSE(s.skipped) << s.id << ": " << s.skip_reason;
+    // holdout = floor(0.2 · 150) = 30 one-step targets, every one scored.
+    EXPECT_EQ(s.holdout_points, 30u) << s.id;
+    EXPECT_EQ(s.report.total, s.holdout_points);
+    EXPECT_GT(s.rules, 0u);
+    total += s.report.total;
+    covered += s.report.covered;
+  }
+  EXPECT_EQ(result.total_points, total);
+  EXPECT_EQ(result.covered_points, covered);
+  EXPECT_NEAR(result.percentage_of_prediction,
+              100.0 * static_cast<double>(covered) / static_cast<double>(total), 1e-9);
+  EXPECT_GE(result.percentage_of_prediction, 0.0);
+  EXPECT_LE(result.percentage_of_prediction, 100.0);
+}
+
+TEST(FleetCorpus, PooledErrorsRecomposeFromPerSeriesReports) {
+  const auto result = evaluate_fleet(test_fleet(3, 140), quick_options());
+  double sum_sq = 0.0;
+  double sum_abs = 0.0;
+  double covered = 0.0;
+  for (const auto& s : result.series) {
+    const auto n = static_cast<double>(s.report.covered);
+    sum_sq += s.report.rmse * s.report.rmse * n;
+    sum_abs += s.report.mae * n;
+    covered += n;
+  }
+  if (covered > 0.0) {
+    EXPECT_NEAR(result.pooled_rmse, std::sqrt(sum_sq / covered), 1e-9);
+    EXPECT_NEAR(result.pooled_mae, sum_abs / covered, 1e-9);
+    EXPECT_GE(result.pooled_rmse, result.pooled_mae);  // RMS ≥ mean absolute
+  }
+}
+
+TEST(FleetCorpus, ShortSeriesSkippedWithReason) {
+  auto fleet = test_fleet(2, 150);
+  // 6 samples < embed + 1 + min_holdout = 4 + 1 + 4: must be skipped.
+  fleet.push_back({"tiny", ef::series::generate_sine(6, {})});
+  const auto result = evaluate_fleet(fleet, quick_options());
+  EXPECT_EQ(result.evaluated, 2u);
+  EXPECT_EQ(result.skipped, 1u);
+  EXPECT_TRUE(result.series.back().skipped);
+  EXPECT_EQ(result.series.back().id, "tiny");
+  EXPECT_FALSE(result.series.back().skip_reason.empty());
+}
+
+TEST(FleetCorpus, MinHoldoutOverridesFraction) {
+  auto options = quick_options();
+  options.holdout_fraction = 0.01;  // floor(0.01 · 150) = 1 → clamped up to 8
+  options.min_holdout = 8;
+  const auto result = evaluate_fleet(test_fleet(1, 150), options);
+  ASSERT_EQ(result.evaluated, 1u);
+  EXPECT_EQ(result.series[0].holdout_points, 8u);
+}
+
+TEST(FleetCorpus, DeterministicAcrossRuns) {
+  const auto fleet = test_fleet(3, 140);
+  const auto options = quick_options();
+  const auto a = evaluate_fleet(fleet, options);
+  const auto b = evaluate_fleet(fleet, options);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  EXPECT_EQ(a.pooled_rmse, b.pooled_rmse);
+  EXPECT_EQ(a.pooled_mae, b.pooled_mae);
+  EXPECT_EQ(a.covered_points, b.covered_points);
+}
+
+TEST(FleetCorpus, EmptyFleet) {
+  const auto result = evaluate_fleet({}, quick_options());
+  EXPECT_EQ(result.evaluated, 0u);
+  EXPECT_EQ(result.total_points, 0u);
+  EXPECT_EQ(result.percentage_of_prediction, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,208 @@
+// Tests for fleet/long_csv.hpp and fleet/bulk_trainer.hpp: long-format CSV
+// grouping and validation, dataset-directory loading, per-series seed
+// derivation, and the bulk trainer's core determinism contract — the same
+// fleet trained with different pool widths (and in shuffled order) produces
+// bit-identical rule systems per series id.
+#include "fleet/bulk_trainer.hpp"
+#include "fleet/long_csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/rule_system.hpp"
+#include "series/synthetic.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using ef::fleet::derive_series_seed;
+using ef::fleet::FleetTrainOptions;
+using ef::fleet::read_long_csv;
+using ef::fleet::SeriesRecord;
+using ef::fleet::train_fleet;
+
+std::vector<double> values_of(const ef::series::TimeSeries& s) {
+  return {s.values().begin(), s.values().end()};
+}
+
+// ---- long CSV ------------------------------------------------------------
+
+TEST(LongCsv, GroupsRowsByIdInFirstAppearanceOrder) {
+  std::istringstream in(
+      "series_id,timestamp,value\n"
+      "b,2021-01-01,1.5\n"
+      "a,2021-01-01,10\n"
+      "b,2021-01-02,2.5\n"
+      "a,2021-01-02,20\n"
+      "c,2021-01-01,-3\n");
+  const auto fleet = read_long_csv(in);
+  ASSERT_EQ(fleet.size(), 3u);
+  EXPECT_EQ(fleet[0].id, "b");
+  EXPECT_EQ(fleet[1].id, "a");
+  EXPECT_EQ(fleet[2].id, "c");
+  EXPECT_EQ(values_of(fleet[0].series), (std::vector<double>{1.5, 2.5}));
+  EXPECT_EQ(values_of(fleet[1].series), (std::vector<double>{10.0, 20.0}));
+  EXPECT_EQ(values_of(fleet[2].series), (std::vector<double>{-3.0}));
+}
+
+TEST(LongCsv, HeaderlessInputAndExtraColumnsAccepted) {
+  std::istringstream in(
+      "x,t0,1.0,extra,columns\n"
+      "x,t1,2.0\n");
+  const auto fleet = read_long_csv(in);
+  ASSERT_EQ(fleet.size(), 1u);
+  EXPECT_EQ(fleet[0].series.size(), 2u);
+}
+
+TEST(LongCsv, RejectsMalformedRowsWithLineNumbers) {
+  const auto expect_throw_mentioning = [](const std::string& text, const std::string& line) {
+    std::istringstream in(text);
+    try {
+      (void)read_long_csv(in);
+      FAIL() << "expected std::runtime_error for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(line), std::string::npos) << e.what();
+    }
+  };
+  expect_throw_mentioning("a,t,1.0\nshort,row\n", "line 2");          // < 3 columns
+  expect_throw_mentioning("a,t,1.0\nb,t,not-a-number\n", "line 2");   // bad value
+  expect_throw_mentioning("a,t,1.0\nb,t,1.5trailing\n", "line 2");    // trailing junk
+  expect_throw_mentioning("a,t,1.0\nb,t,inf\n", "line 2");            // non-finite
+  expect_throw_mentioning("a,t,1.0\n,t,2.0\n", "line 2");             // empty id
+}
+
+TEST(LongCsv, SeriesCapEnforced) {
+  std::istringstream in("a,t,1\nb,t,2\nc,t,3\n");
+  ef::fleet::LongCsvOptions options;
+  options.max_series = 2;
+  EXPECT_THROW((void)read_long_csv(in, options), std::runtime_error);
+}
+
+TEST(LongCsv, MissingFileThrows) {
+  EXPECT_THROW((void)read_long_csv(std::string("/nonexistent/fleet.csv")),
+               std::runtime_error);
+}
+
+TEST(SeriesDirectory, LoadsOneSeriesPerCsvByStem) {
+  const auto dir = std::filesystem::temp_directory_path() / "fleet_dir_test";
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir / "beta.csv") << "1.0\n2.0\n3.0\n";
+  std::ofstream(dir / "alpha.csv") << "5.5\n6.5\n";
+  std::ofstream(dir / "ignored.txt") << "not a csv\n";
+  const auto fleet = ef::fleet::read_series_directory(dir.string());
+  ASSERT_EQ(fleet.size(), 2u);
+  EXPECT_EQ(fleet[0].id, "alpha");  // lexicographic file order
+  EXPECT_EQ(fleet[1].id, "beta");
+  EXPECT_EQ(fleet[0].series.size(), 2u);
+  EXPECT_EQ(fleet[1].series.size(), 3u);
+  std::filesystem::remove_all(dir);
+}
+
+// ---- seed derivation -----------------------------------------------------
+
+TEST(SeedDerivation, DeterministicAndIdSensitive) {
+  EXPECT_EQ(derive_series_seed(1, "alpha"), derive_series_seed(1, "alpha"));
+  EXPECT_NE(derive_series_seed(1, "alpha"), derive_series_seed(1, "alphb"));
+  EXPECT_NE(derive_series_seed(1, "alpha"), derive_series_seed(2, "alpha"));
+  // Near-identical ids must land far apart, not in adjacent seed values.
+  std::set<std::uint64_t> seeds;
+  for (int i = 0; i < 100; ++i) {
+    seeds.insert(derive_series_seed(7, "series-" + std::to_string(i)));
+  }
+  EXPECT_EQ(seeds.size(), 100u);
+}
+
+// ---- bulk trainer --------------------------------------------------------
+
+std::vector<SeriesRecord> small_fleet() {
+  std::vector<SeriesRecord> fleet;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    fleet.push_back({"s" + std::to_string(i),
+                     ef::series::generate_sine(
+                         150, {1.0, 15.0 + static_cast<double>(i), 0.0, 0.0, 0.05, i + 1})});
+  }
+  return fleet;
+}
+
+FleetTrainOptions quick_options() {
+  FleetTrainOptions options;
+  options.window = 4;
+  options.config.evolution.population_size = 16;
+  options.config.evolution.generations = 60;
+  options.config.evolution.emax = 0.25;
+  options.config.evolution.seed = 42;
+  options.config.max_executions = 1;
+  return options;
+}
+
+/// Canonical text of a trained system — the bit-identity comparator.
+std::string text_of(const ef::core::RuleSystem& system) {
+  std::stringstream out;
+  system.save(out);
+  return out.str();
+}
+
+TEST(BulkTrainer, TrainsEverySeriesAndCountsRules) {
+  const auto fleet = small_fleet();
+  const auto result = train_fleet(fleet, quick_options());
+  ASSERT_EQ(result.models.size(), fleet.size());
+  EXPECT_EQ(result.trained, fleet.size());
+  EXPECT_EQ(result.skipped, 0u);
+  std::size_t rules = 0;
+  for (const auto& model : result.models) {
+    EXPECT_EQ(model.seed, derive_series_seed(42, model.id));
+    EXPECT_GT(model.system.size(), 0u) << model.id;
+    rules += model.system.size();
+  }
+  EXPECT_EQ(result.total_rules, rules);
+}
+
+TEST(BulkTrainer, DeterministicAcrossPoolWidthAndOrder) {
+  auto fleet = small_fleet();
+  auto options = quick_options();
+
+  ef::util::ThreadPool one(1);
+  options.pool = &one;
+  const auto serial = train_fleet(fleet, options);
+
+  ef::util::ThreadPool four(4);
+  options.pool = &four;
+  std::reverse(fleet.begin(), fleet.end());  // order must not matter either
+  const auto parallel = train_fleet(fleet, options);
+
+  ASSERT_EQ(serial.trained, parallel.trained);
+  for (const auto& a : serial.models) {
+    const auto b = std::find_if(parallel.models.begin(), parallel.models.end(),
+                                [&](const auto& m) { return m.id == a.id; });
+    ASSERT_NE(b, parallel.models.end()) << a.id;
+    EXPECT_EQ(text_of(a.system), text_of(b->system)) << a.id;
+  }
+}
+
+TEST(BulkTrainer, ShortSeriesSkippedNotFatal) {
+  auto fleet = small_fleet();
+  fleet.push_back({"too-short", ef::series::generate_sine(3, {})});
+  const auto result = train_fleet(fleet, quick_options());
+  EXPECT_EQ(result.trained, fleet.size() - 1);
+  EXPECT_EQ(result.skipped, 1u);
+  const auto& skipped = result.models.back();
+  EXPECT_TRUE(skipped.skipped);
+  EXPECT_EQ(skipped.id, "too-short");
+  EXPECT_FALSE(skipped.skip_reason.empty());
+}
+
+TEST(BulkTrainer, EmptyFleetIsFine) {
+  const auto result = train_fleet({}, quick_options());
+  EXPECT_EQ(result.trained, 0u);
+  EXPECT_EQ(result.skipped, 0u);
+  EXPECT_TRUE(result.models.empty());
+}
+
+}  // namespace

@@ -59,6 +59,8 @@ TEST(FuzzCorpus, JsonRoundTrip) { replay_corpus("json", ef::fuzz::json_roundtrip
 
 TEST(FuzzCorpus, EfrLoad) { replay_corpus("efr", ef::fuzz::efr_load); }
 
+TEST(FuzzCorpus, Efr2Load) { replay_corpus("efr2", ef::fuzz::efr2_load); }
+
 TEST(FuzzCorpus, ProtocolLine) { replay_corpus("protocol", ef::fuzz::protocol_line); }
 
 TEST(FuzzCorpus, CsvLoad) { replay_corpus("csv", ef::fuzz::csv_load); }

@@ -1,0 +1,205 @@
+// Tests for ModelStore's container-backed mode: fallthrough lookup with
+// lazy materialisation, named-entry shadowing, the one-stat poll (container
+// generation swap on repack), corrupt-repack resilience, and RCU liveness
+// for models materialised from a replaced generation.
+#include "serve/model_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/interval.hpp"
+#include "core/rule.hpp"
+#include "core/rule_system.hpp"
+#include "fleet/container.hpp"
+
+namespace {
+
+using ef::core::Interval;
+using ef::core::Rule;
+using ef::core::RuleSystem;
+using ef::fleet::FleetWriter;
+using ef::serve::ModelStore;
+
+/// One-rule system predicting the constant `value` on windows in [0,1]^2.
+RuleSystem constant_system(double value) {
+  Rule rule({Interval(0.0, 1.0), Interval(0.0, 1.0)});
+  ef::core::PredictingPart part;
+  part.fit.coeffs = {0.0, 0.0, value};
+  part.fit.mean_prediction = value;
+  part.fit.max_abs_residual = 0.01;
+  part.matches = 4;
+  part.fitness = 2.0;
+  rule.set_predicting(part);
+  RuleSystem system;
+  system.add_rules({rule}, false, -1.0);
+  return system;
+}
+
+std::filesystem::path temp_container_path(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+void write_container(const std::filesystem::path& path,
+                     const std::vector<std::pair<std::string, double>>& models) {
+  FleetWriter writer;
+  for (const auto& [id, value] : models) writer.add(id, constant_system(value));
+  writer.write_file(path.string());
+}
+
+void bump_mtime(const std::filesystem::path& path) {
+  const auto now = std::filesystem::last_write_time(path);
+  std::filesystem::last_write_time(path, now + std::chrono::seconds(2));
+}
+
+double predict_value(const ef::serve::LoadedModel& model) {
+  const std::vector<double> window{0.5, 0.5};
+  const auto p = model.forecast(window);
+  EXPECT_FALSE(p.abstained);
+  return p.value;
+}
+
+TEST(ServeContainer, AttachAndFallthroughGet) {
+  const auto path = temp_container_path("serve_container_basic.efr2");
+  write_container(path, {{"aaa", 1.0}, {"bbb", 2.0}});
+
+  ModelStore store;
+  EXPECT_FALSE(store.has_container());
+  store.attach_container(path.string());
+  EXPECT_TRUE(store.has_container());
+
+  // Container series resolve through the same get() as named models.
+  const auto model = store.get("bbb");
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->name(), "bbb");
+  EXPECT_EQ(model->version(), 1u);  // container generation
+  EXPECT_DOUBLE_EQ(predict_value(*model), 2.0);
+  EXPECT_EQ(store.get("absent"), nullptr);
+
+  // Repeated gets hit the materialisation cache — same snapshot object.
+  EXPECT_EQ(store.get("bbb").get(), model.get());
+
+  const auto info = store.container_info();
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->models, 2u);
+  EXPECT_EQ(info->generation, 1u);
+  EXPECT_EQ(info->materialized, 1u);  // only "bbb" touched
+  EXPECT_GT(info->bytes, 0u);
+  EXPECT_EQ(store.container_ids(), (std::vector<std::string>{"aaa", "bbb"}));
+  EXPECT_EQ(store.container_ids(1), (std::vector<std::string>{"aaa"}));
+
+  // names()/size() still describe the named namespace only.
+  EXPECT_EQ(store.size(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(ServeContainer, NamedEntryShadowsContainerSeries) {
+  const auto path = temp_container_path("serve_container_shadow.efr2");
+  write_container(path, {{"shared", 1.0}});
+  ModelStore store;
+  store.attach_container(path.string());
+  store.add_system("shared", constant_system(9.0));
+  const auto model = store.get("shared");
+  ASSERT_NE(model, nullptr);
+  EXPECT_DOUBLE_EQ(predict_value(*model), 9.0);  // named wins
+  std::filesystem::remove(path);
+}
+
+TEST(ServeContainer, RepackSwapsWholeFleetInOnePoll) {
+  const auto path = temp_container_path("serve_container_repack.efr2");
+  write_container(path, {{"s1", 1.0}, {"s2", 2.0}});
+  ModelStore store;
+  store.attach_container(path.string());
+
+  const auto old_model = store.get("s1");
+  ASSERT_NE(old_model, nullptr);
+  EXPECT_DOUBLE_EQ(predict_value(*old_model), 1.0);
+  EXPECT_EQ(store.poll_now(), 0u);  // unchanged file: no reload
+
+  // Repack (atomic rename, like eftrain) with new values and a new series.
+  write_container(path, {{"s1", 10.0}, {"s2", 20.0}, {"s3", 30.0}});
+  bump_mtime(path);
+  EXPECT_EQ(store.poll_now(), 1u);  // one reload covers the whole fleet
+
+  const auto info = store.container_info();
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->generation, 2u);
+  EXPECT_EQ(info->models, 3u);
+  EXPECT_EQ(info->materialized, 0u);  // fresh generation starts cold
+
+  const auto new_model = store.get("s1");
+  ASSERT_NE(new_model, nullptr);
+  EXPECT_EQ(new_model->version(), 2u);
+  EXPECT_DOUBLE_EQ(predict_value(*new_model), 10.0);
+  ASSERT_NE(store.get("s3"), nullptr);
+
+  // RCU liveness: the pre-repack snapshot still serves for its holders.
+  EXPECT_DOUBLE_EQ(predict_value(*old_model), 1.0);
+  EXPECT_EQ(old_model->version(), 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(ServeContainer, CorruptRepackKeepsOldGenerationServing) {
+  const auto path = temp_container_path("serve_container_corrupt.efr2");
+  write_container(path, {{"keep", 5.0}});
+  ModelStore store;
+  store.attach_container(path.string());
+
+  // Publish the corrupt bytes the way a (buggy) packer would: temp +
+  // rename. In-place truncation would yank pages out from under the live
+  // mapping — the format contract requires atomic replacement, which keeps
+  // the old inode (and the old generation's mmap) intact.
+  {
+    const auto tmp = temp_container_path("serve_container_corrupt.tmp");
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << "this is not a container";
+    out.close();
+    std::filesystem::rename(tmp, path);
+  }
+  bump_mtime(path);
+  EXPECT_EQ(store.poll_now(), 0u);
+  // Old generation still serves every series.
+  const auto model = store.get("keep");
+  ASSERT_NE(model, nullptr);
+  EXPECT_DOUBLE_EQ(predict_value(*model), 5.0);
+  EXPECT_EQ(store.container_info()->generation, 1u);
+  // The failed mtime is remembered: polling again does not re-validate.
+  EXPECT_EQ(store.poll_now(), 0u);
+
+  // A good repack recovers.
+  write_container(path, {{"keep", 6.0}});
+  bump_mtime(path);
+  EXPECT_EQ(store.poll_now(), 1u);
+  EXPECT_DOUBLE_EQ(predict_value(*store.get("keep")), 6.0);
+  EXPECT_EQ(store.container_info()->generation, 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(ServeContainer, AttachMalformedContainerThrows) {
+  const auto path = temp_container_path("serve_container_bad.efr2");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  ModelStore store;
+  EXPECT_THROW(store.attach_container(path.string()), std::runtime_error);
+  EXPECT_FALSE(store.has_container());
+  std::filesystem::remove(path);
+}
+
+TEST(ServeContainer, ReattachBumpsGeneration) {
+  const auto path = temp_container_path("serve_container_reattach.efr2");
+  write_container(path, {{"x", 1.0}});
+  ModelStore store;
+  store.attach_container(path.string());
+  EXPECT_EQ(store.container_info()->generation, 1u);
+  store.attach_container(path.string());
+  EXPECT_EQ(store.container_info()->generation, 2u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
