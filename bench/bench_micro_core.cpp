@@ -125,7 +125,7 @@ void BM_RuleSystemQuery(benchmark::State& state) {
   const auto& system = query_system();
   std::size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(system.predict(data.pattern(i)));
+    benchmark::DoNotOptimize(system.forecast(data.pattern(i)).as_optional());
     i = (i + 1) % data.count();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -141,7 +141,7 @@ void BM_RuleIndexQuery(benchmark::State& state) {
                                          static_cast<std::size_t>(state.range(0)));
   std::size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(index.predict(data.pattern(i)));
+    benchmark::DoNotOptimize(index.forecast(data.pattern(i)).as_optional());
     i = (i + 1) % data.count();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *

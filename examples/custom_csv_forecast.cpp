@@ -103,8 +103,8 @@ int main(int argc, char** argv) {
   // Spot-check: the reloaded system must forecast identically.
   std::size_t checked = 0;
   for (std::size_t i = 0; i < validation.count() && checked < 50; ++i) {
-    const auto a = result.system.predict(validation.pattern(i));
-    const auto b = reloaded.predict(validation.pattern(i));
+    const auto a = result.system.forecast(validation.pattern(i)).as_optional();
+    const auto b = reloaded.forecast(validation.pattern(i)).as_optional();
     if (a.has_value() != b.has_value() ||
         (a && std::abs(*a - *b) > 1e-9)) {
       std::printf("round-trip MISMATCH at window %zu\n", i);

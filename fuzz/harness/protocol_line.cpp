@@ -21,16 +21,19 @@ namespace {
 
 int protocol_line(const std::uint8_t* data, std::size_t size) {
   const std::string_view line(reinterpret_cast<const char*>(data), size);
-  std::string error;
+  serve::ProtocolError error;
   const std::optional<serve::Request> request = serve::parse_request(line, error);
-  if (!request && error.empty()) die("rejection without an error message");
+  if (!request && error.message.empty()) die("rejection without an error message");
+  if (!request && error.code == serve::ErrorCode::kNone) die("rejection without an error code");
 
   // Whatever the parse produced, the server answers with protocol JSON. The
-  // error envelope quotes the (hostile) error text, so it must survive its
-  // own escaping: efstat and the smoke harness parse these lines with the
-  // same strict parser.
+  // error envelope quotes the (hostile) error text — and under v2 echoes the
+  // hostile id verbatim — so it must survive its own escaping: efstat and
+  // the smoke harness parse these lines with the same strict parser.
   const std::string envelope =
-      serve::error_json(error.empty() ? std::string_view("fuzz") : std::string_view(error));
+      request ? serve::error_json(serve::ErrorCode::kInternal, "fuzz", request->version,
+                                  request->id_json)
+              : serve::error_json(error);
   std::string parse_error;
   if (!serve::json::parse(envelope, parse_error)) {
     die("error envelope is not valid protocol JSON: " + parse_error + ": " + envelope);
@@ -44,6 +47,8 @@ int protocol_line(const std::uint8_t* data, std::size_t size) {
     for (const double v : request->predict.window) {
       if (!std::isfinite(v)) die("non-finite window value accepted");
     }
+    if (request->version != 1 && request->version != 2) die("parsed version not 1 or 2");
+    if (request->version == 1 && !request->id_json.empty()) die("id without v2 envelope");
   }
   return 0;
 }

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Gate a bench_serve_throughput --bench-json report (BENCH_serve.json).
+
+Structural checks always run: the report must carry the mode, throughput,
+outcome and latency sections the open-loop load generator writes, the
+quantiles must be ordered, the histogram must account for every request,
+and no request may have failed (the RCU reload contract: hot-swapping the
+model mid-load never drops a request).
+
+Optional band checks (opt-in flags, so CI on wildly different hardware can
+pick its own floors):
+
+  --min-rps R        achieved throughput floor
+  --max-p99-us N     p99 latency ceiling
+  --min-connections N  the run must have used at least N connections
+
+Usage:
+  python3 scripts/check_serve_bench.py BENCH_serve.json [--min-rps 1000]
+      [--max-p99-us 500000] [--min-connections 64]
+
+Exit codes: 0 all checks pass, 1 check failures, 2 usage/IO error.
+"""
+
+import json
+import sys
+
+FAILURES = []
+
+
+def check(name, ok, detail=""):
+    status = "ok" if ok else "FAIL"
+    suffix = f"  ({detail})" if detail else ""
+    print(f"[{status:>4}] {name}{suffix}")
+    if not ok:
+        FAILURES.append(name)
+
+
+def main(argv):
+    args = []
+    flags = {}
+    rest = argv[1:]
+    i = 0
+    while i < len(rest):
+        if rest[i].startswith("--"):
+            if i + 1 >= len(rest):
+                print(f"error: flag {rest[i]} needs a value", file=sys.stderr)
+                return 2
+            flags[rest[i][2:]] = rest[i + 1]
+            i += 2
+        else:
+            args.append(rest[i])
+            i += 1
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    try:
+        with open(args[0], encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {args[0]}: {err}", file=sys.stderr)
+        return 2
+
+    # --- structure ---------------------------------------------------------
+    check("mode present", report.get("mode") in ("tcp_open_loop", "in_process"),
+          f"mode={report.get('mode')!r}")
+    for section in ("config", "throughput", "outcomes", "latency_us", "histogram_us"):
+        check(f"section {section}", isinstance(report.get(section), (dict, list)))
+    if FAILURES:
+        print(f"\n{len(FAILURES)} check(s) failed")
+        return 1
+
+    config = report["config"]
+    throughput = report["throughput"]
+    outcomes = report["outcomes"]
+    latency = report["latency_us"]
+    histogram = report["histogram_us"]
+
+    requests = throughput.get("requests", 0)
+    check("requests > 0", requests > 0, f"requests={requests}")
+    check("elapsed_s > 0", throughput.get("elapsed_s", 0) > 0)
+    check("achieved_rps > 0", throughput.get("achieved_rps", 0) > 0)
+
+    # --- outcomes: the reload-under-fire / pipelining contract -------------
+    check("zero failed requests", outcomes.get("failed", 1) == 0,
+          f"failed={outcomes.get('failed')}")
+    check("outcomes account for all requests",
+          outcomes.get("ok", 0) + outcomes.get("failed", 0) == requests,
+          f"ok={outcomes.get('ok')} failed={outcomes.get('failed')} requests={requests}")
+    check("abstained within ok",
+          0 <= outcomes.get("abstained", -1) <= outcomes.get("ok", 0))
+
+    # --- latency: quantiles ordered, histogram complete --------------------
+    quantiles = ["p50", "p90", "p99", "p999", "max"]
+    check("latency quantiles present", all(q in latency for q in quantiles))
+    values = [latency.get(q, 0) for q in quantiles]
+    check("latency quantiles ordered",
+          all(a <= b for a, b in zip(values, values[1:])),
+          " <= ".join(f"{q}={latency.get(q)}" for q in quantiles))
+    check("latency quantiles positive", all(v > 0 for v in values[:-1]))
+
+    buckets = [b.get("count", -1) for b in histogram if isinstance(b, dict)]
+    check("histogram buckets present", len(buckets) >= 2)
+    check("histogram counts non-negative", all(c >= 0 for c in buckets))
+    check("histogram accounts for every request", sum(buckets) == requests,
+          f"sum={sum(buckets)} requests={requests}")
+
+    # --- opt-in bands ------------------------------------------------------
+    if "min-rps" in flags:
+        floor = float(flags["min-rps"])
+        achieved = throughput.get("achieved_rps", 0)
+        check(f"achieved_rps >= {floor}", achieved >= floor,
+              f"achieved={achieved:.0f}")
+    if "max-p99-us" in flags:
+        ceiling = float(flags["max-p99-us"])
+        p99 = latency.get("p99", float("inf"))
+        check(f"p99 <= {ceiling} us", p99 <= ceiling, f"p99={p99:.0f} us")
+    if "min-connections" in flags:
+        floor = int(flags["min-connections"])
+        conns = config.get("connections", 0)
+        check(f"connections >= {floor}", conns >= floor, f"connections={conns}")
+
+    if FAILURES:
+        print(f"\n{len(FAILURES)} check(s) failed")
+        return 1
+    print("\nall serve bench checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

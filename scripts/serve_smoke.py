@@ -7,7 +7,11 @@ Starts efserve on an ephemeral port with fast polling and timeline tracing
 armed (--trace-sample 1, --trace-out, a sub-microsecond --slow-request-us
 so every request becomes a slow exemplar), then exercises the JSON-lines
 protocol end to end: ping, cold miss, warm cache hit, explicit abstention,
-bad requests (connection must survive), on-disk model swap (version bump,
+bad requests (connection must survive), protocol v2 (id echo, "v":2
+envelope, structured error objects — with a v1 client on the same server
+still getting byte-plain v1 answers), pipelined bursts over several
+concurrent connections answered strictly in request order, a slowloris
+client framing one byte at a time, on-disk model swap (version bump,
 identical values), the metrics/events/trace observability verbs (trace
 document validated with check_trace_json), windowed coverage of every
 histogram once the collector window is live, a raw HTTP GET /metrics
@@ -238,6 +242,91 @@ def main():
                   r.get("ok") is False and r.get("error"), r)
         check("connection survives bad requests",
               client.request('{"cmd":"ping"}').get("ok") is True)
+
+        # -- protocol v2: envelope echo, structured errors, v1 unchanged --
+
+        v2 = client.request('{"cmd":"ping","v":2,"id":"smoke-1"}')
+        check("v2 ping carries envelope", v2.get("ok") is True
+              and v2.get("v") == 2 and v2.get("id") == "smoke-1", v2)
+        numeric = client.request('{"cmd":"ping","id":7}')
+        check("numeric id alone implies v2",
+              numeric.get("v") == 2 and numeric.get("id") == 7, numeric)
+        v2p = client.request(json.dumps(
+            {"model": "demo", "window": window, "v": 2, "id": "p-1"}))
+        check("v2 predict echoes id", v2p.get("ok") is True
+              and v2p.get("v") == 2 and v2p.get("id") == "p-1", v2p)
+        check("v2 predict value matches v1",
+              v2p.get("value") == cold.get("value"), v2p)
+        v2err = client.request(json.dumps(
+            {"model": "no-such-model", "window": window, "v": 2, "id": "e-1"}))
+        check("v2 error is a structured object",
+              v2err.get("ok") is False and isinstance(v2err.get("error"), dict)
+              and v2err["error"].get("code") == "unknown_model"
+              and v2err["error"].get("message"), v2err)
+        check("v2 error echoes envelope", v2err.get("v") == 2
+              and v2err.get("id") == "e-1", v2err)
+        v1err = client.request('{"model":"no-such-model","window":[0.1]}')
+        check("v1 error stays a plain string",
+              v1err.get("ok") is False and isinstance(v1err.get("error"), str)
+              and "v" not in v1err and "id" not in v1err, v1err)
+        v1ok = client.request('{"cmd":"ping"}')
+        check("v1 response carries no envelope",
+              v1ok.get("ok") is True and "v" not in v1ok and "id" not in v1ok,
+              v1ok)
+        badv = client.request('{"cmd":"ping","v":3}')
+        check("unknown protocol version rejected",
+              badv.get("ok") is False, badv)
+
+        # -- pipelining: concurrent connections, bursts answered in order --
+
+        def pipelined_burst(tag, count=32):
+            with socket.create_connection(("127.0.0.1", port),
+                                          timeout=10) as sock:
+                payload = b"".join(
+                    (json.dumps({"cmd": "ping", "v": 2, "id": f"{tag}-{i}"})
+                     + "\n").encode()
+                    for i in range(count))
+                sock.sendall(payload)  # whole burst before reading anything
+                reader = sock.makefile("r")
+                ids = []
+                for _ in range(count):
+                    line = reader.readline()
+                    if not line:
+                        return None
+                    ids.append(json.loads(line).get("id"))
+                return ids
+
+        burst_results = {}
+
+        def burst_worker(tag):
+            burst_results[tag] = pipelined_burst(tag)
+
+        burst_threads = [threading.Thread(target=burst_worker, args=(tag,))
+                         for tag in ("a", "b", "c", "d")]
+        for t in burst_threads:
+            t.start()
+        for t in burst_threads:
+            t.join()
+        for tag in ("a", "b", "c", "d"):
+            ids = burst_results.get(tag)
+            check(f"pipelined burst '{tag}' answered in request order",
+                  ids == [f"{tag}-{i}" for i in range(32)],
+                  ids[:4] if ids else ids)
+
+        # -- slowloris: one byte at a time must still frame and answer -----
+
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as slow:
+            for byte in b'{"cmd":"ping","v":2,"id":"slow"}\n':
+                slow.sendall(bytes([byte]))
+                time.sleep(0.001)
+            reply = slow.makefile("r").readline().strip()
+        try:
+            slow_reply = json.loads(reply)
+        except json.JSONDecodeError:
+            slow_reply = {}
+        check("byte-at-a-time request answered",
+              slow_reply.get("ok") is True and slow_reply.get("id") == "slow",
+              reply[:80])
 
         # Hot reload: rewrite the model file in place (same rules, new
         # mtime); the server must bump the version and keep answering with

@@ -13,7 +13,7 @@ std::optional<double> iterate_forecast(const RuleSystem& one_step,
   std::vector<double> state(window.begin(), window.end());
   double last = state.back();
   for (std::size_t step = 0; step < options.horizon; ++step) {
-    const auto next = one_step.predict(state, options.aggregation);
+    const auto next = one_step.forecast(state, options.aggregation).as_optional();
     double value = 0.0;
     if (next) {
       value = *next;
@@ -40,7 +40,7 @@ std::vector<double> iterate_trajectory(const RuleSystem& one_step,
   std::vector<double> state(window.begin(), window.end());
   double last = state.back();
   for (std::size_t step = 0; step < steps; ++step) {
-    const auto next = one_step.predict(state, options.aggregation);
+    const auto next = one_step.forecast(state, options.aggregation).as_optional();
     double value = 0.0;
     if (next) {
       value = *next;

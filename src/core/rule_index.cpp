@@ -117,31 +117,6 @@ std::vector<core::Prediction> RuleIndex::forecast_batch(std::span<const double> 
   return out;
 }
 
-std::optional<double> RuleIndex::predict(std::span<const double> window,
-                                         Aggregation how) const {
-  return forecast(window, how).as_optional();
-}
-
-RuleIndex::Prediction RuleIndex::predict_with_votes(std::span<const double> window,
-                                                    Aggregation how) const {
-  const core::Prediction p = forecast(window, how);
-  return Prediction{p.as_optional(), p.votes};
-}
-
-std::vector<std::optional<double>> RuleIndex::predict_batch(
-    std::span<const double> flat_windows, std::size_t window, Aggregation how,
-    util::ThreadPool* pool, std::vector<std::size_t>* votes_out) const {
-  const std::vector<core::Prediction> predictions =
-      forecast_batch(flat_windows, window, how, pool);
-  std::vector<std::optional<double>> out(predictions.size());
-  if (votes_out) votes_out->assign(predictions.size(), 0);
-  for (std::size_t i = 0; i < predictions.size(); ++i) {
-    out[i] = predictions[i].as_optional();
-    if (votes_out) (*votes_out)[i] = predictions[i].votes;
-  }
-  return out;
-}
-
 std::size_t RuleIndex::vote_count(std::span<const double> window) const {
   if (window.size() <= dimension_) return 0;
   std::size_t count = 0;

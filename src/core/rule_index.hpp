@@ -49,26 +49,6 @@ class RuleIndex {
       std::span<const double> flat_windows, std::size_t window,
       Aggregation how = Aggregation::kMean, util::ThreadPool* pool = nullptr) const;
 
-  /// Optional-shaped shim over forecast() — nullopt = abstention.
-  [[nodiscard]] std::optional<double> predict(std::span<const double> window,
-                                              Aggregation how = Aggregation::kMean) const;
-
-  /// Pre-redesign shape of forecast(), kept for existing callers.
-  struct Prediction {
-    std::optional<double> value;  ///< nullopt = abstention
-    std::size_t votes = 0;
-  };
-  [[nodiscard]] Prediction predict_with_votes(std::span<const double> window,
-                                              Aggregation how = Aggregation::kMean) const;
-
-  /// Optional-shaped shim over forecast_batch(); `votes_out`, when non-null,
-  /// receives per-window vote counts (prefer forecast_batch, which returns
-  /// them inline).
-  [[nodiscard]] std::vector<std::optional<double>> predict_batch(
-      std::span<const double> flat_windows, std::size_t window,
-      Aggregation how = Aggregation::kMean, util::ThreadPool* pool = nullptr,
-      std::vector<std::size_t>* votes_out = nullptr) const;
-
   /// Indexed vote count — identical to system.vote_count(window).
   [[nodiscard]] std::size_t vote_count(std::span<const double> window) const;
 

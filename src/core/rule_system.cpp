@@ -128,28 +128,6 @@ std::vector<Prediction> RuleSystem::forecast_batch(std::span<const double> flat_
   return out;
 }
 
-std::optional<double> RuleSystem::predict(std::span<const double> window) const {
-  return forecast(window).as_optional();
-}
-
-std::optional<double> RuleSystem::predict(std::span<const double> window,
-                                          Aggregation how) const {
-  return forecast(window, how).as_optional();
-}
-
-std::vector<std::optional<double>> RuleSystem::predict_batch(
-    std::span<const double> flat_windows, std::size_t window, Aggregation how,
-    util::ThreadPool* pool, std::vector<std::size_t>* votes_out) const {
-  const std::vector<Prediction> predictions = forecast_batch(flat_windows, window, how, pool);
-  std::vector<std::optional<double>> out(predictions.size());
-  if (votes_out) votes_out->assign(predictions.size(), 0);
-  for (std::size_t i = 0; i < predictions.size(); ++i) {
-    out[i] = predictions[i].as_optional();
-    if (votes_out) (*votes_out)[i] = predictions[i].votes;
-  }
-  return out;
-}
-
 std::optional<RuleSystem::BoundedForecast> RuleSystem::predict_with_bound(
     std::span<const double> window, Aggregation how) const {
   const std::vector<Vote> votes = collect_votes(rules_, window);
@@ -181,7 +159,7 @@ series::PartialForecast RuleSystem::forecast_dataset(const WindowDataset& data,
   series::PartialForecast out(data.count());
   util::ThreadPool& tp = pool ? *pool : util::ThreadPool::shared();
   tp.parallel_for(0, data.count(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) out[i] = predict(data.pattern(i));
+    for (std::size_t i = begin; i < end; ++i) out[i] = forecast(data.pattern(i)).as_optional();
   });
   return out;
 }
@@ -193,7 +171,8 @@ series::PartialForecast RuleSystem::forecast_dataset(const WindowDataset& data,
   series::PartialForecast out(data.count());
   util::ThreadPool& tp = pool ? *pool : util::ThreadPool::shared();
   tp.parallel_for(0, data.count(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) out[i] = predict(data.pattern(i), how);
+    for (std::size_t i = begin; i < end; ++i)
+      out[i] = forecast(data.pattern(i), how).as_optional();
   });
   return out;
 }

@@ -63,22 +63,6 @@ class RuleSystem {
                                                        Aggregation how = Aggregation::kMean,
                                                        util::ThreadPool* pool = nullptr) const;
 
-  /// Optional-shaped shim over forecast(): nullopt = abstention. Kept for
-  /// callers that only want the value; forecast() also reports votes.
-  [[nodiscard]] std::optional<double> predict(std::span<const double> window) const;
-
-  /// Forecast under an alternative vote-aggregation strategy (Ablation D).
-  [[nodiscard]] std::optional<double> predict(std::span<const double> window,
-                                              Aggregation how) const;
-
-  /// Optional-shaped shim over forecast_batch(). When `votes_out` is
-  /// non-null it is resized to the batch and filled with per-window vote
-  /// counts (prefer forecast_batch, which returns them inline).
-  [[nodiscard]] std::vector<std::optional<double>> predict_batch(
-      std::span<const double> flat_windows, std::size_t window,
-      Aggregation how = Aggregation::kMean, util::ThreadPool* pool = nullptr,
-      std::vector<std::size_t>* votes_out = nullptr) const;
-
   /// Point forecast with a heuristic uncertainty bound derived from the
   /// voters' training errors and their disagreement:
   ///   bound = max_k ( e_k + |v_k − value| )
@@ -186,32 +170,5 @@ struct TrainOptions {
                                              const WindowDataset& train,
                                              const RuleSystemConfig& config,
                                              util::ThreadPool* pool = nullptr);
-
-/// Pre-redesign entry point; forwards to train() with the sequential
-/// schedule. See docs/API.md for the migration table.
-[[deprecated("use ef::core::train(data, {.config = config, …}) instead")]] [[nodiscard]] inline TrainResult
-train_rule_system(const WindowDataset& data, const RuleSystemConfig& config,
-                  util::ThreadPool* pool = nullptr, TelemetrySink telemetry = {}) {
-  TrainOptions options;
-  options.config = config;
-  options.pool = pool;
-  options.parallelism = TrainParallelism::kSequential;
-  options.telemetry = std::move(telemetry);
-  return train(data, options);
-}
-
-/// Pre-redesign entry point; forwards to train() with the island schedule.
-/// See docs/API.md for the migration table.
-[[deprecated(
-    "use ef::core::train(data, {.config = config, .parallelism = "
-    "TrainParallelism::kIslands}) instead")]] [[nodiscard]] inline TrainResult
-train_rule_system_parallel(const WindowDataset& data, const RuleSystemConfig& config,
-                           util::ThreadPool* pool = nullptr) {
-  TrainOptions options;
-  options.config = config;
-  options.pool = pool;
-  options.parallelism = TrainParallelism::kIslands;
-  return train(data, options);
-}
 
 }  // namespace ef::core

@@ -23,8 +23,8 @@
 //   window_cache  sharded LRU over (model tag, horizon, agg, window)
 //   batcher       micro-batching of concurrent requests → forecast_batch
 //   service       validate → cache → batch → respond, one blocking call
-//   protocol      line protocol encode/decode (PREDICT/INFO/STATS)
-//   tcp_server    thin socket wrapper around ForecastService
+//   protocol      JSON-lines protocol encode/decode (v1 + v2 envelope)
+//   reactor       epoll reactor transport (pipelined JSON-lines over TCP)
 #pragma once
 
 #include "evoforecast.hpp"  // IWYU pragma: export
@@ -32,6 +32,6 @@
 #include "serve/batcher.hpp"       // IWYU pragma: export
 #include "serve/model_store.hpp"   // IWYU pragma: export
 #include "serve/protocol.hpp"      // IWYU pragma: export
+#include "serve/reactor.hpp"       // IWYU pragma: export
 #include "serve/service.hpp"       // IWYU pragma: export
-#include "serve/tcp_server.hpp"    // IWYU pragma: export
 #include "serve/window_cache.hpp"  // IWYU pragma: export

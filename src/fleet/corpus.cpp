@@ -52,7 +52,7 @@ SeriesEvaluation evaluate_one(const SeriesRecord& record, const CorpusOptions& o
   series::PartialForecast predicted(eval_data.count());
   std::vector<double> actual(eval_data.count());
   for (std::size_t i = 0; i < eval_data.count(); ++i) {
-    predicted[i] = trained.system.predict(eval_data.pattern(i));
+    predicted[i] = trained.system.forecast(eval_data.pattern(i)).as_optional();
     actual[i] = eval_data.target(i);
   }
   out.report = series::evaluate_partial(actual, predicted);

@@ -8,6 +8,18 @@
 
 namespace ef::serve {
 
+// Resolve one item: callback items complete via their Completion (on the
+// dispatcher thread), blocking items via their promise.
+void MicroBatcher::complete_item(Item& item, Result result, std::exception_ptr error) {
+  if (item.done) {
+    item.done(std::move(result), std::move(error));
+  } else if (error) {
+    item.promise.set_exception(std::move(error));
+  } else {
+    item.promise.set_value(std::move(result));
+  }
+}
+
 MicroBatcher::MicroBatcher(BatcherConfig config, util::ThreadPool* pool)
     : config_(config), pool_(pool) {
   if (config_.max_batch == 0) {
@@ -35,6 +47,24 @@ std::future<MicroBatcher::Result> MicroBatcher::submit(
   }
   queue_cv_.notify_one();
   return future;
+}
+
+void MicroBatcher::submit_async(std::shared_ptr<const LoadedModel> model,
+                                std::vector<double> window, core::Aggregation agg,
+                                Completion done) {
+  Item item;
+  item.model = std::move(model);
+  item.window = std::move(window);
+  item.agg = agg;
+  item.done = std::move(done);
+  item.trace = obs::current_context();
+  if (item.trace.active()) item.t_enqueue_us = obs::Timeline::now_us();
+  {
+    const std::lock_guard lock(mutex_);
+    if (!accepting_) throw std::runtime_error("MicroBatcher: shutting down");
+    queue_.push_back(std::move(item));
+  }
+  queue_cv_.notify_one();
 }
 
 std::size_t MicroBatcher::pending() const {
@@ -129,7 +159,7 @@ void MicroBatcher::run_batch(std::vector<Item> batch, util::ThreadPool* pool) {
     if (!head.model || head.model->system().empty() || width == 0) {
       // No rules (or empty window): every request in the group abstains.
       for (std::size_t k = group_begin; k < group_end; ++k) {
-        batch[order[k]].promise.set_value(Result{});
+        complete_item(batch[order[k]], Result{}, nullptr);
       }
       group_begin = group_end;
       continue;
@@ -155,12 +185,12 @@ void MicroBatcher::run_batch(std::vector<Item> batch, util::ThreadPool* pool) {
                         : model.system().forecast_batch(flat, width, head.agg, pool);
       if (traced) t_match1_us = obs::Timeline::now_us();
       for (std::size_t k = group_begin; k < group_end; ++k) {
-        batch[order[k]].promise.set_value(results[k - group_begin]);
+        complete_item(batch[order[k]], results[k - group_begin], nullptr);
       }
     } catch (...) {
       if (traced && t_match1_us == 0) t_match1_us = obs::Timeline::now_us();
       for (std::size_t k = group_begin; k < group_end; ++k) {
-        batch[order[k]].promise.set_exception(std::current_exception());
+        complete_item(batch[order[k]], Result{}, std::current_exception());
       }
     }
     if (traced) {

@@ -16,6 +16,8 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -55,6 +57,21 @@ class MicroBatcher {
                                            std::vector<double> window,
                                            core::Aggregation agg);
 
+  /// Completion for submit_async: exactly one of (result, error) is
+  /// meaningful — error != nullptr means the batch kernel threw. Runs on
+  /// the dispatcher thread; keep it cheap and non-blocking (the reactor
+  /// marshals back to its own thread via an eventfd-signalled queue).
+  using Completion = std::function<void(Result result, std::exception_ptr error)>;
+
+  /// Callback twin of submit(): same queueing, grouping and tracing, but
+  /// the caller's thread never blocks — this is what lets one reactor
+  /// thread keep thousands of pipelined requests in flight. Throws
+  /// std::runtime_error after shutdown() has begun (the completion is NOT
+  /// invoked in that case).
+  void submit_async(std::shared_ptr<const LoadedModel> model,
+                    std::vector<double> window, core::Aggregation agg,
+                    Completion done);
+
   /// Stop accepting new requests, dispatch everything already queued, then
   /// stop the dispatcher thread. Idempotent; called by the destructor.
   void shutdown();
@@ -66,7 +83,8 @@ class MicroBatcher {
     std::shared_ptr<const LoadedModel> model;
     std::vector<double> window;
     core::Aggregation agg = core::Aggregation::kMean;
-    std::promise<Result> promise;
+    std::promise<Result> promise;  ///< used when done == nullptr (blocking submit)
+    Completion done;               ///< used by submit_async
     // Timeline handoff across the thread hop: the submitting request's trace
     // context plus its enqueue time, so the dispatcher can emit the
     // retrospective serve.queue / serve.batch / serve.match spans under the
@@ -77,6 +95,7 @@ class MicroBatcher {
 
   void dispatcher_loop();
   static void run_batch(std::vector<Item> batch, util::ThreadPool* pool);
+  static void complete_item(Item& item, Result result, std::exception_ptr error);
 
   BatcherConfig config_;
   util::ThreadPool* pool_;  ///< may be nullptr (shared pool)

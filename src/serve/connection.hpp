@@ -1,0 +1,177 @@
+// serve/connection.hpp — per-connection state for the epoll reactor.
+//
+// A Connection is owned by exactly one reactor shard after accept
+// (shared-nothing): only that shard's thread touches it, so there are no
+// locks here. The class holds the protocol-visible state machine —
+// incremental line framing, the pipelining sequence numbers, and the
+// ordered write queue — while the Reactor owns the sockets and epoll
+// bookkeeping. Keeping the state machine syscall-free makes it directly
+// unit-testable (see test_serve_reactor).
+//
+// Pipelining contract: every request line is assigned a monotonically
+// increasing sequence number at parse time; responses may complete in any
+// order (cache hits finish inline, batcher misses finish on the dispatcher
+// thread) but are released to the write queue strictly in sequence —
+// out-of-order completions park in `parked_` until their turn.
+//
+// Framing notes:
+//   * `scan_` remembers how far the newline scan has progressed, so a
+//     slowloris client dribbling one byte at a time costs O(1) per byte,
+//     not O(line²).
+//   * A line exceeding max_line_bytes is discarded as it streams in
+//     (`overlong` flag); the error response goes out once the terminating
+//     newline finally arrives, and the connection survives.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace ef::serve {
+
+class Connection {
+ public:
+  Connection(int fd, std::uint64_t id, std::size_t shard) noexcept
+      : fd_(fd), id_(id), shard_(shard) {}
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] std::size_t shard() const noexcept { return shard_; }
+
+  // --- read side: incremental line framing --------------------------------
+
+  /// Append freshly received bytes to the read buffer.
+  void append(const char* data, std::size_t n) { rbuf_.append(data, n); }
+
+  /// Extract the next complete line (newline-terminated, '\r' stripped,
+  /// terminator consumed) or nullopt when no full line is buffered. When
+  /// the partial line outgrows `max_line_bytes` it is discarded and the
+  /// overlong flag raised — check take_overlong() after each line.
+  [[nodiscard]] std::optional<std::string> next_line(std::size_t max_line_bytes) {
+    const std::size_t newline = rbuf_.find('\n', scan_);
+    if (newline == std::string::npos) {
+      scan_ = rbuf_.size();
+      if (rbuf_.size() > max_line_bytes) {
+        rbuf_.clear();
+        scan_ = 0;
+        overlong_ = true;
+      }
+      return std::nullopt;
+    }
+    std::string line = rbuf_.substr(0, newline);
+    rbuf_.erase(0, newline + 1);
+    scan_ = 0;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.size() > max_line_bytes) {
+      // The whole overlong line arrived in one read, so the incremental
+      // discard above never ran — flag it here instead of parsing it.
+      line.clear();
+      overlong_ = true;
+    }
+    return line;
+  }
+
+  /// True once per overlong line: the caller owes the client an error
+  /// response in place of the discarded request.
+  [[nodiscard]] bool take_overlong() noexcept {
+    const bool was = overlong_;
+    overlong_ = false;
+    return was;
+  }
+
+  [[nodiscard]] bool has_buffered_input() const noexcept { return !rbuf_.empty(); }
+
+  // --- pipelining: sequence numbers + in-order release --------------------
+
+  /// Sequence number for the next request on this connection.
+  [[nodiscard]] std::uint64_t allocate_seq() noexcept { return next_seq_++; }
+
+  /// Requests assigned a sequence number whose response has not yet been
+  /// released to the write queue.
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return static_cast<std::size_t>(next_seq_ - next_release_);
+  }
+
+  /// Deliver the response for `seq`. Releases it — and any consecutively
+  /// parked successors — to the write queue; out-of-order completions park
+  /// until their predecessors land.
+  void complete(std::uint64_t seq, std::string response) {
+    if (seq != next_release_) {
+      parked_.emplace(seq, std::move(response));
+      return;
+    }
+    release(std::move(response));
+    for (auto it = parked_.begin(); it != parked_.end() && it->first == next_release_;
+         it = parked_.erase(it)) {
+      release(std::move(it->second));
+    }
+  }
+
+  // --- write side: ordered output queue -----------------------------------
+
+  [[nodiscard]] bool has_output() const noexcept { return !outq_.empty(); }
+  [[nodiscard]] std::deque<std::string>& output() noexcept { return outq_; }
+  /// Bytes of output().front() already written by a previous partial write.
+  [[nodiscard]] std::size_t& write_offset() noexcept { return write_offset_; }
+
+  /// Drop `n` fully written bytes from the front of the queue.
+  void consume_output(std::size_t n) {
+    n += write_offset_;
+    write_offset_ = 0;
+    while (n > 0 && !outq_.empty()) {
+      if (n >= outq_.front().size()) {
+        n -= outq_.front().size();
+        outq_.pop_front();
+      } else {
+        write_offset_ = n;
+        return;
+      }
+    }
+  }
+
+  /// Fully answered and flushed — nothing pending in either direction.
+  [[nodiscard]] bool idle() const noexcept {
+    return outq_.empty() && parked_.empty() && in_flight() == 0;
+  }
+
+  // --- connection-scoped flags (reactor-managed) --------------------------
+
+  /// HTTP carve-out: a "GET "/"HEAD " request line flips the connection into
+  /// single-shot HTTP mode (headers swallowed, one response, then close).
+  bool http_mode = false;
+  std::string http_method;
+  std::string http_path;
+  /// Close once the write queue drains and nothing is in flight (HTTP
+  /// Connection: close, fatal framing errors, graceful drain).
+  bool close_after_flush = false;
+  /// EPOLLOUT currently armed (a prior write hit EAGAIN or was partial).
+  bool want_write = false;
+  /// EPOLLIN currently disarmed (pipeline cap reached — backpressure).
+  bool paused_read = false;
+
+ private:
+  void release(std::string response) {
+    ++next_release_;
+    outq_.push_back(std::move(response));
+  }
+
+  int fd_;
+  std::uint64_t id_;
+  std::size_t shard_;
+
+  std::string rbuf_;
+  std::size_t scan_ = 0;  ///< newline scan resumes here (slowloris-proof)
+  bool overlong_ = false;
+
+  std::uint64_t next_seq_ = 0;      ///< next sequence number to assign
+  std::uint64_t next_release_ = 0;  ///< next sequence to release to the queue
+  std::map<std::uint64_t, std::string> parked_;  ///< out-of-order completions
+
+  std::deque<std::string> outq_;
+  std::size_t write_offset_ = 0;
+};
+
+}  // namespace ef::serve

@@ -35,6 +35,9 @@
 //   --batch-max N       micro-batch size cap (default 64)
 //   --batch-delay-us N  micro-batch coalescing delay (default 200; 0 = no batching)
 //   --threads N         prediction thread-pool size (default: hardware)
+//   --reactor-threads N epoll reactor threads (default 0 = min(hardware, 4))
+//   --max-pipeline N    pipelined requests in flight per connection (default 1024)
+//   --drain-timeout-ms N  graceful-drain budget on shutdown (default 5000)
 //   --slow-request-us X slow-request event threshold in µs (default 50000; 0 = off)
 //   --trace-sample X    timeline trace sample rate 0..1 (default: the
 //                       EVOFORECAST_TRACE_SAMPLE environment variable)
@@ -60,7 +63,7 @@
 #include "obs/window.hpp"
 #include "serve/model_store.hpp"
 #include "serve/service.hpp"
-#include "serve/tcp_server.hpp"
+#include "serve/reactor.hpp"
 #include "series/synthetic.hpp"
 #include "util/cli.hpp"
 
@@ -218,39 +221,44 @@ int main(int argc, char** argv) {
   const auto poll_ms = cli.get_int("poll-ms", 500);
   if (poll_ms > 0) store.start_polling(std::chrono::milliseconds(poll_ms));
 
-  ef::serve::ServiceConfig config;
+  // One ServeOptions literal configures the whole stack — service pipeline
+  // and reactor transport alike (serve/options.hpp).
+  ef::serve::ServeOptions options;
   const auto cache_capacity = cli.get_int("cache-capacity", 65536);
-  config.enable_cache = cache_capacity > 0;
-  if (config.enable_cache) {
-    config.cache.capacity = static_cast<std::size_t>(cache_capacity);
+  options.enable_cache = cache_capacity > 0;
+  if (options.enable_cache) {
+    options.cache.capacity = static_cast<std::size_t>(cache_capacity);
   }
-  config.cache.shards = static_cast<std::size_t>(cli.get_int("cache-shards", 8));
-  config.cache.quantum = cli.get_double("quantum", 1e-9);
+  options.cache.shards = static_cast<std::size_t>(cli.get_int("cache-shards", 8));
+  options.cache.quantum = cli.get_double("quantum", 1e-9);
   const auto batch_delay_us = cli.get_int("batch-delay-us", 200);
-  config.enable_batcher = batch_delay_us > 0;
-  config.batcher.max_delay = std::chrono::microseconds(batch_delay_us);
-  config.batcher.max_batch = static_cast<std::size_t>(cli.get_int("batch-max", 64));
-  config.slow_request_us = cli.get_double("slow-request-us", 50000.0);
+  options.enable_batcher = batch_delay_us > 0;
+  options.batcher.max_delay = std::chrono::microseconds(batch_delay_us);
+  options.batcher.max_batch = static_cast<std::size_t>(cli.get_int("batch-max", 64));
+  options.slow_request_us = cli.get_double("slow-request-us", 50000.0);
+  options.host = cli.get_string("host", "127.0.0.1");
+  options.port = static_cast<std::uint16_t>(cli.get_int("port", 7777));
+  options.reactor_threads = static_cast<std::size_t>(cli.get_int("reactor-threads", 0));
+  options.max_pipeline = static_cast<std::size_t>(cli.get_int("max-pipeline", 1024));
+  options.drain_timeout_ms = cli.get_int("drain-timeout-ms", 5000);
 
-  // Timeline tracing: an explicit --trace-sample wins over the environment;
+  // Timeline tracing: an explicit --trace-sample wins over the environment
+  // (applied at service construction via ServeOptions::trace_sample);
   // --trace-out with nothing configured arms full sampling so the dump is
   // never silently empty.
   if (cli.has("trace-sample")) {
-    ef::obs::Timeline::set_sample_rate(cli.get_double("trace-sample", 0.0));
+    options.trace_sample = cli.get_double("trace-sample", 0.0);
   }
   g_trace_out = cli.get_string("trace-out", "");
+
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+  ef::util::ThreadPool pool(threads);
+  ef::serve::ForecastService service(store, options, &pool);
   if (!g_trace_out.empty() && !ef::obs::Timeline::enabled()) {
     ef::obs::Timeline::set_sample_rate(1.0);
   }
 
-  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 0));
-  ef::util::ThreadPool pool(threads);
-  ef::serve::ForecastService service(store, config, &pool);
-
-  ef::serve::ServerConfig server_config;
-  server_config.host = cli.get_string("host", "127.0.0.1");
-  server_config.port = static_cast<std::uint16_t>(cli.get_int("port", 7777));
-  ef::serve::TcpServer server(service, server_config);
+  ef::serve::Reactor server(service);
   try {
     server.start();
   } catch (const std::exception& e) {
@@ -259,9 +267,10 @@ int main(int argc, char** argv) {
   }
   std::size_t model_count = store.size();
   if (const auto info = store.container_info()) model_count += info->models;
-  std::printf("efserve listening on %s:%u (%zu model%s; Ctrl-C to stop)\n",
-              server_config.host.c_str(), static_cast<unsigned>(server.port()),
-              model_count, model_count == 1 ? "" : "s");
+  std::printf("efserve listening on %s:%u (%zu model%s, %zu reactor%s; Ctrl-C to stop)\n",
+              options.host.c_str(), static_cast<unsigned>(server.port()), model_count,
+              model_count == 1 ? "" : "s", server.shard_count(),
+              server.shard_count() == 1 ? "" : "s");
   std::fflush(stdout);
 
   // Windowed rates/quantiles for GET /metrics and the "metrics" verb; one
@@ -273,8 +282,8 @@ int main(int argc, char** argv) {
 
   EVOFORECAST_EVENT("serve.stop", {"connections", server.connections_served()});
   std::printf("\nshutting down: draining in-flight requests...\n");
-  server.stop();        // stop accepting, finish per-connection work
-  service.shutdown();   // drain the batcher queue
+  server.stop();        // graceful drain: answer what was received, flush, close
+  service.shutdown();   // then drain the batcher queue
   store.stop_polling();
   ef::obs::WindowedCollector::global().stop();
   std::printf("served %llu connections\n",

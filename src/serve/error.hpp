@@ -1,0 +1,51 @@
+// serve/error.hpp — stable machine-readable protocol error codes.
+//
+// Protocol v2 replaced bare error strings with a structured envelope
+// {"error":{"code","message"}}. The codes below are the public contract:
+// clients branch on `code` (stable, append-only), humans read `message`
+// (free to improve between releases). v1 responses keep the bare string,
+// so the code enum lives beside the response structs rather than inside
+// the serializer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ef::serve {
+
+/// Append-only: codes are wire contract, never renumber or rename.
+enum class ErrorCode : std::uint8_t {
+  kNone = 0,         ///< no error (response is ok:true)
+  kBadJson,          ///< request line is not valid protocol JSON
+  kBadRequest,       ///< well-formed JSON, invalid field type or value
+  kUnknownField,     ///< request carries a field the protocol doesn't know
+  kUnknownCmd,       ///< "cmd" names no verb
+  kUnknownModel,     ///< "model" names no registered model or container series
+  kBadWindow,        ///< window empty or longer than the service allows
+  kWindowMismatch,   ///< window length != the model's expected window
+  kBadHorizon,       ///< horizon 0 or above the service cap
+  kLineTooLong,      ///< request line blew max_line_bytes
+  kShuttingDown,     ///< service is draining; no new requests accepted
+  kInternal,         ///< prediction path threw (bug or resource exhaustion)
+};
+
+/// The stable wire spelling of a code ("unknown_model", ...).
+[[nodiscard]] constexpr std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kNone: return "none";
+    case ErrorCode::kBadJson: return "bad_json";
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kUnknownField: return "unknown_field";
+    case ErrorCode::kUnknownCmd: return "unknown_cmd";
+    case ErrorCode::kUnknownModel: return "unknown_model";
+    case ErrorCode::kBadWindow: return "bad_window";
+    case ErrorCode::kWindowMismatch: return "window_mismatch";
+    case ErrorCode::kBadHorizon: return "bad_horizon";
+    case ErrorCode::kLineTooLong: return "line_too_long";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+}  // namespace ef::serve

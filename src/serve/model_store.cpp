@@ -72,12 +72,6 @@ core::Prediction LoadedModel::forecast(std::span<const double> window,
   return system_.forecast(window, how);
 }
 
-core::RuleIndex::Prediction LoadedModel::predict_one(std::span<const double> window,
-                                                     core::Aggregation how) const {
-  const core::Prediction p = forecast(window, how);
-  return core::RuleIndex::Prediction{p.as_optional(), p.votes};
-}
-
 ModelStore::~ModelStore() { stop_polling(); }
 
 void ModelStore::add_file(const std::string& name, const std::string& path) {

@@ -76,11 +76,6 @@ class LoadedModel {
       std::span<const double> window,
       core::Aggregation how = core::Aggregation::kMean) const;
 
-  /// Pre-redesign shape of forecast(), kept for existing callers.
-  [[nodiscard]] core::RuleIndex::Prediction predict_one(
-      std::span<const double> window,
-      core::Aggregation how = core::Aggregation::kMean) const;
-
  private:
   LoadedModel() = default;
 

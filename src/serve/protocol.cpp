@@ -15,6 +15,10 @@ std::string format_double(double v) {
   return buffer;
 }
 
+/// Ids are echoed verbatim into every response for this request, so keep
+/// them small enough that the echo can never dominate a response line.
+constexpr std::size_t kMaxIdBytes = 256;
+
 }  // namespace
 
 std::optional<core::Aggregation> parse_aggregation(std::string_view name) {
@@ -27,27 +31,53 @@ std::optional<core::Aggregation> parse_aggregation(std::string_view name) {
   return std::nullopt;
 }
 
-std::optional<Request> parse_request(std::string_view line, std::string& error) {
+std::optional<Request> parse_request(std::string_view line, ProtocolError& error) {
+  error = {};
+  const auto fail = [&error](ErrorCode code, std::string message) {
+    error.code = code;
+    error.message = std::move(message);
+    return std::nullopt;
+  };
+
   std::string parse_error;
   const std::optional<json::Value> root = json::parse(line, parse_error);
-  if (!root) {
-    error = "bad JSON: " + parse_error;
-    return std::nullopt;
-  }
+  if (!root) return fail(ErrorCode::kBadJson, "bad JSON: " + parse_error);
   const json::Object* object = root->as_object();
-  if (!object) {
-    error = "request must be a JSON object";
-    return std::nullopt;
-  }
+  if (!object) return fail(ErrorCode::kBadRequest, "request must be a JSON object");
 
+  // Envelope fields first, so a failure in any later field can still echo
+  // the id and answer in the version the client asked for.
   Request request;
   for (const auto& [key, value] : *object) {
-    if (key == "cmd") {
-      const std::string* text = value.as_string();
-      if (!text) {
-        error = "\"cmd\" must be a string";
-        return std::nullopt;
+    if (key == "v") {
+      const double* num = value.as_number();
+      if (!num || (*num != 1.0 && *num != 2.0)) {
+        return fail(ErrorCode::kBadRequest, "\"v\" must be 1 or 2");
       }
+      request.version = static_cast<int>(*num);
+    } else if (key == "id") {
+      if (const std::string* text = value.as_string()) {
+        if (text->size() > kMaxIdBytes) {
+          return fail(ErrorCode::kBadRequest, "\"id\" exceeds 256 bytes");
+        }
+        request.id_json = "\"" + json_escape(*text) + "\"";
+      } else if (const double* num = value.as_number()) {
+        request.id_json = format_double(*num);
+      } else {
+        return fail(ErrorCode::kBadRequest, "\"id\" must be a string or a number");
+      }
+      request.version = 2;  // an id implies the v2 envelope
+    }
+  }
+  error.version = request.version;
+  error.id_json = request.id_json;
+
+  for (const auto& [key, value] : *object) {
+    if (key == "v" || key == "id") {
+      continue;  // envelope fields, handled above
+    } else if (key == "cmd") {
+      const std::string* text = value.as_string();
+      if (!text) return fail(ErrorCode::kBadRequest, "\"cmd\" must be a string");
       if (*text == "predict") {
         request.cmd = Request::Cmd::kPredict;
       } else if (*text == "ping") {
@@ -63,57 +93,46 @@ std::optional<Request> parse_request(std::string_view line, std::string& error) 
       } else if (*text == "trace") {
         request.cmd = Request::Cmd::kTrace;
       } else {
-        error = "unknown cmd '" + *text + "'";
-        return std::nullopt;
+        return fail(ErrorCode::kUnknownCmd, "unknown cmd '" + *text + "'");
       }
     } else if (key == "model") {
       const std::string* text = value.as_string();
-      if (!text) {
-        error = "\"model\" must be a string";
-        return std::nullopt;
-      }
+      if (!text) return fail(ErrorCode::kBadRequest, "\"model\" must be a string");
       request.predict.model = *text;
     } else if (key == "window") {
       const json::Array* array = value.as_array();
       if (!array) {
-        error = "\"window\" must be an array of numbers";
-        return std::nullopt;
+        return fail(ErrorCode::kBadRequest, "\"window\" must be an array of numbers");
       }
       request.predict.window.clear();
       request.predict.window.reserve(array->size());
       for (const json::Value& item : *array) {
         const double* num = item.as_number();
         if (!num) {
-          error = "\"window\" must contain only numbers";
-          return std::nullopt;
+          return fail(ErrorCode::kBadRequest, "\"window\" must contain only numbers");
         }
         request.predict.window.push_back(*num);
       }
     } else if (key == "horizon") {
       const double* num = value.as_number();
       if (!num || *num < 1.0 || *num != std::floor(*num) || *num > 1.0e9) {
-        error = "\"horizon\" must be a positive integer";
-        return std::nullopt;
+        return fail(ErrorCode::kBadRequest, "\"horizon\" must be a positive integer");
       }
       request.predict.horizon = static_cast<std::size_t>(*num);
     } else if (key == "agg") {
       const std::string* text = value.as_string();
       const auto agg = text ? parse_aggregation(*text) : std::nullopt;
       if (!agg) {
-        error = "\"agg\" must be one of mean|fitness_weighted|median|best_rule|inverse_error";
-        return std::nullopt;
+        return fail(ErrorCode::kBadRequest,
+                    "\"agg\" must be one of mean|fitness_weighted|median|best_rule|inverse_error");
       }
       request.predict.agg = *agg;
     } else if (key == "cache") {
       const bool* flag = value.as_bool();
-      if (!flag) {
-        error = "\"cache\" must be a boolean";
-        return std::nullopt;
-      }
+      if (!flag) return fail(ErrorCode::kBadRequest, "\"cache\" must be a boolean");
       request.predict.use_cache = *flag;
     } else {
-      error = "unknown field \"" + key + "\"";
-      return std::nullopt;
+      return fail(ErrorCode::kUnknownField, "unknown field \"" + key + "\"");
     }
   }
   return request;
@@ -142,13 +161,37 @@ std::string json_escape(std::string_view text) {
   return out;
 }
 
+std::string envelope_json(int version, std::string_view id_json) {
+  if (version < 2) return {};
+  std::string out = ",\"v\":2";
+  if (!id_json.empty()) {
+    out += ",\"id\":";
+    out += id_json;
+  }
+  return out;
+}
+
 std::string error_json(std::string_view reason) {
   return "{\"ok\":false,\"error\":\"" + json_escape(reason) + "\"}";
 }
 
-std::string to_json(const PredictResponse& response) {
-  if (!response.ok) return error_json(response.error);
+std::string error_json(ErrorCode code, std::string_view reason, int version,
+                       std::string_view id_json) {
+  if (version < 2) return error_json(reason);
+  std::string out = "{\"ok\":false";
+  out += envelope_json(version, id_json);
+  out += ",\"error\":{\"code\":\"";
+  out += to_string(code);
+  out += "\",\"message\":\"" + json_escape(reason) + "\"}}";
+  return out;
+}
+
+std::string to_json(const PredictResponse& response, const Request& request) {
+  if (!response.ok) {
+    return error_json(response.code, response.error, request.version, request.id_json);
+  }
   std::string out = "{\"ok\":true";
+  out += envelope_json(request.version, request.id_json);
   out += ",\"model\":\"" + json_escape(response.model) + "\"";
   out += ",\"version\":" + std::to_string(response.version);
   out += ",\"horizon\":" + std::to_string(response.horizon);
@@ -160,6 +203,10 @@ std::string to_json(const PredictResponse& response) {
   out += response.cached ? "true" : "false";
   out += "}";
   return out;
+}
+
+std::string to_json(const PredictResponse& response) {
+  return to_json(response, Request{});
 }
 
 }  // namespace ef::serve

@@ -1,0 +1,710 @@
+#include "serve/reactor.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/events.hpp"
+#include "obs/exposition.hpp"
+#include "obs/macros.hpp"
+#include "obs/timeline.hpp"
+#include "obs/timeline_export.hpp"
+
+#if defined(__linux__)
+#define EVOFORECAST_HAVE_EPOLL 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+#else
+#define EVOFORECAST_HAVE_EPOLL 0
+#endif
+
+namespace ef::serve {
+
+namespace {
+
+#if EVOFORECAST_HAVE_EPOLL
+/// epoll_event.data.ptr sentinels for the two non-connection fds a shard
+/// watches. Real Connection pointers are always aligned, so low small
+/// integers can never collide.
+void* const kListenTag = reinterpret_cast<void*>(0x1);
+void* const kWakeTag = reinterpret_cast<void*>(0x2);
+#endif
+
+}  // namespace
+
+/// One reactor shard: an epoll loop plus everything it owns. Only the inbox
+/// (accept handoffs, cross-thread completions) is shared — under `mutex`.
+struct Reactor::Shard {
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+    std::string line;
+  };
+
+  std::size_t index = 0;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+  std::atomic<std::thread::id> thread_id{};
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns;
+  bool drain_entered = false;
+  std::chrono::steady_clock::time_point drain_deadline{};
+
+  // Cross-thread inbox. `closed` flips (under the mutex) when the loop has
+  // exited and the fds are about to close — late completions check it and
+  // drop instead of writing to a recycled fd.
+  std::mutex mutex;
+  bool closed = false;
+  std::vector<int> pending_fds;
+  std::vector<Completion> inbox;
+
+  // Per-reactor counters (serve.reactor.<i>.*). Null when observability is
+  // compiled out — bump() is then a no-op and nothing registers.
+  obs::Counter* accepted = nullptr;
+  obs::Counter* requests = nullptr;
+  obs::Counter* completions = nullptr;
+  obs::Counter* wakeups = nullptr;
+  obs::Counter* partial_writes = nullptr;
+  void register_counters() {
+#if EVOFORECAST_OBS_ENABLED
+    const std::string prefix = "serve.reactor." + std::to_string(index) + ".";
+    auto& reg = obs::Registry::global();
+    accepted = &reg.counter(prefix + "accepted");
+    requests = &reg.counter(prefix + "requests");
+    completions = &reg.counter(prefix + "completions");
+    wakeups = &reg.counter(prefix + "wakeups");
+    partial_writes = &reg.counter(prefix + "partial_writes");
+#endif
+  }
+  static void bump(obs::Counter* c, std::uint64_t d = 1) {
+    if (c != nullptr) c->add(d);
+  }
+};
+
+Reactor::Reactor(ForecastService& service)
+    : service_(service), options_(service.options()) {}
+
+Reactor::~Reactor() { stop(); }
+
+bool Reactor::running() const noexcept {
+  return running_.load(std::memory_order_acquire);
+}
+
+std::uint64_t Reactor::connections_served() const noexcept {
+  return connections_.load(std::memory_order_relaxed);
+}
+
+#if EVOFORECAST_HAVE_EPOLL
+
+void Reactor::start() {
+  if (running()) return;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("Reactor: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("Reactor: bad host '" + options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("Reactor: cannot bind " + options_.host + ":" +
+                             std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("Reactor: listen() failed");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+
+  std::size_t n = options_.reactor_threads;
+  if (n == 0) {
+    n = std::min<std::size_t>(std::max(1u, std::thread::hardware_concurrency()), 4);
+  }
+
+  shards_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto shard = std::make_shared<Shard>();
+    shard->index = i;
+    shard->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    shard->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (shard->epoll_fd < 0 || shard->wake_fd < 0) {
+      throw std::runtime_error("Reactor: epoll/eventfd setup failed");
+    }
+    epoll_event wake{};
+    wake.events = EPOLLIN;
+    wake.data.ptr = kWakeTag;
+    ::epoll_ctl(shard->epoll_fd, EPOLL_CTL_ADD, shard->wake_fd, &wake);
+    if (i == 0) {
+      epoll_event lev{};
+      lev.events = EPOLLIN;
+      lev.data.ptr = kListenTag;
+      ::epoll_ctl(shard->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &lev);
+    }
+    shard->register_counters();
+    shards_.push_back(std::move(shard));
+  }
+
+  draining_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    raw->thread = std::thread([this, raw] { shard_loop(*raw); });
+  }
+}
+
+void Reactor::stop() {
+  const bool was_running = running_.exchange(false, std::memory_order_acq_rel);
+  draining_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    const std::lock_guard lock(shard->mutex);
+    if (!shard->closed && shard->wake_fd >= 0) {
+      std::uint64_t one = 1;
+      [[maybe_unused]] const ssize_t w = ::write(shard->wake_fd, &one, sizeof(one));
+    }
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+    const std::lock_guard lock(shard->mutex);
+    shard->closed = true;
+    if (shard->epoll_fd >= 0) ::close(shard->epoll_fd);
+    if (shard->wake_fd >= 0) ::close(shard->wake_fd);
+    shard->epoll_fd = -1;
+    shard->wake_fd = -1;
+    for (int fd : shard->pending_fds) ::close(fd);
+    shard->pending_fds.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  (void)was_running;
+}
+
+void Reactor::enter_drain(Shard& shard) {
+  shard.drain_entered = true;
+  shard.drain_deadline = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(std::max(0, options_.drain_timeout_ms));
+  if (shard.index == 0 && listen_fd_ >= 0) {
+    ::epoll_ctl(shard.epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  }
+  // Stop reading, answer what is already buffered, close whoever is idle.
+  std::vector<Connection*> conns;
+  conns.reserve(shard.conns.size());
+  for (auto& [id, conn] : shard.conns) conns.push_back(conn.get());
+  for (Connection* conn : conns) {
+    conn->paused_read = true;
+    conn->close_after_flush = true;
+    update_interest(shard, conn);
+    process_lines(shard, conn);
+    flush(shard, conn);  // closes the connection once it is idle
+  }
+}
+
+void Reactor::shard_loop(Shard& shard) {
+  shard.thread_id.store(std::this_thread::get_id(), std::memory_order_release);
+  epoll_event events[64];
+  for (;;) {
+    if (draining_.load(std::memory_order_acquire) && !shard.drain_entered) {
+      enter_drain(shard);
+    }
+    if (shard.drain_entered && shard.conns.empty()) break;
+
+    int timeout_ms = -1;
+    if (shard.drain_entered) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= shard.drain_deadline) {
+        // Drain budget blown: force-close the stragglers.
+        std::vector<Connection*> conns;
+        conns.reserve(shard.conns.size());
+        for (auto& [id, conn] : shard.conns) conns.push_back(conn.get());
+        for (Connection* conn : conns) close_connection(shard, conn);
+        break;
+      }
+      timeout_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(shard.drain_deadline - now)
+              .count() +
+          1);
+    }
+
+    const int n = ::epoll_wait(shard.epoll_fd, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd broken — unrecoverable for this shard
+    }
+    Shard::bump(shard.wakeups);
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = events[i];
+      if (ev.data.ptr == kListenTag) {
+        handle_accept(shard);
+        continue;
+      }
+      if (ev.data.ptr == kWakeTag) {
+        std::uint64_t drainv = 0;
+        while (::read(shard.wake_fd, &drainv, sizeof(drainv)) > 0) {
+        }
+        drain_inbox(shard);
+        continue;
+      }
+      Connection* conn = static_cast<Connection*>(ev.data.ptr);
+      if ((ev.events & (EPOLLHUP | EPOLLERR)) != 0 && (ev.events & EPOLLIN) == 0) {
+        close_connection(shard, conn);
+        continue;
+      }
+      if ((ev.events & EPOLLIN) != 0) {
+        handle_readable(shard, conn);
+        continue;  // handle_readable flushed (and may have closed) the conn
+      }
+      if ((ev.events & EPOLLOUT) != 0) flush(shard, conn);
+    }
+  }
+  // Loop exited: mark the shard closed so late cross-thread completions
+  // drop instead of touching fds that are about to be recycled.
+  const std::lock_guard lock(shard.mutex);
+  shard.closed = true;
+}
+
+void Reactor::handle_accept(Shard& shard) {
+  for (;;) {
+    const int client = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN (drained) or transient failure
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      ::close(client);
+      continue;
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    EVOFORECAST_COUNT("serve.connections", 1);
+    const int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.sndbuf_bytes > 0) {
+      ::setsockopt(client, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                   sizeof(options_.sndbuf_bytes));
+    }
+    const std::size_t target =
+        rr_next_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+    if (target == shard.index) {
+      adopt(shard, client);
+      continue;
+    }
+    Shard& other = *shards_[target];
+    {
+      const std::lock_guard lock(other.mutex);
+      if (other.closed) {
+        ::close(client);
+        continue;
+      }
+      other.pending_fds.push_back(client);
+      std::uint64_t wake = 1;
+      [[maybe_unused]] const ssize_t w = ::write(other.wake_fd, &wake, sizeof(wake));
+    }
+  }
+}
+
+void Reactor::adopt(Shard& shard, int fd) {
+  const std::uint64_t id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+  auto conn = std::make_unique<Connection>(fd, id, shard.index);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = conn.get();
+  if (::epoll_ctl(shard.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(fd);
+    return;
+  }
+  Shard::bump(shard.accepted);
+  shard.conns.emplace(id, std::move(conn));
+}
+
+void Reactor::drain_inbox(Shard& shard) {
+  std::vector<int> fds;
+  std::vector<Shard::Completion> inbox;
+  {
+    const std::lock_guard lock(shard.mutex);
+    fds.swap(shard.pending_fds);
+    inbox.swap(shard.inbox);
+  }
+  for (const int fd : fds) {
+    if (draining_.load(std::memory_order_acquire)) {
+      ::close(fd);
+    } else {
+      adopt(shard, fd);
+    }
+  }
+  for (Shard::Completion& c : inbox) {
+    const auto it = shard.conns.find(c.conn_id);
+    if (it == shard.conns.end()) continue;  // connection closed while in flight
+    Shard::bump(shard.completions);
+    Connection* conn = it->second.get();
+    complete_local(shard, conn, c.seq, std::move(c.line));
+    flush(shard, conn);
+  }
+}
+
+void Reactor::handle_readable(Shard& shard, Connection* conn) {
+  char chunk[16384];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn->append(chunk, static_cast<std::size_t>(n));
+      if (n < static_cast<ssize_t>(sizeof(chunk))) break;  // socket drained
+      continue;
+    }
+    if (n == 0) {
+      // Peer finished sending. Answer everything received, then close once
+      // the write queue drains (pipelined requests may still be in flight).
+      conn->paused_read = true;
+      conn->close_after_flush = true;
+      update_interest(shard, conn);
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_connection(shard, conn);
+    return;
+  }
+  process_lines(shard, conn);
+  flush(shard, conn);
+}
+
+void Reactor::process_lines(Shard& shard, Connection* conn) {
+  for (;;) {
+    if (conn->in_flight() >= options_.max_pipeline) {
+      // Backpressure: further lines stay in the read buffer (and the
+      // socket) until responses drain; complete_local resumes us.
+      if (!conn->paused_read) {
+        conn->paused_read = true;
+        update_interest(shard, conn);
+      }
+      return;
+    }
+    std::optional<std::string> line = conn->next_line(options_.max_line_bytes);
+    if (!line) return;
+    if (conn->take_overlong()) {
+      conn->complete(conn->allocate_seq(),
+                     error_json(ErrorCode::kLineTooLong, "request line too long") + "\n");
+      continue;
+    }
+    if (conn->http_mode) {
+      if (!line->empty()) continue;  // header line; swallow
+      // Blank line ends the headers: answer and close (Connection: close).
+      conn->complete(conn->allocate_seq(),
+                     handle_http(conn->http_method, conn->http_path));
+      conn->close_after_flush = true;
+      if (!conn->paused_read) {
+        conn->paused_read = true;
+        update_interest(shard, conn);
+      }
+      return;
+    }
+    if (line->empty()) continue;
+    if (line->rfind("GET ", 0) == 0 || line->rfind("HEAD ", 0) == 0) {
+      const std::size_t space = line->find(' ');
+      const std::size_t path_end = line->find(' ', space + 1);
+      conn->http_method = line->substr(0, space);
+      conn->http_path = line->substr(
+          space + 1, path_end == std::string::npos ? std::string::npos
+                                                   : path_end - space - 1);
+      conn->http_mode = true;
+      continue;
+    }
+    handle_request(shard, conn, *line);
+  }
+}
+
+void Reactor::handle_request(Shard& shard, Connection* conn, const std::string& line) {
+  const std::uint64_t seq = conn->allocate_seq();
+  Shard::bump(shard.requests);
+
+  ProtocolError perr;
+  const std::optional<Request> request = parse_request(line, perr);
+  if (!request) {
+    conn->complete(seq, error_json(perr) + "\n");
+    return;
+  }
+  if (request->cmd != Request::Cmd::kPredict) {
+    conn->complete(seq, handle_verb(*request) + "\n");
+    return;
+  }
+
+  // Predict: hand off without blocking. The completion may run inline (on
+  // this thread — cache hits, validation errors) or on the batcher's
+  // dispatcher thread; the weak_ptr keeps a late completion from touching
+  // a shard whose loop has exited.
+  Request envelope;
+  envelope.version = request->version;
+  envelope.id_json = request->id_json;
+  const std::uint64_t conn_id = conn->id();
+  std::weak_ptr<Shard> weak = shards_[shard.index];
+  service_.predict_async(
+      request->predict,
+      [this, weak = std::move(weak), conn_id, seq,
+       envelope = std::move(envelope)](PredictResponse response) {
+        std::string out = to_json(response, envelope);
+        out.push_back('\n');
+        const std::shared_ptr<Shard> locked = weak.lock();
+        if (!locked) return;
+        if (std::this_thread::get_id() ==
+            locked->thread_id.load(std::memory_order_acquire)) {
+          // Inline completion on the owning reactor thread: the enclosing
+          // read handler flushes after line processing.
+          const auto it = locked->conns.find(conn_id);
+          if (it != locked->conns.end()) {
+            complete_local(*locked, it->second.get(), seq, std::move(out));
+          }
+          return;
+        }
+        const std::lock_guard lock(locked->mutex);
+        if (locked->closed) return;  // shard already shut down; drop
+        locked->inbox.push_back({conn_id, seq, std::move(out)});
+        std::uint64_t wake = 1;
+        [[maybe_unused]] const ssize_t w = ::write(locked->wake_fd, &wake, sizeof(wake));
+      });
+}
+
+void Reactor::complete_local(Shard& shard, Connection* conn, std::uint64_t seq,
+                             std::string line) {
+  conn->complete(seq, std::move(line));
+  if (conn->paused_read && conn->in_flight() < options_.max_pipeline) {
+    if (!conn->close_after_flush) {
+      conn->paused_read = false;
+      update_interest(shard, conn);
+    }
+    // Lines that were waiting on the pipeline cap (or buffered before a
+    // drain began) are ready now.
+    if (conn->has_buffered_input()) process_lines(shard, conn);
+  }
+}
+
+bool Reactor::flush(Shard& shard, Connection* conn) {
+  while (conn->has_output()) {
+    iovec iov[16];
+    int count = 0;
+    std::size_t total = 0;
+    for (const std::string& s : conn->output()) {
+      if (count == 16) break;
+      const char* base = s.data();
+      std::size_t len = s.size();
+      if (count == 0) {
+        base += conn->write_offset();
+        len -= conn->write_offset();
+      }
+      iov[count].iov_base = const_cast<char*>(base);
+      iov[count].iov_len = len;
+      total += len;
+      ++count;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(count);
+    const ssize_t w = ::sendmsg(conn->fd(), &msg, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        Shard::bump(shard.partial_writes);
+        if (!conn->want_write) {
+          conn->want_write = true;
+          update_interest(shard, conn);
+        }
+        return true;
+      }
+      close_connection(shard, conn);
+      return false;
+    }
+    conn->consume_output(static_cast<std::size_t>(w));
+    if (static_cast<std::size_t>(w) < total) Shard::bump(shard.partial_writes);
+  }
+  if (conn->want_write) {
+    conn->want_write = false;
+    update_interest(shard, conn);
+  }
+  if (conn->close_after_flush && conn->idle()) {
+    close_connection(shard, conn);
+    return false;
+  }
+  return true;
+}
+
+void Reactor::close_connection(Shard& shard, Connection* conn) {
+  ::epoll_ctl(shard.epoll_fd, EPOLL_CTL_DEL, conn->fd(), nullptr);
+  ::close(conn->fd());
+  shard.conns.erase(conn->id());  // deletes conn
+}
+
+void Reactor::update_interest(Shard& shard, Connection* conn) {
+  epoll_event ev{};
+  ev.events = 0;
+  if (!conn->paused_read) ev.events |= EPOLLIN;
+  if (conn->want_write) ev.events |= EPOLLOUT;
+  ev.data.ptr = conn;
+  ::epoll_ctl(shard.epoll_fd, EPOLL_CTL_MOD, conn->fd(), &ev);
+}
+
+#else  // !EVOFORECAST_HAVE_EPOLL
+
+void Reactor::start() {
+  throw std::runtime_error("Reactor: epoll is Linux-only; no transport on this platform");
+}
+void Reactor::stop() {}
+void Reactor::enter_drain(Shard&) {}
+void Reactor::shard_loop(Shard&) {}
+void Reactor::handle_accept(Shard&) {}
+void Reactor::adopt(Shard&, int) {}
+void Reactor::drain_inbox(Shard&) {}
+void Reactor::handle_readable(Shard&, Connection*) {}
+void Reactor::process_lines(Shard&, Connection*) {}
+void Reactor::handle_request(Shard&, Connection*, const std::string&) {}
+void Reactor::complete_local(Shard&, Connection*, std::uint64_t, std::string) {}
+bool Reactor::flush(Shard&, Connection*) { return false; }
+void Reactor::close_connection(Shard&, Connection*) {}
+void Reactor::update_interest(Shard&, Connection*) {}
+
+#endif  // EVOFORECAST_HAVE_EPOLL
+
+std::string Reactor::handle_verb(const Request& request) {
+  const std::string env = envelope_json(request);
+  switch (request.cmd) {
+    case Request::Cmd::kPing:
+      return "{\"ok\":true" + env + ",\"pong\":true}";
+    case Request::Cmd::kModels: {
+      std::string out = "{\"ok\":true" + env + ",\"models\":[";
+      bool first = true;
+      for (const std::string& name : service_.store().names()) {
+        const auto model = service_.store().get(name);
+        if (!model) continue;
+        if (!first) out += ",";
+        first = false;
+        out += "{\"name\":\"" + json_escape(name) + "\"";
+        out += ",\"version\":" + std::to_string(model->version());
+        out += ",\"rules\":" + std::to_string(model->system().size());
+        out += ",\"window\":" + std::to_string(model->window()) + "}";
+      }
+      out += "]";
+      // Container-backed series ride in their own section: every id is
+      // predictable by name, versioned by the container generation. The id
+      // list is capped so a million-series fleet answers in one line;
+      // "series_total" carries the true count.
+      if (const auto info = service_.store().container_info()) {
+        constexpr std::size_t kMaxListedSeries = 256;
+        out += ",\"container\":{\"path\":\"" + json_escape(info->path) + "\"";
+        out += ",\"generation\":" + std::to_string(info->generation);
+        out += ",\"bytes\":" + std::to_string(info->bytes);
+        out += ",\"materialized\":" + std::to_string(info->materialized);
+        out += ",\"series_total\":" + std::to_string(info->models);
+        out += ",\"series\":[";
+        bool first_id = true;
+        for (const std::string& id : service_.store().container_ids(kMaxListedSeries)) {
+          if (!first_id) out += ",";
+          first_id = false;
+          out += "\"" + json_escape(id) + "\"";
+        }
+        out += "]}";
+      }
+      out += "}";
+      return out;
+    }
+    case Request::Cmd::kStats: {
+      const auto cache = service_.cache_stats();
+      std::string out = "{\"ok\":true" + env;
+      out += ",\"connections\":" + std::to_string(connections_served());
+      out += ",\"cache_hits\":" + std::to_string(cache.hits);
+      out += ",\"cache_misses\":" + std::to_string(cache.misses);
+      out += ",\"cache_entries\":" + std::to_string(cache.entries);
+      out += ",\"cache_evictions\":" + std::to_string(cache.evictions);
+      out += "}";
+      return out;
+    }
+    case Request::Cmd::kMetrics: {
+      // The exposition text is multi-line; ship it JSON-escaped inside the
+      // one-line envelope so JSON-lines framing survives. HTTP clients get
+      // the raw text via GET /metrics instead.
+      std::string out = "{\"ok\":true" + env + ",\"format\":\"prometheus\",\"exposition\":\"";
+      out += json_escape(obs::prometheus_text());
+      out += "\"}";
+      return out;
+    }
+    case Request::Cmd::kTrace: {
+      // Chrome trace-event document embedded as a JSON value (it is already
+      // valid JSON, depth 3 — well inside the parser's depth limit). Clients
+      // save response["trace"] to a file and open it in Perfetto.
+      char rate[32];
+      std::snprintf(rate, sizeof(rate), "%g", obs::Timeline::sample_rate());
+      std::string out = "{\"ok\":true" + env + ",\"enabled\":";
+      out += obs::Timeline::enabled() ? "true" : "false";
+      out += ",\"sample\":";
+      out += rate;
+      out += ",\"trace\":";
+      out += obs::chrome_trace_json();
+      out += "}";
+      return out;
+    }
+    case Request::Cmd::kEvents: {
+      const auto events = obs::EventLog::global().recent();
+      std::string out = "{\"ok\":true" + env + ",\"dropped\":";
+      out += std::to_string(obs::EventLog::global().dropped());
+      out += ",\"events\":[";
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        if (i != 0) out += ',';
+        out += events[i].to_json();
+      }
+      out += "]}";
+      return out;
+    }
+    case Request::Cmd::kPredict:
+      break;
+  }
+  return error_json(ErrorCode::kInternal, "verb dispatched to the wrong handler",
+                    request.version, request.id_json);
+}
+
+std::string Reactor::handle_http(std::string_view method, std::string_view path) {
+  const std::string_view bare_path = path.substr(0, path.find('?'));
+  std::string status = "200 OK";
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::string body;
+  if (bare_path == "/metrics") {
+    EVOFORECAST_COUNT("serve.http_scrapes", 1);
+    body = obs::prometheus_text();
+  } else {
+    status = "404 Not Found";
+    content_type = "text/plain; charset=utf-8";
+    body = "not found: only /metrics is served here\n";
+  }
+  std::string out = "HTTP/1.0 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  if (method != "HEAD") out += body;
+  return out;
+}
+
+}  // namespace ef::serve

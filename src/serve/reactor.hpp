@@ -1,0 +1,118 @@
+// serve/reactor.hpp — shared-nothing epoll reactor front end.
+//
+// The transport behind efserve: N reactor threads, each running its own
+// epoll loop over the connections it owns. Shard 0 additionally owns the
+// non-blocking listener and acts as the dispatching acceptor — accepted
+// sockets are assigned round-robin across shards (handed over through a
+// mutex-protected inbox + eventfd wake); after that handoff a connection is
+// touched by exactly one thread for its whole life, so the per-connection
+// state (serve/connection.hpp) needs no locks.
+//
+// Requests are pipelined: a client may write any number of request lines
+// without waiting; responses come back strictly in request order
+// (per-connection sequence numbers reorder out-of-order completions).
+// The predict path never blocks a reactor thread — cache hits and errors
+// complete inline, batcher misses complete on the micro-batcher's
+// dispatcher thread and are marshalled back to the owning shard through
+// its inbox. Replies are written with writev over the ordered queue;
+// partial writes arm EPOLLOUT and resume when the socket drains.
+//
+// The HTTP carve-out survives from the thread-per-connection server: a
+// "GET "/"HEAD " request line flips the connection into single-shot HTTP
+// mode (Prometheus scrapes GET /metrics on the same port), including on a
+// connection that already served pipelined JSON requests.
+//
+// Shutdown contract: stop() stops accepting, stops reading, answers every
+// request already received (buffered lines included), flushes, then closes
+// — bounded by ServeOptions::drain_timeout_ms, after which stragglers are
+// force-closed. Call stop() (or destroy the Reactor) BEFORE
+// ForecastService::shutdown(), so in-flight batcher completions still find
+// the service running while the reactor drains.
+//
+// Observability: each shard registers serve.reactor.<i>.* counters
+// (accepted, requests, completions, wakeups, partial_writes) next to the
+// aggregate serve.* family. Linux-only (epoll); start() throws elsewhere.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/connection.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+
+namespace ef::serve {
+
+class Reactor {
+ public:
+  /// Transport configuration (host/port/threads/limits) is read from
+  /// `service.options()` — one ServeOptions configures the whole stack.
+  explicit Reactor(ForecastService& service);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Bind, listen and spawn the reactor threads. Throws std::runtime_error
+  /// on bind/listen failure (port taken, non-Linux platform).
+  void start();
+
+  /// Graceful drain: stop accepting and reading, answer everything already
+  /// received, flush, close. Bounded by drain_timeout_ms. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept;
+  /// Actual bound port (resolves port 0 after start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
+  [[nodiscard]] std::uint64_t connections_served() const noexcept;
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+
+ private:
+  struct Shard;
+
+  void shard_loop(Shard& shard);
+  void enter_drain(Shard& shard);
+  void handle_accept(Shard& shard);
+  void adopt(Shard& shard, int fd);
+  void drain_inbox(Shard& shard);
+  void handle_readable(Shard& shard, Connection* conn);
+  void process_lines(Shard& shard, Connection* conn);
+  void handle_request(Shard& shard, Connection* conn, const std::string& line);
+  /// Response line for the non-predict verbs (ping/models/stats/metrics/
+  /// events/trace), under the request's v1/v2 envelope.
+  [[nodiscard]] std::string handle_verb(const Request& request);
+  /// Full HTTP/1.0 response for the GET/HEAD carve-out (Connection: close).
+  [[nodiscard]] static std::string handle_http(std::string_view method,
+                                               std::string_view path);
+  /// Deliver `seq`'s response on the owning thread and unblock a
+  /// pipeline-capped read side. Never flushes (callers flush once per
+  /// event, outside line processing).
+  void complete_local(Shard& shard, Connection* conn, std::uint64_t seq,
+                      std::string line);
+  /// writev the ordered queue; arms/disarms EPOLLOUT. Returns false when
+  /// the connection was closed (write error or close-after-flush drained).
+  bool flush(Shard& shard, Connection* conn);
+  void close_connection(Shard& shard, Connection* conn);
+  void update_interest(Shard& shard, Connection* conn);
+
+  ForecastService& service_;
+  const ServeOptions& options_;
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> next_conn_id_{1};
+  std::atomic<std::size_t> rr_next_{0};
+  /// shared_ptr so in-flight batcher completions (holding weak_ptrs) can
+  /// outlive stop() safely; the `closed` flag inside each shard gates its
+  /// fds once the loop has exited.
+  std::vector<std::shared_ptr<Shard>> shards_;
+};
+
+}  // namespace ef::serve

@@ -30,7 +30,7 @@ void observe_latency_us(double us) {
 /// Common request epilogue: record latency, and flag requests that blew the
 /// configured slow threshold into the flight recorder (counter + event with
 /// enough context to find the culprit later).
-void finish_request([[maybe_unused]] const ServiceConfig& config,
+void finish_request([[maybe_unused]] const ServeOptions& options,
                     [[maybe_unused]] const PredictRequest& request,
                     [[maybe_unused]] const PredictResponse& response,
                     std::chrono::steady_clock::time_point start,
@@ -39,7 +39,7 @@ void finish_request([[maybe_unused]] const ServiceConfig& config,
       std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
           .count();
   observe_latency_us(us);
-  if (config.slow_request_us > 0.0 && us >= config.slow_request_us) {
+  if (options.slow_request_us > 0.0 && us >= options.slow_request_us) {
     EVOFORECAST_COUNT("serve.slow_requests", 1);
     EVOFORECAST_EVENT("serve.slow_request", {"model", request.model}, {"us", us},
                       {"horizon", request.horizon}, {"cached", response.cached},
@@ -51,13 +51,33 @@ void finish_request([[maybe_unused]] const ServiceConfig& config,
   }
 }
 
+void fail_response(PredictResponse& response, ErrorCode code, std::string reason) {
+  EVOFORECAST_COUNT("serve.errors", 1);
+  response.ok = false;
+  response.code = code;
+  response.error = std::move(reason);
+}
+
+/// Unwrap the batch kernel's exception into an internal-error response.
+void fail_from_exception(PredictResponse& response, const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    fail_response(response, ErrorCode::kInternal,
+                  std::string("prediction failed: ") + e.what());
+  } catch (...) {
+    fail_response(response, ErrorCode::kInternal, "prediction failed");
+  }
+}
+
 }  // namespace
 
-ForecastService::ForecastService(ModelStore& store, ServiceConfig config,
+ForecastService::ForecastService(ModelStore& store, ServeOptions options,
                                  util::ThreadPool* pool)
-    : store_(store), config_(config), pool_(pool), cache_(config.cache) {
-  if (config_.enable_batcher) {
-    batcher_ = std::make_unique<MicroBatcher>(config_.batcher, pool_);
+    : store_(store), options_(std::move(options)), pool_(pool), cache_(options_.cache) {
+  if (options_.trace_sample >= 0.0) obs::Timeline::set_sample_rate(options_.trace_sample);
+  if (options_.enable_batcher) {
+    batcher_ = std::make_unique<MicroBatcher>(options_.batcher, pool_);
   }
 }
 
@@ -70,6 +90,43 @@ void ForecastService::shutdown() {
 
 bool ForecastService::accepting() const noexcept {
   return accepting_.load(std::memory_order_acquire);
+}
+
+std::shared_ptr<const LoadedModel> ForecastService::prepare(const PredictRequest& request,
+                                                            PredictResponse& response) {
+  response.model = request.model;
+  response.horizon = request.horizon;
+
+  const auto fail = [&](ErrorCode code, std::string reason) {
+    fail_response(response, code, std::move(reason));
+    return nullptr;
+  };
+
+  if (!accepting()) return fail(ErrorCode::kShuttingDown, "service shutting down");
+  if (request.window.empty()) return fail(ErrorCode::kBadWindow, "window must not be empty");
+  if (request.window.size() > options_.max_window) {
+    return fail(ErrorCode::kBadWindow, "window too long");
+  }
+  if (request.horizon == 0) return fail(ErrorCode::kBadHorizon, "horizon must be >= 1");
+  if (request.horizon > options_.max_horizon) {
+    return fail(ErrorCode::kBadHorizon, "horizon too large");
+  }
+
+  std::shared_ptr<const LoadedModel> model;
+  {
+    const obs::SpanScope lookup("serve.lookup");
+    model = store_.get(request.model);
+  }
+  if (!model) {
+    return fail(ErrorCode::kUnknownModel, "unknown model '" + request.model + "'");
+  }
+  response.version = model->version();
+  if (model->window() != 0 && request.window.size() != model->window()) {
+    return fail(ErrorCode::kWindowMismatch,
+                "window length " + std::to_string(request.window.size()) +
+                    " does not match model window " + std::to_string(model->window()));
+  }
+  return model;
 }
 
 core::Prediction ForecastService::predict_uncached(
@@ -110,35 +167,10 @@ PredictResponse ForecastService::predict(const PredictRequest& request) {
   EVOFORECAST_COUNT("serve.requests", 1);
 
   PredictResponse response;
-  response.model = request.model;
-  response.horizon = request.horizon;
+  const std::shared_ptr<const LoadedModel> model = prepare(request, response);
+  if (!model) return response;
 
-  const auto fail = [&](std::string reason) {
-    EVOFORECAST_COUNT("serve.errors", 1);
-    response.ok = false;
-    response.error = std::move(reason);
-    return response;
-  };
-
-  if (!accepting()) return fail("service shutting down");
-  if (request.window.empty()) return fail("window must not be empty");
-  if (request.window.size() > config_.max_window) return fail("window too long");
-  if (request.horizon == 0) return fail("horizon must be >= 1");
-  if (request.horizon > config_.max_horizon) return fail("horizon too large");
-
-  std::shared_ptr<const LoadedModel> model;
-  {
-    const obs::SpanScope lookup("serve.lookup");
-    model = store_.get(request.model);
-  }
-  if (!model) return fail("unknown model '" + request.model + "'");
-  response.version = model->version();
-  if (model->window() != 0 && request.window.size() != model->window()) {
-    return fail("window length " + std::to_string(request.window.size()) +
-                " does not match model window " + std::to_string(model->window()));
-  }
-
-  const bool use_cache = config_.enable_cache && request.use_cache;
+  const bool use_cache = options_.enable_cache && request.use_cache;
   WindowCache::Key key;
   if (use_cache) {
     std::optional<WindowCache::Value> hit;
@@ -157,7 +189,7 @@ PredictResponse ForecastService::predict(const PredictRequest& request) {
       response.value = hit->value;
       response.votes = hit->votes;
       if (hit->abstain) EVOFORECAST_COUNT("serve.abstentions", 1);
-      finish_request(config_, request, response, start, trace.trace_id());
+      finish_request(options_, request, response, start, trace.trace_id());
       return response;
     }
   }
@@ -166,7 +198,9 @@ PredictResponse ForecastService::predict(const PredictRequest& request) {
   try {
     result = predict_uncached(model, request);
   } catch (const std::exception& e) {
-    return fail(std::string("prediction failed: ") + e.what());
+    fail_response(response, ErrorCode::kInternal,
+                  std::string("prediction failed: ") + e.what());
+    return response;
   }
 
   const obs::SpanScope respond("serve.respond");
@@ -184,8 +218,128 @@ PredictResponse ForecastService::predict(const PredictRequest& request) {
     cache_.put(std::move(key), cached);
   }
 
-  finish_request(config_, request, response, start, trace.trace_id());
+  finish_request(options_, request, response, start, trace.trace_id());
   return response;
+}
+
+void ForecastService::predict_async(const PredictRequest& request, PredictCallback done) {
+  // The root serve.request span covers the submit portion (validation,
+  // cache probe, batcher handoff); for batched misses the downstream spans
+  // (serve.queue/batch/match, the retrospective serve.respond) attach to
+  // the same trace via the captured context, and end-to-end latency is
+  // measured from `start` in the completion.
+  const obs::TraceScope trace("serve.request");
+  const auto start = std::chrono::steady_clock::now();
+  EVOFORECAST_COUNT("serve.requests", 1);
+
+  PredictResponse response;
+  const std::shared_ptr<const LoadedModel> model = prepare(request, response);
+  if (!model) {
+    done(std::move(response));
+    return;
+  }
+
+  const bool use_cache = options_.enable_cache && request.use_cache;
+  WindowCache::Key key;
+  if (use_cache) {
+    std::optional<WindowCache::Value> hit;
+    {
+      obs::SpanScope cache_span("serve.cache");
+      key = cache_.make_key(model->tag(), static_cast<std::uint32_t>(request.horizon),
+                            request.agg, request.window);
+      hit = cache_.get(key);
+      cache_span.set_arg("hit", hit ? 1.0 : 0.0);
+    }
+    if (hit) {
+      const obs::SpanScope respond("serve.respond");
+      response.ok = true;
+      response.cached = true;
+      response.abstain = hit->abstain;
+      response.value = hit->value;
+      response.votes = hit->votes;
+      if (hit->abstain) EVOFORECAST_COUNT("serve.abstentions", 1);
+      finish_request(options_, request, response, start, trace.trace_id());
+      done(std::move(response));
+      return;
+    }
+  }
+
+  if (request.horizon == 1 && batcher_) {
+    // Miss on the batched path: hand off without blocking. The completion
+    // runs on the batcher's dispatcher thread; it adopts the request's
+    // trace context so the cache fill and epilogue land in the right trace.
+    const obs::TraceContext ctx = trace.context();
+    try {
+      batcher_->submit_async(
+          model, request.window, request.agg,
+          [this, request, response = std::move(response), use_cache,
+           key = std::move(key), start, ctx, done = std::move(done)](
+              core::Prediction result, std::exception_ptr error) mutable {
+            const obs::ContextGuard guard(ctx);
+            if (error) {
+              fail_from_exception(response, error);
+              done(std::move(response));
+              return;
+            }
+            const std::int64_t t_respond_us =
+                ctx.active() ? obs::Timeline::now_us() : 0;
+            response.ok = true;
+            response.abstain = result.abstained;
+            response.value = result.value;
+            response.votes = result.votes;
+            if (response.abstain) EVOFORECAST_COUNT("serve.abstentions", 1);
+            if (use_cache) {
+              WindowCache::Value cached;
+              cached.abstain = response.abstain;
+              cached.value = response.value;
+              cached.votes = static_cast<std::uint32_t>(response.votes);
+              cache_.put(std::move(key), cached);
+            }
+            if (ctx.active()) {
+              obs::Timeline::emit(ctx, "serve.respond", t_respond_us,
+                                  obs::Timeline::now_us());
+            }
+            finish_request(options_, request, response, start, ctx.trace_id);
+            done(std::move(response));
+          });
+    } catch (const std::exception&) {
+      // Batcher refused: shutdown raced the accepting() check above.
+      fail_response(response, ErrorCode::kShuttingDown, "service shutting down");
+      done(std::move(response));
+    }
+    return;
+  }
+
+  // Multi-step chain (or batcher disabled): runs inline on the calling
+  // thread — an iterated chain is inherently serial, so there is nothing to
+  // coalesce and the reactor accepts the latency hit knowingly.
+  core::Prediction result;
+  try {
+    result = predict_uncached(model, request);
+  } catch (const std::exception& e) {
+    fail_response(response, ErrorCode::kInternal,
+                  std::string("prediction failed: ") + e.what());
+    done(std::move(response));
+    return;
+  }
+
+  const obs::SpanScope respond("serve.respond");
+  response.ok = true;
+  response.abstain = result.abstained;
+  response.value = result.value;
+  response.votes = result.votes;
+  if (response.abstain) EVOFORECAST_COUNT("serve.abstentions", 1);
+
+  if (use_cache) {
+    WindowCache::Value cached;
+    cached.abstain = response.abstain;
+    cached.value = response.value;
+    cached.votes = static_cast<std::uint32_t>(response.votes);
+    cache_.put(std::move(key), cached);
+  }
+
+  finish_request(options_, request, response, start, trace.trace_id());
+  done(std::move(response));
 }
 
 }  // namespace ef::serve

@@ -1,12 +1,20 @@
 // serve/service.hpp — the in-process forecast service.
 //
-// ForecastService is the complete serving pipeline behind one blocking
-// call: validate → cache lookup → micro-batched (or iterated multi-step)
-// prediction → cache fill → instrumented response. It owns the cache and
-// the batcher but only borrows the ModelStore, so several services (or a
-// service plus an offline evaluator) can share one store. Tests drive this
-// API directly — no sockets involved; the TCP server in serve/tcp_server.hpp
-// is a thin line-protocol wrapper around it.
+// ForecastService is the complete serving pipeline: validate → cache
+// lookup → micro-batched (or iterated multi-step) prediction → cache fill →
+// instrumented response. It owns the cache and the batcher but only borrows
+// the ModelStore, so several services (or a service plus an offline
+// evaluator) can share one store. Tests drive this API directly — no
+// sockets involved; the epoll reactor in serve/reactor.hpp is a
+// line-protocol front end over it.
+//
+// Two call shapes:
+//   predict(request)            — blocking; coalesced by the micro-batcher.
+//   predict_async(request, cb)  — never blocks the calling thread. Errors
+//       and cache hits complete inline (cb runs before the call returns);
+//       batcher misses complete later on the batcher's dispatcher thread.
+//       This is what lets one reactor thread keep thousands of pipelined
+//       requests in flight.
 //
 // Abstention semantics follow the paper: a window matched by no rule gets
 // an explicit "abstain" response, never a fabricated value. Multi-step
@@ -18,6 +26,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,23 +34,13 @@
 #include "core/aggregation.hpp"
 #include "core/prediction.hpp"
 #include "serve/batcher.hpp"
+#include "serve/error.hpp"
 #include "serve/model_store.hpp"
+#include "serve/options.hpp"
 #include "serve/window_cache.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ef::serve {
-
-struct ServiceConfig {
-  CacheConfig cache;
-  BatcherConfig batcher;
-  bool enable_cache = true;
-  bool enable_batcher = true;  ///< off = predict inline (lowest latency, no coalescing)
-  std::size_t max_window = 4096;
-  std::size_t max_horizon = 1024;
-  /// Requests slower than this emit a serve.slow_request event and bump the
-  /// serve.slow_requests counter; <= 0 disables the check.
-  double slow_request_us = 50000.0;
-};
 
 struct PredictRequest {
   std::string model = "default";
@@ -53,19 +52,25 @@ struct PredictRequest {
 
 struct PredictResponse {
   bool ok = false;
-  std::string error;  ///< set when !ok
+  ErrorCode code = ErrorCode::kNone;  ///< machine-readable cause when !ok
+  std::string error;                  ///< human-readable reason when !ok
   std::string model;
   std::uint64_t version = 0;
   std::size_t horizon = 1;
   bool abstain = false;
-  double value = 0.0;   ///< valid when ok && !abstain
+  double value = 0.0;     ///< valid when ok && !abstain
   std::size_t votes = 0;  ///< matching rules behind the (final-step) forecast
   bool cached = false;
 };
 
 class ForecastService {
  public:
-  explicit ForecastService(ModelStore& store, ServiceConfig config = {},
+  /// Invoked exactly once per predict_async call — inline for errors, cache
+  /// hits and multi-step chains, or on the batcher's dispatcher thread for
+  /// batched misses. Must be cheap and non-blocking in the latter case.
+  using PredictCallback = std::function<void(PredictResponse)>;
+
+  explicit ForecastService(ModelStore& store, ServeOptions options = {},
                            util::ThreadPool* pool = nullptr);
   ~ForecastService();
 
@@ -74,8 +79,13 @@ class ForecastService {
 
   /// One blocking forecast. Thread-safe; concurrent callers are coalesced
   /// by the micro-batcher. Never throws for bad requests — returns
-  /// ok=false with a reason instead (the protocol layer forwards it).
+  /// ok=false with a code + reason instead (the protocol layer forwards it).
   [[nodiscard]] PredictResponse predict(const PredictRequest& request);
+
+  /// Non-blocking forecast: validation failures, cache hits and multi-step
+  /// chains invoke `done` before returning; single-step cache misses hand
+  /// off to the micro-batcher and invoke `done` from its dispatcher thread.
+  void predict_async(const PredictRequest& request, PredictCallback done);
 
   /// Drain in-flight batches and refuse further predicts (graceful
   /// shutdown). Idempotent.
@@ -85,14 +95,18 @@ class ForecastService {
   [[nodiscard]] const ModelStore& store() const noexcept { return store_; }
   [[nodiscard]] ModelStore& store() noexcept { return store_; }
   [[nodiscard]] WindowCache::Stats cache_stats() const { return cache_.stats(); }
-  [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const ServeOptions& options() const noexcept { return options_; }
 
  private:
+  /// Validation + model lookup shared by both call shapes. Returns the
+  /// model on success; fills `response` (ok=false, code, error) on failure.
+  [[nodiscard]] std::shared_ptr<const LoadedModel> prepare(
+      const PredictRequest& request, PredictResponse& response);
   [[nodiscard]] core::Prediction predict_uncached(
       const std::shared_ptr<const LoadedModel>& model, const PredictRequest& request);
 
   ModelStore& store_;
-  ServiceConfig config_;
+  ServeOptions options_;
   util::ThreadPool* pool_;
   WindowCache cache_;
   std::unique_ptr<MicroBatcher> batcher_;  ///< null when enable_batcher = false

@@ -152,10 +152,10 @@ TEST(RuleSystemAggregation, PredictWithStrategyMatchesDirectAggregation) {
   system.add_rules({make_rule(2.0, 1.0), make_rule(4.0, 3.0)}, false, -1.0);
 
   const std::vector<double> w{5.0};
-  EXPECT_DOUBLE_EQ(*system.predict(w, Aggregation::kMean), 3.0);
-  EXPECT_DOUBLE_EQ(*system.predict(w, Aggregation::kBestRule), 4.0);
-  EXPECT_DOUBLE_EQ(*system.predict(w), *system.predict(w, Aggregation::kMean));
-  EXPECT_FALSE(system.predict(std::vector<double>{99.0}, Aggregation::kMedian).has_value());
+  EXPECT_DOUBLE_EQ(*system.forecast(w, Aggregation::kMean).as_optional(), 3.0);
+  EXPECT_DOUBLE_EQ(*system.forecast(w, Aggregation::kBestRule).as_optional(), 4.0);
+  EXPECT_DOUBLE_EQ(*system.forecast(w).as_optional(), *system.forecast(w, Aggregation::kMean).as_optional());
+  EXPECT_FALSE(system.forecast(std::vector<double>{99.0}, Aggregation::kMedian).as_optional().has_value());
 }
 
 }  // namespace

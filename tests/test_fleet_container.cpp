@@ -63,8 +63,8 @@ void expect_identical_forecasts(const RuleSystem& a, const RuleSystem& b) {
   const auto probe = ef::series::generate_sine(120, {1.0, 21.0, 0.0, 0.0, 0.1, 99});
   const ef::core::WindowDataset data(probe, 4, 1);
   for (std::size_t i = 0; i < data.count(); ++i) {
-    const auto pa = a.predict(data.pattern(i));
-    const auto pb = b.predict(data.pattern(i));
+    const auto pa = a.forecast(data.pattern(i)).as_optional();
+    const auto pb = b.forecast(data.pattern(i)).as_optional();
     ASSERT_EQ(pa.has_value(), pb.has_value()) << "pattern " << i;
     if (pa.has_value()) {
       ASSERT_EQ(std::memcmp(&*pa, &*pb, sizeof(double)), 0) << "pattern " << i;

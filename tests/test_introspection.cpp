@@ -69,7 +69,7 @@ TEST(Explain, ForecastMatchesPredictForEveryAggregation) {
        {Aggregation::kMean, Aggregation::kFitnessWeighted, Aggregation::kMedian,
         Aggregation::kBestRule, Aggregation::kInverseError}) {
     const auto expl = explain(system, w, how);
-    const auto direct = system.predict(w, how);
+    const auto direct = system.forecast(w, how).as_optional();
     ASSERT_EQ(expl.forecast.has_value(), direct.has_value());
     EXPECT_DOUBLE_EQ(*expl.forecast, *direct);
     EXPECT_EQ(expl.voters.size(), 3u);

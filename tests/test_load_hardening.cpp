@@ -45,8 +45,8 @@ TEST(LoadHardening, RoundTripStillWorks) {
   const RuleSystem loaded = RuleSystem::load(in);
   ASSERT_EQ(loaded.size(), 1u);
   const std::vector<double> window{0.25, 7.0};
-  const auto original = small_system().predict(window);
-  const auto reloaded = loaded.predict(window);
+  const auto original = small_system().forecast(window).as_optional();
+  const auto reloaded = loaded.forecast(window).as_optional();
   ASSERT_TRUE(original.has_value());
   ASSERT_TRUE(reloaded.has_value());
   EXPECT_EQ(*original, *reloaded);
@@ -118,7 +118,7 @@ TEST(LoadHardening, ValidMinimalPayloadLoads) {
   const RuleSystem system = RuleSystem::load(in);
   ASSERT_EQ(system.size(), 1u);
   const std::vector<double> window{2.0};
-  const auto prediction = system.predict(window);
+  const auto prediction = system.forecast(window).as_optional();
   ASSERT_TRUE(prediction.has_value());
   EXPECT_DOUBLE_EQ(*prediction, 0.5 * 2.0 + 0.25);
 }

@@ -45,7 +45,7 @@ TEST(Multistep, SingleStepEqualsDirectPredict) {
   MultistepOptions options;
   options.horizon = 1;
   const auto iterated = iterate_forecast(system, w, options);
-  const auto direct = system.predict(w);
+  const auto direct = system.forecast(w).as_optional();
   ASSERT_TRUE(iterated.has_value());
   ASSERT_TRUE(direct.has_value());
   EXPECT_DOUBLE_EQ(*iterated, *direct);

@@ -205,7 +205,7 @@ TEST(EventBridge, SlowRequestThresholdEmitsEvent) {
 
   ef::serve::ModelStore store;
   store.add_system("m", trained.system);
-  ef::serve::ServiceConfig service_config;
+  ef::serve::ServeOptions service_config;
   service_config.enable_batcher = false;
   service_config.slow_request_us = 1e-3;  // everything is "slow"
   ef::serve::ForecastService service(store, service_config);
@@ -217,7 +217,7 @@ TEST(EventBridge, SlowRequestThresholdEmitsEvent) {
   EXPECT_TRUE(has_kind(global_kinds(), "serve.slow_request"));
 
   // Threshold 0 disables the event path (no crash, counter untouched).
-  ef::serve::ServiceConfig quiet = service_config;
+  ef::serve::ServeOptions quiet = service_config;
   quiet.slow_request_us = 0.0;
   ef::serve::ForecastService quiet_service(store, quiet);
   (void)quiet_service.predict(request);

@@ -158,23 +158,6 @@ TEST(ParallelTrain, AutoWithTelemetryFallsBackToSequential) {
   EXPECT_FALSE(collector.empty());
 }
 
-// The pre-redesign entry points must keep compiling and produce identical
-// results; in-tree code is migrated, so silence the deprecation here only.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(ParallelTrain, DeprecatedEntryPointsStillWork) {
-  const TimeSeries s = noisy_sine(300);
-  const WindowDataset train(s, 4, 1);
-  const auto cfg = config_with(2, 100.0);
-  const auto old_sequential = ef::core::train_rule_system(train, cfg);
-  const auto old_parallel = ef::core::train_rule_system_parallel(train, cfg);
-  const auto unified = ef::core::train(
-      train, {.config = cfg, .parallelism = TrainParallelism::kSequential});
-  expect_same_result(old_sequential, unified);
-  expect_same_result(old_parallel, unified);
-}
-#pragma GCC diagnostic pop
-
 // ---- predict_with_bound -----------------------------------------------------
 
 TEST(PredictWithBound, AbstainsWithNoVotes) {

@@ -1,9 +1,8 @@
-// Tests for RuleSystem::predict_batch and RuleIndex::predict_batch: exact
-// element-by-element agreement with single-window predict across every
+// Tests for RuleSystem::forecast_batch and RuleIndex::forecast_batch: exact
+// element-by-element agreement with single-window forecast across every
 // aggregation mode, including abstention positions and vote counts.
 #include <gtest/gtest.h>
 
-#include <optional>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -67,110 +66,105 @@ std::vector<double> make_probes(std::size_t n, std::size_t window) {
   return flat;
 }
 
-TEST(PredictBatch, MatchesSinglePredictAllAggregations) {
+TEST(ForecastBatch, MatchesSingleForecastAllAggregations) {
   const RuleSystem system = make_system();
   const std::size_t window = 3;
   const std::size_t n = 200;
   const std::vector<double> flat = make_probes(n, window);
 
   for (const Aggregation how : kAllAggregations) {
-    std::vector<std::size_t> votes;
-    const auto batch = system.predict_batch(flat, window, how, nullptr, &votes);
+    const auto batch = system.forecast_batch(flat, window, how);
     ASSERT_EQ(batch.size(), n);
-    ASSERT_EQ(votes.size(), n);
 
     std::size_t abstentions = 0;
     for (std::size_t i = 0; i < n; ++i) {
       const std::span<const double> w(flat.data() + i * window, window);
-      const auto single = system.predict(w, how);
-      ASSERT_EQ(batch[i].has_value(), single.has_value()) << "position " << i;
-      if (single) {
-        EXPECT_EQ(*batch[i], *single) << "position " << i;  // bit-identical path
+      const auto single = system.forecast(w, how);
+      ASSERT_EQ(batch[i].abstained, single.abstained) << "position " << i;
+      if (!single.abstained) {
+        EXPECT_EQ(batch[i].value, single.value) << "position " << i;  // bit-identical path
       } else {
         ++abstentions;
-        EXPECT_EQ(votes[i], 0u);
+        EXPECT_EQ(batch[i].votes, 0u);
       }
-      EXPECT_EQ(votes[i], system.vote_count(w));
+      EXPECT_EQ(batch[i].votes, system.vote_count(w));
     }
     EXPECT_GT(abstentions, 0u) << "probe set should include abstaining windows";
     EXPECT_LT(abstentions, n) << "probe set should include covered windows";
   }
 }
 
-TEST(PredictBatch, MatchesPlainMeanPredict) {
+TEST(ForecastBatch, MatchesPlainMeanForecast) {
   const RuleSystem system = make_system();
   const std::size_t window = 3;
   const std::vector<double> flat = make_probes(64, window);
-  const auto batch = system.predict_batch(flat, window);
+  const auto batch = system.forecast_batch(flat, window);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const std::span<const double> w(flat.data() + i * window, window);
-    const auto single = system.predict(w);  // the paper's mean path
-    ASSERT_EQ(batch[i].has_value(), single.has_value());
-    if (single) {
-      EXPECT_EQ(*batch[i], *single);
+    const auto single = system.forecast(w);  // the paper's mean path
+    ASSERT_EQ(batch[i].abstained, single.abstained);
+    if (!single.abstained) {
+      EXPECT_EQ(batch[i].value, single.value);
     }
   }
 }
 
-TEST(PredictBatch, IndexBatchMatchesSystemBatch) {
+TEST(ForecastBatch, IndexBatchMatchesSystemBatch) {
   const RuleSystem system = make_system();
   const RuleIndex index(system, 0.0, 1.0);
   const std::size_t window = 3;
   const std::vector<double> flat = make_probes(150, window);
 
   for (const Aggregation how : kAllAggregations) {
-    std::vector<std::size_t> system_votes;
-    std::vector<std::size_t> index_votes;
-    const auto from_system = system.predict_batch(flat, window, how, nullptr, &system_votes);
-    const auto from_index = index.predict_batch(flat, window, how, nullptr, &index_votes);
+    const auto from_system = system.forecast_batch(flat, window, how);
+    const auto from_index = index.forecast_batch(flat, window, how);
     ASSERT_EQ(from_system.size(), from_index.size());
     for (std::size_t i = 0; i < from_system.size(); ++i) {
-      ASSERT_EQ(from_system[i].has_value(), from_index[i].has_value()) << "position " << i;
-      if (from_system[i]) {
-        EXPECT_EQ(*from_system[i], *from_index[i]) << "position " << i;
+      ASSERT_EQ(from_system[i].abstained, from_index[i].abstained) << "position " << i;
+      if (!from_system[i].abstained) {
+        EXPECT_EQ(from_system[i].value, from_index[i].value) << "position " << i;
       }
-      EXPECT_EQ(system_votes[i], index_votes[i]) << "position " << i;
+      EXPECT_EQ(from_system[i].votes, from_index[i].votes) << "position " << i;
     }
   }
 }
 
-TEST(PredictBatch, ExplicitPoolMatchesSharedPool) {
+TEST(ForecastBatch, ExplicitPoolMatchesSharedPool) {
   const RuleSystem system = make_system();
   ef::util::ThreadPool pool(2);
   const std::vector<double> flat = make_probes(100, 3);
-  const auto with_pool = system.predict_batch(flat, 3, Aggregation::kMean, &pool);
-  const auto without = system.predict_batch(flat, 3, Aggregation::kMean);
+  const auto with_pool = system.forecast_batch(flat, 3, Aggregation::kMean, &pool);
+  const auto without = system.forecast_batch(flat, 3, Aggregation::kMean);
   ASSERT_EQ(with_pool.size(), without.size());
   for (std::size_t i = 0; i < with_pool.size(); ++i) {
-    ASSERT_EQ(with_pool[i].has_value(), without[i].has_value());
-    if (without[i]) {
-      EXPECT_EQ(*with_pool[i], *without[i]);
+    ASSERT_EQ(with_pool[i].abstained, without[i].abstained);
+    if (!without[i].abstained) {
+      EXPECT_EQ(with_pool[i].value, without[i].value);
     }
   }
 }
 
-TEST(PredictBatch, EmptyBatchAndValidation) {
+TEST(ForecastBatch, EmptyBatchAndValidation) {
   const RuleSystem system = make_system();
-  EXPECT_TRUE(system.predict_batch({}, 3).empty());
+  EXPECT_TRUE(system.forecast_batch({}, 3).empty());
   const std::vector<double> flat{0.1, 0.2, 0.3, 0.4};
-  EXPECT_THROW((void)system.predict_batch(flat, 0), std::invalid_argument);
-  EXPECT_THROW((void)system.predict_batch(flat, 3), std::invalid_argument);
+  EXPECT_THROW((void)system.forecast_batch(flat, 0), std::invalid_argument);
+  EXPECT_THROW((void)system.forecast_batch(flat, 3), std::invalid_argument);
 
   const RuleIndex index(system, 0.0, 1.0);
-  EXPECT_THROW((void)index.predict_batch(flat, 0), std::invalid_argument);
-  EXPECT_THROW((void)index.predict_batch(flat, 3), std::invalid_argument);
+  EXPECT_THROW((void)index.forecast_batch(flat, 0), std::invalid_argument);
+  EXPECT_THROW((void)index.forecast_batch(flat, 3), std::invalid_argument);
 }
 
-TEST(PredictBatch, EmptySystemAbstainsEverywhere) {
+TEST(ForecastBatch, EmptySystemAbstainsEverywhere) {
   const RuleSystem system;
   const std::vector<double> flat{0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
-  std::vector<std::size_t> votes;
-  const auto batch = system.predict_batch(flat, 3, Aggregation::kMean, nullptr, &votes);
+  const auto batch = system.forecast_batch(flat, 3, Aggregation::kMean);
   ASSERT_EQ(batch.size(), 2u);
-  EXPECT_FALSE(batch[0].has_value());
-  EXPECT_FALSE(batch[1].has_value());
-  EXPECT_EQ(votes[0], 0u);
-  EXPECT_EQ(votes[1], 0u);
+  EXPECT_TRUE(batch[0].abstained);
+  EXPECT_TRUE(batch[1].abstained);
+  EXPECT_EQ(batch[0].votes, 0u);
+  EXPECT_EQ(batch[1].votes, 0u);
 }
 
 }  // namespace

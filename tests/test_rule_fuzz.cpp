@@ -84,8 +84,8 @@ TEST_P(RuleFuzzTest, SaveLoadRoundTripPreservesBehaviour) {
     for (int probe = 0; probe < 30; ++probe) {
       std::vector<double> w(window);
       for (double& x : w) x = rng.uniform(-1200, 1200);
-      const auto a = original.predict(w);
-      const auto b = loaded.predict(w);
+      const auto a = original.forecast(w).as_optional();
+      const auto b = loaded.forecast(w).as_optional();
       ASSERT_EQ(a.has_value(), b.has_value());
       if (a) {
         ASSERT_NEAR(*a, *b, 1e-9);

@@ -71,8 +71,8 @@ TEST(RuleIndex, AgreesWithBruteForceOnHandSystem) {
     for (const auto how :
          {Aggregation::kMean, Aggregation::kFitnessWeighted, Aggregation::kMedian,
           Aggregation::kBestRule, Aggregation::kInverseError}) {
-      const auto direct = system.predict(w, how);
-      const auto indexed = index.predict(w, how);
+      const auto direct = system.forecast(w, how).as_optional();
+      const auto indexed = index.forecast(w, how).as_optional();
       ASSERT_EQ(direct.has_value(), indexed.has_value());
       if (direct) {
         ASSERT_DOUBLE_EQ(*direct, *indexed);
@@ -98,8 +98,8 @@ TEST(RuleIndex, AgreesWithBruteForceOnTrainedSystem) {
 
   const RuleIndex index(trained.system, train.value_min(), train.value_max(), 64);
   for (std::size_t i = 0; i < test.count(); ++i) {
-    const auto direct = trained.system.predict(test.pattern(i));
-    const auto indexed = index.predict(test.pattern(i));
+    const auto direct = trained.system.forecast(test.pattern(i)).as_optional();
+    const auto indexed = index.forecast(test.pattern(i)).as_optional();
     ASSERT_EQ(direct.has_value(), indexed.has_value()) << i;
     if (direct) {
       ASSERT_DOUBLE_EQ(*direct, *indexed) << i;
@@ -119,14 +119,14 @@ TEST(RuleIndex, OutOfRangeQueriesHitEdgeBuckets) {
   // Above range: last bucket — empty.
   EXPECT_EQ(index.candidates(5.0).size(), 0u);
   // Matching still exact: the window value itself is checked by the rule.
-  EXPECT_FALSE(index.predict(std::vector<double>{-5.0, 0.0}).has_value());
+  EXPECT_FALSE(index.forecast(std::vector<double>{-5.0, 0.0}).as_optional().has_value());
 }
 
 TEST(RuleIndex, EmptyWindowAbstains) {
   RuleSystem system;
   system.add_rules({make_rule({Interval(0.0, 1.0)}, 1.0, 1.0)}, false, -1.0);
   const RuleIndex index(system, 0.0, 1.0, 4);
-  EXPECT_FALSE(index.predict(std::vector<double>{}).has_value());
+  EXPECT_FALSE(index.forecast(std::vector<double>{}).as_optional().has_value());
   EXPECT_EQ(index.vote_count(std::vector<double>{}), 0u);
 }
 

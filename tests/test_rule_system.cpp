@@ -36,13 +36,13 @@ Rule constant_rule(std::vector<Interval> genes, double prediction, double fitnes
 TEST(RuleSystem, EmptySystemAbstains) {
   const RuleSystem system;
   EXPECT_TRUE(system.empty());
-  EXPECT_FALSE(system.predict(std::vector<double>{1.0, 2.0}).has_value());
+  EXPECT_FALSE(system.forecast(std::vector<double>{1.0, 2.0}).as_optional().has_value());
 }
 
 TEST(RuleSystem, SingleRulePredicts) {
   RuleSystem system;
   system.add_rules({constant_rule({Interval(0, 10), Interval(0, 10)}, 42.0)}, false, -1.0);
-  const auto p = system.predict(std::vector<double>{5.0, 5.0});
+  const auto p = system.forecast(std::vector<double>{5.0, 5.0}).as_optional();
   ASSERT_TRUE(p.has_value());
   EXPECT_DOUBLE_EQ(*p, 42.0);
 }
@@ -53,7 +53,7 @@ TEST(RuleSystem, OutputIsMeanOfMatchingRules) {
                     constant_rule({Interval(0, 10), Interval(0, 10)}, 20.0),
                     constant_rule({Interval(50, 60), Interval(50, 60)}, 99.0)},
                    false, -1.0);
-  const auto p = system.predict(std::vector<double>{5.0, 5.0});
+  const auto p = system.forecast(std::vector<double>{5.0, 5.0}).as_optional();
   ASSERT_TRUE(p.has_value());
   EXPECT_DOUBLE_EQ(*p, 15.0);  // third rule doesn't match
   EXPECT_EQ(system.vote_count(std::vector<double>{5.0, 5.0}), 2u);
@@ -62,7 +62,7 @@ TEST(RuleSystem, OutputIsMeanOfMatchingRules) {
 TEST(RuleSystem, AbstainsOutsideAllRules) {
   RuleSystem system;
   system.add_rules({constant_rule({Interval(0, 10), Interval(0, 10)}, 1.0)}, false, -1.0);
-  EXPECT_FALSE(system.predict(std::vector<double>{50.0, 50.0}).has_value());
+  EXPECT_FALSE(system.forecast(std::vector<double>{50.0, 50.0}).as_optional().has_value());
   EXPECT_EQ(system.vote_count(std::vector<double>{50.0, 50.0}), 0u);
 }
 
@@ -118,9 +118,9 @@ TEST(RuleSystem, SaveLoadRoundTrip) {
   // Same predictions on probe windows.
   const std::vector<double> probe1{5.0, 123.0};
   const std::vector<double> probe2{-2.0, 7.5};
-  EXPECT_EQ(loaded.predict(probe1).has_value(), original.predict(probe1).has_value());
-  EXPECT_DOUBLE_EQ(*loaded.predict(probe1), *original.predict(probe1));
-  EXPECT_DOUBLE_EQ(*loaded.predict(probe2), *original.predict(probe2));
+  EXPECT_EQ(loaded.forecast(probe1).as_optional().has_value(), original.forecast(probe1).as_optional().has_value());
+  EXPECT_DOUBLE_EQ(*loaded.forecast(probe1).as_optional(), *original.forecast(probe1).as_optional());
+  EXPECT_DOUBLE_EQ(*loaded.forecast(probe2).as_optional(), *original.forecast(probe2).as_optional());
   // Stats preserved.
   EXPECT_DOUBLE_EQ(loaded.rules()[0].fitness(), 3.5);
   EXPECT_EQ(loaded.rules()[0].predicting()->matches, 5u);
@@ -142,7 +142,7 @@ TEST(RuleSystem, SaveLoadPreservesHyperplaneCoefficients) {
   original.save(buffer);
   const RuleSystem loaded = RuleSystem::load(buffer);
   const std::vector<double> w{0.5, 0.25};
-  EXPECT_DOUBLE_EQ(*loaded.predict(w), 1.5 * 0.5 - 2.5 * 0.25 + 0.125);
+  EXPECT_DOUBLE_EQ(*loaded.forecast(w).as_optional(), 1.5 * 0.5 - 2.5 * 0.25 + 0.125);
 }
 
 TEST(RuleSystem, LoadRejectsBadHeader) {

@@ -1,6 +1,7 @@
 // Wire-protocol hardening: the JSON grammar edge cases a public TCP port
-// sees (duplicate keys, overflowing numbers, deep nesting) plus the
-// metrics/events observability verbs.
+// sees (duplicate keys, overflowing numbers, deep nesting), the
+// metrics/events observability verbs, and the v2 envelope (id echo,
+// structured error codes, v1 byte-compatibility).
 #include <gtest/gtest.h>
 
 #include <string>
@@ -10,6 +11,8 @@
 
 namespace {
 
+using ef::serve::ErrorCode;
+using ef::serve::ProtocolError;
 using ef::serve::Request;
 using ef::serve::parse_request;
 
@@ -70,12 +73,14 @@ TEST(ServeJson, RejectsTrailingGarbageAndTruncation) {
 // --- parse_request --------------------------------------------------------
 
 TEST(ParseRequest, PredictFieldsRoundTrip) {
-  std::string error;
+  ProtocolError error;
   const auto request = parse_request(
       R"({"cmd":"predict","model":"m1","window":[1.0,2.0,3.0],"horizon":4,"agg":"median","cache":false})",
       error);
-  ASSERT_TRUE(request.has_value()) << error;
+  ASSERT_TRUE(request.has_value()) << error.message;
   EXPECT_EQ(request->cmd, Request::Cmd::kPredict);
+  EXPECT_EQ(request->version, 1);
+  EXPECT_TRUE(request->id_json.empty());
   EXPECT_EQ(request->predict.model, "m1");
   ASSERT_EQ(request->predict.window.size(), 3u);
   EXPECT_EQ(request->predict.horizon, 4u);
@@ -83,29 +88,31 @@ TEST(ParseRequest, PredictFieldsRoundTrip) {
 }
 
 TEST(ParseRequest, MetricsAndEventsVerbs) {
-  std::string error;
+  ProtocolError error;
   const auto metrics = parse_request(R"({"cmd":"metrics"})", error);
-  ASSERT_TRUE(metrics.has_value()) << error;
+  ASSERT_TRUE(metrics.has_value()) << error.message;
   EXPECT_EQ(metrics->cmd, Request::Cmd::kMetrics);
 
   const auto events = parse_request(R"({"cmd":"events"})", error);
-  ASSERT_TRUE(events.has_value()) << error;
+  ASSERT_TRUE(events.has_value()) << error.message;
   EXPECT_EQ(events->cmd, Request::Cmd::kEvents);
 
   const auto trace = parse_request(R"({"cmd":"trace"})", error);
-  ASSERT_TRUE(trace.has_value()) << error;
+  ASSERT_TRUE(trace.has_value()) << error.message;
   EXPECT_EQ(trace->cmd, Request::Cmd::kTrace);
 }
 
 TEST(ParseRequest, DuplicateKeysAreAnError) {
-  std::string error;
+  ProtocolError error;
   EXPECT_FALSE(parse_request(R"({"horizon":1,"horizon":2})", error).has_value());
-  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+  EXPECT_NE(error.message.find("duplicate"), std::string::npos) << error.message;
+  EXPECT_EQ(error.code, ErrorCode::kBadJson);
 }
 
 TEST(ParseRequest, OverflowingNumberIsAnError) {
-  std::string error;
+  ProtocolError error;
   EXPECT_FALSE(parse_request(R"({"window":[1e999]})", error).has_value());
+  EXPECT_EQ(error.code, ErrorCode::kBadJson);
 }
 
 TEST(ParseRequest, DeepNestingIsAnError) {
@@ -114,15 +121,117 @@ TEST(ParseRequest, DeepNestingIsAnError) {
   deep += '1';
   for (int i = 0; i < 20; ++i) deep += ']';
   deep += '}';
-  std::string error;
+  ProtocolError error;
   EXPECT_FALSE(parse_request(deep, error).has_value());
-  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(error.message.empty());
 }
 
 TEST(ParseRequest, UnknownCmdIsAnError) {
-  std::string error;
+  ProtocolError error;
   EXPECT_FALSE(parse_request(R"({"cmd":"reboot"})", error).has_value());
-  EXPECT_NE(error.find("cmd"), std::string::npos) << error;
+  EXPECT_NE(error.message.find("cmd"), std::string::npos) << error.message;
+  EXPECT_EQ(error.code, ErrorCode::kUnknownCmd);
+}
+
+
+// --- protocol v2 envelope -------------------------------------------------
+
+TEST(ProtocolV2, ExplicitVersionAndStringIdEcho) {
+  ProtocolError error;
+  const auto request =
+      parse_request(R"({"cmd":"ping","v":2,"id":"req-1"})", error);
+  ASSERT_TRUE(request.has_value()) << error.message;
+  EXPECT_EQ(request->version, 2);
+  EXPECT_EQ(request->id_json, "\"req-1\"");
+  EXPECT_EQ(ef::serve::envelope_json(*request), R"(,"v":2,"id":"req-1")");
+}
+
+TEST(ProtocolV2, IdAloneImpliesVersion2) {
+  ProtocolError error;
+  const auto request = parse_request(R"({"cmd":"ping","id":17})", error);
+  ASSERT_TRUE(request.has_value()) << error.message;
+  EXPECT_EQ(request->version, 2);
+  EXPECT_EQ(request->id_json, "17");
+}
+
+TEST(ProtocolV2, Version1StaysV1) {
+  ProtocolError error;
+  const auto request = parse_request(R"({"cmd":"ping","v":1})", error);
+  ASSERT_TRUE(request.has_value()) << error.message;
+  EXPECT_EQ(request->version, 1);
+  EXPECT_TRUE(ef::serve::envelope_json(*request).empty());
+}
+
+TEST(ProtocolV2, RejectsUnknownVersionAndBadIds) {
+  ProtocolError error;
+  EXPECT_FALSE(parse_request(R"({"cmd":"ping","v":3})", error).has_value());
+  EXPECT_EQ(error.code, ErrorCode::kBadRequest);
+
+  error = {};
+  EXPECT_FALSE(parse_request(R"({"cmd":"ping","v":1.5})", error).has_value());
+  EXPECT_EQ(error.code, ErrorCode::kBadRequest);
+
+  error = {};
+  EXPECT_FALSE(parse_request(R"({"cmd":"ping","id":true})", error).has_value());
+  EXPECT_EQ(error.code, ErrorCode::kBadRequest);
+
+  // An id over the 256-byte cap is refused, not truncated.
+  error = {};
+  const std::string big(300, 'x');
+  EXPECT_FALSE(
+      parse_request(R"({"cmd":"ping","id":")" + big + R"("})", error).has_value());
+  EXPECT_EQ(error.code, ErrorCode::kBadRequest);
+}
+
+TEST(ProtocolV2, ErrorsEchoEnvelopeParsedBeforeFailure) {
+  // The envelope pass runs first, so a later field error still echoes the id.
+  ProtocolError error;
+  EXPECT_FALSE(
+      parse_request(R"({"id":"a","window":[0.1],"horizon":0})", error).has_value());
+  EXPECT_EQ(error.version, 2);
+  EXPECT_EQ(error.id_json, "\"a\"");
+  const std::string line = ef::serve::error_json(error);
+  EXPECT_NE(line.find(R"("v":2)"), std::string::npos) << line;
+  EXPECT_NE(line.find(R"("id":"a")"), std::string::npos) << line;
+  EXPECT_NE(line.find(R"("error":{"code":")"), std::string::npos) << line;
+}
+
+TEST(ProtocolV2, ErrorJsonV1BytesUnchanged) {
+  // v1 errors keep the exact pre-v2 bare-string shape.
+  EXPECT_EQ(ef::serve::error_json("nope"), R"({"ok":false,"error":"nope"})");
+  EXPECT_EQ(ef::serve::error_json(ErrorCode::kUnknownModel, "nope", 1),
+            R"({"ok":false,"error":"nope"})");
+  EXPECT_EQ(ef::serve::error_json(ErrorCode::kUnknownModel, "nope", 2, "3"),
+            R"({"ok":false,"v":2,"id":3,"error":{"code":"unknown_model","message":"nope"}})");
+}
+
+TEST(ProtocolV2, PredictResponseCarriesEnvelope) {
+  ef::serve::PredictResponse ok;
+  ok.ok = true;
+  ok.model = "m";
+  ok.version = 3;
+  ok.horizon = 1;
+  ok.value = 0.5;
+  ok.votes = 2;
+
+  Request v1;
+  EXPECT_EQ(ef::serve::to_json(ok, v1), ef::serve::to_json(ok))
+      << "v1 responses must stay byte-identical";
+
+  Request v2;
+  v2.version = 2;
+  v2.id_json = "\"r\"";
+  const std::string line = ef::serve::to_json(ok, v2);
+  EXPECT_EQ(line.rfind(R"({"ok":true,"v":2,"id":"r",)", 0), 0u) << line;
+
+  ef::serve::PredictResponse bad;
+  bad.ok = false;
+  bad.code = ErrorCode::kUnknownModel;
+  bad.error = "unknown model";
+  const std::string error_line = ef::serve::to_json(bad, v2);
+  EXPECT_NE(error_line.find(R"("error":{"code":"unknown_model")"), std::string::npos)
+      << error_line;
+  EXPECT_EQ(ef::serve::to_json(bad, v1), R"({"ok":false,"error":"unknown model"})");
 }
 
 }  // namespace

@@ -18,7 +18,7 @@
 #include "core/rule_system.hpp"
 #include "serve/model_store.hpp"
 #include "serve/protocol.hpp"
-#include "serve/tcp_server.hpp"
+#include "serve/reactor.hpp"
 #include "util/rng.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -38,7 +38,7 @@ using ef::serve::ForecastService;
 using ef::serve::ModelStore;
 using ef::serve::PredictRequest;
 using ef::serve::Request;
-using ef::serve::ServiceConfig;
+using ef::serve::ServeOptions;
 
 Rule make_rule(std::vector<Interval> genes, std::vector<double> coeffs, double fitness,
                double error) {
@@ -94,10 +94,10 @@ PredictRequest request_for(std::vector<double> window, std::size_t horizon = 1,
   return req;
 }
 
-ServiceConfig no_batch_config() {
-  ServiceConfig config;
-  config.enable_batcher = false;  // deterministic single-thread path
-  return config;
+ServeOptions no_batch_config() {
+  ServeOptions options;
+  options.enable_batcher = false;  // deterministic single-thread path
+  return options;
 }
 
 TEST(ForecastService, ValidationErrorsNeverThrow) {
@@ -140,7 +140,7 @@ TEST(ForecastService, MatchesCorePredictAndReportsAbstention) {
   for (int i = 0; i < 100; ++i) {
     std::vector<double> window{rng.uniform(-0.2, 1.4), rng.uniform(-0.2, 1.4),
                                rng.uniform(-0.2, 1.4)};
-    const auto expected = reference.predict(window);
+    const auto expected = reference.forecast(window).as_optional();
     PredictRequest req = request_for(window);
     req.use_cache = false;
     const auto response = service.predict(req);
@@ -197,7 +197,7 @@ TEST(ForecastService, CachedEqualsUncachedExactly) {
 TEST(ForecastService, CacheDisabledStillCorrect) {
   ModelStore store;
   store.add_system("m", make_system());
-  ServiceConfig config = no_batch_config();
+  ServeOptions config = no_batch_config();
   config.enable_cache = false;
   ForecastService service(store, config);
 
@@ -254,7 +254,7 @@ TEST(ForecastService, MultiStepAbstainsWhenChainBreaks) {
   // a value.
   const std::vector<double> window{0.0, 5.0, 0.0};
   const RuleSystem reference = make_system();
-  ASSERT_TRUE(reference.predict(window).has_value()) << "step one should be covered";
+  ASSERT_TRUE(reference.forecast(window).as_optional().has_value()) << "step one should be covered";
   ef::core::MultistepOptions options;
   options.horizon = 3;
   const auto expected = ef::core::iterate_forecast(reference, window, options);
@@ -271,7 +271,7 @@ TEST(ForecastService, MultiStepAbstainsWhenChainBreaks) {
 TEST(ForecastService, BatchedPathAgreesWithInline) {
   ModelStore store;
   store.add_system("m", make_system());
-  ServiceConfig batched;
+  ServeOptions batched;
   batched.enable_cache = false;
   ForecastService with_batcher(store, batched);
   ForecastService inline_service(store, no_batch_config());
@@ -305,7 +305,7 @@ TEST(ForecastService, BatchedPathAgreesWithInline) {
 TEST(ForecastService, HotReloadWithPredictionsInFlightZeroFailures) {
   ModelStore store;
   store.add_system("m", make_covering_system());
-  ServiceConfig config;
+  ServeOptions config;
   config.enable_cache = false;  // every request exercises the live model
   ForecastService service(store, config);
 
@@ -374,12 +374,12 @@ TEST(ForecastService, GracefulShutdownDrainsThenRejects) {
 // --- protocol ---------------------------------------------------------------
 
 TEST(Protocol, ParsePredictRequest) {
-  std::string error;
+  ef::serve::ProtocolError error;
   const auto req = ef::serve::parse_request(
       R"({"cmd":"predict","model":"m","window":[0.1,0.2,0.3],"horizon":2,)"
       R"("agg":"median","cache":false})",
       error);
-  ASSERT_TRUE(req.has_value()) << error;
+  ASSERT_TRUE(req.has_value()) << error.message;
   EXPECT_EQ(req->cmd, Request::Cmd::kPredict);
   EXPECT_EQ(req->predict.model, "m");
   EXPECT_EQ(req->predict.window, (std::vector<double>{0.1, 0.2, 0.3}));
@@ -389,9 +389,9 @@ TEST(Protocol, ParsePredictRequest) {
 }
 
 TEST(Protocol, DefaultsApply) {
-  std::string error;
+  ef::serve::ProtocolError error;
   const auto req = ef::serve::parse_request(R"({"window":[1,2]})", error);
-  ASSERT_TRUE(req.has_value()) << error;
+  ASSERT_TRUE(req.has_value()) << error.message;
   EXPECT_EQ(req->cmd, Request::Cmd::kPredict);
   EXPECT_EQ(req->predict.model, "default");
   EXPECT_EQ(req->predict.horizon, 1u);
@@ -400,7 +400,7 @@ TEST(Protocol, DefaultsApply) {
 }
 
 TEST(Protocol, OtherCommands) {
-  std::string error;
+  ef::serve::ProtocolError error;
   EXPECT_EQ(ef::serve::parse_request(R"({"cmd":"ping"})", error)->cmd, Request::Cmd::kPing);
   EXPECT_EQ(ef::serve::parse_request(R"({"cmd":"models"})", error)->cmd, Request::Cmd::kModels);
   EXPECT_EQ(ef::serve::parse_request(R"({"cmd":"stats"})", error)->cmd, Request::Cmd::kStats);
@@ -423,9 +423,10 @@ TEST(Protocol, RejectsMalformedInput) {
       R"({"window":[0.1,"x"]})",                    // non-number in window
   };
   for (const auto& line : bad) {
-    std::string error;
+    ef::serve::ProtocolError error;
     EXPECT_FALSE(ef::serve::parse_request(line, error).has_value()) << line;
-    EXPECT_FALSE(error.empty()) << line;
+    EXPECT_FALSE(error.message.empty()) << line;
+    EXPECT_NE(error.code, ef::serve::ErrorCode::kNone) << line;
   }
 }
 
@@ -472,7 +473,7 @@ TEST(Protocol, ParseAggregationRoundTrip) {
 
 // --- TCP roundtrip -----------------------------------------------------------
 
-#if defined(__unix__) || defined(__APPLE__)
+#if defined(__linux__)
 
 /// Minimal blocking JSON-lines client for the loopback roundtrip.
 class LineClient {
@@ -508,13 +509,13 @@ class LineClient {
   bool connected_ = false;
 };
 
-TEST(TcpServer, LoopbackRoundtrip) {
+TEST(Reactor, LoopbackRoundtrip) {
   ModelStore store;
   store.add_system("m", make_system());
-  ForecastService service(store);
-  ef::serve::ServerConfig config;
-  config.port = 0;  // ephemeral
-  ef::serve::TcpServer server(service, config);
+  ServeOptions options;
+  options.port = 0;  // ephemeral
+  ForecastService service(store, options);
+  ef::serve::Reactor server(service);
   server.start();
   ASSERT_NE(server.port(), 0);
 
@@ -549,13 +550,13 @@ TEST(TcpServer, LoopbackRoundtrip) {
   EXPECT_GE(server.connections_served(), 1u);
 }
 
-TEST(TcpServer, ConcurrentClients) {
+TEST(Reactor, ConcurrentClients) {
   ModelStore store;
   store.add_system("m", make_covering_system());
-  ForecastService service(store);
-  ef::serve::ServerConfig config;
-  config.port = 0;
-  ef::serve::TcpServer server(service, config);
+  ServeOptions options;
+  options.port = 0;
+  ForecastService service(store, options);
+  ef::serve::Reactor server(service);
   server.start();
 
   std::atomic<std::size_t> failures{0};
@@ -579,6 +580,6 @@ TEST(TcpServer, ConcurrentClients) {
   EXPECT_EQ(failures.load(), 0u);
 }
 
-#endif  // defined(__unix__) || defined(__APPLE__)
+#endif  // defined(__linux__)
 
 }  // namespace

@@ -68,9 +68,9 @@ TEST(ModelStore, AddSystemAndGet) {
   EXPECT_EQ(store.get("missing"), nullptr);
 
   const std::vector<double> window{0.5, 0.5};
-  const auto p = a->predict_one(window);
-  ASSERT_TRUE(p.value.has_value());
-  EXPECT_DOUBLE_EQ(*p.value, 1.0);
+  const auto p = a->forecast(window);
+  ASSERT_FALSE(p.abstained);
+  EXPECT_DOUBLE_EQ(p.value, 1.0);
   EXPECT_EQ(p.votes, 1u);
 }
 
@@ -86,8 +86,8 @@ TEST(ModelStore, ReplacingBumpsVersionAndTag) {
   EXPECT_EQ(v2->version(), 2u);
   EXPECT_NE(v1->tag(), v2->tag());
   // The old snapshot stays alive and keeps answering with the old model.
-  EXPECT_DOUBLE_EQ(*v1->predict_one(std::vector<double>{0.5, 0.5}).value, 1.0);
-  EXPECT_DOUBLE_EQ(*v2->predict_one(std::vector<double>{0.5, 0.5}).value, 5.0);
+  EXPECT_DOUBLE_EQ(v1->forecast(std::vector<double>{0.5, 0.5}).value, 1.0);
+  EXPECT_DOUBLE_EQ(v2->forecast(std::vector<double>{0.5, 0.5}).value, 5.0);
 }
 
 TEST(ModelStore, FileLoadAndHotReload) {
@@ -111,9 +111,9 @@ TEST(ModelStore, FileLoadAndHotReload) {
   const auto v2 = store.get("m");
   ASSERT_NE(v2, nullptr);
   EXPECT_EQ(v2->version(), 2u);
-  EXPECT_DOUBLE_EQ(*v2->predict_one(std::vector<double>{0.5, 0.5}).value, 9.0);
+  EXPECT_DOUBLE_EQ(v2->forecast(std::vector<double>{0.5, 0.5}).value, 9.0);
   // The pre-reload snapshot held by an in-flight request is untouched.
-  EXPECT_DOUBLE_EQ(*v1->predict_one(std::vector<double>{0.5, 0.5}).value, 1.0);
+  EXPECT_DOUBLE_EQ(v1->forecast(std::vector<double>{0.5, 0.5}).value, 1.0);
 
   std::filesystem::remove(path);
 }
@@ -135,13 +135,13 @@ TEST(ModelStore, CorruptReloadKeepsServingOldVersion) {
   const auto after = store.get("m");
   ASSERT_NE(after, nullptr);
   EXPECT_EQ(after->tag(), before->tag());  // ...old version still serving
-  EXPECT_DOUBLE_EQ(*after->predict_one(std::vector<double>{0.5, 0.5}).value, 3.0);
+  EXPECT_DOUBLE_EQ(after->forecast(std::vector<double>{0.5, 0.5}).value, 3.0);
 
   // And once the file is healthy again, reload succeeds.
   write_model(path, constant_system(4.0));
   bump_mtime(path);
   EXPECT_EQ(store.poll_now(), 1u);
-  EXPECT_DOUBLE_EQ(*store.get("m")->predict_one(std::vector<double>{0.5, 0.5}).value, 4.0);
+  EXPECT_DOUBLE_EQ(store.get("m")->forecast(std::vector<double>{0.5, 0.5}).value, 4.0);
 
   std::filesystem::remove(path);
 }
@@ -191,9 +191,9 @@ TEST(ModelStore, ConcurrentReadersDuringReloads) {
           ++failures;
           continue;
         }
-        const auto p = model->predict_one(window);
+        const auto p = model->forecast(window);
         // Version k serves the constant k.
-        if (!p.value || *p.value != static_cast<double>(model->version())) ++failures;
+        if (p.abstained || p.value != static_cast<double>(model->version())) ++failures;
         ++reads;
       }
     });
@@ -219,8 +219,8 @@ TEST(LoadedModelFactory, EmptySystemHasNoIndex) {
   const auto model = LoadedModel::make(RuleSystem{}, "empty", 1, 1);
   EXPECT_FALSE(model->index().has_value());
   EXPECT_EQ(model->window(), 0u);
-  const auto p = model->predict_one(std::vector<double>{0.1});
-  EXPECT_FALSE(p.value.has_value());
+  const auto p = model->forecast(std::vector<double>{0.1});
+  EXPECT_TRUE(p.abstained);
   EXPECT_EQ(p.votes, 0u);
 }
 

@@ -21,6 +21,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstddef>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -37,8 +38,17 @@
 #include "serve/batcher.hpp"
 #include "serve/json.hpp"
 #include "serve/model_store.hpp"
+#include "serve/reactor.hpp"
+#include "serve/service.hpp"
 #include "serve/window_cache.hpp"
 #include "util/thread_pool.hpp"
+
+#if defined(__linux__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
 
 namespace {
 
@@ -392,5 +402,102 @@ TEST(StressConcurrency, SharedThreadPoolOverlappingParallelFor) {
   });
   join_all(callers);
 }
+
+
+#if defined(__linux__)
+
+/// Blocking loopback connect; -1 on failure.
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(StressConcurrency, ReactorPipelinedClientsAgainstHotReload) {
+  // Many client threads pipelining bursts over short-lived connections while
+  // the model hot-reloads underneath: TSan watches the acceptor fd handoff
+  // between shards, the cross-thread completion inbox, and the batcher
+  // dispatch racing connection close. Finally stop() lands with traffic
+  // still arriving — the drain must not race the in-flight completions.
+  ef::serve::ModelStore store;
+  store.add_system("m", constant_system(3.0));
+  ef::serve::ServeOptions options;
+  options.port = 0;
+  options.enable_cache = false;  // every request exercises the live model
+  options.reactor_threads = 2;
+  ef::serve::ForecastService service(store, options);
+  ef::serve::Reactor reactor(service);
+  reactor.start();
+  const std::uint16_t port = reactor.port();
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kPipeline = 16;
+  const std::size_t bursts = 15 * kIterScale;
+  std::atomic<std::size_t> failures{0};
+  std::atomic<bool> stop{false};
+
+  auto clients = spawn(kClients, [&](std::size_t) {
+    for (std::size_t round = 0; round < bursts && !stop.load(std::memory_order_relaxed);
+         ++round) {
+      const int fd = connect_loopback(port);
+      if (fd < 0) {
+        ++failures;
+        continue;
+      }
+      std::string burst;
+      for (std::size_t i = 0; i < kPipeline; ++i) {
+        burst += "{\"model\":\"m\",\"window\":[0.5,0.5],\"id\":" + std::to_string(i) + "}\n";
+      }
+      bool ok = true;
+      for (std::size_t sent = 0; sent < burst.size();) {
+        const auto n = ::send(fd, burst.data() + sent, burst.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+          ok = false;
+          break;
+        }
+        sent += static_cast<std::size_t>(n);
+      }
+      std::size_t newlines = 0;
+      char chunk[2048];
+      while (ok && newlines < kPipeline) {
+        const auto n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) break;
+        for (ssize_t i = 0; i < n; ++i) {
+          if (chunk[i] == '\n') ++newlines;
+        }
+      }
+      if (!ok || newlines != kPipeline) ++failures;
+      ::close(fd);
+    }
+  });
+
+  for (std::size_t swap = 0; swap < 10 * kIterScale; ++swap) {
+    store.add_system("m", constant_system(static_cast<double>(swap % 7 + 1)));
+    std::this_thread::sleep_for(2ms);
+  }
+  join_all(clients);
+
+  // Stop with one final pipelined connection mid-flight so the drain path
+  // races real traffic.
+  const int fd = connect_loopback(port);
+  if (fd >= 0) {
+    const char* line = "{\"model\":\"m\",\"window\":[0.5,0.5]}\n";
+    (void)::send(fd, line, std::strlen(line), MSG_NOSIGNAL);
+  }
+  reactor.stop();
+  if (fd >= 0) ::close(fd);
+  service.shutdown();
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+#endif  // defined(__linux__)
 
 }  // namespace

@@ -47,7 +47,7 @@ TEST(Merge, CombinesRuleSets) {
   a.merge(b);
   EXPECT_EQ(a.size(), 3u);
   // Each rule predicts its constant p (zero slope, intercept p): mean = 3.
-  const auto out = a.predict(std::vector<double>{2.0});
+  const auto out = a.forecast(std::vector<double>{2.0}).as_optional();
   ASSERT_TRUE(out.has_value());
   EXPECT_DOUBLE_EQ(*out, 3.0);
 }
