@@ -151,6 +151,14 @@ class Connection {
   bool want_write = false;
   /// EPOLLIN currently disarmed (pipeline cap reached — backpressure).
   bool paused_read = false;
+  /// process_lines is on the stack for this connection: a nested inline
+  /// completion must release its response and return, not recurse back in
+  /// (the enclosing loop picks up the remaining buffered lines).
+  bool processing = false;
+  /// fd closed and connection unlinked; the object survives in the shard's
+  /// graveyard until the current epoll batch finishes, because a later
+  /// event in the same batch may still carry this pointer.
+  bool dead = false;
 
  private:
   void release(std::string response) {

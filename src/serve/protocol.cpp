@@ -48,6 +48,7 @@ std::optional<Request> parse_request(std::string_view line, ProtocolError& error
   // Envelope fields first, so a failure in any later field can still echo
   // the id and answer in the version the client asked for.
   Request request;
+  bool saw_id = false;
   for (const auto& [key, value] : *object) {
     if (key == "v") {
       const double* num = value.as_number();
@@ -66,9 +67,12 @@ std::optional<Request> parse_request(std::string_view line, ProtocolError& error
       } else {
         return fail(ErrorCode::kBadRequest, "\"id\" must be a string or a number");
       }
-      request.version = 2;  // an id implies the v2 envelope
+      saw_id = true;
     }
   }
+  // An id implies the v2 envelope regardless of key order — {"id":7,"v":1}
+  // must not let the later "v" key silently drop the echoed id.
+  if (saw_id) request.version = 2;
   error.version = request.version;
   error.id_json = request.id_json;
 

@@ -41,6 +41,12 @@ namespace {
 /// integers can never collide.
 void* const kListenTag = reinterpret_cast<void*>(0x1);
 void* const kWakeTag = reinterpret_cast<void*>(0x2);
+
+/// Clears Connection::processing on every exit from process_lines.
+struct ProcessingGuard {
+  bool& flag;
+  ~ProcessingGuard() { flag = false; }
+};
 #endif
 
 }  // namespace
@@ -60,8 +66,16 @@ struct Reactor::Shard {
   std::thread thread;
   std::atomic<std::thread::id> thread_id{};
   std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns;
+  /// Connections closed mid-batch park here (see Connection::dead); freed
+  /// once the current epoll batch is fully dispatched.
+  std::vector<std::unique_ptr<Connection>> graveyard;
   bool drain_entered = false;
   std::chrono::steady_clock::time_point drain_deadline{};
+  /// Listener parked after EMFILE/ENFILE (shard 0 only): with level-triggered
+  /// epoll the listen fd would stay readable and spin the loop at 100% CPU,
+  /// so it leaves the epoll set until `listener_resume`.
+  bool listener_paused = false;
+  std::chrono::steady_clock::time_point listener_resume{};
 
   // Cross-thread inbox. `closed` flips (under the mutex) when the loop has
   // exited and the fds are about to close — late completions check it and
@@ -198,6 +212,13 @@ void Reactor::stop() {
     shard->wake_fd = -1;
     for (int fd : shard->pending_fds) ::close(fd);
     shard->pending_fds.clear();
+    // A loop that exited through the epoll_wait error path never ran
+    // close_connection on its survivors — their sockets are still open.
+    for (auto& [id, conn] : shard->conns) {
+      if (!conn->dead) ::close(conn->fd());
+    }
+    shard->conns.clear();
+    shard->graveyard.clear();
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -251,6 +272,27 @@ void Reactor::shard_loop(Shard& shard) {
               .count() +
           1);
     }
+    if (shard.listener_paused) {
+      if (shard.drain_entered) {
+        shard.listener_paused = false;  // draining: stay out of the epoll set
+      } else {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= shard.listener_resume) {
+          epoll_event lev{};
+          lev.events = EPOLLIN;
+          lev.data.ptr = kListenTag;
+          ::epoll_ctl(shard.epoll_fd, EPOLL_CTL_ADD, listen_fd_, &lev);
+          shard.listener_paused = false;
+        } else {
+          const int wait_ms = static_cast<int>(
+              std::chrono::duration_cast<std::chrono::milliseconds>(shard.listener_resume -
+                                                                    now)
+                  .count() +
+              1);
+          timeout_ms = timeout_ms < 0 ? wait_ms : std::min(timeout_ms, wait_ms);
+        }
+      }
+    }
 
     const int n = ::epoll_wait(shard.epoll_fd, events, 64, timeout_ms);
     if (n < 0) {
@@ -272,6 +314,7 @@ void Reactor::shard_loop(Shard& shard) {
         continue;
       }
       Connection* conn = static_cast<Connection*>(ev.data.ptr);
+      if (conn->dead) continue;  // closed earlier in this batch; freed below
       if ((ev.events & (EPOLLHUP | EPOLLERR)) != 0 && (ev.events & EPOLLIN) == 0) {
         close_connection(shard, conn);
         continue;
@@ -282,6 +325,9 @@ void Reactor::shard_loop(Shard& shard) {
       }
       if ((ev.events & EPOLLOUT) != 0) flush(shard, conn);
     }
+    // Batch fully dispatched: no stale epoll_event can still point at a
+    // closed connection, so the graveyard is safe to free.
+    shard.graveyard.clear();
   }
   // Loop exited: mark the shard closed so late cross-thread completions
   // drop instead of touching fds that are about to be recycled.
@@ -294,6 +340,18 @@ void Reactor::handle_accept(Shard& shard) {
     const int client = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (client < 0) {
       if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS || errno == ENOMEM) {
+        // Out of fds/memory: the pending connection stays in the backlog, so
+        // with level-triggered epoll this fd reports readable forever. Park
+        // the listener and retry once resources may have freed up.
+        ::epoll_ctl(shard.epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        shard.listener_paused = true;
+        shard.listener_resume =
+            std::chrono::steady_clock::now() + std::chrono::milliseconds(100);
+        EVOFORECAST_COUNT("serve.accept_stalls", 1);
+        EVOFORECAST_EVENT("serve.accept_stall", {"errno", errno});
+        break;
+      }
       break;  // EAGAIN (drained) or transient failure
     }
     if (draining_.load(std::memory_order_acquire)) {
@@ -394,6 +452,15 @@ void Reactor::handle_readable(Shard& shard, Connection* conn) {
 }
 
 void Reactor::process_lines(Shard& shard, Connection* conn) {
+  // Re-entry guard: with reads paused (EOF half-close, drain) an inline
+  // predict completion lands in complete_local while this loop is on the
+  // stack; recursing back in here would nest one stack frame per buffered
+  // line — a remotely triggerable stack overflow for a client that
+  // pipelines thousands of lines and then shutdown(SHUT_WR). The enclosing
+  // loop already consumes the remaining buffered lines.
+  if (conn->processing) return;
+  conn->processing = true;
+  const ProcessingGuard guard{conn->processing};
   for (;;) {
     if (conn->in_flight() >= options_.max_pipeline) {
       // Backpressure: further lines stay in the read buffer (and the
@@ -497,8 +564,9 @@ void Reactor::complete_local(Shard& shard, Connection* conn, std::uint64_t seq,
       update_interest(shard, conn);
     }
     // Lines that were waiting on the pipeline cap (or buffered before a
-    // drain began) are ready now.
-    if (conn->has_buffered_input()) process_lines(shard, conn);
+    // drain began) are ready now. When process_lines is already on the
+    // stack (inline completion) its loop picks them up — don't recurse.
+    if (conn->has_buffered_input() && !conn->processing) process_lines(shard, conn);
   }
 }
 
@@ -552,9 +620,18 @@ bool Reactor::flush(Shard& shard, Connection* conn) {
 }
 
 void Reactor::close_connection(Shard& shard, Connection* conn) {
+  if (conn->dead) return;  // already closed earlier in this event batch
+  conn->dead = true;
   ::epoll_ctl(shard.epoll_fd, EPOLL_CTL_DEL, conn->fd(), nullptr);
   ::close(conn->fd());
-  shard.conns.erase(conn->id());  // deletes conn
+  // Defer the delete to the end of the current epoll batch: the kernel
+  // delivers EPOLLHUP/EPOLLERR regardless of the interest mask, so a later
+  // events[] entry from the same epoll_wait may still hold this pointer.
+  const auto it = shard.conns.find(conn->id());
+  if (it != shard.conns.end()) {
+    shard.graveyard.push_back(std::move(it->second));
+    shard.conns.erase(it);
+  }
 }
 
 void Reactor::update_interest(Shard& shard, Connection* conn) {

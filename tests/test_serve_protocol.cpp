@@ -154,6 +154,21 @@ TEST(ProtocolV2, IdAloneImpliesVersion2) {
   EXPECT_EQ(request->id_json, "17");
 }
 
+TEST(ProtocolV2, IdImpliesVersion2RegardlessOfKeyOrder) {
+  // A later "v":1 key must not undo the id-implies-v2 upgrade: both key
+  // orders yield the same v2 response with the id echoed.
+  ProtocolError error;
+  const auto id_first = parse_request(R"({"id":7,"v":1,"cmd":"ping"})", error);
+  ASSERT_TRUE(id_first.has_value()) << error.message;
+  EXPECT_EQ(id_first->version, 2);
+  EXPECT_EQ(id_first->id_json, "7");
+
+  const auto v_first = parse_request(R"({"v":1,"id":7,"cmd":"ping"})", error);
+  ASSERT_TRUE(v_first.has_value()) << error.message;
+  EXPECT_EQ(v_first->version, 2);
+  EXPECT_EQ(v_first->id_json, "7");
+}
+
 TEST(ProtocolV2, Version1StaysV1) {
   ProtocolError error;
   const auto request = parse_request(R"({"cmd":"ping","v":1})", error);

@@ -145,6 +145,9 @@ class LineClient {
   }
   [[nodiscard]] bool connected() const { return connected_; }
 
+  /// Half-close: no more requests, but responses still flow back.
+  void shutdown_write() { ::shutdown(fd_, SHUT_WR); }
+
   [[nodiscard]] bool send_all(std::string_view data) {
     while (!data.empty()) {
       const auto n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
@@ -463,6 +466,87 @@ TEST(Reactor, GracefulDrainAnswersInFlightPipeline) {
   }
   EXPECT_EQ(received, kRequests) << "drain dropped buffered responses";
   EXPECT_FALSE(server.reactor->running());
+}
+
+TEST(Reactor, HalfCloseWithDeepInlinePipelineDoesNotRecurse) {
+  // Regression: with the batcher off every predict completes inline on the
+  // reactor thread. A client that pipelines thousands of lines and then
+  // shutdown(SHUT_WR) used to drive complete_local -> process_lines mutual
+  // recursion one frame per buffered line — a remotely triggerable stack
+  // overflow. Every response must still arrive, in order, then the server
+  // closes the drained connection.
+  ServeOptions options;
+  options.enable_batcher = false;
+  Server server(options);
+  LineClient client(server.reactor->port());
+  ASSERT_TRUE(client.connected());
+
+  constexpr int kRequests = 20000;
+  std::string burst;
+  burst.reserve(kRequests * 48);
+  for (int i = 0; i < kRequests; ++i) {
+    burst += R"({"model":"m","window":[0.8,1.1],"id":)" + std::to_string(i) + "}\n";
+  }
+  ASSERT_TRUE(client.send_all(burst));
+  client.shutdown_write();
+
+  for (int i = 0; i < kRequests; ++i) {
+    const auto line = client.read_line(10000);
+    ASSERT_TRUE(line.has_value()) << "response " << i << " missing";
+    ASSERT_NE(line->find("\"id\":" + std::to_string(i)), std::string::npos)
+        << "out of order at " << i << ": " << *line;
+  }
+  EXPECT_FALSE(client.read_line(2000).has_value())
+      << "server must close once the half-closed pipeline drains";
+}
+
+TEST(Reactor, DrainCompletesBufferedInlineTailWithoutRecursing) {
+  // The other guaranteed paused_read + buffered-lines + inline-completion
+  // combination (the recursion precondition, see HalfClose above): park the
+  // connection at the pipeline cap behind one slow batcher miss, with a
+  // cached tail already sitting in its read buffer, then initiate the
+  // drain. When the miss finally completes, every buffered tail line is a
+  // cache hit completing inline under paused_read — pre-guard this nested
+  // one stack frame per line. All buffered lines must be answered in
+  // order, then the connection closes.
+  ServeOptions options;
+  options.max_pipeline = 1;
+  options.batcher.max_delay = std::chrono::milliseconds(100);  // park window
+  Server server(options);
+  LineClient client(server.reactor->port());
+  ASSERT_TRUE(client.connected());
+
+  // Prime the cache for the tail window.
+  ASSERT_TRUE(client.send_all("{\"model\":\"m\",\"window\":[0.8,1.1]}\n"));
+  ASSERT_TRUE(client.read_line().has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));  // miss drained
+
+  // One fresh-window miss parks the connection for ~100ms at the cap; the
+  // cached tail lands in the read buffer behind it.
+  constexpr int kRequests = 20000;
+  std::string burst = "{\"model\":\"m\",\"window\":[0.5,0.9]}\n";
+  for (int i = 0; i < kRequests; ++i) {
+    burst += R"({"model":"m","window":[0.8,1.1],"id":)" + std::to_string(i) + "}\n";
+  }
+  ASSERT_TRUE(client.send_all(burst));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // reactor parked
+  server.reactor->stop();  // drain with the tail still buffered
+
+  // The miss answers first (v1 — no id), then the buffered tail in order;
+  // lines the reactor never read off the socket are dropped by the drain
+  // contract, so assert order and gap-freeness, not the total.
+  const auto miss = client.read_line();
+  ASSERT_TRUE(miss.has_value());
+  EXPECT_NE(miss->find("\"ok\":true"), std::string::npos) << *miss;
+  int next_id = 0;
+  for (;;) {
+    const auto line = client.read_line(2000);
+    if (!line) break;  // server closed the drained connection
+    ASSERT_NE(line->find("\"id\":" + std::to_string(next_id)), std::string::npos)
+        << "out of order at " << next_id << ": " << *line;
+    ++next_id;
+  }
+  EXPECT_GT(next_id, 0) << "drain dropped the buffered tail";
 }
 
 TEST(Reactor, MultipleShardsServeConcurrentConnections) {
