@@ -13,6 +13,16 @@ Structural checks on a scrape of efserve's GET /metrics:
     end with an le="+Inf" bucket, and that bucket equals <family>_count
   * le label values are parseable floats or +Inf
 
+Label checks (the serve layer exports labelled ef_quality_* series):
+  * label blocks parse strictly as  name="value"[,name="value"]*  with legal
+    label names ([a-zA-Z_][a-zA-Z0-9_]*) and no duplicate names per sample
+  * label values use only the legal escapes (\\, \", \n)
+  * label names appear in sorted order, and every sample of a metric carries
+    the same label-name set (byte-stable series identity across scrapes)
+  * no duplicate series (same name + same label set twice in one scrape)
+  * no family exports more than MAX_SERIES_PER_FAMILY series — providers
+    must cap their own cardinality (top-K + aggregate, never per-key)
+
 With --windowed, additionally require windowed coverage: the collector
 window must be live (evoforecast_window_seconds > 0) and every histogram
 family must expose windowed quantile gauges (<family>_window{q="..."}) and
@@ -37,6 +47,43 @@ SAMPLE_RE = re.compile(
     r" (?P<value>\S+)(?: \d+)?$"
 )
 LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+# Bounded-cardinality contract: no family may export more series than this
+# in one scrape (histogram buckets included). Providers export top-K worst
+# plus an aggregate, never one series per unbounded key.
+MAX_SERIES_PER_FAMILY = 64
+
+
+def _parse_labels(text):
+    """Strictly parse a label-block body; (name, value) pairs or None."""
+    pairs = []
+    pos = 0
+    while pos < len(text):
+        match = LABEL_RE.match(text, pos)
+        if match is None:
+            return None
+        pairs.append((match.group(1), match.group(2)))
+        pos = match.end()
+        if pos < len(text):
+            if text[pos] != ",":
+                return None
+            pos += 1
+            if pos == len(text):
+                return None  # trailing comma
+    return pairs
+
+
+def _bad_escape(value):
+    """True when a label value uses an escape outside \\\\, \\" and \\n."""
+    i = 0
+    while i < len(value):
+        if value[i] == "\\":
+            if i + 1 >= len(value) or value[i + 1] not in ('\\', '"', 'n'):
+                return True
+            i += 2
+        else:
+            i += 1
+    return False
 
 
 def _parse_value(text):
@@ -63,6 +110,9 @@ def validate(text):
     type_line_no = {}   # family -> line number of its # TYPE
     buckets = {}        # family -> list of (le, value, line_no)
     counts = {}         # family -> _count value
+    label_sets = {}     # sample name -> (frozenset of label names, line_no)
+    series_seen = set()  # (name, label pairs) — duplicate-series detection
+    series_per_family = {}
     samples = 0
 
     for line_no, line in enumerate(text.splitlines(), 1):
@@ -97,9 +147,48 @@ def validate(text):
             problems.append(
                 f"line {line_no}: bad value {match.group('value')!r} for {name}")
             continue
-        labels = dict(LABEL_RE.findall(match.group("labels") or ""))
+        labels_text = match.group("labels")
+        label_pairs = []
+        if labels_text is not None:
+            parsed = _parse_labels(labels_text)
+            if parsed is None:
+                problems.append(
+                    f"line {line_no}: malformed label block on {name}: "
+                    f"{{{labels_text}}}")
+                continue
+            label_pairs = parsed
+            names = [label for label, _ in label_pairs]
+            if len(set(names)) != len(names):
+                problems.append(
+                    f"line {line_no}: duplicate label name on {name}")
+            if names != sorted(names):
+                problems.append(
+                    f"line {line_no}: label names not sorted on {name}: {names}")
+            for label, label_value in label_pairs:
+                if _bad_escape(label_value):
+                    problems.append(
+                        f"line {line_no}: invalid escape in label "
+                        f"{label}={label_value!r} on {name}")
+        labels = dict(label_pairs)
+
+        # Series identity: the same metric must carry the same label-name
+        # set on every sample, and no (name, labels) pair may repeat.
+        label_names = frozenset(label for label, _ in label_pairs)
+        prior = label_sets.get(name)
+        if prior is None:
+            label_sets[name] = (label_names, line_no)
+        elif prior[0] != label_names:
+            problems.append(
+                f"line {line_no}: {name} label set {sorted(label_names)} "
+                f"differs from line {prior[1]} ({sorted(prior[0])})")
+        series = (name, tuple(label_pairs))
+        if series in series_seen:
+            problems.append(
+                f"line {line_no}: duplicate series {name}{{{labels_text or ''}}}")
+        series_seen.add(series)
 
         family = _family_of(name)
+        series_per_family[family] = series_per_family.get(family, 0) + 1
         declared = types.get(family) or types.get(name)
         if declared is None:
             problems.append(f"line {line_no}: sample {name} has no # TYPE line")
@@ -145,6 +234,13 @@ def validate(text):
                 f"{family}: +Inf bucket {series[-1][1]} != _count {counts[family]}")
         if family in types and family not in counts:
             problems.append(f"{family}: histogram has buckets but no _count sample")
+
+    for family, count in sorted(series_per_family.items()):
+        if count > MAX_SERIES_PER_FAMILY:
+            problems.append(
+                f"{family}: {count} series exceeds the cardinality cap "
+                f"({MAX_SERIES_PER_FAMILY}) — providers must export top-K "
+                f"plus an aggregate, not one series per key")
 
     if samples == 0:
         problems.append("no samples found — empty or non-exposition input")

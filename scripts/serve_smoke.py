@@ -16,10 +16,14 @@ identical values), the metrics/events/trace observability verbs (trace
 document validated with check_trace_json), windowed coverage of every
 histogram once the collector window is live, a raw HTTP GET /metrics
 scrape (validated with check_prometheus), a SIGUSR1 flight-recorder dump
-(server keeps serving), optionally one efstat --once --json poll plus an
-efstat --trace breakdown, graceful SIGTERM shutdown, and finally the
---trace-out file itself (well-formed, >= 4 span names in one request,
-slow exemplars present). Exits non-zero on the first failed check.
+(server keeps serving), the forecast-quality loop (v2 interval field,
+observe/quality verbs, live accuracy maturation, a forced regime shift
+landing drift.detected in the event log, stale-actual handling, labelled
+ef_quality_* series on the scrape), optionally one efstat --once --json
+poll plus an efstat --trace breakdown, graceful SIGTERM shutdown, and
+finally the --trace-out file itself (well-formed, >= 4 span names in one
+request, slow exemplars present). Exits non-zero on the first failed
+check.
 """
 import json
 import math
@@ -448,6 +452,118 @@ def main():
         check("report_dumps counter incremented",
               "evoforecast_serve_report_dumps_total 1" in after)
 
+        # -- forecast quality: intervals, observe/quality verbs, drift ------
+
+        # v2 predict replies carry the rule-error interval around the value;
+        # v1 must never gain the field.
+        v2i = client.request(json.dumps(
+            {"model": "demo", "window": window, "v": 2, "id": "i-1"}))
+        interval = v2i.get("interval")
+        check("v2 predict carries interval",
+              isinstance(interval, list) and len(interval) == 2, v2i)
+        if isinstance(interval, list) and len(interval) == 2:
+            check("interval brackets the value",
+                  interval[0] <= v2i.get("value", math.nan) <= interval[1]
+                  and interval[0] <= interval[1], v2i)
+        v1i = client.request(json.dumps({"model": "demo", "window": window}))
+        check("v1 predict has no interval field", "interval" not in v1i, v1i)
+        if abstained:
+            check("abstention has no interval", "interval" not in abstained,
+                  abstained)
+
+        # Before any actuals: tracker enabled but not armed, nothing tracked.
+        q0 = client.request('{"cmd":"quality"}')
+        check("quality verb before arming", q0.get("ok") is True
+              and q0.get("enabled") is True and q0.get("armed") is False
+              and q0.get("models") == [], q0)
+
+        bad_observe = client.request('{"cmd":"observe","model":"demo"}')
+        check("observe without value rejected", bad_observe.get("ok") is False,
+              bad_observe)
+        unknown_observe = client.request(
+            '{"cmd":"observe","model":"nope","value":1.0,"v":2}')
+        check("observe for unknown model rejected",
+              unknown_observe.get("ok") is False
+              and unknown_observe.get("error", {}).get("code") == "unknown_model",
+              unknown_observe)
+
+        # Live accuracy loop: predict, then feed the realized next value.
+        # The first observe arms the tracker and creates the model's state;
+        # each later observe advances the tick and matures the forecast
+        # issued one tick earlier.
+        def true_next(phase, length=6, period=25.0):
+            return math.sin(2.0 * math.pi * (phase + length) / period)
+
+        first = client.request('{"cmd":"observe","model":"demo","value":%r}'
+                               % true_next(-1))
+        check("first observe arms and ticks", first.get("ok") is True
+              and first.get("tick") == 1 and first.get("stale") is False, first)
+        matured_total = 0
+        for i in range(30):
+            client.request(json.dumps(
+                {"model": "demo", "window": sine_window(i), "cache": False}))
+            r = client.request(json.dumps(
+                {"cmd": "observe", "model": "demo", "value": true_next(i)}))
+            matured_total += r.get("matured", 0)
+        check("healthy loop matures forecasts", matured_total >= 20,
+              matured_total)
+        q1 = client.request('{"cmd":"quality","model":"demo"}')
+        rows = q1.get("models", [])
+        check("quality verb reports demo", q1.get("ok") is True
+              and q1.get("armed") is True and len(rows) == 1
+              and rows[0].get("model") == "demo", q1)
+        if rows:
+            row = rows[0]
+            check("quality row has rmse/mae", row.get("rmse") is not None
+                  and row.get("mae") is not None
+                  and row.get("rmse", 0) < 2.0, row)
+            check("quality row has coverage",
+                  isinstance(row.get("coverage"), (int, float)), row)
+            check("no drift on the healthy stream",
+                  row.get("drift", {}).get("drifted") is False
+                  and row.get("drift", {}).get("detections") == 0, row)
+
+        # Regime shift: the realized values jump by +10 while predictions
+        # stay on the sine — matured errors explode and Page–Hinkley fires.
+        drift_seen = False
+        for i in range(30, 45):
+            client.request(json.dumps(
+                {"model": "demo", "window": sine_window(i), "cache": False}))
+            r = client.request(json.dumps(
+                {"cmd": "observe", "model": "demo", "value": true_next(i) + 10.0}))
+            if r.get("drift") == "detected":
+                drift_seen = True
+        check("regime shift raises drift", drift_seen)
+        q2 = client.request('{"cmd":"quality","model":"demo"}')
+        drift2 = (q2.get("models") or [{}])[0].get("drift", {})
+        check("quality reports the detection", drift2.get("detections", 0) >= 1,
+              q2)
+        drift_events = client.request('{"cmd":"events"}')
+        drift_kinds = {e.get("kind") for e in drift_events.get("events", [])}
+        check("drift.detected lands in the event log",
+              "drift.detected" in drift_kinds, sorted(drift_kinds))
+
+        # Out-of-order actual: an explicit tick at or below the clock is
+        # counted stale and matures nothing.
+        stale = client.request(
+            '{"cmd":"observe","model":"demo","value":0.0,"t":1}')
+        check("out-of-order actual is stale", stale.get("ok") is True
+              and stale.get("stale") is True and stale.get("matured") == 0,
+              stale)
+
+        # Labelled quality series on the scrape, under the label-aware
+        # validator (sorted labels, stable sets, bounded cardinality).
+        status_q, scrape_q = http_get(port, "/metrics")
+        check("quality scrape is 200", status_q == 200, status_q)
+        problems = check_prometheus.validate(scrape_q)
+        check("labelled scrape still valid", not problems, problems[:3])
+        check("scrape has per-model quality series",
+              'ef_quality_rmse{model="demo"}' in scrape_q)
+        check("scrape has fleet aggregate",
+              'ef_quality_rmse{model="_fleet"}' in scrape_q)
+        check("scrape has drift counter",
+              'ef_quality_drift_detected_total{model="demo"}' in scrape_q)
+
         if efstat:
             stat = subprocess.run(
                 [efstat, "--port", str(port), "--once", "--json"],
@@ -461,6 +577,10 @@ def main():
                 check("efstat lists demo model",
                       any(m.get("name") == "demo"
                           for m in snapshot.get("models", [])), snapshot)
+                check("efstat reports quality panel",
+                      snapshot.get("quality_armed") is True
+                      and any(q.get("model") == "demo"
+                              for q in snapshot.get("quality", [])), snapshot)
             except json.JSONDecodeError:
                 check("efstat output is JSON", False, stat.stdout[:120])
 

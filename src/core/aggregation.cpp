@@ -1,6 +1,7 @@
 #include "core/aggregation.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace ef::core {
@@ -59,6 +60,14 @@ std::optional<double> aggregate_votes(std::vector<Vote> votes, Aggregation how) 
     }
   }
   throw std::logic_error("aggregate_votes: unknown strategy");
+}
+
+double vote_bound(std::span<const Vote> votes, double value) {
+  double bound = 0.0;
+  for (const Vote& v : votes) {
+    bound = std::max(bound, v.error + std::abs(v.value - value));
+  }
+  return bound;
 }
 
 std::vector<Vote> collect_votes(std::span<const Rule> rules,

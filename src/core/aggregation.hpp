@@ -52,6 +52,13 @@ struct Vote {
 /// property-tested in isolation.
 [[nodiscard]] std::optional<double> aggregate_votes(std::vector<Vote> votes, Aggregation how);
 
+/// Interval half-width of an aggregated forecast: max over voters of
+/// e_R + |v_R − value|. Every voter guaranteed |target − v_R| ≤ e_R on its
+/// training region, so [value − bound, value + bound] contains the target
+/// whenever any voter's guarantee holds. Returns 0 on an empty vote set
+/// (callers gate on abstention first).
+[[nodiscard]] double vote_bound(std::span<const Vote> votes, double value);
+
 /// Collect the votes of every rule in `rules` that matches `window`.
 [[nodiscard]] std::vector<Vote> collect_votes(std::span<const Rule> rules,
                                               std::span<const double> window);

@@ -20,6 +20,14 @@ struct Prediction {
   double value = 0.0;
   std::size_t votes = 0;
   bool abstained = true;
+  /// Interval half-width from the voters' training errors:
+  ///   bound = max_k ( e_k + |v_k − value| )
+  /// so [value − bound, value + bound] is the paper's prediction interval
+  /// (exact in-sample, ≥ ~90 % containment held-out — see
+  /// RuleSystem::predict_with_bound). Negative = no bound available (an
+  /// abstention, or a path that cannot compose one, e.g. iterated
+  /// multi-step chains).
+  double bound = -1.0;
 
   /// True when at least one rule matched (the forecast is usable).
   [[nodiscard]] bool matched() const noexcept { return !abstained; }

@@ -78,9 +78,12 @@ core::Prediction RuleIndex::forecast(std::span<const double> window, Aggregation
     votes.push_back(Vote{rule.forecast(window), rule.fitness(), rule.predicting()->error()});
   }
   out.votes = votes.size();
-  const auto value = aggregate_votes(std::move(votes), how);
+  const auto value = aggregate_votes(votes, how);
   out.abstained = !value.has_value();
-  if (value) out.value = *value;
+  if (value) {
+    out.value = *value;
+    out.bound = vote_bound(votes, *value);
+  }
   return out;
 }
 

@@ -47,9 +47,14 @@ Prediction RuleSystem::forecast(std::span<const double> window, Aggregation how)
   note_prediction(votes.size());
   Prediction out;
   out.votes = votes.size();
-  const auto value = aggregate_votes(std::move(votes), how);
+  // Votes survive the aggregation (copied in) so the interval half-width can
+  // be derived from the same vote set the value came from.
+  const auto value = aggregate_votes(votes, how);
   out.abstained = !value.has_value();
-  if (value) out.value = *value;
+  if (value) {
+    out.value = *value;
+    out.bound = vote_bound(votes, *value);
+  }
   return out;
 }
 
@@ -119,9 +124,12 @@ std::vector<Prediction> RuleSystem::forecast_batch(std::span<const double> flat_
           note_prediction(v.size());
           Prediction& p = out[i];
           p.votes = v.size();
-          const auto value = aggregate_votes(std::move(v), how);
+          const auto value = aggregate_votes(v, how);
           p.abstained = !value.has_value();
-          if (value) p.value = *value;
+          if (value) {
+            p.value = *value;
+            p.bound = vote_bound(v, *value);
+          }
         }
       },
       /*grain=*/16);
@@ -138,10 +146,7 @@ std::optional<RuleSystem::BoundedForecast> RuleSystem::predict_with_bound(
   BoundedForecast out;
   out.value = *value;
   out.votes = votes.size();
-  for (const Vote& v : votes) {
-    const double candidate = v.error + std::abs(v.value - *value);
-    out.bound = std::max(out.bound, candidate);
-  }
+  out.bound = vote_bound(votes, *value);
   return out;
 }
 

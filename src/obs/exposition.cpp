@@ -1,9 +1,12 @@
 #include "obs/exposition.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 #include "obs/build_info.hpp"
 
@@ -31,21 +34,20 @@ std::string format_value(std::uint64_t x) {
   return buf;
 }
 
-/// Escape a label VALUE per the exposition format: backslash, double quote
-/// and newline must be escaped; everything else passes through.
-std::string escape_label(std::string_view value) {
-  std::string out;
-  out.reserve(value.size());
-  for (const char c : value) {
-    switch (c) {
-      case '\\': out += "\\\\"; break;
-      case '"': out += "\\\""; break;
-      case '\n': out += "\\n"; break;
-      default: out += c;
-    }
+/// Registered provider sections appended by prometheus_text(). A plain
+/// mutex-guarded list: registration is rare (subsystem construction) and
+/// scrapes are ~1/s, so holding the lock while providers render keeps a
+/// provider from being invoked concurrently with its own removal.
+struct ProviderRegistry {
+  std::mutex mutex;
+  std::vector<std::pair<std::uint64_t, ExpositionProvider>> providers;
+  std::uint64_t next_id = 1;
+
+  static ProviderRegistry& instance() {
+    static ProviderRegistry registry;
+    return registry;
   }
-  return out;
-}
+};
 
 void type_line(std::string& out, const std::string& name, const char* type) {
   out += "# TYPE ";
@@ -119,19 +121,64 @@ void build_info_series(std::string& out, const ExpositionOptions& options) {
   const BuildInfo& info = build_info();
   const std::string name = options.prefix + "build_info";
   type_line(out, name, "gauge");
-  out += name;
-  out += "{commit=\"";
-  out += escape_label(info.git_commit);
-  out += "\",compiler=\"";
-  out += escape_label(info.compiler);
-  out += "\",build_type=\"";
-  out += escape_label(info.build_type);
-  out += "\",obs=\"";
-  out += info.obs_enabled ? "on" : "off";
-  out += "\"} 1\n";
+  // labeled_sample sorts the labels, so build_info shares the sorted-order
+  // convention every labelled family follows.
+  labeled_sample(out, name,
+                 {{"commit", std::string(info.git_commit)},
+                  {"compiler", std::string(info.compiler)},
+                  {"build_type", std::string(info.build_type)},
+                  {"obs", info.obs_enabled ? "on" : "off"}},
+                 1.0);
 }
 
 }  // namespace
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void labeled_sample(std::string& out, const std::string& family,
+                    std::vector<Label> labels, double value) {
+  std::sort(labels.begin(), labels.end(),
+            [](const Label& a, const Label& b) { return a.name < b.name; });
+  out += family;
+  out += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ',';
+    out += labels[i].name;
+    out += "=\"";
+    out += escape_label_value(labels[i].value);
+    out += '"';
+  }
+  out += "} ";
+  out += format_value(value);
+  out += '\n';
+}
+
+std::uint64_t add_exposition_provider(ExpositionProvider provider) {
+  ProviderRegistry& registry = ProviderRegistry::instance();
+  const std::lock_guard lock(registry.mutex);
+  const std::uint64_t id = registry.next_id++;
+  registry.providers.emplace_back(id, std::move(provider));
+  return id;
+}
+
+void remove_exposition_provider(std::uint64_t id) {
+  ProviderRegistry& registry = ProviderRegistry::instance();
+  const std::lock_guard lock(registry.mutex);
+  std::erase_if(registry.providers,
+                [id](const auto& entry) { return entry.first == id; });
+}
 
 std::string prometheus_name(std::string_view name, const ExpositionOptions& options) {
   std::string out = options.prefix;
@@ -175,7 +222,15 @@ std::string prometheus_text(const ExpositionOptions& options) {
   const MetricsSnapshot snapshot = Registry::global().snapshot();
   const WindowSnapshot window = WindowedCollector::global().window();
   const WindowSnapshot* window_ptr = window.window_seconds > 0.0 ? &window : nullptr;
-  return to_prometheus(snapshot, window_ptr, options);
+  std::string out = to_prometheus(snapshot, window_ptr, options);
+  if (options.providers) {
+    ProviderRegistry& registry = ProviderRegistry::instance();
+    const std::lock_guard lock(registry.mutex);
+    for (const auto& [id, provider] : registry.providers) {
+      provider(out, options);
+    }
+  }
+  return out;
 }
 
 }  // namespace ef::obs

@@ -17,9 +17,21 @@
 // '_'), so the registry's dotted names ("serve.request_us") come out as
 // Prometheus-legal ("evoforecast_serve_request_us"). Exposition is a pure
 // read of snapshots — no registry locks are held while formatting.
+//
+// Labelled series: subsystems with bounded-cardinality dimensions (the
+// serve layer's per-model quality series) render through the Label helpers
+// below — values escaped per the format, label names emitted in sorted
+// order so a family's label sets are byte-stable across scrapes — and hook
+// into prometheus_text() via the provider registry, so both GET /metrics
+// and the "metrics" verb pick them up without the obs layer knowing who
+// provides what. Providers must cap their own cardinality (top-K + an
+// aggregate, never one series per unbounded key).
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/window.hpp"
@@ -29,7 +41,37 @@ namespace ef::obs {
 struct ExpositionOptions {
   std::string prefix = "evoforecast_";
   bool build_info_series = true;  ///< emit evoforecast_build_info{...} 1
+  bool providers = true;          ///< append registered provider sections
 };
+
+/// One label of a labelled sample. Values are escaped at render time;
+/// names must already be legal ([a-zA-Z_][a-zA-Z0-9_]*).
+struct Label {
+  std::string name;
+  std::string value;
+};
+
+/// Escape a label VALUE per the exposition format: backslash, double quote
+/// and newline; everything else passes through.
+[[nodiscard]] std::string escape_label_value(std::string_view value);
+
+/// Append one `family{a="x",b="y"} value` line. Labels are sorted by name
+/// so every sample of a family carries a byte-identical label-name order
+/// (the stability check_prometheus.py enforces). `family` must already be a
+/// legal, prefixed metric name.
+void labeled_sample(std::string& out, const std::string& family,
+                    std::vector<Label> labels, double value);
+
+/// A provider appends fully-formed exposition lines (# TYPE + samples) for
+/// series the registry does not know about. Invoked by prometheus_text()
+/// after the built-in sections, under the provider-registry lock — keep it
+/// a pure snapshot+format, never re-entering exposition.
+using ExpositionProvider = std::function<void(std::string& out, const ExpositionOptions&)>;
+
+/// Register a provider; returns a handle for remove_exposition_provider.
+/// Providers MUST be removed before anything they capture is destroyed.
+[[nodiscard]] std::uint64_t add_exposition_provider(ExpositionProvider provider);
+void remove_exposition_provider(std::uint64_t id);
 
 /// Sanitise one metric name: apply the prefix, map bytes outside
 /// [a-zA-Z0-9_:] to '_', and guard a leading digit with '_'.

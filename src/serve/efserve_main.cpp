@@ -39,12 +39,20 @@
 //   --max-pipeline N    pipelined requests in flight per connection (default 1024)
 //   --drain-timeout-ms N  graceful-drain budget on shutdown (default 5000)
 //   --slow-request-us X slow-request event threshold in µs (default 50000; 0 = off)
+//   --quality-ledger N  per-model prediction-ledger capacity for live
+//                       accuracy scoring via "observe" (default 1024; 0 = off)
+//   --quality-window N  matured forecasts in the rolling quality window (default 256)
+//   --quality-topk N    worst models exported as ef_quality_*{model=...} (default 5)
+//   --drift-delta X     Page–Hinkley per-sample tolerance (default 0.05)
+//   --drift-lambda X    Page–Hinkley detection threshold (default 5.0)
+//   --drift-min-n N     samples before drift can fire (default 8)
 //   --trace-sample X    timeline trace sample rate 0..1 (default: the
 //                       EVOFORECAST_TRACE_SAMPLE environment variable)
 //   --trace-out PATH    write the timeline as Chrome trace-event JSON on
 //                       exit and on SIGUSR1 (arms tracing at rate 1.0 when
 //                       no rate was configured)
 //   --report / --metrics-json PATH / --metrics-csv PATH  on exit
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -236,11 +244,21 @@ int main(int argc, char** argv) {
   options.batcher.max_delay = std::chrono::microseconds(batch_delay_us);
   options.batcher.max_batch = static_cast<std::size_t>(cli.get_int("batch-max", 64));
   options.slow_request_us = cli.get_double("slow-request-us", 50000.0);
+  const auto quality_ledger = cli.get_int("quality-ledger", 1024);
+  options.quality.enabled = quality_ledger > 0;
+  options.quality.ledger_capacity =
+      quality_ledger > 0 ? static_cast<std::size_t>(quality_ledger) : 0;
+  options.quality.window = static_cast<std::size_t>(cli.get_int("quality-window", 256));
+  options.quality.top_k = static_cast<std::size_t>(cli.get_int("quality-topk", 5));
+  options.quality.drift.delta = cli.get_double("drift-delta", 0.05);
+  options.quality.drift.lambda = cli.get_double("drift-lambda", 5.0);
+  options.quality.drift.min_samples =
+      static_cast<std::size_t>(cli.get_int("drift-min-n", 8));
   options.host = cli.get_string("host", "127.0.0.1");
   options.port = static_cast<std::uint16_t>(cli.get_int("port", 7777));
   options.reactor_threads = static_cast<std::size_t>(cli.get_int("reactor-threads", 0));
   options.max_pipeline = static_cast<std::size_t>(cli.get_int("max-pipeline", 1024));
-  options.drain_timeout_ms = cli.get_int("drain-timeout-ms", 5000);
+  options.drain_timeout_ms = static_cast<int>(cli.get_int("drain-timeout-ms", 5000));
 
   // Timeline tracing: an explicit --trace-sample wins over the environment
   // (applied at service construction via ServeOptions::trace_sample);

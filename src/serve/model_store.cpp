@@ -118,6 +118,10 @@ void ModelStore::attach_container(const std::string& path) {
   EVOFORECAST_GAUGE_SET("serve.model.container_series", static_cast<double>(models));
   EVOFORECAST_EVENT("serve.model.container_load", {"path", path}, {"models", models},
                     {"generation", generation});
+#if !EVOFORECAST_OBS_ENABLED
+  (void)models;
+  (void)generation;
+#endif
 }
 
 bool ModelStore::has_container() const {
@@ -290,6 +294,9 @@ std::size_t ModelStore::poll_now() {
           EVOFORECAST_EVENT("serve.model.container_reload", {"path", current->path},
                             {"models", models}, {"generation", generation});
         }
+#if !EVOFORECAST_OBS_ENABLED
+        (void)models;
+#endif
       } catch (const std::exception& reload_error) {
         // Corrupt repack: the old snapshot keeps serving every series; the
         // recorded failed mtime stops re-validating the same bad file every

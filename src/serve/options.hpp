@@ -18,6 +18,7 @@
 #include <string>
 
 #include "serve/batcher.hpp"
+#include "serve/quality.hpp"
 #include "serve/window_cache.hpp"
 
 namespace ef::serve {
@@ -26,6 +27,7 @@ struct ServeOptions {
   // --- service pipeline ---------------------------------------------------
   CacheConfig cache;           ///< capacity / shards / quantization grid
   BatcherConfig batcher;       ///< micro-batch size cap + coalescing delay
+  QualityOptions quality;      ///< prediction ledger / accuracy / drift
   bool enable_cache = true;
   bool enable_batcher = true;  ///< off = predict inline (lowest latency, no coalescing)
   std::size_t max_window = 4096;

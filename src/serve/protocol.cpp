@@ -61,7 +61,12 @@ std::optional<Request> parse_request(std::string_view line, ProtocolError& error
         if (text->size() > kMaxIdBytes) {
           return fail(ErrorCode::kBadRequest, "\"id\" exceeds 256 bytes");
         }
-        request.id_json = "\"" + json_escape(*text) + "\"";
+        // Built by append (not operator+ chaining): GCC 12's -Wrestrict
+        // false-positives on "literal" + std::string&& under -Werror.
+        request.id_json.clear();
+        request.id_json += '"';
+        request.id_json += json_escape(*text);
+        request.id_json += '"';
       } else if (const double* num = value.as_number()) {
         request.id_json = format_double(*num);
       } else {
@@ -76,6 +81,7 @@ std::optional<Request> parse_request(std::string_view line, ProtocolError& error
   error.version = request.version;
   error.id_json = request.id_json;
 
+  bool saw_value = false;
   for (const auto& [key, value] : *object) {
     if (key == "v" || key == "id") {
       continue;  // envelope fields, handled above
@@ -96,6 +102,10 @@ std::optional<Request> parse_request(std::string_view line, ProtocolError& error
         request.cmd = Request::Cmd::kEvents;
       } else if (*text == "trace") {
         request.cmd = Request::Cmd::kTrace;
+      } else if (*text == "observe") {
+        request.cmd = Request::Cmd::kObserve;
+      } else if (*text == "quality") {
+        request.cmd = Request::Cmd::kQuality;
       } else {
         return fail(ErrorCode::kUnknownCmd, "unknown cmd '" + *text + "'");
       }
@@ -103,6 +113,20 @@ std::optional<Request> parse_request(std::string_view line, ProtocolError& error
       const std::string* text = value.as_string();
       if (!text) return fail(ErrorCode::kBadRequest, "\"model\" must be a string");
       request.predict.model = *text;
+      request.has_model = true;
+    } else if (key == "value") {
+      const double* num = value.as_number();
+      if (!num || !std::isfinite(*num)) {
+        return fail(ErrorCode::kBadRequest, "\"value\" must be a finite number");
+      }
+      request.observe.value = *num;
+      saw_value = true;
+    } else if (key == "t") {
+      const double* num = value.as_number();
+      if (!num || *num < 0.0 || *num != std::floor(*num) || *num > 1.0e15) {
+        return fail(ErrorCode::kBadRequest, "\"t\" must be a non-negative integer");
+      }
+      request.observe.t = static_cast<std::uint64_t>(*num);
     } else if (key == "window") {
       const json::Array* array = value.as_array();
       if (!array) {
@@ -138,6 +162,14 @@ std::optional<Request> parse_request(std::string_view line, ProtocolError& error
     } else {
       return fail(ErrorCode::kUnknownField, "unknown field \"" + key + "\"");
     }
+  }
+  // Cross-field validation: observe's payload fields belong to observe only,
+  // and an observe without a realized value is meaningless.
+  if (request.cmd == Request::Cmd::kObserve) {
+    if (!saw_value) return fail(ErrorCode::kBadRequest, "observe requires \"value\"");
+  } else if (saw_value || request.observe.t.has_value()) {
+    return fail(ErrorCode::kBadRequest,
+                "\"value\"/\"t\" are only valid with cmd \"observe\"");
   }
   return request;
 }
@@ -201,7 +233,14 @@ std::string to_json(const PredictResponse& response, const Request& request) {
   out += ",\"horizon\":" + std::to_string(response.horizon);
   out += ",\"abstain\":";
   out += response.abstain ? "true" : "false";
-  if (!response.abstain) out += ",\"value\":" + format_double(response.value);
+  if (!response.abstain) {
+    out += ",\"value\":" + format_double(response.value);
+    // v2 only — v1 responses stay byte-identical to the pre-interval wire.
+    if (request.version >= 2 && response.bound >= 0.0) {
+      out += ",\"interval\":[" + format_double(response.value - response.bound) + "," +
+             format_double(response.value + response.bound) + "]";
+    }
+  }
   out += ",\"votes\":" + std::to_string(response.votes);
   out += ",\"cached\":";
   out += response.cached ? "true" : "false";

@@ -9,15 +9,19 @@
 //
 // Request fields (see docs/API.md for the full verb/field matrix):
 //   "cmd"     : "predict" (default) | "ping" | "models" | "stats" |
-//               "metrics" | "events" | "trace"
+//               "metrics" | "events" | "trace" | "observe" | "quality"
 //   "v"       : protocol version, 1 or 2 (default 1)
 //   "id"      : string or number, echoed in the response    [v2]
-//   "model"   : model name (default "default")
+//   "model"   : model name (default "default"; for "quality" omitting it
+//               means every tracked model)
 //   "window"  : array of numbers, most recent value last    [predict]
 //   "horizon" : integer >= 1 (default 1)                    [predict]
 //   "agg"     : "mean" | "fitness_weighted" | "median" |
 //               "best_rule" | "inverse_error" (default "mean")
 //   "cache"   : boolean (default true)                      [predict]
+//   "value"   : number — the realized value (required)      [observe]
+//   "t"       : integer >= 0 observation tick; omitted =
+//               the model's current tick + 1                [observe]
 //
 // Versioning: a request carrying "v":2 — or an "id", which implies v2 —
 // gets a v2 response: `"v":2` and the echoed `"id"` immediately after
@@ -27,7 +31,10 @@
 //
 // v1 predict : {"ok":true,"model":...,"version":N,"horizon":N,
 //              "abstain":false,"value":V,"votes":N,"cached":false}
-// v2 predict : {"ok":true,"v":2,"id":7,"model":...}           (rest as v1)
+// v2 predict : {"ok":true,"v":2,"id":7,"model":...}           (rest as v1),
+//              plus "interval":[V-e,V+e] after "value" when the forecast
+//              carries an error bound (never on abstention; v1 stays
+//              byte-identical and never gains the field)
 // v1 error   : {"ok":false,"error":"reason"}
 // v2 error   : {"ok":false,"v":2,"id":7,
 //              "error":{"code":"unknown_model","message":"reason"}}
@@ -35,6 +42,7 @@
 //   abstentions are explicit, per the paper's coverage semantics.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -47,9 +55,28 @@ namespace ef::serve {
 /// Wire-level request: service PredictRequest plus the non-predict commands
 /// and the protocol-v2 envelope fields.
 struct Request {
-  enum class Cmd { kPredict, kPing, kModels, kStats, kMetrics, kEvents, kTrace };
+  enum class Cmd {
+    kPredict,
+    kPing,
+    kModels,
+    kStats,
+    kMetrics,
+    kEvents,
+    kTrace,
+    kObserve,
+    kQuality,
+  };
   Cmd cmd = Cmd::kPredict;
   PredictRequest predict;
+  /// "observe" payload: the realized value and its optional explicit tick.
+  struct ObserveFields {
+    double value = 0.0;
+    std::optional<std::uint64_t> t;
+  };
+  ObserveFields observe;
+  /// Whether the request carried an explicit "model" — "quality" without
+  /// one reports every tracked model.
+  bool has_model = false;
   /// Response envelope version: 2 when the request carried "v":2 or an "id".
   int version = 1;
   /// The request's "id", pre-serialised for verbatim echo ("\"abc\"", "17");

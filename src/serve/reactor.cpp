@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <mutex>
@@ -48,6 +49,15 @@ struct ProcessingGuard {
   ~ProcessingGuard() { flag = false; }
 };
 #endif
+
+/// %.17g double for hand-built JSON; non-finite values become null (JSON
+/// has no NaN/Inf literals).
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
 
 }  // namespace
 
@@ -749,6 +759,78 @@ std::string Reactor::handle_verb(const Request& request) {
       for (std::size_t i = 0; i < events.size(); ++i) {
         if (i != 0) out += ',';
         out += events[i].to_json();
+      }
+      out += "]}";
+      return out;
+    }
+    case Request::Cmd::kObserve: {
+      QualityTracker* quality = service_.quality();
+      if (quality == nullptr) {
+        return error_json(ErrorCode::kBadRequest, "quality tracking is disabled",
+                          request.version, request.id_json);
+      }
+      // Reject observations for models the store cannot resolve: a typo'd
+      // name must not silently grow its own quality state.
+      if (!service_.store().get(request.predict.model)) {
+        return error_json(ErrorCode::kUnknownModel,
+                          "unknown model '" + request.predict.model + "'",
+                          request.version, request.id_json);
+      }
+      const QualityTracker::ObserveResult r = quality->observe(
+          request.predict.model, request.observe.value, request.observe.t);
+      std::string out = "{\"ok\":true" + env;
+      out += ",\"model\":\"" + json_escape(request.predict.model) + "\"";
+      out += ",\"tick\":" + std::to_string(r.tick);
+      out += ",\"matured\":" + std::to_string(r.matured);
+      out += ",\"overdue\":" + std::to_string(r.overdue);
+      out += ",\"pending\":" + std::to_string(r.pending);
+      out += ",\"stale\":";
+      out += r.stale ? "true" : "false";
+      if (r.drift_detected) out += ",\"drift\":\"detected\"";
+      if (r.drift_cleared) out += ",\"drift\":\"cleared\"";
+      out += "}";
+      return out;
+    }
+    case Request::Cmd::kQuality: {
+      const QualityTracker* quality = service_.quality();
+      std::string out = "{\"ok\":true" + env + ",\"enabled\":";
+      out += quality != nullptr ? "true" : "false";
+      out += ",\"armed\":";
+      out += (quality != nullptr && quality->armed()) ? "true" : "false";
+      out += ",\"models\":[";
+      if (quality != nullptr) {
+        bool first = true;
+        for (const QualityTracker::ModelSnapshot& m : quality->snapshot()) {
+          if (request.has_model && m.model != request.predict.model) continue;
+          if (!first) out += ',';
+          first = false;
+          out += "{\"model\":\"" + json_escape(m.model) + "\"";
+          out += ",\"tick\":" + std::to_string(m.tick);
+          out += ",\"pending\":" + std::to_string(m.pending);
+          out += ",\"observed\":" + std::to_string(m.observed);
+          out += ",\"matured\":" + std::to_string(m.matured);
+          out += ",\"scored\":" + std::to_string(m.scored);
+          out += ",\"overdue\":" + std::to_string(m.overdue);
+          out += ",\"stale\":" + std::to_string(m.stale);
+          out += ",\"evicted\":" + std::to_string(m.evicted);
+          out += ",\"window\":" + std::to_string(m.window_n);
+          // Accuracy stats are null until the window has scored forecasts —
+          // a fresh model reports "unknown", never a fake 0.0.
+          out += ",\"rmse\":" +
+                 (m.window_scored > 0 ? json_number(m.rmse) : std::string("null"));
+          out += ",\"mae\":" +
+                 (m.window_scored > 0 ? json_number(m.mae) : std::string("null"));
+          out += ",\"smape\":" +
+                 (m.window_scored > 0 ? json_number(m.smape) : std::string("null"));
+          out += ",\"coverage\":" +
+                 (m.window_intervals > 0 ? json_number(m.coverage) : std::string("null"));
+          out += ",\"abstain_share\":" + json_number(m.abstain_share);
+          out += ",\"drift\":{\"drifted\":";
+          out += m.drifted ? "true" : "false";
+          out += ",\"detections\":" + std::to_string(m.drift_detections);
+          out += ",\"stat\":" + json_number(m.drift_stat);
+          out += "}}";
+        }
       }
       out += "]}";
       return out;

@@ -27,14 +27,20 @@ void observe_latency_us(double us) {
 #endif
 }
 
-/// Common request epilogue: record latency, and flag requests that blew the
-/// configured slow threshold into the flight recorder (counter + event with
-/// enough context to find the culprit later).
+/// Common request epilogue: record latency, ledger the forecast for later
+/// accuracy scoring, and flag requests that blew the configured slow
+/// threshold into the flight recorder (counter + event with enough context
+/// to find the culprit later).
 void finish_request([[maybe_unused]] const ServeOptions& options,
                     [[maybe_unused]] const PredictRequest& request,
                     [[maybe_unused]] const PredictResponse& response,
                     std::chrono::steady_clock::time_point start,
-                    [[maybe_unused]] std::uint64_t trace_id) {
+                    [[maybe_unused]] std::uint64_t trace_id,
+                    QualityTracker* quality) {
+  if (quality != nullptr && response.ok) {
+    quality->record_forecast(request.model, request.horizon, response.value,
+                             response.bound, response.abstain);
+  }
   const double us =
       std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
           .count();
@@ -78,6 +84,9 @@ ForecastService::ForecastService(ModelStore& store, ServeOptions options,
   if (options_.trace_sample >= 0.0) obs::Timeline::set_sample_rate(options_.trace_sample);
   if (options_.enable_batcher) {
     batcher_ = std::make_unique<MicroBatcher>(options_.batcher, pool_);
+  }
+  if (options_.quality.enabled && options_.quality.ledger_capacity > 0) {
+    quality_ = std::make_unique<QualityTracker>(options_.quality);
   }
 }
 
@@ -155,6 +164,10 @@ core::Prediction ForecastService::predict_uncached(
     window.erase(window.begin());
     window.push_back(last.value);
   }
+  // A one-step bound does not compose across fed-back forecasts (each step's
+  // input already carries the previous step's error) — the chain honestly
+  // ships no interval rather than a misleading final-step one.
+  last.bound = -1.0;
   return last;
 }
 
@@ -187,9 +200,11 @@ PredictResponse ForecastService::predict(const PredictRequest& request) {
       response.cached = true;
       response.abstain = hit->abstain;
       response.value = hit->value;
+      response.bound = hit->bound;
       response.votes = hit->votes;
       if (hit->abstain) EVOFORECAST_COUNT("serve.abstentions", 1);
-      finish_request(options_, request, response, start, trace.trace_id());
+      finish_request(options_, request, response, start, trace.trace_id(),
+                     quality_.get());
       return response;
     }
   }
@@ -207,6 +222,7 @@ PredictResponse ForecastService::predict(const PredictRequest& request) {
   response.ok = true;
   response.abstain = result.abstained;
   response.value = result.value;
+  response.bound = result.abstained ? -1.0 : result.bound;
   response.votes = result.votes;
   if (response.abstain) EVOFORECAST_COUNT("serve.abstentions", 1);
 
@@ -214,11 +230,12 @@ PredictResponse ForecastService::predict(const PredictRequest& request) {
     WindowCache::Value cached;
     cached.abstain = response.abstain;
     cached.value = response.value;
+    cached.bound = response.bound;
     cached.votes = static_cast<std::uint32_t>(response.votes);
     cache_.put(std::move(key), cached);
   }
 
-  finish_request(options_, request, response, start, trace.trace_id());
+  finish_request(options_, request, response, start, trace.trace_id(), quality_.get());
   return response;
 }
 
@@ -256,9 +273,11 @@ void ForecastService::predict_async(const PredictRequest& request, PredictCallba
       response.cached = true;
       response.abstain = hit->abstain;
       response.value = hit->value;
+      response.bound = hit->bound;
       response.votes = hit->votes;
       if (hit->abstain) EVOFORECAST_COUNT("serve.abstentions", 1);
-      finish_request(options_, request, response, start, trace.trace_id());
+      finish_request(options_, request, response, start, trace.trace_id(),
+                     quality_.get());
       done(std::move(response));
       return;
     }
@@ -286,12 +305,14 @@ void ForecastService::predict_async(const PredictRequest& request, PredictCallba
             response.ok = true;
             response.abstain = result.abstained;
             response.value = result.value;
+            response.bound = result.abstained ? -1.0 : result.bound;
             response.votes = result.votes;
             if (response.abstain) EVOFORECAST_COUNT("serve.abstentions", 1);
             if (use_cache) {
               WindowCache::Value cached;
               cached.abstain = response.abstain;
               cached.value = response.value;
+              cached.bound = response.bound;
               cached.votes = static_cast<std::uint32_t>(response.votes);
               cache_.put(std::move(key), cached);
             }
@@ -299,7 +320,8 @@ void ForecastService::predict_async(const PredictRequest& request, PredictCallba
               obs::Timeline::emit(ctx, "serve.respond", t_respond_us,
                                   obs::Timeline::now_us());
             }
-            finish_request(options_, request, response, start, ctx.trace_id);
+            finish_request(options_, request, response, start, ctx.trace_id,
+                           quality_.get());
             done(std::move(response));
           });
     } catch (const std::exception&) {
@@ -327,6 +349,7 @@ void ForecastService::predict_async(const PredictRequest& request, PredictCallba
   response.ok = true;
   response.abstain = result.abstained;
   response.value = result.value;
+  response.bound = result.abstained ? -1.0 : result.bound;
   response.votes = result.votes;
   if (response.abstain) EVOFORECAST_COUNT("serve.abstentions", 1);
 
@@ -334,11 +357,12 @@ void ForecastService::predict_async(const PredictRequest& request, PredictCallba
     WindowCache::Value cached;
     cached.abstain = response.abstain;
     cached.value = response.value;
+    cached.bound = response.bound;
     cached.votes = static_cast<std::uint32_t>(response.votes);
     cache_.put(std::move(key), cached);
   }
 
-  finish_request(options_, request, response, start, trace.trace_id());
+  finish_request(options_, request, response, start, trace.trace_id(), quality_.get());
   done(std::move(response));
 }
 

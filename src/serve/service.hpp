@@ -59,6 +59,11 @@ struct PredictResponse {
   std::size_t horizon = 1;
   bool abstain = false;
   double value = 0.0;     ///< valid when ok && !abstain
+  /// Interval half-width from the voting rules' training errors: the reply
+  /// carries [value−bound, value+bound] on the wire (protocol v2). < 0 = no
+  /// interval — abstentions, and iterated multi-step chains (a one-step
+  /// bound does not compose across fed-back forecasts).
+  double bound = -1.0;
   std::size_t votes = 0;  ///< matching rules behind the (final-step) forecast
   bool cached = false;
 };
@@ -96,6 +101,10 @@ class ForecastService {
   [[nodiscard]] ModelStore& store() noexcept { return store_; }
   [[nodiscard]] WindowCache::Stats cache_stats() const { return cache_.stats(); }
   [[nodiscard]] const ServeOptions& options() const noexcept { return options_; }
+  /// Forecast-quality tracker (ledger / accuracy / drift); null when
+  /// disabled via ServeOptions::quality.
+  [[nodiscard]] QualityTracker* quality() noexcept { return quality_.get(); }
+  [[nodiscard]] const QualityTracker* quality() const noexcept { return quality_.get(); }
 
  private:
   /// Validation + model lookup shared by both call shapes. Returns the
@@ -110,6 +119,7 @@ class ForecastService {
   util::ThreadPool* pool_;
   WindowCache cache_;
   std::unique_ptr<MicroBatcher> batcher_;  ///< null when enable_batcher = false
+  std::unique_ptr<QualityTracker> quality_;  ///< null when quality disabled
   std::atomic<bool> accepting_{true};
 };
 

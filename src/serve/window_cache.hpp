@@ -46,6 +46,9 @@ class WindowCache {
     bool abstain = false;
     double value = 0.0;
     std::uint32_t votes = 0;
+    /// Interval half-width the forecast shipped with; < 0 = none. Cached so
+    /// a hit returns the same "interval":[p−e,p+e] as the original compute.
+    double bound = -1.0;
   };
 
   struct Stats {

@@ -5,7 +5,9 @@
 //
 // Polls the server over its own JSON-lines protocol: the "metrics" verb
 // (Prometheus exposition, parsed into flat name{labels} → value samples)
-// plus "models" for the deployed model table. Rates and latency quantiles
+// plus "models" for the deployed model table and "quality" for the live
+// forecast-accuracy panel (rolling RMSE/MAE, interval coverage, abstention
+// share, drift state — populated once actuals flow in via "observe"). Rates and latency quantiles
 // prefer the server-side windowed series (last ~60 s); when the server has
 // not accumulated two collector frames yet, efstat falls back to deltas
 // between its own consecutive polls, interpolating quantiles from the
@@ -217,12 +219,31 @@ struct ModelRow {
   double window = 0;
 };
 
+/// One tracked model from the "quality" verb. Accuracy stats may be null on
+/// the wire (nothing matured yet) — the has_* flags carry that through.
+struct QualityRow {
+  std::string model;
+  double tick = 0;
+  double pending = 0;
+  double window = 0;
+  double rmse = 0;
+  double mae = 0;
+  double coverage = 0;
+  double abstain_share = 0;
+  bool has_rmse = false;
+  bool has_coverage = false;
+  bool drifted = false;
+  double drift_detections = 0;
+};
+
 /// Everything one dashboard frame needs.
 struct Sample {
   bool ok = false;
   std::string error;
   Samples metrics;
   std::vector<ModelRow> models;
+  bool quality_armed = false;
+  std::vector<QualityRow> quality;  ///< empty when quality is off/unarmed
   double poll_seconds = 0.0;  ///< since previous sample (client-side rates)
 };
 
@@ -338,6 +359,54 @@ Sample poll(Client& client) {
               }
               out.models.push_back(std::move(row));
             }
+          }
+        }
+      }
+    }
+  }
+  // Forecast quality (best-effort: older servers answer unknown_cmd, and a
+  // disabled tracker reports enabled:false — both leave the panel empty).
+  if (const auto quality_line = client.request("{\"cmd\":\"quality\"}")) {
+    if (const auto quality_doc = ef::serve::json::parse(*quality_line, parse_error)) {
+      if (const auto* obj = quality_doc->as_object()) {
+        const auto armed_it = obj->find("armed");
+        if (armed_it != obj->end() && armed_it->second.as_bool()) {
+          out.quality_armed = *armed_it->second.as_bool();
+        }
+        const auto it = obj->find("models");
+        const auto* array = it != obj->end() ? it->second.as_array() : nullptr;
+        if (array != nullptr) {
+          for (const auto& item : *array) {
+            const auto* entry = item.as_object();
+            if (!entry) continue;
+            QualityRow row;
+            for (const auto& [key, value] : *entry) {
+              if (key == "model" && value.as_string()) row.model = *value.as_string();
+              if (key == "tick" && value.as_number()) row.tick = *value.as_number();
+              if (key == "pending" && value.as_number()) row.pending = *value.as_number();
+              if (key == "window" && value.as_number()) row.window = *value.as_number();
+              if (key == "rmse" && value.as_number()) {
+                row.rmse = *value.as_number();
+                row.has_rmse = true;
+              }
+              if (key == "mae" && value.as_number()) row.mae = *value.as_number();
+              if (key == "coverage" && value.as_number()) {
+                row.coverage = *value.as_number();
+                row.has_coverage = true;
+              }
+              if (key == "abstain_share" && value.as_number()) {
+                row.abstain_share = *value.as_number();
+              }
+              if (key == "drift" && value.as_object()) {
+                for (const auto& [dk, dv] : *value.as_object()) {
+                  if (dk == "drifted" && dv.as_bool()) row.drifted = *dv.as_bool();
+                  if (dk == "detections" && dv.as_number()) {
+                    row.drift_detections = *dv.as_number();
+                  }
+                }
+              }
+            }
+            out.quality.push_back(std::move(row));
           }
         }
       }
@@ -509,6 +578,27 @@ void render_dashboard(const Sample& cur, const Derived& d, const std::string& ta
                   row.window);
     }
   }
+  if (!cur.quality.empty()) {
+    std::printf("\n  forecast quality%s\n",
+                cur.quality_armed ? "" : "  (not armed: no actuals observed yet)");
+    std::printf("  %-20s %8s %8s %8s %8s %8s %8s %8s  %s\n", "model", "tick", "pending",
+                "scored", "rmse", "mae", "cover%", "abstain%", "drift");
+    for (const QualityRow& row : cur.quality) {
+      char rmse[24] = "-";
+      char mae[24] = "-";
+      char cover[24] = "-";
+      if (row.has_rmse) {
+        std::snprintf(rmse, sizeof rmse, "%.4g", row.rmse);
+        std::snprintf(mae, sizeof mae, "%.4g", row.mae);
+      }
+      if (row.has_coverage) std::snprintf(cover, sizeof cover, "%.1f", row.coverage * 100.0);
+      std::printf("  %-20s %8.0f %8.0f %8.0f %8s %8s %8s %8.1f  %s\n", row.model.c_str(),
+                  row.tick, row.pending, row.window, rmse, mae, cover,
+                  row.abstain_share * 100.0,
+                  row.drifted ? "DRIFT"
+                              : (row.drift_detections > 0 ? "cleared" : "ok"));
+    }
+  }
   std::fflush(stdout);
 }
 
@@ -534,6 +624,18 @@ void render_json(const Sample& cur, const Derived& d) {
     std::printf("%s{\"name\":\"%s\",\"version\":%.0f,\"rules\":%.0f,\"window\":%.0f}",
                 i == 0 ? "" : ",", json_escape(row.name).c_str(), row.version, row.rules,
                 row.window);
+  }
+  std::printf("],\"quality_armed\":%s,\"quality\":[",
+              cur.quality_armed ? "true" : "false");
+  for (std::size_t i = 0; i < cur.quality.size(); ++i) {
+    const QualityRow& row = cur.quality[i];
+    std::printf("%s{\"model\":\"%s\",\"tick\":%.0f,\"pending\":%.0f,\"window\":%.0f",
+                i == 0 ? "" : ",", json_escape(row.model).c_str(), row.tick, row.pending,
+                row.window);
+    if (row.has_rmse) std::printf(",\"rmse\":%.6g,\"mae\":%.6g", row.rmse, row.mae);
+    if (row.has_coverage) std::printf(",\"coverage\":%.6g", row.coverage);
+    std::printf(",\"abstain_share\":%.6g,\"drifted\":%s,\"drift_detections\":%.0f}",
+                row.abstain_share, row.drifted ? "true" : "false", row.drift_detections);
   }
   std::printf("]}\n");
   std::fflush(stdout);

@@ -21,7 +21,11 @@ using ef::fleet::SeriesRecord;
 std::vector<SeriesRecord> test_fleet(std::size_t count, std::size_t length) {
   std::vector<SeriesRecord> fleet;
   for (std::uint64_t i = 0; i < count; ++i) {
-    fleet.push_back({"s" + std::to_string(i),
+    // Id built by append: GCC 12's -Wrestrict false-positives on
+    // "literal" + std::string&& chains under -Werror.
+    std::string id = "s";
+    id += std::to_string(i);
+    fleet.push_back({std::move(id),
                      ef::series::generate_sine(
                          length, {1.0, 18.0 + static_cast<double>(i), 0.0, 0.0, 0.05, i + 5})});
   }

@@ -124,7 +124,11 @@ TEST(SeedDerivation, DeterministicAndIdSensitive) {
 std::vector<SeriesRecord> small_fleet() {
   std::vector<SeriesRecord> fleet;
   for (std::uint64_t i = 0; i < 6; ++i) {
-    fleet.push_back({"s" + std::to_string(i),
+    // Id built by append: GCC 12's -Wrestrict false-positives on
+    // "literal" + std::string&& chains under -Werror.
+    std::string id = "s";
+    id += std::to_string(i);
+    fleet.push_back({std::move(id),
                      ef::series::generate_sine(
                          150, {1.0, 15.0 + static_cast<double>(i), 0.0, 0.0, 0.05, i + 1})});
   }

@@ -1,0 +1,150 @@
+// Page–Hinkley drift detection: stationary streams stay quiet, level
+// shifts fire once, the cold-start guard holds, detection re-baselines,
+// and clear/reset semantics. Deterministic pseudo-noise only — no RNG
+// seeds to chase.
+#include "obs/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace {
+
+using ef::obs::DriftConfig;
+using ef::obs::DriftDetector;
+using Signal = ef::obs::DriftDetector::Signal;
+
+/// Deterministic jitter in [-amp, +amp] — an LCG, not std::rand, so the
+/// stream is identical on every platform.
+class Jitter {
+ public:
+  explicit Jitter(double amp) : amp_(amp) {}
+  double next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double unit = static_cast<double>(state_ >> 11) /
+                        static_cast<double>(1ULL << 53);  // [0,1)
+    return (2.0 * unit - 1.0) * amp_;
+  }
+
+ private:
+  std::uint64_t state_ = 0x9e3779b97f4a7c15ULL;
+  double amp_;
+};
+
+TEST(DriftDetector, StationaryNoiseNeverFires) {
+  DriftDetector detector;  // delta=0.05 lambda=5.0
+  Jitter jitter(0.04);     // below delta: deviations never accumulate
+  for (std::size_t i = 0; i < 10000; ++i) {
+    EXPECT_EQ(detector.update(0.2 + jitter.next()), Signal::kNone) << "sample " << i;
+  }
+  EXPECT_FALSE(detector.drifted());
+  EXPECT_EQ(detector.detections(), 0u);
+  EXPECT_LE(detector.statistic(), detector.config().lambda);
+}
+
+TEST(DriftDetector, LevelShiftFiresOnce) {
+  DriftDetector detector;
+  for (std::size_t i = 0; i < 100; ++i) detector.update(0.1);
+
+  // A one-unit upward shift accumulates ~(1 - delta) per sample once the
+  // running mean lags behind, so lambda=5 falls within a handful of samples.
+  bool detected = false;
+  std::size_t samples_to_fire = 0;
+  for (std::size_t i = 0; i < 50 && !detected; ++i) {
+    detected = detector.update(1.1) == Signal::kDetected;
+    ++samples_to_fire;
+  }
+  ASSERT_TRUE(detected);
+  EXPECT_LE(samples_to_fire, 20u);
+  EXPECT_TRUE(detector.drifted());
+  EXPECT_EQ(detector.detections(), 1u);
+
+  // The shifted level is the new baseline: staying there re-fires nothing.
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_NE(detector.update(1.1), Signal::kDetected);
+  }
+  EXPECT_EQ(detector.detections(), 1u);
+}
+
+TEST(DriftDetector, MinSamplesGuardsColdStart) {
+  DriftConfig config;
+  config.min_samples = 8;
+  DriftDetector detector(config);
+  // A wild early stream would trip a guardless detector immediately; here
+  // nothing may fire before 8 samples no matter how extreme the values.
+  for (std::size_t i = 0; i < config.min_samples - 1; ++i) {
+    EXPECT_EQ(detector.update(i % 2 == 0 ? 100.0 : 0.0), Signal::kNone);
+  }
+}
+
+TEST(DriftDetector, DetectionResetsStatistic) {
+  DriftDetector detector;
+  for (std::size_t i = 0; i < 50; ++i) detector.update(0.1);
+  while (detector.update(2.0) != Signal::kDetected) {
+  }
+  // Re-baselined: the statistic restarts from zero over an empty window.
+  EXPECT_EQ(detector.statistic(), 0.0);
+  EXPECT_EQ(detector.samples(), 0u);
+  EXPECT_TRUE(detector.drifted());
+}
+
+TEST(DriftDetector, ClearsAfterInControlRun) {
+  DriftConfig config;
+  config.clear_after = 16;
+  DriftDetector detector(config);
+  for (std::size_t i = 0; i < 50; ++i) detector.update(0.1);
+  while (detector.update(2.0) != Signal::kDetected) {
+  }
+
+  // Settle at the (new) level: exactly one kCleared edge after clear_after
+  // in-control samples, then silence.
+  std::size_t cleared_edges = 0;
+  std::size_t samples_to_clear = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (detector.update(2.0) == Signal::kCleared) {
+      ++cleared_edges;
+      if (samples_to_clear == 0) samples_to_clear = i + 1;
+    }
+  }
+  EXPECT_EQ(cleared_edges, 1u);
+  EXPECT_EQ(samples_to_clear, config.clear_after);
+  EXPECT_FALSE(detector.drifted());
+}
+
+TEST(DriftDetector, SecondShiftDetectableAfterClear) {
+  DriftConfig config;
+  config.clear_after = 8;
+  DriftDetector detector(config);
+  for (std::size_t i = 0; i < 50; ++i) detector.update(0.1);
+  while (detector.update(1.0) != Signal::kDetected) {
+  }
+  std::size_t guard = 0;
+  while (detector.update(1.0) != Signal::kCleared) {
+    ASSERT_LT(++guard, 1000u);
+  }
+  // From the adopted baseline of 1.0, a further shift is a fresh detection.
+  guard = 0;
+  while (detector.update(2.5) != Signal::kDetected) {
+    ASSERT_LT(++guard, 1000u);
+  }
+  EXPECT_EQ(detector.detections(), 2u);
+}
+
+TEST(DriftDetector, ResetForgetsEverything) {
+  DriftDetector detector;
+  for (std::size_t i = 0; i < 50; ++i) detector.update(0.1);
+  while (detector.update(2.0) != Signal::kDetected) {
+  }
+  detector.reset();
+  EXPECT_FALSE(detector.drifted());
+  EXPECT_EQ(detector.detections(), 0u);
+  EXPECT_EQ(detector.samples(), 0u);
+  EXPECT_EQ(detector.statistic(), 0.0);
+  // And the reset detector behaves like a fresh one on a quiet stream.
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(detector.update(0.1), Signal::kNone);
+  }
+}
+
+}  // namespace

@@ -107,8 +107,11 @@ TEST(Exposition, BuildInfoSeriesCarriesCommitLabel) {
   Registry registry;
   const std::string text = ef::obs::to_prometheus(registry.snapshot());
   EXPECT_TRUE(contains(text, "# TYPE evoforecast_build_info gauge"));
-  EXPECT_TRUE(contains(text, "evoforecast_build_info{commit=\"" +
-                                 ef::obs::build_info().git_commit + "\""));
+  // Labels render in sorted name order (build_type < commit < compiler), so
+  // the commit label sits mid-block rather than leading it.
+  EXPECT_TRUE(
+      contains(text, ",commit=\"" + ef::obs::build_info().git_commit + "\","));
+  EXPECT_TRUE(contains(text, "evoforecast_build_info{build_type=\""));
   ExpositionOptions no_build;
   no_build.build_info_series = false;
   EXPECT_FALSE(contains(ef::obs::to_prometheus(registry.snapshot(), nullptr, no_build),

@@ -249,4 +249,97 @@ TEST(ProtocolV2, PredictResponseCarriesEnvelope) {
   EXPECT_EQ(ef::serve::to_json(bad, v1), R"({"ok":false,"error":"unknown model"})");
 }
 
+TEST(ParseRequest, ObserveVerbRoundTrip) {
+  ProtocolError error;
+  const auto request =
+      parse_request(R"({"cmd":"observe","model":"demo","value":1.5})", error);
+  ASSERT_TRUE(request.has_value()) << error.message;
+  EXPECT_EQ(request->cmd, Request::Cmd::kObserve);
+  EXPECT_TRUE(request->has_model);
+  EXPECT_EQ(request->predict.model, "demo");
+  EXPECT_DOUBLE_EQ(request->observe.value, 1.5);
+  EXPECT_FALSE(request->observe.t.has_value());
+
+  const auto with_tick =
+      parse_request(R"({"cmd":"observe","value":-2.25,"t":7})", error);
+  ASSERT_TRUE(with_tick.has_value()) << error.message;
+  EXPECT_DOUBLE_EQ(with_tick->observe.value, -2.25);
+  ASSERT_TRUE(with_tick->observe.t.has_value());
+  EXPECT_EQ(*with_tick->observe.t, 7u);
+  // Model defaults like predict: omitted means "default".
+  EXPECT_FALSE(with_tick->has_model);
+}
+
+TEST(ParseRequest, ObserveRequiresValue) {
+  ProtocolError error;
+  EXPECT_FALSE(parse_request(R"({"cmd":"observe","model":"m"})", error).has_value());
+  EXPECT_EQ(error.code, ErrorCode::kBadRequest);
+  EXPECT_NE(error.message.find("value"), std::string::npos) << error.message;
+}
+
+TEST(ParseRequest, ValueAndTickBelongToObserveAlone) {
+  // An actual silently attached to another verb would be a lost
+  // observation, so it fails loudly on every other cmd.
+  ProtocolError error;
+  EXPECT_FALSE(parse_request(R"({"window":[0.1],"value":1.0})", error).has_value());
+  EXPECT_EQ(error.code, ErrorCode::kBadRequest);
+  EXPECT_FALSE(parse_request(R"({"cmd":"ping","t":3})", error).has_value());
+  EXPECT_EQ(error.code, ErrorCode::kBadRequest);
+}
+
+TEST(ParseRequest, ObserveRejectsMalformedValueAndTick) {
+  ProtocolError error;
+  EXPECT_FALSE(parse_request(R"({"cmd":"observe","value":"x"})", error).has_value());
+  EXPECT_FALSE(parse_request(R"({"cmd":"observe","value":1.0,"t":-1})", error).has_value());
+  EXPECT_FALSE(
+      parse_request(R"({"cmd":"observe","value":1.0,"t":1.5})", error).has_value());
+  EXPECT_FALSE(
+      parse_request(R"({"cmd":"observe","value":1.0,"t":1e16})", error).has_value());
+}
+
+TEST(ParseRequest, QualityVerbOptionallyFiltersByModel) {
+  ProtocolError error;
+  const auto all = parse_request(R"({"cmd":"quality"})", error);
+  ASSERT_TRUE(all.has_value()) << error.message;
+  EXPECT_EQ(all->cmd, Request::Cmd::kQuality);
+  EXPECT_FALSE(all->has_model);
+
+  const auto one = parse_request(R"({"cmd":"quality","model":"demo"})", error);
+  ASSERT_TRUE(one.has_value()) << error.message;
+  EXPECT_TRUE(one->has_model);
+  EXPECT_EQ(one->predict.model, "demo");
+}
+
+TEST(ProtocolV2, IntervalOnlyOnCoveredV2Responses) {
+  ef::serve::PredictResponse response;
+  response.ok = true;
+  response.model = "m";
+  response.version = 1;
+  response.horizon = 1;
+  response.value = 0.5;
+  response.votes = 3;
+  response.bound = 0.25;
+
+  // v1 stays byte-compatible: no interval field, ever.
+  Request v1;
+  EXPECT_EQ(ef::serve::to_json(response, v1).find("interval"), std::string::npos);
+
+  Request v2;
+  v2.version = 2;
+  const std::string line = ef::serve::to_json(response, v2);
+  EXPECT_NE(line.find(R"("value":0.5,"interval":[0.25,0.75])"), std::string::npos)
+      << line;
+
+  // No bound (abstention-adjacent paths, multi-step chains): no interval.
+  response.bound = -1.0;
+  EXPECT_EQ(ef::serve::to_json(response, v2).find("interval"), std::string::npos);
+
+  // Abstentions carry neither value nor interval, whatever the bound says.
+  response.abstain = true;
+  response.bound = 0.25;
+  const std::string abstain_line = ef::serve::to_json(response, v2);
+  EXPECT_EQ(abstain_line.find("interval"), std::string::npos) << abstain_line;
+  EXPECT_EQ(abstain_line.find("\"value\""), std::string::npos) << abstain_line;
+}
+
 }  // namespace

@@ -500,4 +500,106 @@ TEST(StressConcurrency, ReactorPipelinedClientsAgainstHotReload) {
 
 #endif  // defined(__linux__)
 
+
+TEST(StressConcurrency, QualityObserveAgainstPredictAndReload) {
+  // The quality loop's three writers at once: predict threads recording
+  // forecasts into per-model ledgers, observe threads maturing them (with
+  // occasional explicit-tick jumps and stale duplicates), and the model
+  // hot-reloading underneath — plus readers snapshotting and rendering the
+  // labelled exposition. TSan watches the armed flag, the map-shape mutex
+  // against the per-model locks, and the provider render against ingestion.
+  const auto path = std::filesystem::temp_directory_path() / "stress_quality.efr";
+  {
+    std::ofstream out(path);
+    constant_system(1.0).save(out);
+  }
+  ef::serve::ModelStore store;
+  store.add_file("m", path.string());
+  store.add_system("n", constant_system(2.0));
+
+  ef::serve::ServeOptions options;
+  options.enable_batcher = false;
+  options.quality.ledger_capacity = 64;  // small ring: constant wraparound
+  options.quality.window = 32;
+  options.quality.drift.lambda = 1.0;  // drift edges fire during the run too
+  options.quality.drift.min_samples = 4;
+  options.quality.drift.clear_after = 4;
+  ef::serve::ForecastService service(store, options);
+  ASSERT_NE(service.quality(), nullptr);
+  service.quality()->observe("m", 1.0);  // arm before the threads race
+  service.quality()->observe("n", 2.0);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> predictions{0};
+  std::atomic<std::size_t> observations{0};
+
+  auto predictors = spawn(3, [&](std::size_t i) {
+    ef::serve::PredictRequest request;
+    request.model = i % 2 == 0 ? "m" : "n";
+    request.window = {0.5, 0.5};
+    request.use_cache = false;  // every call takes the record_forecast path
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto response = service.predict(request);
+      ASSERT_TRUE(response.ok);
+      predictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  auto observers = spawn(2, [&](std::size_t i) {
+    const char* model = i % 2 == 0 ? "m" : "n";
+    std::size_t round = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (round % 16 == 15) {
+        // Duplicate/out-of-order actual: must be rejected as stale, never
+        // matured twice.
+        service.quality()->observe(model, 9.9, 1);
+      } else {
+        const double actual = round % 8 < 4 ? 1.0 : 6.0;  // drift churn
+        service.quality()->observe(model, actual);
+      }
+      observations.fetch_add(1, std::memory_order_relaxed);
+      ++round;
+    }
+  });
+  auto readers = spawn(2, [&](std::size_t) {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto models = service.quality()->snapshot();
+      ASSERT_LE(models.size(), 2u);
+      for (const auto& m : models) {
+        ASSERT_LE(m.window_n, 32u);
+        ASSERT_LE(m.pending, 64u);
+      }
+      std::string out;
+      service.quality()->render_prometheus(out, {});
+      ASSERT_NE(out.find("ef_quality_armed 1"), std::string::npos);
+    }
+  });
+
+  for (std::size_t round = 2; round < 2 + 8 * kIterScale; ++round) {
+    {
+      std::ofstream out(path);
+      constant_system(static_cast<double>(round % 7 + 1)).save(out);
+    }
+    std::filesystem::last_write_time(
+        path, std::filesystem::last_write_time(path) + std::chrono::seconds(round));
+    store.poll_now();
+    std::this_thread::sleep_for(2ms);
+  }
+
+  stop.store(true);
+  join_all(predictors);
+  join_all(observers);
+  join_all(readers);
+  EXPECT_GT(predictions.load(), 0u);
+  EXPECT_GT(observations.load(), 0u);
+  const auto models = service.quality()->snapshot();
+  ASSERT_EQ(models.size(), 2u);
+  // Ledger accounting stays consistent under the races: everything recorded
+  // either matured, went overdue, was evicted, or is still pending.
+  for (const auto& m : models) {
+    EXPECT_GT(m.observed, 0u);
+    EXPECT_LE(m.pending, 64u);
+  }
+  std::filesystem::remove(path);
+}
+
 }  // namespace
