@@ -9,10 +9,16 @@
 // correctness bug and the bench exits non-zero — speed numbers for wrong
 // answers are worthless.
 //
+// A second, end-to-end section times the *training path*: the same
+// fixed-seed generational run with the pre-batching per-rule fitness loop
+// vs the rule-major batched fitness path. The two runs must serialise to
+// byte-identical rule systems (the fitness wiring is bit-exact, not just
+// the kernels), and the ratio is reported as train_speedup.
+//
 // Output: a human-readable table plus (via --json) a machine-readable
-// report with per-backend windows/s and speedups vs scalar. CI runs
-// --quick and diffs against the committed baseline BENCH_match.json with
-// scripts/check_match_bench.py.
+// report with per-backend windows/s, speedups vs scalar, and the train
+// section. CI runs --quick and diffs against the committed baseline
+// BENCH_match.json with scripts/check_match_bench.py.
 //
 // Flags:
 //   --quick         scaled-down series/training/reps (CI smoke)
@@ -21,11 +27,13 @@
 //   --executions N  training executions unioned  (default 3 / 1 quick)
 //   --reps N        timed sweeps per backend     (default 5 / 7 quick)
 //   --seed S        training seed                (default 7)
+//   --no-train-path skip the end-to-end train comparison
 //   --json PATH     write the JSON report
 //   --trace-out PATH  write the training + sweep timeline as Chrome
 //                     trace-event JSON (arms tracing at rate 1.0)
 #include <chrono>
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -33,6 +41,7 @@
 #include "obs/build_info.hpp"
 #include "obs/timeline.hpp"
 #include "obs/timeline_export.hpp"
+#include "core/generational.hpp"
 #include "core/match_engine.hpp"
 #include "core/rule_system.hpp"
 #include "series/mackey_glass.hpp"
@@ -59,6 +68,21 @@ double now_seconds() {
       .count();
 }
 
+/// One full-ruleset sweep under `engine`. kRuleMajor goes through the
+/// batched entry point (that IS its sweep shape); the per-rule backends loop
+/// match_indices. Returns total matches (anchors the sweep against dead-code
+/// elimination and sanity-checks reps against each other).
+std::size_t sweep(const MatchEngine& engine, const std::vector<Rule>& rules) {
+  std::size_t matched = 0;
+  if (engine.backend() == MatchBackend::kRuleMajor) {
+    const auto all = engine.match_all(rules);
+    for (const auto& m : all) matched += m.size();
+  } else {
+    for (const Rule& rule : rules) matched += engine.match_indices(rule).size();
+  }
+  return matched;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -74,6 +98,7 @@ int main(int argc, char** argv) {
   // to be repeatable on a noisy CI box.
   const auto reps = static_cast<std::size_t>(cli.get_int("reps", quick ? 7 : 5));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const bool train_path = !cli.get_bool("no-train-path");
   const std::string json_path = cli.get_string("json", "");
   const std::string trace_out = cli.get_string("trace-out", "");
   if (!trace_out.empty() && !ef::obs::Timeline::enabled()) {
@@ -110,17 +135,21 @@ int main(int argc, char** argv) {
   // measure chunking, not the kernels.
   ef::util::ThreadPool one(1);
 
-  // Correctness gate first: every backend vs the scalar serial reference.
+  // Correctness gate first: every backend (per-rule and batched entry
+  // points) vs the scalar serial reference.
   const MatchEngine reference(data, &one);
   bool identical = true;
   constexpr MatchBackend kBackends[] = {MatchBackend::kScalar, MatchBackend::kSoa,
-                                        MatchBackend::kSoaPrefilter};
+                                        MatchBackend::kSoaPrefilter, MatchBackend::kAvx2,
+                                        MatchBackend::kRuleMajor};
   for (const MatchBackend backend : kBackends) {
     const MatchEngine engine(data, &one, backend);
-    for (const Rule& rule : rules) {
-      if (engine.match_indices(rule) != reference.match_indices_serial(rule)) {
-        std::fprintf(stderr, "MATCH SET MISMATCH: backend=%s\n",
-                     ef::core::to_string(backend));
+    const auto batched = engine.match_all(rules);
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      const auto expected = reference.match_indices_serial(rules[r]);
+      if (batched[r] != expected || engine.match_indices(rules[r]) != expected) {
+        std::fprintf(stderr, "MATCH SET MISMATCH: backend=%s rule=%zu\n",
+                     ef::core::to_string(backend), r);
         identical = false;
         break;
       }
@@ -134,18 +163,19 @@ int main(int argc, char** argv) {
     const MatchEngine engine(data, &one, backend);
     BackendResult r;
     r.backend = backend;
-    for (const Rule& rule : rules) r.matched += engine.match_indices(rule).size();  // warm
+    r.matched = sweep(engine, rules);  // warm
     // Per-rep minimum: the machine is shared, so total time over reps mixes
     // in scheduler noise; the fastest sweep is the most repeatable estimate
     // of what the kernel actually costs.
     r.seconds = 0.0;
     for (std::size_t rep = 0; rep < reps; ++rep) {
       const double t0 = now_seconds();
-      for (const Rule& rule : rules) {
-        const auto matches = engine.match_indices(rule);
-        (void)matches;
-      }
+      const std::size_t matched = sweep(engine, rules);
       const double dt = now_seconds() - t0;
+      if (matched != r.matched) {
+        std::fprintf(stderr, "UNSTABLE SWEEP: backend=%s\n", ef::core::to_string(backend));
+        identical = false;
+      }
       if (rep == 0 || dt < r.seconds) r.seconds = dt;
     }
     const double scanned =
@@ -157,10 +187,66 @@ int main(int argc, char** argv) {
   }
 
   const double scalar_wps = results[0].windows_per_sec;
-  std::printf("  speedup: soa %.2fx, soa_prefilter %.2fx, match sets %s\n",
+  std::printf("  speedup: soa %.2fx, soa_prefilter %.2fx, avx2 %.2fx, rule_major %.2fx, "
+              "match sets %s\n",
               results[1].windows_per_sec / scalar_wps,
               results[2].windows_per_sec / scalar_wps,
+              results[3].windows_per_sec / scalar_wps,
+              results[4].windows_per_sec / scalar_wps,
               identical ? "identical" : "MISMATCH");
+
+  // End-to-end train path: same seed, same offspring schedule, the
+  // pre-batching per-rule prefilter fitness loop (batched_fitness = false)
+  // vs the rule-major batched fitness path. The generational engine is the
+  // shape where batching structurally applies — every generation evaluates a
+  // whole offspring cohort, which the batched path turns into one plane
+  // build + one window pass (the steady-state engine only batches its
+  // initial populations). The two runs must serialise to byte-identical
+  // rule systems (the fitness wiring is bit-exact, not just the kernels),
+  // and the ratio is reported as train_speedup. Larger slice than the
+  // rule-source training above so evaluation (not operator bookkeeping)
+  // dominates, as it does at production series lengths.
+  double train_per_rule_s = 0.0;
+  double train_rule_major_s = 0.0;
+  double train_speedup = 0.0;
+  bool train_identical = true;
+  std::size_t train_windows = 0;
+  if (train_path) {
+    const std::size_t train_len = std::min<std::size_t>(quick ? 8000 : 30000, series_len);
+    const WindowDataset path_ds(series.slice(0, train_len), 4, 6);
+    train_windows = path_ds.count();
+    ef::core::GenerationalConfig gen_cfg;
+    gen_cfg.base = cfg.evolution;
+    const std::size_t eval_budget = quick ? 1500 : 6000;
+
+    std::string bytes_per_rule;
+    std::string bytes_rule_major;
+    for (const bool batched : {false, true}) {
+      ef::core::GenerationalConfig run_cfg = gen_cfg;
+      run_cfg.base.batched_fitness = batched;
+      run_cfg.base.match_backend =
+          batched ? MatchBackend::kRuleMajor : MatchBackend::kSoaPrefilter;
+      const double t0 = now_seconds();
+      ef::core::GenerationalEngine engine(path_ds, run_cfg, &one);
+      engine.run_evaluations(eval_budget);
+      const double dt = now_seconds() - t0;
+      ef::core::RuleSystem system;
+      system.add_rules(std::vector<Rule>(engine.population()), /*discard_unfit=*/true,
+                       run_cfg.base.f_min);
+      std::ostringstream buffer;
+      system.save(buffer);
+      (batched ? bytes_rule_major : bytes_per_rule) = buffer.str();
+      (batched ? train_rule_major_s : train_per_rule_s) = dt;
+    }
+    train_identical = !bytes_per_rule.empty() && bytes_per_rule == bytes_rule_major;
+    train_speedup =
+        train_rule_major_s > 0.0 ? train_per_rule_s / train_rule_major_s : 0.0;
+    std::printf("  train path (%zu windows, %zu evals): per-rule %.3f s, "
+                "rule-major %.3f s, speedup %.2fx, rule systems %s\n",
+                train_windows, eval_budget, train_per_rule_s, train_rule_major_s,
+                train_speedup, train_identical ? "identical" : "MISMATCH");
+    if (!train_identical) identical = false;
+  }
 
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -187,9 +273,21 @@ int main(int argc, char** argv) {
                    i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  },\n");
-    std::fprintf(f, "  \"speedup\": {\"soa\": %.3f, \"soa_prefilter\": %.3f},\n",
+    std::fprintf(f,
+                 "  \"speedup\": {\"soa\": %.3f, \"soa_prefilter\": %.3f, "
+                 "\"avx2\": %.3f, \"rule_major\": %.3f},\n",
                  results[1].windows_per_sec / scalar_wps,
-                 results[2].windows_per_sec / scalar_wps);
+                 results[2].windows_per_sec / scalar_wps,
+                 results[3].windows_per_sec / scalar_wps,
+                 results[4].windows_per_sec / scalar_wps);
+    if (train_path) {
+      std::fprintf(f,
+                   "  \"train\": {\"windows\": %zu, \"seconds_per_rule\": %.3f, "
+                   "\"seconds_rule_major\": %.3f, \"train_speedup\": %.3f, "
+                   "\"rule_systems_identical\": %s},\n",
+                   train_windows, train_per_rule_s, train_rule_major_s, train_speedup,
+                   train_identical ? "true" : "false");
+    }
     std::fprintf(f, "  \"match_sets_identical\": %s\n", identical ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);

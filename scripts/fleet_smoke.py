@@ -116,14 +116,26 @@ def main():
 
     # -- 1. train + pack + evaluate ------------------------------------------
     print("fleet_smoke: training %d-series synthetic fleet" % FLEET_SERIES)
+    metrics_json = os.path.join(workdir, "train_metrics.json")
     train = run([eftrain, "--synthetic", str(FLEET_SERIES), "--length", "240",
                  "--population", "24", "--generations", "150",
-                 "--out", container, "--evaluate", "--bench-json", bench_json])
+                 "--out", container, "--evaluate", "--bench-json", bench_json,
+                 "--metrics-json", metrics_json])
     check("eftrain exits 0", train.returncode == 0, train.stderr[-2000:])
     check("container written", os.path.isfile(container))
     check("bench json written", os.path.isfile(bench_json))
     if FAILURES:
         return 1
+
+    # The first engine construction resolves a match backend and bumps the
+    # one-time match.backend.<name>.selected counter — training a whole
+    # fleet must have selected exactly one backend per process.
+    with open(metrics_json) as f:
+        metrics = json.load(f)
+    selected = [name for name in metrics.get("counters", {})
+                if name.startswith("match.backend.") and name.endswith(".selected")]
+    check("training selected a match backend", len(selected) >= 1,
+          sorted(metrics.get("counters", {})))
 
     saved_argv = sys.argv
     sys.argv = ["check_fleet_bench.py", bench_json,

@@ -386,6 +386,10 @@ def main():
               sorted(kinds))
         check("events carry serve.model.reload", "serve.model.reload" in kinds,
               sorted(kinds))
+        # First prediction resolves a match backend (RuleSystem kAuto), which
+        # emits the one-time selection breadcrumb.
+        check("events carry match.backend_selected",
+              "match.backend_selected" in kinds, sorted(kinds))
 
         # Trace verb: embedded Chrome trace-event document, structurally
         # valid, with the request pipeline (>= 4 distinct span names in one

@@ -71,8 +71,18 @@ struct EvolutionConfig {
   /// Match-kernel implementation used by rule evaluation. Every backend
   /// produces bit-identical match sets, so this is purely a throughput knob;
   /// EVOFORECAST_MATCH_BACKEND in the environment overrides it at run time
-  /// (see resolve_match_backend).
-  MatchBackend match_backend = MatchBackend::kSoaPrefilter;
+  /// (see resolve_match_backend). kAuto resolves to the best backend the
+  /// CPU supports — currently the rule-major batched kernel, whose SIMD
+  /// inner loops self-dispatch between AVX2/SSE2/scalar.
+  MatchBackend match_backend = MatchBackend::kAuto;
+
+  /// Evaluate whole populations through Evaluator::evaluate_all (one
+  /// rule-major plane build + one window pass per batch, scoring fanned out
+  /// across the pool) wherever the engine structure allows: initial
+  /// populations, warm-start realignment, generational offspring cohorts.
+  /// false restores the pre-batching per-rule loop — an ablation/rollback
+  /// switch; results are bit-identical either way, only speed differs.
+  bool batched_fitness = true;
 
   std::uint64_t seed = 1;
 

@@ -48,8 +48,13 @@ WindowDataset::WindowDataset(const series::TimeSeries& s, std::size_t window,
   qinv_ = value_max_ > value_min_ ? 255.0 / (value_max_ - value_min_) : 0.0;
   lag_major_q_.resize(count_ * window_);
   for (std::size_t k = 0; k < lag_major_.size(); ++k) {
-    lag_major_q_[k] = static_cast<std::uint8_t>(
-        std::clamp(std::floor((lag_major_[k] - value_min_) * qinv_), 0.0, 255.0));
+    lag_major_q_[k] = quantize_value(lag_major_[k], value_min_, qinv_);
+  }
+  // Row-major quantized mirror for the rule-major batched kernel, which
+  // streams one window's bytes against the byte planes of the whole rule set.
+  patterns_q_.resize(count_ * window_);
+  for (std::size_t k = 0; k < patterns_.size(); ++k) {
+    patterns_q_[k] = quantize_value(patterns_[k], value_min_, qinv_);
   }
 }
 

@@ -51,7 +51,7 @@ class WindowDataset {
   /// kernel uses (built once here, at construction).
   [[nodiscard]] LagMajorView lag_major() const noexcept {
     return LagMajorView{lag_major_.data(), count_,      window_, patterns_.data(),
-                        lag_major_q_.data(), value_min_, qinv_};
+                        lag_major_q_.data(), value_min_, qinv_,   patterns_q_.data()};
   }
 
   /// Target v_i = x_{i+(D-1)·s+τ}.
@@ -78,6 +78,7 @@ class WindowDataset {
   std::vector<double> patterns_;   ///< row-major m×D packed windows
   std::vector<double> lag_major_;  ///< transposed D×m copy (one column per lag)
   std::vector<std::uint8_t> lag_major_q_;  ///< quantized mirror of lag_major_
+  std::vector<std::uint8_t> patterns_q_;   ///< quantized mirror of patterns_ (row-major)
   std::vector<double> targets_;
   std::size_t window_ = 0;
   std::size_t horizon_ = 0;

@@ -50,10 +50,11 @@ SteadyStateEngine::SteadyStateEngine(const WindowDataset& data, EvolutionConfig 
 
   const bool track_matches = config_.distance == DistanceMetric::kMatchedJaccard &&
                              config_.replacement == ReplacementStrategy::kCrowding;
-  if (track_matches) matched_.resize(population_.size());
-  for (std::size_t i = 0; i < population_.size(); ++i) {
-    evaluator_.evaluate(population_[i], track_matches ? &matched_[i] : nullptr);
-  }
+  // Initial population: one batched pass (under the rule-major backend the
+  // whole set is matched in a single window sweep) unless the per-rule
+  // ablation path is selected.
+  evaluator_.evaluate_population(population_, track_matches ? &matched_ : nullptr,
+                                 config_.batched_fitness);
 
   // Warm start with surplus seeds: keep the fittest population_size rules.
   if (population_.size() > config_.population_size) {
@@ -62,10 +63,7 @@ SteadyStateEngine::SteadyStateEngine(const WindowDataset& data, EvolutionConfig 
     population_.resize(config_.population_size);
     if (track_matches) {
       // Matched sets were evaluated pre-sort; re-evaluate to realign.
-      matched_.assign(population_.size(), {});
-      for (std::size_t i = 0; i < population_.size(); ++i) {
-        evaluator_.evaluate(population_[i], &matched_[i]);
-      }
+      evaluator_.evaluate_population(population_, &matched_, config_.batched_fitness);
     }
   }
   emit_telemetry();  // generation-0 snapshot

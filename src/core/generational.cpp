@@ -29,7 +29,7 @@ GenerationalEngine::GenerationalEngine(const WindowDataset& data, GenerationalCo
       telemetry_(std::move(telemetry)) {
   config_.validate();
   population_ = initialize_population(data_, config_.base, rng_);
-  evaluator_.evaluate_all(population_);
+  evaluator_.evaluate_population(population_, nullptr, config_.base.batched_fitness);
   emit_telemetry();  // generation-0 snapshot
 }
 
@@ -67,22 +67,36 @@ std::size_t GenerationalEngine::step() {
     next.push_back(population_[order[e]]);
   }
 
-  std::size_t improved = 0;
-  while (next.size() < population_.size()) {
+  // Generate the whole offspring cohort first (same RNG call order as the
+  // old generate-evaluate interleave: selection, crossover and mutation draw
+  // nothing during evaluation), then evaluate it as one batch — under the
+  // rule-major backend that is a single plane build + window pass per
+  // generation instead of one sweep per offspring.
+  const std::size_t offspring_count = population_.size() - next.size();
+  std::vector<Rule> offspring;
+  offspring.reserve(offspring_count);
+  for (std::size_t k = 0; k < offspring_count; ++k) {
     const ParentPair parents =
         select_parents(population_, config_.base.tournament_rounds, rng_);
     EVOFORECAST_COUNT("evolution.tournament_rounds", config_.base.tournament_rounds);
-    Rule offspring =
+    Rule child =
         uniform_crossover(population_[parents.first], population_[parents.second], rng_);
-    mutate_rule(offspring, data_, config_.base, rng_);
+    mutate_rule(child, data_, config_.base, rng_);
     EVOFORECAST_COUNT("evolution.offspring_generated", 1);
-    evaluator_.evaluate(offspring);
-    ++evaluations_;
-    if (offspring.fitness() > population_[next.size()].fitness()) {
+    offspring.push_back(std::move(child));
+  }
+  evaluator_.evaluate_population(offspring, nullptr, config_.base.batched_fitness);
+  evaluations_ += offspring_count;
+
+  std::size_t improved = 0;
+  for (std::size_t k = 0; k < offspring_count; ++k) {
+    // Same comparison the interleaved loop made: offspring k lands at slot
+    // elite_count + k and is scored against the rule previously there.
+    if (offspring[k].fitness() > population_[config_.elite_count + k].fitness()) {
       ++improved;
       EVOFORECAST_COUNT("evolution.offspring_accepted", 1);
     }
-    next.push_back(std::move(offspring));
+    next.push_back(std::move(offspring[k]));
   }
   population_ = std::move(next);
 

@@ -21,15 +21,36 @@
 //                     against the contiguous row-major mirror (all genes,
 //                     narrowest first). On plain views it falls back to a
 //                     double column scan + in-place candidate compaction.
+//   * kAvx2         — the prefilter algorithm with a 32-lane AVX2 byte scan
+//                     instead of the 16-lane SSE2 one. Compiled via function
+//                     target attributes, so the binary stays runnable on a
+//                     baseline x86-64 machine; the kernel is only *executed*
+//                     when the CPU reports AVX2 (cpuid-probed once at
+//                     startup — see cpu_supports_avx2). Selecting kAvx2 on a
+//                     CPU without AVX2 falls back to kSoaPrefilter cleanly.
+//   * kRuleMajor    — whole-ruleset batched kernel: quantized lo/hi byte
+//                     planes for every gene of every rule, built once per
+//                     batch, matched against the window stream in ONE pass
+//                     (windows outer, 16/32 rules per SIMD lane-set with
+//                     per-window candidate bitmasks), exact scalar
+//                     verification only on survivors. This is the training
+//                     hot-loop shape: evaluating a whole population touches
+//                     each window once instead of once per rule. Single-rule
+//                     queries under kRuleMajor use the best per-rule kernel
+//                     (kAvx2 when the CPU has it, else kSoaPrefilter).
+//   * kAuto         — resolve-time placeholder: pick the best backend the
+//                     CPU supports (currently kRuleMajor, whose SIMD inner
+//                     loops self-dispatch between AVX2/SSE2/scalar).
 //
-// All three kernels produce bit-identical match sets (ascending window
-// indices, identical NaN semantics: a non-wildcard gene rejects NaN, a
-// wildcard accepts anything) — backends differ only in speed. Quantization
-// never costs a match: the byte mapping is monotone, so the relaxed byte
-// range is a superset of the gene's exact interval, and every candidate is
-// re-checked with the same double comparisons the scalar kernel uses. The
-// engine default is kSoaPrefilter; the EVOFORECAST_MATCH_BACKEND environment
-// variable overrides any configured choice (see resolve_match_backend).
+// All kernels produce bit-identical match sets (ascending window indices,
+// identical NaN semantics: a non-wildcard gene rejects NaN, a wildcard
+// accepts anything) — backends differ only in speed. Quantization never
+// costs a match: the byte mapping is monotone, so the relaxed byte range is
+// a superset of the gene's exact interval, and every candidate is re-checked
+// with the same double comparisons the scalar kernel uses. The engine
+// default is kAuto; the EVOFORECAST_MATCH_BACKEND environment variable
+// overrides any configured choice and EVOFORECAST_MATCH_CPU=baseline masks
+// the AVX2 cpuid probe (ops/test hook — see resolve_match_backend).
 #pragma once
 
 #include <cstddef>
@@ -47,6 +68,9 @@ enum class MatchBackend {
   kScalar,        ///< row-wise reference scan
   kSoa,           ///< lag-major vectorizable flag kernel
   kSoaPrefilter,  ///< lag-major with selectivity-ordered candidate pruning
+  kAvx2,          ///< prefilter with a 32-lane AVX2 byte scan (cpuid-gated)
+  kRuleMajor,     ///< whole-ruleset batched plane kernel (one window pass)
+  kAuto,          ///< resolve-time: best backend the CPU supports
 };
 
 [[nodiscard]] constexpr const char* to_string(MatchBackend b) noexcept {
@@ -54,18 +78,45 @@ enum class MatchBackend {
     case MatchBackend::kScalar: return "scalar";
     case MatchBackend::kSoa: return "soa";
     case MatchBackend::kSoaPrefilter: return "soa_prefilter";
+    case MatchBackend::kAvx2: return "avx2";
+    case MatchBackend::kRuleMajor: return "rule_major";
+    case MatchBackend::kAuto: return "auto";
   }
   return "?";
 }
 
-/// Parse a backend name ("scalar", "soa", "soa_prefilter"; "soa+prefilter"
-/// is accepted as an alias). nullopt on anything else.
+/// Parse a backend name ("scalar", "soa", "soa_prefilter", "avx2",
+/// "rule_major", "auto"; "soa+prefilter" is accepted as an alias).
+/// nullopt on anything else.
 [[nodiscard]] std::optional<MatchBackend> parse_match_backend(std::string_view name) noexcept;
 
+/// Does this CPU support AVX2? Probed once per process (cpuid via
+/// __builtin_cpu_supports); always false on non-x86 builds. The
+/// EVOFORECAST_MATCH_CPU environment variable overrides the probe:
+/// "baseline" forces false (proves the no-AVX fallback path without needing
+/// pre-AVX hardware), anything else is ignored.
+[[nodiscard]] bool cpu_supports_avx2() noexcept;
+
+/// Pure dispatch decision, exposed for unit tests: maps a configured choice
+/// and the CPU's AVX2 capability to the backend that will actually run.
+/// kAuto picks kRuleMajor (its SIMD inner loops self-dispatch); kAvx2
+/// without CPU support degrades to kSoaPrefilter. Never returns kAuto.
+[[nodiscard]] constexpr MatchBackend pick_match_backend(MatchBackend configured,
+                                                        bool avx2_supported) noexcept {
+  if (configured == MatchBackend::kAuto) return MatchBackend::kRuleMajor;
+  if (configured == MatchBackend::kAvx2 && !avx2_supported) {
+    return MatchBackend::kSoaPrefilter;
+  }
+  return configured;
+}
+
 /// Apply the EVOFORECAST_MATCH_BACKEND environment override to a configured
-/// choice. An unset variable returns `configured` unchanged; a set but
-/// unparsable value warns once on stderr and is ignored. The environment is
-/// read once per process (the result is cached).
+/// choice, then resolve it against the CPU (pick_match_backend). An unset
+/// variable leaves `configured` in charge; a set but unparsable value warns
+/// once on stderr and is ignored. The environment is read once per process
+/// (the result is cached). The first time a given backend is selected, a
+/// one-time "match.backend_selected" event and counter are emitted so smoke
+/// scripts and efstat can assert the dispatch decision.
 [[nodiscard]] MatchBackend resolve_match_backend(MatchBackend configured);
 
 /// Lag-major (transposed) view of packed windows: column j holds the value
@@ -91,6 +142,12 @@ struct LagMajorView {
   double qmin = 0.0;  ///< quantization origin (dataset value minimum)
   double qinv = 0.0;  ///< 255 / (max − min); 0 for a constant series
 
+  /// Optional quantized row-major mirror (count × window, same byte map as
+  /// `qdata`). The rule-major kernel streams this — one window's bytes are
+  /// broadcast against the planes of 16/32 rules at a time. nullptr on
+  /// views that never feed the batched kernel.
+  const std::uint8_t* qrows = nullptr;
+
   [[nodiscard]] const double* col(std::size_t j) const noexcept {
     return data + j * count;
   }
@@ -98,6 +155,46 @@ struct LagMajorView {
     return qdata + j * count;
   }
 };
+
+/// Quantized lo/hi byte planes plus exact verification mirrors for a whole
+/// rule set — the input of the rule-major batched kernel. Built once per
+/// evaluation batch (build_rule_planes); plane j is `padded` bytes, one lane
+/// per rule, padded to the SIMD lane count with impossible ranges
+/// (lo=255, hi=0) so padding lanes can never produce a candidate.
+struct RulePlanes {
+  std::size_t rule_count = 0;  ///< real rules (before lane padding)
+  std::size_t window = 0;      ///< D — gene count every active rule must have
+  std::size_t padded = 0;      ///< rule_count rounded up to the lane width
+  std::size_t padded_genes = 0;  ///< window rounded up to 4 (AVX2 double lanes)
+
+  std::vector<std::uint8_t> qlo;  ///< window planes × padded lanes
+  std::vector<std::uint8_t> qhi;  ///< same layout as qlo
+
+  /// Exact bounds, rule-major rows of `padded_genes` entries. Verification is
+  /// pass = wild | (vlo <= v && v <= vhi) per gene — the same double
+  /// comparisons the scalar kernel performs, which the AVX2 verifier runs
+  /// four gene lanes at a time. `wmask` encodes "wildcard" as an all-ones
+  /// double bit pattern (and 0.0 for bounded genes) so the vector verifier
+  /// can OR it straight into the comparison mask; gene lanes past `window`
+  /// are set passing so padded chunks never reject.
+  std::vector<double> vlo;
+  std::vector<double> vhi;
+  std::vector<double> wmask;
+  std::vector<std::uint8_t> active;  ///< per rule: 0 = matches nothing
+};
+
+/// Quantize one value through the view's monotone byte map. NaN maps to 0 —
+/// safe because a bounded gene's exact verification rejects NaN anyway and a
+/// wildcard's byte range is the full [0, 255].
+[[nodiscard]] std::uint8_t quantize_value(double v, double qmin, double qinv) noexcept;
+
+/// Build the batched planes for a rule set. `rule_genes[r]` is rule r's gene
+/// span; a span whose length differs from `window` (including the empty span
+/// callers use to exclude a rule) is marked inactive and matches nothing.
+/// `qmin`/`qinv` must be the byte map of the view the planes will be matched
+/// against.
+[[nodiscard]] RulePlanes build_rule_planes(std::span<const std::span<const Interval>> rule_genes,
+                                           std::size_t window, double qmin, double qinv);
 
 /// Low-level kernels. Each appends the indices in [begin, end) whose window
 /// matches `genes` to `out`, ascending. `genes.size()` must equal the view's
@@ -119,10 +216,21 @@ void soa_match(const LagMajorView& view, std::span<const Interval> genes,
 /// SoA prefilter kernel: narrowest non-wildcard gene first, candidate-list
 /// compaction for the rest. When `pruned_out` is non-null it accumulates the
 /// number of windows eliminated by the first (most selective) gene — i.e.
-/// windows never tested against the remaining genes.
+/// windows never tested against the remaining genes. `avx2` widens the byte
+/// scan to 32 lanes (requires cpu_supports_avx2(); silently degrades to the
+/// SSE2 scan otherwise, results identical either way).
 void soa_prefilter_match(const LagMajorView& view, std::span<const Interval> genes,
                          std::size_t begin, std::size_t end, std::vector<std::size_t>& out,
-                         std::size_t* pruned_out = nullptr);
+                         std::size_t* pruned_out = nullptr, bool avx2 = false);
+
+/// Rule-major batched kernel: match every rule of `planes` against windows
+/// [begin, end) in one pass, appending window i to out[r] (ascending; out
+/// must hold planes.rule_count vectors). Requires view.qrows and view.rows;
+/// the SIMD width (AVX2 / SSE2 / scalar) is chosen per call from the cpuid
+/// probe. Bit-identical to running the scalar kernel per rule.
+void rule_major_match(const LagMajorView& view, const RulePlanes& planes,
+                      std::size_t begin, std::size_t end,
+                      std::vector<std::vector<std::size_t>>& out);
 
 }  // namespace matchkern
 

@@ -31,6 +31,14 @@ class BackendTimer {
       case MatchBackend::kSoaPrefilter:
         EVOFORECAST_HISTOGRAM("match.soa_prefilter.us", us);
         break;
+      case MatchBackend::kAvx2:
+        EVOFORECAST_HISTOGRAM("match.avx2.us", us);
+        break;
+      case MatchBackend::kRuleMajor:
+        EVOFORECAST_HISTOGRAM("match.rule_major.us", us);
+        break;
+      case MatchBackend::kAuto:
+        break;  // unreachable: engines hold a resolved backend
     }
   }
 
@@ -47,7 +55,12 @@ class BackendTimer {
 }  // namespace
 
 MatchEngine::MatchEngine(const WindowDataset& data, util::ThreadPool* pool, MatchBackend backend)
-    : data_(data), pool_(pool ? pool : &util::ThreadPool::shared()), backend_(backend) {}
+    : data_(data),
+      pool_(pool ? pool : &util::ThreadPool::shared()),
+      // Normalize against the CPU so the dispatch switches below never see
+      // kAuto or an unsupported kAvx2 (explicit supported choices pass
+      // through unchanged — tests construct engines with a forced backend).
+      backend_(pick_match_backend(backend, cpu_supports_avx2())) {}
 
 void MatchEngine::match_range(const Rule& rule, std::size_t begin, std::size_t end,
                               std::vector<std::size_t>& out, std::size_t* pruned) const {
@@ -62,6 +75,19 @@ void MatchEngine::match_range(const Rule& rule, std::size_t begin, std::size_t e
     case MatchBackend::kSoaPrefilter:
       matchkern::soa_prefilter_match(data_.lag_major(), genes, begin, end, out, pruned);
       break;
+    case MatchBackend::kAvx2:
+      matchkern::soa_prefilter_match(data_.lag_major(), genes, begin, end, out, pruned,
+                                     /*avx2=*/true);
+      break;
+    case MatchBackend::kRuleMajor:
+      // Single-rule query under the batched backend: use the best per-rule
+      // kernel the CPU has (the batched plane build only pays off for whole
+      // rule sets — see match_all).
+      matchkern::soa_prefilter_match(data_.lag_major(), genes, begin, end, out, pruned,
+                                     /*avx2=*/cpu_supports_avx2());
+      break;
+    case MatchBackend::kAuto:
+      break;  // unreachable: the constructor stores a resolved backend
   }
 }
 
@@ -109,6 +135,64 @@ std::vector<std::size_t> MatchEngine::match_indices(const Rule& rule) const {
   }
   EVOFORECAST_COUNT("match.windows_matched", out.size());
   if (pruned != 0) EVOFORECAST_COUNT("match.pruned", pruned);
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> MatchEngine::match_all(
+    std::span<const Rule> rules) const {
+  EVOFORECAST_TRACE("core.match_all");
+  const std::size_t m = data_.count();
+  const std::size_t n = rules.size();
+  std::vector<std::vector<std::size_t>> out(n);
+  if (n == 0) return out;
+
+  if (backend_ != MatchBackend::kRuleMajor) {
+    for (std::size_t r = 0; r < n; ++r) out[r] = match_indices(rules[r]);
+    return out;
+  }
+
+  EVOFORECAST_COUNT("match.calls", n);
+  EVOFORECAST_COUNT("match.windows_scanned", m);
+  EF_MATCH_TIMER(backend_);
+
+  // Build the quantized planes for the whole batch once; rules whose gene
+  // count differs from the dataset window (the matches-nothing contract)
+  // become inactive lanes.
+  const LagMajorView view = data_.lag_major();
+  std::vector<std::span<const Interval>> genes(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto& g = rules[r].genes();
+    genes[r] = g.size() == data_.window() ? std::span<const Interval>(g)
+                                          : std::span<const Interval>{};
+  }
+  const RulePlanes planes = build_rule_planes(genes, data_.window(), view.qmin, view.qinv);
+
+  if (m <= kParallelGrain || pool_->size() <= 1) {
+    matchkern::rule_major_match(view, planes, 0, m, out);
+  } else {
+    // Chunk over windows; per-chunk result sets are concatenated in chunk
+    // order per rule, so the output is identical to the serial pass.
+    const std::size_t chunks = pool_->size();
+    const std::size_t width = (m + chunks - 1) / chunks;
+    std::vector<std::vector<std::vector<std::size_t>>> partial(
+        chunks, std::vector<std::vector<std::size_t>>(n));
+    pool_->parallel_for(
+        0, m,
+        [&](std::size_t begin, std::size_t end) {
+          matchkern::rule_major_match(view, planes, begin, end, partial[begin / width]);
+        },
+        width);
+    for (std::size_t r = 0; r < n; ++r) {
+      std::size_t total = 0;
+      for (const auto& p : partial) total += p[r].size();
+      out[r].reserve(total);
+      for (auto& p : partial) out[r].insert(out[r].end(), p[r].begin(), p[r].end());
+    }
+  }
+
+  std::size_t matched = 0;
+  for (const auto& v : out) matched += v.size();
+  EVOFORECAST_COUNT("match.windows_matched", matched);
   return out;
 }
 

@@ -4,14 +4,19 @@
 // training set against D interval genes — O(m·D) with m up to 45 000. The
 // engine is a thin dispatcher over the pluggable kernels of
 // core/match_backend.hpp (scalar reference, SoA vectorized, SoA with
-// selectivity prefilter); all backends return bit-identical match sets, so
-// the choice is purely a throughput knob (EvolutionConfig::match_backend,
-// overridable via EVOFORECAST_MATCH_BACKEND). Large scans are partitioned
-// across the shared thread pool; chunks append into per-chunk buffers that
-// are concatenated in order, so results are identical to the serial scan.
+// selectivity prefilter, the AVX2 widening of the prefilter, and the
+// rule-major whole-ruleset kernel); all backends return bit-identical match
+// sets, so the choice is purely a throughput knob
+// (EvolutionConfig::match_backend, overridable via
+// EVOFORECAST_MATCH_BACKEND). Large scans are partitioned across the shared
+// thread pool; chunks append into per-chunk buffers that are concatenated in
+// order, so results are identical to the serial scan. match_all() is the
+// batched entry point the fitness path uses: one plane build + one window
+// pass for a whole population instead of one sweep per rule.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/dataset.hpp"
@@ -27,10 +32,11 @@ class MatchEngine {
   /// `backend` selects the kernel (already resolved against the environment
   /// by the caller, or pass resolve_match_backend(...) explicitly).
   explicit MatchEngine(const WindowDataset& data, util::ThreadPool* pool = nullptr,
-                       MatchBackend backend = resolve_match_backend(MatchBackend::kSoaPrefilter));
+                       MatchBackend backend = resolve_match_backend(MatchBackend::kAuto));
 
   [[nodiscard]] const WindowDataset& data() const noexcept { return data_; }
   [[nodiscard]] MatchBackend backend() const noexcept { return backend_; }
+  [[nodiscard]] util::ThreadPool& pool() const noexcept { return *pool_; }
 
   /// Indices of all patterns the rule's conditional part accepts, ascending.
   [[nodiscard]] std::vector<std::size_t> match_indices(const Rule& rule) const;
@@ -42,6 +48,16 @@ class MatchEngine {
   /// Sequential scalar reference implementation (used by tests to cross-check
   /// every backend and by callers with tiny datasets).
   [[nodiscard]] std::vector<std::size_t> match_indices_serial(const Rule& rule) const;
+
+  /// Match every rule of a batch in one call: out[r] holds the ascending
+  /// match indices of rules[r], bit-identical to match_indices(rules[r]).
+  /// Under kRuleMajor (and kAuto) the quantized planes of the whole batch
+  /// are built once and the window stream is scanned in a single pass —
+  /// this is the shape the evolution fitness path evaluates populations
+  /// with. Other backends loop match_indices per rule, so the call is
+  /// always safe to use.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> match_all(
+      std::span<const Rule> rules) const;
 
  private:
   /// Run the selected kernel over [begin, end), appending to `out`.

@@ -87,16 +87,18 @@ TEST(Determinism, IndependentOfThreadPoolSize) {
 }
 
 TEST(Determinism, IndependentOfMatchBackend) {
-  // The backend is a speed knob only: all three kernels produce bit-identical
+  // The backend is a speed knob only: every kernel produces bit-identical
   // match sets, so the trained system must serialise to identical bytes
-  // whichever backend the config picks.
+  // whichever backend the config picks — including the cpuid-dispatched
+  // AVX2 one and the rule-major batched fitness path.
   const auto mg = ef::series::make_paper_mackey_glass();
   const WindowDataset train(mg.train, 4, 1);
 
   std::vector<std::string> serialised;
   for (const ef::core::MatchBackend backend :
        {ef::core::MatchBackend::kScalar, ef::core::MatchBackend::kSoa,
-        ef::core::MatchBackend::kSoaPrefilter}) {
+        ef::core::MatchBackend::kSoaPrefilter, ef::core::MatchBackend::kAvx2,
+        ef::core::MatchBackend::kRuleMajor, ef::core::MatchBackend::kAuto}) {
     auto cfg = small_config();
     cfg.evolution.match_backend = backend;
     const auto result = ef::core::train(train, {.config = cfg});
@@ -104,10 +106,37 @@ TEST(Determinism, IndependentOfMatchBackend) {
     result.system.save(buffer);
     serialised.push_back(buffer.str());
   }
-  ASSERT_EQ(serialised.size(), 3u);
+  ASSERT_EQ(serialised.size(), 6u);
+  EXPECT_FALSE(serialised[0].empty());
+  for (std::size_t i = 1; i < serialised.size(); ++i) {
+    EXPECT_EQ(serialised[0], serialised[i]) << "backend index " << i;
+  }
+}
+
+TEST(Determinism, IslandTrainingBatchedPathMatchesScalar) {
+  // Island-parallel training under the rule-major batched fitness path must
+  // be bit-identical to the same schedule evaluated with the scalar
+  // reference kernel at a fixed seed.
+  const auto mg = ef::series::make_paper_mackey_glass();
+  const WindowDataset train(mg.train, 4, 1);
+  ef::util::ThreadPool pool(4);
+
+  std::vector<std::string> serialised;
+  for (const ef::core::MatchBackend backend :
+       {ef::core::MatchBackend::kScalar, ef::core::MatchBackend::kRuleMajor}) {
+    auto cfg = small_config();
+    cfg.evolution.match_backend = backend;
+    const auto result =
+        ef::core::train(train, {.config = cfg,
+                                .pool = &pool,
+                                .parallelism = ef::core::TrainParallelism::kIslands});
+    std::ostringstream buffer;
+    result.system.save(buffer);
+    serialised.push_back(buffer.str());
+  }
+  ASSERT_EQ(serialised.size(), 2u);
   EXPECT_FALSE(serialised[0].empty());
   EXPECT_EQ(serialised[0], serialised[1]);
-  EXPECT_EQ(serialised[0], serialised[2]);
 }
 
 TEST(Determinism, SeedChangesResults) {

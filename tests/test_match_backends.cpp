@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "core/match_backend.hpp"
@@ -27,7 +28,8 @@ using ef::core::WindowDataset;
 using ef::series::TimeSeries;
 
 constexpr MatchBackend kAllBackends[] = {MatchBackend::kScalar, MatchBackend::kSoa,
-                                         MatchBackend::kSoaPrefilter};
+                                         MatchBackend::kSoaPrefilter, MatchBackend::kAvx2,
+                                         MatchBackend::kRuleMajor};
 
 TimeSeries random_series(std::size_t n, std::uint64_t seed) {
   ef::util::Rng rng(seed);
@@ -65,6 +67,24 @@ void expect_backends_match_reference(const WindowDataset& data, const Rule& rule
     EXPECT_EQ(got, expected) << what << " backend=" << ef::core::to_string(backend);
     EXPECT_EQ(engine.match_count(rule), expected.size())
         << what << " backend=" << ef::core::to_string(backend);
+  }
+}
+
+/// Batched contract: match_all(rules)[r] must equal the scalar serial
+/// reference of rules[r] under every backend (only kRuleMajor actually
+/// batches; the rest loop per rule — both must agree bit-for-bit).
+void expect_match_all_matches_reference(const WindowDataset& data,
+                                        const std::vector<Rule>& rules,
+                                        ef::util::ThreadPool* pool, const char* what) {
+  const MatchEngine reference(data);
+  for (const MatchBackend backend : kAllBackends) {
+    const MatchEngine engine(data, pool, backend);
+    const auto got = engine.match_all(rules);
+    ASSERT_EQ(got.size(), rules.size()) << what;
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      EXPECT_EQ(got[r], reference.match_indices_serial(rules[r]))
+          << what << " backend=" << ef::core::to_string(backend) << " rule=" << r;
+    }
   }
 }
 
@@ -192,7 +212,120 @@ TEST(MatchBackends, ParseAndToStringRoundTrip) {
     EXPECT_EQ(*parsed, backend);
   }
   EXPECT_EQ(ef::core::parse_match_backend("soa+prefilter"), MatchBackend::kSoaPrefilter);
+  EXPECT_EQ(ef::core::parse_match_backend("auto"), MatchBackend::kAuto);
   EXPECT_FALSE(ef::core::parse_match_backend("definitely-not-a-backend").has_value());
+}
+
+TEST(MatchBackends, DispatchDecision) {
+  using ef::core::pick_match_backend;
+  // Explicit supported choices pass through untouched.
+  for (const MatchBackend backend : kAllBackends) {
+    if (backend == MatchBackend::kAvx2) continue;
+    EXPECT_EQ(pick_match_backend(backend, true), backend);
+    EXPECT_EQ(pick_match_backend(backend, false), backend);
+  }
+  // kAvx2 requires the CPU; without it the choice degrades, never SIGILLs.
+  EXPECT_EQ(pick_match_backend(MatchBackend::kAvx2, true), MatchBackend::kAvx2);
+  EXPECT_EQ(pick_match_backend(MatchBackend::kAvx2, false), MatchBackend::kSoaPrefilter);
+  // kAuto resolves to a concrete backend either way.
+  EXPECT_EQ(pick_match_backend(MatchBackend::kAuto, true), MatchBackend::kRuleMajor);
+  EXPECT_EQ(pick_match_backend(MatchBackend::kAuto, false), MatchBackend::kRuleMajor);
+}
+
+TEST(MatchBackends, RuleMajorBatchAgreesOnRandomRuleSets) {
+  const TimeSeries s = random_series(3000, 41);
+  const WindowDataset data(s, 5, 1);
+  std::uint64_t seed = 7000;
+  ef::util::Rng sizes(99);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t n_rules = 1 + sizes.index(70);  // crosses the 32/16 lane pads
+    std::vector<Rule> rules;
+    rules.reserve(n_rules);
+    for (std::size_t r = 0; r < n_rules; ++r) {
+      rules.push_back(random_rule(5, 0.25 * static_cast<double>(r % 5), ++seed));
+    }
+    expect_match_all_matches_reference(data, rules, nullptr, "random-set");
+  }
+}
+
+TEST(MatchBackends, RuleMajorBatchEdgeCases) {
+  const TimeSeries s = random_series(6000, 43);
+  const WindowDataset data(s, 4, 1);
+  ef::util::ThreadPool pool(4);
+
+  // Empty rule set: no planes, no output.
+  expect_match_all_matches_reference(data, {}, nullptr, "empty-set");
+
+  std::vector<Rule> rules;
+  // All-genes-wildcard (matches everything), impossible interval (matches
+  // nothing), and dimension-mismatch rules (matches nothing, inactive lane)
+  // mixed with random ones.
+  rules.emplace_back(std::vector<Interval>(4, Interval::wildcard()));
+  {
+    std::vector<Interval> genes(4, Interval::wildcard());
+    genes[2] = Interval(2.0, 3.0);  // values live in [0,1)
+    rules.emplace_back(std::move(genes));
+  }
+  rules.emplace_back(std::vector<Interval>(3, Interval::wildcard()));  // too narrow
+  rules.emplace_back(std::vector<Interval>(6, Interval::wildcard()));  // too wide
+  std::uint64_t seed = 8100;
+  for (int r = 0; r < 40; ++r) rules.push_back(random_rule(4, 0.3, ++seed));
+
+  // Serial and parallel chunked paths must both agree with the reference.
+  expect_match_all_matches_reference(data, rules, nullptr, "edge-serial");
+  expect_match_all_matches_reference(data, rules, &pool, "edge-parallel");
+}
+
+TEST(MatchBackends, RuleMajorKernelNanSemantics) {
+  // Ad-hoc view with NaN cells (TimeSeries rejects non-finite input, so this
+  // probes the kernel layer directly): quantized mirrors are built with the
+  // same monotone map the dataset uses, NaN quantizing to 0. A bounded gene
+  // must reject NaN rows, a wildcard must accept them — identically to the
+  // scalar reference.
+  constexpr std::size_t kWindow = 3;
+  constexpr std::size_t kCount = 64;
+  ef::util::Rng rng(23);
+  std::vector<double> rows(kCount * kWindow);
+  for (double& x : rows) x = rng.uniform(0.0, 1.0);
+  rows[4 * kWindow + 1] = std::numeric_limits<double>::quiet_NaN();
+  rows[17 * kWindow + 0] = std::numeric_limits<double>::quiet_NaN();
+  rows[50 * kWindow + 2] = std::numeric_limits<double>::quiet_NaN();
+
+  const double qmin = 0.0;
+  const double qinv = 255.0;  // values in [0,1)
+  std::vector<std::uint8_t> qrows(rows.size());
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    qrows[k] = ef::core::quantize_value(rows[k], qmin, qinv);
+  }
+  ef::core::LagMajorView view{};
+  view.count = kCount;
+  view.window = kWindow;
+  view.rows = rows.data();
+  view.qmin = qmin;
+  view.qinv = qinv;
+  view.qrows = qrows.data();
+
+  std::uint64_t seed = 310;
+  for (const double wc : {0.0, 0.5, 1.0}) {
+    for (int trial = 0; trial < 6; ++trial) {
+      std::vector<Rule> rules;
+      for (int r = 0; r < 37; ++r) rules.push_back(random_rule(kWindow, wc, ++seed));
+      std::vector<std::span<const Interval>> genes;
+      genes.reserve(rules.size());
+      for (const Rule& rule : rules) genes.emplace_back(rule.genes());
+      const ef::core::RulePlanes planes =
+          ef::core::build_rule_planes(genes, kWindow, qmin, qinv);
+
+      std::vector<std::vector<std::size_t>> got(rules.size());
+      ef::core::matchkern::rule_major_match(view, planes, 0, kCount, got);
+      for (std::size_t r = 0; r < rules.size(); ++r) {
+        std::vector<std::size_t> expected;
+        ef::core::matchkern::scalar_match(rows.data(), kWindow, rules[r].genes(), 0,
+                                          kCount, expected);
+        EXPECT_EQ(got[r], expected) << "wc=" << wc << " trial=" << trial << " rule=" << r;
+      }
+    }
+  }
 }
 
 }  // namespace
